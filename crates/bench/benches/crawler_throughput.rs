@@ -1,0 +1,42 @@
+//! Criterion bench for E1: crawl cycle cost across worker counts.
+//!
+//! Measures the software cost of a full incremental crawl cycle over 42
+//! sources (virtual-time latency accounting, no real sleeps), at 1/4/8
+//! worker threads. The companion binary `exp_crawler` reports the
+//! virtual-time throughput figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_bench::{small_web, FOREVER};
+use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+use std::hint::black_box;
+
+fn bench_crawl(c: &mut Criterion) {
+    let web = small_web(0xBE1);
+    let mut group = c.benchmark_group("crawler/full_cycle");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let config = CrawlerConfig { threads, ..CrawlerConfig::default() };
+            b.iter(|| {
+                let mut state = CrawlState::new();
+                let (reports, metrics) = crawl_all(&web, &mut state, &config, FOREVER);
+                black_box((reports.len(), metrics.new_reports))
+            });
+        });
+    }
+    group.finish();
+
+    // Incremental second cycle (index-only refetch).
+    c.bench_function("crawler/incremental_noop_cycle", |b| {
+        let config = CrawlerConfig::default();
+        let mut state = CrawlState::new();
+        let _ = crawl_all(&web, &mut state, &config, FOREVER);
+        b.iter(|| {
+            let (reports, _) = crawl_all(&web, &mut state, &config, FOREVER);
+            black_box(reports.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

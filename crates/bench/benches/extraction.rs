@@ -1,0 +1,76 @@
+//! Criterion bench for E3 (runtime half): extraction throughput.
+//!
+//! CRF decode speed, IOC scanning, tokenization with protection, and the
+//! full NER+relation pipeline per report.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kg_bench::small_web;
+use kg_nlp::{tokenize_protected, IocMatcher};
+use securitykg::{collect_gold, train_ner, TrainingConfig};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let web = small_web(0xBE3);
+    let gold = collect_gold(&web, 50, |i| i % 2 == 1);
+    let texts: Vec<&str> = gold.iter().map(|g| g.text.as_str()).collect();
+    let total_bytes: usize = texts.iter().map(|t| t.len()).sum();
+
+    let matcher = IocMatcher::standard();
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("ioc_scan", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                n += matcher.find_all(t).len();
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("tokenize_protected", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                n += tokenize_protected(t, &matcher).len();
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+
+    let trained = train_ner(
+        &web,
+        &TrainingConfig { articles: 80, ..TrainingConfig::default() },
+    );
+    let pipeline = trained.into_pipeline();
+    let mut group = c.benchmark_group("extraction/model");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("crf_ner_plus_relations_per_report", |b| {
+        b.iter(|| {
+            let mut mentions = 0usize;
+            for t in &texts {
+                mentions += pipeline.mentions(t).len();
+            }
+            black_box(mentions)
+        });
+    });
+    group.finish();
+
+    // Training cost (the offline phase).
+    let mut group = c.benchmark_group("extraction/training");
+    group.sample_size(10);
+    group.bench_function("train_80_articles", |b| {
+        b.iter(|| {
+            let t = train_ner(
+                &web,
+                &TrainingConfig { articles: 80, ..TrainingConfig::default() },
+            );
+            black_box(t.lf_accuracies.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for E6 (fusion half): the knowledge-fusion pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_fusion::{fuse, similarity, FusionConfig};
+use kg_graph::{GraphStore, Value};
+use std::hint::black_box;
+
+/// A graph with `n` malware nodes of which every 5th has a near-alias, each
+/// linked to a couple of IOC nodes.
+fn aliased_graph(n: usize) -> GraphStore {
+    let mut g = GraphStore::new();
+    for i in 0..n {
+        let name = format!("family{i:05}");
+        let m = g.create_node("Malware", [("name", Value::from(name.clone()))]);
+        let f = g.create_node(
+            "FileName",
+            [("name", Value::from(format!("payload{i}.exe")))],
+        );
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        if i % 5 == 0 {
+            let alias = g.create_node(
+                "Malware",
+                [("name", Value::from(format!("family {i:05}")))],
+            );
+            let d = g.create_node(
+                "Domain",
+                [("name", Value::from(format!("c2-{i}.evil.ru")))],
+            );
+            g.create_edge(alias, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+        }
+    }
+    g
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion/pass");
+    group.sample_size(10);
+    for n in [200usize, 1000, 3000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let graph = aliased_graph(n);
+            b.iter(|| {
+                let mut g = graph.clone();
+                let report = fuse(&mut g, &FusionConfig::default());
+                black_box(report.nodes_removed)
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("fusion/jaro_winkler", |b| {
+        b.iter(|| black_box(similarity::jaro_winkler("wannacry", "wannacrypt")));
+    });
+    c.bench_function("fusion/levenshtein", |b| {
+        b.iter(|| black_box(similarity::levenshtein("wanna decryptor", "wannacry")));
+    });
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

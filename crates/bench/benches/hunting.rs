@@ -1,0 +1,50 @@
+//! Criterion bench for E9: threat-hunting scan throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kg_graph::{GraphStore, Value};
+use kg_hunting::{behavior, AuditGenerator, Hunter};
+use std::hint::black_box;
+
+/// A KG with `n` malware, each with 3 IOC indicators.
+fn kg(n: usize) -> GraphStore {
+    let mut g = GraphStore::new();
+    for i in 0..n {
+        let m = g.create_node("Malware", [("name", Value::from(format!("fam{i}")))]);
+        let f = g.create_node("FileName", [("name", Value::from(format!("p{i}.exe")))]);
+        let d = g.create_node("Domain", [("name", Value::from(format!("c{i}.evil.ru")))]);
+        let r = g.create_node(
+            "RegistryKey",
+            [("name", Value::from(format!("hklm\\run\\k{i}")))],
+        );
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(m, "PERSISTS_VIA", r, [] as [(&str, Value); 0]).unwrap();
+    }
+    g
+}
+
+fn bench_hunting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hunting/scan");
+    for (threats, events) in [(50usize, 5_000usize), (200, 5_000), (200, 50_000)] {
+        let graph = kg(threats);
+        let behaviors = behavior::behaviors_with_label(&graph, "Malware", 1);
+        let hunter = Hunter::new(behaviors);
+        let log = AuditGenerator::new(1).benign_log(events, 0);
+        group.throughput(Throughput::Elements(events as u64));
+        group.sample_size(10);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threats}threats_{events}events")),
+            &(),
+            |b, ()| b.iter(|| black_box(hunter.scan(&log).len())),
+        );
+    }
+    group.finish();
+
+    c.bench_function("hunting/behavior_extraction_200", |b| {
+        let graph = kg(200);
+        b.iter(|| black_box(behavior::behaviors_with_label(&graph, "Malware", 1).len()));
+    });
+}
+
+criterion_group!(benches, bench_hunting);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion bench for E6 (storage half): knowledge-graph construction.
+//!
+//! Measures connector ingest rate (merge-heavy, since reports share
+//! entities), raw node/edge creation, and `MERGE` lookups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_bench::{small_web, FOREVER};
+use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+use kg_extract::RegexNerBaseline;
+use kg_graph::{GraphStore, Value};
+use kg_ir::IntermediateCti;
+use kg_pipeline::{
+    run_sequential, Connector, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig,
+    TabularConnector,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Pre-parse a corpus into CTIs by running the pipeline with a capturing
+/// connector.
+fn prepared_ctis() -> Vec<IntermediateCti> {
+    #[derive(Default)]
+    struct Capture(Vec<IntermediateCti>);
+    impl Connector for Capture {
+        fn connect(&mut self, cti: &IntermediateCti) {
+            self.0.push(cti.clone());
+        }
+    }
+    let web = small_web(0xBE6);
+    let mut state = CrawlState::new();
+    let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
+    let extractor = IocOnlyExtractor { baseline: Arc::new(RegexNerBaseline::new(vec![])) };
+    run_sequential(
+        reports,
+        &ParserRegistry::new(),
+        &extractor,
+        Capture::default(),
+        &PipelineConfig::default(),
+    )
+    .connector
+    .0
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let ctis = prepared_ctis();
+    assert!(!ctis.is_empty());
+
+    let mut group = c.benchmark_group("kg/construction");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(ctis.len() as u64));
+    group.bench_function("graph_connector_ingest", |b| {
+        b.iter(|| {
+            let mut connector = GraphConnector::new();
+            for cti in &ctis {
+                connector.connect(cti);
+            }
+            black_box(connector.graph.node_count())
+        });
+    });
+    group.bench_function("tabular_connector_ingest", |b| {
+        b.iter(|| {
+            let mut connector = TabularConnector::new();
+            for cti in &ctis {
+                connector.connect(cti);
+            }
+            black_box(connector.entities.len())
+        });
+    });
+    group.finish();
+
+    c.bench_function("kg/merge_node_hit", |b| {
+        let mut g = GraphStore::new();
+        for i in 0..10_000 {
+            g.create_node("Malware", [("name", Value::from(format!("m{i}")))]);
+        }
+        b.iter(|| black_box(g.merge_node("Malware", "m5000", [] as [(&str, Value); 0])));
+    });
+
+    c.bench_function("kg/create_edge", |b| {
+        let mut g = GraphStore::new();
+        let nodes: Vec<_> = (0..1000)
+            .map(|i| g.create_node("Malware", [("name", Value::from(format!("m{i}")))]))
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let from = nodes[i % nodes.len()];
+            let to = nodes[(i * 7 + 1) % nodes.len()];
+            i += 1;
+            black_box(g.create_edge(from, "RELATED_TO", to, [] as [(&str, Value); 0]).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for E7: Barnes–Hut vs naive layout (paper §2.6).
+//!
+//! The shape to reproduce: naive all-pairs repulsion is O(n²) per step,
+//! Barnes–Hut is O(n log n) — the gap must widen with n, with θ trading
+//! accuracy for speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_layout::{ForceLayout, LayoutConfig, LayoutGraph, RepulsionMethod};
+use std::hint::black_box;
+
+/// A scale-free-ish test graph: node i links to i/2 and i/3.
+fn test_graph(n: usize) -> LayoutGraph {
+    let edges: Vec<(usize, usize)> = (1..n)
+        .flat_map(|i| {
+            let mut es = vec![(i / 2, i)];
+            if i % 3 == 0 && i / 3 != i / 2 {
+                es.push((i / 3, i));
+            }
+            es
+        })
+        .collect();
+    LayoutGraph::seeded(n, edges)
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout/step");
+    for n in [100usize, 1000, 5000] {
+        group.sample_size(if n >= 5000 { 10 } else { 30 });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            let mut graph = test_graph(n);
+            let mut engine = ForceLayout::new(LayoutConfig {
+                method: RepulsionMethod::Naive,
+                ..LayoutConfig::default()
+            });
+            b.iter(|| black_box(engine.step(&mut graph)));
+        });
+        for theta in [0.5f32, 0.8, 1.2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("barnes_hut_theta_{theta}"), n),
+                &n,
+                |b, &n| {
+                    let mut graph = test_graph(n);
+                    let mut engine = ForceLayout::new(LayoutConfig {
+                        method: RepulsionMethod::BarnesHut { theta },
+                        ..LayoutConfig::default()
+                    });
+                    b.iter(|| black_box(engine.step(&mut graph)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench for E4: processing-pipeline throughput.
+//!
+//! Sequential vs pipelined, and direct vs serialised transport, over a
+//! pre-crawled raw-page corpus with the IOC extractor (model-free, so the
+//! bench isolates pipeline mechanics; `exp_pipeline` measures the trained
+//! extractor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_bench::{small_web, FOREVER};
+use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+use kg_extract::RegexNerBaseline;
+use kg_ir::RawReport;
+use kg_pipeline::{
+    run_pipelined, run_sequential, GraphConnector, IocOnlyExtractor, ParserRegistry,
+    PipelineConfig,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn corpus() -> Vec<RawReport> {
+    let web = small_web(0xBE4);
+    let mut state = CrawlState::new();
+    crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER).0
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let reports = corpus();
+    let registry = ParserRegistry::new();
+    let extractor = IocOnlyExtractor { baseline: Arc::new(RegexNerBaseline::new(vec![])) };
+
+    let mut group = c.benchmark_group("pipeline/end_to_end");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let out = run_sequential(
+                reports.clone(),
+                &registry,
+                &extractor,
+                GraphConnector::new(),
+                &PipelineConfig::default(),
+            );
+            black_box(out.metrics.connected)
+        });
+    });
+    group.bench_function("pipelined_default", |b| {
+        b.iter(|| {
+            let out = run_pipelined(
+                reports.clone(),
+                &registry,
+                &extractor,
+                GraphConnector::new(),
+                &PipelineConfig::default(),
+            );
+            black_box(out.metrics.connected)
+        });
+    });
+    group.bench_function("pipelined_serialized_transport", |b| {
+        let config = PipelineConfig { serialize_transport: true, ..PipelineConfig::default() };
+        b.iter(|| {
+            let out = run_pipelined(
+                reports.clone(),
+                &registry,
+                &extractor,
+                GraphConnector::new(),
+                &config,
+            );
+            black_box(out.metrics.connected)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

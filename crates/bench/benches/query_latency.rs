@@ -1,0 +1,100 @@
+//! Criterion bench for E8: query latency over a built knowledge graph —
+//! the keyword (BM25) path vs the Cypher path, as in the paper's UI (§2.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kg_bench::{small_web, FOREVER};
+use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+use kg_extract::RegexNerBaseline;
+use kg_ontology::EntityKind;
+use kg_pipeline::{
+    run_sequential, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn built_backend() -> GraphConnector {
+    let web = small_web(0xBE8);
+    let mut state = CrawlState::new();
+    let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
+    let curated = web.world().curated_lists(1.0, 1);
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![
+            (EntityKind::Malware, curated.malware),
+            (EntityKind::ThreatActor, curated.actors),
+        ])),
+    };
+    run_sequential(
+        reports,
+        &ParserRegistry::new(),
+        &extractor,
+        GraphConnector::new(),
+        &PipelineConfig::default(),
+    )
+    .connector
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let backend = built_backend();
+    let graph = backend.graph;
+    let search = backend.search;
+
+    c.bench_function("query/keyword_bm25", |b| {
+        b.iter(|| black_box(search.search("wannacry ransomware", 10)));
+    });
+
+    c.bench_function("query/cypher_name_equality_full_scan", |b| {
+        b.iter(|| {
+            black_box(
+                graph
+                    .query_readonly("match (n) where n.name = \"wannacry\" return n")
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        });
+    });
+
+    c.bench_function("query/cypher_indexed_prop_map", |b| {
+        b.iter(|| {
+            black_box(
+                graph
+                    .query_readonly("MATCH (n:Malware {name: 'wannacry'}) RETURN n")
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        });
+    });
+
+    c.bench_function("query/cypher_one_hop", |b| {
+        b.iter(|| {
+            black_box(
+                graph
+                    .query_readonly(
+                        "MATCH (m:Malware)-[:MENTIONS]-(r) RETURN m.name LIMIT 20",
+                    )
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        });
+    });
+
+    c.bench_function("query/cypher_aggregation", |b| {
+        b.iter(|| {
+            black_box(
+                graph
+                    .query_readonly(
+                        "MATCH (v:CtiVendor)-[:PUBLISHES]->(r) \
+                         RETURN v.name, count(r) ORDER BY count(r) DESC LIMIT 5",
+                    )
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Extension experiment E9 — knowledge-enhanced threat hunting (the paper's
+//! future work, §4: "connect SecurityKG to our system-auditing-based threat
+//! protection systems").
+//!
+//! Detection experiment: build the KG, extract behaviour graphs for every
+//! malware, then for each of `N` trials implant one randomly chosen threat's
+//! trace into a benign audit log and hunt. Reports rank-1 accuracy (the
+//! implanted threat is the top detection), mean rank, and the false-alarm
+//! rate on clean logs. Sweeps the fraction of the trace that actually
+//! manifests (partial-evidence robustness).
+//!
+//! Run: `cargo run -p kg-bench --bin exp_hunting --release`
+
+use kg_bench::{standard_web, Table, FOREVER};
+use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+use kg_extract::RegexNerBaseline;
+use kg_hunting::{behavior, AuditGenerator, Hunter};
+use kg_ontology::EntityKind;
+use kg_pipeline::{run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig};
+use std::sync::Arc;
+
+fn main() {
+    // Build the KG with the gazetteer extractor (fast, deterministic).
+    let web = standard_web(40, 0xE9);
+    let mut state = CrawlState::new();
+    let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
+    let curated = web.world().curated_lists(1.0, 1);
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![
+            (EntityKind::Malware, curated.malware),
+            (EntityKind::ThreatActor, curated.actors),
+            (EntityKind::Technique, curated.techniques),
+            (EntityKind::Tool, curated.tools),
+            (EntityKind::Software, curated.software),
+        ])),
+    };
+    let out = run_pipelined(
+        reports,
+        &ParserRegistry::new(),
+        &extractor,
+        GraphConnector::new(),
+        &PipelineConfig::default(),
+    );
+    let mut graph = out.connector.graph;
+    // Fuse with the alias table so behaviours are canonical.
+    let mut alias_groups = Vec::new();
+    for m in &web.world().malware {
+        if m.aliases.len() > 1 {
+            alias_groups.push(m.aliases.clone());
+        }
+    }
+    kg_fusion::fuse(
+        &mut graph,
+        &kg_fusion::FusionConfig { alias_groups, ..kg_fusion::FusionConfig::default() },
+    );
+
+    let behaviors = behavior::behaviors_with_label(&graph, "Malware", 3);
+    println!(
+        "E9 (extension): threat hunting — {} behaviour graphs (≥3 indicators) from a \
+         {}-node KG",
+        behaviors.len(),
+        graph.node_count()
+    );
+    println!();
+
+    let trials = 60usize;
+    let mut table = Table::new(&[
+        "manifested fraction",
+        "rank-1 accuracy",
+        "mean rank",
+        "mean score",
+    ]);
+    for keep_fraction in [1.0f64, 0.7, 0.5, 0.3] {
+        let mut rank1 = 0usize;
+        let mut rank_sum = 0usize;
+        let mut score_sum = 0.0f64;
+        for trial in 0..trials {
+            let target = &behaviors[trial % behaviors.len()];
+            let steps = target.as_audit_steps();
+            let keep = ((steps.len() as f64 * keep_fraction).ceil() as usize).max(1);
+            let mut generator = AuditGenerator::new(0xE9_000 + trial as u64);
+            let mut log = generator.benign_log(3000, 0);
+            generator.implant(&mut log, &steps[..keep.min(steps.len())], "x.exe", "victim");
+            let hunter = Hunter::new(behaviors.clone());
+            let results = hunter.scan(&log);
+            let rank = results
+                .iter()
+                .position(|r| r.threat_name == target.name)
+                .map(|p| p + 1)
+                .unwrap_or(behaviors.len());
+            if rank == 1 {
+                rank1 += 1;
+            }
+            rank_sum += rank;
+            score_sum += results
+                .iter()
+                .find(|r| r.threat_name == target.name)
+                .map(|r| r.score)
+                .unwrap_or(0.0);
+        }
+        table.row(vec![
+            format!("{keep_fraction:.1}"),
+            format!("{:.2}", rank1 as f64 / trials as f64),
+            format!("{:.2}", rank_sum as f64 / trials as f64),
+            format!("{:.2}", score_sum / trials as f64),
+        ]);
+    }
+    table.print();
+    println!();
+
+    // False alarms on clean logs.
+    let hunter = Hunter::new(behaviors);
+    let mut alarms = 0usize;
+    let clean_trials = 20;
+    for t in 0..clean_trials {
+        let log = AuditGenerator::new(0xC1EA0 + t).benign_log(3000, 0);
+        alarms += hunter.scan(&log).len();
+    }
+    println!(
+        "false alarms: {alarms} detections over {clean_trials} clean 3,000-event logs \
+         (noise floor {:.2})",
+        hunter.min_score
+    );
+    println!();
+    println!(
+        "shape to check: rank-1 accuracy near 1.0 with full traces, degrading gracefully \
+         with partial evidence; zero or near-zero false alarms on clean logs."
+    );
+}

@@ -1,0 +1,37 @@
+//! Experiment E5 — ontology coverage (paper §2.3, Figure 2).
+//!
+//! Claim to reproduce: "Compared to other cyber ontologies [STIX, UCO], our
+//! ontology targets a larger set."
+//!
+//! Run: `cargo run -p kg-bench --bin exp_ontology`
+
+use kg_bench::Table;
+use kg_ontology::{baseline, EntityKind, Ontology};
+
+fn main() {
+    println!("E5: ontology coverage vs embedded baselines (Figure 2)");
+    println!();
+    let mut table = Table::new(&["ontology", "entity types", "relation types"]);
+    for row in baseline::coverage_table() {
+        table.row(vec![
+            row.ontology.to_owned(),
+            row.entity_types.to_string(),
+            row.relation_types.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+
+    let ont = Ontology::standard();
+    println!("SecurityKG ontology detail:");
+    println!("  entity kinds:   {} ({} IOC kinds, {} concept kinds, {} report kinds)",
+        ont.entity_kind_count(),
+        EntityKind::IOCS.len(),
+        EntityKind::CONCEPTS.len(),
+        EntityKind::REPORTS.len());
+    println!("  relation kinds: {}", ont.relation_kind_count());
+    println!("  legal (subject, relation, object) triplets: {}", ont.triplet_count());
+    println!();
+    println!("example rule: <Malware, DROP, FileName> allowed = {}",
+        ont.allows(EntityKind::Malware, kg_ontology::RelationKind::Drop, EntityKind::FileName));
+}

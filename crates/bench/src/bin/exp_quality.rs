@@ -1,0 +1,95 @@
+//! Extension experiment E10 — threat-intelligence source quality.
+//!
+//! The paper's related work cites feed-quality measurement (Li et al.,
+//! *Reading the Tea Leaves*, USENIX Security 2019). With SecurityKG's
+//! provenance structure (vendor → report(ts) → mentioned entity), those
+//! metrics are knowledge-graph analytics: per-source volume, breadth,
+//! exclusivity (differential contribution), timeliness, and coverage.
+//!
+//! Run: `cargo run -p kg-bench --bin exp_quality --release`
+
+use kg_bench::{standard_web, Table};
+use kg_crawler::{Scheduler, SchedulerConfig};
+use kg_extract::RegexNerBaseline;
+use kg_ontology::EntityKind;
+use kg_pipeline::{run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig};
+use securitykg::source_quality;
+use std::sync::Arc;
+
+fn main() {
+    // Crawl with real publication times (scheduler in simulated time), so
+    // the latency metric is meaningful.
+    let web = standard_web(25, 0xE10);
+    let start: u64 = 1_500_000_000_000;
+    let mut scheduler = Scheduler::new(
+        &web,
+        SchedulerConfig { interval_ms: 3_600_000, ..SchedulerConfig::default() },
+        start,
+    );
+    let reports = scheduler.run_until(start + 200 * 24 * 3_600_000);
+    println!(
+        "E10 (extension): source quality — {} raw pages crawled over 200 simulated days",
+        reports.len()
+    );
+
+    let curated = web.world().curated_lists(1.0, 1);
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![
+            (EntityKind::Malware, curated.malware),
+            (EntityKind::ThreatActor, curated.actors),
+            (EntityKind::Technique, curated.techniques),
+            (EntityKind::Tool, curated.tools),
+            (EntityKind::Software, curated.software),
+        ])),
+    };
+    let out = run_pipelined(
+        reports,
+        &ParserRegistry::new(),
+        &extractor,
+        GraphConnector::new(),
+        &PipelineConfig::default(),
+    );
+    let graph = out.connector.graph;
+    println!(
+        "knowledge graph: {} nodes, {} edges from {} reports\n",
+        graph.node_count(),
+        graph.edge_count(),
+        out.metrics.connected
+    );
+
+    let quality = source_quality(&graph);
+    println!(
+        "{} distinct entities; {} mentioned by ≥2 vendors\n",
+        quality.total_entities, quality.shared_entities
+    );
+    let mut table = Table::new(&[
+        "vendor",
+        "reports",
+        "entities",
+        "IOCs",
+        "exclusive",
+        "coverage",
+        "scoops",
+        "mean lag (h)",
+    ]);
+    for v in quality.vendors.iter().take(12) {
+        table.row(vec![
+            v.vendor.clone(),
+            v.reports.to_string(),
+            v.entities.to_string(),
+            v.iocs.to_string(),
+            v.exclusive.to_string(),
+            format!("{:.2}", v.coverage),
+            v.scoops.to_string(),
+            format!("{:.1}", v.mean_latency_ms / 3_600_000.0),
+        ]);
+    }
+    table.print();
+    println!("  (top 12 of {} vendors by coverage)", quality.vendors.len());
+    println!();
+    println!(
+        "shape to check (Tea-Leaves-style): vendors differ widely in volume and \
+         coverage; exclusivity is concentrated; latecomers show hour-scale lag behind \
+         first reporters."
+    );
+}

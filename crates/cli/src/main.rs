@@ -1,0 +1,248 @@
+//! `securitykg` — the command-line interface.
+//!
+//! ```text
+//! securitykg build   --out kg.json [--articles N] [--seed S] [--ner] [--fuse]
+//! securitykg stats   --kg kg.json
+//! securitykg search  --kg kg.json <keywords...>
+//! securitykg cypher  --kg kg.json <query>
+//! securitykg export-stix --kg kg.json --out bundle.json
+//! securitykg hunt    --kg kg.json [--implant <malware>] [--events N]
+//! ```
+//!
+//! `build` constructs the knowledge base end-to-end (simulated web → crawl →
+//! pipeline → graph) and writes a self-contained snapshot; every other
+//! subcommand operates on that snapshot, needing none of the build
+//! machinery — the separation the paper's storage/application split implies.
+
+use securitykg::corpus::WorldConfig;
+use securitykg::hunting::AuditGenerator;
+use securitykg::{KnowledgeBase, SecurityKg, SystemConfig, TrainingConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "build" => cmd_build(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "search" => cmd_search(&args[1..]),
+        "cypher" => cmd_cypher(&args[1..]),
+        "export-stix" => cmd_export_stix(&args[1..]),
+        "hunt" => cmd_hunt(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+securitykg — automated OSCTI gathering and management
+
+USAGE:
+  securitykg build  --out <kg.json> [--articles <n>] [--seed <s>] [--ner] [--fuse]
+  securitykg stats  --kg <kg.json>
+  securitykg search --kg <kg.json> <keywords...>
+  securitykg cypher --kg <kg.json> <query>
+  securitykg export-stix --kg <kg.json> --out <bundle.json>
+  securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]";
+
+/// Pull `--name value` out of an argument list; returns remaining positionals.
+fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
+    let mut flags = std::collections::HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            // Boolean flags take no value when followed by another flag/end.
+            let takes_value =
+                i + 1 < args.len() && !args[i + 1].starts_with("--");
+            if takes_value && !matches!(name, "ner" | "fuse") {
+                flags.insert(name.to_owned(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_owned(), "true".to_owned());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (flags, positional)
+}
+
+fn load_kb(flags: &std::collections::HashMap<String, String>) -> Result<KnowledgeBase, String> {
+    let path = flags.get("kg").ok_or("missing --kg <path>")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    KnowledgeBase::from_bytes(&bytes).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let out = flags.get("out").ok_or("missing --out <path>")?;
+    let articles: usize =
+        flags.get("articles").map(|a| a.parse().map_err(|e| format!("--articles: {e}"))).transpose()?.unwrap_or(20);
+    let seed: u64 =
+        flags.get("seed").map(|s| s.parse().map_err(|e| format!("--seed: {e}"))).transpose()?.unwrap_or(0xC11);
+
+    let config = SystemConfig {
+        world: WorldConfig { seed, ..WorldConfig::default() },
+        articles_per_source: articles,
+        seed,
+        training: TrainingConfig { articles: 200, ..TrainingConfig::default() },
+        ..SystemConfig::default()
+    };
+    eprintln!("bootstrapping ({} articles/source, seed {seed:#x}, ner={})...",
+        articles, flags.contains_key("ner"));
+    let mut kg = if flags.contains_key("ner") {
+        SecurityKg::bootstrap(&config)
+    } else {
+        SecurityKg::bootstrap_without_ner(&config)
+    };
+    let report = kg.crawl_and_ingest();
+    eprintln!(
+        "ingested {} reports → {} nodes, {} edges",
+        report.reports_ingested,
+        kg.graph().node_count(),
+        kg.graph().edge_count()
+    );
+    if flags.contains_key("fuse") {
+        let fusion = kg.fuse();
+        eprintln!("fused {} alias clusters ({} nodes removed)", fusion.clusters_merged, fusion.nodes_removed);
+    }
+    let bytes = kg.snapshot().map_err(|e| e.to_string())?;
+    std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {} ({} bytes)", out, bytes.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let kb = load_kb(&flags)?;
+    println!("nodes: {}", kb.graph.node_count());
+    println!("edges: {}", kb.graph.edge_count());
+    println!("indexed documents: {}", kb.search.len());
+    println!("\nnodes by label:");
+    for (label, count) in kb.graph.label_histogram() {
+        println!("  {label:<22} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let kb = load_kb(&flags)?;
+    if positional.is_empty() {
+        return Err("missing search keywords".into());
+    }
+    let query = positional.join(" ");
+    let hits = kb.keyword_search(&query, 10);
+    if hits.is_empty() {
+        println!("no results for {query:?}");
+        return Ok(());
+    }
+    for id in hits {
+        let node = kb.graph.node(id).unwrap();
+        println!(
+            "[{}] {} (degree {})",
+            node.label,
+            node.name().unwrap_or("?"),
+            kb.graph.degree(id)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cypher(args: &[String]) -> Result<(), String> {
+    let (flags, positional) = parse_flags(args);
+    let kb = load_kb(&flags)?;
+    if positional.is_empty() {
+        return Err("missing cypher query".into());
+    }
+    let query = positional.join(" ");
+    let result = kb.graph.query_readonly(&query).map_err(|e| e.to_string())?;
+    println!("{}", result.columns.join(" | "));
+    for row in &result.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                securitykg::graph::Value::Node(id) => {
+                    let node = kb.graph.node(*id);
+                    format!(
+                        "({}:{})",
+                        node.and_then(|n| n.name()).unwrap_or("?"),
+                        node.map(|n| n.label.as_str()).unwrap_or("?")
+                    )
+                }
+                other => other.to_string(),
+            })
+            .collect();
+        println!("{}", cells.join(" | "));
+    }
+    eprintln!("-- {} row(s)", result.rows.len());
+    Ok(())
+}
+
+fn cmd_export_stix(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let kb = load_kb(&flags)?;
+    let out = flags.get("out").ok_or("missing --out <path>")?;
+    let bundle = securitykg::export_bundle(&kb.graph);
+    let text = serde_json::to_string_pretty(&bundle).map_err(|e| e.to_string())?;
+    std::fs::write(out, text).map_err(|e| format!("write {out}: {e}"))?;
+    let count = bundle["objects"].as_array().map(Vec::len).unwrap_or(0);
+    eprintln!("wrote {count} STIX objects to {out}");
+    Ok(())
+}
+
+fn cmd_hunt(args: &[String]) -> Result<(), String> {
+    let (flags, _) = parse_flags(args);
+    let kb = load_kb(&flags)?;
+    let events: usize =
+        flags.get("events").map(|e| e.parse().map_err(|x| format!("--events: {x}"))).transpose()?.unwrap_or(5000);
+
+    let behaviors = securitykg::hunting::behavior::behaviors_with_label(&kb.graph, "Malware", 3);
+    eprintln!("{} threat behaviour graphs extracted", behaviors.len());
+
+    let mut generator = AuditGenerator::new(0xCA11);
+    let mut log = generator.benign_log(events, 0);
+    if let Some(name) = flags.get("implant") {
+        let behavior = behaviors
+            .iter()
+            .find(|b| b.name == name.to_lowercase())
+            .ok_or_else(|| format!("no behaviour graph for {name:?}"))?;
+        generator.implant(&mut log, &behavior.as_audit_steps(), "implant.exe", "host-victim");
+        eprintln!("implanted a {} trace into {} benign events", behavior.name, events);
+    }
+
+    let hunter = securitykg::hunting::Hunter::new(behaviors);
+    let reports = hunter.scan(&log);
+    if reports.is_empty() {
+        println!("no threats above the noise floor");
+        return Ok(());
+    }
+    println!("{:<22} {:>6} {:>10} {:>14}", "threat", "score", "coverage", "focus host");
+    for r in reports.iter().take(10) {
+        println!(
+            "{:<22} {:>5.2} {:>7}/{:<3} {:>14}",
+            r.threat_name,
+            r.score,
+            r.coverage.0,
+            r.coverage.1,
+            r.focus_host.as_deref().unwrap_or("-")
+        );
+    }
+    Ok(())
+}

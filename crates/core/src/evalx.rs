@@ -1,0 +1,175 @@
+//! Extraction-quality evaluation against the corpus ground truth — the
+//! machinery behind experiment E3 ("our extractors are highly accurate,
+//! > 92% F1").
+
+use kg_corpus::GoldReport;
+use kg_extract::metrics::{Prf, SpanMatch, SpanScores};
+use kg_extract::ner::{sentence_mentions, SentenceExtraction};
+use serde::Serialize;
+
+/// One system's scores over an evaluation corpus.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExtractionScores {
+    pub ner: SpanScores,
+    pub relations: Prf,
+    pub documents: usize,
+}
+
+impl ExtractionScores {
+    /// Micro-averaged NER F1.
+    pub fn ner_f1(&self) -> f64 {
+        self.ner.overall.f1()
+    }
+
+    /// Relation extraction F1.
+    pub fn relation_f1(&self) -> f64 {
+        self.relations.f1()
+    }
+}
+
+/// A uniform interface over the CRF pipeline and the regex baseline.
+pub trait ExtractsSentences {
+    fn run(&self, text: &str) -> Vec<SentenceExtraction>;
+}
+
+impl ExtractsSentences for kg_extract::NerPipeline {
+    fn run(&self, text: &str) -> Vec<SentenceExtraction> {
+        self.extract(text)
+    }
+}
+
+impl ExtractsSentences for kg_extract::RegexNerBaseline {
+    fn run(&self, text: &str) -> Vec<SentenceExtraction> {
+        self.extract(text)
+    }
+}
+
+/// Evaluate NER span F1 over gold reports.
+pub fn evaluate_ner(system: &dyn ExtractsSentences, gold: &[GoldReport]) -> ExtractionScores {
+    let mut scores = ExtractionScores { documents: gold.len(), ..Default::default() };
+    for report in gold {
+        let extractions = system.run(&report.text);
+        let predicted: Vec<SpanMatch> = extractions
+            .iter()
+            .flat_map(|se| {
+                sentence_mentions(se)
+                    .into_iter()
+                    .map(|m| SpanMatch { kind: m.kind, start: m.start, end: m.end })
+            })
+            .collect();
+        let gold_spans: Vec<SpanMatch> = report
+            .mentions
+            .iter()
+            .map(|m| SpanMatch { kind: m.kind, start: m.start, end: m.end })
+            .collect();
+        scores.ner.add_document(&predicted, &gold_spans);
+        scores.relations.add(relation_prf(&extractions, report));
+    }
+    scores
+}
+
+/// Evaluate relation extraction alone.
+pub fn evaluate_relations(system: &dyn ExtractsSentences, gold: &[GoldReport]) -> Prf {
+    let mut total = Prf::default();
+    for report in gold {
+        total.add(relation_prf(&system.run(&report.text), report));
+    }
+    total
+}
+
+/// Relation items are matched on `(subject byte-span, relation kind, object
+/// byte-span)` — the strictest correct criterion, requiring both entity
+/// boundaries and the ontology-resolved relation kind to be exact.
+fn relation_prf(extractions: &[SentenceExtraction], gold: &GoldReport) -> Prf {
+    type Item = ((usize, usize), kg_ontology::RelationKind, (usize, usize));
+    let mut predicted: Vec<Item> = Vec::new();
+    for se in extractions {
+        for rel in &se.relations {
+            let s = &se.spans[rel.subject];
+            let o = &se.spans[rel.object];
+            let s_bytes =
+                (se.sentence.tokens[s.start].start, se.sentence.tokens[s.end - 1].end);
+            let o_bytes =
+                (se.sentence.tokens[o.start].start, se.sentence.tokens[o.end - 1].end);
+            predicted.push((s_bytes, rel.kind, o_bytes));
+        }
+    }
+    let gold_items: Vec<Item> = gold
+        .relations
+        .iter()
+        .map(|r| {
+            let s = &gold.mentions[r.subject];
+            let o = &gold.mentions[r.object];
+            ((s.start, s.end), r.kind, (o.start, o.end))
+        })
+        .collect();
+    Prf::score_sets(&predicted, &gold_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::{collect_gold, train_ner, TrainingConfig};
+    use kg_corpus::{standard_sources, SimulatedWeb, World, WorldConfig};
+    use kg_extract::RegexNerBaseline;
+    use kg_ontology::EntityKind;
+
+    fn web() -> SimulatedWeb {
+        SimulatedWeb::new(World::generate(WorldConfig::tiny(5)), standard_sources(12), 9)
+    }
+
+    #[test]
+    fn trained_crf_beats_uninformed_baseline() {
+        let web = web();
+        let trained = train_ner(
+            &web,
+            &TrainingConfig { articles: 120, ..TrainingConfig::default() },
+        );
+        let pipeline = trained.into_pipeline();
+        let test = collect_gold(&web, 40, |i| i % 2 == 1);
+        let crf_scores = evaluate_ner(&pipeline, &test);
+        // Baseline with *no* gazetteers: IOC regex only.
+        let bare = RegexNerBaseline::new(vec![]);
+        let bare_scores = evaluate_ner(&bare, &test);
+        assert!(
+            crf_scores.ner_f1() > bare_scores.ner_f1(),
+            "crf {:.3} vs bare {:.3}",
+            crf_scores.ner_f1(),
+            bare_scores.ner_f1()
+        );
+        assert!(crf_scores.ner_f1() > 0.6, "{:.3}", crf_scores.ner_f1());
+    }
+
+    #[test]
+    fn gazetteer_baseline_scores_reasonably_but_misses_relations_less() {
+        let web = web();
+        let curated = web.world().curated_lists(1.0, 1);
+        let baseline = RegexNerBaseline::new(vec![
+            (EntityKind::Malware, curated.malware),
+            (EntityKind::ThreatActor, curated.actors),
+            (EntityKind::Technique, curated.techniques),
+            (EntityKind::Tool, curated.tools),
+            (EntityKind::Software, curated.software),
+        ]);
+        let test = collect_gold(&web, 30, |i| i % 2 == 1);
+        let scores = evaluate_ner(&baseline, &test);
+        assert!(scores.ner_f1() > 0.5, "{:.3}", scores.ner_f1());
+        assert!(scores.relations.tp > 0, "some relations should match exactly");
+    }
+
+    #[test]
+    fn empty_predictions_score_zero_recall() {
+        struct Nothing;
+        impl ExtractsSentences for Nothing {
+            fn run(&self, _text: &str) -> Vec<SentenceExtraction> {
+                Vec::new()
+            }
+        }
+        let web = web();
+        let test = collect_gold(&web, 10, |_| true);
+        let scores = evaluate_ner(&Nothing, &test);
+        assert_eq!(scores.ner.overall.tp, 0);
+        assert_eq!(scores.ner.overall.recall(), 0.0);
+        assert_eq!(scores.ner.overall.precision(), 1.0);
+    }
+}

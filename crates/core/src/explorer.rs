@@ -1,0 +1,450 @@
+//! The exploration UI backend (paper §2.6).
+//!
+//! Everything the React frontend does that is *algorithmic* lives here,
+//! headless and testable: keyword / Cypher entry points, node
+//! expansion/collapse on double-click, drag-and-lock, automatic Barnes–Hut
+//! layout, view history (the back button), display caps and random
+//! subgraphs. The [`ViewSnapshot`] JSON export is what a thin rendering
+//! layer would consume.
+
+use crate::SecurityKg;
+use kg_graph::NodeId;
+use kg_layout::{ForceLayout, LayoutConfig, LayoutGraph, Vec2};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One node as shown in the view.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ViewNode {
+    pub id: u64,
+    pub label: String,
+    pub name: String,
+    pub x: f32,
+    pub y: f32,
+    pub locked: bool,
+    pub expanded: bool,
+    /// Full degree in the knowledge graph (shown on hover).
+    pub degree: usize,
+}
+
+/// A serialisable snapshot of the current view.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ViewSnapshot {
+    pub nodes: Vec<ViewNode>,
+    /// (index into `nodes`, index into `nodes`, relation type).
+    pub edges: Vec<(usize, usize, String)>,
+}
+
+impl ViewSnapshot {
+    /// JSON for the rendering layer.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialises")
+    }
+}
+
+/// An exploration session over a built knowledge graph.
+pub struct Explorer<'a> {
+    kg: &'a SecurityKg,
+    visible: Vec<NodeId>,
+    positions: HashMap<NodeId, Vec2>,
+    locked: HashSet<NodeId>,
+    expanded: HashSet<NodeId>,
+    /// Which node's expansion spawned each visible node.
+    spawned_by: HashMap<NodeId, NodeId>,
+    history: Vec<Vec<NodeId>>,
+    engine: ForceLayout,
+    /// Display cap on total nodes (user-configurable in the UI).
+    pub max_nodes: usize,
+    /// Cap on neighbours added per expansion.
+    pub max_neighbors: usize,
+}
+
+impl<'a> Explorer<'a> {
+    /// Start an empty session.
+    pub fn new(kg: &'a SecurityKg) -> Self {
+        Explorer {
+            kg,
+            visible: Vec::new(),
+            positions: HashMap::new(),
+            locked: HashSet::new(),
+            expanded: HashSet::new(),
+            spawned_by: HashMap::new(),
+            history: Vec::new(),
+            engine: ForceLayout::new(LayoutConfig::default()),
+            max_nodes: 200,
+            max_neighbors: 15,
+        }
+    }
+
+    /// Currently visible node ids.
+    pub fn visible(&self) -> &[NodeId] {
+        &self.visible
+    }
+
+    /// Replace the view with these nodes (pushes the old view to history).
+    pub fn show(&mut self, nodes: Vec<NodeId>) {
+        if !self.visible.is_empty() {
+            self.history.push(self.visible.clone());
+        }
+        self.visible.clear();
+        self.positions.clear();
+        self.locked.clear();
+        self.expanded.clear();
+        self.spawned_by.clear();
+        for (i, id) in nodes.into_iter().take(self.max_nodes).enumerate() {
+            if self.kg.graph().node(id).is_some() && !self.visible.contains(&id) {
+                self.visible.push(id);
+                let angle = i as f32 * 2.399_963;
+                let radius = 30.0 * (i as f32 + 1.0).sqrt();
+                self.positions.insert(id, Vec2::new(radius * angle.cos(), radius * angle.sin()));
+            }
+        }
+        self.engine.reheat();
+    }
+
+    /// Keyword search → new view (the Elasticsearch entry point).
+    pub fn search(&mut self, query: &str, k: usize) {
+        let hits = self.kg.keyword_search(query, k);
+        self.show(hits);
+    }
+
+    /// Read-only Cypher query → new view (the Neo4j entry point).
+    pub fn cypher(&mut self, query: &str) -> Result<usize, kg_graph::cypher::CypherError> {
+        let result = self.kg.graph().query_readonly(query)?;
+        let ids = result.node_ids();
+        let n = ids.len();
+        self.show(ids);
+        Ok(n)
+    }
+
+    /// Double-click: expand if collapsed, collapse if expanded.
+    pub fn toggle(&mut self, node: NodeId) {
+        if self.expanded.contains(&node) {
+            self.collapse(node);
+        } else {
+            self.expand(node);
+        }
+    }
+
+    /// Show up to `max_neighbors` hidden neighbours of `node`.
+    pub fn expand(&mut self, node: NodeId) {
+        if !self.visible.contains(&node) {
+            return;
+        }
+        let base = self.positions.get(&node).copied().unwrap_or_default();
+        let mut added = 0usize;
+        for neighbor in self.kg.graph().neighbors(node) {
+            if added >= self.max_neighbors || self.visible.len() >= self.max_nodes {
+                break;
+            }
+            if self.visible.contains(&neighbor) {
+                continue;
+            }
+            self.visible.push(neighbor);
+            let angle = (self.visible.len() as f32) * 2.399_963;
+            self.positions
+                .insert(neighbor, base + Vec2::new(40.0 * angle.cos(), 40.0 * angle.sin()));
+            self.spawned_by.insert(neighbor, node);
+            added += 1;
+        }
+        self.expanded.insert(node);
+        self.engine.reheat();
+    }
+
+    /// Hide `node`'s neighbours and everything downstream of them (paper:
+    /// "double clicking on the node again will hide all its neighboring
+    /// nodes and downstream nodes").
+    pub fn collapse(&mut self, node: NodeId) {
+        // Downstream = transitively spawned from `node`.
+        let mut doomed: HashSet<NodeId> = HashSet::new();
+        let mut queue: VecDeque<NodeId> = self
+            .spawned_by
+            .iter()
+            .filter(|&(_, &parent)| parent == node)
+            .map(|(&child, _)| child)
+            .collect();
+        while let Some(n) = queue.pop_front() {
+            if !doomed.insert(n) {
+                continue;
+            }
+            for (&child, &parent) in &self.spawned_by {
+                if parent == n && !doomed.contains(&child) {
+                    queue.push_back(child);
+                }
+            }
+        }
+        self.visible.retain(|n| !doomed.contains(n));
+        for n in &doomed {
+            self.positions.remove(n);
+            self.locked.remove(n);
+            self.expanded.remove(n);
+            self.spawned_by.remove(n);
+        }
+        self.spawned_by.retain(|child, _| !doomed.contains(child));
+        self.expanded.remove(&node);
+        self.engine.reheat();
+    }
+
+    /// Drag a node to a position; it locks in place (paper: "the dragged
+    /// nodes will lock in place but are still draggable if selected").
+    pub fn drag(&mut self, node: NodeId, x: f32, y: f32) {
+        if self.visible.contains(&node) {
+            self.positions.insert(node, Vec2::new(x, y));
+            self.locked.insert(node);
+            self.engine.reheat();
+        }
+    }
+
+    /// Unlock a node (re-selected).
+    pub fn unlock(&mut self, node: NodeId) {
+        self.locked.remove(&node);
+    }
+
+    /// The back button: restore the previous view.
+    pub fn back(&mut self) -> bool {
+        match self.history.pop() {
+            Some(previous) => {
+                // Bypass show()'s history push.
+                let saved = std::mem::take(&mut self.history);
+                self.show(previous);
+                self.history = saved;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fetch a random subgraph of about `n` nodes (BFS from a seeded start).
+    pub fn random_subgraph(&mut self, n: usize, seed: u64) {
+        let all: Vec<NodeId> = self.kg.graph().all_nodes().map(|node| node.id).collect();
+        if all.is_empty() {
+            self.show(Vec::new());
+            return;
+        }
+        let start = all[(seed as usize) % all.len()];
+        let mut picked = Vec::new();
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([start]);
+        while let Some(node) = queue.pop_front() {
+            if picked.len() >= n {
+                break;
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            picked.push(node);
+            for neighbor in self.kg.graph().neighbors(node) {
+                if !seen.contains(&neighbor) {
+                    queue.push_back(neighbor);
+                }
+            }
+        }
+        // Disconnected graph: fill from the remaining pool.
+        let mut cursor = (seed as usize).wrapping_add(1);
+        while picked.len() < n.min(all.len()) {
+            let candidate = all[cursor % all.len()];
+            if seen.insert(candidate) {
+                picked.push(candidate);
+            }
+            cursor += 1;
+        }
+        self.show(picked);
+    }
+
+    /// Run `steps` of the Barnes–Hut layout over the current view.
+    pub fn run_layout(&mut self, steps: usize) {
+        let index: HashMap<NodeId, usize> =
+            self.visible.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let mut graph = LayoutGraph {
+            positions: self
+                .visible
+                .iter()
+                .map(|id| self.positions.get(id).copied().unwrap_or_default())
+                .collect(),
+            edges: self.view_edges_indices(&index),
+            locked: self.visible.iter().map(|id| self.locked.contains(id)).collect(),
+        };
+        self.engine.run(&mut graph, steps);
+        for (i, id) in self.visible.iter().enumerate() {
+            self.positions.insert(*id, graph.positions[i]);
+        }
+    }
+
+    fn view_edges_indices(&self, index: &HashMap<NodeId, usize>) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for &id in &self.visible {
+            for edge in self.kg.graph().outgoing(id) {
+                if let (Some(&a), Some(&b)) = (index.get(&edge.from), index.get(&edge.to)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Snapshot the view for rendering.
+    pub fn snapshot(&self) -> ViewSnapshot {
+        let index: HashMap<NodeId, usize> =
+            self.visible.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let nodes = self
+            .visible
+            .iter()
+            .map(|&id| {
+                let node = self.kg.graph().node(id).expect("visible nodes exist");
+                let p = self.positions.get(&id).copied().unwrap_or_default();
+                ViewNode {
+                    id: id.0,
+                    label: node.label.clone(),
+                    name: node.name().unwrap_or("").to_owned(),
+                    x: p.x,
+                    y: p.y,
+                    locked: self.locked.contains(&id),
+                    expanded: self.expanded.contains(&id),
+                    degree: self.kg.graph().degree(id),
+                }
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for &id in &self.visible {
+            for edge in self.kg.graph().outgoing(id) {
+                if let (Some(&a), Some(&b)) = (index.get(&edge.from), index.get(&edge.to)) {
+                    edges.push((a, b, edge.rel_type.clone()));
+                }
+            }
+        }
+        ViewSnapshot { nodes, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{SecurityKg, SystemConfig, TrainingConfig};
+    use kg_corpus::WorldConfig;
+
+    fn built_kg() -> SecurityKg {
+        let config = SystemConfig {
+            world: WorldConfig::tiny(7),
+            articles_per_source: 6,
+            training: TrainingConfig { articles: 40, ..TrainingConfig::default() },
+            ..SystemConfig::default()
+        };
+        let mut kg = SecurityKg::bootstrap_without_ner(&config);
+        kg.crawl_and_ingest();
+        kg
+    }
+
+    #[test]
+    fn search_expand_collapse_cycle() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        // Pick the best-connected malware so expansion has work to do.
+        let malware = kg
+            .graph()
+            .nodes_with_label("Malware")
+            .into_iter()
+            .max_by_key(|&id| kg.graph().degree(id))
+            .expect("some malware in the graph");
+        assert!(kg.graph().degree(malware) >= 2);
+        let name = kg.graph().node(malware).unwrap().name().unwrap().to_owned();
+        explorer.search(&name, 5);
+        assert!(explorer.visible().contains(&malware), "search for {name:?}");
+
+        // Focus the view on the single node, then expand/collapse it.
+        explorer.show(vec![malware]);
+        explorer.toggle(malware); // expand
+        let after_expand = explorer.visible().len();
+        assert!(after_expand > 1);
+
+        explorer.toggle(malware); // collapse
+        assert_eq!(explorer.visible(), &[malware]);
+    }
+
+    #[test]
+    fn collapse_hides_downstream_nodes() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        // Pick a node with 2-hop structure: a vendor publishes reports which
+        // mention entities.
+        let vendors = kg.graph().nodes_with_label("CtiVendor");
+        let vendor = *vendors.iter().max_by_key(|&&v| kg.graph().degree(v)).unwrap();
+        explorer.show(vec![vendor]);
+        explorer.expand(vendor);
+        let reports: Vec<_> = explorer.visible()[1..].to_vec();
+        assert!(!reports.is_empty());
+        explorer.expand(reports[0]);
+        assert!(explorer.visible().len() > 1 + reports.len());
+        // Collapsing the vendor hides reports AND their expansions.
+        explorer.collapse(vendor);
+        assert_eq!(explorer.visible(), &[vendor]);
+    }
+
+    #[test]
+    fn drag_locks_and_layout_respects_it() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        explorer.random_subgraph(10, 3);
+        let node = explorer.visible()[0];
+        explorer.drag(node, 123.0, -45.0);
+        explorer.run_layout(50);
+        let snap = explorer.snapshot();
+        let dragged = snap.nodes.iter().find(|n| n.id == node.0).unwrap();
+        assert_eq!((dragged.x, dragged.y), (123.0, -45.0));
+        assert!(dragged.locked);
+        // Other nodes moved.
+        assert!(snap.nodes.iter().any(|n| !n.locked));
+    }
+
+    #[test]
+    fn back_restores_previous_view() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        explorer.random_subgraph(5, 1);
+        let first = explorer.visible().to_vec();
+        explorer.random_subgraph(5, 99);
+        let second = explorer.visible().to_vec();
+        assert_ne!(first, second);
+        assert!(explorer.back());
+        assert_eq!(explorer.visible(), &first[..]);
+        // The initial empty view was never pushed; history is exhausted.
+        assert!(!explorer.back());
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        explorer.max_nodes = 5;
+        explorer.max_neighbors = 2;
+        explorer.random_subgraph(50, 7);
+        assert!(explorer.visible().len() <= 5);
+        let node = explorer.visible()[0];
+        explorer.expand(node);
+        assert!(explorer.visible().len() <= 5);
+    }
+
+    #[test]
+    fn cypher_view_and_snapshot_json() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        let n = explorer.cypher("MATCH (v:CtiVendor) RETURN v LIMIT 3").unwrap();
+        assert!(n > 0);
+        explorer.run_layout(10);
+        let snap = explorer.snapshot();
+        assert_eq!(snap.nodes.len(), n);
+        let json = snap.to_json();
+        assert!(json.contains("\"label\""));
+        // Write queries are rejected on the read-only path.
+        assert!(explorer.cypher("CREATE (x:Malware {name: 'nope'})").is_err());
+    }
+
+    #[test]
+    fn random_subgraph_fills_from_disconnected_pool() {
+        let kg = built_kg();
+        let mut explorer = kg.explorer();
+        let total = kg.graph().node_count();
+        explorer.random_subgraph(total + 50, 5);
+        assert!(explorer.visible().len() <= explorer.max_nodes.min(total));
+        assert!(!explorer.visible().is_empty());
+    }
+}

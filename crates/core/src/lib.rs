@@ -1,0 +1,354 @@
+//! SecurityKG — automated OSCTI gathering and management.
+//!
+//! The facade crate: wires the crawler, the extraction models, the staged
+//! backend pipeline, the knowledge graph and the exploration UI backend into
+//! one system, mirroring the paper's architecture (Figure 1):
+//!
+//! ```text
+//! collection (kg-crawler over kg-corpus)
+//!   → processing (kg-pipeline: porter/checker/parser/extractor)
+//!   → storage (graph connector: kg-graph + kg-search)
+//!   → applications (Explorer, Cypher, fusion, layout)
+//! ```
+//!
+//! Typical use:
+//!
+//! ```
+//! use securitykg::{SecurityKg, SystemConfig};
+//!
+//! let mut config = SystemConfig::default();
+//! config.articles_per_source = 3;       // tiny corpus for the doctest
+//! config.world.malware_count = 12;
+//! config.world.actor_count = 6;
+//! config.training.articles = 40;
+//! let mut kg = SecurityKg::bootstrap(&config);
+//! let report = kg.crawl_and_ingest();
+//! assert!(report.reports_ingested > 0);
+//! assert!(kg.graph().node_count() > 0);
+//! let hits = kg.keyword_search("wannacry", 5);
+//! let _ = hits; // tiny corpora may or may not mention the demo malware
+//! ```
+
+pub mod evalx;
+pub mod explorer;
+pub mod quality;
+pub mod snapshot;
+pub mod stix;
+pub mod train;
+
+// Re-export the subsystem crates so downstream users need a single
+// dependency.
+pub use kg_corpus as corpus;
+pub use kg_crawler as crawler;
+pub use kg_extract as extract;
+pub use kg_fusion as fusion;
+pub use kg_graph as graph;
+pub use kg_hunting as hunting;
+pub use kg_ir as ir;
+pub use kg_layout as layout;
+pub use kg_nlp as nlp;
+pub use kg_ontology as ontology;
+pub use kg_pipeline as pipeline;
+pub use kg_search as search;
+
+pub use evalx::{evaluate_ner, evaluate_relations, ExtractionScores};
+pub use explorer::{Explorer, ViewNode, ViewSnapshot};
+pub use quality::{source_quality, QualityReport, VendorQuality};
+pub use snapshot::KnowledgeBase;
+pub use stix::{export_bundle, import_bundle};
+pub use train::{collect_gold, train_ner, LabelSource, TrainedNer, TrainingConfig};
+
+use kg_corpus::{standard_sources, SimulatedWeb, World, WorldConfig};
+use kg_crawler::{crawl_all, CrawlMetrics, CrawlState, CrawlerConfig};
+use kg_fusion::{FusionConfig, FusionReport};
+use kg_graph::{GraphStore, NodeId};
+use kg_pipeline::{
+    GraphConnector, IocOnlyExtractor, NerExtractor, ParserRegistry, PipelineConfig,
+    PipelineMetrics,
+};
+use kg_search::SearchIndex;
+use std::sync::Arc;
+
+/// Whole-system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The synthetic threat universe.
+    pub world: WorldConfig,
+    /// Articles per source in the simulated web.
+    pub articles_per_source: usize,
+    /// Web / generation seed.
+    pub seed: u64,
+    pub crawler: CrawlerConfig,
+    pub pipeline: PipelineConfig,
+    pub training: TrainingConfig,
+    pub fusion: FusionConfig,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            world: WorldConfig::default(),
+            articles_per_source: 40,
+            seed: 0x5ec_417,
+            crawler: CrawlerConfig::default(),
+            pipeline: PipelineConfig::default(),
+            training: TrainingConfig::default(),
+            fusion: FusionConfig::default(),
+        }
+    }
+}
+
+/// Summary of one crawl-and-ingest round.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    pub crawl: CrawlMetrics,
+    pub pipeline: PipelineMetrics,
+    pub reports_ingested: usize,
+}
+
+/// The assembled SecurityKG system.
+pub struct SecurityKg {
+    config: SystemConfig,
+    web: SimulatedWeb,
+    crawl_state: CrawlState,
+    registry: ParserRegistry,
+    ner: Option<Arc<kg_extract::NerPipeline>>,
+    connector: GraphConnector,
+    /// Simulated clock for incremental crawls.
+    pub now_ms: u64,
+}
+
+impl SecurityKg {
+    /// Build the system: generate the world + web, train the extractor on
+    /// the training slice of the corpus, and prepare an empty knowledge
+    /// graph.
+    pub fn bootstrap(config: &SystemConfig) -> Self {
+        let world = World::generate(config.world.clone());
+        let web =
+            SimulatedWeb::new(world, standard_sources(config.articles_per_source), config.seed);
+        let trained = train_ner(&web, &config.training);
+        let mut pipeline = trained.into_pipeline();
+        pipeline.min_confidence = config.pipeline.ner_min_confidence;
+        SecurityKg {
+            config: config.clone(),
+            web,
+            crawl_state: CrawlState::new(),
+            registry: ParserRegistry::new(),
+            ner: Some(Arc::new(pipeline)),
+            connector: GraphConnector::new(),
+            now_ms: u64::MAX / 4,
+        }
+    }
+
+    /// Build without CRF training: extraction falls back to the IOC scanner
+    /// plus exact gazetteer matching over the curated lists (the "naive
+    /// regex-rule" configuration). Much faster to construct; used by tests
+    /// and as the E3 baseline system.
+    pub fn bootstrap_without_ner(config: &SystemConfig) -> Self {
+        let world = World::generate(config.world.clone());
+        let web =
+            SimulatedWeb::new(world, standard_sources(config.articles_per_source), config.seed);
+        SecurityKg {
+            config: config.clone(),
+            web,
+            crawl_state: CrawlState::new(),
+            registry: ParserRegistry::new(),
+            ner: None,
+            connector: GraphConnector::new(),
+            now_ms: u64::MAX / 4,
+        }
+    }
+
+    /// The gazetteer baseline extractor over this web's curated lists.
+    fn baseline_extractor(&self) -> IocOnlyExtractor {
+        let curated = self
+            .web
+            .world()
+            .curated_lists(self.config.training.lf_coverage, self.config.training.seed);
+        IocOnlyExtractor {
+            baseline: Arc::new(kg_extract::RegexNerBaseline::new(vec![
+                (kg_ontology::EntityKind::Malware, curated.malware),
+                (kg_ontology::EntityKind::ThreatActor, curated.actors),
+                (kg_ontology::EntityKind::Technique, curated.techniques),
+                (kg_ontology::EntityKind::Tool, curated.tools),
+                (kg_ontology::EntityKind::Software, curated.software),
+            ])),
+        }
+    }
+
+    /// The simulated web (for experiments needing ground truth).
+    pub fn web(&self) -> &SimulatedWeb {
+        &self.web
+    }
+
+    /// The trained NER pipeline, if any.
+    pub fn ner(&self) -> Option<&Arc<kg_extract::NerPipeline>> {
+        self.ner.as_ref()
+    }
+
+    /// Crawl every source incrementally and push everything new through the
+    /// processing pipeline into the knowledge graph.
+    pub fn crawl_and_ingest(&mut self) -> IngestReport {
+        let (reports, crawl) =
+            crawl_all(&self.web, &mut self.crawl_state, &self.config.crawler, self.now_ms);
+        let connector = std::mem::take(&mut self.connector);
+        let out = match &self.ner {
+            Some(ner) => kg_pipeline::run_pipelined(
+                reports,
+                &self.registry,
+                &NerExtractor { pipeline: Arc::clone(ner) },
+                connector,
+                &self.config.pipeline,
+            ),
+            None => kg_pipeline::run_pipelined(
+                reports,
+                &self.registry,
+                &self.baseline_extractor(),
+                connector,
+                &self.config.pipeline,
+            ),
+        };
+        self.connector = out.connector;
+        IngestReport {
+            crawl,
+            reports_ingested: out.metrics.connected,
+            pipeline: out.metrics,
+        }
+    }
+
+    /// Run the knowledge-fusion stage (§2.5) over the current graph.
+    pub fn fuse(&mut self) -> FusionReport {
+        kg_fusion::fuse(&mut self.connector.graph, &self.config.fusion)
+    }
+
+    /// The knowledge graph.
+    pub fn graph(&self) -> &GraphStore {
+        &self.connector.graph
+    }
+
+    /// Mutable access (applications layer).
+    pub fn graph_mut(&mut self) -> &mut GraphStore {
+        &mut self.connector.graph
+    }
+
+    /// The keyword index.
+    pub fn search_index(&self) -> &SearchIndex<NodeId> {
+        &self.connector.search
+    }
+
+    /// Find an entity node by name **or recorded alias** (fusion may have
+    /// absorbed the queried name into a canonical sibling).
+    pub fn find_entity(&self, label: &str, name: &str) -> Option<NodeId> {
+        let name = name.to_lowercase();
+        if let Some(id) = self.connector.graph.node_by_name(label, &name) {
+            return Some(id);
+        }
+        self.connector.graph.nodes_with_label(label).into_iter().find(|&id| {
+            match self.connector.graph.node(id).and_then(|n| n.props.get("aliases")) {
+                Some(kg_graph::Value::List(xs)) => {
+                    xs.iter().any(|v| v.as_text() == Some(name.as_str()))
+                }
+                _ => false,
+            }
+        })
+    }
+
+    /// Keyword search (Elasticsearch path in the paper's UI): returns
+    /// matching *report* nodes plus the entity nodes they describe.
+    pub fn keyword_search(&self, query: &str, k: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        // Entity whose canonical name (or alias) matches directly, first.
+        for label in kg_ontology::EntityKind::ALL {
+            if let Some(id) = self.find_entity(label.label(), query) {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        for hit in self.connector.search.search(query, k) {
+            if !out.contains(&hit.doc) {
+                out.push(hit.doc);
+            }
+        }
+        out.truncate(k.max(1));
+        out
+    }
+
+    /// Cypher query (Neo4j path in the paper's UI).
+    pub fn cypher(&mut self, query: &str) -> Result<kg_graph::QueryResult, kg_graph::cypher::CypherError> {
+        self.connector.graph.query(query)
+    }
+
+    /// Start an exploration session (the web UI backend).
+    pub fn explorer(&self) -> Explorer<'_> {
+        Explorer::new(self)
+    }
+
+    /// Build a threat hunter from the knowledge graph (the paper's future
+    /// work: knowledge-enhanced threat protection). Extracts a behaviour
+    /// graph for every malware node with at least `min_indicators` IOC
+    /// indicators.
+    pub fn hunter(&self, min_indicators: usize) -> kg_hunting::Hunter {
+        kg_hunting::Hunter::new(kg_hunting::behavior::behaviors_with_label(
+            &self.connector.graph,
+            kg_ontology::EntityKind::Malware.label(),
+            min_indicators,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SystemConfig {
+        SystemConfig {
+            world: WorldConfig::tiny(7),
+            articles_per_source: 4,
+            training: TrainingConfig { articles: 60, ..TrainingConfig::default() },
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_build_query_fuse() {
+        let mut kg = SecurityKg::bootstrap(&tiny_config());
+        let report = kg.crawl_and_ingest();
+        assert!(report.reports_ingested > 0);
+        assert!(kg.graph().node_count() > report.reports_ingested);
+        assert!(kg.graph().edge_count() > 0);
+
+        // Incremental second round: nothing new.
+        let second = kg.crawl_and_ingest();
+        assert_eq!(second.reports_ingested, 0);
+
+        // Cypher works over the built graph.
+        let result = kg.cypher("MATCH (v:CtiVendor)-[:PUBLISHES]->(r) RETURN count(*)").unwrap();
+        let published = result.rows[0][0].as_int().unwrap();
+        assert_eq!(published as usize, report.reports_ingested);
+
+        // Fusion runs and is idempotent.
+        let f1 = kg.fuse();
+        let f2 = kg.fuse();
+        assert_eq!(f2.nodes_removed, 0);
+        let _ = f1;
+    }
+
+    #[test]
+    fn keyword_and_cypher_find_the_same_entity() {
+        let mut config = tiny_config();
+        config.articles_per_source = 12;
+        let mut kg = SecurityKg::bootstrap_without_ner(&config);
+        kg.crawl_and_ingest();
+        // Find some malware that exists in the graph.
+        let malware = kg.graph().nodes_with_label("Malware");
+        assert!(!malware.is_empty());
+        let name = kg.graph().node(malware[0]).unwrap().name().unwrap().to_owned();
+        let keyword_hits = kg.keyword_search(&name, 10);
+        assert!(keyword_hits.contains(&malware[0]), "{name}");
+        let r = kg
+            .cypher(&format!("match (n) where n.name = \"{name}\" return n"))
+            .unwrap();
+        assert_eq!(r.node_ids(), vec![malware[0]]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Persistence of a built knowledge base: the graph store plus the keyword
+//! index, loadable without the web/world/extractor machinery — what a
+//! deployment hands to the applications layer (UI server, CLI, hunting).
+
+use kg_graph::{GraphStore, NodeId};
+use kg_search::SearchIndex;
+use serde::{Deserialize, Serialize};
+
+/// A self-contained, queryable knowledge base.
+#[derive(Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    pub graph: GraphStore,
+    pub search: SearchIndex<NodeId>,
+}
+
+impl KnowledgeBase {
+    /// Serialise to JSON bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Load from JSON bytes (graph indexes are rebuilt).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        let kb: KnowledgeBase = serde_json::from_slice(bytes)?;
+        // GraphStore's secondary indexes are #[serde(skip)]; round-trip
+        // through its own loader to rebuild them.
+        let graph = GraphStore::from_bytes(&serde_json::to_vec(&kb.graph)?)?;
+        Ok(KnowledgeBase { graph, search: kb.search })
+    }
+
+    /// Keyword search over the stored index (+ direct name hits).
+    pub fn keyword_search(&self, query: &str, k: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for kind in kg_ontology::EntityKind::ALL {
+            if let Some(id) = self.graph.node_by_name(kind.label(), &query.to_lowercase()) {
+                out.push(id);
+            }
+        }
+        for hit in self.search.search(query, k) {
+            if !out.contains(&hit.doc) {
+                out.push(hit.doc);
+            }
+        }
+        out.truncate(k.max(1));
+        out
+    }
+}
+
+impl crate::SecurityKg {
+    /// Snapshot the built knowledge base (graph + keyword index).
+    pub fn snapshot(&self) -> Result<Vec<u8>, serde_json::Error> {
+        KnowledgeBase {
+            graph: self.graph().clone(),
+            search: self.search_index().clone(),
+        }
+        .to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SecurityKg, SystemConfig, TrainingConfig};
+    use kg_corpus::WorldConfig;
+
+    #[test]
+    fn snapshot_round_trips_and_stays_queryable() {
+        let config = SystemConfig {
+            world: WorldConfig::tiny(4),
+            articles_per_source: 6,
+            training: TrainingConfig { articles: 30, ..TrainingConfig::default() },
+            ..SystemConfig::default()
+        };
+        let mut kg = SecurityKg::bootstrap_without_ner(&config);
+        kg.crawl_and_ingest();
+        let bytes = kg.snapshot().unwrap();
+        let kb = KnowledgeBase::from_bytes(&bytes).unwrap();
+        assert_eq!(kb.graph.node_count(), kg.graph().node_count());
+
+        // Keyword search works on the restored index.
+        let malware = kb.graph.nodes_with_label("Malware");
+        assert!(!malware.is_empty());
+        let name = kb.graph.node(malware[0]).unwrap().name().unwrap().to_owned();
+        assert!(kb.keyword_search(&name, 5).contains(&malware[0]));
+
+        // Read-only Cypher works on the restored graph.
+        let r = kb.graph.query_readonly("MATCH (n:CtiVendor) RETURN count(*)").unwrap();
+        assert!(r.rows[0][0].as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn garbage_bytes_error() {
+        assert!(KnowledgeBase::from_bytes(b"not json").is_err());
+    }
+}

@@ -1,0 +1,874 @@
+//! The article generator: turns world facts into OSCTI report prose with
+//! exact ground-truth annotations.
+//!
+//! Every sentence that states a relation between two *named* entities records
+//! a [`crate::truth::GoldRelation`]; sentences using pronouns or generic
+//! subjects ("the operators", "the sample") deliberately carry no relation
+//! gold — a relation extractor working from explicit entity pairs can neither
+//! find nor be penalised for them. Surface variety (active / passive /
+//! coordinated objects, varied verbs per relation kind) is what makes the
+//! CRF + SVO extraction task non-trivial.
+
+use crate::inflect::{past, third_singular};
+use crate::rng::Rng;
+use crate::source::SourceSpec;
+use crate::truth::{GoldReport, TextBuilder};
+use crate::world::World;
+use kg_ontology::{EntityKind, Ontology, RelationKind, ReportCategory};
+
+/// Filler sentences with no entity content.
+const FILLERS: &[&str] = &[
+    "Organizations are advised to apply the latest security updates.",
+    "The attack chain begins with a carefully crafted phishing email.",
+    "Victims reported significant disruption to daily operations.",
+    "Our telemetry shows a steady increase in detections this quarter.",
+    "Incident responders isolated the affected machines within hours.",
+    "The operators rotate infrastructure frequently to evade blocklists.",
+    "Defenders should monitor outbound traffic for unusual patterns.",
+    "A full list of indicators appears at the end of this report.",
+    "The loader is heavily obfuscated and resists static analysis.",
+    "Network segmentation limited the spread in several environments.",
+    "Security teams should review authentication logs for anomalies.",
+    "The campaign remains active at the time of writing.",
+    "Patches were released shortly after responsible disclosure.",
+    "Attribution remains tentative pending further evidence.",
+    "Backups stored offline proved essential for recovery.",
+    "Detection rules have been shared with the community.",
+];
+
+/// One world fact scheduled for rendering as a sentence.
+#[derive(Debug, Clone)]
+enum Fact {
+    Drop { mal: String, file: String },
+    CreatePath { mal: String, path: String },
+    PersistReg { mal: String, reg: String },
+    Connect { mal: String, target: (EntityKind, String) },
+    Download { mal: String, url: String },
+    Exploit { subj: (EntityKind, String), cve: String },
+    Attributed { subj: (EntityKind, String), actor: String },
+    UseThing { subj: (EntityKind, String), obj: (EntityKind, String) },
+    UsePair { subj: (EntityKind, String), a: (EntityKind, String), b: (EntityKind, String) },
+    Target { subj: (EntityKind, String), soft: String },
+    Affects { cve: String, soft: String },
+    Conducts { actor: String, camp: String },
+    IdentifiedBy { hash: (EntityKind, String), file: String },
+    Resolve { mal: String, dom: String },
+    Send { mal: String, email: String },
+    Encrypt { mal: String },
+    MentionHashes { hashes: Vec<(EntityKind, String)> },
+}
+
+/// Generates articles (with gold labels) for sources, lazily and
+/// deterministically: `generate(spec, i)` never depends on other articles.
+#[derive(Debug, Clone)]
+pub struct ArticleGenerator<'w> {
+    world: &'w World,
+    ontology: Ontology,
+    seed: u64,
+}
+
+impl<'w> ArticleGenerator<'w> {
+    /// Create a generator over a world.
+    pub fn new(world: &'w World, seed: u64) -> Self {
+        ArticleGenerator { world, ontology: Ontology::standard(), seed }
+    }
+
+    /// The world this generator draws facts from.
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// Generate article `index` of `spec`, with full gold annotations.
+    pub fn generate(&self, spec: &SourceSpec, index: usize) -> GoldReport {
+        let mut rng = Rng::new(self.seed).derive(&spec.name).derive_idx("article", index as u64);
+        let category = pick_category(&mut rng, spec.category_mix);
+        match category {
+            ReportCategory::Malware => self.malware_report(spec, index, &mut rng),
+            ReportCategory::Vulnerability => self.vuln_report(spec, index, &mut rng),
+            ReportCategory::Attack => self.attack_report(spec, index, &mut rng),
+        }
+    }
+
+    /// The source-consistent alias for an alias group: vendors disagree on
+    /// names, but each vendor is internally consistent.
+    fn alias_for(spec: &SourceSpec, aliases: &[String]) -> String {
+        aliases[spec.id.0 as usize % aliases.len()].clone()
+    }
+
+    fn malware_report(&self, spec: &SourceSpec, index: usize, rng: &mut Rng) -> GoldReport {
+        let m = &self.world.malware[rng.below(self.world.malware.len())];
+        let mal = Self::alias_for(spec, &m.aliases);
+        let mal_e = (EntityKind::Malware, mal.clone());
+
+        let mut facts: Vec<Fact> = Vec::new();
+        for f in &m.dropped_files {
+            facts.push(Fact::Drop { mal: mal.clone(), file: f.clone() });
+        }
+        for p in &m.file_paths {
+            facts.push(Fact::CreatePath { mal: mal.clone(), path: p.clone() });
+        }
+        for r in &m.registry_keys {
+            facts.push(Fact::PersistReg { mal: mal.clone(), reg: r.clone() });
+        }
+        for d in &m.domains {
+            if rng.chance(0.3) {
+                facts.push(Fact::Resolve { mal: mal.clone(), dom: d.clone() });
+            } else {
+                facts.push(Fact::Connect {
+                    mal: mal.clone(),
+                    target: (EntityKind::Domain, d.clone()),
+                });
+            }
+        }
+        for ip in &m.ips {
+            facts.push(Fact::Connect { mal: mal.clone(), target: (EntityKind::IpAddress, ip.clone()) });
+        }
+        for u in &m.urls {
+            facts.push(Fact::Download { mal: mal.clone(), url: u.clone() });
+        }
+        for e in &m.emails {
+            facts.push(Fact::Send { mal: mal.clone(), email: e.clone() });
+        }
+        for &c in &m.cves {
+            facts.push(Fact::Exploit { subj: mal_e.clone(), cve: self.world.cves[c].id.clone() });
+        }
+        for &t in &m.techniques {
+            facts.push(Fact::UseThing {
+                subj: mal_e.clone(),
+                obj: (EntityKind::Technique, self.world.techniques[t].clone()),
+            });
+        }
+        for &t in &m.tools {
+            facts.push(Fact::UseThing {
+                subj: mal_e.clone(),
+                obj: (EntityKind::Tool, self.world.tools[t].clone()),
+            });
+        }
+        for &s in &m.target_software {
+            facts.push(Fact::Target { subj: mal_e.clone(), soft: self.world.software[s].clone() });
+        }
+        if let Some(a) = m.actor {
+            let actor = Self::alias_for(spec, &self.world.actors[a].aliases);
+            facts.push(Fact::Attributed { subj: mal_e.clone(), actor });
+        }
+        if m.is_ransomware {
+            facts.push(Fact::Encrypt { mal: mal.clone() });
+        }
+        if let Some((kind, hash)) = m.hashes.first() {
+            if let Some(file) = m.dropped_files.first() {
+                facts.push(Fact::IdentifiedBy {
+                    hash: (*kind, hash.clone()),
+                    file: file.clone(),
+                });
+            }
+        }
+        if m.hashes.len() > 1 {
+            facts.push(Fact::MentionHashes { hashes: m.hashes[1..].to_vec() });
+        }
+
+        let title = match rng.below(3) {
+            0 => format!("Analysis of the {mal} malware family"),
+            1 => format!("{mal}: technical deep dive"),
+            _ => format!("New {mal} activity observed in the wild"),
+        };
+
+        let mut structured = vec![(
+            "family".to_owned(),
+            mal.clone(),
+            Some(EntityKind::Malware),
+        )];
+        if let Some((kind, hash)) = m.hashes.first() {
+            let key = match kind {
+                EntityKind::HashMd5 => "md5",
+                EntityKind::HashSha1 => "sha1",
+                _ => "sha256",
+            };
+            structured.push((key.to_owned(), hash.clone(), Some(*kind)));
+        }
+        if let Some(d) = m.domains.first() {
+            structured.push(("c2 server".to_owned(), d.clone(), Some(EntityKind::Domain)));
+        }
+        structured.push(("severity".to_owned(), "high".to_owned(), None));
+
+        self.assemble(
+            spec,
+            index,
+            ReportCategory::Malware,
+            title,
+            structured,
+            facts,
+            rng,
+            Some(IntroSpec::Malware { mal }),
+        )
+    }
+
+    fn vuln_report(&self, spec: &SourceSpec, index: usize, rng: &mut Rng) -> GoldReport {
+        let ci = rng.below(self.world.cves.len());
+        let cve = &self.world.cves[ci];
+        let soft = self.world.software[cve.affects].clone();
+
+        let mut facts = vec![Fact::Affects { cve: cve.id.clone(), soft: soft.clone() }];
+        // Malware exploiting this CVE, if any.
+        for m in &self.world.malware {
+            if m.cves.contains(&ci) {
+                let mal = Self::alias_for(spec, &m.aliases);
+                facts.push(Fact::Exploit {
+                    subj: (EntityKind::Malware, mal),
+                    cve: cve.id.clone(),
+                });
+                break;
+            }
+        }
+        if rng.chance(0.5) && !self.world.actors.is_empty() {
+            let a = &self.world.actors[rng.below(self.world.actors.len())];
+            facts.push(Fact::Exploit {
+                subj: (EntityKind::ThreatActor, Self::alias_for(spec, &a.aliases)),
+                cve: cve.id.clone(),
+            });
+        }
+
+        let title = match rng.below(2) {
+            0 => format!("{} in {} under active exploitation", cve.id, soft),
+            _ => format!("Advisory: {} patched in {}", cve.id, soft),
+        };
+        let structured = vec![
+            ("cve id".to_owned(), cve.id.clone(), Some(EntityKind::Vulnerability)),
+            ("affected product".to_owned(), soft.clone(), Some(EntityKind::Software)),
+            ("cvss score".to_owned(), format!("{}.{}", rng.range(6, 9), rng.below(10)), None),
+        ];
+
+        self.assemble(
+            spec,
+            index,
+            ReportCategory::Vulnerability,
+            title,
+            structured,
+            facts,
+            rng,
+            Some(IntroSpec::Vuln { cve: cve.id.clone(), soft }),
+        )
+    }
+
+    fn attack_report(&self, spec: &SourceSpec, index: usize, rng: &mut Rng) -> GoldReport {
+        let a = &self.world.actors[rng.below(self.world.actors.len())];
+        let actor = Self::alias_for(spec, &a.aliases);
+        let actor_e = (EntityKind::ThreatActor, actor.clone());
+
+        let mut facts: Vec<Fact> = Vec::new();
+        let camp = a.campaigns.first().map(|&c| self.world.campaigns[c].clone());
+        if let Some(camp) = &camp {
+            facts.push(Fact::Conducts { actor: actor.clone(), camp: camp.clone() });
+            if rng.chance(0.5) {
+                facts.push(Fact::Attributed {
+                    subj: (EntityKind::Campaign, camp.clone()),
+                    actor: actor.clone(),
+                });
+            }
+        }
+        // Coordinated tool+technique sentence when both available.
+        if let (Some(&t0), Some(&tech0)) = (a.tools.first(), a.techniques.first()) {
+            facts.push(Fact::UsePair {
+                subj: actor_e.clone(),
+                a: (EntityKind::Tool, self.world.tools[t0].clone()),
+                b: (EntityKind::Technique, self.world.techniques[tech0].clone()),
+            });
+        }
+        for &t in a.techniques.iter().skip(1) {
+            facts.push(Fact::UseThing {
+                subj: actor_e.clone(),
+                obj: (EntityKind::Technique, self.world.techniques[t].clone()),
+            });
+        }
+        for &t in a.tools.iter().skip(1) {
+            facts.push(Fact::UseThing {
+                subj: actor_e.clone(),
+                obj: (EntityKind::Tool, self.world.tools[t].clone()),
+            });
+        }
+        for &s in &a.target_software {
+            facts.push(Fact::Target {
+                subj: actor_e.clone(),
+                soft: self.world.software[s].clone(),
+            });
+        }
+        // A malware deployed by this actor, if the world links one.
+        if let Some(m) = self.world.malware.iter().find(|m| {
+            m.actor.is_some_and(|ai| self.world.actors[ai].name == a.name)
+        }) {
+            facts.push(Fact::UseThing {
+                subj: actor_e.clone(),
+                obj: (EntityKind::Malware, Self::alias_for(spec, &m.aliases)),
+            });
+        }
+
+        let title = match (rng.below(2), &camp) {
+            (0, Some(c)) => format!("Inside {c}: the {actor} playbook"),
+            _ => format!("{actor} expands espionage operations"),
+        };
+        let mut structured = vec![(
+            "threat actor".to_owned(),
+            actor.clone(),
+            Some(EntityKind::ThreatActor),
+        )];
+        if let Some(c) = &camp {
+            structured.push(("campaign".to_owned(), c.clone(), Some(EntityKind::Campaign)));
+        }
+
+        self.assemble(
+            spec,
+            index,
+            ReportCategory::Attack,
+            title,
+            structured,
+            facts,
+            rng,
+            Some(IntroSpec::Attack { actor }),
+        )
+    }
+
+    /// Assemble paragraphs: intro sentence, then facts (shuffled, capped)
+    /// interleaved with fillers.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        _spec: &SourceSpec,
+        index: usize,
+        category: ReportCategory,
+        title: String,
+        structured: Vec<(String, String, Option<EntityKind>)>,
+        facts: Vec<Fact>,
+        rng: &mut Rng,
+        intro: Option<IntroSpec>,
+    ) -> GoldReport {
+        let mut b = TextBuilder::new();
+        if let Some(intro) = intro {
+            self.emit_intro(&mut b, rng, intro);
+        }
+
+        let max_facts = rng.range(3, 8).min(facts.len());
+        let chosen = rng.sample_indices(facts.len(), max_facts);
+        let mut sentences_in_para = 1usize;
+        for fi in chosen {
+            if rng.chance(0.35) {
+                b.lit(" ");
+                #[allow(clippy::explicit_auto_deref)]
+                b.lit(*rng.pick(FILLERS));
+            }
+            let para_break = sentences_in_para >= rng.range(2, 4);
+            if para_break {
+                b.end_paragraph();
+                sentences_in_para = 0;
+            } else {
+                b.lit(" ");
+            }
+            self.emit_fact(&mut b, rng, &facts[fi]);
+            sentences_in_para += 1;
+        }
+        b.lit(" ");
+        #[allow(clippy::explicit_auto_deref)]
+        b.lit(*rng.pick(FILLERS));
+
+        let (text, mentions, relations) = b.finish();
+        GoldReport {
+            key: format!("r{index}"),
+            category,
+            title,
+            text,
+            mentions,
+            relations,
+            structured,
+        }
+    }
+
+    fn emit_intro(&self, b: &mut TextBuilder, rng: &mut Rng, intro: IntroSpec) {
+        match intro {
+            IntroSpec::Malware { mal } => match rng.below(3) {
+                0 => {
+                    b.lit("Researchers have identified a new wave of ");
+                    b.entity(EntityKind::Malware, &mal);
+                    b.lit(" activity across several regions.");
+                }
+                1 => {
+                    b.lit("This report examines recent samples of ");
+                    b.entity(EntityKind::Malware, &mal);
+                    b.lit(" collected by our sensors.");
+                }
+                _ => {
+                    b.lit("The ");
+                    b.entity(EntityKind::Malware, &mal);
+                    b.lit(" family continues to evolve at a rapid pace.");
+                }
+            },
+            IntroSpec::Vuln { cve, soft } => match rng.below(2) {
+                0 => {
+                    b.lit("A critical vulnerability tracked as ");
+                    let c = b.entity(EntityKind::Vulnerability, &cve);
+                    b.lit(" affects ");
+                    let s = b.entity(EntityKind::Software, &soft);
+                    b.lit(" deployments worldwide.");
+                    b.relation(c, "affect", s, RelationKind::Affects);
+                }
+                _ => {
+                    b.lit("Administrators of ");
+                    b.entity(EntityKind::Software, &soft);
+                    b.lit(" should review the advisory for ");
+                    b.entity(EntityKind::Vulnerability, &cve);
+                    b.lit(" without delay.");
+                }
+            },
+            IntroSpec::Attack { actor } => match rng.below(2) {
+                0 => {
+                    b.lit("The threat actor ");
+                    b.entity(EntityKind::ThreatActor, &actor);
+                    b.lit(" has intensified operations in recent weeks.");
+                }
+                _ => {
+                    b.lit("New activity linked to ");
+                    b.entity(EntityKind::ThreatActor, &actor);
+                    b.lit(" came to light this month.");
+                }
+            },
+        }
+    }
+
+    /// Render one fact as a sentence, recording gold mentions and relations.
+    fn emit_fact(&self, b: &mut TextBuilder, rng: &mut Rng, fact: &Fact) {
+        match fact {
+            Fact::Drop { mal, file } => {
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Malware, mal),
+                    "drop",
+                    (EntityKind::FileName, file),
+                    &["on the infected host.", "shortly after execution.", "to disk."],
+                );
+            }
+            Fact::CreatePath { mal, path } => {
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Malware, mal),
+                    "create",
+                    (EntityKind::FilePath, path),
+                    &["during installation.", "in the staging phase."],
+                );
+            }
+            Fact::PersistReg { mal, reg } => match rng.below(2) {
+                0 => {
+                    let m = b.entity(EntityKind::Malware, mal);
+                    b.lit(" ");
+                    b.lit(&third_singular("persist"));
+                    b.lit(" via ");
+                    let r = b.entity(EntityKind::RegistryKey, reg);
+                    b.lit(" across reboots.");
+                    b.relation(m, "persist", r, RelationKind::PersistsVia);
+                }
+                _ => {
+                    b.lit("To survive reboots, ");
+                    let m = b.entity(EntityKind::Malware, mal);
+                    b.lit(" ");
+                    b.lit(&third_singular("add"));
+                    b.lit(" ");
+                    let r = b.entity(EntityKind::RegistryKey, reg);
+                    b.lit(".");
+                    b.relation(m, "add", r, RelationKind::Creates);
+                }
+            },
+            Fact::Connect { mal, target } => {
+                let verb = *rng.pick(&["connect", "beacon", "communicate", "reach"]);
+                let _ = &verb;
+                let tails: &[&str] = &[
+                    "for command and control.",
+                    "over port 443.",
+                    "at regular intervals.",
+                ];
+                // "connect"/"beacon" take "to"; handled inside svo via prep.
+                self.svo_prep_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Malware, mal),
+                    verb,
+                    "to",
+                    (target.0, &target.1),
+                    tails,
+                    RelationKind::ConnectsTo,
+                );
+            }
+            Fact::Download { mal, url } => {
+                let verb = *rng.pick(&["download", "fetch", "retrieve"]);
+                self.svo_prep_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Malware, mal),
+                    verb,
+                    "from",
+                    (EntityKind::Url, url),
+                    &["as a second stage.", "after initial infection."],
+                    RelationKind::Downloads,
+                );
+            }
+            Fact::Exploit { subj, cve } => {
+                let verb = *rng.pick(&["exploit", "weaponize"]);
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (subj.0, &subj.1),
+                    verb,
+                    (EntityKind::Vulnerability, cve),
+                    &["to gain initial access.", "in the wild.", "for lateral movement."],
+                );
+            }
+            Fact::Attributed { subj, actor } => match rng.below(2) {
+                0 => {
+                    let s = b.entity(subj.0, &subj.1);
+                    b.lit(" has been attributed to ");
+                    let a = b.entity(EntityKind::ThreatActor, actor);
+                    b.lit(" with high confidence.");
+                    b.relation(s, "attribute", a, RelationKind::AttributedTo);
+                }
+                _ => {
+                    b.lit("Analysts have linked ");
+                    let s = b.entity(subj.0, &subj.1);
+                    b.lit(" to ");
+                    let a = b.entity(EntityKind::ThreatActor, actor);
+                    b.lit(".");
+                    b.relation(s, "link", a, RelationKind::AttributedTo);
+                }
+            },
+            Fact::UseThing { subj, obj } => {
+                let verb = *rng.pick(&["use", "leverage", "employ", "deploy"]);
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (subj.0, &subj.1),
+                    verb,
+                    (obj.0, &obj.1),
+                    &["during the intrusion.", "to great effect.", "in recent incidents."],
+                );
+            }
+            Fact::UsePair { subj, a, b: second } => {
+                let verb = *rng.pick(&["use", "deploy"]);
+                let s = b.entity(subj.0, &subj.1);
+                b.lit(" ");
+                b.lit(&past(verb));
+                b.lit(" ");
+                let o1 = b.entity(a.0, &a.1);
+                b.lit(" and ");
+                let o2 = b.entity(second.0, &second.1);
+                b.lit(" during the operation.");
+                let kind1 = self.resolve(subj.0, verb, a.0);
+                let kind2 = self.resolve(subj.0, verb, second.0);
+                b.relation(s, verb, o1, kind1);
+                b.relation(s, verb, o2, kind2);
+            }
+            Fact::Target { subj, soft } => {
+                let verb = *rng.pick(&["target", "attack", "compromise"]);
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (subj.0, &subj.1),
+                    verb,
+                    (EntityKind::Software, soft),
+                    &["installations.", "deployments across multiple sectors.", "users."],
+                );
+            }
+            Fact::Affects { cve, soft } => {
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Vulnerability, cve),
+                    "affect",
+                    (EntityKind::Software, soft),
+                    &["when left unpatched.", "in default configurations."],
+                );
+            }
+            Fact::Conducts { actor, camp } => {
+                let verb = *rng.pick(&["conduct", "orchestrate", "run"]);
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (EntityKind::ThreatActor, actor),
+                    verb,
+                    (EntityKind::Campaign, camp),
+                    &["over several months.", "against high-value targets."],
+                );
+            }
+            Fact::IdentifiedBy { hash, file } => {
+                let h = b.entity(hash.0, &hash.1);
+                b.lit(" ");
+                b.lit(&third_singular("identify"));
+                b.lit(" the dropper ");
+                let f = b.entity(EntityKind::FileName, file);
+                b.lit(".");
+                b.relation(h, "identify", f, RelationKind::Identifies);
+            }
+            Fact::Resolve { mal, dom } => {
+                let verb = *rng.pick(&["resolve", "query"]);
+                self.svo_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Malware, mal),
+                    verb,
+                    (EntityKind::Domain, dom),
+                    &["before detonation.", "as a kill switch."],
+                );
+            }
+            Fact::Send { mal, email } => {
+                self.svo_prep_sentence(
+                    b,
+                    rng,
+                    (EntityKind::Malware, mal),
+                    "send",
+                    "from",
+                    (EntityKind::Email, email),
+                    &["in large volumes."],
+                    RelationKind::Sends,
+                );
+            }
+            Fact::Encrypt { mal } => {
+                let m = b.entity(EntityKind::Malware, mal);
+                b.lit(" ");
+                b.lit(&third_singular("encrypt"));
+                b.lit(" documents across the network and demands payment.");
+                let _ = m;
+            }
+            Fact::MentionHashes { hashes } => {
+                b.lit("Related indicators include ");
+                for (i, (kind, h)) in hashes.iter().enumerate() {
+                    if i > 0 {
+                        b.lit(" and ");
+                    }
+                    b.entity(*kind, h);
+                }
+                b.lit(".");
+            }
+        }
+    }
+
+    fn resolve(&self, subj: EntityKind, verb: &str, obj: EntityKind) -> RelationKind {
+        self.ontology.resolve_extracted(subj, verb, obj).unwrap_or(RelationKind::RelatedTo)
+    }
+
+    /// Emit "<S> <verb> <O> <tail>" with active/passive variation.
+    fn svo_sentence(
+        &self,
+        b: &mut TextBuilder,
+        rng: &mut Rng,
+        subj: (EntityKind, &str),
+        verb: &'static str,
+        obj: (EntityKind, &str),
+        tails: &[&str],
+    ) {
+        let kind = self.resolve(subj.0, verb, obj.0);
+        let tail = *rng.pick(tails);
+        match rng.below(3) {
+            // Active, present: "X drops Y ..."
+            0 => {
+                let s = b.entity(subj.0, subj.1);
+                b.lit(" ");
+                b.lit(&third_singular(verb));
+                b.lit(" ");
+                let o = b.entity(obj.0, obj.1);
+                b.lit(" ");
+                b.lit(tail);
+                b.relation(s, verb, o, kind);
+            }
+            // Active, past with optional fronting: "Upon execution, X dropped Y ..."
+            1 => {
+                if rng.chance(0.4) {
+                    b.lit("Upon execution, ");
+                }
+                let s = b.entity(subj.0, subj.1);
+                b.lit(" ");
+                b.lit(&past(verb));
+                b.lit(" ");
+                let o = b.entity(obj.0, obj.1);
+                b.lit(" ");
+                b.lit(tail);
+                b.relation(s, verb, o, kind);
+            }
+            // Passive: "Y was dropped by X ..."
+            _ => {
+                let o = b.entity(obj.0, obj.1);
+                b.lit(" was ");
+                b.lit(&crate::inflect::participle(verb));
+                b.lit(" by ");
+                let s = b.entity(subj.0, subj.1);
+                b.lit(" ");
+                b.lit(tail);
+                b.relation(s, verb, o, kind);
+            }
+        }
+    }
+
+    /// Emit "<S> <verb> <extra> <prep> <O> <tail>" (e.g. "X connects to Y").
+    #[allow(clippy::too_many_arguments)]
+    fn svo_prep_sentence(
+        &self,
+        b: &mut TextBuilder,
+        rng: &mut Rng,
+        subj: (EntityKind, &str),
+        verb: &'static str,
+        prep: &str,
+        obj: (EntityKind, &str),
+        tails: &[&str],
+        kind: RelationKind,
+    ) {
+        let tail = *rng.pick(tails);
+        let s = b.entity(subj.0, subj.1);
+        b.lit(" ");
+        if rng.chance(0.5) {
+            b.lit(&third_singular(verb));
+        } else {
+            b.lit(&past(verb));
+        }
+        if verb == "send" {
+            b.lit(" phishing messages");
+        } else if verb == "download" || verb == "fetch" || verb == "retrieve" {
+            b.lit(" additional payloads");
+        }
+        b.lit(" ");
+        b.lit(prep);
+        b.lit(" ");
+        let o = b.entity(obj.0, obj.1);
+        b.lit(" ");
+        b.lit(tail);
+        b.relation(s, verb, o, kind);
+    }
+}
+
+/// Which intro sentence family to use.
+enum IntroSpec {
+    Malware { mal: String },
+    Vuln { cve: String, soft: String },
+    Attack { actor: String },
+}
+
+fn pick_category(rng: &mut Rng, mix: [f64; 3]) -> ReportCategory {
+    let total: f64 = mix.iter().sum();
+    let mut x = rng.unit() * total;
+    for (i, w) in mix.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return ReportCategory::ALL[i];
+        }
+    }
+    ReportCategory::Attack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::standard_sources;
+    use crate::world::{World, WorldConfig};
+
+    fn setup() -> (World, Vec<crate::source::SourceSpec>) {
+        (World::generate(WorldConfig::tiny(5)), standard_sources(50))
+    }
+
+    #[test]
+    fn generated_reports_are_consistent() {
+        let (world, sources) = setup();
+        let generator = ArticleGenerator::new(&world, 99);
+        for spec in sources.iter().take(8) {
+            for i in 0..20 {
+                let r = generator.generate(spec, i);
+                assert!(r.is_consistent(), "source {} article {i}:\n{}", spec.name, r.text);
+                assert!(!r.title.is_empty());
+                assert!(!r.text.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_lazy_deterministic() {
+        let (world, sources) = setup();
+        let g1 = ArticleGenerator::new(&world, 99);
+        let g2 = ArticleGenerator::new(&world, 99);
+        // Generating article 7 directly matches generating 0..=7 in order.
+        let direct = g1.generate(&sources[0], 7);
+        for i in 0..7 {
+            let _ = g2.generate(&sources[0], i);
+        }
+        let sequential = g2.generate(&sources[0], 7);
+        assert_eq!(direct, sequential);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (world, sources) = setup();
+        let a = ArticleGenerator::new(&world, 1).generate(&sources[0], 0);
+        let b = ArticleGenerator::new(&world, 2).generate(&sources[0], 0);
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn reports_contain_relations_and_mentions() {
+        let (world, sources) = setup();
+        let generator = ArticleGenerator::new(&world, 99);
+        let mut total_mentions = 0;
+        let mut total_relations = 0;
+        for i in 0..30 {
+            let r = generator.generate(&sources[0], i);
+            total_mentions += r.mentions.len();
+            total_relations += r.relations.len();
+        }
+        assert!(total_mentions > 60, "mentions {total_mentions}");
+        assert!(total_relations > 20, "relations {total_relations}");
+    }
+
+    #[test]
+    fn relations_obey_the_ontology() {
+        let (world, sources) = setup();
+        let generator = ArticleGenerator::new(&world, 99);
+        let ontology = Ontology::standard();
+        for i in 0..30 {
+            let r = generator.generate(&sources[3], i);
+            for rel in &r.relations {
+                let s = r.mentions[rel.subject].kind;
+                let o = r.mentions[rel.object].kind;
+                assert!(
+                    ontology.allows(s, rel.kind, o),
+                    "<{s}, {}, {o}> in: {}",
+                    rel.kind,
+                    r.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vendor_alias_is_source_consistent() {
+        let (world, sources) = setup();
+        let generator = ArticleGenerator::new(&world, 99);
+        // Find two reports from the same source about the same alias group;
+        // the surface name must match.
+        let wannacry_aliases = &world.malware_by_name("wannacry").unwrap().aliases;
+        let mut seen: Option<String> = None;
+        for i in 0..200 {
+            let r = generator.generate(&sources[1], i);
+            for m in &r.mentions {
+                if m.kind == EntityKind::Malware && wannacry_aliases.contains(&m.text) {
+                    match &seen {
+                        None => seen = Some(m.text.clone()),
+                        Some(prev) => assert_eq!(prev, &m.text),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn category_mix_is_respected() {
+        let (world, _) = setup();
+        let generator = ArticleGenerator::new(&world, 99);
+        // An advisory-feed style mix should be dominated by vuln reports.
+        let mut spec = standard_sources(50)[3].clone();
+        spec.category_mix = [0.0, 1.0, 0.0];
+        for i in 0..10 {
+            let r = generator.generate(&spec, i);
+            assert_eq!(r.category, ReportCategory::Vulnerability);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Verb inflection for the article generator.
+//!
+//! The generator writes sentences in varied tense and voice; the gold
+//! relation keeps the lemma. These rules are the inverse of the lemmatizer in
+//! `kg-nlp`, and a cross-crate test (in `tests/`) checks round-tripping.
+
+/// Irregular (lemma, past, participle) triples used by the generator.
+const IRREGULAR: &[(&str, &str, &str)] = &[
+    ("send", "sent", "sent"),
+    ("steal", "stole", "stolen"),
+    ("write", "wrote", "written"),
+    ("spread", "spread", "spread"),
+    ("hide", "hid", "hidden"),
+    ("begin", "began", "begun"),
+    ("take", "took", "taken"),
+    ("make", "made", "made"),
+    ("see", "saw", "seen"),
+    ("find", "found", "found"),
+    ("become", "became", "become"),
+    ("run", "ran", "run"),
+];
+
+fn ends_with_doubling_consonant(lemma: &str) -> bool {
+    // CVC pattern with a final consonant that doubles: drop → dropped.
+    let b = lemma.as_bytes();
+    if b.len() < 3 {
+        return false;
+    }
+    let last = b[b.len() - 1];
+    let mid = b[b.len() - 2];
+    let before = b[b.len() - 3];
+    let vowel = |c: u8| b"aeiou".contains(&c);
+    !vowel(last)
+        && vowel(mid)
+        && !vowel(before)
+        && !b"wxy".contains(&last)
+        // Heuristic: only short (stressed-final) stems double — drop, plan,
+        // log, scan; longer stems like "beacon"/"target" do not.
+        && lemma.len() <= 4
+}
+
+/// Third-person singular present: drop → drops, reach → reaches, copy → copies.
+pub fn third_singular(lemma: &str) -> String {
+    if let Some(stripped) = lemma.strip_suffix('y') {
+        let b = lemma.as_bytes();
+        if b.len() >= 2 && !b"aeiou".contains(&b[b.len() - 2]) {
+            return format!("{stripped}ies");
+        }
+    }
+    if ["s", "sh", "ch", "x", "z", "o"].iter().any(|s| lemma.ends_with(s)) {
+        return format!("{lemma}es");
+    }
+    format!("{lemma}s")
+}
+
+/// Simple past: drop → dropped, use → used, copy → copied, send → sent.
+pub fn past(lemma: &str) -> String {
+    if let Some(&(_, p, _)) = IRREGULAR.iter().find(|(l, _, _)| *l == lemma) {
+        return p.to_owned();
+    }
+    if lemma.ends_with('e') {
+        return format!("{lemma}d");
+    }
+    if let Some(stripped) = lemma.strip_suffix('y') {
+        let b = lemma.as_bytes();
+        if b.len() >= 2 && !b"aeiou".contains(&b[b.len() - 2]) {
+            return format!("{stripped}ied");
+        }
+    }
+    if ends_with_doubling_consonant(lemma) {
+        let last = lemma.chars().last().unwrap();
+        return format!("{lemma}{last}ed");
+    }
+    format!("{lemma}ed")
+}
+
+/// Past participle (for passives): drop → dropped, steal → stolen.
+pub fn participle(lemma: &str) -> String {
+    if let Some(&(_, _, pp)) = IRREGULAR.iter().find(|(l, _, _)| *l == lemma) {
+        return pp.to_owned();
+    }
+    past(lemma)
+}
+
+/// Present participle: drop → dropping, use → using.
+pub fn gerund(lemma: &str) -> String {
+    if let Some(stem) = lemma.strip_suffix("ie") {
+        return format!("{stem}ying");
+    }
+    if lemma.ends_with('e') && !lemma.ends_with("ee") {
+        return format!("{}ing", &lemma[..lemma.len() - 1]);
+    }
+    if ends_with_doubling_consonant(lemma) {
+        let last = lemma.chars().last().unwrap();
+        return format!("{lemma}{last}ing");
+    }
+    format!("{lemma}ing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn third_singular_forms() {
+        assert_eq!(third_singular("drop"), "drops");
+        assert_eq!(third_singular("reach"), "reaches");
+        assert_eq!(third_singular("copy"), "copies");
+        assert_eq!(third_singular("deploy"), "deploys");
+        assert_eq!(third_singular("use"), "uses");
+    }
+
+    #[test]
+    fn past_forms() {
+        assert_eq!(past("drop"), "dropped");
+        assert_eq!(past("use"), "used");
+        assert_eq!(past("copy"), "copied");
+        assert_eq!(past("encrypt"), "encrypted");
+        assert_eq!(past("send"), "sent");
+        assert_eq!(past("beacon"), "beaconed");
+        assert_eq!(past("connect"), "connected");
+    }
+
+    #[test]
+    fn participle_forms() {
+        assert_eq!(participle("steal"), "stolen");
+        assert_eq!(participle("drop"), "dropped");
+        assert_eq!(participle("hide"), "hidden");
+    }
+
+    #[test]
+    fn gerund_forms() {
+        assert_eq!(gerund("drop"), "dropping");
+        assert_eq!(gerund("use"), "using");
+        assert_eq!(gerund("see"), "seeing");
+        assert_eq!(gerund("encrypt"), "encrypting");
+    }
+
+    #[test]
+    fn inflections_lemmatize_back() {
+        use kg_nlp::pos::PosTag;
+        for lemma in ["drop", "use", "encrypt", "target", "exploit", "download", "steal"] {
+            for form in [third_singular(lemma), past(lemma), gerund(lemma)] {
+                let back = kg_nlp::lemma::lemmatize_validated(&form, PosTag::Verb, |c| c == lemma);
+                assert_eq!(back, lemma, "form {form}");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Synthetic OSCTI web substrate (the substitute for the paper's 40+ live
+//! security websites — see DESIGN.md's substitution table).
+//!
+//! The crate provides, bottom-up:
+//!
+//! - [`rng`] — deterministic SplitMix64 randomness with derivable streams.
+//! - [`names`] — seed entity names (the curated-list material) plus
+//!   generators for the fabricated long tail.
+//! - [`world`] — a consistent threat universe: malware behaviours, actor
+//!   tradecraft, vulnerabilities.
+//! - [`truth`] — gold annotations and the span-safe [`truth::TextBuilder`].
+//! - [`inflect`] — verb inflection for the prose generator.
+//! - [`article`] — report prose generation with exact gold labels.
+//! - [`source`] — the 42-source registry and per-source HTML dialects.
+//! - [`web`] — the fetchable web: latency, failures, pagination, ads, and
+//!   time-gated publication for incremental-crawl experiments.
+//!
+//! Everything is a pure function of a `u64` seed: tests, benches and the
+//! 120K-report scale run are exactly reproducible.
+
+pub mod article;
+pub mod inflect;
+pub mod names;
+pub mod rng;
+pub mod source;
+pub mod truth;
+pub mod web;
+pub mod world;
+
+pub use article::ArticleGenerator;
+pub use rng::Rng;
+pub use source::{standard_sources, SourceKind, SourceSpec, TemplateStyle};
+pub use truth::{bio_tags, GoldMention, GoldRelation, GoldReport, TextBuilder};
+pub use web::{FetchResponse, SimulatedWeb};
+pub use world::{ActorProfile, CuratedLists, MalwareProfile, World, WorldConfig};
+
+/// Convenience constructor: a complete simulated web with the standard 42
+/// sources, `articles_per_source` scale and a single seed.
+pub fn standard_web(articles_per_source: usize, seed: u64) -> SimulatedWeb {
+    let world = World::generate(WorldConfig { seed, ..WorldConfig::default() });
+    SimulatedWeb::new(world, standard_sources(articles_per_source), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_web_serves_the_demo_entities() {
+        let web = standard_web(20, 42);
+        assert_eq!(web.sources().len(), 42);
+        assert!(web.world().malware_by_name("wannacry").is_some());
+        assert!(web.world().actor_by_name("cozyduke").is_some());
+    }
+}

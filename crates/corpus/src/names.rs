@@ -1,0 +1,277 @@
+//! Name pools for the threat universe.
+//!
+//! Two tiers:
+//!
+//! - **Seed names** — embedded lists of well-known malware families, threat
+//!   actors, techniques, tools and software (the MITRE-ATT&CK-style curated
+//!   lists the paper builds its labeling functions from). The demo scenarios
+//!   ("wannacry", "cozyduke") come from here.
+//! - **Generated names** — syllable-based fabrications for the long tail, so
+//!   the corpus contains entities *not* on any curated list; this is what
+//!   lets experiment E3 measure generalisation to unseen entities.
+
+use crate::rng::Rng;
+
+/// Well-known malware family names (with alias groups for fusion tests).
+pub const SEED_MALWARE: &[&str] = &[
+    "wannacry", "emotet", "notpetya", "trickbot", "ryuk", "dridex", "qakbot", "locky",
+    "gandcrab", "maze", "conti", "revil", "zeus", "mirai", "stuxnet", "duqu", "flame",
+    "shamoon", "carbanak", "ursnif", "icedid", "raccoon", "agenttesla", "formbook",
+    "nanocore", "remcos", "darkcomet", "njrat", "plugx", "sunburst", "teardrop", "cobaltkitty",
+];
+
+/// Alias groups: names in a group refer to the same malware under different
+/// vendor naming conventions. Used to seed the knowledge-fusion experiment.
+pub const MALWARE_ALIASES: &[&[&str]] = &[
+    &["wannacry", "wcry", "wanna decryptor", "wannacrypt"],
+    &["notpetya", "expetr", "nyetya", "petrwrap"],
+    &["emotet", "geodo", "heodo"],
+    &["trickbot", "trickloader", "thetrick"],
+    &["revil", "sodinokibi", "sodin"],
+    &["qakbot", "qbot", "pinkslipbot"],
+];
+
+/// Well-known threat actor names.
+pub const SEED_ACTORS: &[&str] = &[
+    "cozyduke", "lazarus group", "fancy bear", "equation group", "sandworm", "turla",
+    "carbon spider", "wizard spider", "ocean lotus", "kimsuky", "mustang panda",
+    "winnti group", "gallium", "hafnium", "nobelium", "charming kitten", "muddywater",
+    "gamaredon", "sidewinder", "transparent tribe",
+];
+
+/// Actor alias groups (vendor naming conventions differ wildly for actors).
+pub const ACTOR_ALIASES: &[&[&str]] = &[
+    &["cozyduke", "apt29", "cozy bear", "the dukes"],
+    &["fancy bear", "apt28", "sofacy", "strontium"],
+    &["lazarus group", "hidden cobra", "zinc"],
+    &["sandworm", "voodoo bear", "telebots"],
+];
+
+/// ATT&CK-style technique names (lowercase).
+pub const SEED_TECHNIQUES: &[&str] = &[
+    "spearphishing attachment", "spearphishing link", "credential dumping",
+    "process injection", "scheduled task", "registry run keys", "powershell execution",
+    "lateral movement", "pass the hash", "dll side-loading", "masquerading",
+    "obfuscated files", "remote desktop protocol", "brute force", "data encrypted for impact",
+    "exfiltration over c2 channel", "supply chain compromise", "drive-by compromise",
+    "command and scripting interpreter", "valid accounts", "web shell", "keylogging",
+    "screen capture", "domain generation algorithms", "smb exploitation",
+    "kerberoasting", "living off the land", "token impersonation",
+];
+
+/// Attack tool names.
+pub const SEED_TOOLS: &[&str] = &[
+    "mimikatz", "cobalt strike", "psexec", "metasploit", "empire", "bloodhound",
+    "powersploit", "lazagne", "procdump", "netcat", "nmap", "responder", "rubeus",
+    "sharphound", "impacket", "plink", "advanced port scanner", "anydesk",
+];
+
+/// Targeted / abused software names.
+pub const SEED_SOFTWARE: &[&str] = &[
+    "windows", "microsoft office", "internet explorer", "microsoft exchange", "outlook",
+    "apache struts", "apache tomcat", "oracle weblogic", "adobe flash player",
+    "adobe reader", "java runtime", "openssl", "vmware vcenter", "citrix gateway",
+    "fortinet vpn", "pulse secure", "jenkins", "drupal", "wordpress", "smb protocol",
+];
+
+/// Campaign name fragments.
+pub const CAMPAIGN_ADJECTIVES: &[&str] = &[
+    "silent", "hidden", "crimson", "frozen", "burning", "twisted", "shattered", "phantom",
+    "midnight", "emerald", "iron", "velvet", "broken", "silver", "obsidian", "scarlet",
+];
+
+pub const CAMPAIGN_NOUNS: &[&str] = &[
+    "serpent", "falcon", "tempest", "cascade", "harvest", "eclipse", "lantern", "anvil",
+    "compass", "monsoon", "aurora", "labyrinth", "sickle", "mirage", "citadel", "vortex",
+];
+
+/// Syllables for fabricated malware names.
+const MAL_SYLLABLES: &[&str] = &[
+    "zar", "vex", "kro", "lum", "dra", "mok", "tri", "bal", "rex", "nox", "pyr", "gla",
+    "shi", "vor", "qua", "zen", "hek", "tor", "fen", "bru", "cin", "dul", "eri", "fro",
+];
+
+const MAL_SUFFIXES: &[&str] =
+    &["bot", "locker", "crypt", "loader", "stealer", "rat", "worm", "kit", "spy", "miner"];
+
+/// Fabricate a malware family name not present in the seed list.
+pub fn generate_malware_name(rng: &mut Rng) -> String {
+    let a = rng.pick(MAL_SYLLABLES);
+    let b = rng.pick(MAL_SYLLABLES);
+    let suffix = rng.pick(MAL_SUFFIXES);
+    format!("{a}{b}{suffix}")
+}
+
+/// Fabricate a threat actor name not present in the seed list.
+pub fn generate_actor_name(rng: &mut Rng) -> String {
+    const ANIMALS: &[&str] = &[
+        "jackal", "viper", "mantis", "heron", "lynx", "badger", "osprey", "weasel", "cobra",
+        "raven", "hornet", "ocelot", "ferret", "condor", "stoat", "gecko",
+    ];
+    // Two naming conventions, like real vendor taxonomies.
+    if rng.chance(0.5) {
+        format!("apt{}", rng.range(41, 99))
+    } else {
+        format!("{} {}", rng.pick(CAMPAIGN_ADJECTIVES), rng.pick(ANIMALS))
+    }
+}
+
+/// Fabricate a campaign / operation name.
+pub fn generate_campaign_name(rng: &mut Rng) -> String {
+    format!("operation {} {}", rng.pick(CAMPAIGN_ADJECTIVES), rng.pick(CAMPAIGN_NOUNS))
+}
+
+/// Fabricate a CVE identifier.
+pub fn generate_cve(rng: &mut Rng) -> String {
+    format!("CVE-{}-{}", rng.range(2014, 2021), rng.range(1000, 42_999))
+}
+
+/// Fabricate a file name IOC.
+pub fn generate_file_name(rng: &mut Rng) -> String {
+    const STEMS: &[&str] = &[
+        "svchost", "update", "taskmgr", "winlogon", "installer", "setup", "payload",
+        "loader", "service", "helper", "config", "sync", "backup", "report", "invoice",
+        "document", "readme", "temp", "cache", "driver",
+    ];
+    const EXTS: &[&str] = &["exe", "dll", "bat", "ps1", "vbs", "scr", "tmp", "dat", "js"];
+    format!("{}{}.{}", rng.pick(STEMS), rng.range(1, 99), rng.pick(EXTS))
+}
+
+/// Fabricate a Windows file path IOC.
+pub fn generate_file_path(rng: &mut Rng) -> String {
+    const DIRS: &[&str] = &[
+        "C:\\Windows\\System32", "C:\\Windows\\Temp", "C:\\ProgramData",
+        "C:\\Users\\Public", "C:\\Windows\\SysWOW64", "C:\\Temp",
+    ];
+    format!("{}\\{}", rng.pick(DIRS), generate_file_name(rng))
+}
+
+/// Fabricate a registry key IOC.
+pub fn generate_registry_key(rng: &mut Rng) -> String {
+    const HIVES: &[&str] = &["HKLM", "HKCU"];
+    const PATHS: &[&str] = &[
+        "Software\\Microsoft\\Windows\\CurrentVersion\\Run",
+        "Software\\Microsoft\\Windows\\CurrentVersion\\RunOnce",
+        "System\\CurrentControlSet\\Services",
+        "Software\\Classes\\CLSID",
+    ];
+    const NAMES: &[&str] =
+        &["Updater", "WinHelper", "SysCheck", "NetMon", "Loader", "Backup", "Sync"];
+    format!("{}\\{}\\{}", rng.pick(HIVES), rng.pick(PATHS), rng.pick(NAMES))
+}
+
+/// Fabricate a domain IOC.
+pub fn generate_domain(rng: &mut Rng) -> String {
+    const WORDS: &[&str] = &[
+        "update", "cdn", "static", "api", "mail", "secure", "portal", "cloud", "files",
+        "sync", "news", "img", "data", "auth", "panel", "gate",
+    ];
+    const SLDS: &[&str] = &[
+        "checkerr", "fastpath", "zonetrack", "webstat", "hostline", "netpulse", "linkcore",
+        "datahub", "sysboard", "infozone", "driftlane", "coldriver",
+    ];
+    const TLDS: &[&str] = &["com", "net", "org", "ru", "cn", "info", "biz", "xyz", "top", "su"];
+    format!("{}.{}.{}", rng.pick(WORDS), rng.pick(SLDS), rng.pick(TLDS))
+}
+
+/// Fabricate an IPv4 IOC (avoids reserved 0/255 endpoints).
+pub fn generate_ip(rng: &mut Rng) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        rng.range(1, 223),
+        rng.range(0, 255),
+        rng.range(0, 255),
+        rng.range(1, 254)
+    )
+}
+
+/// Fabricate a URL IOC.
+pub fn generate_url(rng: &mut Rng) -> String {
+    const PATHS: &[&str] =
+        &["gate.php", "panel/login", "upload", "dl/payload.bin", "api/v1/report", "cfg.dat"];
+    format!("http://{}/{}", generate_domain(rng), rng.pick(PATHS))
+}
+
+/// Fabricate an email IOC.
+pub fn generate_email(rng: &mut Rng) -> String {
+    const LOCALS: &[&str] =
+        &["billing", "invoice", "support", "admin", "hr", "noreply", "security", "alerts"];
+    format!("{}@{}", rng.pick(LOCALS), generate_domain(rng))
+}
+
+/// Fabricate a hex digest of `len` nybbles.
+pub fn generate_hash(rng: &mut Rng, len: usize) -> String {
+    const HEX: &[u8] = b"0123456789abcdef";
+    let mut s = String::with_capacity(len);
+    let mut has_letter = false;
+    for i in 0..len {
+        let mut c = HEX[rng.below(16)];
+        // Guarantee at least one letter so the IOC scanner accepts it.
+        if i == len - 1 && !has_letter {
+            c = b'a' + (rng.below(6) as u8);
+        }
+        if c.is_ascii_alphabetic() {
+            has_letter = true;
+        }
+        s.push(c as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_names_are_wellformed() {
+        let mut rng = Rng::new(42);
+        for _ in 0..50 {
+            let m = generate_malware_name(&mut rng);
+            assert!(m.chars().all(|c| c.is_ascii_lowercase()), "{m}");
+            let cve = generate_cve(&mut rng);
+            assert!(cve.starts_with("CVE-"), "{cve}");
+            let ip = generate_ip(&mut rng);
+            assert_eq!(ip.split('.').count(), 4);
+            let h = generate_hash(&mut rng, 64);
+            assert_eq!(h.len(), 64);
+            assert!(h.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert!(h.bytes().any(|b| b.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn alias_groups_lead_with_seed_names() {
+        for group in MALWARE_ALIASES {
+            assert!(SEED_MALWARE.contains(&group[0]), "{:?}", group);
+        }
+        for group in ACTOR_ALIASES {
+            assert!(SEED_ACTORS.contains(&group[0]), "{:?}", group);
+        }
+    }
+
+    #[test]
+    fn seed_lists_are_duplicate_free() {
+        for list in [SEED_MALWARE, SEED_ACTORS, SEED_TECHNIQUES, SEED_TOOLS, SEED_SOFTWARE] {
+            let set: std::collections::HashSet<_> = list.iter().collect();
+            assert_eq!(set.len(), list.len());
+        }
+    }
+
+    #[test]
+    fn generated_iocs_classify_correctly() {
+        use kg_nlp::IocMatcher;
+        let m = IocMatcher::standard();
+        let mut rng = Rng::new(7);
+        for _ in 0..30 {
+            assert!(m.classify(&generate_file_name(&mut rng)).is_some());
+            assert!(m.classify(&generate_file_path(&mut rng)).is_some());
+            assert!(m.classify(&generate_registry_key(&mut rng)).is_some());
+            assert!(m.classify(&generate_domain(&mut rng)).is_some());
+            assert!(m.classify(&generate_ip(&mut rng)).is_some());
+            assert!(m.classify(&generate_url(&mut rng)).is_some());
+            assert!(m.classify(&generate_email(&mut rng)).is_some());
+            assert!(m.classify(&generate_cve(&mut rng)).is_some());
+            assert!(m.classify(&generate_hash(&mut rng, 32)).is_some());
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The registry of simulated OSCTI sources and their HTML rendering.
+//!
+//! The paper's crawler framework covers "40+ major security websites ...
+//! threat encyclopedias, blogs, security news". This module defines 42
+//! sources with distinct page-template families, publication rates, latency
+//! and failure characteristics, and renders articles into each source's HTML
+//! dialect. Source-dependent parsers in `kg-pipeline` invert exactly these
+//! templates.
+
+use crate::truth::GoldReport;
+use kg_ir::SourceId;
+use serde::{Deserialize, Serialize};
+
+/// The 42 CTI vendor names behind the simulated sources.
+pub const VENDOR_NAMES: [&str; 42] = [
+    "securelist", "threatpost", "krebsonsec", "malwarebytes-lab", "talos-intel",
+    "unit42", "mandiant-blog", "recordedfuture", "proofpoint-blog", "sophos-news",
+    "eset-welivesec", "trendmicro-blog", "mcafee-labs", "symantec-blog", "fireeye-blog",
+    "crowdstrike-blog", "sentinelone-labs", "checkpoint-research", "fortiguard-labs",
+    "paloalto-blog", "cisco-psirt", "msrc-advisories", "us-cert-alerts", "cisa-advisories",
+    "nvd-feed", "mitre-notes", "sans-isc", "bleeping-computer", "hacker-news-sec",
+    "dark-reading", "security-week", "threat-encyclopedia-a", "threat-encyclopedia-b",
+    "virus-bulletin", "abuse-ch", "phishtank-feed", "spamhaus-news", "team-cymru",
+    "shadowserver", "digital-shadows", "intel471-blog", "flashpoint-intel",
+];
+
+/// What kind of publication a source is (affects category mix and style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceKind {
+    ThreatEncyclopedia,
+    VendorBlog,
+    SecurityNews,
+    AdvisoryFeed,
+    ResearchPortal,
+}
+
+/// The HTML dialect a source renders articles in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TemplateStyle {
+    /// Metadata in a `<table class="meta">`, body in `<p>` tags.
+    MetaTable,
+    /// Metadata in a `<dl>` definition list.
+    DefinitionList,
+    /// No structured metadata; pure article.
+    PlainArticle,
+    /// News style: teaser `<div class="lede">` then body paragraphs.
+    NewsTeaser,
+}
+
+/// Full specification of one simulated source.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceSpec {
+    pub id: SourceId,
+    /// Vendor / site name; doubles as the URL host stem.
+    pub name: String,
+    pub kind: SourceKind,
+    pub style: TemplateStyle,
+    /// Total number of articles the source will ever publish.
+    pub article_count: usize,
+    /// Articles listed per index page.
+    pub articles_per_index: usize,
+    /// Probability an article spans two pages.
+    pub multipage_prob: f64,
+    /// Mean simulated fetch latency.
+    pub base_latency_ms: u64,
+    /// Uniform jitter added to latency.
+    pub latency_jitter_ms: u64,
+    /// Probability a fetch fails transiently (5xx / timeout).
+    pub failure_rate: f64,
+    /// Probability a listed page is an ad / empty page the checker must drop.
+    pub ad_rate: f64,
+    /// Relative weights for (malware, vulnerability, attack) reports.
+    pub category_mix: [f64; 3],
+    /// Milliseconds between consecutive article publications.
+    pub publish_interval_ms: u64,
+}
+
+impl SourceSpec {
+    /// Base URL of the source.
+    pub fn base_url(&self) -> String {
+        format!("https://{}.example", self.name)
+    }
+
+    /// URL of index page `page` (0-based).
+    pub fn index_url(&self, page: usize) -> String {
+        format!("{}/index?page={}", self.base_url(), page)
+    }
+
+    /// URL of article `key`, page `page` (1-based).
+    pub fn article_url(&self, key: &str, page: u32) -> String {
+        if page <= 1 {
+            format!("{}/reports/{}", self.base_url(), key)
+        } else {
+            format!("{}/reports/{}?page={}", self.base_url(), key, page)
+        }
+    }
+
+    /// Publication timestamp of article `index` (simulated epoch ms).
+    pub fn publish_time_ms(&self, index: usize) -> u64 {
+        1_500_000_000_000 + index as u64 * self.publish_interval_ms
+    }
+}
+
+/// Build the standard 42-source registry.
+///
+/// `articles_per_source` scales the corpus; the per-source counts vary ±50%
+/// around it deterministically so sources are heterogeneous.
+pub fn standard_sources(articles_per_source: usize) -> Vec<SourceSpec> {
+    VENDOR_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let kind = match i % 5 {
+                0 => SourceKind::ThreatEncyclopedia,
+                1 => SourceKind::VendorBlog,
+                2 => SourceKind::SecurityNews,
+                3 => SourceKind::AdvisoryFeed,
+                _ => SourceKind::ResearchPortal,
+            };
+            let style = match i % 4 {
+                0 => TemplateStyle::MetaTable,
+                1 => TemplateStyle::DefinitionList,
+                2 => TemplateStyle::PlainArticle,
+                _ => TemplateStyle::NewsTeaser,
+            };
+            let category_mix = match kind {
+                SourceKind::ThreatEncyclopedia => [0.7, 0.1, 0.2],
+                SourceKind::VendorBlog => [0.5, 0.2, 0.3],
+                SourceKind::SecurityNews => [0.4, 0.2, 0.4],
+                SourceKind::AdvisoryFeed => [0.1, 0.8, 0.1],
+                SourceKind::ResearchPortal => [0.3, 0.3, 0.4],
+            };
+            // Deterministic heterogeneity from the index.
+            let wobble = |base: usize, i: usize| base / 2 + (i * 7919) % base.max(1);
+            SourceSpec {
+                id: SourceId(i as u32),
+                name: (*name).to_owned(),
+                kind,
+                style,
+                article_count: wobble(articles_per_source.max(2), i).max(1),
+                articles_per_index: 10 + (i % 4) * 5,
+                multipage_prob: [0.0, 0.1, 0.25][i % 3],
+                base_latency_ms: 20 + (i as u64 % 7) * 15,
+                latency_jitter_ms: 10 + (i as u64 % 5) * 10,
+                failure_rate: [0.0, 0.01, 0.03, 0.08][i % 4],
+                ad_rate: [0.0, 0.05, 0.1][i % 3],
+                category_mix,
+                publish_interval_ms: 3_600_000 + (i as u64 % 9) * 600_000,
+            }
+        })
+        .collect()
+}
+
+/// Escape the five XML-special characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render one page of an article in the source's HTML dialect.
+///
+/// `page` is 1-based; `total_pages` ≥ 1. The body paragraphs are split
+/// contiguously across pages; structured metadata appears on page 1 only.
+pub fn render_article(spec: &SourceSpec, gold: &GoldReport, page: u32, total_pages: u32) -> String {
+    let paragraphs: Vec<&str> = gold.text.split('\n').collect();
+    let per_page = paragraphs.len().div_ceil(total_pages as usize).max(1);
+    let start = (page as usize - 1) * per_page;
+    let end = (start + per_page).min(paragraphs.len());
+    let page_paragraphs = if start < paragraphs.len() { &paragraphs[start..end] } else { &[] };
+
+    let mut html = String::with_capacity(2048);
+    html.push_str("<!DOCTYPE html>\n<html>\n<head>\n<title>");
+    html.push_str(&escape(&gold.title));
+    html.push_str("</title>\n</head>\n<body>\n");
+    html.push_str(&format!("<h1>{}</h1>\n", escape(&gold.title)));
+    html.push_str(&format!(
+        "<span class=\"category\">{}</span>\n",
+        gold.category
+    ));
+
+    if page == 1 {
+        match spec.style {
+            TemplateStyle::MetaTable => {
+                if !gold.structured.is_empty() {
+                    html.push_str("<table class=\"meta\">\n");
+                    for (k, v, _) in &gold.structured {
+                        html.push_str(&format!(
+                            "<tr><th>{}</th><td>{}</td></tr>\n",
+                            escape(k),
+                            escape(v)
+                        ));
+                    }
+                    html.push_str("</table>\n");
+                }
+            }
+            TemplateStyle::DefinitionList => {
+                if !gold.structured.is_empty() {
+                    html.push_str("<dl class=\"meta\">\n");
+                    for (k, v, _) in &gold.structured {
+                        html.push_str(&format!(
+                            "<dt>{}</dt><dd>{}</dd>\n",
+                            escape(k),
+                            escape(v)
+                        ));
+                    }
+                    html.push_str("</dl>\n");
+                }
+            }
+            TemplateStyle::NewsTeaser => {
+                html.push_str("<div class=\"lede\">Breaking analysis from our desk.</div>\n");
+            }
+            TemplateStyle::PlainArticle => {}
+        }
+    }
+
+    html.push_str("<div class=\"content\">\n");
+    for p in page_paragraphs {
+        html.push_str(&format!("<p>{}</p>\n", escape(p)));
+    }
+    html.push_str("</div>\n");
+
+    if total_pages > 1 {
+        html.push_str(&format!(
+            "<div class=\"pager\" data-page=\"{page}\" data-total=\"{total_pages}\"></div>\n"
+        ));
+    }
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+/// Render an index page listing article links, newest first.
+pub fn render_index(spec: &SourceSpec, keys_newest_first: &[String], has_next: bool) -> String {
+    let mut html = String::with_capacity(1024);
+    html.push_str("<!DOCTYPE html>\n<html>\n<head>\n<title>");
+    html.push_str(&escape(&spec.name));
+    html.push_str(" index</title>\n</head>\n<body>\n<ul class=\"listing\">\n");
+    for key in keys_newest_first {
+        html.push_str(&format!(
+            "<li><a href=\"/reports/{}\">{}</a></li>\n",
+            escape(key),
+            escape(key)
+        ));
+    }
+    html.push_str("</ul>\n");
+    if has_next {
+        html.push_str("<a class=\"next\" href=\"?page=next\">older</a>\n");
+    }
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+/// Render an ad / junk page (the checker stage must screen these out).
+pub fn render_ad_page(spec: &SourceSpec) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html>\n<head>\n<title>{} partners</title>\n</head>\n<body>\n\
+         <div class=\"ad\">Sponsored content</div>\n<div class=\"content\">\n</div>\n\
+         </body>\n</html>\n",
+        escape(&spec.name)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_ontology::ReportCategory;
+
+    #[test]
+    fn registry_has_42_heterogeneous_sources() {
+        let sources = standard_sources(100);
+        assert_eq!(sources.len(), 42);
+        let styles: std::collections::HashSet<_> =
+            sources.iter().map(|s| format!("{:?}", s.style)).collect();
+        assert_eq!(styles.len(), 4);
+        let names: std::collections::HashSet<_> = sources.iter().map(|s| &s.name).collect();
+        assert_eq!(names.len(), 42);
+        for s in &sources {
+            assert!(s.article_count >= 1);
+            assert!(s.articles_per_index >= 10);
+        }
+    }
+
+    #[test]
+    fn urls_compose() {
+        let s = &standard_sources(10)[0];
+        assert_eq!(s.index_url(2), "https://securelist.example/index?page=2");
+        assert_eq!(s.article_url("r5", 1), "https://securelist.example/reports/r5");
+        assert_eq!(s.article_url("r5", 2), "https://securelist.example/reports/r5?page=2");
+    }
+
+    fn tiny_gold() -> GoldReport {
+        GoldReport {
+            key: "r0".into(),
+            category: ReportCategory::Malware,
+            title: "A <test> & title".into(),
+            text: "Para one.\nPara two.\nPara three.".into(),
+            mentions: Vec::new(),
+            relations: Vec::new(),
+            structured: vec![("family".into(), "emotet".into(), None)],
+        }
+    }
+
+    #[test]
+    fn render_escapes_and_paginates() {
+        let sources = standard_sources(10);
+        let meta_source = sources.iter().find(|s| s.style == TemplateStyle::MetaTable).unwrap();
+        let gold = tiny_gold();
+        let p1 = render_article(meta_source, &gold, 1, 2);
+        assert!(p1.contains("&lt;test&gt; &amp; title"));
+        assert!(p1.contains("<table class=\"meta\">"));
+        assert!(p1.contains("<p>Para one.</p>"));
+        assert!(!p1.contains("Para three"));
+        let p2 = render_article(meta_source, &gold, 2, 2);
+        assert!(p2.contains("Para three"));
+        assert!(!p2.contains("<table class=\"meta\">"), "meta only on page 1");
+    }
+
+    #[test]
+    fn all_styles_render_all_paragraphs_single_page() {
+        let gold = tiny_gold();
+        for spec in standard_sources(10).iter().take(8) {
+            let html = render_article(spec, &gold, 1, 1);
+            for para in gold.text.split('\n') {
+                assert!(html.contains(&format!("<p>{para}</p>")), "{:?}", spec.style);
+            }
+        }
+    }
+
+    #[test]
+    fn index_lists_links() {
+        let s = &standard_sources(10)[1];
+        let html = render_index(s, &["r9".into(), "r8".into()], true);
+        assert!(html.contains("href=\"/reports/r9\""));
+        assert!(html.contains("class=\"next\""));
+        let last = render_index(s, &["r0".into()], false);
+        assert!(!last.contains("class=\"next\""));
+    }
+
+    #[test]
+    fn publish_times_increase() {
+        let s = &standard_sources(10)[0];
+        assert!(s.publish_time_ms(1) > s.publish_time_ms(0));
+    }
+}

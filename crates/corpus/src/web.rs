@@ -1,0 +1,328 @@
+//! The simulated OSCTI web: an HTTP-like fetch interface over the 42
+//! sources, with latency, transient failures, pagination, ad pages and
+//! time-based publication.
+//!
+//! Everything is a pure function of `(seed, url, now)`: no state, no I/O, so
+//! a fleet of crawler threads can hammer it concurrently, and generating
+//! article 80,000 of a source does not require generating the first 79,999.
+
+use crate::article::ArticleGenerator;
+use crate::rng::Rng;
+use crate::source::{self, SourceSpec};
+use crate::truth::GoldReport;
+use crate::world::World;
+use kg_ir::FetchStatus;
+
+/// The outcome of one simulated fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResponse {
+    pub status: FetchStatus,
+    /// Page body; empty unless `status` is `Ok`.
+    pub body: String,
+    /// Simulated service latency. The crawler sleeps this long (or accounts
+    /// for it virtually, in the benchmarks' virtual-time mode).
+    pub latency_ms: u64,
+}
+
+/// The simulated web.
+#[derive(Debug)]
+pub struct SimulatedWeb {
+    world: World,
+    sources: Vec<SourceSpec>,
+    seed: u64,
+}
+
+impl SimulatedWeb {
+    /// Build a web over a world with the given sources.
+    pub fn new(world: World, sources: Vec<SourceSpec>, seed: u64) -> Self {
+        SimulatedWeb { world, sources, seed }
+    }
+
+    /// The source registry.
+    pub fn sources(&self) -> &[SourceSpec] {
+        &self.sources
+    }
+
+    /// The underlying world (for ground-truth access in experiments).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Look up a source by name.
+    pub fn source_by_name(&self, name: &str) -> Option<&SourceSpec> {
+        self.sources.iter().find(|s| s.name == name)
+    }
+
+    /// How many articles of `spec` are published at simulated time `now_ms`.
+    pub fn published_count(&self, spec: &SourceSpec, now_ms: u64) -> usize {
+        (0..spec.article_count)
+            .take_while(|&i| spec.publish_time_ms(i) <= now_ms)
+            .count()
+    }
+
+    /// Total published articles across all sources at `now_ms`.
+    pub fn total_published(&self, now_ms: u64) -> usize {
+        self.sources.iter().map(|s| self.published_count(s, now_ms)).sum()
+    }
+
+    /// Whether article `index` of `spec` is an ad/junk page.
+    pub fn is_ad(&self, spec: &SourceSpec, index: usize) -> bool {
+        let mut rng = Rng::new(self.seed).derive(&spec.name).derive_idx("ad", index as u64);
+        rng.chance(spec.ad_rate)
+    }
+
+    /// Number of pages article `index` of `spec` spans.
+    pub fn page_count(&self, spec: &SourceSpec, index: usize) -> u32 {
+        let mut rng = Rng::new(self.seed).derive(&spec.name).derive_idx("pages", index as u64);
+        if rng.chance(spec.multipage_prob) {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Ground truth for article `index` of source `name` (None for ads).
+    pub fn gold(&self, source_name: &str, index: usize) -> Option<GoldReport> {
+        let spec = self.source_by_name(source_name)?;
+        if self.is_ad(spec, index) {
+            return None;
+        }
+        Some(ArticleGenerator::new(&self.world, self.seed).generate(spec, index))
+    }
+
+    /// Fetch a URL at simulated time `now_ms`.
+    ///
+    /// Failure injection is keyed on `(url, now_ms >> 12)` so an immediate
+    /// retry usually fails again but a backed-off retry usually succeeds —
+    /// the behaviour the crawler's retry policy is designed for.
+    pub fn fetch(&self, url: &str, now_ms: u64) -> FetchResponse {
+        let Some((spec, path)) = self.resolve_host(url) else {
+            return FetchResponse { status: FetchStatus::NotFound, body: String::new(), latency_ms: 5 };
+        };
+
+        // Latency draw (deterministic per url+time window).
+        let mut lat_rng = Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes()))
+            .derive_idx("latency", now_ms >> 8);
+        let latency_ms = spec.base_latency_ms
+            + if spec.latency_jitter_ms > 0 { lat_rng.below(spec.latency_jitter_ms as usize + 1) as u64 } else { 0 };
+
+        // Transient failure draw.
+        let mut fail_rng = Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes()))
+            .derive_idx("fail", now_ms >> 12);
+        if fail_rng.chance(spec.failure_rate) {
+            let status = if fail_rng.chance(0.5) {
+                FetchStatus::ServerError
+            } else {
+                FetchStatus::TimedOut
+            };
+            return FetchResponse { status, body: String::new(), latency_ms: latency_ms * 3 };
+        }
+
+        let body = self.render_path(spec, path, now_ms);
+        match body {
+            Some(b) => FetchResponse { status: FetchStatus::Ok, body: b, latency_ms },
+            None => FetchResponse {
+                status: FetchStatus::NotFound,
+                body: String::new(),
+                latency_ms,
+            },
+        }
+    }
+
+    fn resolve_host<'a>(&self, url: &'a str) -> Option<(&SourceSpec, &'a str)> {
+        let rest = url.strip_prefix("https://")?;
+        let (host, path) = rest.split_once('/').unwrap_or((rest, ""));
+        let name = host.strip_suffix(".example")?;
+        let spec = self.source_by_name(name)?;
+        Some((spec, path))
+    }
+
+    fn render_path(&self, spec: &SourceSpec, path: &str, now_ms: u64) -> Option<String> {
+        if let Some(query) = path.strip_prefix("index") {
+            let page = query
+                .strip_prefix("?page=")
+                .and_then(|p| p.parse::<usize>().ok())
+                .unwrap_or(0);
+            return Some(self.render_index_page(spec, page, now_ms));
+        }
+        if let Some(rest) = path.strip_prefix("reports/") {
+            let (key, page) = match rest.split_once("?page=") {
+                Some((k, p)) => (k, p.parse::<u32>().ok()?),
+                None => (rest, 1),
+            };
+            let index: usize = key.strip_prefix('r')?.parse().ok()?;
+            if index >= spec.article_count || spec.publish_time_ms(index) > now_ms {
+                return None;
+            }
+            if self.is_ad(spec, index) {
+                return Some(source::render_ad_page(spec));
+            }
+            let total_pages = self.page_count(spec, index);
+            if page == 0 || page > total_pages {
+                return None;
+            }
+            let gold = ArticleGenerator::new(&self.world, self.seed).generate(spec, index);
+            return Some(source::render_article(spec, &gold, page, total_pages));
+        }
+        None
+    }
+
+    fn render_index_page(&self, spec: &SourceSpec, page: usize, now_ms: u64) -> String {
+        let published = self.published_count(spec, now_ms);
+        // Newest first.
+        let start = page * spec.articles_per_index;
+        let keys: Vec<String> = (0..published)
+            .rev()
+            .skip(start)
+            .take(spec.articles_per_index)
+            .map(|i| format!("r{i}"))
+            .collect();
+        let has_next = published > start + keys.len();
+        source::render_index(spec, &keys, has_next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::standard_sources;
+    use crate::world::{World, WorldConfig};
+
+    const FOREVER: u64 = u64::MAX / 2;
+
+    fn web() -> SimulatedWeb {
+        SimulatedWeb::new(World::generate(WorldConfig::tiny(1)), standard_sources(30), 7)
+    }
+
+    #[test]
+    fn fetch_article_ok() {
+        let web = web();
+        let spec = &web.sources()[0].clone();
+        let url = spec.article_url("r0", 1);
+        // Source 0 has failure_rate 0.
+        let resp = web.fetch(&url, FOREVER);
+        assert_eq!(resp.status, FetchStatus::Ok);
+        assert!(resp.body.contains("<h1>"));
+        assert!(resp.latency_ms >= spec.base_latency_ms);
+    }
+
+    #[test]
+    fn fetch_is_deterministic() {
+        let web = web();
+        let url = web.sources()[0].article_url("r3", 1);
+        assert_eq!(web.fetch(&url, 1000), web.fetch(&url, 1000));
+    }
+
+    #[test]
+    fn unknown_urls_404() {
+        let web = web();
+        assert_eq!(web.fetch("https://nowhere.example/x", FOREVER).status, FetchStatus::NotFound);
+        assert_eq!(
+            web.fetch("https://securelist.example/bogus", FOREVER).status,
+            FetchStatus::NotFound
+        );
+        let beyond = web.sources()[0].article_url("r999999", 1);
+        assert_eq!(web.fetch(&beyond, FOREVER).status, FetchStatus::NotFound);
+    }
+
+    #[test]
+    fn unpublished_articles_are_invisible() {
+        let web = web();
+        let spec = web.sources()[0].clone();
+        let url = spec.article_url("r5", 1);
+        let before = spec.publish_time_ms(5) - 1;
+        assert_eq!(web.fetch(&url, before).status, FetchStatus::NotFound);
+        assert_eq!(web.fetch(&url, spec.publish_time_ms(5)).status, FetchStatus::Ok);
+    }
+
+    #[test]
+    fn index_paginates_newest_first() {
+        let web = web();
+        let spec = web.sources()[0].clone();
+        let body = web.fetch(&spec.index_url(0), FOREVER).body;
+        let newest = format!("/reports/r{}", spec.article_count - 1);
+        assert!(body.contains(&newest), "{body}");
+        // Page past the end lists nothing.
+        let last_page = spec.article_count / spec.articles_per_index + 1;
+        let empty = web.fetch(&spec.index_url(last_page), FOREVER).body;
+        assert!(!empty.contains("/reports/"));
+    }
+
+    #[test]
+    fn published_count_grows_with_time() {
+        let web = web();
+        let spec = web.sources()[0].clone();
+        let t0 = spec.publish_time_ms(0);
+        assert_eq!(web.published_count(&spec, t0.saturating_sub(1)), 0);
+        assert_eq!(web.published_count(&spec, t0), 1);
+        assert!(web.published_count(&spec, FOREVER) == spec.article_count);
+        assert!(web.total_published(FOREVER) > 0);
+    }
+
+    #[test]
+    fn failures_eventually_clear_with_backoff() {
+        let web = web();
+        // Pick a source with a nonzero failure rate (index 3 → 0.08).
+        let spec = web.sources()[3].clone();
+        assert!(spec.failure_rate > 0.0);
+        let url = spec.article_url("r0", 1);
+        let mut saw_ok = false;
+        let mut t = FOREVER;
+        for _ in 0..50 {
+            let resp = web.fetch(&url, t);
+            if resp.status == FetchStatus::Ok {
+                saw_ok = true;
+                break;
+            }
+            t += 1 << 13; // back off past the failure window
+        }
+        assert!(saw_ok);
+    }
+
+    #[test]
+    fn multipage_articles_serve_each_page() {
+        let web = web();
+        // Find a multipage article on a source with multipage_prob > 0 and no
+        // failures.
+        for spec in web.sources() {
+            if spec.multipage_prob == 0.0 || spec.failure_rate > 0.0 {
+                continue;
+            }
+            for i in 0..spec.article_count {
+                if web.page_count(spec, i) == 2 && !web.is_ad(spec, i) {
+                    let key = format!("r{i}");
+                    let p1 = web.fetch(&spec.article_url(&key, 1), FOREVER);
+                    let p2 = web.fetch(&spec.article_url(&key, 2), FOREVER);
+                    assert_eq!(p1.status, FetchStatus::Ok);
+                    assert_eq!(p2.status, FetchStatus::Ok);
+                    assert!(p1.body.contains("data-total=\"2\""));
+                    let p3 = web.fetch(&spec.article_url(&key, 3), FOREVER);
+                    assert_eq!(p3.status, FetchStatus::NotFound);
+                    return;
+                }
+            }
+        }
+        panic!("no multipage article found");
+    }
+
+    #[test]
+    fn ad_pages_have_no_gold() {
+        let web = web();
+        for spec in web.sources() {
+            if spec.ad_rate == 0.0 {
+                continue;
+            }
+            for i in 0..spec.article_count.min(100) {
+                if web.is_ad(spec, i) {
+                    assert!(web.gold(&spec.name, i).is_none());
+                    let body = web.fetch(&spec.article_url(&format!("r{i}"), 1), FOREVER);
+                    if body.status == FetchStatus::Ok {
+                        assert!(body.body.contains("class=\"ad\""));
+                    }
+                    return;
+                }
+            }
+        }
+        panic!("no ad page found");
+    }
+}

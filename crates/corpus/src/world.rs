@@ -1,0 +1,464 @@
+//! The threat universe: a deterministic population of malware families,
+//! threat actors, vulnerabilities and their behaviours.
+//!
+//! Every article the synthetic web serves is generated *about* an entity of
+//! this world, so facts are globally consistent: two different sources
+//! writing about `wannacry` mention the same dropped files, C2 domains and
+//! attributed actor — which is exactly the property the knowledge graph's
+//! merge step (§2.5) exploits.
+
+use crate::names;
+use crate::rng::Rng;
+use kg_ontology::EntityKind;
+use serde::{Deserialize, Serialize};
+
+/// World generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    pub malware_count: usize,
+    pub actor_count: usize,
+    pub cve_count: usize,
+    pub campaign_count: usize,
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            malware_count: 120,
+            actor_count: 40,
+            cve_count: 150,
+            campaign_count: 30,
+            seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        WorldConfig { malware_count: 12, actor_count: 6, cve_count: 10, campaign_count: 4, seed }
+    }
+}
+
+/// One malware family and its behavioural profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MalwareProfile {
+    pub name: String,
+    /// Vendor aliases (first entry is `name`).
+    pub aliases: Vec<String>,
+    pub dropped_files: Vec<String>,
+    pub file_paths: Vec<String>,
+    pub domains: Vec<String>,
+    pub ips: Vec<String>,
+    pub urls: Vec<String>,
+    pub emails: Vec<String>,
+    pub registry_keys: Vec<String>,
+    /// (hash kind, digest) pairs identifying samples.
+    pub hashes: Vec<(EntityKind, String)>,
+    /// Indices into [`World::cves`].
+    pub cves: Vec<usize>,
+    /// Indices into [`World::techniques`].
+    pub techniques: Vec<usize>,
+    /// Indices into [`World::tools`].
+    pub tools: Vec<usize>,
+    /// Indices into [`World::software`].
+    pub target_software: Vec<usize>,
+    /// Index into [`World::actors`], if attributed.
+    pub actor: Option<usize>,
+    /// Index into [`World::campaigns`], if part of one.
+    pub campaign: Option<usize>,
+    /// Whether the family encrypts files (ransomware).
+    pub is_ransomware: bool,
+}
+
+/// One threat actor and its tradecraft.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActorProfile {
+    pub name: String,
+    pub aliases: Vec<String>,
+    pub techniques: Vec<usize>,
+    pub tools: Vec<usize>,
+    pub campaigns: Vec<usize>,
+    pub target_software: Vec<usize>,
+}
+
+/// One vulnerability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CveProfile {
+    pub id: String,
+    /// Index into [`World::software`].
+    pub affects: usize,
+    /// Named vulnerability ("eternalblue"), occasionally.
+    pub nickname: Option<String>,
+}
+
+/// The full threat universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct World {
+    pub config: WorldConfig,
+    pub malware: Vec<MalwareProfile>,
+    pub actors: Vec<ActorProfile>,
+    pub cves: Vec<CveProfile>,
+    pub techniques: Vec<String>,
+    pub tools: Vec<String>,
+    pub software: Vec<String>,
+    pub campaigns: Vec<String>,
+    pub vendors: Vec<String>,
+}
+
+/// Curated entity-name lists, as the paper builds from MITRE ATT&CK for its
+/// labeling functions. `coverage < 1.0` omits a deterministic fraction of
+/// names, modelling the incompleteness of real curated lists.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CuratedLists {
+    pub malware: Vec<String>,
+    pub actors: Vec<String>,
+    pub techniques: Vec<String>,
+    pub tools: Vec<String>,
+    pub software: Vec<String>,
+}
+
+impl World {
+    /// Generate a world from a config. Deterministic in `config.seed`.
+    pub fn generate(config: WorldConfig) -> Self {
+        let root = Rng::new(config.seed);
+
+        let techniques: Vec<String> =
+            names::SEED_TECHNIQUES.iter().map(|s| (*s).to_owned()).collect();
+        let tools: Vec<String> = names::SEED_TOOLS.iter().map(|s| (*s).to_owned()).collect();
+        let software: Vec<String> =
+            names::SEED_SOFTWARE.iter().map(|s| (*s).to_owned()).collect();
+
+        let mut rng = root.derive("campaigns");
+        let mut campaigns = Vec::with_capacity(config.campaign_count);
+        while campaigns.len() < config.campaign_count {
+            let name = names::generate_campaign_name(&mut rng);
+            if !campaigns.contains(&name) {
+                campaigns.push(name);
+            }
+        }
+
+        // Vendors: the CTI organisations running the 40+ sources.
+        let vendors: Vec<String> = crate::source::VENDOR_NAMES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+
+        // CVEs.
+        let mut rng = root.derive("cves");
+        let mut cves = Vec::with_capacity(config.cve_count);
+        let mut seen = std::collections::HashSet::new();
+        // The demo's famous vulnerability, always present.
+        cves.push(CveProfile {
+            id: "CVE-2017-0144".into(),
+            affects: software.iter().position(|s| s == "smb protocol").unwrap_or(0),
+            nickname: Some("eternalblue".into()),
+        });
+        seen.insert("CVE-2017-0144".to_owned());
+        while cves.len() < config.cve_count.max(1) {
+            let id = names::generate_cve(&mut rng);
+            if seen.insert(id.clone()) {
+                let nickname = if rng.chance(0.08) {
+                    Some(names::generate_malware_name(&mut rng))
+                } else {
+                    None
+                };
+                cves.push(CveProfile { id, affects: rng.below(software.len()), nickname });
+            }
+        }
+
+        // Actors.
+        let mut rng = root.derive("actors");
+        let mut actors = Vec::with_capacity(config.actor_count);
+        let mut used_names: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for i in 0..config.actor_count {
+            let name = if i < names::SEED_ACTORS.len() {
+                names::SEED_ACTORS[i].to_owned()
+            } else {
+                loop {
+                    let n = names::generate_actor_name(&mut rng);
+                    if !used_names.contains(&n) {
+                        break n;
+                    }
+                }
+            };
+            used_names.insert(name.clone());
+            let aliases = alias_group(&name, names::ACTOR_ALIASES);
+            let technique_count = rng.range(2, 5);
+            let techniques_v = rng.sample_indices(techniques.len(), technique_count);
+            let tool_n = rng.range(1, 3);
+            let tools_v = rng.sample_indices(tools.len(), tool_n);
+            let campaigns_v = if campaigns.is_empty() {
+                Vec::new()
+            } else {
+                let camp_n = rng.range(0, 2);
+                rng.sample_indices(campaigns.len(), camp_n)
+            };
+            let target_n = rng.range(1, 3);
+            let targets = rng.sample_indices(software.len(), target_n);
+            actors.push(ActorProfile {
+                name,
+                aliases,
+                techniques: techniques_v,
+                tools: tools_v,
+                campaigns: campaigns_v,
+                target_software: targets,
+            });
+        }
+        // Demo scenario 2: another actor shares cozyduke's technique set, so
+        // "check if there are other threat actors that use the same set of
+        // techniques" has a positive answer.
+        if actors.len() >= 2 {
+            let cozy_techniques = actors
+                .iter()
+                .find(|a| a.name == "cozyduke")
+                .map(|a| a.techniques.clone());
+            if let Some(t) = cozy_techniques {
+                let idx = actors.iter().position(|a| a.name != "cozyduke").unwrap();
+                actors[idx].techniques = t;
+            }
+        }
+
+        // Malware.
+        let mut rng = root.derive("malware");
+        let mut malware = Vec::with_capacity(config.malware_count);
+        for i in 0..config.malware_count {
+            let name = if i < names::SEED_MALWARE.len() {
+                names::SEED_MALWARE[i].to_owned()
+            } else {
+                loop {
+                    let n = names::generate_malware_name(&mut rng);
+                    if !used_names.contains(&n) {
+                        break n;
+                    }
+                }
+            };
+            used_names.insert(name.clone());
+            let aliases = alias_group(&name, names::MALWARE_ALIASES);
+            let mut profile = MalwareProfile {
+                name: name.clone(),
+                aliases,
+                dropped_files: gen_n(&mut rng, 1, 3, names::generate_file_name),
+                file_paths: gen_n(&mut rng, 0, 2, names::generate_file_path),
+                domains: gen_n(&mut rng, 1, 3, names::generate_domain),
+                ips: gen_n(&mut rng, 1, 3, names::generate_ip),
+                urls: gen_n(&mut rng, 0, 2, names::generate_url),
+                emails: gen_n(&mut rng, 0, 1, names::generate_email),
+                registry_keys: gen_n(&mut rng, 0, 2, names::generate_registry_key),
+                hashes: {
+                    let mut hs = vec![(EntityKind::HashSha256, names::generate_hash(&mut rng, 64))];
+                    if rng.chance(0.6) {
+                        hs.push((EntityKind::HashMd5, names::generate_hash(&mut rng, 32)));
+                    }
+                    if rng.chance(0.3) {
+                        hs.push((EntityKind::HashSha1, names::generate_hash(&mut rng, 40)));
+                    }
+                    hs
+                },
+                cves: {
+                    let n = rng.range(0, 2);
+                    rng.sample_indices(cves.len(), n)
+                },
+                techniques: {
+                    let n = rng.range(1, 4);
+                    rng.sample_indices(techniques.len(), n)
+                },
+                tools: {
+                    let n = rng.range(0, 2);
+                    rng.sample_indices(tools.len(), n)
+                },
+                target_software: {
+                    let n = rng.range(1, 2);
+                    rng.sample_indices(software.len(), n)
+                },
+                actor: if rng.chance(0.7) && !actors.is_empty() {
+                    Some(rng.below(actors.len()))
+                } else {
+                    None
+                },
+                campaign: if rng.chance(0.4) && !campaigns.is_empty() {
+                    Some(rng.below(campaigns.len()))
+                } else {
+                    None
+                },
+                is_ransomware: rng.chance(0.3),
+            };
+            if name == "wannacry" {
+                enrich_wannacry(&mut profile, &techniques, &actors);
+            }
+            malware.push(profile);
+        }
+
+        World {
+            config,
+            malware,
+            actors,
+            cves,
+            techniques,
+            tools,
+            software,
+            campaigns,
+            vendors,
+        }
+    }
+
+    /// Look up a malware profile by name or alias.
+    pub fn malware_by_name(&self, name: &str) -> Option<&MalwareProfile> {
+        self.malware
+            .iter()
+            .find(|m| m.name == name || m.aliases.iter().any(|a| a == name))
+    }
+
+    /// Look up an actor profile by name or alias.
+    pub fn actor_by_name(&self, name: &str) -> Option<&ActorProfile> {
+        self.actors
+            .iter()
+            .find(|a| a.name == name || a.aliases.iter().any(|al| al == name))
+    }
+
+    /// Extract curated entity-name lists covering a deterministic fraction of
+    /// the world's names (the labeling-function knowledge base of E3).
+    pub fn curated_lists(&self, coverage: f64, seed: u64) -> CuratedLists {
+        let mut rng = Rng::new(seed ^ 0xBADC_0DE5);
+        let take = |items: Vec<String>, rng: &mut Rng| -> Vec<String> {
+            items.into_iter().filter(|_| rng.chance(coverage)).collect()
+        };
+        CuratedLists {
+            malware: take(
+                self.malware.iter().flat_map(|m| m.aliases.clone()).collect(),
+                &mut rng,
+            ),
+            actors: take(self.actors.iter().flat_map(|a| a.aliases.clone()).collect(), &mut rng),
+            techniques: take(self.techniques.clone(), &mut rng),
+            tools: take(self.tools.clone(), &mut rng),
+            software: take(self.software.clone(), &mut rng),
+        }
+    }
+}
+
+/// Expand a name into its alias group (name first), or a singleton.
+fn alias_group(name: &str, groups: &[&[&str]]) -> Vec<String> {
+    for group in groups {
+        if group[0] == name {
+            return group.iter().map(|s| (*s).to_owned()).collect();
+        }
+    }
+    vec![name.to_owned()]
+}
+
+fn gen_n(rng: &mut Rng, lo: usize, hi: usize, f: impl Fn(&mut Rng) -> String) -> Vec<String> {
+    let n = rng.range(lo, hi);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = f(rng);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Pin the demo facts for wannacry (paper §3 scenario 1).
+fn enrich_wannacry(profile: &mut MalwareProfile, techniques: &[String], actors: &[ActorProfile]) {
+    profile.dropped_files = vec!["tasksche.exe".into(), "mssecsvc.exe".into()];
+    profile.file_paths = vec!["C:\\Windows\\mssecsvc.exe".into()];
+    profile.domains = vec!["iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com".into()];
+    profile.cves = vec![0]; // CVE-2017-0144 is always index 0
+    profile.is_ransomware = true;
+    if let Some(t) = techniques.iter().position(|t| t == "smb exploitation") {
+        profile.techniques = vec![t];
+        if let Some(t2) = techniques.iter().position(|t| t == "data encrypted for impact") {
+            profile.techniques.push(t2);
+        }
+    }
+    if let Some(a) = actors.iter().position(|a| a.name == "lazarus group") {
+        profile.actor = Some(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::default());
+        let b = World::generate(WorldConfig::default());
+        assert_eq!(a.malware.len(), b.malware.len());
+        for (x, y) in a.malware.iter().zip(&b.malware) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.domains, y.domains);
+            assert_eq!(x.hashes, y.hashes);
+        }
+    }
+
+    #[test]
+    fn world_contains_demo_entities() {
+        let w = World::generate(WorldConfig::default());
+        let wannacry = w.malware_by_name("wannacry").expect("wannacry exists");
+        assert!(wannacry.dropped_files.contains(&"tasksche.exe".to_owned()));
+        assert!(wannacry.is_ransomware);
+        assert_eq!(w.cves[wannacry.cves[0]].id, "CVE-2017-0144");
+        let cozy = w.actor_by_name("cozyduke").expect("cozyduke exists");
+        assert!(!cozy.techniques.is_empty());
+        // Alias lookup works.
+        assert!(w.actor_by_name("apt29").is_some());
+        assert!(w.malware_by_name("wcry").is_some());
+    }
+
+    #[test]
+    fn another_actor_shares_cozyduke_techniques() {
+        let w = World::generate(WorldConfig::default());
+        let cozy = w.actor_by_name("cozyduke").unwrap();
+        let twin = w
+            .actors
+            .iter()
+            .filter(|a| a.name != "cozyduke")
+            .find(|a| a.techniques == cozy.techniques);
+        assert!(twin.is_some(), "demo scenario 2 needs a technique twin");
+    }
+
+    #[test]
+    fn names_are_unique_across_malware_and_actors() {
+        let w = World::generate(WorldConfig::default());
+        let mut all: Vec<&str> = w.malware.iter().map(|m| m.name.as_str()).collect();
+        all.extend(w.actors.iter().map(|a| a.name.as_str()));
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn curated_lists_respect_coverage() {
+        let w = World::generate(WorldConfig::default());
+        let full = w.curated_lists(1.0, 1);
+        let half = w.curated_lists(0.5, 1);
+        let none = w.curated_lists(0.0, 1);
+        assert!(full.malware.len() >= w.malware.len());
+        assert!(half.malware.len() < full.malware.len());
+        assert!(none.malware.is_empty());
+        // Deterministic for a seed.
+        assert_eq!(half.malware, w.curated_lists(0.5, 1).malware);
+    }
+
+    #[test]
+    fn profiles_reference_valid_indices() {
+        let w = World::generate(WorldConfig::tiny(9));
+        for m in &w.malware {
+            for &c in &m.cves {
+                assert!(c < w.cves.len());
+            }
+            for &t in &m.techniques {
+                assert!(t < w.techniques.len());
+            }
+            if let Some(a) = m.actor {
+                assert!(a < w.actors.len());
+            }
+        }
+        for a in &w.actors {
+            for &t in &a.techniques {
+                assert!(t < w.techniques.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! One source's crawl cycle.
+
+use crate::state::SourceState;
+use crate::CrawlerConfig;
+use kg_corpus::{SimulatedWeb, SourceSpec};
+use kg_ir::{FetchStatus, RawReport};
+use std::fmt;
+
+/// Why a source crawl aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlError {
+    /// The failure budget was exhausted; the scheduler should reboot this
+    /// crawler later.
+    FailureBudgetExhausted { hard_failures: u32 },
+}
+
+impl fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrawlError::FailureBudgetExhausted { hard_failures } => {
+                write!(f, "aborted after {hard_failures} hard fetch failures")
+            }
+        }
+    }
+}
+
+/// Outcome of one source crawl cycle.
+#[derive(Debug, Default)]
+pub struct SourceOutcome {
+    /// New raw report pages, in fetch order.
+    pub reports: Vec<RawReport>,
+    /// Distinct new report keys completed.
+    pub new_reports: usize,
+    /// Pages fetched (index + article), including retries.
+    pub pages_fetched: usize,
+    /// Transient failures retried.
+    pub retries: usize,
+    /// Fetches that stayed failed after all retries.
+    pub hard_failures: usize,
+    /// Total simulated latency accumulated (virtual milliseconds).
+    pub virtual_ms: u64,
+    /// Error, if the cycle aborted early.
+    pub error: Option<CrawlError>,
+}
+
+/// Fetch a URL with retry + exponential backoff. Returns the body if OK.
+fn fetch_with_retry(
+    web: &SimulatedWeb,
+    url: &str,
+    now_ms: &mut u64,
+    config: &CrawlerConfig,
+    outcome: &mut SourceOutcome,
+) -> Option<String> {
+    for attempt in 0..=config.max_retries {
+        let resp = web.fetch(url, *now_ms);
+        outcome.pages_fetched += 1;
+        outcome.virtual_ms += resp.latency_ms;
+        *now_ms += resp.latency_ms;
+        dilate(resp.latency_ms, config);
+        match resp.status {
+            FetchStatus::Ok => return Some(resp.body),
+            FetchStatus::NotFound => return None,
+            s if s.is_retryable() && attempt < config.max_retries => {
+                let backoff = config.backoff_base_ms << attempt;
+                outcome.retries += 1;
+                outcome.virtual_ms += backoff;
+                *now_ms += backoff;
+                dilate(backoff, config);
+            }
+            _ => {
+                outcome.hard_failures += 1;
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn dilate(virtual_ms: u64, config: &CrawlerConfig) {
+    if config.time_dilation > 0.0 {
+        let secs = virtual_ms as f64 * config.time_dilation / 1000.0;
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    }
+}
+
+/// Extract `/reports/<key>` hrefs from an index page.
+pub fn parse_index_links(body: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("href=\"/reports/") {
+        let after = &rest[pos + "href=\"/reports/".len()..];
+        if let Some(end) = after.find('"') {
+            keys.push(after[..end].to_owned());
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+    keys
+}
+
+/// Whether an index page has an "older" pagination link.
+pub fn index_has_next(body: &str) -> bool {
+    body.contains("class=\"next\"")
+}
+
+/// Extract the total page count from a multi-page article's pager div.
+pub fn parse_total_pages(body: &str) -> u32 {
+    body.find("data-total=\"")
+        .and_then(|pos| {
+            let after = &body[pos + "data-total=\"".len()..];
+            after.find('"').and_then(|end| after[..end].parse().ok())
+        })
+        .unwrap_or(1)
+}
+
+/// Crawl one source incrementally: walk index pages newest-first, fetch every
+/// unseen article (all of its pages), and stop at the first index page whose
+/// links are all already seen.
+pub fn crawl_source(
+    web: &SimulatedWeb,
+    spec: &SourceSpec,
+    state: &mut SourceState,
+    config: &CrawlerConfig,
+    start_ms: u64,
+) -> SourceOutcome {
+    let mut outcome = SourceOutcome::default();
+    let mut now_ms = start_ms;
+    let mut index_page = 0usize;
+
+    'pages: loop {
+        let url = spec.index_url(index_page);
+        let Some(body) = fetch_with_retry(web, &url, &mut now_ms, config, &mut outcome) else {
+            if outcome.hard_failures >= config.failure_budget as usize {
+                outcome.error = Some(CrawlError::FailureBudgetExhausted {
+                    hard_failures: outcome.hard_failures as u32,
+                });
+            }
+            break;
+        };
+        let keys = parse_index_links(&body);
+        if keys.is_empty() {
+            break;
+        }
+        let mut any_new = false;
+        for key in &keys {
+            if state.seen.contains(key) {
+                continue;
+            }
+            if let Some(cap) = config.max_new_per_source {
+                if outcome.new_reports >= cap {
+                    break 'pages;
+                }
+            }
+            any_new = true;
+            let article_url = spec.article_url(key, 1);
+            let Some(first) =
+                fetch_with_retry(web, &article_url, &mut now_ms, config, &mut outcome)
+            else {
+                if outcome.hard_failures >= config.failure_budget as usize {
+                    outcome.error = Some(CrawlError::FailureBudgetExhausted {
+                        hard_failures: outcome.hard_failures as u32,
+                    });
+                    break 'pages;
+                }
+                continue;
+            };
+            let total_pages = parse_total_pages(&first);
+            let mut pages = vec![(1u32, first)];
+            let mut complete = true;
+            for page in 2..=total_pages {
+                let url = spec.article_url(key, page);
+                match fetch_with_retry(web, &url, &mut now_ms, config, &mut outcome) {
+                    Some(body) => pages.push((page, body)),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                // Leave unseen: the next cycle retries the whole article.
+                continue;
+            }
+            for (page, body) in pages {
+                let raw = RawReport {
+                    source: spec.id,
+                    source_name: spec.name.clone(),
+                    url: spec.article_url(key, page),
+                    report_key: key.clone(),
+                    page,
+                    total_pages: Some(total_pages),
+                    status: FetchStatus::Ok,
+                    body,
+                    fetched_at_ms: now_ms,
+                };
+                state.content_hashes.insert(key.clone(), raw.content_hash());
+                outcome.reports.push(raw);
+            }
+            state.seen.insert(key.clone());
+            outcome.new_reports += 1;
+        }
+        if !any_new {
+            // Newest-first listing: a fully-seen page means everything older
+            // is seen too.
+            break;
+        }
+        if !index_has_next(&body) {
+            break;
+        }
+        index_page += 1;
+    }
+
+    state.last_crawl_ms = now_ms;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_corpus::{standard_sources, SimulatedWeb, World, WorldConfig};
+
+    const FOREVER: u64 = u64::MAX / 4;
+
+    fn web() -> SimulatedWeb {
+        SimulatedWeb::new(World::generate(WorldConfig::tiny(3)), standard_sources(25), 11)
+    }
+
+    #[test]
+    fn parses_index_links_and_pager() {
+        let body = "<a href=\"/reports/r9\">r9</a> <a href=\"/reports/r8\">r8</a>";
+        assert_eq!(parse_index_links(body), vec!["r9", "r8"]);
+        assert!(!index_has_next(body));
+        assert!(index_has_next("<a class=\"next\" href=\"?page=next\">older</a>"));
+        assert_eq!(parse_total_pages("<div data-page=\"1\" data-total=\"2\"></div>"), 2);
+        assert_eq!(parse_total_pages("<p>no pager</p>"), 1);
+    }
+
+    #[test]
+    fn full_crawl_fetches_every_published_article() {
+        let web = web();
+        let spec = web.sources()[0].clone(); // failure_rate 0
+        let mut state = SourceState::default();
+        let out = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), FOREVER);
+        assert!(out.error.is_none());
+        assert_eq!(out.new_reports, spec.article_count);
+        assert_eq!(state.seen.len(), spec.article_count);
+        assert!(out.pages_fetched > spec.article_count); // indexes too
+        assert!(out.virtual_ms > 0);
+    }
+
+    #[test]
+    fn incremental_crawl_fetches_nothing_new() {
+        let web = web();
+        let spec = web.sources()[0].clone();
+        let mut state = SourceState::default();
+        let config = CrawlerConfig::default();
+        let first = crawl_source(&web, &spec, &mut state, &config, FOREVER);
+        let second = crawl_source(&web, &spec, &mut state, &config, FOREVER);
+        assert!(first.new_reports > 0);
+        assert_eq!(second.new_reports, 0);
+        // Incremental stop: only the first index page is refetched.
+        assert_eq!(second.pages_fetched, 1);
+    }
+
+    #[test]
+    fn time_gated_crawl_sees_only_published() {
+        let web = web();
+        let spec = web.sources()[0].clone();
+        // At the publish time of article 4, articles 0..=4 exist.
+        let t = spec.publish_time_ms(4);
+        let mut state = SourceState::default();
+        let out = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), t);
+        // The crawl clock advances past t while fetching, which may publish
+        // one or two more articles mid-crawl; it can never see all of them.
+        assert!(out.new_reports >= 5, "{}", out.new_reports);
+        assert!(out.new_reports < spec.article_count);
+        // Later, the rest appear.
+        let out2 = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), FOREVER);
+        assert_eq!(state.seen.len(), spec.article_count);
+        assert!(out2.new_reports > 0);
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failures() {
+        let web = web();
+        // Source 3 has failure_rate 0.08.
+        let spec = web.sources()[3].clone();
+        assert!(spec.failure_rate > 0.0);
+        let mut state = SourceState::default();
+        let config = CrawlerConfig { backoff_base_ms: 6000, ..CrawlerConfig::default() };
+        let out = crawl_source(&web, &spec, &mut state, &config, FOREVER);
+        assert!(out.retries > 0, "expected transient failures to be retried");
+        // With generous backoff the crawl should mostly complete.
+        assert!(out.new_reports as f64 >= spec.article_count as f64 * 0.8);
+    }
+
+    #[test]
+    fn multipage_reports_arrive_whole() {
+        let web = web();
+        // Pick a failure-free source that provably contains a 2-page,
+        // non-ad article (page-count draws are per-source-seeded, so a
+        // low multipage_prob source can have none).
+        let spec = web
+            .sources()
+            .iter()
+            .find(|s| {
+                s.multipage_prob > 0.0
+                    && s.failure_rate == 0.0
+                    && (0..s.article_count)
+                        .any(|i| web.page_count(s, i) == 2 && !web.is_ad(s, i))
+            })
+            .expect("some source with a multipage article")
+            .clone();
+        let mut state = SourceState::default();
+        let out = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), FOREVER);
+        let multi: Vec<&RawReport> =
+            out.reports.iter().filter(|r| r.total_pages == Some(2)).collect();
+        assert!(!multi.is_empty(), "no multi-page article crawled");
+        // Every 2-page report key appears exactly twice (page 1 and 2).
+        let mut counts = std::collections::HashMap::new();
+        for r in &multi {
+            *counts.entry(&r.report_key).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn max_new_per_source_caps_work() {
+        let web = web();
+        let spec = web.sources()[0].clone();
+        let mut state = SourceState::default();
+        let config =
+            CrawlerConfig { max_new_per_source: Some(3), ..CrawlerConfig::default() };
+        let out = crawl_source(&web, &spec, &mut state, &config, FOREVER);
+        assert_eq!(out.new_reports, 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! Incremental crawl state.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-source crawl state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SourceState {
+    /// Report keys already fetched successfully.
+    pub seen: HashSet<String>,
+    /// Simulated time of the last completed crawl cycle.
+    pub last_crawl_ms: u64,
+    /// Content hashes by key, for change detection on re-crawl.
+    pub content_hashes: HashMap<String, u64>,
+}
+
+/// Crawl state across all sources, keyed by source name. Serialisable so an
+/// interrupted deployment resumes instead of re-fetching 120K reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrawlState {
+    sources: HashMap<String, SourceState>,
+}
+
+impl CrawlState {
+    /// Empty state (a fresh deployment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State for one source, created on first access.
+    pub fn source_mut(&mut self, name: &str) -> &mut SourceState {
+        self.sources.entry(name.to_owned()).or_default()
+    }
+
+    /// Read-only view of one source's state.
+    pub fn source(&self, name: &str) -> Option<&SourceState> {
+        self.sources.get(name)
+    }
+
+    /// Total seen reports across sources.
+    pub fn total_seen(&self) -> usize {
+        self.sources.values().map(|s| s.seen.len()).sum()
+    }
+
+    /// Serialise to JSON bytes.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Load from JSON bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_round_trips() {
+        let mut s = CrawlState::new();
+        s.source_mut("securelist").seen.insert("r0".into());
+        s.source_mut("securelist").last_crawl_ms = 42;
+        s.source_mut("talos-intel").seen.insert("r5".into());
+        let back = CrawlState::from_bytes(&s.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.total_seen(), 2);
+        assert!(back.source("securelist").unwrap().seen.contains("r0"));
+        assert_eq!(back.source("securelist").unwrap().last_crawl_ms, 42);
+        assert!(back.source("missing").is_none());
+    }
+}

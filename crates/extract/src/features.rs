@@ -1,0 +1,379 @@
+//! Feature templates for the sequence models.
+//!
+//! The paper trains its CRF with "features such as word lemmas, pos tags, and
+//! word embeddings". The featurizer emits, per token:
+//!
+//! - lexical: lowercase word, lemma, prefixes/suffixes, word shape;
+//! - syntactic: POS tag, previous/next word and POS (window ±2);
+//! - security: the IOC class of protected tokens;
+//! - distributional: the k-means cluster id of the word's embedding
+//!   (the discrete stand-in for raw embedding vectors);
+//! - knowledge: gazetteer membership flags from the curated lists.
+//!
+//! Features are interned into dense `u32` ids by [`FeatureMap`]; unseen
+//! features at decode time are ignored (standard for linear models).
+
+use kg_nlp::{AnalyzedSentence, KMeans, TokenKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Which feature families to emit (ablation switches for E3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    pub lexical: bool,
+    pub affixes: bool,
+    pub shape: bool,
+    pub pos: bool,
+    pub lemma: bool,
+    pub context: bool,
+    pub ioc_class: bool,
+    pub clusters: bool,
+    pub gazetteers: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            lexical: true,
+            affixes: true,
+            shape: true,
+            pos: true,
+            lemma: true,
+            context: true,
+            ioc_class: true,
+            clusters: true,
+            gazetteers: true,
+        }
+    }
+}
+
+/// A gazetteer: a named set of (possibly multi-word) entries, matched over
+/// lowercase token windows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Gazetteer {
+    pub name: String,
+    /// Entries, each pre-split into lowercase words.
+    entries: HashSet<Vec<String>>,
+    max_len: usize,
+}
+
+impl Gazetteer {
+    /// Build from entry strings.
+    pub fn new(name: &str, entries: impl IntoIterator<Item = String>) -> Self {
+        let entries: HashSet<Vec<String>> = entries
+            .into_iter()
+            .map(|e| e.to_lowercase().split_whitespace().map(str::to_owned).collect())
+            .filter(|v: &Vec<String>| !v.is_empty())
+            .collect();
+        let max_len = entries.iter().map(Vec::len).max().unwrap_or(0);
+        Gazetteer { name: name.to_owned(), entries, max_len }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the gazetteer has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mark tokens covered by any entry: returns per-token `(covered,
+    /// begins)` flags.
+    pub fn match_tokens(&self, lower_words: &[String]) -> Vec<(bool, bool)> {
+        let mut flags = vec![(false, false); lower_words.len()];
+        if self.is_empty() {
+            return flags;
+        }
+        for start in 0..lower_words.len() {
+            for len in (1..=self.max_len.min(lower_words.len() - start)).rev() {
+                let window = &lower_words[start..start + len];
+                if self.entries.contains(window) {
+                    flags[start].1 = true;
+                    for f in &mut flags[start..start + len] {
+                        f.0 = true;
+                    }
+                    break;
+                }
+            }
+        }
+        flags
+    }
+}
+
+/// Interns feature strings to dense ids. Growable during training, frozen at
+/// decode (lookups only).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FeatureMap {
+    index: HashMap<String, u32>,
+}
+
+impl FeatureMap {
+    /// Intern a feature, allocating an id if new.
+    pub fn intern(&mut self, feature: &str) -> u32 {
+        if let Some(&id) = self.index.get(feature) {
+            return id;
+        }
+        let id = self.index.len() as u32;
+        self.index.insert(feature.to_owned(), id);
+        id
+    }
+
+    /// Look up without allocating.
+    pub fn get(&self, feature: &str) -> Option<u32> {
+        self.index.get(feature).copied()
+    }
+
+    /// Number of interned features.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no features are interned.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// The featurizer: config + optional cluster model + gazetteers.
+#[derive(Debug, Clone, Default)]
+pub struct Featurizer {
+    pub config: FeatureConfig,
+    pub clusters: Option<KMeans>,
+    pub gazetteers: Vec<Gazetteer>,
+}
+
+impl Featurizer {
+    /// A featurizer with the default config and no external resources.
+    pub fn new(config: FeatureConfig) -> Self {
+        Featurizer { config, clusters: None, gazetteers: Vec::new() }
+    }
+
+    /// Emit feature strings for every position of a sentence.
+    pub fn features(&self, sentence: &AnalyzedSentence) -> Vec<Vec<String>> {
+        let n = sentence.tokens.len();
+        let lower: Vec<String> =
+            sentence.tokens.iter().map(|t| t.text.to_lowercase()).collect();
+        let gaz_flags: Vec<(String, Vec<(bool, bool)>)> = if self.config.gazetteers {
+            self.gazetteers
+                .iter()
+                .map(|g| (g.name.clone(), g.match_tokens(&lower)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut feats = Vec::with_capacity(24);
+            let token = &sentence.tokens[i];
+            let word = &lower[i];
+            feats.push("bias".to_owned());
+
+            if self.config.lexical {
+                feats.push(format!("w={word}"));
+            }
+            if self.config.lemma {
+                feats.push(format!("lem={}", sentence.lemmas[i]));
+            }
+            if self.config.pos {
+                feats.push(format!("pos={}", sentence.tags[i].as_str()));
+            }
+            if self.config.shape {
+                feats.push(format!("shape={}", shape(&token.text)));
+                if i == 0 {
+                    feats.push("bos".to_owned());
+                }
+                if i + 1 == n {
+                    feats.push("eos".to_owned());
+                }
+            }
+            if self.config.affixes && token.kind == TokenKind::Word {
+                let chars: Vec<char> = word.chars().collect();
+                for l in 2..=3 {
+                    if chars.len() > l {
+                        let p: String = chars[..l].iter().collect();
+                        let s: String = chars[chars.len() - l..].iter().collect();
+                        feats.push(format!("pre{l}={p}"));
+                        feats.push(format!("suf{l}={s}"));
+                    }
+                }
+            }
+            if self.config.ioc_class {
+                if let TokenKind::Ioc(kind) = token.kind {
+                    feats.push(format!("ioc={}", kind.tag_stem()));
+                }
+            }
+            if self.config.context {
+                for (name, j) in [
+                    ("p1", i.checked_sub(1)),
+                    ("p2", i.checked_sub(2)),
+                    ("n1", (i + 1 < n).then_some(i + 1)),
+                    ("n2", (i + 2 < n).then_some(i + 2)),
+                ] {
+                    match j {
+                        Some(j) => {
+                            feats.push(format!("{name}w={}", lower[j]));
+                            feats.push(format!("{name}pos={}", sentence.tags[j].as_str()));
+                        }
+                        None => feats.push(format!("{name}=∅")),
+                    }
+                }
+            }
+            if self.config.clusters {
+                if let Some(km) = &self.clusters {
+                    if let Some(c) = km.cluster_of(word) {
+                        feats.push(format!("clu={c}"));
+                    }
+                }
+            }
+            for (name, flags) in &gaz_flags {
+                if flags[i].0 {
+                    feats.push(format!("gaz={name}"));
+                    if flags[i].1 {
+                        feats.push(format!("gazB={name}"));
+                    }
+                }
+            }
+            // POS tag bigram (cheap syntax signal).
+            if self.config.pos && i > 0 {
+                feats.push(format!(
+                    "posbi={}|{}",
+                    sentence.tags[i - 1].as_str(),
+                    sentence.tags[i].as_str()
+                ));
+            }
+            out.push(feats);
+        }
+        out
+    }
+
+    /// Emit and intern features; used during training.
+    pub fn features_interned(
+        &self,
+        sentence: &AnalyzedSentence,
+        map: &mut FeatureMap,
+    ) -> Vec<Vec<u32>> {
+        self.features(sentence)
+            .into_iter()
+            .map(|fs| fs.iter().map(|f| map.intern(f)).collect())
+            .collect()
+    }
+
+    /// Emit and look up features; used at decode time (unknown → dropped).
+    pub fn features_lookup(
+        &self,
+        sentence: &AnalyzedSentence,
+        map: &FeatureMap,
+    ) -> Vec<Vec<u32>> {
+        self.features(sentence)
+            .into_iter()
+            .map(|fs| fs.iter().filter_map(|f| map.get(f)).collect())
+            .collect()
+    }
+}
+
+/// Word shape: letters → `x`/`X`, digits → `d`, runs collapsed.
+/// "WannaCry" → "Xx", "CVE-2017-0144" → "X-d-d", "10.0.0.1" → "d.d.d.d".
+pub fn shape(word: &str) -> String {
+    let mut out = String::new();
+    let mut last = '\0';
+    for c in word.chars() {
+        let s = if c.is_ascii_digit() {
+            'd'
+        } else if c.is_uppercase() {
+            'X'
+        } else if c.is_alphabetic() {
+            'x'
+        } else {
+            c
+        };
+        if s != last || !(s == 'x' || s == 'X' || s == 'd') {
+            out.push(s);
+            last = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_nlp::{analyze, IocMatcher, PosTagger};
+
+    fn sentence(text: &str) -> AnalyzedSentence {
+        analyze(text, &IocMatcher::standard(), &PosTagger::standard())
+            .into_iter()
+            .next()
+            .unwrap()
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(shape("WannaCry"), "XxXx");
+        assert_eq!(shape("CVE-2017-0144"), "X-d-d");
+        assert_eq!(shape("10.0.0.1"), "d.d.d.d");
+        assert_eq!(shape("emotet"), "x");
+    }
+
+    #[test]
+    fn features_cover_families() {
+        let f = Featurizer::new(FeatureConfig::default());
+        let s = sentence("wannacry dropped tasksche.exe quickly.");
+        let feats = f.features(&s);
+        assert_eq!(feats.len(), s.tokens.len());
+        let first = &feats[0];
+        assert!(first.iter().any(|x| x == "w=wannacry"));
+        assert!(first.iter().any(|x| x == "bos"));
+        assert!(first.iter().any(|x| x.starts_with("suf3=")));
+        // The IOC token carries its class feature.
+        let ioc_pos = s.tokens.iter().position(|t| t.is_ioc()).unwrap();
+        assert!(feats[ioc_pos].iter().any(|x| x == "ioc=FIL"));
+    }
+
+    #[test]
+    fn ablation_switches_remove_families() {
+        let cfg = FeatureConfig { context: false, affixes: false, ..FeatureConfig::default() };
+        let f = Featurizer::new(cfg);
+        let feats = f.features(&sentence("emotet spreads fast."));
+        for fs in &feats {
+            assert!(!fs.iter().any(|x| x.starts_with("p1w=")));
+            assert!(!fs.iter().any(|x| x.starts_with("suf")));
+        }
+    }
+
+    #[test]
+    fn gazetteer_multiword_match() {
+        let g = Gazetteer::new("actor", ["Lazarus Group".to_owned(), "turla".to_owned()]);
+        let lower = ["the", "lazarus", "group", "struck"].map(str::to_owned);
+        let flags = g.match_tokens(&lower);
+        assert_eq!(flags[0], (false, false));
+        assert_eq!(flags[1], (true, true));
+        assert_eq!(flags[2], (true, false));
+        assert_eq!(flags[3], (false, false));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn feature_map_interns_stably() {
+        let mut m = FeatureMap::default();
+        let a = m.intern("w=x");
+        let b = m.intern("w=y");
+        assert_ne!(a, b);
+        assert_eq!(m.intern("w=x"), a);
+        assert_eq!(m.get("w=x"), Some(a));
+        assert_eq!(m.get("w=z"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn gazetteer_features_appear() {
+        let mut f = Featurizer::new(FeatureConfig::default());
+        f.gazetteers.push(Gazetteer::new("mal", ["emotet".to_owned()]));
+        let feats = f.features(&sentence("the emotet malware returned."));
+        let pos = 1; // "emotet"
+        assert!(feats[pos].iter().any(|x| x == "gaz=mal"));
+        assert!(feats[pos].iter().any(|x| x == "gazB=mal"));
+    }
+}

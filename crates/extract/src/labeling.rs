@@ -1,0 +1,446 @@
+//! Data programming (Ratner et al., the paper's reference \[11\]): synthesise
+//! NER training labels from *labeling functions* instead of manual
+//! annotation.
+//!
+//! Labeling functions vote per token (or abstain). The built-in set mirrors
+//! the paper: gazetteer LFs over curated entity lists ("constructed from
+//! MITRE ATT&CK"), the IOC scanner, and contextual/morphological cues. A
+//! generative [`LabelModel`] learns each LF's accuracy with EM (assuming
+//! conditionally independent LFs, the classic Snorkel simplification) and
+//! emits denoised per-token labels, which then train the CRF.
+
+use crate::features::Gazetteer;
+use crate::label::{LabelId, LabelSet};
+use kg_nlp::{AnalyzedSentence, TokenKind};
+use kg_ontology::EntityKind;
+
+/// A labeling function: votes a label per token, or abstains.
+pub trait LabelingFunction: Send + Sync {
+    /// Stable name for diagnostics and learned-accuracy reporting.
+    fn name(&self) -> &str;
+    /// Per-token votes for one sentence (`None` = abstain).
+    fn vote(&self, sentence: &AnalyzedSentence, labels: &LabelSet) -> Vec<Option<LabelId>>;
+}
+
+/// The built-in labeling functions.
+pub enum Lf {
+    /// Multi-word gazetteer match → B/I votes for `kind`.
+    Gazetteer { label: String, gazetteer: Gazetteer, kind: EntityKind },
+    /// Protected IOC tokens vote their scanner kind.
+    IocClass,
+    /// An unknown word immediately *followed by* one of the cue words votes
+    /// `kind` (e.g. "`<X>` ransomware" → malware).
+    FollowedByCue { label: String, cues: Vec<&'static str>, kind: EntityKind },
+    /// An unknown word immediately *preceded by* one of the cue words votes
+    /// `kind` (e.g. "actor `<X>`").
+    PrecededByCue { label: String, cues: Vec<&'static str>, kind: EntityKind },
+    /// Lowercase words with a tell-tale suffix vote `kind` ("-bot", "-locker").
+    Suffix { label: String, suffixes: Vec<&'static str>, kind: EntityKind },
+    /// `aptNN` tokens vote threat actor.
+    AptPattern,
+}
+
+impl LabelingFunction for Lf {
+    fn name(&self) -> &str {
+        match self {
+            Lf::Gazetteer { label, .. }
+            | Lf::FollowedByCue { label, .. }
+            | Lf::PrecededByCue { label, .. }
+            | Lf::Suffix { label, .. } => label,
+            Lf::IocClass => "ioc-class",
+            Lf::AptPattern => "apt-pattern",
+        }
+    }
+
+    fn vote(&self, sentence: &AnalyzedSentence, labels: &LabelSet) -> Vec<Option<LabelId>> {
+        let n = sentence.tokens.len();
+        let mut votes = vec![None; n];
+        match self {
+            Lf::Gazetteer { gazetteer, kind, .. } => {
+                let lower: Vec<String> =
+                    sentence.tokens.iter().map(|t| t.text.to_lowercase()).collect();
+                let flags = gazetteer.match_tokens(&lower);
+                for i in 0..n {
+                    if flags[i].0 {
+                        votes[i] = if flags[i].1 { labels.begin(*kind) } else { labels.inside(*kind) };
+                    }
+                }
+            }
+            Lf::IocClass => {
+                for (i, t) in sentence.tokens.iter().enumerate() {
+                    if let TokenKind::Ioc(kind) = t.kind {
+                        votes[i] = labels.begin(kind);
+                    }
+                }
+            }
+            Lf::FollowedByCue { cues, kind, .. } => {
+                for (i, vote) in votes.iter_mut().enumerate().take(n.saturating_sub(1)) {
+                    let next = sentence.tokens[i + 1].text.to_lowercase();
+                    if sentence.tokens[i].kind == TokenKind::Word
+                        && cues.contains(&next.as_str())
+                    {
+                        *vote = labels.begin(*kind);
+                    }
+                }
+            }
+            Lf::PrecededByCue { cues, kind, .. } => {
+                for (i, vote) in votes.iter_mut().enumerate().skip(1) {
+                    let prev = sentence.tokens[i - 1].text.to_lowercase();
+                    if sentence.tokens[i].kind == TokenKind::Word
+                        && cues.contains(&prev.as_str())
+                    {
+                        *vote = labels.begin(*kind);
+                    }
+                }
+            }
+            Lf::Suffix { suffixes, kind, .. } => {
+                for (i, t) in sentence.tokens.iter().enumerate() {
+                    if t.kind != TokenKind::Word {
+                        continue;
+                    }
+                    let w = t.text.to_lowercase();
+                    if w.len() >= 6 && suffixes.iter().any(|s| w.ends_with(s)) {
+                        votes[i] = labels.begin(*kind);
+                    }
+                }
+            }
+            Lf::AptPattern => {
+                for (i, t) in sentence.tokens.iter().enumerate() {
+                    let w = t.text.to_lowercase();
+                    if let Some(digits) = w.strip_prefix("apt") {
+                        if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                            votes[i] = labels.begin(EntityKind::ThreatActor);
+                        }
+                    }
+                }
+            }
+        }
+        votes
+    }
+}
+
+/// Build the standard LF battery from curated entity-name lists.
+pub fn standard_lfs(
+    malware: Vec<String>,
+    actors: Vec<String>,
+    techniques: Vec<String>,
+    tools: Vec<String>,
+    software: Vec<String>,
+) -> Vec<Lf> {
+    vec![
+        Lf::Gazetteer {
+            label: "gaz-malware".into(),
+            gazetteer: Gazetteer::new("malware", malware),
+            kind: EntityKind::Malware,
+        },
+        Lf::Gazetteer {
+            label: "gaz-actor".into(),
+            gazetteer: Gazetteer::new("actor", actors),
+            kind: EntityKind::ThreatActor,
+        },
+        Lf::Gazetteer {
+            label: "gaz-technique".into(),
+            gazetteer: Gazetteer::new("technique", techniques),
+            kind: EntityKind::Technique,
+        },
+        Lf::Gazetteer {
+            label: "gaz-tool".into(),
+            gazetteer: Gazetteer::new("tool", tools),
+            kind: EntityKind::Tool,
+        },
+        Lf::Gazetteer {
+            label: "gaz-software".into(),
+            gazetteer: Gazetteer::new("software", software),
+            kind: EntityKind::Software,
+        },
+        Lf::IocClass,
+        Lf::FollowedByCue {
+            label: "cue-malware-head".into(),
+            cues: vec!["ransomware", "malware", "trojan", "botnet", "worm", "family"],
+            kind: EntityKind::Malware,
+        },
+        Lf::PrecededByCue {
+            label: "cue-actor-head".into(),
+            cues: vec!["actor", "group"],
+            kind: EntityKind::ThreatActor,
+        },
+        Lf::Suffix {
+            label: "suffix-malware".into(),
+            suffixes: vec!["bot", "locker", "crypt", "loader", "stealer", "rat", "worm", "miner"],
+            kind: EntityKind::Malware,
+        },
+        Lf::AptPattern,
+    ]
+}
+
+/// The generative label model: learned per-LF accuracies + denoised labels.
+#[derive(Debug, Clone)]
+pub struct LabelModel {
+    names: Vec<String>,
+    accuracies: Vec<f64>,
+}
+
+impl LabelModel {
+    /// Fit accuracies by EM over all voted tokens and return the denoised
+    /// per-sentence label sequences (BIO-repaired).
+    pub fn fit(
+        lfs: &[Lf],
+        sentences: &[AnalyzedSentence],
+        labels: &LabelSet,
+        em_iters: usize,
+    ) -> (LabelModel, Vec<Vec<LabelId>>) {
+        // Collect votes: per sentence, per token, Vec<(lf_idx, label)>.
+        let all_votes: Vec<Vec<Vec<(usize, LabelId)>>> = sentences
+            .iter()
+            .map(|s| {
+                let per_lf: Vec<Vec<Option<LabelId>>> =
+                    lfs.iter().map(|lf| lf.vote(s, labels)).collect();
+                (0..s.tokens.len())
+                    .map(|t| {
+                        per_lf
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(j, v)| v[t].map(|l| (j, l)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let k = labels.len() as f64;
+        let mut acc = vec![0.7f64; lfs.len()];
+        for _ in 0..em_iters {
+            let mut correct = vec![1e-6f64; lfs.len()];
+            let mut total = vec![2e-6f64; lfs.len()];
+            for sent_votes in &all_votes {
+                for votes in sent_votes {
+                    if votes.is_empty() {
+                        continue;
+                    }
+                    let posterior = token_posterior(votes, &acc, labels, k);
+                    for &(j, v) in votes {
+                        let p_correct = posterior
+                            .iter()
+                            .find(|(y, _)| *y == v)
+                            .map(|(_, p)| *p)
+                            .unwrap_or(0.0);
+                        correct[j] += p_correct;
+                        total[j] += 1.0;
+                    }
+                }
+            }
+            for j in 0..acc.len() {
+                acc[j] = (correct[j] / total[j]).clamp(0.05, 0.99);
+            }
+        }
+
+        // Decode MAP labels.
+        let mut out = Vec::with_capacity(sentences.len());
+        for (s, sent_votes) in sentences.iter().zip(&all_votes) {
+            let mut seq = vec![LabelSet::O; s.tokens.len()];
+            for (t, votes) in sent_votes.iter().enumerate() {
+                if votes.is_empty() {
+                    continue;
+                }
+                let posterior = token_posterior(votes, &acc, labels, k);
+                if let Some((y, p)) = posterior
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                {
+                    if *y != LabelSet::O && *p > 0.5 {
+                        seq[t] = *y;
+                    }
+                }
+            }
+            // BIO repair: round-trip through spans.
+            let spans = labels.decode_spans(&seq);
+            out.push(labels.encode_spans(seq.len(), &spans));
+        }
+
+        let model = LabelModel {
+            names: lfs.iter().map(|l| l.name().to_owned()).collect(),
+            accuracies: acc,
+        };
+        (model, out)
+    }
+
+    /// Simple majority vote (the ablation baseline for the label model).
+    pub fn majority_vote(
+        lfs: &[Lf],
+        sentences: &[AnalyzedSentence],
+        labels: &LabelSet,
+    ) -> Vec<Vec<LabelId>> {
+        sentences
+            .iter()
+            .map(|s| {
+                let per_lf: Vec<Vec<Option<LabelId>>> =
+                    lfs.iter().map(|lf| lf.vote(s, labels)).collect();
+                let mut seq = vec![LabelSet::O; s.tokens.len()];
+                for t in 0..s.tokens.len() {
+                    let mut counts: std::collections::HashMap<LabelId, usize> =
+                        std::collections::HashMap::new();
+                    for v in &per_lf {
+                        if let Some(l) = v[t] {
+                            *counts.entry(l).or_insert(0) += 1;
+                        }
+                    }
+                    if let Some((&l, _)) = counts
+                        .iter()
+                        .max_by_key(|(l, c)| (**c, std::cmp::Reverse(**l)))
+                    {
+                        seq[t] = l;
+                    }
+                }
+                let spans = labels.decode_spans(&seq);
+                labels.encode_spans(seq.len(), &spans)
+            })
+            .collect()
+    }
+
+    /// Learned accuracy per LF, aligned with [`LabelModel::names`].
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// LF names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// Posterior over candidate labels for one token's votes, assuming
+/// independent LFs with accuracy `acc[j]` and uniform error over the other
+/// `k-1` labels. Candidates: each voted label plus `O`.
+fn token_posterior(
+    votes: &[(usize, LabelId)],
+    acc: &[f64],
+    _labels: &LabelSet,
+    k: f64,
+) -> Vec<(LabelId, f64)> {
+    let mut candidates: Vec<LabelId> = votes.iter().map(|&(_, l)| l).collect();
+    candidates.push(LabelSet::O);
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut scored: Vec<(LabelId, f64)> = candidates
+        .into_iter()
+        .map(|y| {
+            // Mild prior for O: unvoted tokens are overwhelmingly O, and LFs
+            // do fire spuriously.
+            let mut log_p: f64 = if y == LabelSet::O { (0.3f64).ln() } else { (0.7f64).ln() };
+            for &(j, v) in votes {
+                let a = acc[j];
+                log_p += if v == y { a.ln() } else { ((1.0 - a) / (k - 1.0)).ln() };
+            }
+            (y, log_p)
+        })
+        .collect();
+    let m = scored.iter().map(|(_, p)| *p).fold(f64::NEG_INFINITY, f64::max);
+    let z: f64 = scored.iter().map(|(_, p)| (p - m).exp()).sum();
+    for (_, p) in &mut scored {
+        *p = (*p - m).exp() / z;
+    }
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_nlp::{analyze, IocMatcher, PosTagger};
+
+    fn sentences(texts: &[&str]) -> Vec<AnalyzedSentence> {
+        let matcher = IocMatcher::standard();
+        let tagger = PosTagger::standard();
+        texts.iter().flat_map(|t| analyze(t, &matcher, &tagger)).collect()
+    }
+
+    fn lfs() -> Vec<Lf> {
+        standard_lfs(
+            vec!["emotet".into(), "wannacry".into()],
+            vec!["lazarus group".into()],
+            vec!["credential dumping".into()],
+            vec!["mimikatz".into()],
+            vec!["windows".into()],
+        )
+    }
+
+    #[test]
+    fn gazetteer_and_ioc_votes() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        let sents = sentences(&["emotet dropped invoice7.exe on windows."]);
+        let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
+        let spans = labels.decode_spans(&denoised[0]);
+        assert!(spans.contains(&(EntityKind::Malware, 0, 1)), "{spans:?}");
+        assert!(spans.iter().any(|&(k, _, _)| k == EntityKind::FileName), "{spans:?}");
+        assert!(spans.iter().any(|&(k, _, _)| k == EntityKind::Software), "{spans:?}");
+    }
+
+    #[test]
+    fn context_cues_label_unlisted_names() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        // "florbleware" wait: use suffix-free unknown name with cue.
+        let sents = sentences(&["the krozen ransomware spread quickly."]);
+        let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
+        let spans = labels.decode_spans(&denoised[0]);
+        assert!(spans.contains(&(EntityKind::Malware, 1, 2)), "{spans:?}");
+    }
+
+    #[test]
+    fn suffix_and_apt_patterns() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        let sents = sentences(&["zarlocker appeared alongside apt77 infrastructure."]);
+        let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
+        let spans = labels.decode_spans(&denoised[0]);
+        assert!(spans.contains(&(EntityKind::Malware, 0, 1)), "{spans:?}");
+        // tokens: zarlocker(0) appeared(1) alongside(2) apt77(3) ...
+        assert!(spans.contains(&(EntityKind::ThreatActor, 3, 4)), "{spans:?}");
+    }
+
+    #[test]
+    fn multiword_gazetteer_spans() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        let sents = sentences(&["lazarus group used credential dumping via mimikatz."]);
+        let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
+        let spans = labels.decode_spans(&denoised[0]);
+        assert!(spans.contains(&(EntityKind::ThreatActor, 0, 2)), "{spans:?}");
+        assert!(spans.contains(&(EntityKind::Technique, 3, 5)), "{spans:?}");
+        assert!(spans.contains(&(EntityKind::Tool, 6, 7)), "{spans:?}");
+    }
+
+    #[test]
+    fn em_raises_accuracy_of_agreeing_lfs() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        // emotet gets two votes (gazetteer + cue) in these sentences.
+        let sents = sentences(&[
+            "emotet ransomware returned.",
+            "emotet ransomware spread.",
+            "emotet ransomware evolved.",
+        ]);
+        let (model, _) = LabelModel::fit(&lfs, &sents, &labels, 10);
+        let gaz_idx = model.names().iter().position(|n| n == "gaz-malware").unwrap();
+        assert!(model.accuracies()[gaz_idx] > 0.5, "{:?}", model.accuracies());
+    }
+
+    #[test]
+    fn majority_vote_works_without_em() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        let sents = sentences(&["emotet ransomware returned."]);
+        let seqs = LabelModel::majority_vote(&lfs, &sents, &labels);
+        let spans = labels.decode_spans(&seqs[0]);
+        assert!(spans.contains(&(EntityKind::Malware, 0, 1)), "{spans:?}");
+    }
+
+    #[test]
+    fn unvoted_tokens_stay_outside() {
+        let labels = LabelSet::standard();
+        let lfs = lfs();
+        let sents = sentences(&["nothing of note happened anywhere."]);
+        let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
+        assert!(denoised[0].iter().all(|&l| l == LabelSet::O));
+    }
+}

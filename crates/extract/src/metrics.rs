@@ -1,0 +1,175 @@
+//! Precision / recall / F1 for spans and relations (experiment E3's
+//! measuring stick — the paper reports "> 92% F1" for its extractors).
+
+use kg_ontology::EntityKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A span prediction or gold item for matching: kind + byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpanMatch {
+    pub kind: EntityKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// Running precision/recall/F1 counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    pub tp: usize,
+    pub fp: usize,
+    pub fn_: usize,
+}
+
+impl Prf {
+    /// Precision (1.0 when nothing was predicted).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (1.0 when there was nothing to find).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accumulate another count.
+    pub fn add(&mut self, other: Prf) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Score one document: exact matching of predicted vs gold item sets
+    /// (duplicates collapse).
+    pub fn score_sets<T: Ord + Clone>(predicted: &[T], gold: &[T]) -> Prf {
+        let pred: std::collections::BTreeSet<T> = predicted.iter().cloned().collect();
+        let gold_set: std::collections::BTreeSet<T> = gold.iter().cloned().collect();
+        let tp = pred.intersection(&gold_set).count();
+        Prf { tp, fp: pred.len() - tp, fn_: gold_set.len() - tp }
+    }
+}
+
+/// Micro-averaged scores with a per-kind breakdown.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpanScores {
+    pub overall: Prf,
+    pub per_kind: BTreeMap<EntityKind, Prf>,
+}
+
+impl SpanScores {
+    /// Score one document's span predictions and fold into the totals.
+    pub fn add_document(&mut self, predicted: &[SpanMatch], gold: &[SpanMatch]) {
+        self.overall.add(Prf::score_sets(predicted, gold));
+        let kinds: std::collections::BTreeSet<EntityKind> = predicted
+            .iter()
+            .chain(gold)
+            .map(|s| s.kind)
+            .collect();
+        for kind in kinds {
+            let p: Vec<SpanMatch> =
+                predicted.iter().copied().filter(|s| s.kind == kind).collect();
+            let g: Vec<SpanMatch> = gold.iter().copied().filter(|s| s.kind == kind).collect();
+            self.per_kind.entry(kind).or_default().add(Prf::score_sets(&p, &g));
+        }
+    }
+
+    /// Macro-averaged F1 over kinds that appear in the gold data.
+    pub fn macro_f1(&self) -> f64 {
+        let with_gold: Vec<&Prf> =
+            self.per_kind.values().filter(|p| p.tp + p.fn_ > 0).collect();
+        if with_gold.is_empty() {
+            return 0.0;
+        }
+        with_gold.iter().map(|p| p.f1()).sum::<f64>() / with_gold.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: EntityKind, start: usize, end: usize) -> SpanMatch {
+        SpanMatch { kind, start, end }
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let gold = vec![span(EntityKind::Malware, 0, 8), span(EntityKind::FileName, 10, 22)];
+        let prf = Prf::score_sets(&gold.clone(), &gold);
+        assert_eq!(prf, Prf { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(prf.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_not_a_match() {
+        let gold = vec![span(EntityKind::Malware, 0, 8)];
+        let pred = vec![span(EntityKind::Malware, 0, 7)];
+        let prf = Prf::score_sets(&pred, &gold);
+        assert_eq!(prf, Prf { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(prf.f1(), 0.0);
+    }
+
+    #[test]
+    fn kind_mismatch_is_not_a_match() {
+        let gold = vec![span(EntityKind::Malware, 0, 8)];
+        let pred = vec![span(EntityKind::Tool, 0, 8)];
+        assert_eq!(Prf::score_sets(&pred, &gold).tp, 0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let prf = Prf::score_sets::<SpanMatch>(&[], &[]);
+        assert_eq!(prf.precision(), 1.0);
+        assert_eq!(prf.recall(), 1.0);
+        let gold = vec![span(EntityKind::Malware, 0, 8)];
+        let miss = Prf::score_sets(&[], &gold);
+        assert_eq!(miss.recall(), 0.0);
+        assert_eq!(miss.precision(), 1.0);
+    }
+
+    #[test]
+    fn micro_accumulation_and_per_kind() {
+        let mut scores = SpanScores::default();
+        scores.add_document(
+            &[span(EntityKind::Malware, 0, 8), span(EntityKind::Tool, 9, 12)],
+            &[span(EntityKind::Malware, 0, 8)],
+        );
+        scores.add_document(
+            &[span(EntityKind::Malware, 5, 9)],
+            &[span(EntityKind::Malware, 5, 9), span(EntityKind::Tool, 20, 25)],
+        );
+        assert_eq!(scores.overall, Prf { tp: 2, fp: 1, fn_: 1 });
+        assert_eq!(scores.per_kind[&EntityKind::Malware].f1(), 1.0);
+        let tool = scores.per_kind[&EntityKind::Tool];
+        assert_eq!(tool, Prf { tp: 0, fp: 1, fn_: 1 });
+        // Macro-F1 averages only kinds with gold instances.
+        assert!((scores.macro_f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let gold = vec![span(EntityKind::Malware, 0, 8)];
+        let pred = vec![span(EntityKind::Malware, 0, 8), span(EntityKind::Malware, 0, 8)];
+        let prf = Prf::score_sets(&pred, &gold);
+        assert_eq!(prf, Prf { tp: 1, fp: 0, fn_: 0 });
+    }
+}

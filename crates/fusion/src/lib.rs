@@ -1,0 +1,409 @@
+//! Knowledge fusion (paper §2.5).
+//!
+//! The storage stage only merges nodes "with exactly the same description
+//! text"; nodes with *similar* names that refer to the same entity ("same
+//! malware represented in different naming conventions by different CTI
+//! vendors") are merged here, in a separate stage, "by creating a new node
+//! with unified attributes and migrating all the relation edges". Keeping
+//! fusion out of the ingest pipeline "can prevent early deletion of useful
+//! information" — an unfused graph is always recoverable.
+//!
+//! - [`similarity`] — Jaro–Winkler, Levenshtein and token-Jaccard string
+//!   similarity with name normalisation.
+//! - [`union_find`] — disjoint-set clustering of alias candidates.
+//! - [`fuse`] — the fusion pass over a [`kg_graph::GraphStore`].
+
+pub mod similarity;
+pub mod union_find;
+
+use kg_graph::{GraphStore, NodeId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fusion configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Similarity threshold for merging two names of the same label.
+    pub threshold: f64,
+    /// Node labels eligible for fusion (IOC labels are never fused: two
+    /// different hashes are different facts even at edit distance 1).
+    pub labels: Vec<String>,
+    /// Explicit alias groups (analyst-curated), each a set of equivalent
+    /// names. Handles vendor naming conventions with no string similarity
+    /// (e.g. "cozyduke" / "apt29").
+    pub alias_groups: Vec<Vec<String>>,
+    /// Require similarity-driven merges to be corroborated by at least one
+    /// shared non-report neighbour (same dropped file, same C2 domain, ...).
+    /// Two genuinely-aliased names accumulate the same facts from different
+    /// vendors, while coincidentally-similar names do not — this is what
+    /// keeps fusion precision high in a dense name space. Alias-table merges
+    /// are trusted without corroboration.
+    pub require_shared_neighbor: bool,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            threshold: 0.88,
+            labels: vec![
+                "Malware".into(),
+                "ThreatActor".into(),
+                "Campaign".into(),
+                "Tool".into(),
+                "Software".into(),
+            ],
+            alias_groups: Vec::new(),
+            require_shared_neighbor: true,
+        }
+    }
+}
+
+/// What a fusion pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionReport {
+    /// Clusters that contained more than one node.
+    pub clusters_merged: usize,
+    /// Nodes removed (absorbed into canonical nodes).
+    pub nodes_removed: usize,
+    /// Edges re-pointed to canonical nodes.
+    pub edges_migrated: usize,
+    /// The merges performed: (kept name, absorbed names), per cluster.
+    pub merges: Vec<(String, Vec<String>)>,
+}
+
+/// Run fusion to fixpoint: merging two aliases can create the shared
+/// neighbourhood (or the closer canonical name) that lets a third alias
+/// merge, so passes repeat until nothing changes (bounded, since every
+/// pass strictly removes nodes).
+pub fn fuse(store: &mut GraphStore, config: &FusionConfig) -> FusionReport {
+    let mut total = FusionReport::default();
+    loop {
+        let pass = fuse_once(store, config);
+        let progressed = pass.nodes_removed > 0;
+        total.clusters_merged += pass.clusters_merged;
+        total.nodes_removed += pass.nodes_removed;
+        total.edges_migrated += pass.edges_migrated;
+        total.merges.extend(pass.merges);
+        if !progressed {
+            return total;
+        }
+    }
+}
+
+/// One fusion pass over the store.
+pub fn fuse_once(store: &mut GraphStore, config: &FusionConfig) -> FusionReport {
+    let mut report = FusionReport::default();
+
+    // Normalised alias lookup: name → group id.
+    let mut alias_of: HashMap<String, usize> = HashMap::new();
+    for (gid, group) in config.alias_groups.iter().enumerate() {
+        for name in group {
+            alias_of.insert(similarity::normalize(name), gid);
+        }
+    }
+
+    for label in &config.labels {
+        let ids = store.nodes_with_label(label);
+        if ids.len() < 2 {
+            continue;
+        }
+        let names: Vec<String> = ids
+            .iter()
+            .map(|&id| store.node(id).and_then(|n| n.name()).unwrap_or("").to_owned())
+            .collect();
+        let normalized: Vec<String> = names.iter().map(|n| similarity::normalize(n)).collect();
+
+        // Cluster by explicit aliases and string similarity.
+        let mut dsu = union_find::UnionFind::new(ids.len());
+        // Alias-group blocking: O(n) pass.
+        let mut group_first: HashMap<usize, usize> = HashMap::new();
+        for (i, norm) in normalized.iter().enumerate() {
+            if let Some(&gid) = alias_of.get(norm) {
+                match group_first.get(&gid) {
+                    Some(&j) => {
+                        dsu.union(i, j);
+                    }
+                    None => {
+                        group_first.insert(gid, i);
+                    }
+                }
+            }
+        }
+        // Similarity pass with a cheap length/prefix prefilter; merges need
+        // structural corroboration when configured.
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                if dsu.find(i) == dsu.find(j) {
+                    continue;
+                }
+                let (a, b) = (&normalized[i], &normalized[j]);
+                if a.is_empty() || b.is_empty() {
+                    continue;
+                }
+                // Prefilter: wildly different lengths with no shared first
+                // character cannot clear the threshold.
+                let len_ratio = a.len().min(b.len()) as f64 / a.len().max(b.len()) as f64;
+                if len_ratio < 0.4 && a.as_bytes()[0] != b.as_bytes()[0] {
+                    continue;
+                }
+                if similarity::name_similarity(a, b) < config.threshold {
+                    continue;
+                }
+                if config.require_shared_neighbor
+                    && !shares_fact_neighbor(store, ids[i], ids[j])
+                {
+                    continue;
+                }
+                dsu.union(i, j);
+            }
+        }
+
+        // Merge each non-trivial cluster.
+        let mut clusters: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..ids.len() {
+            clusters.entry(dsu.find(i)).or_default().push(i);
+        }
+        for members in clusters.into_values() {
+            if members.len() < 2 {
+                continue;
+            }
+            // Canonical: the highest-degree node (most corroborated name);
+            // ties break toward the oldest (lowest id).
+            let canonical = *members
+                .iter()
+                .max_by_key(|&&i| (store.degree(ids[i]), std::cmp::Reverse(ids[i])))
+                .unwrap();
+            let kept = ids[canonical];
+            let mut absorbed_names = Vec::new();
+            for &m in &members {
+                if m == canonical {
+                    continue;
+                }
+                let migrated = merge_into(store, kept, ids[m]);
+                report.edges_migrated += migrated;
+                report.nodes_removed += 1;
+                absorbed_names.push(names[m].clone());
+            }
+            // Record aliases on the canonical node.
+            append_aliases(store, kept, &absorbed_names);
+            report.clusters_merged += 1;
+            report.merges.push((names[canonical].clone(), absorbed_names));
+        }
+    }
+    report
+}
+
+/// Whether two nodes share at least one *discriminating* neighbour: an
+/// IOC-kind node (file, path, hash, domain, IP, URL, email, registry key).
+/// IOCs are essentially unique to a threat, so sharing one is strong
+/// evidence of identity; hub neighbours (techniques, tools, software,
+/// report/vendor provenance) are shared by unrelated threats all the time
+/// and corroborate nothing.
+fn shares_fact_neighbor(store: &GraphStore, a: NodeId, b: NodeId) -> bool {
+    let is_ioc = |id: NodeId| {
+        store.node(id).is_some_and(|n| {
+            n.label
+                .parse::<kg_ontology::EntityKind>()
+                .map(|k| k.is_ioc())
+                .unwrap_or(false)
+        })
+    };
+    let a_neighbors: std::collections::HashSet<NodeId> =
+        store.neighbors(a).into_iter().filter(|&n| is_ioc(n)).collect();
+    if a_neighbors.is_empty() {
+        return false;
+    }
+    store.neighbors(b).into_iter().any(|n| a_neighbors.contains(&n))
+}
+
+/// Migrate all edges of `absorbed` onto `kept`, merge properties, delete
+/// `absorbed`. Returns the number of edges migrated.
+fn merge_into(store: &mut GraphStore, kept: NodeId, absorbed: NodeId) -> usize {
+    let out: Vec<(String, NodeId)> = store
+        .outgoing(absorbed)
+        .into_iter()
+        .map(|e| (e.rel_type.clone(), e.to))
+        .collect();
+    let inc: Vec<(String, NodeId)> = store
+        .incoming(absorbed)
+        .into_iter()
+        .map(|e| (e.rel_type.clone(), e.from))
+        .collect();
+    let mut migrated = 0;
+    for (rel, to) in out {
+        if to != kept && store.merge_edge(kept, &rel, to).is_ok() {
+            migrated += 1;
+        }
+    }
+    for (rel, from) in inc {
+        if from != kept && store.merge_edge(from, &rel, kept).is_ok() {
+            migrated += 1;
+        }
+    }
+    // Unified attributes: keep the canonical node's values, fill gaps from
+    // the absorbed node.
+    let absorbed_props: Vec<(String, Value)> = store
+        .node(absorbed)
+        .map(|n| n.props.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+        .unwrap_or_default();
+    if let Some(node) = store.node_mut(kept) {
+        for (k, v) in absorbed_props {
+            if k != "name" {
+                node.props.entry(k).or_insert(v);
+            }
+        }
+    }
+    let _ = store.delete_node(absorbed);
+    migrated
+}
+
+fn append_aliases(store: &mut GraphStore, node: NodeId, aliases: &[String]) {
+    if aliases.is_empty() {
+        return;
+    }
+    let Some(n) = store.node_mut(node) else { return };
+    let list = n
+        .props
+        .entry("aliases".to_owned())
+        .or_insert_with(|| Value::List(Vec::new()));
+    if let Value::List(xs) = list {
+        for a in aliases {
+            let v = Value::Text(a.clone());
+            if !xs.contains(&v) {
+                xs.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(names: &[(&str, &str)]) -> (GraphStore, Vec<NodeId>) {
+        let mut g = GraphStore::new();
+        let ids = names
+            .iter()
+            .map(|(label, name)| g.create_node(label, [("name", Value::from(*name))]))
+            .collect();
+        (g, ids)
+    }
+
+    #[test]
+    fn string_similar_names_merge() {
+        let (mut g, ids) = store_with(&[
+            ("Malware", "wannacry"),
+            ("Malware", "wannacrypt"),
+            ("Malware", "emotet"),
+        ]);
+        let f = g.create_node("FileName", [("name", Value::from("x.exe"))]);
+        let d = g.create_node("Domain", [("name", Value::from("kill.switch.com"))]);
+        // The canonical-to-be (higher degree) drops a file; the alias node
+        // carries a distinct fact that must survive migration.
+        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[0], "RESOLVES", d, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[1], "ENCRYPTS", f, [] as [(&str, Value); 0]).unwrap();
+        let report = fuse(&mut g, &FusionConfig::default());
+        assert_eq!(report.clusters_merged, 1);
+        assert_eq!(report.nodes_removed, 1);
+        assert_eq!(g.nodes_with_label("Malware").len(), 2);
+        // The alias's ENCRYPTS edge survived onto the canonical node.
+        let survivor = g.node_by_name("Malware", "wannacry").expect("canonical kept");
+        let rels: Vec<&str> =
+            g.outgoing(survivor).iter().map(|e| e.rel_type.as_str()).collect();
+        assert_eq!(rels.len(), 3, "{rels:?}");
+        assert!(rels.contains(&"ENCRYPTS"));
+        assert_eq!(report.edges_migrated, 1);
+    }
+
+    #[test]
+    fn alias_table_merges_dissimilar_names() {
+        let (mut g, _) = store_with(&[
+            ("ThreatActor", "cozyduke"),
+            ("ThreatActor", "APT29"),
+            ("ThreatActor", "lazarus group"),
+        ]);
+        let config = FusionConfig {
+            alias_groups: vec![vec!["cozyduke".into(), "apt29".into()]],
+            ..FusionConfig::default()
+        };
+        let report = fuse(&mut g, &config);
+        assert_eq!(report.clusters_merged, 1);
+        assert_eq!(g.nodes_with_label("ThreatActor").len(), 2);
+        // Without the table the names are too dissimilar.
+        let (mut g2, _) = store_with(&[
+            ("ThreatActor", "cozyduke"),
+            ("ThreatActor", "APT29"),
+        ]);
+        let r2 = fuse(&mut g2, &FusionConfig::default());
+        assert_eq!(r2.clusters_merged, 0);
+    }
+
+    #[test]
+    fn canonical_node_is_highest_degree_and_gains_aliases() {
+        let (mut g, ids) = store_with(&[
+            ("Malware", "notpetya"),
+            ("Malware", "not petya"),
+        ]);
+        let f = g.create_node("FileName", [("name", Value::from("a.exe"))]);
+        let d = g.create_node("Domain", [("name", Value::from("x.evil.ru"))]);
+        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[0], "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+        // The alias corroborates via the shared dropped file.
+        g.create_edge(ids[1], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        let report = fuse(&mut g, &FusionConfig::default());
+        assert_eq!(report.merges.len(), 1);
+        assert_eq!(report.merges[0].0, "notpetya", "higher degree wins");
+        let kept = g.node_by_name("Malware", "notpetya").unwrap();
+        match &g.node(kept).unwrap().props["aliases"] {
+            Value::List(xs) => assert_eq!(xs, &vec![Value::from("not petya")]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_labels_never_merge() {
+        let (mut g, _) = store_with(&[("Malware", "mimikatz"), ("Tool", "mimikatz")]);
+        let report = fuse(&mut g, &FusionConfig::default());
+        assert_eq!(report.clusters_merged, 0);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn ioc_labels_are_exempt() {
+        let (mut g, _) = store_with(&[
+            ("HashMd5", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("HashMd5", "d41d8cd98f00b204e9800998ecf8427f"),
+        ]);
+        let report = fuse(&mut g, &FusionConfig::default());
+        assert_eq!(report.clusters_merged, 0, "near-identical hashes must not fuse");
+    }
+
+    #[test]
+    fn edge_dedup_during_migration() {
+        let (mut g, ids) = store_with(&[("Malware", "ryuk"), ("Malware", "ryuk ransomware")]);
+        let f = g.create_node("FileName", [("name", Value::from("r.exe"))]);
+        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[1], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        let report = fuse(&mut g, &FusionConfig::default());
+        assert_eq!(report.clusters_merged, 1);
+        // Both nodes dropped the same file; after fusion exactly one edge.
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let (mut g, _) = store_with(&[
+            ("Malware", "wannacry"),
+            ("Malware", "wannacrypt"),
+            ("Malware", "wanna cry"),
+        ]);
+        let config =
+            FusionConfig { require_shared_neighbor: false, ..FusionConfig::default() };
+        let r1 = fuse(&mut g, &config);
+        assert!(r1.nodes_removed > 0);
+        let r2 = fuse(&mut g, &config);
+        assert_eq!(r2.nodes_removed, 0);
+        assert_eq!(r2.clusters_merged, 0);
+    }
+}

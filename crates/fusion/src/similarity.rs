@@ -1,0 +1,192 @@
+//! String similarity for alias detection.
+
+/// Normalise a name: lowercase, separators (space, `-`, `_`, `.`) removed.
+/// "Wanna-Cry" and "wannacry" normalise identically; token structure is
+/// still available to [`token_jaccard`] via the original strings.
+pub fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| !matches!(c, ' ' | '-' | '_' | '.'))
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut b_seq: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0;
+    let sorted = {
+        let mut s = b_seq.clone();
+        s.sort_unstable();
+        s
+    };
+    for (x, y) in b_seq.iter().zip(&sorted) {
+        if x != y {
+            transpositions += 1;
+        }
+    }
+    b_seq.clear();
+    let t = transpositions as f64 / 2.0;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler: Jaro boosted by the common prefix (up to 4 chars).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Levenshtein edit distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalised Levenshtein similarity in `[0, 1]`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaccard similarity over whitespace tokens.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: std::collections::HashSet<&str> = a.split_whitespace().collect();
+    let sb: std::collections::HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Composite name similarity used by the fusion pass: the maximum of
+/// Jaro–Winkler and normalised Levenshtein over *normalised* names, plus a
+/// containment bonus ("notpetya" ⊂ "notpetya ransomware" normalised).
+pub fn name_similarity(a_norm: &str, b_norm: &str) -> f64 {
+    if a_norm == b_norm {
+        return 1.0;
+    }
+    let base = jaro_winkler(a_norm, b_norm).max(levenshtein_similarity(a_norm, b_norm));
+    let containment = if (a_norm.len() >= 4 && b_norm.contains(a_norm))
+        || (b_norm.len() >= 4 && a_norm.contains(b_norm))
+    {
+        0.9
+    } else {
+        0.0
+    };
+    base.max(containment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(normalize("Wanna-Cry"), "wannacry");
+        assert_eq!(normalize("wanna decryptor"), "wannadecryptor");
+        assert_eq!(normalize("APT_29"), "apt29");
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.944).abs() < 0.01);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn winkler_boosts_prefix() {
+        let j = jaro("wannacry", "wannacrypt");
+        let jw = jaro_winkler("wannacry", "wannacrypt");
+        assert!(jw > j);
+        assert!(jw > 0.9);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert!((levenshtein_similarity("abcd", "abce") - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_jaccard_values() {
+        assert_eq!(token_jaccard("lazarus group", "lazarus group"), 1.0);
+        assert!((token_jaccard("lazarus group", "lazarus team") - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(token_jaccard("", ""), 1.0);
+    }
+
+    #[test]
+    fn composite_similarity_behaviour() {
+        // Alias-like pairs clear the default 0.88 threshold...
+        assert!(name_similarity(&normalize("wannacry"), &normalize("wannacrypt")) >= 0.88);
+        assert!(name_similarity(&normalize("notpetya"), &normalize("not petya")) >= 0.88);
+        assert!(
+            name_similarity(&normalize("ryuk"), &normalize("ryuk ransomware")) >= 0.88,
+            "containment"
+        );
+        // ... unrelated names do not.
+        assert!(name_similarity(&normalize("emotet"), &normalize("wannacry")) < 0.88);
+        assert!(name_similarity(&normalize("mirai"), &normalize("maze")) < 0.88);
+        // Near-identical hex strings stay below threshold too? They differ in
+        // one char out of 32 → very similar; fusion exempts IOC labels
+        // instead of relying on the metric.
+    }
+}

@@ -1,0 +1,80 @@
+//! Disjoint-set union (path compression + union by size).
+
+/// A union-find structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_finds() {
+        let mut dsu = UnionFind::new(6);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2), "already same set");
+        assert_eq!(dsu.find(0), dsu.find(2));
+        assert_ne!(dsu.find(0), dsu.find(3));
+        assert_eq!(dsu.set_size(1), 3);
+        assert_eq!(dsu.set_size(5), 1);
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut dsu = UnionFind::new(100);
+        for i in 0..99 {
+            dsu.union(i, i + 1);
+        }
+        let root = dsu.find(0);
+        for i in 0..100 {
+            assert_eq!(dsu.find(i), root);
+        }
+        assert_eq!(dsu.set_size(42), 100);
+    }
+}

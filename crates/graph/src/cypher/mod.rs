@@ -1,0 +1,177 @@
+//! A Cypher subset: enough of the language for the paper's §3 demo and the
+//! exploration UI — `MATCH` path patterns, `WHERE`, `RETURN` with implicit
+//! grouping for `count(...)`, `ORDER BY` / `SKIP` / `LIMIT` / `DISTINCT`,
+//! plus `CREATE`, `MERGE` and `(DETACH) DELETE`.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! query   := MATCH pattern (',' pattern)* [WHERE expr]
+//!            ( RETURN items [ORDER BY expr [ASC|DESC]] [SKIP n] [LIMIT n]
+//!            | [DETACH] DELETE var (',' var)* )
+//!          | CREATE pattern (',' pattern)*
+//!          | MERGE pattern [RETURN items]
+//! pattern := node (rel node)*
+//! node    := '(' [var] [':' Label] [props] ')'
+//! rel     := '-' '[' [var] [':' TYPE] ']' '->' | '<-' '[' ... ']' '-'
+//!          | '-' '[' ... ']' '-'
+//! ```
+
+mod exec;
+mod lexer;
+mod parser;
+
+pub use exec::{execute, execute_read, QueryResult};
+pub use parser::parse;
+
+use crate::value::Value;
+
+/// Direction of a relationship pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `-[..]->`
+    Out,
+    /// `<-[..]-`
+    In,
+    /// `-[..]-`
+    Either,
+}
+
+/// `(var:Label {prop: literal, ...})`
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePattern {
+    pub var: Option<String>,
+    pub label: Option<String>,
+    pub props: Vec<(String, Value)>,
+}
+
+/// `-[var:TYPE]->`
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelPattern {
+    pub var: Option<String>,
+    pub rel_type: Option<String>,
+    pub direction: Direction,
+}
+
+/// A path pattern: nodes joined by relationships.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Pattern {
+    pub nodes: Vec<NodePattern>,
+    pub rels: Vec<RelPattern>,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// WHERE / RETURN expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    /// A bound variable (node or edge).
+    Var(String),
+    /// `var.prop`
+    Prop(String, String),
+    Compare(Box<Expr>, CmpOp, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Contains(Box<Expr>, Box<Expr>),
+    StartsWith(Box<Expr>, Box<Expr>),
+    EndsWith(Box<Expr>, Box<Expr>),
+    /// `count(*)`
+    CountStar,
+    /// `count(var)` / `count(var.prop)`
+    Count(Box<Expr>),
+}
+
+impl Expr {
+    /// Whether the expression contains an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Expr::CountStar | Expr::Count(_))
+    }
+}
+
+/// One RETURN item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+    /// Source text, used as the column name when no alias is given.
+    pub text: String,
+}
+
+/// The RETURN clause.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Return {
+    pub distinct: bool,
+    pub items: Vec<ReturnItem>,
+    pub order_by: Option<(Expr, bool)>,
+    pub skip: Option<usize>,
+    pub limit: Option<usize>,
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Read {
+        patterns: Vec<Pattern>,
+        filter: Option<Expr>,
+        ret: Return,
+    },
+    Create {
+        patterns: Vec<Pattern>,
+    },
+    Merge {
+        pattern: Pattern,
+        ret: Option<Return>,
+    },
+    Delete {
+        patterns: Vec<Pattern>,
+        filter: Option<Expr>,
+        vars: Vec<String>,
+        detach: bool,
+    },
+}
+
+/// Errors from parsing or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CypherError {
+    Lex(String),
+    Parse(String),
+    Exec(String),
+}
+
+impl std::fmt::Display for CypherError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CypherError::Lex(m) => write!(f, "lex error: {m}"),
+            CypherError::Parse(m) => write!(f, "parse error: {m}"),
+            CypherError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CypherError {}
+
+impl crate::store::GraphStore {
+    /// Parse and execute a Cypher query against this store.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, CypherError> {
+        let query = parse(text)?;
+        execute(self, &query)
+    }
+
+    /// Parse and execute a *read-only* Cypher query; `CREATE`/`MERGE`/
+    /// `DELETE` are rejected.
+    pub fn query_readonly(&self, text: &str) -> Result<QueryResult, CypherError> {
+        let query = parse(text)?;
+        execute_read(self, &query)
+    }
+}

@@ -1,0 +1,566 @@
+//! The property-graph store.
+//!
+//! Nodes live in an arena indexed by dense [`NodeId`]s; deleted slots are
+//! tombstoned (ids are never reused, so external references stay unambiguous,
+//! which the fusion stage relies on when migrating edges). Secondary indexes:
+//! per-label node lists and a unique `(label, name)` index implementing the
+//! paper's §2.5 merge rule — "we only merge nodes with exactly the same
+//! description text".
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Dense node identifier (never reused).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u64);
+
+/// Dense edge identifier (never reused).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct EdgeId(pub u64);
+
+/// A stored node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub id: NodeId,
+    pub label: String,
+    pub props: BTreeMap<String, Value>,
+}
+
+impl Node {
+    /// The node's `name` property, if textual.
+    pub fn name(&self) -> Option<&str> {
+        self.props.get("name").and_then(Value::as_text)
+    }
+}
+
+/// A stored directed, typed edge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    pub id: EdgeId,
+    pub from: NodeId,
+    pub to: NodeId,
+    pub rel_type: String,
+    pub props: BTreeMap<String, Value>,
+}
+
+/// Store errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    NoSuchNode(NodeId),
+    NoSuchEdge(EdgeId),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchNode(id) => write!(f, "no such node: {}", id.0),
+            StoreError::NoSuchEdge(id) => write!(f, "no such edge: {}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The graph store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphStore {
+    nodes: Vec<Option<Node>>,
+    edges: Vec<Option<Edge>>,
+    /// label → live node ids.
+    #[serde(skip)]
+    label_index: HashMap<String, Vec<NodeId>>,
+    /// (label, name) → live node ids bearing that name, in insertion order
+    /// (multi-valued: `create_node`/renames may duplicate names; lookups
+    /// resolve to the most recent writer, `merge_node` keeps names unique).
+    #[serde(skip)]
+    name_index: HashMap<(String, String), Vec<NodeId>>,
+    /// node → outgoing edge ids.
+    #[serde(skip)]
+    out_edges: HashMap<NodeId, Vec<EdgeId>>,
+    /// node → incoming edge ids.
+    #[serde(skip)]
+    in_edges: HashMap<NodeId, Vec<EdgeId>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl GraphStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        GraphStore::default()
+    }
+
+    // ---- nodes -----------------------------------------------------------
+
+    /// Create a node unconditionally.
+    pub fn create_node<K, V>(
+        &mut self,
+        label: &str,
+        props: impl IntoIterator<Item = (K, V)>,
+    ) -> NodeId
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        let id = NodeId(self.nodes.len() as u64);
+        let props: BTreeMap<String, Value> =
+            props.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        let node = Node { id, label: label.to_owned(), props };
+        if let Some(name) = node.name() {
+            self.name_index
+                .entry((node.label.clone(), name.to_owned()))
+                .or_default()
+                .push(id);
+        }
+        self.label_index.entry(node.label.clone()).or_default().push(id);
+        self.nodes.push(Some(node));
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Get-or-create by `(label, name)` — the §2.5 exact-text merge. When the
+    /// node exists, `extra_props` fill gaps but never overwrite.
+    pub fn merge_node<K, V>(
+        &mut self,
+        label: &str,
+        name: &str,
+        extra_props: impl IntoIterator<Item = (K, V)>,
+    ) -> NodeId
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        if let Some(&id) = self
+            .name_index
+            .get(&(label.to_owned(), name.to_owned()))
+            .and_then(|ids| ids.last())
+        {
+            if let Some(node) = self.nodes[id.0 as usize].as_mut() {
+                for (k, v) in extra_props {
+                    node.props.entry(k.into()).or_insert_with(|| v.into());
+                }
+            }
+            return id;
+        }
+        let mut props: Vec<(String, Value)> =
+            extra_props.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        props.push(("name".to_owned(), Value::from(name)));
+        self.create_node(label, props)
+    }
+
+    /// Fetch a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable property access.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Update a node property, maintaining the name index.
+    pub fn set_node_prop(&mut self, id: NodeId, key: &str, value: Value) -> Result<(), StoreError> {
+        let node = self
+            .nodes
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(StoreError::NoSuchNode(id))?;
+        if key == "name" {
+            if let Some(old) = node.name() {
+                let k = (node.label.clone(), old.to_owned());
+                if let Some(ids) = self.name_index.get_mut(&k) {
+                    ids.retain(|&n| n != id);
+                    if ids.is_empty() {
+                        self.name_index.remove(&k);
+                    }
+                }
+            }
+            if let Some(new_name) = value.as_text() {
+                self.name_index
+                    .entry((node.label.clone(), new_name.to_owned()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        node.props.insert(key.to_owned(), value);
+        Ok(())
+    }
+
+    /// Delete a node and (detach) all its edges.
+    pub fn delete_node(&mut self, id: NodeId) -> Result<(), StoreError> {
+        let node =
+            self.nodes.get(id.0 as usize).and_then(Option::as_ref).ok_or(StoreError::NoSuchNode(id))?;
+        let label = node.label.clone();
+        let name = node.name().map(str::to_owned);
+        let touching: Vec<EdgeId> = self
+            .out_edges
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .chain(self.in_edges.get(&id).into_iter().flatten())
+            .copied()
+            .collect();
+        for eid in touching {
+            let _ = self.delete_edge(eid);
+        }
+        self.nodes[id.0 as usize] = None;
+        self.live_nodes -= 1;
+        if let Some(ids) = self.label_index.get_mut(&label) {
+            ids.retain(|&n| n != id);
+        }
+        if let Some(name) = name {
+            let key = (label, name);
+            if let Some(ids) = self.name_index.get_mut(&key) {
+                ids.retain(|&n| n != id);
+                if ids.is_empty() {
+                    self.name_index.remove(&key);
+                }
+            }
+        }
+        self.out_edges.remove(&id);
+        self.in_edges.remove(&id);
+        Ok(())
+    }
+
+    /// Look up by the `(label, name)` index. With duplicate names (possible
+    /// via unconstrained `create_node`/renames) the most recent writer wins;
+    /// [`GraphStore::nodes_by_name`] returns all of them.
+    pub fn node_by_name(&self, label: &str, name: &str) -> Option<NodeId> {
+        self.name_index
+            .get(&(label.to_owned(), name.to_owned()))
+            .and_then(|ids| ids.last())
+            .copied()
+    }
+
+    /// Every live node with this `(label, name)`, oldest first.
+    pub fn nodes_by_name(&self, label: &str, name: &str) -> Vec<NodeId> {
+        self.name_index
+            .get(&(label.to_owned(), name.to_owned()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Live nodes with a label, in creation order.
+    pub fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.label_index.get(label).cloned().unwrap_or_default()
+    }
+
+    /// All live node ids, in creation order.
+    pub fn all_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    // ---- edges -----------------------------------------------------------
+
+    /// Create a directed edge.
+    pub fn create_edge<K, V>(
+        &mut self,
+        from: NodeId,
+        rel_type: &str,
+        to: NodeId,
+        props: impl IntoIterator<Item = (K, V)>,
+    ) -> Result<EdgeId, StoreError>
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        if self.node(from).is_none() {
+            return Err(StoreError::NoSuchNode(from));
+        }
+        if self.node(to).is_none() {
+            return Err(StoreError::NoSuchNode(to));
+        }
+        let id = EdgeId(self.edges.len() as u64);
+        let props: BTreeMap<String, Value> =
+            props.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        self.edges.push(Some(Edge { id, from, to, rel_type: rel_type.to_owned(), props }));
+        self.out_edges.entry(from).or_default().push(id);
+        self.in_edges.entry(to).or_default().push(id);
+        self.live_edges += 1;
+        Ok(id)
+    }
+
+    /// Get-or-create an edge with this exact `(from, rel_type, to)`.
+    pub fn merge_edge(
+        &mut self,
+        from: NodeId,
+        rel_type: &str,
+        to: NodeId,
+    ) -> Result<EdgeId, StoreError> {
+        if let Some(existing) = self
+            .out_edges
+            .get(&from)
+            .into_iter()
+            .flatten()
+            .find(|&&e| {
+                self.edge(e).is_some_and(|edge| edge.to == to && edge.rel_type == rel_type)
+            })
+        {
+            return Ok(*existing);
+        }
+        self.create_edge(from, rel_type, to, std::iter::empty::<(String, Value)>())
+    }
+
+    /// Fetch an edge.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edges.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable edge access.
+    pub fn edge_mut(&mut self, id: EdgeId) -> Option<&mut Edge> {
+        self.edges.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Delete an edge.
+    pub fn delete_edge(&mut self, id: EdgeId) -> Result<(), StoreError> {
+        let edge =
+            self.edges.get(id.0 as usize).and_then(Option::as_ref).ok_or(StoreError::NoSuchEdge(id))?;
+        let (from, to) = (edge.from, edge.to);
+        self.edges[id.0 as usize] = None;
+        self.live_edges -= 1;
+        if let Some(es) = self.out_edges.get_mut(&from) {
+            es.retain(|&e| e != id);
+        }
+        if let Some(es) = self.in_edges.get_mut(&to) {
+            es.retain(|&e| e != id);
+        }
+        Ok(())
+    }
+
+    /// Outgoing edges of a node.
+    pub fn outgoing(&self, id: NodeId) -> Vec<&Edge> {
+        self.out_edges
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(|&e| self.edge(e))
+            .collect()
+    }
+
+    /// Incoming edges of a node.
+    pub fn incoming(&self, id: NodeId) -> Vec<&Edge> {
+        self.in_edges
+            .get(&id)
+            .into_iter()
+            .flatten()
+            .filter_map(|&e| self.edge(e))
+            .collect()
+    }
+
+    /// Distinct neighbor node ids (both directions), in edge order.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for e in self.outgoing(id) {
+            if !out.contains(&e.to) {
+                out.push(e.to);
+            }
+        }
+        for e in self.incoming(id) {
+            if !out.contains(&e.from) {
+                out.push(e.from);
+            }
+        }
+        out
+    }
+
+    /// Total degree (in + out).
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.out_edges.get(&id).map_or(0, Vec::len) + self.in_edges.get(&id).map_or(0, Vec::len)
+    }
+
+    /// All live edges.
+    pub fn all_edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter_map(Option::as_ref)
+    }
+
+    // ---- stats & persistence ----------------------------------------------
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Node counts per label, sorted by label.
+    pub fn label_histogram(&self) -> BTreeMap<String, usize> {
+        self.label_index
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| (k.clone(), v.len()))
+            .collect()
+    }
+
+    /// Serialise to JSON bytes (indexes are rebuilt on load).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Load from JSON bytes, rebuilding all indexes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        let mut store: GraphStore = serde_json::from_slice(bytes)?;
+        store.rebuild_indexes();
+        Ok(store)
+    }
+
+    fn rebuild_indexes(&mut self) {
+        self.label_index.clear();
+        self.name_index.clear();
+        self.out_edges.clear();
+        self.in_edges.clear();
+        for node in self.nodes.iter().filter_map(Option::as_ref) {
+            self.label_index.entry(node.label.clone()).or_default().push(node.id);
+            if let Some(name) = node.name() {
+                self.name_index
+                    .entry((node.label.clone(), name.to_owned()))
+                    .or_default()
+                    .push(node.id);
+            }
+        }
+        for edge in self.edges.iter().filter_map(Option::as_ref) {
+            self.out_edges.entry(edge.from).or_default().push(edge.id);
+            self.in_edges.entry(edge.to).or_default().push(edge.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("wannacry"))]);
+        assert_eq!(g.node(a).unwrap().name(), Some("wannacry"));
+        assert_eq!(g.node_by_name("Malware", "wannacry"), Some(a));
+        assert_eq!(g.node_by_name("Tool", "wannacry"), None);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn merge_node_deduplicates_exact_name() {
+        let mut g = GraphStore::new();
+        let a = g.merge_node("Malware", "wannacry", [("vendor", Value::from("securelist"))]);
+        let b = g.merge_node("Malware", "wannacry", [("vendor", Value::from("talos"))]);
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        // First-writer wins on existing props.
+        assert_eq!(g.node(a).unwrap().props["vendor"], Value::from("securelist"));
+        // Different label ≠ same node.
+        let c = g.merge_node("Tool", "wannacry", [] as [(&str, Value); 0]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edges_and_adjacency() {
+        let mut g = GraphStore::new();
+        let m = g.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let f = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        let e = g.create_edge(m, "DROP", f, [("confidence", Value::from(0.9))]).unwrap();
+        assert_eq!(g.edge(e).unwrap().rel_type, "DROP");
+        assert_eq!(g.outgoing(m).len(), 1);
+        assert_eq!(g.incoming(f).len(), 1);
+        assert_eq!(g.neighbors(m), vec![f]);
+        assert_eq!(g.neighbors(f), vec![m]);
+        assert_eq!(g.degree(m), 1);
+    }
+
+    #[test]
+    fn merge_edge_is_idempotent() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("x"))]);
+        let b = g.create_node("FileName", [("name", Value::from("y.exe"))]);
+        let e1 = g.merge_edge(a, "DROP", b).unwrap();
+        let e2 = g.merge_edge(a, "DROP", b).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(g.edge_count(), 1);
+        let e3 = g.merge_edge(a, "EXECUTES", b).unwrap();
+        assert_ne!(e1, e3);
+    }
+
+    #[test]
+    fn delete_node_detaches() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("x"))]);
+        let b = g.create_node("FileName", [("name", Value::from("y.exe"))]);
+        g.create_edge(a, "DROP", b, [] as [(&str, Value); 0]).unwrap();
+        g.delete_node(b).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.outgoing(a).is_empty());
+        assert_eq!(g.node_by_name("FileName", "y.exe"), None);
+        assert!(g.delete_node(b).is_err());
+    }
+
+    #[test]
+    fn rename_maintains_index() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("wcry"))]);
+        g.set_node_prop(a, "name", Value::from("wannacry")).unwrap();
+        assert_eq!(g.node_by_name("Malware", "wannacry"), Some(a));
+        assert_eq!(g.node_by_name("Malware", "wcry"), None);
+    }
+
+    #[test]
+    fn label_histogram_counts() {
+        let mut g = GraphStore::new();
+        g.create_node("Malware", [("name", Value::from("a"))]);
+        g.create_node("Malware", [("name", Value::from("b"))]);
+        g.create_node("Tool", [("name", Value::from("c"))]);
+        let h = g.label_histogram();
+        assert_eq!(h["Malware"], 2);
+        assert_eq!(h["Tool"], 1);
+    }
+
+    #[test]
+    fn persistence_round_trip() {
+        let mut g = GraphStore::new();
+        let m = g.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let f = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        let bytes = g.to_bytes().unwrap();
+        let back = GraphStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 1);
+        assert_eq!(back.node_by_name("Malware", "wannacry"), Some(m));
+        assert_eq!(back.neighbors(m), vec![f]);
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_latest_and_never_lose_entries() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("x"))]);
+        let b = g.create_node("Malware", [("name", Value::from("y"))]);
+        // Rename b to collide with a: lookup now prefers b (latest writer)...
+        g.set_node_prop(b, "name", Value::from("x")).unwrap();
+        assert_eq!(g.node_by_name("Malware", "x"), Some(b));
+        assert_eq!(g.nodes_by_name("Malware", "x"), vec![a, b]);
+        // ...and removing b restores a instead of losing the name.
+        g.delete_node(b).unwrap();
+        assert_eq!(g.node_by_name("Malware", "x"), Some(a));
+        // Renaming the survivor away clears the entry entirely.
+        g.set_node_prop(a, "name", Value::from("z")).unwrap();
+        assert_eq!(g.node_by_name("Malware", "x"), None);
+        assert!(g.nodes_by_name("Malware", "x").is_empty());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("a"))]);
+        g.delete_node(a).unwrap();
+        let b = g.create_node("Malware", [("name", Value::from("b"))]);
+        assert_ne!(a, b);
+        assert!(g.node(a).is_none());
+    }
+}

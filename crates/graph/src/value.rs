@@ -1,0 +1,205 @@
+//! Property values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A property value stored on nodes and edges and produced by queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    List(Vec<Value>),
+    /// A node reference (returned by queries that project a whole node).
+    Node(crate::store::NodeId),
+    /// An edge reference.
+    Edge(crate::store::EdgeId),
+}
+
+impl Value {
+    /// The value as text, if textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if integral.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (ints coerce to floats).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE evaluation: `Null` and `false` are falsy.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Null | Value::Bool(false))
+    }
+
+    /// Cypher-style equality: Null never equals anything.
+    pub fn eq_cypher(&self, other: &Value) -> bool {
+        if matches!(self, Value::Null) || matches!(other, Value::Null) {
+            return false;
+        }
+        if let (Some(a), Some(b)) = (self.as_float(), other.as_float()) { return a == b }
+        self == other
+    }
+
+    /// Ordering for ORDER BY: Null sorts last; numbers before text; mixed
+    /// kinds order by a stable kind rank.
+    pub fn cmp_order(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Bool(_) => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Text(_) => 2,
+                Value::List(_) => 3,
+                Value::Node(_) => 4,
+                Value::Edge(_) => 5,
+                Value::Null => 6,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) if rank(a) != rank(b) => rank(a).cmp(&rank(b)),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Node(a), Value::Node(b)) => a.cmp(b),
+            (Value::Edge(a), Value::Edge(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.cmp_order(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => a
+                .as_float()
+                .partial_cmp(&b.as_float())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<kg_ontology::AttributeValue> for Value {
+    fn from(v: kg_ontology::AttributeValue) -> Self {
+        use kg_ontology::AttributeValue as A;
+        match v {
+            A::Text(s) => Value::Text(s),
+            A::Integer(i) => Value::Int(i),
+            A::Float(f) => Value::Float(f),
+            A::Bool(b) => Value::Bool(b),
+            A::List(xs) => Value::List(xs.into_iter().map(Value::Text).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::List(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Node(id) => write!(f, "(#{})", id.0),
+            Value::Edge(id) => write!(f, "[#{}]", id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cypher_equality() {
+        assert!(Value::Int(3).eq_cypher(&Value::Float(3.0)));
+        assert!(Value::from("x").eq_cypher(&Value::from("x")));
+        assert!(!Value::Null.eq_cypher(&Value::Null));
+        assert!(!Value::from("3").eq_cypher(&Value::Int(3)));
+    }
+
+    #[test]
+    fn ordering_nulls_last() {
+        let mut vs = [Value::Null, Value::from("a"), Value::Int(2), Value::Int(1)];
+        vs.sort_by(|a, b| a.cmp_order(b));
+        assert_eq!(vs.last(), Some(&Value::Null));
+        assert_eq!(vs[0], Value::Int(1));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::from("").truthy());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::List(vec![Value::Int(1), Value::from("a")]).to_string(), "[1, a]");
+    }
+}

@@ -1,0 +1,176 @@
+//! Broader Cypher-subset conformance tests: edge variables, literals,
+//! pagination edges, error paths and write statistics.
+
+use kg_graph::{GraphStore, Value};
+
+fn graph() -> GraphStore {
+    let mut g = GraphStore::new();
+    let a = g.create_node("Malware", [("name", Value::from("alpha")), ("score", Value::Int(9))]);
+    let b = g.create_node("Malware", [("name", Value::from("beta")), ("score", Value::Int(3))]);
+    let c = g.create_node("Tool", [("name", Value::from("gamma"))]);
+    g.create_edge(a, "USES", c, [("confidence", Value::Float(0.8))]).unwrap();
+    g.create_edge(b, "USES", c, [("confidence", Value::Float(0.2))]).unwrap();
+    g
+}
+
+#[test]
+fn edge_variables_bind_and_expose_properties() {
+    let mut g = graph();
+    let r = g
+        .query("MATCH (m)-[r:USES]->(t) WHERE r.confidence > 0.5 RETURN m.name, r.confidence")
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0][0], Value::from("alpha"));
+    assert_eq!(r.rows[0][1], Value::Float(0.8));
+}
+
+#[test]
+fn returning_edges_and_literals() {
+    let mut g = graph();
+    let r = g.query("MATCH (m)-[r]->(t) RETURN r, 42, 'label' LIMIT 1").unwrap();
+    assert!(matches!(r.rows[0][0], Value::Edge(_)));
+    assert_eq!(r.rows[0][1], Value::Int(42));
+    assert_eq!(r.rows[0][2], Value::from("label"));
+    assert_eq!(r.columns.len(), 3);
+}
+
+#[test]
+fn skip_beyond_end_and_limit_zero() {
+    let mut g = graph();
+    let r = g.query("MATCH (n) RETURN n SKIP 99").unwrap();
+    assert!(r.rows.is_empty());
+    let r = g.query("MATCH (n) RETURN n LIMIT 0").unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn order_by_numeric_descending() {
+    let mut g = graph();
+    let r = g
+        .query("MATCH (m:Malware) RETURN m.name ORDER BY m.score DESC")
+        .unwrap();
+    let names: Vec<&str> = r.rows.iter().map(|row| row[0].as_text().unwrap()).collect();
+    assert_eq!(names, vec!["alpha", "beta"]);
+}
+
+#[test]
+fn string_ops_on_non_text_are_null_not_error() {
+    let mut g = graph();
+    // score is an Int; CONTAINS on it evaluates to NULL → filtered out.
+    let r = g.query("MATCH (m:Malware) WHERE m.score CONTAINS '9' RETURN m").unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn aliases_name_columns() {
+    let mut g = graph();
+    let r = g.query("MATCH (m:Malware) RETURN m.name AS malware LIMIT 1").unwrap();
+    assert_eq!(r.columns, vec!["malware"]);
+}
+
+#[test]
+fn count_of_property_skips_nulls() {
+    let mut g = graph();
+    // Tools have no score; count(n.score) counts only malware.
+    let r = g.query("MATCH (n) RETURN count(n.score)").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
+    let r = g.query("MATCH (n) RETURN count(*)").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
+}
+
+#[test]
+fn merge_requires_label_and_name() {
+    let mut g = graph();
+    assert!(g.query("MERGE (x {name: 'nolabel'})").is_err());
+    assert!(g.query("MERGE (x:Malware {score: 5})").is_err());
+}
+
+#[test]
+fn delete_edge_variable() {
+    let mut g = graph();
+    let r = g.query("MATCH (m)-[r:USES]->(t) DELETE r").unwrap();
+    assert_eq!(r.stats.edges_deleted, 2);
+    assert_eq!(g.edge_count(), 0);
+    assert_eq!(g.node_count(), 3, "nodes survive edge deletion");
+}
+
+#[test]
+fn create_reuses_bound_variables_within_statement() {
+    let mut g = GraphStore::new();
+    let r = g
+        .query("CREATE (a:Malware {name: 'x'})-[:USES]->(t:Tool {name: 'y'}), (a)-[:TARGETS]->(s:Software {name: 'z'})")
+        .unwrap();
+    assert_eq!(r.stats.nodes_created, 3);
+    assert_eq!(r.stats.edges_created, 2);
+    let a = g.node_by_name("Malware", "x").unwrap();
+    assert_eq!(g.outgoing(a).len(), 2);
+}
+
+#[test]
+fn incoming_direction_in_create() {
+    let mut g = GraphStore::new();
+    g.query("CREATE (f:FileName {name: 'a.exe'})<-[:DROP]-(m:Malware {name: 'm'})").unwrap();
+    let m = g.node_by_name("Malware", "m").unwrap();
+    let f = g.node_by_name("FileName", "a.exe").unwrap();
+    let edge = g.outgoing(m);
+    assert_eq!(edge.len(), 1);
+    assert_eq!(edge[0].to, f);
+}
+
+#[test]
+fn read_only_path_rejects_all_writes() {
+    let g = graph();
+    for q in [
+        "CREATE (x:Malware {name: 'w'})",
+        "MERGE (x:Malware {name: 'w'})",
+        "MATCH (n) DETACH DELETE n",
+    ] {
+        assert!(g.query_readonly(q).is_err(), "{q}");
+    }
+    assert!(g.query_readonly("MATCH (n) RETURN count(*)").is_ok());
+}
+
+#[test]
+fn boolean_precedence_not_binds_tighter_than_and() {
+    let mut g = graph();
+    // NOT m.score > 5 AND m.name = 'beta'  ≡  (NOT (m.score > 5)) AND (...).
+    let r = g
+        .query("MATCH (m:Malware) WHERE NOT m.score > 5 AND m.name = 'beta' RETURN m.name")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::from("beta")]]);
+}
+
+#[test]
+fn self_loops_match_once_per_edge() {
+    let mut g = GraphStore::new();
+    let n = g.create_node("Malware", [("name", Value::from("ouroboros"))]);
+    g.create_edge(n, "RELATED_TO", n, [] as [(&str, Value); 0]).unwrap();
+    let r = g.query("MATCH (a)-[:RELATED_TO]->(b) RETURN a.name, b.name").unwrap();
+    assert_eq!(r.rows.len(), 1);
+    // Undirected match visits the self-loop from both directions but the
+    // relationship-uniqueness rule prevents reuse within a path.
+    let r = g.query("MATCH (a)-[:RELATED_TO]-(b)-[:RELATED_TO]-(c) RETURN a").unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn long_chain_pattern() {
+    let mut g = GraphStore::new();
+    let ids: Vec<_> = (0..5)
+        .map(|i| g.create_node("N", [("name", Value::from(format!("n{i}")))]))
+        .collect();
+    for w in ids.windows(2) {
+        g.create_edge(w[0], "NEXT", w[1], [] as [(&str, Value); 0]).unwrap();
+    }
+    let r = g
+        .query("MATCH (a)-[:NEXT]->(b)-[:NEXT]->(c)-[:NEXT]->(d)-[:NEXT]->(e) RETURN a.name, e.name")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::from("n0"), Value::from("n4")]]);
+}
+
+#[test]
+fn distinct_on_projected_values() {
+    let mut g = graph();
+    let r = g.query("MATCH (m:Malware)-[:USES]->(t) RETURN DISTINCT t.name").unwrap();
+    assert_eq!(r.rows.len(), 1);
+}

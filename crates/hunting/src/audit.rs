@@ -1,0 +1,243 @@
+//! The system-auditing substrate: audit events as a kernel provenance
+//! tracker (auditd / ETW) would emit, plus a deterministic generator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What an event did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventAction {
+    /// Process wrote a file.
+    FileWrite,
+    /// Process read a file.
+    FileRead,
+    /// Process deleted a file.
+    FileDelete,
+    /// Process executed an image.
+    ProcessExec,
+    /// Process connected to a remote endpoint.
+    NetConnect,
+    /// Process resolved a domain name.
+    DnsResolve,
+    /// Process wrote a registry value.
+    RegistryWrite,
+    /// Process sent an email (mail-gateway audit).
+    EmailSend,
+}
+
+/// The object an event touched.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditObject {
+    File(String),
+    /// Remote endpoint as dotted IPv4.
+    Ip(String),
+    Domain(String),
+    Url(String),
+    RegistryKey(String),
+    Email(String),
+}
+
+impl AuditObject {
+    /// The object's comparable string (lowercased).
+    pub fn key(&self) -> String {
+        match self {
+            AuditObject::File(s)
+            | AuditObject::Ip(s)
+            | AuditObject::Domain(s)
+            | AuditObject::Url(s)
+            | AuditObject::RegistryKey(s)
+            | AuditObject::Email(s) => s.to_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for AuditObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditObject::File(s) => write!(f, "file:{s}"),
+            AuditObject::Ip(s) => write!(f, "ip:{s}"),
+            AuditObject::Domain(s) => write!(f, "domain:{s}"),
+            AuditObject::Url(s) => write!(f, "url:{s}"),
+            AuditObject::RegistryKey(s) => write!(f, "reg:{s}"),
+            AuditObject::Email(s) => write!(f, "email:{s}"),
+        }
+    }
+}
+
+/// One audit event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEvent {
+    /// Monotonic event timestamp (ms).
+    pub ts_ms: u64,
+    /// Process image name (e.g. "winword.exe").
+    pub process: String,
+    /// Host the event came from.
+    pub host: String,
+    pub action: EventAction,
+    pub object: AuditObject,
+}
+
+/// Deterministic audit-log generator: benign background noise plus
+/// optionally implanted attack traces.
+#[derive(Debug)]
+pub struct AuditGenerator {
+    state: u64,
+}
+
+const BENIGN_PROCESSES: &[&str] = &[
+    "explorer.exe", "winword.exe", "chrome.exe", "svchost.exe", "outlook.exe", "teams.exe",
+    "backupd", "sshd", "cron", "systemd",
+];
+
+const BENIGN_FILES: &[&str] = &[
+    "C:\\Users\\alice\\report.docx",
+    "C:\\Users\\bob\\notes.txt",
+    "/var/log/syslog",
+    "/home/carol/main.rs",
+    "C:\\Windows\\Temp\\cache.dat",
+    "/tmp/build.log",
+];
+
+const BENIGN_DOMAINS: &[&str] = &[
+    "updates.vendor.example",
+    "mail.corp.example",
+    "www.search.example",
+    "cdn.site.example",
+];
+
+impl AuditGenerator {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        AuditGenerator { state: seed.max(1) }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a>(&mut self, items: &'a [&'a str]) -> &'a str {
+        items[(self.next_u64() % items.len() as u64) as usize]
+    }
+
+    /// One benign background event at `ts_ms`.
+    pub fn benign_event(&mut self, ts_ms: u64) -> AuditEvent {
+        let roll = self.next_u64() % 100;
+        let process = self.pick(BENIGN_PROCESSES).to_owned();
+        let host = format!("host{}", self.next_u64() % 8);
+        let (action, object) = if roll < 40 {
+            (EventAction::FileWrite, AuditObject::File(self.pick(BENIGN_FILES).to_owned()))
+        } else if roll < 60 {
+            (EventAction::FileRead, AuditObject::File(self.pick(BENIGN_FILES).to_owned()))
+        } else if roll < 75 {
+            (EventAction::DnsResolve, AuditObject::Domain(self.pick(BENIGN_DOMAINS).to_owned()))
+        } else if roll < 90 {
+            (
+                EventAction::NetConnect,
+                AuditObject::Ip(format!("10.0.{}.{}", self.next_u64() % 256, self.next_u64() % 254 + 1)),
+            )
+        } else {
+            (EventAction::ProcessExec, AuditObject::File(self.pick(BENIGN_PROCESSES).to_owned()))
+        };
+        AuditEvent { ts_ms, process, host, action, object }
+    }
+
+    /// A benign log of `n` events starting at `start_ms`, 1 event/second.
+    pub fn benign_log(&mut self, n: usize, start_ms: u64) -> Vec<AuditEvent> {
+        (0..n).map(|i| self.benign_event(start_ms + i as u64 * 1000)).collect()
+    }
+
+    /// Implant an attack trace replaying the given `(action, object)` steps
+    /// on one host, interleaved into `log` at roughly uniform offsets
+    /// (timestamps keep the log sorted).
+    pub fn implant(
+        &mut self,
+        log: &mut Vec<AuditEvent>,
+        steps: &[(EventAction, AuditObject)],
+        process: &str,
+        host: &str,
+    ) {
+        if log.is_empty() {
+            let mut ts = 0;
+            for (action, object) in steps {
+                log.push(AuditEvent {
+                    ts_ms: ts,
+                    process: process.to_owned(),
+                    host: host.to_owned(),
+                    action: *action,
+                    object: object.clone(),
+                });
+                ts += 500;
+            }
+            return;
+        }
+        let stride = (log.len() / (steps.len() + 1)).max(1);
+        for (i, (action, object)) in steps.iter().enumerate() {
+            let pos = ((i + 1) * stride).min(log.len() - 1);
+            let ts_ms = log[pos].ts_ms + 1;
+            log.insert(
+                pos + 1,
+                AuditEvent {
+                    ts_ms,
+                    process: process.to_owned(),
+                    host: host.to_owned(),
+                    action: *action,
+                    object: object.clone(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_log_is_deterministic_and_sorted() {
+        let a = AuditGenerator::new(7).benign_log(200, 0);
+        let b = AuditGenerator::new(7).benign_log(200, 0);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        // Variety: several actions appear.
+        let actions: std::collections::HashSet<_> = a.iter().map(|e| e.action).collect();
+        assert!(actions.len() >= 4, "{actions:?}");
+    }
+
+    #[test]
+    fn implant_preserves_order_and_adds_steps() {
+        let mut generator = AuditGenerator::new(3);
+        let mut log = generator.benign_log(50, 0);
+        let steps = vec![
+            (EventAction::FileWrite, AuditObject::File("evil.exe".into())),
+            (EventAction::NetConnect, AuditObject::Ip("6.6.6.6".into())),
+        ];
+        generator.implant(&mut log, &steps, "evil.exe", "host1");
+        assert_eq!(log.len(), 52);
+        assert!(log.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        assert!(log.iter().any(|e| e.object.key() == "evil.exe"));
+        assert!(log.iter().any(|e| e.object.key() == "6.6.6.6"));
+    }
+
+    #[test]
+    fn implant_into_empty_log() {
+        let mut generator = AuditGenerator::new(3);
+        let mut log = Vec::new();
+        generator.implant(
+            &mut log,
+            &[(EventAction::DnsResolve, AuditObject::Domain("c2.evil.ru".into()))],
+            "mal.exe",
+            "host0",
+        );
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn object_keys_lowercase() {
+        assert_eq!(AuditObject::File("C:\\EVIL.EXE".into()).key(), "c:\\evil.exe");
+        assert_eq!(AuditObject::Domain("C2.Evil.RU".into()).key(), "c2.evil.ru");
+    }
+}

@@ -1,0 +1,220 @@
+//! Threat behaviour graphs extracted from the knowledge graph.
+//!
+//! For a threat node (malware, usually) the behaviour graph is the set of
+//! IOC indicators the KG relates to it, each weighted by how discriminating
+//! its kind is (a SHA-256 is near-proof; a targeted software name is weak
+//! circumstantial evidence).
+
+use crate::audit::{AuditObject, EventAction};
+use kg_graph::{GraphStore, NodeId};
+use kg_ontology::{EntityKind, RelationKind};
+use serde::{Deserialize, Serialize};
+
+/// One expected indicator of a threat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Indicator {
+    /// IOC kind in the ontology.
+    pub kind: EntityKind,
+    /// Canonical (lowercase) indicator value.
+    pub value: String,
+    /// The KG relation that tied it to the threat.
+    pub relation: RelationKind,
+    /// Evidence weight in `(0, 1]`.
+    pub weight: f64,
+    /// Audit actions that would manifest this indicator.
+    pub actions: Vec<EventAction>,
+}
+
+/// The expected behaviour of one threat.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorGraph {
+    /// The KG node the behaviour belongs to.
+    pub threat: NodeId,
+    /// Canonical threat name.
+    pub name: String,
+    pub indicators: Vec<Indicator>,
+}
+
+impl BehaviorGraph {
+    /// Total evidence weight available.
+    pub fn total_weight(&self) -> f64 {
+        self.indicators.iter().map(|i| i.weight).sum()
+    }
+
+    /// Expected audit steps for implanting this behaviour in a simulated
+    /// log (used by detection experiments): one `(action, object)` pair per
+    /// indicator, using its first manifesting action.
+    pub fn as_audit_steps(&self) -> Vec<(EventAction, AuditObject)> {
+        self.indicators
+            .iter()
+            .filter_map(|ind| {
+                let action = *ind.actions.first()?;
+                Some((action, indicator_object(ind)))
+            })
+            .collect()
+    }
+}
+
+fn indicator_object(ind: &Indicator) -> AuditObject {
+    match ind.kind {
+        EntityKind::FileName | EntityKind::FilePath => AuditObject::File(ind.value.clone()),
+        EntityKind::IpAddress => AuditObject::Ip(ind.value.clone()),
+        EntityKind::Domain => AuditObject::Domain(ind.value.clone()),
+        EntityKind::Url => AuditObject::Url(ind.value.clone()),
+        EntityKind::RegistryKey => AuditObject::RegistryKey(ind.value.clone()),
+        EntityKind::Email => AuditObject::Email(ind.value.clone()),
+        // Hashes manifest as files identified by the hash; model as file
+        // whose "name" is the digest (endpoint agents report hashes).
+        _ => AuditObject::File(ind.value.clone()),
+    }
+}
+
+/// Evidence weight per indicator kind.
+fn kind_weight(kind: EntityKind) -> f64 {
+    match kind {
+        EntityKind::HashMd5 | EntityKind::HashSha1 | EntityKind::HashSha256 => 1.0,
+        EntityKind::Url => 0.9,
+        EntityKind::Domain => 0.85,
+        EntityKind::IpAddress => 0.7,
+        EntityKind::FilePath => 0.7,
+        EntityKind::RegistryKey => 0.7,
+        EntityKind::FileName => 0.5,
+        EntityKind::Email => 0.6,
+        _ => 0.2,
+    }
+}
+
+/// Audit actions that can manifest an indicator reached via `relation`.
+fn manifesting_actions(kind: EntityKind, relation: RelationKind) -> Vec<EventAction> {
+    use EventAction::*;
+    match kind {
+        EntityKind::FileName | EntityKind::FilePath => match relation {
+            RelationKind::Drop | RelationKind::Creates => vec![FileWrite, ProcessExec],
+            RelationKind::Executes => vec![ProcessExec, FileWrite],
+            RelationKind::Deletes => vec![FileDelete],
+            RelationKind::Modifies => vec![FileWrite],
+            _ => vec![FileWrite, ProcessExec, FileRead],
+        },
+        EntityKind::IpAddress => vec![NetConnect],
+        EntityKind::Domain => vec![DnsResolve, NetConnect],
+        EntityKind::Url => vec![NetConnect],
+        EntityKind::RegistryKey => vec![RegistryWrite],
+        EntityKind::Email => vec![EmailSend],
+        _ => vec![FileWrite],
+    }
+}
+
+/// Extract the behaviour graph of one threat node from the KG: every
+/// outgoing non-provenance edge to an IOC-kind node becomes an indicator.
+pub fn behavior_of(graph: &GraphStore, threat: NodeId) -> Option<BehaviorGraph> {
+    let node = graph.node(threat)?;
+    let name = node.name().unwrap_or("").to_owned();
+    let mut indicators = Vec::new();
+    for edge in graph.outgoing(threat) {
+        let Ok(relation) = edge.rel_type.parse::<RelationKind>() else { continue };
+        if relation.is_structural() {
+            continue;
+        }
+        let Some(target) = graph.node(edge.to) else { continue };
+        let Ok(kind) = target.label.parse::<EntityKind>() else { continue };
+        if !kind.is_ioc() {
+            continue;
+        }
+        let value = target.name().unwrap_or("").to_lowercase();
+        if value.is_empty() {
+            continue;
+        }
+        indicators.push(Indicator {
+            kind,
+            value,
+            relation,
+            weight: kind_weight(kind),
+            actions: manifesting_actions(kind, relation),
+        });
+    }
+    // Deduplicate identical (kind, value) indicators reached via different
+    // relations, keeping the first.
+    indicators.sort_by(|a, b| (a.kind, &a.value).cmp(&(b.kind, &b.value)));
+    indicators.dedup_by(|a, b| a.kind == b.kind && a.value == b.value);
+    Some(BehaviorGraph { threat, name, indicators })
+}
+
+/// Extract behaviour graphs for every node with the given label that has at
+/// least `min_indicators` IOC indicators.
+pub fn behaviors_with_label(
+    graph: &GraphStore,
+    label: &str,
+    min_indicators: usize,
+) -> Vec<BehaviorGraph> {
+    graph
+        .nodes_with_label(label)
+        .into_iter()
+        .filter_map(|id| behavior_of(graph, id))
+        .filter(|b| b.indicators.len() >= min_indicators)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::Value;
+
+    fn sample_graph() -> (GraphStore, NodeId) {
+        let mut g = GraphStore::new();
+        let mal = g.create_node("Malware", [("name", Value::from("zeus"))]);
+        let f = g.create_node("FileName", [("name", Value::from("bot.exe"))]);
+        let d = g.create_node("Domain", [("name", Value::from("c2.evil.ru"))]);
+        let reg = g.create_node(
+            "RegistryKey",
+            [("name", Value::from("hklm\\software\\run\\bot"))],
+        );
+        let tech = g.create_node("Technique", [("name", Value::from("keylogging"))]);
+        let report = g.create_node("MalwareReport", [("name", Value::from("src/r1"))]);
+        g.create_edge(mal, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(mal, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(mal, "PERSISTS_VIA", reg, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(mal, "USES", tech, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(report, "MENTIONS", mal, [] as [(&str, Value); 0]).unwrap();
+        (g, mal)
+    }
+
+    #[test]
+    fn extracts_ioc_indicators_only() {
+        let (g, mal) = sample_graph();
+        let behavior = behavior_of(&g, mal).unwrap();
+        assert_eq!(behavior.name, "zeus");
+        assert_eq!(behavior.indicators.len(), 3, "{:?}", behavior.indicators);
+        // The technique (non-IOC) and the MENTIONS edge are excluded.
+        assert!(behavior.indicators.iter().all(|i| i.kind.is_ioc()));
+        assert!(behavior.total_weight() > 1.5);
+    }
+
+    #[test]
+    fn indicators_map_to_audit_steps() {
+        let (g, mal) = sample_graph();
+        let behavior = behavior_of(&g, mal).unwrap();
+        let steps = behavior.as_audit_steps();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.iter().any(|(a, o)| *a == EventAction::FileWrite
+            && matches!(o, AuditObject::File(f) if f == "bot.exe")));
+        assert!(steps.iter().any(|(a, o)| *a == EventAction::DnsResolve
+            && matches!(o, AuditObject::Domain(d) if d == "c2.evil.ru")));
+        assert!(steps
+            .iter()
+            .any(|(a, _)| *a == EventAction::RegistryWrite));
+    }
+
+    #[test]
+    fn hashes_weigh_more_than_filenames() {
+        assert!(kind_weight(EntityKind::HashSha256) > kind_weight(EntityKind::FileName));
+        assert!(kind_weight(EntityKind::Domain) > kind_weight(EntityKind::FileName));
+    }
+
+    #[test]
+    fn behaviors_with_label_filters_thin_profiles() {
+        let (g, _) = sample_graph();
+        assert_eq!(behaviors_with_label(&g, "Malware", 1).len(), 1);
+        assert_eq!(behaviors_with_label(&g, "Malware", 4).len(), 0);
+        assert!(behaviors_with_label(&g, "Tool", 1).is_empty());
+    }
+}

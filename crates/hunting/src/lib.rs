@@ -1,0 +1,27 @@
+//! Knowledge-enhanced threat hunting — the applications layer of Figure 1
+//! and the paper's stated future work ("we plan to connect SecurityKG to our
+//! system-auditing-based threat protection systems \[17, 23, 24\] to achieve
+//! knowledge-enhanced threat protection").
+//!
+//! The idea, following the authors' threat-hunting line of work
+//! (ThreatRaptor \[17\], Poirot \[22\]): the knowledge graph holds *threat
+//! behaviour graphs* — per-malware indicator sets with their relations
+//! (dropped files, C2 endpoints, persistence keys). System audit logs hold
+//! *observed* behaviour: process/file/network/registry events. Hunting is
+//! alignment: score how much of a threat's KG behaviour the audit stream
+//! exhibits, and rank threats for the analyst.
+//!
+//! - [`audit`] — the system-auditing substrate: typed audit events and a
+//!   deterministic log generator (background noise + optional implanted
+//!   attack replaying a KG behaviour).
+//! - [`behavior`] — extraction of threat behaviour graphs from a
+//!   [`kg_graph::GraphStore`] built by SecurityKG.
+//! - [`hunt()`] — the alignment scorer and [`Hunter`].
+
+pub mod audit;
+pub mod behavior;
+pub mod hunt;
+
+pub use audit::{AuditEvent, AuditGenerator, AuditObject, EventAction};
+pub use behavior::{BehaviorGraph, Indicator};
+pub use hunt::{hunt, HuntMatch, HuntReport, Hunter};

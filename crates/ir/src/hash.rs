@@ -1,0 +1,36 @@
+//! Content hashing for deduplication.
+//!
+//! FNV-1a is implemented locally so the workspace needs no extra hashing
+//! dependency; it is fast, stable across runs and platforms, and good enough
+//! for content fingerprinting (the crawler additionally dedups by URL, so an
+//! astronomically unlikely collision only suppresses a duplicate fetch).
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_inputs_differ() {
+        assert_ne!(fnv1a64(b"wannacry"), fnv1a64(b"wannacrypt"));
+    }
+}

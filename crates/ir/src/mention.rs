@@ -1,0 +1,150 @@
+//! Entity and relation mentions produced by the extractors (§2.4).
+
+use kg_ontology::{EntityKind, RelationKind};
+use serde::{Deserialize, Serialize};
+
+/// Which extractor produced a mention — kept for provenance and for the
+/// extraction-quality experiments (E3 separates CRF and regex output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MentionOrigin {
+    /// Parsed from a structured field (HTML table / list) by a parser.
+    Structured,
+    /// Emitted by the IOC regex extractor.
+    Regex,
+    /// Emitted by the CRF sequence tagger.
+    Ner,
+}
+
+/// One entity mention in a report's text or structured fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityMention {
+    /// Ontology kind of the mentioned entity.
+    pub kind: EntityKind,
+    /// Surface text exactly as it appeared.
+    pub text: String,
+    /// Byte offset of the mention start in [`crate::IntermediateCti::text`]
+    /// (0 for structured-field mentions, which have no text span).
+    pub start: usize,
+    /// Byte offset one past the mention end.
+    pub end: usize,
+    /// Extractor confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Which extractor found it.
+    pub origin: MentionOrigin,
+}
+
+impl EntityMention {
+    /// A CRF-produced mention with default confidence 1.0.
+    pub fn new(kind: EntityKind, text: impl Into<String>, start: usize, end: usize) -> Self {
+        EntityMention {
+            kind,
+            text: text.into(),
+            start,
+            end,
+            confidence: 1.0,
+            origin: MentionOrigin::Ner,
+        }
+    }
+
+    /// Builder-style origin override.
+    pub fn with_origin(mut self, origin: MentionOrigin) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// Builder-style confidence override.
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Normalised form of the surface text used as the entity's canonical
+    /// name when inserting into the knowledge graph: lower-cased with
+    /// whitespace collapsed. IOC kinds keep their case-sensitive parts
+    /// (paths, registry keys, hashes are case-normalised to lowercase too —
+    /// hex digests and Windows paths are case-insensitive in practice).
+    pub fn canonical_name(&self) -> String {
+        let mut out = String::with_capacity(self.text.len());
+        let mut last_space = false;
+        for ch in self.text.trim().chars() {
+            if ch.is_whitespace() {
+                if !last_space {
+                    out.push(' ');
+                }
+                last_space = true;
+            } else {
+                for lc in ch.to_lowercase() {
+                    out.push(lc);
+                }
+                last_space = false;
+            }
+        }
+        out
+    }
+}
+
+/// One extracted relation between two entity mentions of the same report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationMention {
+    /// Index of the subject mention in [`crate::IntermediateCti::mentions`].
+    pub subject: usize,
+    /// Index of the object mention.
+    pub object: usize,
+    /// The connecting verb lemma as extracted from text.
+    pub verb: String,
+    /// The ontology relation kind, once resolved against the schema (`None`
+    /// until the connector resolves it).
+    pub kind: Option<RelationKind>,
+    /// Extractor confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl RelationMention {
+    /// A relation mention with default confidence 1.0 and unresolved kind.
+    pub fn new(subject: usize, object: usize, verb: impl Into<String>) -> Self {
+        RelationMention { subject, object, verb: verb.into(), kind: None, confidence: 1.0 }
+    }
+
+    /// Builder-style kind override.
+    pub fn with_kind(mut self, kind: RelationKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Builder-style confidence override.
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_name_normalises_case_and_space() {
+        let m = EntityMention::new(EntityKind::ThreatActor, "  Cozy\t Duke ", 0, 10);
+        assert_eq!(m.canonical_name(), "cozy duke");
+    }
+
+    #[test]
+    fn canonical_name_keeps_ioc_punctuation() {
+        let m = EntityMention::new(EntityKind::FilePath, r"C:\Windows\mssecsvc.exe", 0, 23);
+        assert_eq!(m.canonical_name(), r"c:\windows\mssecsvc.exe");
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let m = EntityMention::new(EntityKind::Malware, "emotet", 5, 11)
+            .with_origin(MentionOrigin::Regex)
+            .with_confidence(0.5);
+        assert_eq!(m.origin, MentionOrigin::Regex);
+        assert_eq!(m.confidence, 0.5);
+        let r = RelationMention::new(0, 1, "drop")
+            .with_kind(RelationKind::Drop)
+            .with_confidence(0.9);
+        assert_eq!(r.kind, Some(RelationKind::Drop));
+        assert_eq!(r.confidence, 0.9);
+    }
+}

@@ -1,0 +1,117 @@
+//! The raw fetch result a crawler hands to the pipeline.
+
+use crate::hash::fnv1a64;
+use crate::report::SourceId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one HTTP-like fetch in the simulated web substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchStatus {
+    /// 200-class response with a body.
+    Ok,
+    /// 404: the page does not exist.
+    NotFound,
+    /// 500-class transient server error; the scheduler should retry.
+    ServerError,
+    /// The fetch exceeded the deadline; the scheduler should retry.
+    TimedOut,
+}
+
+impl FetchStatus {
+    /// Whether a retry could plausibly succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FetchStatus::ServerError | FetchStatus::TimedOut)
+    }
+
+    /// Whether the fetch produced a usable body.
+    pub fn is_ok(self) -> bool {
+        matches!(self, FetchStatus::Ok)
+    }
+}
+
+/// One fetched page of one OSCTI report.
+///
+/// Multi-page reports produce several `RawReport`s sharing `url` stem and
+/// `report_key`; the porter groups them (paper §2.4: porters "group
+/// multi-page reports").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawReport {
+    /// The source this page was crawled from.
+    pub source: SourceId,
+    /// Human-readable source name (e.g. "securelist").
+    pub source_name: String,
+    /// Full URL of the fetched page.
+    pub url: String,
+    /// Source-local key identifying the report this page belongs to.
+    pub report_key: String,
+    /// 1-based page number within the report.
+    pub page: u32,
+    /// Total pages of the report, if the source exposes it.
+    pub total_pages: Option<u32>,
+    /// Fetch outcome.
+    pub status: FetchStatus,
+    /// Raw page body (HTML); empty unless `status.is_ok()`.
+    pub body: String,
+    /// Simulated epoch milliseconds at fetch time.
+    pub fetched_at_ms: u64,
+}
+
+impl RawReport {
+    /// Fingerprint of the body, for change detection on re-crawl.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.body.as_bytes())
+    }
+
+    /// Serialise for cross-stage transport.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Deserialise from cross-stage transport bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(status: FetchStatus, body: &str) -> RawReport {
+        RawReport {
+            source: SourceId(1),
+            source_name: "securelist".into(),
+            url: "https://securelist.example/a?page=1".into(),
+            report_key: "a".into(),
+            page: 1,
+            total_pages: Some(2),
+            status,
+            body: body.into(),
+            fetched_at_ms: 42,
+        }
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(FetchStatus::ServerError.is_retryable());
+        assert!(FetchStatus::TimedOut.is_retryable());
+        assert!(!FetchStatus::NotFound.is_retryable());
+        assert!(!FetchStatus::Ok.is_retryable());
+        assert!(FetchStatus::Ok.is_ok());
+    }
+
+    #[test]
+    fn content_hash_tracks_body() {
+        let a = raw(FetchStatus::Ok, "<html>one</html>");
+        let b = raw(FetchStatus::Ok, "<html>two</html>");
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), raw(FetchStatus::Ok, "<html>one</html>").content_hash());
+    }
+
+    #[test]
+    fn transport_round_trip() {
+        let a = raw(FetchStatus::Ok, "<html>body</html>");
+        let back = RawReport::from_bytes(&a.to_bytes().unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,222 @@
+//! Report-level intermediate representations (porter and parser outputs).
+
+use crate::mention::{EntityMention, RelationMention};
+use kg_ontology::ReportCategory;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Numeric id of a data source (index into the source registry).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// Globally unique, stable report identifier: `source_name/report_key`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReportId(String);
+
+impl ReportId {
+    /// Compose an id from a source name and a source-local report key.
+    pub fn new(source_name: &str, report_key: &str) -> Self {
+        ReportId(format!("{source_name}/{report_key}"))
+    }
+
+    /// The full id string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The source-name prefix.
+    pub fn source_name(&self) -> &str {
+        self.0.split_once('/').map_or(&self.0[..], |(s, _)| s)
+    }
+
+    /// The source-local key suffix.
+    pub fn report_key(&self) -> &str {
+        self.0.split_once('/').map_or("", |(_, k)| k)
+    }
+}
+
+impl fmt::Display for ReportId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Porter output: a whole report with its pages grouped and metadata attached
+/// (paper §2.4: porters "group multi-page reports and add metadata like ids,
+/// sources, titles, and original file locations and timestamps").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntermediateReport {
+    /// Stable report id.
+    pub id: ReportId,
+    /// Source the report came from.
+    pub source: SourceId,
+    /// Human-readable source name.
+    pub source_name: String,
+    /// Report title (from the first page's `<title>`, or empty).
+    pub title: String,
+    /// URL of the first page.
+    pub url: String,
+    /// Raw page bodies in page order.
+    pub pages: Vec<String>,
+    /// Simulated fetch time of the newest page.
+    pub fetched_at_ms: u64,
+    /// Original file location, if the crawler archived the body to disk.
+    pub location: Option<String>,
+    /// Source-specific metadata the porter preserved verbatim.
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl IntermediateReport {
+    /// Concatenated raw body of all pages, in order.
+    pub fn full_body(&self) -> String {
+        self.pages.join("\n")
+    }
+
+    /// Serialise for cross-stage transport.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Deserialise from cross-stage transport bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+/// Report-level metadata carried into the unified CTI representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportMeta {
+    pub id: ReportId,
+    pub source: SourceId,
+    /// CTI vendor (source organisation) name.
+    pub vendor: String,
+    pub title: String,
+    pub url: String,
+    pub fetched_at_ms: u64,
+    /// Publication date parsed from the page, if present.
+    pub published_at_ms: Option<u64>,
+}
+
+/// One titled text section of a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Section {
+    pub heading: String,
+    pub text: String,
+}
+
+/// The unified *intermediate CTI representation* (paper §2.1): one schema
+/// covering all data sources. Source-dependent parsers fill the structured
+/// half; source-independent extractors fill the mention half.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntermediateCti {
+    /// Report metadata.
+    pub meta: ReportMeta,
+    /// Report category (malware / vulnerability / attack).
+    pub category: ReportCategory,
+    /// Key-value pairs parsed from structured fields (HTML tables, defn
+    /// lists). Keys are source vocabulary, normalised to lowercase.
+    pub structured: BTreeMap<String, String>,
+    /// The unstructured body text, extracted from HTML, with markup removed.
+    pub text: String,
+    /// Titled sections, when the source structures its articles.
+    pub sections: Vec<Section>,
+    /// Entity mentions (filled by parsers for structured fields and by
+    /// extractors for text).
+    pub mentions: Vec<EntityMention>,
+    /// Relation mentions between entries of `mentions`.
+    pub relations: Vec<RelationMention>,
+}
+
+impl IntermediateCti {
+    /// An empty representation for a report.
+    pub fn new(meta: ReportMeta, category: ReportCategory) -> Self {
+        IntermediateCti {
+            meta,
+            category,
+            structured: BTreeMap::new(),
+            text: String::new(),
+            sections: Vec::new(),
+            mentions: Vec::new(),
+            relations: Vec::new(),
+        }
+    }
+
+    /// Append a mention and return its index (for relation linking).
+    pub fn push_mention(&mut self, mention: EntityMention) -> usize {
+        self.mentions.push(mention);
+        self.mentions.len() - 1
+    }
+
+    /// Whether every relation's subject/object index is in range.
+    pub fn relations_are_consistent(&self) -> bool {
+        self.relations
+            .iter()
+            .all(|r| r.subject < self.mentions.len() && r.object < self.mentions.len())
+    }
+
+    /// Serialise for cross-stage transport.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Deserialise from cross-stage transport bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_id_parts() {
+        let id = ReportId::new("securelist", "2017/wannacry");
+        assert_eq!(id.as_str(), "securelist/2017/wannacry");
+        assert_eq!(id.source_name(), "securelist");
+        assert_eq!(id.report_key(), "2017/wannacry");
+    }
+
+    #[test]
+    fn intermediate_report_full_body_joins_pages() {
+        let r = IntermediateReport {
+            id: ReportId::new("s", "k"),
+            source: SourceId(0),
+            source_name: "s".into(),
+            title: "t".into(),
+            url: "u".into(),
+            pages: vec!["<p>a</p>".into(), "<p>b</p>".into()],
+            fetched_at_ms: 0,
+            location: None,
+            metadata: BTreeMap::new(),
+        };
+        assert_eq!(r.full_body(), "<p>a</p>\n<p>b</p>");
+        let back = IntermediateReport::from_bytes(&r.to_bytes().unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn consistency_check_catches_dangling_relation() {
+        let meta = ReportMeta {
+            id: ReportId::new("s", "k"),
+            source: SourceId(0),
+            vendor: "s".into(),
+            title: String::new(),
+            url: String::new(),
+            fetched_at_ms: 0,
+            published_at_ms: None,
+        };
+        let mut cti = IntermediateCti::new(meta, ReportCategory::Attack);
+        cti.relations.push(RelationMention::new(0, 1, "use"));
+        assert!(!cti.relations_are_consistent());
+    }
+}

@@ -1,0 +1,320 @@
+//! The spring-embedder layout engine.
+
+use crate::quadtree::{naive_repulsion, QuadTree};
+use crate::Vec2;
+
+/// How pairwise repulsion is computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepulsionMethod {
+    /// Exact O(n²) all-pairs (baseline for E7).
+    Naive,
+    /// Barnes–Hut quadtree with the given opening angle θ.
+    BarnesHut { theta: f32 },
+}
+
+/// Layout parameters.
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Ideal edge length / repulsion constant.
+    pub k: f32,
+    /// Spring (attraction) strength along edges (Fruchterman–Reingold
+    /// attraction `spring · d²/k`; `1.0` gives equilibrium edge length ≈ k).
+    pub spring: f32,
+    /// Pull toward the canvas origin, preventing disconnected drift.
+    pub gravity: f32,
+    /// Initial temperature (max displacement per step).
+    pub temperature: f32,
+    /// Multiplicative cooling per step.
+    pub cooling: f32,
+    pub method: RepulsionMethod,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig {
+            k: 40.0,
+            spring: 1.0,
+            gravity: 0.01,
+            temperature: 50.0,
+            cooling: 0.95,
+            method: RepulsionMethod::BarnesHut { theta: 0.8 },
+        }
+    }
+}
+
+/// The graph being laid out.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutGraph {
+    pub positions: Vec<Vec2>,
+    pub edges: Vec<(usize, usize)>,
+    /// Locked nodes (user-dragged) receive forces but do not move.
+    pub locked: Vec<bool>,
+}
+
+impl LayoutGraph {
+    /// Build a graph with `n` nodes placed deterministically on a spiral
+    /// (a standard collision-free seed layout) and the given edges.
+    pub fn seeded(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        let positions = (0..n)
+            .map(|i| {
+                let angle = i as f32 * 2.399_963; // golden angle
+                let radius = 10.0 * (i as f32 + 1.0).sqrt();
+                Vec2::new(radius * angle.cos(), radius * angle.sin())
+            })
+            .collect();
+        LayoutGraph { positions, edges, locked: vec![false; n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Add a node near an existing anchor (UI node expansion): offset on a
+    /// deterministic angle derived from the new index.
+    pub fn spawn_near(&mut self, anchor: usize, edge_to_anchor: bool) -> usize {
+        let i = self.positions.len();
+        let base = self.positions.get(anchor).copied().unwrap_or_default();
+        let angle = i as f32 * 2.399_963;
+        let p = base + Vec2::new(25.0 * angle.cos(), 25.0 * angle.sin());
+        self.positions.push(p);
+        self.locked.push(false);
+        if edge_to_anchor {
+            self.edges.push((anchor, i));
+        }
+        i
+    }
+
+    /// Lock a node in place (drag-release in the UI).
+    pub fn lock(&mut self, node: usize) {
+        self.locked[node] = true;
+    }
+
+    /// Unlock a node (re-selected for dragging).
+    pub fn unlock(&mut self, node: usize) {
+        self.locked[node] = false;
+    }
+
+    /// Minimum pairwise distance — the "no overlap" quality metric.
+    pub fn min_pairwise_distance(&self) -> f32 {
+        let mut best = f32::MAX;
+        for i in 0..self.positions.len() {
+            for j in i + 1..self.positions.len() {
+                best = best.min((self.positions[i] - self.positions[j]).len());
+            }
+        }
+        best
+    }
+
+    /// Mean edge length (spring satisfaction metric).
+    pub fn mean_edge_length(&self) -> f32 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.edges
+            .iter()
+            .map(|&(a, b)| (self.positions[a] - self.positions[b]).len())
+            .sum::<f32>()
+            / self.edges.len() as f32
+    }
+}
+
+/// The layout engine: holds the cooling schedule between steps.
+#[derive(Debug, Clone)]
+pub struct ForceLayout {
+    pub config: LayoutConfig,
+    temperature: f32,
+}
+
+impl ForceLayout {
+    /// New engine at the config's initial temperature.
+    pub fn new(config: LayoutConfig) -> Self {
+        let temperature = config.temperature;
+        ForceLayout { config, temperature }
+    }
+
+    /// One simulation step; returns the total displacement (convergence
+    /// indicator).
+    pub fn step(&mut self, graph: &mut LayoutGraph) -> f32 {
+        let n = graph.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let k = self.config.k;
+        let mut forces = vec![Vec2::default(); n];
+
+        // Repulsion.
+        match self.config.method {
+            RepulsionMethod::Naive => {
+                for (i, f) in forces.iter_mut().enumerate() {
+                    *f += naive_repulsion(&graph.positions, i, k);
+                }
+            }
+            RepulsionMethod::BarnesHut { theta } => {
+                let tree = QuadTree::build(&graph.positions);
+                for (i, f) in forces.iter_mut().enumerate() {
+                    *f += tree.repulsion(graph.positions[i], Some(i), k, theta);
+                }
+            }
+        }
+
+        // Springs (FR attraction: |f| = spring · dist² / k).
+        for &(a, b) in &graph.edges {
+            let d = graph.positions[b] - graph.positions[a];
+            let dist = d.len().max(1e-6);
+            let pull = d * (self.config.spring * dist / k);
+            forces[a] += pull;
+            forces[b] += pull * -1.0;
+        }
+
+        // Gravity toward the origin.
+        for (i, f) in forces.iter_mut().enumerate() {
+            *f += graph.positions[i] * -self.config.gravity;
+        }
+
+        // Apply, clamped by temperature; locked nodes stay put. Exactly
+        // coincident nodes produce a zero-direction repulsion; a tiny
+        // deterministic per-index jitter unsticks them.
+        let mut total = 0.0;
+        for (i, &force) in forces.iter().enumerate() {
+            if graph.locked[i] {
+                continue;
+            }
+            let mut f = force;
+            if n > 1 {
+                // Symmetry-breaking jitter, decaying with temperature:
+                // exactly coincident nodes otherwise receive identical
+                // (direction-less) forces and never separate.
+                let angle = i as f32 * 2.399_963;
+                f += Vec2::new(angle.cos(), angle.sin()) * (1e-3 * self.temperature);
+            }
+            let f = f;
+            let len = f.len();
+            let step = if len > self.temperature { f * (self.temperature / len) } else { f };
+            graph.positions[i] += step;
+            total += step.len();
+        }
+        self.temperature *= self.config.cooling;
+        total
+    }
+
+    /// Run `steps` iterations.
+    pub fn run(&mut self, graph: &mut LayoutGraph, steps: usize) {
+        for _ in 0..steps {
+            self.step(graph);
+        }
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Reheat (UI calls this when the graph changes under the user).
+    pub fn reheat(&mut self) {
+        self.temperature = self.config.temperature;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small star graph: node 0 in the middle.
+    fn star(n: usize) -> LayoutGraph {
+        LayoutGraph::seeded(n, (1..n).map(|i| (0, i)).collect())
+    }
+
+    #[test]
+    fn layout_separates_overlapping_nodes() {
+        let mut graph = star(20);
+        // Collapse everything to one point to force the worst case.
+        for p in &mut graph.positions {
+            *p = Vec2::new(0.001, 0.001);
+        }
+        graph.positions[0] = Vec2::default();
+        let mut engine = ForceLayout::new(LayoutConfig::default());
+        engine.run(&mut graph, 150);
+        assert!(graph.min_pairwise_distance() > 5.0, "{}", graph.min_pairwise_distance());
+    }
+
+    #[test]
+    fn springs_keep_edges_near_ideal_length() {
+        let mut graph = star(8);
+        let config = LayoutConfig::default();
+        let k = config.k;
+        let mut engine = ForceLayout::new(config);
+        engine.run(&mut graph, 300);
+        let mean = graph.mean_edge_length();
+        assert!(mean > k * 0.4 && mean < k * 3.0, "mean edge length {mean}");
+    }
+
+    #[test]
+    fn cooling_converges() {
+        let mut graph = star(15);
+        let mut engine = ForceLayout::new(LayoutConfig::default());
+        engine.run(&mut graph, 50);
+        let early = engine.step(&mut graph);
+        engine.run(&mut graph, 200);
+        let late = engine.step(&mut graph);
+        assert!(late < early, "late {late} should be smaller than early {early}");
+    }
+
+    #[test]
+    fn locked_nodes_do_not_move() {
+        let mut graph = star(10);
+        graph.lock(3);
+        let before = graph.positions[3];
+        let mut engine = ForceLayout::new(LayoutConfig::default());
+        engine.run(&mut graph, 100);
+        assert_eq!(graph.positions[3], before);
+        // Unlock: it moves again.
+        graph.unlock(3);
+        engine.reheat();
+        engine.run(&mut graph, 20);
+        assert_ne!(graph.positions[3], before);
+    }
+
+    #[test]
+    fn barnes_hut_and_naive_agree_on_quality() {
+        let edges: Vec<(usize, usize)> = (1..60).map(|i| (i / 3, i)).collect();
+        let mut bh_graph = LayoutGraph::seeded(60, edges.clone());
+        let mut naive_graph = LayoutGraph::seeded(60, edges);
+        ForceLayout::new(LayoutConfig {
+            method: RepulsionMethod::BarnesHut { theta: 0.8 },
+            ..LayoutConfig::default()
+        })
+        .run(&mut bh_graph, 200);
+        ForceLayout::new(LayoutConfig {
+            method: RepulsionMethod::Naive,
+            ..LayoutConfig::default()
+        })
+        .run(&mut naive_graph, 200);
+        let q_bh = bh_graph.min_pairwise_distance();
+        let q_naive = naive_graph.min_pairwise_distance();
+        assert!(q_bh > q_naive * 0.4, "bh {q_bh} vs naive {q_naive}");
+    }
+
+    #[test]
+    fn spawn_near_places_close_to_anchor() {
+        let mut graph = star(5);
+        let anchor_pos = graph.positions[2];
+        let id = graph.spawn_near(2, true);
+        assert_eq!(id, 5);
+        assert!((graph.positions[id] - anchor_pos).len() < 50.0);
+        assert!(graph.edges.contains(&(2, id)));
+        assert_eq!(graph.locked.len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let mut graph = LayoutGraph::default();
+        let mut engine = ForceLayout::new(LayoutConfig::default());
+        assert_eq!(engine.step(&mut graph), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Force-directed graph layout with Barnes–Hut approximation (paper §2.6).
+//!
+//! "The UI actively responds to node movements to prevent overlap through an
+//! automatic graph layout using the Barnes–Hut algorithm, which calculates
+//! the nodes' approximated repulsive force based on their distribution."
+//!
+//! This crate is that layout engine, headless: a spring-embedder
+//! (Fruchterman–Reingold-style) whose O(n²) repulsion term is approximated
+//! in O(n log n) by a quadtree with the Barnes–Hut opening criterion. Locked
+//! nodes ("the dragged nodes will lock in place") receive forces but do not
+//! move. The exact naive repulsion is kept as the accuracy/performance
+//! baseline for experiment E7.
+
+pub mod engine;
+pub mod quadtree;
+
+pub use engine::{ForceLayout, LayoutConfig, LayoutGraph, RepulsionMethod};
+pub use quadtree::QuadTree;
+
+/// A 2-D vector/point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    pub x: f32,
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Construct from components.
+    pub fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    pub fn len(self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Squared length (avoids the sqrt in hot paths).
+    pub fn len2(self) -> f32 {
+        self.x * self.x + self.y * self.y
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl std::ops::Mul<f32> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f32) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl std::ops::AddAssign for Vec2 {
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.len(), 5.0);
+        assert_eq!(a.len2(), 25.0);
+        let b = a + Vec2::new(1.0, -1.0);
+        assert_eq!(b, Vec2::new(4.0, 3.0));
+        assert_eq!((b - a), Vec2::new(1.0, -1.0));
+        assert_eq!(a * 2.0, Vec2::new(6.0, 8.0));
+    }
+}

@@ -1,0 +1,282 @@
+//! The Barnes–Hut quadtree.
+//!
+//! Nodes are inserted into a recursively subdivided square; each cell caches
+//! its total mass and centre of mass. Force evaluation walks the tree and
+//! treats any cell whose size/distance ratio is below `theta` as a single
+//! pseudo-particle — the classic O(n log n) approximation.
+
+use crate::Vec2;
+
+/// One quadtree cell (arena-allocated; children are indices).
+#[derive(Debug, Clone)]
+struct Cell {
+    /// Centre of the square region.
+    center: Vec2,
+    /// Half the side length.
+    half: f32,
+    /// Total mass of contained points.
+    mass: f32,
+    /// Mass-weighted centre of contained points.
+    com: Vec2,
+    /// Index of the single contained point, when a leaf with one point.
+    point: Option<usize>,
+    /// Child cell indices (NW, NE, SW, SE), when subdivided.
+    children: Option<[u32; 4]>,
+}
+
+/// A Barnes–Hut quadtree over a fixed point set.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    cells: Vec<Cell>,
+    points: Vec<Vec2>,
+}
+
+const MAX_DEPTH: u32 = 32;
+
+impl QuadTree {
+    /// Build a tree over the points (all mass 1).
+    pub fn build(points: &[Vec2]) -> Self {
+        let mut tree = QuadTree { cells: Vec::new(), points: points.to_vec() };
+        if points.is_empty() {
+            return tree;
+        }
+        // Bounding square.
+        let mut min = Vec2::new(f32::MAX, f32::MAX);
+        let mut max = Vec2::new(f32::MIN, f32::MIN);
+        for p in points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        let center = Vec2::new((min.x + max.x) * 0.5, (min.y + max.y) * 0.5);
+        let half = ((max.x - min.x).max(max.y - min.y) * 0.5).max(1e-3);
+        tree.cells.push(Cell {
+            center,
+            half,
+            mass: 0.0,
+            com: Vec2::default(),
+            point: None,
+            children: None,
+        });
+        for i in 0..points.len() {
+            tree.insert(0, i, 0);
+        }
+        tree.finalize(0);
+        tree
+    }
+
+    fn insert(&mut self, cell: u32, point: usize, depth: u32) {
+        let c = cell as usize;
+        self.cells[c].mass += 1.0;
+        let p = self.points[point];
+        self.cells[c].com += p;
+
+        if self.cells[c].children.is_none() && self.cells[c].point.is_none() {
+            self.cells[c].point = Some(point);
+            return;
+        }
+        if depth >= MAX_DEPTH {
+            // Coincident points beyond max depth: accumulate mass only.
+            return;
+        }
+        if self.cells[c].children.is_none() {
+            let existing = self.cells[c].point.take().unwrap();
+            let kids = self.subdivide(c);
+            self.cells[c].children = Some(kids);
+            // Re-insert the displaced point (without double-counting mass:
+            // child insert adds mass to children only).
+            let q = self.quadrant(c, self.points[existing]);
+            self.insert_into_child(c, q, existing, depth + 1);
+        }
+        let q = self.quadrant(c, p);
+        self.insert_into_child(c, q, point, depth + 1);
+    }
+
+    fn insert_into_child(&mut self, parent: usize, quadrant: usize, point: usize, depth: u32) {
+        let child = self.cells[parent].children.unwrap()[quadrant];
+        self.insert(child, point, depth);
+    }
+
+    fn subdivide(&mut self, c: usize) -> [u32; 4] {
+        let center = self.cells[c].center;
+        let h = self.cells[c].half * 0.5;
+        let mut kids = [0u32; 4];
+        for (i, (dx, dy)) in [(-1.0, 1.0), (1.0, 1.0), (-1.0, -1.0), (1.0, -1.0)]
+            .iter()
+            .enumerate()
+        {
+            kids[i] = self.cells.len() as u32;
+            self.cells.push(Cell {
+                center: Vec2::new(center.x + dx * h, center.y + dy * h),
+                half: h,
+                mass: 0.0,
+                com: Vec2::default(),
+                point: None,
+                children: None,
+            });
+        }
+        kids
+    }
+
+    fn quadrant(&self, c: usize, p: Vec2) -> usize {
+        let center = self.cells[c].center;
+        match (p.x >= center.x, p.y >= center.y) {
+            (false, true) => 0,  // NW
+            (true, true) => 1,   // NE
+            (false, false) => 2, // SW
+            (true, false) => 3,  // SE
+        }
+    }
+
+    fn finalize(&mut self, cell: usize) {
+        if self.cells[cell].mass > 0.0 {
+            let m = self.cells[cell].mass;
+            self.cells[cell].com = self.cells[cell].com * (1.0 / m);
+        }
+        if let Some(kids) = self.cells[cell].children {
+            for k in kids {
+                self.finalize(k as usize);
+            }
+        }
+    }
+
+    /// Approximate repulsive force on `on` (a point *not necessarily* in the
+    /// tree) with strength `k` and opening angle `theta`:
+    /// `F = k² * Σ m_j (on − x_j) / |on − x_j|²` with far cells collapsed.
+    pub fn repulsion(&self, on: Vec2, self_index: Option<usize>, k: f32, theta: f32) -> Vec2 {
+        if self.cells.is_empty() {
+            return Vec2::default();
+        }
+        let mut force = Vec2::default();
+        let mut stack = vec![0u32];
+        while let Some(ci) = stack.pop() {
+            let cell = &self.cells[ci as usize];
+            if cell.mass == 0.0 {
+                continue;
+            }
+            let d = on - cell.com;
+            let dist2 = d.len2().max(1e-6);
+            let dist = dist2.sqrt();
+            let is_far = (cell.half * 2.0) / dist < theta;
+            match (&cell.children, is_far) {
+                // Far enough: treat the whole cell as one particle.
+                (_, true) | (None, _) => {
+                    // Skip self-interaction for single-point leaves.
+                    if cell.children.is_none() && cell.point == self_index && cell.mass <= 1.0 {
+                        continue;
+                    }
+                    let mut mass = cell.mass;
+                    if cell.children.is_none() {
+                        // Leaf containing self among coincident points.
+                        if let (Some(s), Some(p)) = (self_index, cell.point) {
+                            if p == s {
+                                mass -= 1.0;
+                            }
+                        }
+                    }
+                    if mass > 0.0 {
+                        force += d * (k * k * mass / dist2);
+                    }
+                }
+                (Some(kids), false) => {
+                    for k in kids {
+                        stack.push(*k);
+                    }
+                }
+            }
+        }
+        force
+    }
+
+    /// Number of allocated cells (for complexity assertions in tests).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Exact O(n) repulsion on one point from all others (the naive baseline).
+pub fn naive_repulsion(points: &[Vec2], on: usize, k: f32) -> Vec2 {
+    let mut force = Vec2::default();
+    let p = points[on];
+    for (j, &q) in points.iter().enumerate() {
+        if j == on {
+            continue;
+        }
+        let d = p - q;
+        let dist2 = d.len2().max(1e-6);
+        force += d * (k * k / dist2);
+    }
+    force
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec2> {
+        let side = (n as f32).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Vec2::new((i % side) as f32 * 10.0, (i / side) as f32 * 10.0))
+            .collect()
+    }
+
+    #[test]
+    fn tree_mass_equals_point_count() {
+        let pts = grid(37);
+        let tree = QuadTree::build(&pts);
+        assert!(tree.cell_count() >= 37);
+        // Root mass = total points; verified indirectly via repulsion from
+        // far away ≈ treating all points as one mass at the COM.
+        let far = Vec2::new(1e6, 1e6);
+        let f = tree.repulsion(far, None, 1.0, 0.8);
+        let com = pts.iter().fold(Vec2::default(), |a, &b| a + b) * (1.0 / pts.len() as f32);
+        let d = far - com;
+        let expected = d * (37.0 / d.len2());
+        assert!((f.x - expected.x).abs() / expected.x.abs() < 1e-3);
+        assert!((f.y - expected.y).abs() / expected.y.abs() < 1e-3);
+    }
+
+    #[test]
+    fn barnes_hut_approximates_naive() {
+        let pts = grid(200);
+        let tree = QuadTree::build(&pts);
+        let mut max_rel_err = 0f32;
+        for i in (0..pts.len()).step_by(17) {
+            let exact = naive_repulsion(&pts, i, 1.0);
+            let approx = tree.repulsion(pts[i], Some(i), 1.0, 0.5);
+            let err = (exact - approx).len() / exact.len().max(1e-9);
+            max_rel_err = max_rel_err.max(err);
+        }
+        assert!(max_rel_err < 0.05, "relative error {max_rel_err}");
+    }
+
+    #[test]
+    fn theta_zero_is_exact() {
+        let pts = grid(50);
+        let tree = QuadTree::build(&pts);
+        for i in [0, 13, 49] {
+            let exact = naive_repulsion(&pts, i, 1.5);
+            let approx = tree.repulsion(pts[i], Some(i), 1.5, 0.0);
+            assert!((exact - approx).len() < 1e-3, "{i}");
+        }
+    }
+
+    #[test]
+    fn coincident_points_do_not_recurse_forever() {
+        let pts = vec![Vec2::new(1.0, 1.0); 20];
+        let tree = QuadTree::build(&pts);
+        // Force on a coincident point is finite (self excluded via mass).
+        let f = tree.repulsion(pts[0], Some(0), 1.0, 0.8);
+        assert!(f.x.is_finite() && f.y.is_finite());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let tree = QuadTree::build(&[]);
+        assert_eq!(tree.repulsion(Vec2::default(), None, 1.0, 0.8), Vec2::default());
+        let tree = QuadTree::build(&[Vec2::new(5.0, 5.0)]);
+        let f = tree.repulsion(Vec2::new(5.0, 5.0), Some(0), 1.0, 0.8);
+        assert_eq!(f, Vec2::default());
+    }
+}

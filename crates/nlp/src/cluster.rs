@@ -1,0 +1,224 @@
+//! K-means clustering over word embeddings.
+//!
+//! The CRF consumes *discrete* features; continuous embedding vectors are
+//! discretised into cluster ids (a Brown-cluster-style word-class feature).
+//! Lloyd's algorithm with k-means++ seeding, deterministic under a seed.
+
+use crate::embed::Embeddings;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fitted k-means model mapping words to cluster ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    k: usize,
+    dims: usize,
+    centroids: Vec<f32>,
+    assignment: HashMap<String, usize>,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fit `k` clusters on the embedding matrix. `iters` Lloyd iterations
+    /// (early-stops when assignments stabilise).
+    pub fn fit(embeddings: &Embeddings, k: usize, iters: usize, seed: u64) -> Self {
+        let (matrix, dims) = embeddings.matrix();
+        let n = embeddings.vocab_size();
+        let k = k.min(n.max(1));
+        if n == 0 {
+            return KMeans { k: 0, dims, centroids: Vec::new(), assignment: HashMap::new() };
+        }
+        let row = |i: usize| &matrix[i * dims..(i + 1) * dims];
+
+        // k-means++ seeding with a splitmix-style hash sequence.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut centroids: Vec<f32> = Vec::with_capacity(k * dims);
+        let first = (next() % n as u64) as usize;
+        centroids.extend_from_slice(row(first));
+        let mut dist2: Vec<f32> = (0..n).map(|i| sq_dist(row(i), row(first))).collect();
+        while centroids.len() / dims < k {
+            let total: f64 = dist2.iter().map(|&d| d as f64).sum();
+            let chosen = if total <= f64::EPSILON {
+                (next() % n as u64) as usize
+            } else {
+                let mut target = (next() as f64 / u64::MAX as f64) * total;
+                let mut pick = n - 1;
+                for (i, &d) in dist2.iter().enumerate() {
+                    target -= d as f64;
+                    if target <= 0.0 {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            };
+            centroids.extend_from_slice(row(chosen));
+            let c = &centroids[centroids.len() - dims..];
+            let c = c.to_vec();
+            for (i, d) in dist2.iter_mut().enumerate() {
+                *d = d.min(sq_dist(row(i), &c));
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assign = vec![0usize; n];
+        for _ in 0..iters {
+            let mut changed = false;
+            for (i, slot) in assign.iter_mut().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = f32::MAX;
+                for c in 0..k {
+                    let d = sq_dist(row(i), &centroids[c * dims..(c + 1) * dims]);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = vec![0f32; k * dims];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                counts[assign[i]] += 1;
+                for d in 0..dims {
+                    sums[assign[i] * dims + d] += row(i)[d];
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for d in 0..dims {
+                        centroids[c * dims + d] = sums[c * dims + d] / counts[c] as f32;
+                    }
+                }
+            }
+        }
+
+        let assignment = embeddings
+            .words()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), assign[i]))
+            .collect();
+        KMeans { k, dims, centroids, assignment }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Cluster id for an in-vocabulary word.
+    pub fn cluster_of(&self, word: &str) -> Option<usize> {
+        self.assignment.get(word).copied()
+    }
+
+    /// Cluster id for an arbitrary vector (nearest centroid).
+    pub fn predict(&self, vector: &[f32]) -> Option<usize> {
+        if self.k == 0 || vector.len() != self.dims {
+            return None;
+        }
+        (0..self.k)
+            .min_by(|&a, &b| {
+                let da = sq_dist(vector, &self.centroids[a * self.dims..(a + 1) * self.dims]);
+                let db = sq_dist(vector, &self.centroids[b * self.dims..(b + 1) * self.dims]);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::EmbeddingConfig;
+
+    fn trained() -> Embeddings {
+        let mut sents = Vec::new();
+        for _ in 0..60 {
+            for mal in ["wannacry", "emotet", "notpetya"] {
+                sents.push(
+                    format!("the {mal} malware encrypted files on the host")
+                        .split(' ')
+                        .map(str::to_owned)
+                        .collect::<Vec<_>>(),
+                );
+            }
+            for city in ["berlin", "paris", "tokyo"] {
+                sents.push(
+                    format!("analysts met in {city} to compare notes today")
+                        .split(' ')
+                        .map(str::to_owned)
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        Embeddings::train(&sents, &EmbeddingConfig { dims: 16, epochs: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn same_context_words_share_clusters() {
+        let emb = trained();
+        let km = KMeans::fit(&emb, 6, 30, 7);
+        let a = km.cluster_of("wannacry").unwrap();
+        let b = km.cluster_of("emotet").unwrap();
+        let c = km.cluster_of("berlin").unwrap();
+        let d = km.cluster_of("paris").unwrap();
+        assert_eq!(a, b, "malware names should co-cluster");
+        assert_eq!(c, d, "cities should co-cluster");
+        assert_ne!(a, c, "malware and cities should separate");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let emb = trained();
+        let k1 = KMeans::fit(&emb, 5, 20, 42);
+        let k2 = KMeans::fit(&emb, 5, 20, 42);
+        for w in emb.words() {
+            assert_eq!(k1.cluster_of(w), k2.cluster_of(w));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_vocab_is_clamped() {
+        let sents: Vec<Vec<String>> = (0..10)
+            .map(|_| vec!["alpha".to_owned(), "beta".to_owned()])
+            .collect();
+        let emb = Embeddings::train(&sents, &EmbeddingConfig { dims: 4, ..Default::default() });
+        let km = KMeans::fit(&emb, 100, 10, 1);
+        assert!(km.k() <= emb.vocab_size());
+    }
+
+    #[test]
+    fn predict_matches_assignment() {
+        let emb = trained();
+        let km = KMeans::fit(&emb, 4, 30, 9);
+        for w in emb.words().iter().take(20) {
+            let v = emb.vector(w).unwrap();
+            assert_eq!(km.predict(v), km.cluster_of(w), "word {w}");
+        }
+    }
+
+    #[test]
+    fn empty_embeddings_give_empty_model() {
+        let emb = Embeddings::train(&Vec::<Vec<String>>::new(), &EmbeddingConfig::default());
+        let km = KMeans::fit(&emb, 5, 5, 0);
+        assert_eq!(km.k(), 0);
+        assert_eq!(km.cluster_of("x"), None);
+        assert_eq!(km.predict(&[0.0; 32]), None);
+    }
+}

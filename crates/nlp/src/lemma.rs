@@ -1,0 +1,236 @@
+//! Rule-based English lemmatizer.
+//!
+//! Irregular forms come from an embedded table; regular inflections are
+//! stripped by suffix rules that generate candidate lemmas (handling
+//! consonant doubling, e-insertion and y→ie alternation) which callers can
+//! validate against a lexicon — [`crate::PosTagger::is_verb_form`] does
+//! exactly that for verbs.
+
+use crate::pos::PosTag;
+
+/// Irregular verb forms → lemma.
+const IRREGULAR_VERBS: &[(&str, &str)] = &[
+    ("was", "be"), ("were", "be"), ("been", "be"), ("is", "be"), ("are", "be"), ("am", "be"),
+    ("being", "be"),
+    ("has", "have"), ("had", "have"), ("having", "have"),
+    ("did", "do"), ("does", "do"), ("done", "do"),
+    ("ran", "run"), ("run", "run"),
+    ("sent", "send"), ("wrote", "write"), ("written", "write"),
+    ("stole", "steal"), ("stolen", "steal"),
+    ("spread", "spread"), ("hid", "hide"), ("hidden", "hide"),
+    ("began", "begin"), ("begun", "begin"),
+    ("took", "take"), ("taken", "take"),
+    ("made", "make"), ("saw", "see"), ("seen", "see"),
+    ("found", "find"), ("got", "get"), ("gotten", "get"),
+    ("came", "come"), ("went", "go"), ("gone", "go"),
+    ("became", "become"), ("grew", "grow"), ("grown", "grow"),
+    ("left", "leave"), ("built", "build"), ("brought", "bring"),
+    ("caught", "catch"), ("held", "hold"), ("kept", "keep"),
+    ("led", "lead"), ("lost", "lose"), ("met", "meet"),
+    ("paid", "pay"), ("put", "put"), ("read", "read"),
+    ("said", "say"), ("sold", "sell"), ("set", "set"),
+    ("shut", "shut"), ("sat", "sit"), ("spoke", "speak"), ("spoken", "speak"),
+    ("spent", "spend"), ("stood", "stand"), ("struck", "strike"),
+    ("thought", "think"), ("told", "tell"), ("understood", "understand"),
+    ("woke", "wake"), ("won", "win"), ("drew", "draw"), ("drawn", "draw"),
+];
+
+/// Irregular noun plurals → singular.
+const IRREGULAR_NOUNS: &[(&str, &str)] = &[
+    ("children", "child"), ("men", "man"), ("women", "woman"), ("feet", "foot"),
+    ("teeth", "tooth"), ("mice", "mouse"), ("people", "person"), ("indices", "index"),
+    ("matrices", "matrix"), ("vertices", "vertex"), ("analyses", "analysis"),
+    ("viruses", "virus"), ("processes", "process"), ("addresses", "address"),
+    ("accesses", "access"), ("botnets", "botnet"),
+];
+
+/// Words that look inflected but are not ("ransomware" is not "ransomwar" +
+/// e, "across" is not a plural).
+const NON_INFLECTED: &[&str] = &[
+    "across", "its", "this", "his", "was", "dangerous", "malicious", "previous", "various",
+    "virus", "analysis", "always", "perhaps", "ransomware", "malware", "spyware", "adware",
+    "less", "process", "access", "address", "business", "campaigns",
+];
+
+/// Candidate lemmas for a possibly-inflected verb form, best first.
+///
+/// `dropped` → `["dropp", "drop", "droppe"]`-style candidates are *not*
+/// produced blindly: each rule applies its own structural conditions, so the
+/// usual output is 1–3 well-formed candidates (`drop`, `droppe`).
+pub fn verb_lemma_candidates(word: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let n = word.len();
+    if let Some(lemma) = lookup(IRREGULAR_VERBS, word) {
+        out.push(lemma.to_owned());
+        return out;
+    }
+    if word.ends_with("ies") && n > 4 {
+        out.push(format!("{}y", &word[..n - 3])); // copies → copy
+    }
+    if word.ends_with("es") && n > 3 {
+        out.push(word[..n - 2].to_owned()); // reaches → reach
+        out.push(word[..n - 1].to_owned()); // uses → use
+    } else if word.ends_with('s') && !word.ends_with("ss") && n > 2 {
+        out.push(word[..n - 1].to_owned()); // drops → drop
+    }
+    if word.ends_with("ied") && n > 4 {
+        out.push(format!("{}y", &word[..n - 3])); // copied → copy
+    }
+    if word.ends_with("ed") && n > 3 {
+        let stem = &word[..n - 2];
+        if has_doubled_final_consonant(stem) {
+            out.push(stem[..stem.len() - 1].to_owned()); // dropped → drop
+        }
+        out.push(stem.to_owned()); // encrypted → encrypt
+        out.push(format!("{stem}e")); // used → use
+    }
+    if word.ends_with("ing") && n > 4 {
+        let stem = &word[..n - 3];
+        if has_doubled_final_consonant(stem) {
+            out.push(stem[..stem.len() - 1].to_owned()); // dropping → drop
+        }
+        out.push(stem.to_owned()); // encrypting → encrypt
+        out.push(format!("{stem}e")); // using → use
+    }
+    out
+}
+
+/// Candidate lemmas for a possibly-plural noun, best first.
+pub fn noun_lemma_candidates(word: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let n = word.len();
+    if let Some(lemma) = lookup(IRREGULAR_NOUNS, word) {
+        out.push(lemma.to_owned());
+        return out;
+    }
+    if word.ends_with("ies") && n > 4 {
+        out.push(format!("{}y", &word[..n - 3]));
+    }
+    if ["ches", "shes", "xes", "zes", "sses"].iter().any(|s| word.ends_with(s)) {
+        out.push(word[..n - 2].to_owned());
+    } else if word.ends_with('s') && !word.ends_with("ss") && n > 2 {
+        out.push(word[..n - 1].to_owned());
+    }
+    out
+}
+
+fn has_doubled_final_consonant(stem: &str) -> bool {
+    let bytes = stem.as_bytes();
+    if bytes.len() < 2 {
+        return false;
+    }
+    let a = bytes[bytes.len() - 1];
+    let b = bytes[bytes.len() - 2];
+    a == b && a.is_ascii_alphabetic() && !b"aeiou".contains(&a)
+}
+
+fn lookup(table: &'static [(&'static str, &'static str)], word: &str) -> Option<&'static str> {
+    table.iter().find(|(w, _)| *w == word).map(|(_, l)| *l)
+}
+
+/// Lemmatize `word` (must already be lowercase) given its POS tag.
+///
+/// Verbs and nouns get inflection stripping; other classes pass through
+/// unchanged. When several candidates exist, the first structurally valid
+/// one wins; the tagger's lexicon-validated path ([`crate::PosTagger`])
+/// should be preferred when the caller has a tagger at hand.
+pub fn lemmatize(word: &str, tag: PosTag) -> String {
+    if NON_INFLECTED.contains(&word) && !matches!(tag, PosTag::Verb | PosTag::Aux) {
+        return word.to_owned();
+    }
+    match tag {
+        PosTag::Verb | PosTag::Aux => {
+            if NON_INFLECTED.contains(&word) && lookup(IRREGULAR_VERBS, word).is_none() {
+                return word.to_owned();
+            }
+            verb_lemma_candidates(word).into_iter().next().unwrap_or_else(|| word.to_owned())
+        }
+        PosTag::Noun | PosTag::ProperNoun => {
+            noun_lemma_candidates(word).into_iter().next().unwrap_or_else(|| word.to_owned())
+        }
+        _ => word.to_owned(),
+    }
+}
+
+/// Lemmatize against a validating predicate: the first candidate accepted by
+/// `is_known` wins, then the plain first candidate, then the word itself.
+pub fn lemmatize_validated(
+    word: &str,
+    tag: PosTag,
+    is_known: impl Fn(&str) -> bool,
+) -> String {
+    let candidates = match tag {
+        PosTag::Verb | PosTag::Aux => verb_lemma_candidates(word),
+        PosTag::Noun | PosTag::ProperNoun => noun_lemma_candidates(word),
+        _ => Vec::new(),
+    };
+    if let Some(valid) = candidates.iter().find(|c| is_known(c)) {
+        return valid.clone();
+    }
+    candidates.into_iter().next().unwrap_or_else(|| word.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_verb_inflections() {
+        assert_eq!(lemmatize("drops", PosTag::Verb), "drop");
+        assert_eq!(lemmatize("dropped", PosTag::Verb), "drop");
+        assert_eq!(lemmatize("dropping", PosTag::Verb), "drop");
+        assert_eq!(lemmatize("encrypts", PosTag::Verb), "encrypt");
+        assert_eq!(lemmatize("encrypted", PosTag::Verb), "encrypt");
+        assert_eq!(lemmatize("reaches", PosTag::Verb), "reach");
+        assert_eq!(lemmatize("copies", PosTag::Verb), "copy");
+        assert_eq!(lemmatize("copied", PosTag::Verb), "copy");
+    }
+
+    #[test]
+    fn e_insertion_with_validation() {
+        // Without a lexicon the first candidate for "used" is "us"; with
+        // validation the known verb "use" wins.
+        let known = |w: &str| ["use", "drop", "beacon"].contains(&w);
+        assert_eq!(lemmatize_validated("used", PosTag::Verb, known), "use");
+        assert_eq!(lemmatize_validated("using", PosTag::Verb, known), "use");
+        assert_eq!(lemmatize_validated("beaconed", PosTag::Verb, known), "beacon");
+    }
+
+    #[test]
+    fn irregular_verbs() {
+        assert_eq!(lemmatize("was", PosTag::Aux), "be");
+        assert_eq!(lemmatize("stolen", PosTag::Verb), "steal");
+        assert_eq!(lemmatize("sent", PosTag::Verb), "send");
+        assert_eq!(lemmatize("spread", PosTag::Verb), "spread");
+    }
+
+    #[test]
+    fn noun_plurals() {
+        assert_eq!(lemmatize("files", PosTag::Noun), "file");
+        assert_eq!(lemmatize("patches", PosTag::Noun), "patch");
+        assert_eq!(lemmatize("registries", PosTag::Noun), "registry");
+        assert_eq!(lemmatize("processes", PosTag::Noun), "process");
+        assert_eq!(lemmatize("viruses", PosTag::Noun), "virus");
+    }
+
+    #[test]
+    fn non_inflected_words_pass_through() {
+        assert_eq!(lemmatize("ransomware", PosTag::Noun), "ransomware");
+        assert_eq!(lemmatize("analysis", PosTag::Noun), "analysis");
+        assert_eq!(lemmatize("malicious", PosTag::Adjective), "malicious");
+        assert_eq!(lemmatize("across", PosTag::Preposition), "across");
+    }
+
+    #[test]
+    fn other_classes_pass_through() {
+        assert_eq!(lemmatize("quickly", PosTag::Adverb), "quickly");
+        assert_eq!(lemmatize("the", PosTag::Determiner), "the");
+    }
+
+    #[test]
+    fn doubled_consonant_detection() {
+        assert!(has_doubled_final_consonant("dropp"));
+        assert!(!has_doubled_final_consonant("encrypt"));
+        assert!(!has_doubled_final_consonant("see")); // vowels don't count
+    }
+}

@@ -1,0 +1,96 @@
+//! The NLP substrate for SecurityKG (paper §2.4).
+//!
+//! The paper's extraction pipeline depends on a Python NLP stack (tokenizer,
+//! sentence segmenter, POS tags, lemmas, word embeddings). This crate rebuilds
+//! each of those pieces in pure Rust:
+//!
+//! - [`ioc`] — IOC detection *before* tokenization, so that "massive nuances
+//!   particular to the security context" (dots and underscores inside IOCs)
+//!   never confuse the tokenizer or the sentence segmenter. This is the
+//!   paper's **IOC protection** mechanism.
+//! - [`token`] — tokenizer producing offset-preserving tokens; IOC spans
+//!   become single protected tokens.
+//! - [`segment`] — sentence segmenter over protected token streams.
+//! - [`pos`] — lexicon + suffix-rule part-of-speech tagger.
+//! - [`lemma`] — rule-based English lemmatizer with an irregular table.
+//! - [`embed`] — skip-gram-with-negative-sampling word embeddings trained on
+//!   the crawled corpus (the Mikolov-style features the CRF consumes).
+//! - [`cluster`] — k-means over embeddings; cluster ids serve as
+//!   discrete word-class features for the CRF.
+
+pub mod cluster;
+pub mod embed;
+pub mod ioc;
+pub mod lemma;
+pub mod pos;
+pub mod segment;
+pub mod token;
+
+pub use cluster::KMeans;
+pub use embed::{Embeddings, EmbeddingConfig};
+pub use ioc::{IocMatcher, IocSpan};
+pub use lemma::lemmatize;
+pub use pos::{PosTag, PosTagger};
+pub use segment::split_sentences;
+pub use token::{tokenize, tokenize_protected, Token, TokenKind};
+
+/// A fully analysed sentence: tokens plus per-token POS tags and lemmas.
+///
+/// This is the unit the CRF featurizer and the relation extractor consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedSentence {
+    pub tokens: Vec<Token>,
+    pub tags: Vec<PosTag>,
+    pub lemmas: Vec<String>,
+}
+
+/// Run the whole substrate over a text: protect IOCs, tokenize, split
+/// sentences, tag and lemmatize.
+pub fn analyze(text: &str, matcher: &IocMatcher, tagger: &PosTagger) -> Vec<AnalyzedSentence> {
+    let tokens = tokenize_protected(text, matcher);
+    split_sentences(tokens)
+        .into_iter()
+        .map(|sentence| {
+            let tags = tagger.tag(&sentence);
+            let lemmas = sentence
+                .iter()
+                .zip(&tags)
+                .map(|(t, &tag)| {
+                    let lower = t.text.to_lowercase();
+                    match tag {
+                        // Verbs validate candidates against the tagger's
+                        // lexicon so "used" → "use", not "us".
+                        PosTag::Verb | PosTag::Aux => {
+                            lemma::lemmatize_validated(&lower, tag, |c| tagger.knows_lemma(c))
+                        }
+                        _ => lemma::lemmatize(&lower, tag),
+                    }
+                })
+                .collect();
+            AnalyzedSentence { tokens: sentence, tags, lemmas }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_protects_iocs_and_splits_sentences() {
+        let matcher = IocMatcher::standard();
+        let tagger = PosTagger::standard();
+        let text = "The wannacry malware dropped mssecsvc.exe on the host. \
+                    It then connected to 104.20.1.1 over port 445.";
+        let sents = analyze(text, &matcher, &tagger);
+        assert_eq!(sents.len(), 2, "{sents:?}");
+        // The filename must survive as one token despite its dot.
+        assert!(sents[0].tokens.iter().any(|t| t.text == "mssecsvc.exe"));
+        assert!(sents[1].tokens.iter().any(|t| t.text == "104.20.1.1"));
+        // "dropped" lemmatizes to "drop".
+        let drop_idx =
+            sents[0].tokens.iter().position(|t| t.text == "dropped").expect("dropped token");
+        assert_eq!(sents[0].lemmas[drop_idx], "drop");
+        assert_eq!(sents[0].tags[drop_idx], PosTag::Verb);
+    }
+}

@@ -1,0 +1,316 @@
+//! Part-of-speech tagging.
+//!
+//! A lexicon-and-rules tagger: closed-class words come from embedded lists,
+//! open-class words are resolved by a verb lexicon (seeded with the
+//! ontology's relation verbs plus common report vocabulary), inflection
+//! analysis, suffix heuristics and finally capitalisation. The tagger is
+//! deterministic and needs no training corpus — appropriate because the
+//! downstream CRF uses tags only as *features*, not as supervision.
+
+use crate::token::{Token, TokenKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The coarse POS tag set (Universal-Dependencies-flavoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PosTag {
+    Noun,
+    ProperNoun,
+    Verb,
+    Aux,
+    Adjective,
+    Adverb,
+    Determiner,
+    Preposition,
+    Pronoun,
+    Conjunction,
+    Number,
+    Punctuation,
+    /// Protected IOC tokens get their own tag; they behave like proper nouns
+    /// syntactically but the CRF benefits from the distinction.
+    Ioc,
+    Other,
+}
+
+impl PosTag {
+    /// Short feature string for the CRF featurizer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PosTag::Noun => "NOUN",
+            PosTag::ProperNoun => "PROPN",
+            PosTag::Verb => "VERB",
+            PosTag::Aux => "AUX",
+            PosTag::Adjective => "ADJ",
+            PosTag::Adverb => "ADV",
+            PosTag::Determiner => "DET",
+            PosTag::Preposition => "ADP",
+            PosTag::Pronoun => "PRON",
+            PosTag::Conjunction => "CCONJ",
+            PosTag::Number => "NUM",
+            PosTag::Punctuation => "PUNCT",
+            PosTag::Ioc => "IOC",
+            PosTag::Other => "X",
+        }
+    }
+}
+
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "its", "their", "his", "her", "our",
+    "your", "my", "each", "every", "some", "any", "no", "both", "all", "several", "many",
+    "multiple", "various", "numerous", "other", "another", "same",
+];
+
+const PREPOSITIONS: &[&str] = &[
+    "in", "on", "at", "to", "from", "with", "without", "by", "for", "of", "into", "onto",
+    "over", "under", "through", "via", "across", "against", "during", "after", "before",
+    "between", "within", "upon", "inside", "outside", "toward", "towards", "among", "per",
+    "as", "about", "off",
+];
+
+const PRONOUNS: &[&str] = &[
+    "it", "they", "he", "she", "we", "you", "i", "them", "him", "us", "itself", "themselves",
+    "which", "who", "whom", "whose", "what", "something", "anything", "nothing",
+];
+
+const CONJUNCTIONS: &[&str] =
+    &["and", "or", "but", "nor", "so", "yet", "then", "while", "because", "although", "if",
+      "when", "once", "where", "that", "however", "therefore"];
+
+const AUXILIARIES: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having",
+    "do", "does", "did", "will", "would", "can", "could", "may", "might", "shall", "should",
+    "must",
+];
+
+const COMMON_ADVERBS: &[&str] = &[
+    "then", "also", "later", "subsequently", "first", "next", "finally", "additionally",
+    "furthermore", "moreover", "often", "typically", "usually", "silently", "quickly",
+    "remotely", "immediately", "repeatedly", "actively", "initially", "here", "there", "not",
+    "never", "already", "again", "still", "even", "further",
+];
+
+/// Verbs commonly seen in CTI reports (beyond the ontology verbs), in lemma
+/// form. Inflected forms are recognised by stripping -s/-ed/-ing.
+const CTI_VERBS: &[&str] = &[
+    "observe", "detect", "report", "analyze", "discover", "identify", "find", "see", "show",
+    "reveal", "contain", "include", "begin", "start", "continue", "stop", "attempt", "try",
+    "appear", "spread", "infect", "encrypt", "decrypt", "scan", "exploit", "compromise",
+    "install", "uninstall", "copy", "move", "hide", "obfuscate", "pack", "unpack", "inject",
+    "exfiltrate", "capture", "log", "record", "monitor", "disable", "enable", "bypass",
+    "escalate", "gain", "obtain", "achieve", "establish", "maintain", "receive", "request",
+    "respond", "communicate", "call", "allow", "make", "take", "perform", "conduct", "carry",
+    "distribute", "propagate", "spawn", "terminate", "check", "verify", "wait", "sleep",
+    "beacon", "masquerade", "impersonate", "become", "remain", "emerge", "evolve", "belong",
+];
+
+/// The deterministic POS tagger.
+#[derive(Debug, Clone)]
+pub struct PosTagger {
+    verbs: HashSet<String>,
+}
+
+impl PosTagger {
+    /// Build the standard tagger: CTI verbs plus every ontology relation verb.
+    pub fn standard() -> Self {
+        let mut verbs: HashSet<String> = CTI_VERBS.iter().map(|s| (*s).to_owned()).collect();
+        for kind in kg_ontology::RelationKind::ALL {
+            for lemma in kind.verb_lemmas() {
+                verbs.insert((*lemma).to_owned());
+            }
+        }
+        PosTagger { verbs }
+    }
+
+    /// Add domain verbs at runtime (extensibility hook).
+    pub fn add_verb(&mut self, lemma: &str) {
+        self.verbs.insert(lemma.to_ascii_lowercase());
+    }
+
+    /// Whether `lemma` (lowercase) is in the verb lexicon exactly.
+    pub fn knows_lemma(&self, lemma: &str) -> bool {
+        self.verbs.contains(lemma)
+    }
+
+    /// Whether `word` (lowercase) is a known verb lemma or an inflection of
+    /// one.
+    pub fn is_verb_form(&self, word: &str) -> bool {
+        if self.verbs.contains(word) {
+            return true;
+        }
+        crate::lemma::verb_lemma_candidates(word)
+            .into_iter()
+            .any(|cand| self.verbs.contains(&cand))
+    }
+
+    /// Tag one sentence of tokens.
+    pub fn tag(&self, tokens: &[Token]) -> Vec<PosTag> {
+        let mut tags = Vec::with_capacity(tokens.len());
+        for (i, token) in tokens.iter().enumerate() {
+            let tag = match token.kind {
+                TokenKind::Ioc(_) => PosTag::Ioc,
+                TokenKind::Number => PosTag::Number,
+                TokenKind::Punct => PosTag::Punctuation,
+                TokenKind::Word => self.tag_word(tokens, &tags, i),
+            };
+            tags.push(tag);
+        }
+        tags
+    }
+
+    fn tag_word(&self, tokens: &[Token], prev_tags: &[PosTag], i: usize) -> PosTag {
+        let word = tokens[i].text.as_str();
+        let lower = word.to_ascii_lowercase();
+        let lower = lower.as_str();
+
+        if DETERMINERS.contains(&lower) {
+            return PosTag::Determiner;
+        }
+        if AUXILIARIES.contains(&lower) {
+            return PosTag::Aux;
+        }
+        if PREPOSITIONS.contains(&lower) {
+            // "to <verb>" is an infinitive marker; keep ADP — the relation
+            // extractor treats ADP uniformly.
+            return PosTag::Preposition;
+        }
+        if PRONOUNS.contains(&lower) {
+            return PosTag::Pronoun;
+        }
+        if CONJUNCTIONS.contains(&lower) {
+            return PosTag::Conjunction;
+        }
+        if COMMON_ADVERBS.contains(&lower) || (lower.ends_with("ly") && lower.len() > 4) {
+            return PosTag::Adverb;
+        }
+
+        let prev_tag = if i == 0 { None } else { prev_tags.get(i - 1).copied() };
+        if self.is_verb_form(lower) {
+            // A known verb form is a verb unless a determiner/adjective
+            // immediately precedes it ("the drop", "a scan") — then it is the
+            // nominal use.
+            let nominal = matches!(
+                prev_tag,
+                Some(PosTag::Determiner) | Some(PosTag::Adjective) | Some(PosTag::Number)
+            );
+            if !nominal {
+                // Gerunds right after a preposition act verbally ("after
+                // encrypting"), keep VERB for them too.
+                return PosTag::Verb;
+            }
+        }
+
+        // Suffix heuristics for open-class words.
+        if ["ous", "ive", "ful", "less", "able", "ible"].iter().any(|s| lower.ends_with(s))
+            || (lower.ends_with("al") && lower.len() > 4)
+            || (lower.ends_with("ic") && lower.len() > 4)
+        {
+            return PosTag::Adjective;
+        }
+        if ["tion", "sion", "ment", "ness", "ity", "ance", "ence", "ware", "tor", "ers"]
+            .iter()
+            .any(|s| lower.ends_with(s))
+        {
+            return PosTag::Noun;
+        }
+        if lower.ends_with("ed") && lower.len() > 3 {
+            // Unknown -ed form: participle/adjective position heuristic.
+            return if matches!(prev_tag, Some(PosTag::Aux)) {
+                PosTag::Verb
+            } else {
+                PosTag::Adjective
+            };
+        }
+        if lower.ends_with("ing") && lower.len() > 4 {
+            return if matches!(prev_tag, Some(PosTag::Determiner)) {
+                PosTag::Noun
+            } else {
+                PosTag::Verb
+            };
+        }
+
+        // Capitalised mid-sentence → proper noun.
+        let first_upper = word.chars().next().is_some_and(char::is_uppercase);
+        if first_upper && i > 0 {
+            return PosTag::ProperNoun;
+        }
+        PosTag::Noun
+    }
+}
+
+impl Default for PosTagger {
+    fn default() -> Self {
+        PosTagger::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ioc::IocMatcher;
+    use crate::token::{tokenize, tokenize_protected};
+
+    fn tag_text(text: &str) -> Vec<(String, PosTag)> {
+        let tagger = PosTagger::standard();
+        let toks = tokenize_protected(text, &IocMatcher::standard());
+        let tags = tagger.tag(&toks);
+        toks.into_iter().map(|t| t.text).zip(tags).collect()
+    }
+
+    fn tag_of(pairs: &[(String, PosTag)], word: &str) -> PosTag {
+        pairs.iter().find(|(w, _)| w == word).unwrap_or_else(|| panic!("{word} missing")).1
+    }
+
+    #[test]
+    fn tags_a_typical_cti_sentence() {
+        let pairs = tag_text("The wannacry malware quickly dropped mssecsvc.exe on the host.");
+        assert_eq!(tag_of(&pairs, "The"), PosTag::Determiner);
+        assert_eq!(tag_of(&pairs, "malware"), PosTag::Noun);
+        assert_eq!(tag_of(&pairs, "quickly"), PosTag::Adverb);
+        assert_eq!(tag_of(&pairs, "dropped"), PosTag::Verb);
+        assert_eq!(tag_of(&pairs, "mssecsvc.exe"), PosTag::Ioc);
+        assert_eq!(tag_of(&pairs, "on"), PosTag::Preposition);
+    }
+
+    #[test]
+    fn verb_noun_disambiguation_by_determiner() {
+        let pairs = tag_text("The drop was observed. Attackers drop files.");
+        // First "drop" follows a determiner → nominal; second is verbal.
+        let drops: Vec<PosTag> =
+            pairs.iter().filter(|(w, _)| w == "drop").map(|(_, t)| *t).collect();
+        assert_eq!(drops, vec![PosTag::Noun, PosTag::Verb]);
+    }
+
+    #[test]
+    fn auxiliaries_and_passives() {
+        let pairs = tag_text("The file was encrypted by the malware.");
+        assert_eq!(tag_of(&pairs, "was"), PosTag::Aux);
+        assert_eq!(tag_of(&pairs, "encrypted"), PosTag::Verb);
+        assert_eq!(tag_of(&pairs, "by"), PosTag::Preposition);
+    }
+
+    #[test]
+    fn proper_noun_mid_sentence() {
+        let tagger = PosTagger::standard();
+        let toks = tokenize("the Lazarus group");
+        let tags = tagger.tag(&toks);
+        assert_eq!(tags[1], PosTag::ProperNoun);
+    }
+
+    #[test]
+    fn numbers_and_punctuation() {
+        let pairs = tag_text("It scanned 445 ports, repeatedly.");
+        assert_eq!(tag_of(&pairs, "445"), PosTag::Number);
+        assert_eq!(tag_of(&pairs, ","), PosTag::Punctuation);
+        assert_eq!(tag_of(&pairs, "repeatedly"), PosTag::Adverb);
+    }
+
+    #[test]
+    fn added_verbs_are_recognised() {
+        let mut tagger = PosTagger::standard();
+        assert!(!tagger.is_verb_form("defenestrate"));
+        tagger.add_verb("defenestrate");
+        assert!(tagger.is_verb_form("defenestrates"));
+        assert!(tagger.is_verb_form("defenestrated"));
+        assert!(tagger.is_verb_form("defenestrating"));
+    }
+}

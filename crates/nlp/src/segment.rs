@@ -1,0 +1,117 @@
+//! Sentence segmentation over protected token streams.
+//!
+//! Because segmentation happens *after* IOC protection, a dot inside
+//! `mssecsvc.exe` or `10.0.0.1` can never end a sentence — those dots are
+//! interior to a single [`crate::TokenKind::Ioc`] token. Only free-standing
+//! `.` `!` `?` punctuation tokens are boundary candidates, and common
+//! abbreviations are suppressed.
+
+use crate::token::{Token, TokenKind};
+
+/// Abbreviations whose trailing dot does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "e.g", "i.e", "etc", "vs", "fig", "mr", "mrs", "dr", "st", "no", "inc", "corp", "ltd",
+    "approx", "dept", "est", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
+    "oct", "nov", "dec",
+];
+
+/// Split a token stream into sentences.
+///
+/// A sentence ends at a `.`, `!` or `?` punctuation token unless the previous
+/// word is a known abbreviation or a single capital letter (an initial).
+/// The terminator token stays with its sentence. Empty sentences are dropped.
+pub fn split_sentences(tokens: Vec<Token>) -> Vec<Vec<Token>> {
+    let mut sentences = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    for token in tokens {
+        let is_terminator = token.kind == TokenKind::Punct
+            && matches!(token.text.as_str(), "." | "!" | "?");
+        if is_terminator {
+            let suppress = current.last().is_some_and(|prev| {
+                prev.kind == TokenKind::Word
+                    && (is_abbreviation(&prev.text) || is_initial(&prev.text))
+            });
+            current.push(token);
+            if !suppress {
+                // Punctuation-only fragments (e.g. "...") are not sentences.
+                if current.iter().any(|t| t.kind != TokenKind::Punct) {
+                    sentences.push(std::mem::take(&mut current));
+                } else {
+                    current.clear();
+                }
+            }
+        } else {
+            current.push(token);
+        }
+    }
+    if current.iter().any(|t| t.kind != TokenKind::Punct) {
+        sentences.push(current);
+    }
+    sentences
+}
+
+fn is_abbreviation(word: &str) -> bool {
+    let lower = word.to_ascii_lowercase();
+    ABBREVIATIONS.contains(&lower.as_str())
+}
+
+fn is_initial(word: &str) -> bool {
+    // Single letters are initials ("J. Smith") or spelled abbreviations
+    // ("e. g." after tokenization); neither ends a sentence.
+    word.chars().count() == 1 && word.chars().next().unwrap().is_alphabetic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ioc::IocMatcher;
+    use crate::token::{tokenize, tokenize_protected};
+
+    fn texts(sents: &[Vec<Token>]) -> Vec<Vec<String>> {
+        sents.iter().map(|s| s.iter().map(|t| t.text.clone()).collect()).collect()
+    }
+
+    #[test]
+    fn splits_on_terminators() {
+        let sents = split_sentences(tokenize("First sentence. Second one! Third?"));
+        assert_eq!(sents.len(), 3, "{:?}", texts(&sents));
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let sents = split_sentences(tokenize("Tools e.g. mimikatz were used. Done."));
+        assert_eq!(sents.len(), 2, "{:?}", texts(&sents));
+    }
+
+    #[test]
+    fn ioc_dots_do_not_split() {
+        let m = IocMatcher::standard();
+        let toks = tokenize_protected("The file mssecsvc.exe beaconed to 10.0.0.1 today. Done.", &m);
+        let sents = split_sentences(toks);
+        assert_eq!(sents.len(), 2, "{:?}", texts(&sents));
+        assert!(sents[0].iter().any(|t| t.text == "mssecsvc.exe"));
+    }
+
+    #[test]
+    fn unprotected_tokenizer_would_oversplit() {
+        // Demonstrates why IOC protection matters: the file name's dot is a
+        // separate punct token without protection, creating a bogus boundary
+        // mid-IOC when the next char is capitalised.
+        let toks = tokenize("It dropped Updater.Exe today. Done.");
+        let sents = split_sentences(toks);
+        assert!(sents.len() > 2, "{:?}", texts(&sents));
+    }
+
+    #[test]
+    fn trailing_text_without_terminator_is_a_sentence() {
+        let sents = split_sentences(tokenize("no terminator here"));
+        assert_eq!(sents.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_yields_no_sentences() {
+        assert!(split_sentences(tokenize("")).is_empty());
+        // Punctuation-only input is dropped too.
+        assert!(split_sentences(tokenize("...")).len() <= 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Embedded baseline cyber ontologies for experiment E5.
+//!
+//! Paper §2.3: "Compared to other cyber ontologies [STIX, UCO], our ontology
+//! targets a larger set." To make that claim measurable offline, the core
+//! object/relationship vocabularies of STIX 2.1 and the UCO core are embedded
+//! here as static data (types only — we do not reimplement those standards).
+
+/// STIX 2.1 Domain Object types (SDOs), per the OASIS specification.
+pub const STIX_CORE_OBJECT_TYPES: [&str; 18] = [
+    "attack-pattern",
+    "campaign",
+    "course-of-action",
+    "grouping",
+    "identity",
+    "incident",
+    "indicator",
+    "infrastructure",
+    "intrusion-set",
+    "location",
+    "malware",
+    "malware-analysis",
+    "note",
+    "observed-data",
+    "opinion",
+    "report",
+    "threat-actor",
+    "tool",
+];
+
+/// STIX 2.1 common relationship types used between SDOs.
+pub const STIX_CORE_RELATIONSHIP_TYPES: [&str; 14] = [
+    "uses",
+    "targets",
+    "indicates",
+    "mitigates",
+    "attributed-to",
+    "compromises",
+    "originates-from",
+    "investigates",
+    "remediates",
+    "located-at",
+    "based-on",
+    "communicates-with",
+    "consists-of",
+    "delivers",
+];
+
+/// UCO (Unified Cybersecurity Ontology) core class names, per Syed et al.
+pub const UCO_CORE_CLASSES: [&str; 12] = [
+    "Means",
+    "Consequences",
+    "AttackPattern",
+    "Attacker",
+    "Attack",
+    "Exploit",
+    "ExploitTarget",
+    "Indicator",
+    "Malware",
+    "CourseOfAction",
+    "Vulnerability",
+    "Weakness",
+];
+
+/// Coverage comparison row produced by experiment E5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageRow {
+    pub ontology: &'static str,
+    pub entity_types: usize,
+    pub relation_types: usize,
+}
+
+/// Compute the E5 comparison table: SecurityKG vs the embedded baselines.
+pub fn coverage_table() -> Vec<CoverageRow> {
+    let ours = crate::Ontology::standard();
+    vec![
+        CoverageRow {
+            ontology: "SecurityKG (this work)",
+            entity_types: ours.entity_kind_count(),
+            relation_types: ours.relation_kind_count(),
+        },
+        CoverageRow {
+            ontology: "STIX 2.1 core",
+            entity_types: STIX_CORE_OBJECT_TYPES.len(),
+            relation_types: STIX_CORE_RELATIONSHIP_TYPES.len(),
+        },
+        CoverageRow {
+            ontology: "UCO core",
+            entity_types: UCO_CORE_CLASSES.len(),
+            // UCO core defines object properties per class pair; the commonly
+            // cited core set has 9 named relations.
+            relation_types: 9,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_table_puts_securitykg_first_and_largest() {
+        let table = coverage_table();
+        assert_eq!(table[0].ontology, "SecurityKG (this work)");
+        for row in &table[1..] {
+            assert!(table[0].entity_types > row.entity_types, "{row:?}");
+            assert!(table[0].relation_types > row.relation_types, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn baselines_have_no_duplicates() {
+        let unique: std::collections::HashSet<_> = STIX_CORE_OBJECT_TYPES.iter().collect();
+        assert_eq!(unique.len(), STIX_CORE_OBJECT_TYPES.len());
+        let unique: std::collections::HashSet<_> = STIX_CORE_RELATIONSHIP_TYPES.iter().collect();
+        assert_eq!(unique.len(), STIX_CORE_RELATIONSHIP_TYPES.len());
+        let unique: std::collections::HashSet<_> = UCO_CORE_CLASSES.iter().collect();
+        assert_eq!(unique.len(), UCO_CORE_CLASSES.len());
+    }
+}

@@ -1,0 +1,365 @@
+//! Entity kinds of the security knowledge ontology (Figure 2).
+//!
+//! The figure groups entities into three layers: *report* entities (one per
+//! crawled OSCTI report, categorised as malware / vulnerability / attack
+//! report), *concept* entities (vendor, threat actor, technique, tactic, tool,
+//! software, malware, vulnerability, campaign), and *IOC* entities (file name,
+//! file path, IP, URL, email, domain, registry key and the three common hash
+//! digests).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The category of an OSCTI report (paper §2.3: "we categorize OSCTI reports
+/// into three types: malware reports, vulnerability reports, and attack
+/// reports").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReportCategory {
+    Malware,
+    Vulnerability,
+    Attack,
+}
+
+impl ReportCategory {
+    /// All report categories, in a stable order.
+    pub const ALL: [ReportCategory; 3] = [
+        ReportCategory::Malware,
+        ReportCategory::Vulnerability,
+        ReportCategory::Attack,
+    ];
+
+    /// The entity kind used for a report node of this category.
+    pub fn entity_kind(self) -> EntityKind {
+        match self {
+            ReportCategory::Malware => EntityKind::MalwareReport,
+            ReportCategory::Vulnerability => EntityKind::VulnerabilityReport,
+            ReportCategory::Attack => EntityKind::AttackReport,
+        }
+    }
+}
+
+impl fmt::Display for ReportCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReportCategory::Malware => "malware",
+            ReportCategory::Vulnerability => "vulnerability",
+            ReportCategory::Attack => "attack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Every entity kind in the security knowledge ontology.
+///
+/// The discriminants are stable; [`EntityKind::ALL`] enumerates them in that
+/// order and the graph store uses the order for its label index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EntityKind {
+    // ---- report entities -------------------------------------------------
+    /// A crawled report describing a malware family.
+    MalwareReport,
+    /// A crawled report describing a vulnerability.
+    VulnerabilityReport,
+    /// A crawled report describing an attack / campaign / incident.
+    AttackReport,
+
+    // ---- concept entities ------------------------------------------------
+    /// The CTI vendor (source website / organisation) that published a report.
+    CtiVendor,
+    /// An adversary group (APT29, Lazarus Group, ...).
+    ThreatActor,
+    /// An adversary technique (ATT&CK-style, e.g. "spearphishing attachment").
+    Technique,
+    /// A high-level adversary tactic (ATT&CK-style, e.g. "lateral movement").
+    Tactic,
+    /// An attack tool (mimikatz, cobalt strike, ...).
+    Tool,
+    /// Benign software targeted or abused by a threat.
+    Software,
+    /// A malware family (wannacry, emotet, ...).
+    Malware,
+    /// A vulnerability (CVE identifiers and named vulnerabilities).
+    Vulnerability,
+    /// A named campaign or operation.
+    Campaign,
+
+    // ---- IOC entities ----------------------------------------------------
+    /// A file name IOC (e.g. `tasksche.exe`).
+    FileName,
+    /// A file path IOC (e.g. `C:\Windows\mssecsvc.exe`).
+    FilePath,
+    /// An IPv4/IPv6 address IOC.
+    IpAddress,
+    /// A URL IOC.
+    Url,
+    /// An email address IOC.
+    Email,
+    /// A domain name IOC.
+    Domain,
+    /// A Windows registry key IOC.
+    RegistryKey,
+    /// An MD5 digest IOC.
+    HashMd5,
+    /// A SHA-1 digest IOC.
+    HashSha1,
+    /// A SHA-256 digest IOC.
+    HashSha256,
+}
+
+impl EntityKind {
+    /// All entity kinds, in declaration order.
+    pub const ALL: [EntityKind; 22] = [
+        EntityKind::MalwareReport,
+        EntityKind::VulnerabilityReport,
+        EntityKind::AttackReport,
+        EntityKind::CtiVendor,
+        EntityKind::ThreatActor,
+        EntityKind::Technique,
+        EntityKind::Tactic,
+        EntityKind::Tool,
+        EntityKind::Software,
+        EntityKind::Malware,
+        EntityKind::Vulnerability,
+        EntityKind::Campaign,
+        EntityKind::FileName,
+        EntityKind::FilePath,
+        EntityKind::IpAddress,
+        EntityKind::Url,
+        EntityKind::Email,
+        EntityKind::Domain,
+        EntityKind::RegistryKey,
+        EntityKind::HashMd5,
+        EntityKind::HashSha1,
+        EntityKind::HashSha256,
+    ];
+
+    /// Kinds that represent report nodes.
+    pub const REPORTS: [EntityKind; 3] = [
+        EntityKind::MalwareReport,
+        EntityKind::VulnerabilityReport,
+        EntityKind::AttackReport,
+    ];
+
+    /// Kinds that represent low-level Indicators of Compromise.
+    pub const IOCS: [EntityKind; 10] = [
+        EntityKind::FileName,
+        EntityKind::FilePath,
+        EntityKind::IpAddress,
+        EntityKind::Url,
+        EntityKind::Email,
+        EntityKind::Domain,
+        EntityKind::RegistryKey,
+        EntityKind::HashMd5,
+        EntityKind::HashSha1,
+        EntityKind::HashSha256,
+    ];
+
+    /// Kinds that represent higher-level threat concepts (the layer the paper
+    /// argues existing platforms overlook).
+    pub const CONCEPTS: [EntityKind; 9] = [
+        EntityKind::CtiVendor,
+        EntityKind::ThreatActor,
+        EntityKind::Technique,
+        EntityKind::Tactic,
+        EntityKind::Tool,
+        EntityKind::Software,
+        EntityKind::Malware,
+        EntityKind::Vulnerability,
+        EntityKind::Campaign,
+    ];
+
+    /// Whether this kind is one of the IOC kinds.
+    pub fn is_ioc(self) -> bool {
+        Self::IOCS.contains(&self)
+    }
+
+    /// Whether this kind is a report node kind.
+    pub fn is_report(self) -> bool {
+        Self::REPORTS.contains(&self)
+    }
+
+    /// Whether this kind is a higher-level concept.
+    pub fn is_concept(self) -> bool {
+        Self::CONCEPTS.contains(&self)
+    }
+
+    /// The canonical label string used in the graph store and in Cypher
+    /// queries (UpperCamelCase, matching Neo4j conventions).
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityKind::MalwareReport => "MalwareReport",
+            EntityKind::VulnerabilityReport => "VulnerabilityReport",
+            EntityKind::AttackReport => "AttackReport",
+            EntityKind::CtiVendor => "CtiVendor",
+            EntityKind::ThreatActor => "ThreatActor",
+            EntityKind::Technique => "Technique",
+            EntityKind::Tactic => "Tactic",
+            EntityKind::Tool => "Tool",
+            EntityKind::Software => "Software",
+            EntityKind::Malware => "Malware",
+            EntityKind::Vulnerability => "Vulnerability",
+            EntityKind::Campaign => "Campaign",
+            EntityKind::FileName => "FileName",
+            EntityKind::FilePath => "FilePath",
+            EntityKind::IpAddress => "IpAddress",
+            EntityKind::Url => "Url",
+            EntityKind::Email => "Email",
+            EntityKind::Domain => "Domain",
+            EntityKind::RegistryKey => "RegistryKey",
+            EntityKind::HashMd5 => "HashMd5",
+            EntityKind::HashSha1 => "HashSha1",
+            EntityKind::HashSha256 => "HashSha256",
+        }
+    }
+
+    /// The BIO tag stem used by the NER layer (`B-MAL`, `I-MAL`, ...).
+    ///
+    /// Report kinds and vendor kinds are not produced by the sequence tagger,
+    /// so they share stems with their concept counterparts where sensible.
+    pub fn tag_stem(self) -> &'static str {
+        match self {
+            EntityKind::MalwareReport | EntityKind::Malware => "MAL",
+            EntityKind::VulnerabilityReport | EntityKind::Vulnerability => "VUL",
+            EntityKind::AttackReport | EntityKind::Campaign => "CAM",
+            EntityKind::CtiVendor => "VEN",
+            EntityKind::ThreatActor => "ACT",
+            EntityKind::Technique => "TEC",
+            EntityKind::Tactic => "TAC",
+            EntityKind::Tool => "TOO",
+            EntityKind::Software => "SOF",
+            EntityKind::FileName => "FIL",
+            EntityKind::FilePath => "PTH",
+            EntityKind::IpAddress => "IP",
+            EntityKind::Url => "URL",
+            EntityKind::Email => "EML",
+            EntityKind::Domain => "DOM",
+            EntityKind::RegistryKey => "REG",
+            EntityKind::HashMd5 => "MD5",
+            EntityKind::HashSha1 => "SH1",
+            EntityKind::HashSha256 => "SH2",
+        }
+    }
+
+    /// Resolve a tag stem (as produced by [`EntityKind::tag_stem`]) back to
+    /// the entity kind the tagger means. Report kinds are never returned.
+    pub fn from_tag_stem(stem: &str) -> Option<EntityKind> {
+        Some(match stem {
+            "MAL" => EntityKind::Malware,
+            "VUL" => EntityKind::Vulnerability,
+            "CAM" => EntityKind::Campaign,
+            "VEN" => EntityKind::CtiVendor,
+            "ACT" => EntityKind::ThreatActor,
+            "TEC" => EntityKind::Technique,
+            "TAC" => EntityKind::Tactic,
+            "TOO" => EntityKind::Tool,
+            "SOF" => EntityKind::Software,
+            "FIL" => EntityKind::FileName,
+            "PTH" => EntityKind::FilePath,
+            "IP" => EntityKind::IpAddress,
+            "URL" => EntityKind::Url,
+            "EML" => EntityKind::Email,
+            "DOM" => EntityKind::Domain,
+            "REG" => EntityKind::RegistryKey,
+            "MD5" => EntityKind::HashMd5,
+            "SH1" => EntityKind::HashSha1,
+            "SH2" => EntityKind::HashSha256,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for EntityKind {
+    type Err = UnknownEntityKind;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        EntityKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| UnknownEntityKind(s.to_owned()))
+    }
+}
+
+/// Error returned when a label string does not name an entity kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEntityKind(pub String);
+
+impl fmt::Display for UnknownEntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown entity kind: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownEntityKind {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_kind_once() {
+        let mut seen = std::collections::HashSet::new();
+        for k in EntityKind::ALL {
+            assert!(seen.insert(k), "duplicate kind {k}");
+        }
+        assert_eq!(seen.len(), 22);
+    }
+
+    #[test]
+    fn partition_is_exhaustive() {
+        for k in EntityKind::ALL {
+            let memberships =
+                [k.is_ioc(), k.is_report(), k.is_concept()].iter().filter(|b| **b).count();
+            assert_eq!(memberships, 1, "{k} must be in exactly one layer");
+        }
+    }
+
+    #[test]
+    fn label_round_trips() {
+        for k in EntityKind::ALL {
+            assert_eq!(k.label().parse::<EntityKind>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_rejected() {
+        assert!("Banana".parse::<EntityKind>().is_err());
+    }
+
+    #[test]
+    fn tag_stems_round_trip_for_non_report_kinds() {
+        for k in EntityKind::ALL {
+            if k.is_report() {
+                continue;
+            }
+            let stem = k.tag_stem();
+            let back = EntityKind::from_tag_stem(stem).unwrap();
+            // Campaign shares a stem with AttackReport only; all non-report
+            // kinds must round-trip exactly.
+            assert_eq!(back, k, "stem {stem} for {k}");
+        }
+    }
+
+    #[test]
+    fn report_categories_map_to_report_kinds() {
+        for c in ReportCategory::ALL {
+            assert!(c.entity_kind().is_report());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for k in EntityKind::ALL {
+            let j = serde_json::to_string(&k).unwrap();
+            let back: EntityKind = serde_json::from_str(&j).unwrap();
+            assert_eq!(back, k);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Security knowledge ontology (paper §2.3, Figure 2).
+//!
+//! The ontology specifies the *types* of security-related entities and
+//! relations that may appear in the security knowledge graph, together with a
+//! schema of which `(subject kind, relation kind, object kind)` triplets are
+//! well-formed. Every downstream component (extractors, connectors, the graph
+//! store, the fusion stage) validates against this crate, so the knowledge
+//! graph can never contain a triplet the ontology does not sanction.
+//!
+//! Compared to other cyber ontologies (STIX core, UCO core) the paper claims a
+//! *larger* set of entity and relation types; [`baseline`] embeds those
+//! baselines so experiment E5 can verify the claim mechanically.
+
+pub mod attribute;
+pub mod baseline;
+pub mod entity;
+pub mod relation;
+pub mod schema;
+
+pub use attribute::{AttributeKey, AttributeValue, Attributes};
+pub use entity::{EntityKind, ReportCategory};
+pub use relation::RelationKind;
+pub use schema::{Ontology, SchemaError, TripletRule};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ontology_is_larger_than_baselines() {
+        let ont = Ontology::standard();
+        assert!(ont.entity_kind_count() > baseline::STIX_CORE_OBJECT_TYPES.len());
+        assert!(ont.relation_kind_count() > baseline::STIX_CORE_RELATIONSHIP_TYPES.len());
+    }
+
+    #[test]
+    fn drop_example_from_paper_validates() {
+        // The paper's worked example: <MALWARE_A, DROP, FILE_A>.
+        let ont = Ontology::standard();
+        assert!(ont
+            .validate_triplet(EntityKind::Malware, RelationKind::Drop, EntityKind::FileName)
+            .is_ok());
+    }
+}

@@ -1,0 +1,264 @@
+//! Relation kinds of the security knowledge ontology (Figure 2).
+//!
+//! Relations split into *structural* relations that the backend creates
+//! deterministically (a vendor PUBLISHES a report, a report MENTIONS an
+//! entity) and *behavioural* relations extracted from text by the relation
+//! extractor (malware DROPs a file, an actor USEs a tool, ...). Behavioural
+//! relation kinds carry the set of verb lemmas the extractor maps onto them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Every relation kind in the security knowledge ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RelationKind {
+    // ---- structural ------------------------------------------------------
+    /// CTI vendor published a report.
+    Publishes,
+    /// A report mentions an entity (catch-all provenance edge).
+    Mentions,
+    /// A report primarily describes an entity (its subject).
+    Describes,
+
+    // ---- behavioural: actor-level ---------------------------------------
+    /// Threat actor / malware uses a tool, technique or piece of software.
+    Uses,
+    /// Threat actor / campaign targets software, infrastructure or sector.
+    Targets,
+    /// Campaign or malware is attributed to a threat actor.
+    AttributedTo,
+    /// Actor or malware launches / conducts a campaign.
+    Conducts,
+
+    // ---- behavioural: malware behaviour ----------------------------------
+    /// Malware drops a file (the paper's worked example).
+    Drop,
+    /// Malware or actor exploits a vulnerability.
+    Exploits,
+    /// Malware connects / beacons to network infrastructure.
+    ConnectsTo,
+    /// Malware downloads a payload from a URL / domain / IP.
+    Downloads,
+    /// Malware executes a file or tool.
+    Executes,
+    /// Malware creates a file, registry key or process artifact.
+    Creates,
+    /// Malware modifies a file or registry key.
+    Modifies,
+    /// Malware deletes a file or registry key.
+    Deletes,
+    /// Malware injects into software (process injection).
+    InjectsInto,
+    /// Malware spreads to / propagates via software or infrastructure.
+    SpreadsVia,
+    /// Malware encrypts files (ransomware behaviour).
+    Encrypts,
+    /// Malware steals / exfiltrates data to infrastructure.
+    Exfiltrates,
+    /// Malware sends email (spam / phishing delivery).
+    Sends,
+    /// Malware registers or resolves a domain (DGA, kill-switch).
+    Resolves,
+    /// Malware achieves persistence via a registry key or file.
+    PersistsVia,
+    /// A hash identifies a file / malware sample.
+    Identifies,
+    /// A vulnerability affects software.
+    Affects,
+    /// Generic extracted relation whose verb did not map to a specific kind;
+    /// the verb lemma is preserved in the edge attributes.
+    RelatedTo,
+}
+
+impl RelationKind {
+    /// All relation kinds, in declaration order.
+    pub const ALL: [RelationKind; 25] = [
+        RelationKind::Publishes,
+        RelationKind::Mentions,
+        RelationKind::Describes,
+        RelationKind::Uses,
+        RelationKind::Targets,
+        RelationKind::AttributedTo,
+        RelationKind::Conducts,
+        RelationKind::Drop,
+        RelationKind::Exploits,
+        RelationKind::ConnectsTo,
+        RelationKind::Downloads,
+        RelationKind::Executes,
+        RelationKind::Creates,
+        RelationKind::Modifies,
+        RelationKind::Deletes,
+        RelationKind::InjectsInto,
+        RelationKind::SpreadsVia,
+        RelationKind::Encrypts,
+        RelationKind::Exfiltrates,
+        RelationKind::Sends,
+        RelationKind::Resolves,
+        RelationKind::PersistsVia,
+        RelationKind::Identifies,
+        RelationKind::Affects,
+        RelationKind::RelatedTo,
+    ];
+
+    /// The canonical edge type string used in the graph store and Cypher
+    /// (UPPER_SNAKE_CASE, matching Neo4j conventions).
+    pub fn label(self) -> &'static str {
+        match self {
+            RelationKind::Publishes => "PUBLISHES",
+            RelationKind::Mentions => "MENTIONS",
+            RelationKind::Describes => "DESCRIBES",
+            RelationKind::Uses => "USES",
+            RelationKind::Targets => "TARGETS",
+            RelationKind::AttributedTo => "ATTRIBUTED_TO",
+            RelationKind::Conducts => "CONDUCTS",
+            RelationKind::Drop => "DROP",
+            RelationKind::Exploits => "EXPLOITS",
+            RelationKind::ConnectsTo => "CONNECTS_TO",
+            RelationKind::Downloads => "DOWNLOADS",
+            RelationKind::Executes => "EXECUTES",
+            RelationKind::Creates => "CREATES",
+            RelationKind::Modifies => "MODIFIES",
+            RelationKind::Deletes => "DELETES",
+            RelationKind::InjectsInto => "INJECTS_INTO",
+            RelationKind::SpreadsVia => "SPREADS_VIA",
+            RelationKind::Encrypts => "ENCRYPTS",
+            RelationKind::Exfiltrates => "EXFILTRATES",
+            RelationKind::Sends => "SENDS",
+            RelationKind::Resolves => "RESOLVES",
+            RelationKind::PersistsVia => "PERSISTS_VIA",
+            RelationKind::Identifies => "IDENTIFIES",
+            RelationKind::Affects => "AFFECTS",
+            RelationKind::RelatedTo => "RELATED_TO",
+        }
+    }
+
+    /// Whether this relation is created structurally by the backend rather
+    /// than extracted from text.
+    pub fn is_structural(self) -> bool {
+        matches!(
+            self,
+            RelationKind::Publishes | RelationKind::Mentions | RelationKind::Describes
+        )
+    }
+
+    /// Verb lemmas that the relation extractor maps onto this kind.
+    ///
+    /// The mapping is many-to-one: e.g. "drop", "deposit" and "plant" all
+    /// indicate [`RelationKind::Drop`]. Structural kinds have no verbs.
+    pub fn verb_lemmas(self) -> &'static [&'static str] {
+        match self {
+            RelationKind::Publishes | RelationKind::Mentions | RelationKind::Describes => &[],
+            RelationKind::Uses => &["use", "employ", "leverage", "utilize", "deploy", "abuse"],
+            RelationKind::Targets => &["target", "attack", "compromise", "infect", "victimize"],
+            RelationKind::AttributedTo => &["attribute", "link", "associate", "tie"],
+            RelationKind::Conducts => &["conduct", "launch", "run", "orchestrate", "operate"],
+            RelationKind::Drop => &["drop", "deposit", "plant", "write"],
+            RelationKind::Exploits => &["exploit", "weaponize", "trigger"],
+            RelationKind::ConnectsTo => &["connect", "beacon", "communicate", "contact", "reach"],
+            RelationKind::Downloads => &["download", "fetch", "retrieve", "pull"],
+            RelationKind::Executes => &["execute", "launch", "run", "spawn", "invoke", "start"],
+            RelationKind::Creates => &["create", "generate", "install", "add"],
+            RelationKind::Modifies => &["modify", "change", "alter", "patch", "tamper", "edit"],
+            RelationKind::Deletes => &["delete", "remove", "wipe", "erase"],
+            RelationKind::InjectsInto => &["inject", "hollow", "hijack"],
+            RelationKind::SpreadsVia => &["spread", "propagate", "worm", "move"],
+            RelationKind::Encrypts => &["encrypt", "lock", "ransom", "scramble"],
+            RelationKind::Exfiltrates => &["exfiltrate", "steal", "harvest", "collect", "upload"],
+            RelationKind::Sends => &["send", "email", "deliver", "distribute", "mail"],
+            RelationKind::Resolves => &["resolve", "register", "query", "lookup"],
+            RelationKind::PersistsVia => &["persist", "survive", "autostart", "maintain"],
+            RelationKind::Identifies => &["identify", "match", "hash", "correspond"],
+            RelationKind::Affects => &["affect", "impact", "concern"],
+            RelationKind::RelatedTo => &[],
+        }
+    }
+
+    /// Map a verb lemma to the behavioural relation kind it indicates, if any.
+    ///
+    /// When several kinds share a lemma ("launch", "run") the earlier kind in
+    /// [`RelationKind::ALL`] wins; the tie-break is deterministic and covered
+    /// by tests.
+    pub fn from_verb_lemma(lemma: &str) -> Option<RelationKind> {
+        RelationKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.verb_lemmas().contains(&lemma))
+    }
+}
+
+impl fmt::Display for RelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for RelationKind {
+    type Err = UnknownRelationKind;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        RelationKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| UnknownRelationKind(s.to_owned()))
+    }
+}
+
+/// Error returned when a label string does not name a relation kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownRelationKind(pub String);
+
+impl fmt::Display for UnknownRelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown relation kind: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownRelationKind {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for k in RelationKind::ALL {
+            assert_eq!(k.label().parse::<RelationKind>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn verb_mapping_hits_expected_kinds() {
+        assert_eq!(RelationKind::from_verb_lemma("drop"), Some(RelationKind::Drop));
+        assert_eq!(RelationKind::from_verb_lemma("exploit"), Some(RelationKind::Exploits));
+        assert_eq!(RelationKind::from_verb_lemma("beacon"), Some(RelationKind::ConnectsTo));
+        assert_eq!(RelationKind::from_verb_lemma("encrypt"), Some(RelationKind::Encrypts));
+        assert_eq!(RelationKind::from_verb_lemma("photosynthesize"), None);
+    }
+
+    #[test]
+    fn shared_lemma_tiebreak_is_stable() {
+        // "launch" appears for both Conducts and Executes; Conducts is
+        // declared earlier and must win deterministically.
+        assert_eq!(RelationKind::from_verb_lemma("launch"), Some(RelationKind::Conducts));
+    }
+
+    #[test]
+    fn structural_kinds_have_no_verbs() {
+        for k in RelationKind::ALL {
+            if k.is_structural() {
+                assert!(k.verb_lemmas().is_empty(), "{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_is_duplicate_free() {
+        let mut seen = std::collections::HashSet::new();
+        for k in RelationKind::ALL {
+            assert!(seen.insert(k));
+        }
+        assert_eq!(seen.len(), 25);
+    }
+}

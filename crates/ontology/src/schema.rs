@@ -1,0 +1,330 @@
+//! The triplet schema: which `(subject, relation, object)` combinations are
+//! well-formed (Figure 2's arrows).
+//!
+//! [`Ontology::standard`] builds the schema the paper's figure depicts. The
+//! schema is data, not code, so applications can extend it (paper §2.1:
+//! extensibility) by adding [`TripletRule`]s at runtime.
+
+use crate::entity::EntityKind;
+use crate::relation::RelationKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One schema rule: `relation` may connect any subject kind in `subjects` to
+/// any object kind in `objects`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TripletRule {
+    pub relation: RelationKind,
+    pub subjects: Vec<EntityKind>,
+    pub objects: Vec<EntityKind>,
+}
+
+impl TripletRule {
+    /// Build a rule from slices.
+    pub fn new(relation: RelationKind, subjects: &[EntityKind], objects: &[EntityKind]) -> Self {
+        TripletRule { relation, subjects: subjects.to_vec(), objects: objects.to_vec() }
+    }
+}
+
+/// Error returned when a triplet violates the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// No rule exists for this relation at all.
+    UnknownRelation(RelationKind),
+    /// The relation exists but does not admit this subject/object pair.
+    IllegalTriplet {
+        subject: EntityKind,
+        relation: RelationKind,
+        object: EntityKind,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownRelation(r) => write!(f, "no schema rule for relation {r}"),
+            SchemaError::IllegalTriplet { subject, relation, object } => {
+                write!(f, "illegal triplet <{subject}, {relation}, {object}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The full ontology: entity kinds, relation kinds, and the triplet schema.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    rules: Vec<TripletRule>,
+    /// Flattened `(subject, relation, object)` set for O(1) validation.
+    #[serde(skip)]
+    index: HashSet<(EntityKind, RelationKind, EntityKind)>,
+}
+
+impl Ontology {
+    /// Build an ontology from explicit rules.
+    pub fn from_rules(rules: Vec<TripletRule>) -> Self {
+        let mut ont = Ontology { rules, index: HashSet::new() };
+        ont.rebuild_index();
+        ont
+    }
+
+    /// The standard SecurityKG ontology of Figure 2.
+    pub fn standard() -> Self {
+        use EntityKind::*;
+        use RelationKind::*;
+
+        const ACTORS: &[EntityKind] = &[ThreatActor, Malware, Campaign];
+        const INFRA: &[EntityKind] = &[IpAddress, Url, Domain];
+        const ARTIFACTS: &[EntityKind] = &[FileName, FilePath, RegistryKey];
+        const HASHES: &[EntityKind] = &[HashMd5, HashSha1, HashSha256];
+        let all: Vec<EntityKind> = EntityKind::ALL.to_vec();
+        let non_report: Vec<EntityKind> =
+            EntityKind::ALL.iter().copied().filter(|k| !k.is_report()).collect();
+
+        let rules = vec![
+            TripletRule::new(Publishes, &[CtiVendor], &EntityKind::REPORTS),
+            TripletRule::new(Mentions, &EntityKind::REPORTS, &non_report),
+            TripletRule::new(
+                Describes,
+                &EntityKind::REPORTS,
+                &[Malware, Vulnerability, Campaign, ThreatActor],
+            ),
+            TripletRule::new(Uses, ACTORS, &[Tool, Technique, Tactic, Software, Malware]),
+            TripletRule::new(
+                Targets,
+                ACTORS,
+                &[Software, IpAddress, Domain, Url, CtiVendor],
+            ),
+            TripletRule::new(AttributedTo, &[Malware, Campaign], &[ThreatActor]),
+            TripletRule::new(Conducts, &[ThreatActor], &[Campaign]),
+            TripletRule::new(Drop, &[Malware, Tool, ThreatActor], &[FileName, FilePath]),
+            TripletRule::new(Exploits, ACTORS, &[Vulnerability]),
+            TripletRule::new(ConnectsTo, &[Malware, Tool], INFRA),
+            TripletRule::new(
+                Downloads,
+                &[Malware, Tool, ThreatActor],
+                &[Url, Domain, IpAddress, FileName],
+            ),
+            TripletRule::new(
+                Executes,
+                &[Malware, Tool, ThreatActor],
+                &[FileName, FilePath, Tool, Software],
+            ),
+            TripletRule::new(
+                Creates,
+                &[Malware, Tool],
+                &[FileName, FilePath, RegistryKey],
+            ),
+            TripletRule::new(
+                Modifies,
+                &[Malware, Tool],
+                &[FileName, FilePath, RegistryKey, Software],
+            ),
+            TripletRule::new(Deletes, &[Malware, Tool], &[FileName, FilePath, RegistryKey]),
+            TripletRule::new(InjectsInto, &[Malware, Tool], &[Software, FileName]),
+            TripletRule::new(SpreadsVia, &[Malware], &[Software, Technique, Email, Domain]),
+            TripletRule::new(Encrypts, &[Malware], &[FileName, FilePath, Software]),
+            TripletRule::new(Exfiltrates, &[Malware, ThreatActor], INFRA),
+            TripletRule::new(Sends, &[Malware, ThreatActor], &[Email, Url]),
+            TripletRule::new(Resolves, &[Malware], &[Domain]),
+            TripletRule::new(PersistsVia, &[Malware], ARTIFACTS),
+            TripletRule::new(Identifies, HASHES, &[FileName, FilePath, Malware]),
+            TripletRule::new(Affects, &[Vulnerability], &[Software]),
+            TripletRule::new(RelatedTo, &non_report, &all),
+        ];
+        Ontology::from_rules(rules)
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        for rule in &self.rules {
+            for &s in &rule.subjects {
+                for &o in &rule.objects {
+                    self.index.insert((s, rule.relation, o));
+                }
+            }
+        }
+    }
+
+    /// Add a rule at runtime (extensibility hook).
+    pub fn add_rule(&mut self, rule: TripletRule) {
+        for &s in &rule.subjects {
+            for &o in &rule.objects {
+                self.index.insert((s, rule.relation, o));
+            }
+        }
+        self.rules.push(rule);
+    }
+
+    /// Validate a triplet against the schema.
+    pub fn validate_triplet(
+        &self,
+        subject: EntityKind,
+        relation: RelationKind,
+        object: EntityKind,
+    ) -> Result<(), SchemaError> {
+        if self.index.contains(&(subject, relation, object)) {
+            return Ok(());
+        }
+        if self.rules.iter().any(|r| r.relation == relation) {
+            Err(SchemaError::IllegalTriplet { subject, relation, object })
+        } else {
+            Err(SchemaError::UnknownRelation(relation))
+        }
+    }
+
+    /// Whether a triplet is well-formed.
+    pub fn allows(&self, subject: EntityKind, relation: RelationKind, object: EntityKind) -> bool {
+        self.validate_triplet(subject, relation, object).is_ok()
+    }
+
+    /// All relation kinds that may connect `subject` to `object`, in
+    /// declaration order.
+    pub fn relations_between(
+        &self,
+        subject: EntityKind,
+        object: EntityKind,
+    ) -> Vec<RelationKind> {
+        RelationKind::ALL
+            .iter()
+            .copied()
+            .filter(|&r| self.index.contains(&(subject, r, object)))
+            .collect()
+    }
+
+    /// Choose the relation kind for an extracted `(subject, verb, object)`
+    /// triple: the verb's kind if the schema admits it, otherwise
+    /// [`RelationKind::RelatedTo`] if admissible, otherwise `None`.
+    pub fn resolve_extracted(
+        &self,
+        subject: EntityKind,
+        verb_lemma: &str,
+        object: EntityKind,
+    ) -> Option<RelationKind> {
+        if let Some(kind) = RelationKind::from_verb_lemma(verb_lemma) {
+            if self.allows(subject, kind, object) {
+                return Some(kind);
+            }
+        }
+        if self.allows(subject, RelationKind::RelatedTo, object) {
+            Some(RelationKind::RelatedTo)
+        } else {
+            None
+        }
+    }
+
+    /// Number of entity kinds in the ontology.
+    pub fn entity_kind_count(&self) -> usize {
+        EntityKind::ALL.len()
+    }
+
+    /// Number of relation kinds in the ontology.
+    pub fn relation_kind_count(&self) -> usize {
+        RelationKind::ALL.len()
+    }
+
+    /// Number of distinct legal triplets.
+    pub fn triplet_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The schema rules.
+    pub fn rules(&self) -> &[TripletRule] {
+        &self.rules
+    }
+}
+
+impl Default for Ontology {
+    fn default() -> Self {
+        Ontology::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use EntityKind::*;
+    use RelationKind::*;
+
+    #[test]
+    fn standard_schema_accepts_figure_examples() {
+        let ont = Ontology::standard();
+        assert!(ont.allows(Malware, Drop, FileName));
+        assert!(ont.allows(ThreatActor, Uses, Technique));
+        assert!(ont.allows(Malware, Exploits, Vulnerability));
+        assert!(ont.allows(CtiVendor, Publishes, MalwareReport));
+        assert!(ont.allows(MalwareReport, Mentions, HashSha256));
+        assert!(ont.allows(Vulnerability, Affects, Software));
+        assert!(ont.allows(HashMd5, Identifies, FileName));
+    }
+
+    #[test]
+    fn standard_schema_rejects_nonsense() {
+        let ont = Ontology::standard();
+        assert!(!ont.allows(FileName, Drop, Malware));
+        assert!(!ont.allows(IpAddress, Publishes, MalwareReport));
+        assert!(!ont.allows(Url, Exploits, Vulnerability));
+        // Reports are never subjects of behavioural relations.
+        assert!(!ont.allows(MalwareReport, Drop, FileName));
+    }
+
+    #[test]
+    fn error_distinguishes_unknown_relation() {
+        let ont = Ontology::from_rules(vec![TripletRule::new(Drop, &[Malware], &[FileName])]);
+        assert_eq!(
+            ont.validate_triplet(Malware, Encrypts, FileName),
+            Err(SchemaError::UnknownRelation(Encrypts))
+        );
+        assert_eq!(
+            ont.validate_triplet(Tool, Drop, FileName),
+            Err(SchemaError::IllegalTriplet { subject: Tool, relation: Drop, object: FileName })
+        );
+    }
+
+    #[test]
+    fn resolve_extracted_falls_back_to_related_to() {
+        let ont = Ontology::standard();
+        // "drop" between Malware and FileName resolves to DROP.
+        assert_eq!(ont.resolve_extracted(Malware, "drop", FileName), Some(Drop));
+        // "drop" between Malware and Domain is not admissible as DROP but the
+        // generic RELATED_TO edge still captures it.
+        assert_eq!(ont.resolve_extracted(Malware, "drop", Domain), Some(RelatedTo));
+        // Unknown verbs degrade to RELATED_TO too.
+        assert_eq!(ont.resolve_extracted(Malware, "florble", Domain), Some(RelatedTo));
+        // Reports can never be subjects of extracted relations.
+        assert_eq!(ont.resolve_extracted(MalwareReport, "drop", FileName), None);
+    }
+
+    #[test]
+    fn relations_between_is_ordered_and_complete() {
+        let ont = Ontology::standard();
+        let rels = ont.relations_between(Malware, FileName);
+        assert!(rels.contains(&Drop));
+        assert!(rels.contains(&Encrypts));
+        assert!(rels.contains(&RelatedTo));
+        let mut sorted = rels.clone();
+        sorted.sort_by_key(|r| RelationKind::ALL.iter().position(|k| k == r).unwrap());
+        assert_eq!(rels, sorted);
+    }
+
+    #[test]
+    fn add_rule_extends_schema() {
+        let mut ont = Ontology::standard();
+        assert!(!ont.allows(Software, Affects, Software));
+        ont.add_rule(TripletRule::new(Affects, &[Software], &[Software]));
+        assert!(ont.allows(Software, Affects, Software));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let ont = Ontology::standard();
+        let json = serde_json::to_string(&ont).unwrap();
+        let back: Ontology = serde_json::from_str(&json).unwrap();
+        // The index is #[serde(skip)]; reconstruct and verify behaviour.
+        let back = Ontology::from_rules(back.rules);
+        assert!(back.allows(Malware, Drop, FileName));
+        assert_eq!(back.triplet_count(), ont.triplet_count());
+    }
+}

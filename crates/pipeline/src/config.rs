@@ -1,0 +1,117 @@
+//! The user-provided configuration file (paper §2.1: "the system can be
+//! configured through a user-provided configuration file, which specifies
+//! the set of components to use and the additional parameters ... passed to
+//! these components").
+
+use serde::{Deserialize, Serialize};
+
+/// Which extractor battery to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExtractorChoice {
+    /// CRF NER + relation extraction (the full system).
+    #[default]
+    Ner,
+    /// IOC scanner + gazetteers only (the regex baseline).
+    IocOnly,
+    /// No text extraction (structured fields only).
+    None,
+}
+
+/// Which storage connector to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ConnectorChoice {
+    /// Property graph + keyword index (the default "Neo4j" path).
+    #[default]
+    Graph,
+    /// Flat relational tables (the "SQL connector" alternative).
+    Tabular,
+}
+
+/// Worker counts per parallelisable stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageWorkers {
+    pub check: usize,
+    pub parse: usize,
+    pub extract: usize,
+}
+
+impl Default for StageWorkers {
+    fn default() -> Self {
+        StageWorkers { check: 1, parse: 2, extract: 4 }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct PipelineConfig {
+    /// Checker threshold: minimum article text length.
+    pub checker_min_text_len: usize,
+    pub extractor: ExtractorChoice,
+    pub connector: ConnectorChoice,
+    pub workers: StageWorkers,
+    /// Bounded channel capacity between stages (backpressure).
+    pub channel_capacity: usize,
+    /// Serialise messages crossing stage boundaries to bytes, as a
+    /// multi-host deployment would (§2.1 scalability ablation).
+    pub serialize_transport: bool,
+    /// Minimum CRF span confidence for NER mentions (the "threshold values
+    /// for entity recognition" the paper's config file passes to components).
+    pub ner_min_confidence: f64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            checker_min_text_len: 40,
+            extractor: ExtractorChoice::default(),
+            connector: ConnectorChoice::default(),
+            workers: StageWorkers::default(),
+            channel_capacity: 256,
+            serialize_transport: false,
+            ner_min_confidence: 0.0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Parse from a JSON configuration file's contents. Unknown fields are
+    /// rejected loudly rather than silently ignored.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Render as a JSON configuration file.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips() {
+        let c = PipelineConfig::default();
+        let back = PipelineConfig::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn partial_config_fills_defaults() {
+        let c = PipelineConfig::from_json(
+            r#"{"extractor": "IocOnly", "workers": {"check": 2, "parse": 2, "extract": 8}}"#,
+        )
+        .unwrap();
+        assert_eq!(c.extractor, ExtractorChoice::IocOnly);
+        assert_eq!(c.workers.extract, 8);
+        assert_eq!(c.channel_capacity, PipelineConfig::default().channel_capacity);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(PipelineConfig::from_json("{\"extractor\": \"Quantum\"}").is_err());
+        assert!(PipelineConfig::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! Pipelined execution (paper §2.1, "Scalability").
+//!
+//! "To make the system scalable, we parallelize the processing procedure of
+//! OSCTI reports. We further pipeline the processing steps ... Between
+//! different steps in the pipeline, we specify the formats of intermediate
+//! representations and make them serializable."
+//!
+//! Five stages — port → check → parse → extract → connect — joined by
+//! bounded crossbeam channels. Check/parse/extract run configurable worker
+//! counts; port (stateful page grouping) and connect (single-writer storage)
+//! are sequential by construction. With `serialize_transport` every message
+//! crossing a stage boundary round-trips through bytes, measuring the real
+//! cost of the multi-host deployment mode.
+
+use crate::config::PipelineConfig;
+use crate::stages::{
+    Checker, Connector, DefaultChecker, DefaultPorter, Extractor, ParserRegistry, Porter,
+};
+use crossbeam::channel::{bounded, Sender};
+use kg_ir::{IntermediateCti, IntermediateReport, RawReport};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Counters for one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    pub input_pages: usize,
+    /// Whole reports assembled by the porter.
+    pub ported: usize,
+    /// Reports dropped by the checker (ads, empty pages).
+    pub screened_out: usize,
+    pub parsed: usize,
+    pub parse_errors: usize,
+    pub extracted: usize,
+    pub connected: usize,
+    pub wall_ms: u64,
+    /// Busy milliseconds per stage (summed over its workers).
+    pub stage_busy_ms: BTreeMap<&'static str, u64>,
+}
+
+impl PipelineMetrics {
+    /// Reports connected per second of wall-clock.
+    pub fn reports_per_second(&self) -> f64 {
+        if self.wall_ms == 0 {
+            return 0.0;
+        }
+        self.connected as f64 * 1000.0 / self.wall_ms as f64
+    }
+}
+
+/// Result of a run that owns its connector.
+pub struct PipelineOutput<C> {
+    pub connector: C,
+    pub metrics: PipelineMetrics,
+}
+
+/// Optionally byte-serialised hand-off.
+fn wire_send<T: Serialize>(tx: &Sender<Vec<u8>>, value: &T) {
+    let bytes = serde_json::to_vec(value).expect("intermediate representations serialise");
+    let _ = tx.send(bytes);
+}
+
+fn wire_recv<T: DeserializeOwned>(bytes: Vec<u8>) -> T {
+    serde_json::from_slice(&bytes).expect("intermediate representations deserialise")
+}
+
+/// Run the full pipeline over raw pages, pipelined and parallel.
+pub fn run_pipelined<C: Connector>(
+    reports: Vec<RawReport>,
+    registry: &ParserRegistry,
+    extractor: &dyn Extractor,
+    mut connector: C,
+    config: &PipelineConfig,
+) -> PipelineOutput<C> {
+    let start = Instant::now();
+    let mut metrics = PipelineMetrics { input_pages: reports.len(), ..Default::default() };
+    let checker = DefaultChecker { min_text_len: config.checker_min_text_len };
+    let cap = config.channel_capacity.max(1);
+    let serialize = config.serialize_transport;
+
+    let ported = AtomicUsize::new(0);
+    let screened = AtomicUsize::new(0);
+    let parsed = AtomicUsize::new(0);
+    let parse_errors = AtomicUsize::new(0);
+    let extracted = AtomicUsize::new(0);
+    let busy_port = AtomicU64::new(0);
+    let busy_check = AtomicU64::new(0);
+    let busy_parse = AtomicU64::new(0);
+    let busy_extract = AtomicU64::new(0);
+    let busy_connect = AtomicU64::new(0);
+
+    // Channels carry bytes when serialising, values otherwise; to keep one
+    // code path we always move `Vec<u8>` on the wire in serialised mode and
+    // a typed channel otherwise. Two generic pumps cover both.
+    let connected;
+    {
+        if serialize {
+            let (tx_report, rx_report) = bounded::<Vec<u8>>(cap);
+            let (tx_checked, rx_checked) = bounded::<Vec<u8>>(cap);
+            let (tx_cti, rx_cti) = bounded::<Vec<u8>>(cap);
+            let (tx_final, rx_final) = bounded::<Vec<u8>>(cap);
+            connected = std::thread::scope(|scope| {
+                // Port.
+                scope.spawn(|| {
+                    let t = Instant::now();
+                    let mut porter = DefaultPorter::new();
+                    for raw in reports {
+                        if let Some(report) = porter.feed(raw) {
+                            ported.fetch_add(1, Ordering::Relaxed);
+                            wire_send(&tx_report, &report);
+                        }
+                    }
+                    for report in porter.flush() {
+                        ported.fetch_add(1, Ordering::Relaxed);
+                        wire_send(&tx_report, &report);
+                    }
+                    drop(tx_report);
+                    busy_port.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                });
+                // Check.
+                for _ in 0..config.workers.check.max(1) {
+                    let rx = rx_report.clone();
+                    let tx = tx_checked.clone();
+                    let checker = &checker;
+                    let screened = &screened;
+                    let busy = &busy_check;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        for bytes in rx {
+                            let report: IntermediateReport = wire_recv(bytes);
+                            if checker.check(&report) {
+                                wire_send(&tx, &report);
+                            } else {
+                                screened.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        busy.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    });
+                }
+                drop(rx_report);
+                drop(tx_checked);
+                // Parse.
+                for _ in 0..config.workers.parse.max(1) {
+                    let rx = rx_checked.clone();
+                    let tx = tx_cti.clone();
+                    let parsed = &parsed;
+                    let parse_errors = &parse_errors;
+                    let busy = &busy_parse;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        for bytes in rx {
+                            let report: IntermediateReport = wire_recv(bytes);
+                            match registry.parse(&report) {
+                                Ok(cti) => {
+                                    parsed.fetch_add(1, Ordering::Relaxed);
+                                    wire_send(&tx, &cti);
+                                }
+                                Err(_) => {
+                                    parse_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        busy.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    });
+                }
+                drop(rx_checked);
+                drop(tx_cti);
+                // Extract.
+                for _ in 0..config.workers.extract.max(1) {
+                    let rx = rx_cti.clone();
+                    let tx = tx_final.clone();
+                    let extracted = &extracted;
+                    let busy = &busy_extract;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        for bytes in rx {
+                            let mut cti: IntermediateCti = wire_recv(bytes);
+                            extractor.extract(&mut cti);
+                            extracted.fetch_add(1, Ordering::Relaxed);
+                            wire_send(&tx, &cti);
+                        }
+                        busy.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    });
+                }
+                drop(rx_cti);
+                drop(tx_final);
+                // Connect (on this thread).
+                let t = Instant::now();
+                let mut n = 0usize;
+                for bytes in rx_final {
+                    let cti: IntermediateCti = wire_recv(bytes);
+                    connector.connect(&cti);
+                    n += 1;
+                }
+                busy_connect.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                n
+            });
+        } else {
+            let (tx_report, rx_report) = bounded::<IntermediateReport>(cap);
+            let (tx_checked, rx_checked) = bounded::<IntermediateReport>(cap);
+            let (tx_cti, rx_cti) = bounded::<IntermediateCti>(cap);
+            let (tx_final, rx_final) = bounded::<IntermediateCti>(cap);
+            connected = std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let t = Instant::now();
+                    let mut porter = DefaultPorter::new();
+                    for raw in reports {
+                        if let Some(report) = porter.feed(raw) {
+                            ported.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx_report.send(report);
+                        }
+                    }
+                    for report in porter.flush() {
+                        ported.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx_report.send(report);
+                    }
+                    drop(tx_report);
+                    busy_port.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                });
+                for _ in 0..config.workers.check.max(1) {
+                    let rx = rx_report.clone();
+                    let tx = tx_checked.clone();
+                    let checker = &checker;
+                    let screened = &screened;
+                    let busy = &busy_check;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        for report in rx {
+                            if checker.check(&report) {
+                                let _ = tx.send(report);
+                            } else {
+                                screened.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        busy.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    });
+                }
+                drop(rx_report);
+                drop(tx_checked);
+                for _ in 0..config.workers.parse.max(1) {
+                    let rx = rx_checked.clone();
+                    let tx = tx_cti.clone();
+                    let parsed = &parsed;
+                    let parse_errors = &parse_errors;
+                    let busy = &busy_parse;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        for report in rx {
+                            match registry.parse(&report) {
+                                Ok(cti) => {
+                                    parsed.fetch_add(1, Ordering::Relaxed);
+                                    let _ = tx.send(cti);
+                                }
+                                Err(_) => {
+                                    parse_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        busy.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    });
+                }
+                drop(rx_checked);
+                drop(tx_cti);
+                for _ in 0..config.workers.extract.max(1) {
+                    let rx = rx_cti.clone();
+                    let tx = tx_final.clone();
+                    let extracted = &extracted;
+                    let busy = &busy_extract;
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        for mut cti in rx {
+                            extractor.extract(&mut cti);
+                            extracted.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send(cti);
+                        }
+                        busy.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    });
+                }
+                drop(rx_cti);
+                drop(tx_final);
+                let t = Instant::now();
+                let mut n = 0usize;
+                for cti in rx_final {
+                    connector.connect(&cti);
+                    n += 1;
+                }
+                busy_connect.fetch_add(t.elapsed().as_millis() as u64, Ordering::Relaxed);
+                n
+            });
+        }
+    }
+
+    metrics.ported = ported.into_inner();
+    metrics.screened_out = screened.into_inner();
+    metrics.parsed = parsed.into_inner();
+    metrics.parse_errors = parse_errors.into_inner();
+    metrics.extracted = extracted.into_inner();
+    metrics.connected = connected;
+    metrics.wall_ms = start.elapsed().as_millis() as u64;
+    metrics.stage_busy_ms = BTreeMap::from([
+        ("port", busy_port.into_inner()),
+        ("check", busy_check.into_inner()),
+        ("parse", busy_parse.into_inner()),
+        ("extract", busy_extract.into_inner()),
+        ("connect", busy_connect.into_inner()),
+    ]);
+    PipelineOutput { connector, metrics }
+}
+
+/// The sequential baseline: same stages, one thread, no channels (E4's
+/// comparison point).
+pub fn run_sequential<C: Connector>(
+    reports: Vec<RawReport>,
+    registry: &ParserRegistry,
+    extractor: &dyn Extractor,
+    mut connector: C,
+    config: &PipelineConfig,
+) -> PipelineOutput<C> {
+    let start = Instant::now();
+    let mut metrics = PipelineMetrics { input_pages: reports.len(), ..Default::default() };
+    let checker = DefaultChecker { min_text_len: config.checker_min_text_len };
+    let mut porter = DefaultPorter::new();
+    let mut completed = Vec::new();
+    for raw in reports {
+        if let Some(report) = porter.feed(raw) {
+            completed.push(report);
+        }
+    }
+    completed.extend(porter.flush());
+    metrics.ported = completed.len();
+    for report in completed {
+        if !checker.check(&report) {
+            metrics.screened_out += 1;
+            continue;
+        }
+        let mut cti = match registry.parse(&report) {
+            Ok(cti) => {
+                metrics.parsed += 1;
+                cti
+            }
+            Err(_) => {
+                metrics.parse_errors += 1;
+                continue;
+            }
+        };
+        extractor.extract(&mut cti);
+        metrics.extracted += 1;
+        connector.connect(&cti);
+        metrics.connected += 1;
+    }
+    metrics.wall_ms = start.elapsed().as_millis() as u64;
+    PipelineOutput { connector, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::stages::{GraphConnector, IocOnlyExtractor, TabularConnector};
+    use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+    use std::sync::Arc;
+
+    fn crawled_reports() -> Vec<RawReport> {
+        let web = kg_corpus::SimulatedWeb::new(
+            kg_corpus::World::generate(kg_corpus::WorldConfig::tiny(3)),
+            kg_corpus::standard_sources(6),
+            11,
+        );
+        let mut state = CrawlState::new();
+        let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), u64::MAX / 4);
+        reports
+    }
+
+    fn ioc_extractor() -> IocOnlyExtractor {
+        IocOnlyExtractor {
+            baseline: Arc::new(kg_extract::RegexNerBaseline::new(vec![])),
+        }
+    }
+
+    #[test]
+    fn pipelined_processes_crawled_corpus() {
+        let reports = crawled_reports();
+        let registry = ParserRegistry::new();
+        let extractor = ioc_extractor();
+        let out = run_pipelined(
+            reports.clone(),
+            &registry,
+            &extractor,
+            GraphConnector::new(),
+            &PipelineConfig::default(),
+        );
+        let m = &out.metrics;
+        assert_eq!(m.input_pages, reports.len());
+        assert!(m.ported > 0);
+        assert!(m.screened_out > 0, "ads must be screened: {m:?}");
+        assert_eq!(m.parsed, m.extracted);
+        assert_eq!(m.extracted, m.connected);
+        assert_eq!(m.ported, m.screened_out + m.parsed + m.parse_errors);
+        assert!(out.connector.graph.node_count() > 0);
+        assert!(out.connector.graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn sequential_and_pipelined_agree() {
+        let reports = crawled_reports();
+        let registry = ParserRegistry::new();
+        let extractor = ioc_extractor();
+        let seq = run_sequential(
+            reports.clone(),
+            &registry,
+            &extractor,
+            GraphConnector::new(),
+            &PipelineConfig::default(),
+        );
+        let pip = run_pipelined(
+            reports,
+            &registry,
+            &extractor,
+            GraphConnector::new(),
+            &PipelineConfig::default(),
+        );
+        assert_eq!(seq.metrics.connected, pip.metrics.connected);
+        assert_eq!(seq.connector.graph.node_count(), pip.connector.graph.node_count());
+        assert_eq!(seq.connector.graph.edge_count(), pip.connector.graph.edge_count());
+    }
+
+    #[test]
+    fn serialized_transport_agrees_with_direct() {
+        let reports = crawled_reports();
+        let registry = ParserRegistry::new();
+        let extractor = ioc_extractor();
+        let direct = run_pipelined(
+            reports.clone(),
+            &registry,
+            &extractor,
+            GraphConnector::new(),
+            &PipelineConfig::default(),
+        );
+        let serialized = run_pipelined(
+            reports,
+            &registry,
+            &extractor,
+            GraphConnector::new(),
+            &PipelineConfig { serialize_transport: true, ..PipelineConfig::default() },
+        );
+        assert_eq!(direct.metrics.connected, serialized.metrics.connected);
+        assert_eq!(
+            direct.connector.graph.node_count(),
+            serialized.connector.graph.node_count()
+        );
+    }
+
+    #[test]
+    fn tabular_connector_swaps_in() {
+        let reports = crawled_reports();
+        let registry = ParserRegistry::new();
+        let extractor = ioc_extractor();
+        let out = run_pipelined(
+            reports,
+            &registry,
+            &extractor,
+            TabularConnector::new(),
+            &PipelineConfig::default(),
+        );
+        assert!(out.metrics.connected > 0);
+        assert!(!out.connector.entities.is_empty());
+        assert!(!out.connector.mentions.is_empty());
+    }
+
+    #[test]
+    fn metrics_track_stages() {
+        let reports = crawled_reports();
+        let registry = ParserRegistry::new();
+        let extractor = ioc_extractor();
+        let out = run_pipelined(
+            reports,
+            &registry,
+            &extractor,
+            GraphConnector::new(),
+            &PipelineConfig::default(),
+        );
+        assert_eq!(out.metrics.stage_busy_ms.len(), 5);
+        assert!(out.metrics.reports_per_second() >= 0.0);
+    }
+}

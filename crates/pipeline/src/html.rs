@@ -1,0 +1,173 @@
+//! A small HTML reading layer for the source-dependent parsers.
+//!
+//! Not a general HTML parser — exactly the operations the 42 source
+//! templates require: first tag content, repeated tag contents, class
+//! probing and entity unescaping. Malformed input degrades to empty
+//! results, never panics.
+
+/// Unescape the five XML entities (the only ones the sources emit).
+pub fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Content of the first `<tag ...>...</tag>` occurrence, unescaped.
+pub fn first_tag(body: &str, tag: &str) -> Option<String> {
+    let open = format!("<{tag}");
+    let close = format!("</{tag}>");
+    let start = body.find(&open)?;
+    let content_start = body[start..].find('>')? + start + 1;
+    let end = body[content_start..].find(&close)? + content_start;
+    Some(unescape(body[content_start..end].trim()))
+}
+
+/// Contents of every `<tag ...>...</tag>` occurrence, in order, unescaped.
+pub fn all_tags(body: &str, tag: &str) -> Vec<String> {
+    let open = format!("<{tag}");
+    let close = format!("</{tag}>");
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(start) = rest.find(&open) {
+        // Guard against prefix collisions (`<p` matching `<pre`).
+        let after_open = &rest[start + open.len()..];
+        if !after_open.starts_with('>') && !after_open.starts_with(' ') {
+            rest = &rest[start + open.len()..];
+            continue;
+        }
+        let Some(gt) = rest[start..].find('>') else { break };
+        let content_start = start + gt + 1;
+        let Some(end_rel) = rest[content_start..].find(&close) else { break };
+        let end = content_start + end_rel;
+        out.push(unescape(rest[content_start..end].trim()));
+        rest = &rest[end + close.len()..];
+    }
+    out
+}
+
+/// Content of the first tag carrying `class="<class>"`.
+pub fn first_with_class(body: &str, class: &str) -> Option<String> {
+    let marker = format!("class=\"{class}\"");
+    let pos = body.find(&marker)?;
+    let content_start = body[pos..].find('>')? + pos + 1;
+    let end = body[content_start..].find('<')? + content_start;
+    Some(unescape(body[content_start..end].trim()))
+}
+
+/// Whether the body contains an element with the class.
+pub fn has_class(body: &str, class: &str) -> bool {
+    body.contains(&format!("class=\"{class}\""))
+}
+
+/// `(key, value)` rows of the first `<table class="meta">`.
+pub fn meta_table_rows(body: &str) -> Vec<(String, String)> {
+    let Some(start) = body.find("<table class=\"meta\">") else { return Vec::new() };
+    let table = match body[start..].find("</table>") {
+        Some(end) => &body[start..start + end],
+        None => &body[start..],
+    };
+    let keys = all_tags(table, "th");
+    let values = all_tags(table, "td");
+    keys.into_iter().zip(values).collect()
+}
+
+/// `(key, value)` rows of the first `<dl class="meta">`.
+pub fn meta_dl_rows(body: &str) -> Vec<(String, String)> {
+    let Some(start) = body.find("<dl class=\"meta\">") else { return Vec::new() };
+    let dl = match body[start..].find("</dl>") {
+        Some(end) => &body[start..start + end],
+        None => &body[start..],
+    };
+    let keys = all_tags(dl, "dt");
+    let values = all_tags(dl, "dd");
+    keys.into_iter().zip(values).collect()
+}
+
+/// The paragraph texts of the `<div class="content">` section (the article
+/// body), joined into the canonical text (paragraphs separated by `\n`).
+pub fn content_paragraphs(body: &str) -> Vec<String> {
+    let Some(start) = body.find("<div class=\"content\">") else { return Vec::new() };
+    let content = match body[start..].find("</div>") {
+        Some(end) => &body[start..start + end],
+        None => &body[start..],
+    };
+    all_tags(content, "p")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<!DOCTYPE html>
+<html><head><title>A &amp; B</title></head><body>
+<h1>A &amp; B</h1>
+<span class="category">malware</span>
+<table class="meta">
+<tr><th>family</th><td>emotet</td></tr>
+<tr><th>sha256</th><td>abc123</td></tr>
+</table>
+<div class="content">
+<p>Para &lt;one&gt;.</p>
+<p>Para two.</p>
+</div>
+</body></html>"#;
+
+    #[test]
+    fn extracts_title_and_heading() {
+        assert_eq!(first_tag(PAGE, "title").as_deref(), Some("A & B"));
+        assert_eq!(first_tag(PAGE, "h1").as_deref(), Some("A & B"));
+        assert_eq!(first_tag(PAGE, "nonexistent"), None);
+    }
+
+    #[test]
+    fn extracts_meta_table() {
+        let rows = meta_table_rows(PAGE);
+        assert_eq!(
+            rows,
+            vec![
+                ("family".to_owned(), "emotet".to_owned()),
+                ("sha256".to_owned(), "abc123".to_owned())
+            ]
+        );
+        assert!(meta_dl_rows(PAGE).is_empty());
+    }
+
+    #[test]
+    fn extracts_paragraphs_with_unescaping() {
+        assert_eq!(content_paragraphs(PAGE), vec!["Para <one>.", "Para two."]);
+    }
+
+    #[test]
+    fn class_probing() {
+        assert_eq!(first_with_class(PAGE, "category").as_deref(), Some("malware"));
+        assert!(has_class(PAGE, "category"));
+        assert!(!has_class(PAGE, "ad"));
+    }
+
+    #[test]
+    fn dl_rows() {
+        let page = "<dl class=\"meta\">\n<dt>cve id</dt><dd>CVE-2020-1</dd>\n</dl>";
+        assert_eq!(meta_dl_rows(page), vec![("cve id".to_owned(), "CVE-2020-1".to_owned())]);
+    }
+
+    #[test]
+    fn malformed_html_degrades_gracefully() {
+        assert!(all_tags("<p>unclosed", "p").is_empty());
+        assert!(content_paragraphs("<div class=\"content\"><p>x</p>").len() == 1);
+        assert!(meta_table_rows("<table class=\"meta\"><tr><th>k</th>").is_empty());
+        assert_eq!(first_tag("", "p"), None);
+    }
+
+    #[test]
+    fn prefix_collision_guard() {
+        let page = "<pre>code</pre><p>real</p>";
+        assert_eq!(all_tags(page, "p"), vec!["real"]);
+    }
+
+    #[test]
+    fn unescape_round_trip() {
+        assert_eq!(unescape("&lt;a&gt; &amp; &quot;b&quot; &#39;c&#39;"), "<a> & \"b\" 'c'");
+    }
+}

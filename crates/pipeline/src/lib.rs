@@ -1,0 +1,31 @@
+//! The SecurityKG backend system (paper §2.1, §2.4, Figure 1).
+//!
+//! Report lifecycle: **collection** (the crawler, in `kg-crawler`) →
+//! **processing** (porter → checker → parser → extractor, this crate) →
+//! **storage** (connector → graph store + full-text index) → applications.
+//!
+//! - [`html`] — the small HTML reading layer the source-dependent parsers
+//!   are built on.
+//! - [`stages`] — the component traits ([`Porter`], [`Checker`], [`Parser`],
+//!   [`Extractor`], [`Connector`]) and their default implementations. The
+//!   modular design is the paper's extensibility story: "multiple components
+//!   with the same interface work together in the same processing step".
+//! - [`config`] — the user-provided configuration file selecting components
+//!   and their parameters.
+//! - [`engine`] — pipelined, multi-worker execution over bounded crossbeam
+//!   channels, with optional byte-serialised hand-off between stages (the
+//!   multi-host deployment story of §2.1); plus the sequential baseline for
+//!   experiment E4.
+
+pub mod config;
+pub mod engine;
+pub mod html;
+pub mod stages;
+
+pub use config::PipelineConfig;
+pub use engine::{run_pipelined, run_sequential, PipelineMetrics, PipelineOutput};
+pub use stages::{
+    Checker, CompositeChecker, Connector, DedupChecker, DefaultChecker, DefaultPorter,
+    Extractor, GraphConnector, IocOnlyExtractor, NerExtractor, Parser, ParserRegistry, Porter,
+    StyleParser, TabularConnector,
+};

@@ -1,0 +1,823 @@
+//! Pipeline components (paper §2.4): porters, checkers, source-dependent
+//! parsers, source-independent extractors, and storage connectors.
+
+use crate::html;
+use kg_graph::{GraphStore, NodeId, Value};
+use kg_ir::{
+    EntityMention, IntermediateCti, IntermediateReport, MentionOrigin, RawReport, RelationMention,
+    ReportId, ReportMeta,
+};
+use kg_ontology::{EntityKind, Ontology, RelationKind, ReportCategory};
+use kg_search::SearchIndex;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Porter
+// ---------------------------------------------------------------------------
+
+/// Porters "take the input report files and convert them into intermediate
+/// report representations; they group multi-page reports and add metadata".
+pub trait Porter: Send {
+    /// Feed one raw page; returns a completed report when all of its pages
+    /// have arrived.
+    fn feed(&mut self, raw: RawReport) -> Option<IntermediateReport>;
+    /// Flush incomplete groups at end of stream (best-effort reports).
+    fn flush(&mut self) -> Vec<IntermediateReport>;
+}
+
+/// The default porter: groups pages by `(source, report_key)`.
+#[derive(Debug, Default)]
+pub struct DefaultPorter {
+    pending: HashMap<(u32, String), Vec<RawReport>>,
+}
+
+impl DefaultPorter {
+    /// New empty porter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn assemble(mut pages: Vec<RawReport>) -> IntermediateReport {
+        pages.sort_by_key(|p| p.page);
+        let first = &pages[0];
+        let mut metadata = BTreeMap::new();
+        metadata.insert("pages".to_owned(), pages.len().to_string());
+        IntermediateReport {
+            id: ReportId::new(&first.source_name, &first.report_key),
+            source: first.source,
+            source_name: first.source_name.clone(),
+            title: html::first_tag(&first.body, "title").unwrap_or_default(),
+            url: first.url.clone(),
+            fetched_at_ms: pages.iter().map(|p| p.fetched_at_ms).max().unwrap_or(0),
+            location: Some(format!("archive/{}/{}", first.source_name, first.report_key)),
+            pages: pages.into_iter().map(|p| p.body).collect(),
+            metadata,
+        }
+    }
+}
+
+impl Porter for DefaultPorter {
+    fn feed(&mut self, raw: RawReport) -> Option<IntermediateReport> {
+        let expected = raw.total_pages.unwrap_or(1) as usize;
+        let key = (raw.source.0, raw.report_key.clone());
+        let entry = self.pending.entry(key.clone()).or_default();
+        entry.push(raw);
+        if entry.len() >= expected {
+            let pages = self.pending.remove(&key).unwrap();
+            Some(Self::assemble(pages))
+        } else {
+            None
+        }
+    }
+
+    fn flush(&mut self) -> Vec<IntermediateReport> {
+        let pending = std::mem::take(&mut self.pending);
+        pending.into_values().map(Self::assemble).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checker
+// ---------------------------------------------------------------------------
+
+/// Checkers "work as filters ...; they screen out irrelevant reports like
+/// empty pages or ads by running condition checks".
+pub trait Checker: Send + Sync {
+    /// Keep the report?
+    fn check(&self, report: &IntermediateReport) -> bool;
+}
+
+/// The default checker: drops ad pages and empty/near-empty articles.
+#[derive(Debug, Clone)]
+pub struct DefaultChecker {
+    /// Minimum total paragraph text length to count as a real article.
+    pub min_text_len: usize,
+}
+
+impl Default for DefaultChecker {
+    fn default() -> Self {
+        DefaultChecker { min_text_len: 40 }
+    }
+}
+
+impl Checker for DefaultChecker {
+    fn check(&self, report: &IntermediateReport) -> bool {
+        let body = report.full_body();
+        if html::has_class(&body, "ad") {
+            return false;
+        }
+        let text_len: usize =
+            html::content_paragraphs(&body).iter().map(String::len).sum();
+        text_len >= self.min_text_len
+    }
+}
+
+/// Cross-source duplicate screening: drops a report whose *article text*
+/// was already seen under a different report id (mirrored articles,
+/// syndicated feeds). Hashing the extracted paragraphs rather than raw HTML
+/// makes the check template-independent.
+#[derive(Debug, Default)]
+pub struct DedupChecker {
+    seen: parking_lot::Mutex<HashMap<u64, String>>,
+}
+
+impl DedupChecker {
+    /// Fresh checker with an empty seen-set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct article texts observed so far.
+    pub fn distinct_seen(&self) -> usize {
+        self.seen.lock().len()
+    }
+}
+
+impl Checker for DedupChecker {
+    fn check(&self, report: &IntermediateReport) -> bool {
+        let text = report
+            .pages
+            .iter()
+            .flat_map(|p| html::content_paragraphs(p))
+            .collect::<Vec<_>>()
+            .join("\n");
+        if text.is_empty() {
+            // Nothing to fingerprint; leave the decision to other checkers.
+            return true;
+        }
+        let hash = kg_ir::fnv1a64(text.as_bytes());
+        let mut seen = self.seen.lock();
+        match seen.get(&hash) {
+            Some(first) => first == report.id.as_str(),
+            None => {
+                seen.insert(hash, report.id.as_str().to_owned());
+                true
+            }
+        }
+    }
+}
+
+/// Checker composition: a report passes only if every member passes — the
+/// paper's "multiple components with the same interface work together in
+/// the same processing step".
+pub struct CompositeChecker {
+    pub members: Vec<Box<dyn Checker>>,
+}
+
+impl Checker for CompositeChecker {
+    fn check(&self, report: &IntermediateReport) -> bool {
+        self.members.iter().all(|c| c.check(report))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The page has no recognisable article structure.
+    NoContent,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::NoContent => f.write_str("page has no article content"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsers are source-dependent: they know the source's page structure and
+/// "extract keys and values from report files".
+pub trait Parser: Send + Sync {
+    fn parse(&self, report: &IntermediateReport) -> Result<IntermediateCti, ParseError>;
+}
+
+/// Which structured-metadata dialect a source uses. Mirrors the corpus
+/// template styles; [`StyleParser::sniff`] can detect it from a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaDialect {
+    Table,
+    DefinitionList,
+    None,
+}
+
+/// A parser for one HTML dialect.
+#[derive(Debug, Clone)]
+pub struct StyleParser {
+    pub dialect: MetaDialect,
+}
+
+impl StyleParser {
+    /// Detect the dialect from a page body.
+    pub fn sniff(body: &str) -> MetaDialect {
+        if body.contains("<table class=\"meta\">") {
+            MetaDialect::Table
+        } else if body.contains("<dl class=\"meta\">") {
+            MetaDialect::DefinitionList
+        } else {
+            MetaDialect::None
+        }
+    }
+
+    /// The entity kind implied by a structured-metadata key.
+    pub fn kind_for_key(key: &str) -> Option<EntityKind> {
+        Some(match key {
+            "family" => EntityKind::Malware,
+            "md5" => EntityKind::HashMd5,
+            "sha1" => EntityKind::HashSha1,
+            "sha256" => EntityKind::HashSha256,
+            "c2 server" => EntityKind::Domain,
+            "cve id" => EntityKind::Vulnerability,
+            "affected product" => EntityKind::Software,
+            "threat actor" => EntityKind::ThreatActor,
+            "campaign" => EntityKind::Campaign,
+            _ => return None,
+        })
+    }
+}
+
+impl Parser for StyleParser {
+    fn parse(&self, report: &IntermediateReport) -> Result<IntermediateCti, ParseError> {
+        let body = report.full_body();
+        let category = match html::first_with_class(&body, "category").as_deref() {
+            Some("malware") => ReportCategory::Malware,
+            Some("vulnerability") => ReportCategory::Vulnerability,
+            Some("attack") => ReportCategory::Attack,
+            _ => ReportCategory::Attack,
+        };
+        // Paragraphs from every page, in order, joined canonically.
+        let paragraphs: Vec<String> =
+            report.pages.iter().flat_map(|p| html::content_paragraphs(p)).collect();
+        if paragraphs.is_empty() {
+            return Err(ParseError::NoContent);
+        }
+        let text = paragraphs.join("\n");
+
+        let meta = ReportMeta {
+            id: report.id.clone(),
+            source: report.source,
+            vendor: report.source_name.clone(),
+            title: if report.title.is_empty() {
+                html::first_tag(&body, "h1").unwrap_or_default()
+            } else {
+                report.title.clone()
+            },
+            url: report.url.clone(),
+            fetched_at_ms: report.fetched_at_ms,
+            published_at_ms: None,
+        };
+        let mut cti = IntermediateCti::new(meta, category);
+        cti.text = text;
+
+        let rows = match self.dialect {
+            MetaDialect::Table => html::meta_table_rows(&body),
+            MetaDialect::DefinitionList => html::meta_dl_rows(&body),
+            MetaDialect::None => Vec::new(),
+        };
+        for (key, value) in rows {
+            let key = key.to_lowercase();
+            if let Some(kind) = Self::kind_for_key(&key) {
+                cti.push_mention(
+                    EntityMention::new(kind, value.clone(), 0, 0)
+                        .with_origin(MentionOrigin::Structured),
+                );
+            }
+            cti.structured.insert(key, value);
+        }
+        Ok(cti)
+    }
+}
+
+/// The per-source parser registry (source-dependence), with a sniffing
+/// fallback for unknown sources (extensibility).
+#[derive(Default)]
+pub struct ParserRegistry {
+    by_source: HashMap<String, Arc<dyn Parser>>,
+}
+
+
+impl ParserRegistry {
+    /// Empty registry (sniffing fallback only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parser for a source.
+    pub fn register(&mut self, source_name: &str, parser: Arc<dyn Parser>) {
+        self.by_source.insert(source_name.to_owned(), parser);
+    }
+
+    /// Parse using the source's parser or the sniffing fallback.
+    pub fn parse(&self, report: &IntermediateReport) -> Result<IntermediateCti, ParseError> {
+        if let Some(parser) = self.by_source.get(&report.source_name) {
+            return parser.parse(report);
+        }
+        let dialect = StyleParser::sniff(&report.full_body());
+        StyleParser { dialect }.parse(report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extractor
+// ---------------------------------------------------------------------------
+
+/// Extractors are source-independent: they "refine these intermediate CTI
+/// representations by completing some of the fields using entity recognition
+/// and relation extraction".
+pub trait Extractor: Send + Sync {
+    fn extract(&self, cti: &mut IntermediateCti);
+}
+
+/// The full NER + relation extractor backed by the trained CRF pipeline.
+pub struct NerExtractor {
+    pub pipeline: Arc<kg_extract::NerPipeline>,
+}
+
+impl Extractor for NerExtractor {
+    fn extract(&self, cti: &mut IntermediateCti) {
+        let extractions = self.pipeline.extract(&cti.text);
+        for se in &extractions {
+            // Map sentence-local span indices to cti mention indices.
+            let mention_ids: Vec<usize> = kg_extract::ner::sentence_mentions(se)
+                .into_iter()
+                .map(|m| cti.push_mention(m))
+                .collect();
+            for rel in &se.relations {
+                cti.relations.push(
+                    RelationMention::new(
+                        mention_ids[rel.subject],
+                        mention_ids[rel.object],
+                        rel.verb.clone(),
+                    )
+                    .with_kind(rel.kind),
+                );
+            }
+        }
+    }
+}
+
+/// The baseline extractor: IOC scanning + gazetteer lookup only (what the
+/// paper's "naive entity recognition solution that relies on regex rules"
+/// would produce).
+pub struct IocOnlyExtractor {
+    pub baseline: Arc<kg_extract::RegexNerBaseline>,
+}
+
+impl Extractor for IocOnlyExtractor {
+    fn extract(&self, cti: &mut IntermediateCti) {
+        let extractions = self.baseline.extract(&cti.text);
+        for se in &extractions {
+            let mention_ids: Vec<usize> = kg_extract::ner::sentence_mentions(se)
+                .into_iter()
+                .map(|m| cti.push_mention(m))
+                .collect();
+            for rel in &se.relations {
+                cti.relations.push(
+                    RelationMention::new(
+                        mention_ids[rel.subject],
+                        mention_ids[rel.object],
+                        rel.verb.clone(),
+                    )
+                    .with_kind(rel.kind),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connector
+// ---------------------------------------------------------------------------
+
+/// Connectors "merge the intermediate CTI representations into the
+/// corresponding storage by refactoring them to match our ontology".
+pub trait Connector: Send {
+    fn connect(&mut self, cti: &IntermediateCti);
+}
+
+/// The graph connector (the default "Neo4j" path): merges entities by exact
+/// canonical name (§2.5), creates report/vendor provenance nodes, ontology-
+/// validated relation edges, and feeds the keyword index.
+pub struct GraphConnector {
+    pub graph: GraphStore,
+    pub search: SearchIndex<NodeId>,
+    pub ontology: Ontology,
+    /// Reports whose relations failed ontology validation (diagnostics).
+    pub rejected_relations: usize,
+}
+
+impl Default for GraphConnector {
+    fn default() -> Self {
+        GraphConnector {
+            graph: GraphStore::new(),
+            search: SearchIndex::default(),
+            ontology: Ontology::standard(),
+            rejected_relations: 0,
+        }
+    }
+}
+
+impl GraphConnector {
+    /// Fresh empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Function words and other strings that can never be a real concept-entity
+/// name; NER false positives on these would otherwise pollute the graph.
+const IMPLAUSIBLE_NAMES: &[&str] = &[
+    "the", "a", "an", "in", "on", "to", "of", "and", "or", "by", "it", "its", "is", "was",
+    "for", "with", "from", "as", "at", "this", "that", "new", "via",
+];
+
+/// Whether a canonical name is plausible for a concept (non-IOC) entity.
+fn plausible_concept_name(name: &str) -> bool {
+    name.len() >= 3 && !IMPLAUSIBLE_NAMES.contains(&name)
+}
+
+impl Connector for GraphConnector {
+    fn connect(&mut self, cti: &IntermediateCti) {
+        let report_kind = cti.category.entity_kind();
+        let report_node = self.graph.merge_node(
+            report_kind.label(),
+            cti.meta.id.as_str(),
+            [
+                ("title", Value::from(cti.meta.title.clone())),
+                ("source_url", Value::from(cti.meta.url.clone())),
+                ("timestamp", Value::from(cti.meta.fetched_at_ms as i64)),
+            ],
+        );
+        let vendor = self.graph.merge_node(
+            EntityKind::CtiVendor.label(),
+            &cti.meta.vendor,
+            [] as [(&str, Value); 0],
+        );
+        let _ = self.graph.merge_edge(vendor, RelationKind::Publishes.label(), report_node);
+
+        // Entity mentions → merged entity nodes + MENTIONS provenance.
+        let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity(cti.mentions.len());
+        for mention in &cti.mentions {
+            let name = mention.canonical_name();
+            if name.is_empty()
+                || (!mention.kind.is_ioc() && !plausible_concept_name(&name))
+            {
+                nodes.push(None);
+                continue;
+            }
+            let node = self.graph.merge_node(
+                mention.kind.label(),
+                &name,
+                [("description", Value::from(name.clone()))],
+            );
+            let _ = self.graph.merge_edge(report_node, RelationKind::Mentions.label(), node);
+            nodes.push(Some(node));
+        }
+
+        // DESCRIBES: the report's primary subject from structured metadata.
+        for key in ["family", "cve id", "threat actor"] {
+            if let Some(value) = cti.structured.get(key) {
+                if let Some(kind) = StyleParser::kind_for_key(key) {
+                    let name = EntityMention::new(kind, value.clone(), 0, 0).canonical_name();
+                    if let Some(node) = self.graph.node_by_name(kind.label(), &name) {
+                        let _ = self.graph.merge_edge(
+                            report_node,
+                            RelationKind::Describes.label(),
+                            node,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Relations, validated against the ontology.
+        for rel in &cti.relations {
+            let (Some(Some(s)), Some(Some(o))) = (nodes.get(rel.subject), nodes.get(rel.object))
+            else {
+                continue;
+            };
+            let s_kind = cti.mentions[rel.subject].kind;
+            let o_kind = cti.mentions[rel.object].kind;
+            let kind = rel
+                .kind
+                .or_else(|| self.ontology.resolve_extracted(s_kind, &rel.verb, o_kind));
+            match kind {
+                Some(kind) if self.ontology.allows(s_kind, kind, o_kind) => {
+                    if let Ok(edge) = self.graph.merge_edge(*s, kind.label(), *o) {
+                        if kind == RelationKind::RelatedTo {
+                            if let Some(e) = self.graph.edge_mut(edge) {
+                                e.props
+                                    .entry("verb".to_owned())
+                                    .or_insert_with(|| Value::from(rel.verb.clone()));
+                            }
+                        }
+                    }
+                }
+                _ => self.rejected_relations += 1,
+            }
+        }
+
+        // Keyword index entry for the report.
+        self.search.add(report_node, &format!("{}\n{}", cti.meta.title, cti.text));
+    }
+}
+
+/// The alternative RDBMS-style connector (paper §2.1: "he may switch to a
+/// RDBMS using a SQL connector"): flat entity and relation tables.
+#[derive(Debug, Default)]
+pub struct TabularConnector {
+    /// (label, name) rows, unique.
+    pub entities: Vec<(String, String)>,
+    entity_index: HashMap<(String, String), usize>,
+    /// (subject row, relation, object row) rows.
+    pub relations: Vec<(usize, String, usize)>,
+    /// (report id, entity row) provenance rows.
+    pub mentions: Vec<(String, usize)>,
+}
+
+impl TabularConnector {
+    /// Fresh empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn upsert(&mut self, label: &str, name: &str) -> usize {
+        let key = (label.to_owned(), name.to_owned());
+        if let Some(&row) = self.entity_index.get(&key) {
+            return row;
+        }
+        let row = self.entities.len();
+        self.entities.push(key.clone());
+        self.entity_index.insert(key, row);
+        row
+    }
+}
+
+impl Connector for TabularConnector {
+    fn connect(&mut self, cti: &IntermediateCti) {
+        let mut rows = Vec::with_capacity(cti.mentions.len());
+        for mention in &cti.mentions {
+            let name = mention.canonical_name();
+            let row = self.upsert(mention.kind.label(), &name);
+            self.mentions.push((cti.meta.id.as_str().to_owned(), row));
+            rows.push(row);
+        }
+        for rel in &cti.relations {
+            if rel.subject < rows.len() && rel.object < rows.len() {
+                let kind = rel.kind.map(|k| k.label().to_owned()).unwrap_or_else(|| {
+                    RelationKind::RelatedTo.label().to_owned()
+                });
+                self.relations.push((rows[rel.subject], kind, rows[rel.object]));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_ir::FetchStatus;
+
+    fn raw(key: &str, page: u32, total: u32, body: &str) -> RawReport {
+        RawReport {
+            source: kg_ir::SourceId(1),
+            source_name: "securelist".into(),
+            url: format!("https://securelist.example/reports/{key}?page={page}"),
+            report_key: key.into(),
+            page,
+            total_pages: Some(total),
+            status: FetchStatus::Ok,
+            body: body.into(),
+            fetched_at_ms: page as u64,
+        }
+    }
+
+    const ARTICLE: &str = r#"<html><head><title>Emotet deep dive</title></head><body>
+<h1>Emotet deep dive</h1>
+<span class="category">malware</span>
+<table class="meta">
+<tr><th>family</th><td>emotet</td></tr>
+<tr><th>sha256</th><td>aaabbb</td></tr>
+</table>
+<div class="content">
+<p>The emotet malware dropped invoice7.exe on infected hosts.</p>
+<p>Organizations are advised to apply the latest security updates.</p>
+</div>
+</body></html>"#;
+
+    #[test]
+    fn porter_groups_multipage_reports() {
+        let mut porter = DefaultPorter::new();
+        assert!(porter.feed(raw("r1", 1, 2, "<p>page1</p>")).is_none());
+        let done = porter.feed(raw("r1", 2, 2, "<p>page2</p>")).unwrap();
+        assert_eq!(done.pages.len(), 2);
+        assert_eq!(done.id.as_str(), "securelist/r1");
+        assert_eq!(done.fetched_at_ms, 2);
+        // Single-page reports complete immediately.
+        assert!(porter.feed(raw("r2", 1, 1, ARTICLE)).is_some());
+        assert!(porter.flush().is_empty());
+    }
+
+    #[test]
+    fn porter_flush_emits_partials() {
+        let mut porter = DefaultPorter::new();
+        assert!(porter.feed(raw("r9", 1, 2, "<p>only page</p>")).is_none());
+        let flushed = porter.flush();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].pages.len(), 1);
+    }
+
+    #[test]
+    fn checker_screens_ads_and_empty_pages() {
+        let mut porter = DefaultPorter::new();
+        let checker = DefaultChecker::default();
+        let good = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
+        assert!(checker.check(&good));
+        let ad = porter
+            .feed(raw("ad", 1, 1, "<div class=\"ad\">Sponsored</div><div class=\"content\"></div>"))
+            .unwrap();
+        assert!(!checker.check(&ad));
+        let empty = porter
+            .feed(raw("e", 1, 1, "<div class=\"content\"><p>hi</p></div>"))
+            .unwrap();
+        assert!(!checker.check(&empty));
+    }
+
+    #[test]
+    fn dedup_checker_drops_mirrored_articles() {
+        let mut porter = DefaultPorter::new();
+        let dedup = DedupChecker::new();
+        let original = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
+        assert!(dedup.check(&original));
+        // Re-checking the same report id passes (idempotent re-processing).
+        assert!(dedup.check(&original));
+        // The same article under a different id (a mirror) is dropped.
+        let mut mirror = porter.feed(raw("r2", 1, 1, ARTICLE)).unwrap();
+        mirror.source_name = "mirror-site".into();
+        assert!(!dedup.check(&mirror));
+        assert_eq!(dedup.distinct_seen(), 1);
+        // A contentless page is not fingerprinted.
+        let empty = porter.feed(raw("r3", 1, 1, "<p>x</p>")).unwrap();
+        assert!(dedup.check(&empty));
+    }
+
+    #[test]
+    fn composite_checker_requires_all_members() {
+        let composite = CompositeChecker {
+            members: vec![
+                Box::new(DefaultChecker::default()),
+                Box::new(DedupChecker::new()),
+            ],
+        };
+        let mut porter = DefaultPorter::new();
+        let good = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
+        assert!(composite.check(&good));
+        // Fails the dedup member under a new id.
+        let copy = porter.feed(raw("r9", 1, 1, ARTICLE)).unwrap();
+        assert!(!composite.check(&copy));
+        // Fails the default member (ad page).
+        let ad = porter
+            .feed(raw("ad", 1, 1, "<div class=\"ad\">x</div><div class=\"content\"><p>some long enough article body text here</p></div>"))
+            .unwrap();
+        assert!(!composite.check(&ad));
+    }
+
+    #[test]
+    fn style_parser_extracts_structure() {
+        let mut porter = DefaultPorter::new();
+        let report = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
+        let cti = StyleParser { dialect: MetaDialect::Table }.parse(&report).unwrap();
+        assert_eq!(cti.category, ReportCategory::Malware);
+        assert_eq!(cti.meta.title, "Emotet deep dive");
+        assert_eq!(cti.structured["family"], "emotet");
+        assert!(cti.text.starts_with("The emotet malware dropped"));
+        assert_eq!(cti.text.split('\n').count(), 2);
+        // Structured mentions carry their kinds.
+        assert!(cti
+            .mentions
+            .iter()
+            .any(|m| m.kind == EntityKind::Malware && m.origin == MentionOrigin::Structured));
+        assert!(cti.mentions.iter().any(|m| m.kind == EntityKind::HashSha256));
+    }
+
+    #[test]
+    fn registry_sniffs_unknown_sources() {
+        let mut porter = DefaultPorter::new();
+        let report = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
+        let registry = ParserRegistry::new();
+        let cti = registry.parse(&report).unwrap();
+        assert_eq!(cti.structured.len(), 2);
+        assert_eq!(StyleParser::sniff(ARTICLE), MetaDialect::Table);
+        assert_eq!(StyleParser::sniff("<p>plain</p>"), MetaDialect::None);
+    }
+
+    #[test]
+    fn graph_connector_builds_provenance_and_merges() {
+        let mut porter = DefaultPorter::new();
+        let registry = ParserRegistry::new();
+        let mut connector = GraphConnector::new();
+        for key in ["r1", "r2"] {
+            let report = porter.feed(raw(key, 1, 1, ARTICLE)).unwrap();
+            let cti = registry.parse(&report).unwrap();
+            connector.connect(&cti);
+        }
+        let g = &connector.graph;
+        // Two reports, one vendor, one malware entity (merged), one hash.
+        assert_eq!(g.nodes_with_label("MalwareReport").len(), 2);
+        assert_eq!(g.nodes_with_label("CtiVendor").len(), 1);
+        assert_eq!(g.nodes_with_label("Malware").len(), 1);
+        let emotet = g.node_by_name("Malware", "emotet").unwrap();
+        // Both reports mention it.
+        assert_eq!(
+            g.incoming(emotet)
+                .iter()
+                .filter(|e| e.rel_type == "MENTIONS")
+                .count(),
+            2
+        );
+        // DESCRIBES from structured metadata.
+        assert!(g.incoming(emotet).iter().any(|e| e.rel_type == "DESCRIBES"));
+        // Keyword search reaches the reports.
+        assert_eq!(connector.search.search("emotet", 10).len(), 2);
+    }
+
+    #[test]
+    fn graph_connector_validates_relations() {
+        let meta = ReportMeta {
+            id: ReportId::new("s", "k"),
+            source: kg_ir::SourceId(0),
+            vendor: "s".into(),
+            title: "t".into(),
+            url: "u".into(),
+            fetched_at_ms: 0,
+            published_at_ms: None,
+        };
+        let mut cti = IntermediateCti::new(meta, ReportCategory::Malware);
+        cti.text = "x".into();
+        let m = cti.push_mention(EntityMention::new(EntityKind::Malware, "zeus", 0, 0));
+        let f = cti.push_mention(EntityMention::new(EntityKind::FileName, "a.exe", 0, 0));
+        // Valid: zeus DROP a.exe. Invalid: a.exe DROP zeus.
+        cti.relations.push(RelationMention::new(m, f, "drop").with_kind(RelationKind::Drop));
+        cti.relations.push(RelationMention::new(f, m, "drop").with_kind(RelationKind::Drop));
+        let mut connector = GraphConnector::new();
+        connector.connect(&cti);
+        assert_eq!(connector.rejected_relations, 1);
+        let zeus = connector.graph.node_by_name("Malware", "zeus").unwrap();
+        assert_eq!(
+            connector
+                .graph
+                .outgoing(zeus)
+                .iter()
+                .filter(|e| e.rel_type == "DROP")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn graph_connector_drops_implausible_concept_names() {
+        let meta = ReportMeta {
+            id: ReportId::new("s", "k"),
+            source: kg_ir::SourceId(0),
+            vendor: "s".into(),
+            title: "t".into(),
+            url: "u".into(),
+            fetched_at_ms: 0,
+            published_at_ms: None,
+        };
+        let mut cti = IntermediateCti::new(meta, ReportCategory::Attack);
+        cti.text = "x".into();
+        // NER false positives on function words must not become entities...
+        cti.push_mention(EntityMention::new(EntityKind::ThreatActor, "in", 0, 0));
+        cti.push_mention(EntityMention::new(EntityKind::Malware, "to", 0, 0));
+        // ...but real names and short IOCs survive.
+        cti.push_mention(EntityMention::new(EntityKind::ThreatActor, "apt29", 0, 0));
+        let mut connector = GraphConnector::new();
+        connector.connect(&cti);
+        assert!(connector.graph.node_by_name("ThreatActor", "in").is_none());
+        assert!(connector.graph.node_by_name("Malware", "to").is_none());
+        assert!(connector.graph.node_by_name("ThreatActor", "apt29").is_some());
+    }
+
+    #[test]
+    fn tabular_connector_flattens() {
+        let mut porter = DefaultPorter::new();
+        let registry = ParserRegistry::new();
+        let mut connector = TabularConnector::new();
+        for key in ["r1", "r2"] {
+            let report = porter.feed(raw(key, 1, 1, ARTICLE)).unwrap();
+            let cti = registry.parse(&report).unwrap();
+            connector.connect(&cti);
+        }
+        // emotet + hash, deduplicated across reports.
+        assert_eq!(connector.entities.len(), 2);
+        assert_eq!(connector.mentions.len(), 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! Full-text keyword search over the knowledge graph (paper §2.6: "the user
+//! can search information using keywords (through Elasticsearch)").
+//!
+//! A BM25-ranked inverted index, replacing Elasticsearch per DESIGN.md. The
+//! tokenizer is the IOC-protected tokenizer from `kg-nlp`, so indicator
+//! strings ("tasksche.exe", "10.0.0.1") are single searchable terms exactly
+//! as a CTI analyst expects.
+
+use kg_nlp::{tokenize_protected, IocMatcher};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bm25Params {
+    pub k1: f64,
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A scored hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit<D> {
+    pub doc: D,
+    pub score: f64,
+}
+
+/// One posting: document slot + term frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Posting {
+    doc: u32,
+    tf: u32,
+}
+
+/// An inverted index over documents identified by an arbitrary key type
+/// (the knowledge graph uses node ids; the pipeline uses report ids).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchIndex<D> {
+    params: Bm25Params,
+    /// term → postings (document slots ascending).
+    postings: HashMap<String, Vec<Posting>>,
+    /// slot → (external doc key, token count).
+    docs: Vec<(D, u32)>,
+    /// external key → slot, to support re-indexing.
+    total_tokens: u64,
+}
+
+impl<D: Clone + PartialEq> Default for SearchIndex<D> {
+    fn default() -> Self {
+        Self::new(Bm25Params::default())
+    }
+}
+
+impl<D: Clone + PartialEq> SearchIndex<D> {
+    /// An empty index.
+    pub fn new(params: Bm25Params) -> Self {
+        SearchIndex { params, postings: HashMap::new(), docs: Vec::new(), total_tokens: 0 }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Tokenize text into lowercase index terms (IOC-protected).
+    pub fn terms(text: &str) -> Vec<String> {
+        let matcher = IocMatcher::standard();
+        tokenize_protected(text, &matcher)
+            .into_iter()
+            .filter(|t| t.kind != kg_nlp::TokenKind::Punct)
+            .map(|t| t.text.to_lowercase())
+            .collect()
+    }
+
+    /// Index one document. Re-adding the same key indexes a new version
+    /// alongside the old one; prefer one `add` per key.
+    pub fn add(&mut self, key: D, text: &str) {
+        let terms = Self::terms(text);
+        let slot = self.docs.len() as u32;
+        self.docs.push((key, terms.len() as u32));
+        self.total_tokens += terms.len() as u64;
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for term in terms {
+            *counts.entry(term).or_insert(0) += 1;
+        }
+        for (term, tf) in counts {
+            self.postings.entry(term).or_default().push(Posting { doc: slot, tf });
+        }
+    }
+
+    /// BM25 top-k search. Multi-term queries score documents matching any
+    /// term (OR semantics, like a default Elasticsearch match query).
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit<D>> {
+        if self.docs.is_empty() {
+            return Vec::new();
+        }
+        let n = self.docs.len() as f64;
+        let avg_len = self.total_tokens as f64 / n;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in Self::terms(query) {
+            let Some(postings) = self.postings.get(&term) else { continue };
+            let df = postings.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for p in postings {
+                let doc_len = self.docs[p.doc as usize].1 as f64;
+                let tf = p.tf as f64;
+                let denom = tf
+                    + self.params.k1
+                        * (1.0 - self.params.b + self.params.b * doc_len / avg_len.max(1e-9));
+                *scores.entry(p.doc).or_insert(0.0) += idf * (tf * (self.params.k1 + 1.0)) / denom;
+            }
+        }
+        let mut hits: Vec<(u32, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        hits.truncate(k);
+        hits.into_iter()
+            .map(|(slot, score)| Hit { doc: self.docs[slot as usize].0.clone(), score })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> SearchIndex<u32> {
+        let mut idx = SearchIndex::default();
+        idx.add(1, "wannacry ransomware encrypts files and drops tasksche.exe");
+        idx.add(2, "emotet banking trojan spreads via phishing email campaigns");
+        idx.add(3, "analysis of wannacry kill switch domain and smb exploitation");
+        idx.add(4, "cozyduke threat actor targets government networks");
+        idx
+    }
+
+    #[test]
+    fn keyword_search_ranks_matching_docs() {
+        let idx = index();
+        let hits = idx.search("wannacry", 10);
+        assert_eq!(hits.len(), 2);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&1) && docs.contains(&3));
+        assert!(hits[0].score >= hits[1].score);
+    }
+
+    #[test]
+    fn ioc_terms_are_single_tokens() {
+        let idx = index();
+        let hits = idx.search("tasksche.exe", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, 1);
+        // The fragment "tasksche" alone also misses (the IOC is one term).
+        assert!(idx.search("exe", 10).is_empty());
+    }
+
+    #[test]
+    fn multi_term_or_semantics_prefers_doc_matching_both() {
+        let idx = index();
+        let hits = idx.search("wannacry smb", 10);
+        assert_eq!(hits[0].doc, 3, "{hits:?}");
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let mut idx = SearchIndex::default();
+        for i in 0..20u32 {
+            idx.add(i, "malware report about campaigns");
+        }
+        idx.add(100, "malware report mentioning quuxbot");
+        let hits = idx.search("quuxbot malware", 3);
+        assert_eq!(hits[0].doc, 100);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let idx = index();
+        assert_eq!(idx.search("WannaCry", 10).len(), 2);
+        assert_eq!(idx.search("COZYDUKE", 10).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_missing_queries() {
+        let idx = index();
+        assert!(idx.search("zebra unicorn", 10).is_empty());
+        assert!(idx.search("", 10).is_empty());
+        let empty: SearchIndex<u32> = SearchIndex::default();
+        assert!(empty.search("anything", 10).is_empty());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut idx = SearchIndex::default();
+        for i in 0..50u32 {
+            idx.add(i, "repeated malware text");
+        }
+        assert_eq!(idx.search("malware", 5).len(), 5);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.term_count() >= 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let idx = index();
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: SearchIndex<u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.search("wannacry", 10).len(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Demo scenarios 2 and 3 (paper §3): the cozyduke investigation and the
+//! Cypher cross-check.
+//!
+//! ```sh
+//! cargo run --example cozyduke_hunt --release
+//! ```
+//!
+//! Scenario 2: keyword search the threat actor "cozyduke", investigate the
+//! techniques it uses, and "check if there are other threat actors that use
+//! the same set of techniques".
+//!
+//! Scenario 3: execute `match (n) where n.name = "wannacry" return n` and
+//! demonstrate "that the same wannacry node will be returned as in the
+//! first scenario".
+
+use securitykg::corpus::WorldConfig;
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+
+fn main() {
+    let config = SystemConfig {
+        world: WorldConfig {
+            malware_count: 25,
+            actor_count: 12,
+            cve_count: 40,
+            campaign_count: 10,
+            seed: 0xD340, // same world as wannacry_investigation
+        },
+        articles_per_source: 30,
+        training: TrainingConfig { articles: 150, ..TrainingConfig::default() },
+        ..SystemConfig::default()
+    };
+    // Without the analyst alias table, cozyduke's tradecraft scatters over
+    // its vendor names (apt29 / cozy bear / the dukes); fusing with the
+    // table unifies it onto one canonical actor node.
+    let mut config = config;
+    config.fusion.alias_groups = securitykg::corpus::names::MALWARE_ALIASES
+        .iter()
+        .chain(securitykg::corpus::names::ACTOR_ALIASES.iter())
+        .map(|group| group.iter().map(|s| (*s).to_owned()).collect())
+        .collect();
+    println!("building the knowledge graph...");
+    let mut kg = SecurityKg::bootstrap(&config);
+    kg.crawl_and_ingest();
+    kg.fuse();
+    println!(
+        "graph ready: {} nodes, {} edges\n",
+        kg.graph().node_count(),
+        kg.graph().edge_count()
+    );
+
+    // ---- Scenario 2 -------------------------------------------------------
+    println!("scenario 2 — keyword search \"cozyduke\"");
+    let hits = kg.keyword_search("cozyduke", 8);
+    println!("  {} hits", hits.len());
+    let cozyduke = kg
+        .find_entity("ThreatActor", "cozyduke")
+        .expect("cozyduke node (dense corpus covers it)");
+    // The investigated actor: cozyduke if the sampled corpus captured its
+    // tradecraft, otherwise the best-covered actor (small corpora may not
+    // include a cozyduke USES sentence the extractor caught).
+    let subject = if kg.graph().outgoing(cozyduke).iter().any(|e| e.rel_type == "USES") {
+        cozyduke
+    } else {
+        println!("  (corpus sample has no cozyduke technique edges; using the best-covered actor)");
+        kg.graph()
+            .nodes_with_label("ThreatActor")
+            .into_iter()
+            .max_by_key(|&a| {
+                kg.graph().outgoing(a).iter().filter(|e| e.rel_type == "USES").count()
+            })
+            .unwrap()
+    };
+    let subject_name = kg.graph().node(subject).unwrap().name().unwrap().to_owned();
+
+    println!("\n  techniques used by {subject_name}:");
+    let techniques = kg
+        .cypher(&format!(
+            "MATCH (a:ThreatActor {{name: '{subject_name}'}})-[:USES]->(t:Technique) \
+             RETURN t.name ORDER BY t.name",
+        ))
+        .unwrap();
+    for row in &techniques.rows {
+        println!("    - {}", row[0]);
+    }
+
+    println!("\n  other actors sharing those techniques:");
+    let overlap = kg
+        .cypher(&format!(
+            "MATCH (a:ThreatActor {{name: '{subject_name}'}})-[:USES]->(t:Technique)\
+             <-[:USES]-(other:ThreatActor) \
+             RETURN other.name, count(t) AS shared ORDER BY count(t) DESC",
+        ))
+        .unwrap();
+    if overlap.rows.is_empty() {
+        println!("    (none in this corpus sample)");
+    }
+    for row in &overlap.rows {
+        println!("    {:<25} shares {} technique(s)", row[0].to_string(), row[1]);
+    }
+    // The world seeds a "technique twin" for cozyduke, so with dense
+    // coverage at least one actor shares the full set.
+    if let Some(top) = overlap.rows.first() {
+        let shared = top[1].as_int().unwrap_or(0) as usize;
+        println!(
+            "\n  verdict: {} shares {}/{} of {subject_name}'s techniques",
+            top[0],
+            shared,
+            techniques.rows.len()
+        );
+    }
+
+    // ---- Scenario 3 -------------------------------------------------------
+    println!("\nscenario 3 — cypher: match (n) where n.name = \"wannacry\" return n");
+    let result = kg.cypher("match (n) where n.name = \"wannacry\" return n").unwrap();
+    println!("  returned {} node(s)", result.rows.len());
+    let keyword_hit = kg.graph().node_by_name("Malware", "wannacry");
+    match (result.node_ids().first(), keyword_hit) {
+        (Some(&from_cypher), Some(from_keyword)) => {
+            assert_eq!(from_cypher, from_keyword);
+            println!("  ✓ identical to the node scenario 1's keyword search returns");
+        }
+        _ => println!("  (wannacry not covered by this corpus sample)"),
+    }
+
+    // "We then execute other queries."
+    println!("\nother queries:");
+    for query in [
+        "MATCH (m:Malware)-[:EXPLOITS]->(v:Vulnerability) RETURN m.name, v.name LIMIT 5",
+        "MATCH (v:CtiVendor)-[:PUBLISHES]->(r) RETURN v.name, count(r) AS reports \
+         ORDER BY count(r) DESC LIMIT 3",
+        "MATCH (m:Malware)-[:ATTRIBUTED_TO]->(a:ThreatActor) RETURN m.name, a.name LIMIT 5",
+    ] {
+        println!("  > {query}");
+        match kg.cypher(query) {
+            Ok(result) => {
+                for row in result.rows.iter().take(5) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("      {}", cells.join(" | "));
+                }
+            }
+            Err(e) => println!("      error: {e}"),
+        }
+    }
+}

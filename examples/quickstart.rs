@@ -1,0 +1,84 @@
+//! Quickstart: build a small SecurityKG end-to-end and query it.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! The five minutes of SecurityKG: bootstrap (generate the simulated OSCTI
+//! web + train the extraction model), crawl, process, store, then query the
+//! knowledge graph by keyword and by Cypher.
+
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+use securitykg::corpus::WorldConfig;
+
+fn main() {
+    // A small but complete configuration: 42 sources, ~8 articles each.
+    let config = SystemConfig {
+        world: WorldConfig {
+            malware_count: 30,
+            actor_count: 15,
+            cve_count: 40,
+            campaign_count: 10,
+            seed: 1,
+        },
+        articles_per_source: 8,
+        training: TrainingConfig { articles: 120, ..TrainingConfig::default() },
+        ..SystemConfig::default()
+    };
+
+    println!("bootstrapping SecurityKG (world generation + extractor training)...");
+    let mut kg = SecurityKg::bootstrap(&config);
+
+    println!("crawling all 42 sources and ingesting through the pipeline...");
+    let report = kg.crawl_and_ingest();
+    println!(
+        "  crawled {} new reports ({} pages), ingested {}",
+        report.crawl.new_reports, report.crawl.pages_fetched, report.reports_ingested
+    );
+    println!(
+        "  knowledge graph: {} nodes, {} edges",
+        kg.graph().node_count(),
+        kg.graph().edge_count()
+    );
+
+    println!("\nnode counts by label:");
+    for (label, count) in kg.graph().label_histogram() {
+        println!("  {label:<20} {count}");
+    }
+
+    // Knowledge fusion: merge vendor naming conventions.
+    let fusion = kg.fuse();
+    println!(
+        "\nknowledge fusion: merged {} alias clusters, removed {} duplicate nodes",
+        fusion.clusters_merged, fusion.nodes_removed
+    );
+
+    // Keyword search (the Elasticsearch path).
+    let malware = kg.graph().nodes_with_label("Malware");
+    let example = kg
+        .graph()
+        .node(*malware.first().expect("some malware"))
+        .unwrap()
+        .name()
+        .unwrap()
+        .to_owned();
+    println!("\nkeyword search {example:?}:");
+    for id in kg.keyword_search(&example, 5) {
+        let node = kg.graph().node(id).unwrap();
+        println!("  [{}] {}", node.label, node.name().unwrap_or("?"));
+    }
+
+    // Cypher (the Neo4j path).
+    println!("\ncypher: top threat actors by technique count");
+    let result = kg
+        .cypher(
+            "MATCH (a:ThreatActor)-[:USES]->(t:Technique) \
+             RETURN a.name, count(t) AS techniques ORDER BY count(t) DESC LIMIT 5",
+        )
+        .expect("valid query");
+    for row in &result.rows {
+        println!("  {:<25} {}", row[0], row[1]);
+    }
+
+    println!("\ndone. Try the wannacry_investigation and cozyduke_hunt examples next.");
+}

@@ -1,0 +1,121 @@
+//! Demo scenario 1 (paper §3): investigate the wannacry ransomware.
+//!
+//! ```sh
+//! cargo run --example wannacry_investigation --release
+//! ```
+//!
+//! Reproduces the paper's first walkthrough: keyword search for "wannacry",
+//! detailed information display, node expansion, automatic graph layout,
+//! node dragging (lock-in-place), collapse — ending "with a subgraph that
+//! shows all the relevant information (entities) of the wannacry
+//! ransomware".
+
+use securitykg::corpus::WorldConfig;
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+
+fn main() {
+    // Dense coverage of a compact world so wannacry is richly reported.
+    let config = SystemConfig {
+        world: WorldConfig {
+            malware_count: 25,
+            actor_count: 12,
+            cve_count: 40,
+            campaign_count: 10,
+            seed: 0xD340,
+        },
+        articles_per_source: 30,
+        training: TrainingConfig { articles: 150, ..TrainingConfig::default() },
+        ..SystemConfig::default()
+    };
+    println!("building the knowledge graph (bootstrap + crawl + ingest + fuse)...");
+    let mut kg = SecurityKg::bootstrap(&config);
+    kg.crawl_and_ingest();
+    kg.fuse();
+    println!(
+        "graph ready: {} nodes, {} edges\n",
+        kg.graph().node_count(),
+        kg.graph().edge_count()
+    );
+
+    // Step 1: keyword search.
+    println!("step 1 — keyword search \"wannacry\"");
+    let mut explorer = kg.explorer();
+    explorer.search("wannacry", 8);
+    let wannacry = kg
+        .graph()
+        .node_by_name("Malware", "wannacry")
+        .expect("wannacry node (dense corpus covers it)");
+    assert!(explorer.visible().contains(&wannacry));
+    println!("  {} result nodes; wannacry node found\n", explorer.visible().len());
+
+    // Step 2: detailed information display (hover).
+    let node = kg.graph().node(wannacry).unwrap();
+    println!("step 2 — node details (hover):");
+    println!("  label: {}", node.label);
+    for (key, value) in &node.props {
+        println!("  {key}: {value}");
+    }
+    println!("  degree: {}\n", kg.graph().degree(wannacry));
+
+    // Step 3: expansion (double-click) + automatic layout.
+    println!("step 3 — double-click to expand neighbours; Barnes–Hut layout runs");
+    explorer.show(vec![wannacry]);
+    explorer.toggle(wannacry);
+    explorer.run_layout(150);
+    let snapshot = explorer.snapshot();
+    println!("  visible subgraph: {} nodes, {} edges", snapshot.nodes.len(), snapshot.edges.len());
+    for (a, b, rel) in snapshot.edges.iter().take(12) {
+        println!(
+            "    ({}) -[{}]-> ({})",
+            snapshot.nodes[*a].name, rel, snapshot.nodes[*b].name
+        );
+    }
+    println!();
+
+    // Step 4: drag a node — it locks in place.
+    if let Some(other) = explorer.visible().iter().copied().find(|&n| n != wannacry) {
+        println!("step 4 — drag a node; it locks in place while layout continues");
+        explorer.drag(other, 250.0, 0.0);
+        explorer.run_layout(60);
+        let snap = explorer.snapshot();
+        let dragged = snap.nodes.iter().find(|n| n.id == other.0).unwrap();
+        println!(
+            "  dragged node {:?} stayed at ({:.0}, {:.0}), locked = {}\n",
+            dragged.name, dragged.x, dragged.y, dragged.locked
+        );
+    }
+
+    // Step 5: the final investigation subgraph.
+    println!("step 5 — final wannacry subgraph (what the demo ends with):");
+    let facts = kg
+        .graph()
+        .query_readonly(
+            "MATCH (m:Malware {name: 'wannacry'})-[r]->(x) RETURN x.name ORDER BY x.name",
+        )
+        .unwrap();
+    let outgoing = kg.graph().outgoing(wannacry);
+    for edge in &outgoing {
+        let target = kg.graph().node(edge.to).unwrap();
+        println!(
+            "  wannacry -[{}]-> [{}] {}",
+            edge.rel_type,
+            target.label,
+            target.name().unwrap_or("?")
+        );
+    }
+    println!(
+        "\n{} outgoing facts; {} mentioned-by reports (Cypher row count: {})",
+        outgoing.len(),
+        kg.graph()
+            .incoming(wannacry)
+            .iter()
+            .filter(|e| e.rel_type == "MENTIONS")
+            .count(),
+        facts.rows.len()
+    );
+
+    // Step 6: collapse back (double-click again).
+    explorer.toggle(wannacry);
+    println!("\nstep 6 — double-click again collapses the expansion: {} node(s) visible",
+        explorer.visible().len());
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the SecurityKG reproduction workspace.
+//!
+//! Re-exports the public crates so the root `examples/` and `tests/`
+//! can use a single dependency surface.
+
+pub use kg_corpus as corpus;
+pub use kg_crawler as crawler;
+pub use kg_extract as extract;
+pub use kg_fusion as fusion;
+pub use kg_graph as graph;
+pub use kg_ir as ir;
+pub use kg_layout as layout;
+pub use kg_nlp as nlp;
+pub use kg_ontology as ontology;
+pub use kg_pipeline as pipeline;
+pub use kg_search as search;
+pub use securitykg as kg;

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full SecurityKG flow, checked against
+//! the simulated world's ground truth.
+
+use securitykg::corpus::WorldConfig;
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+
+fn dense_config(seed: u64) -> SystemConfig {
+    SystemConfig {
+        world: WorldConfig {
+            malware_count: 20,
+            actor_count: 10,
+            cve_count: 30,
+            campaign_count: 8,
+            seed,
+        },
+        articles_per_source: 20,
+        training: TrainingConfig { articles: 120, ..TrainingConfig::default() },
+        ..SystemConfig::default()
+    }
+}
+
+#[test]
+fn knowledge_graph_contains_world_facts() {
+    let mut kg = SecurityKg::bootstrap(&dense_config(0xFACE));
+    let report = kg.crawl_and_ingest();
+    assert!(report.reports_ingested > 300, "{}", report.reports_ingested);
+
+    // The wannacry facts pinned in the world must surface in the graph.
+    let graph = kg.graph();
+    let wannacry = graph.node_by_name("Malware", "wannacry").expect("wannacry node");
+    let dropped: Vec<&str> = graph
+        .outgoing(wannacry)
+        .iter()
+        .filter(|e| e.rel_type == "DROP")
+        .map(|e| graph.node(e.to).unwrap().name().unwrap())
+        .collect();
+    assert!(
+        dropped.contains(&"tasksche.exe") || dropped.contains(&"mssecsvc.exe"),
+        "wannacry DROP edges: {dropped:?}"
+    );
+    let exploits: Vec<&str> = graph
+        .outgoing(wannacry)
+        .iter()
+        .filter(|e| e.rel_type == "EXPLOITS")
+        .map(|e| graph.node(e.to).unwrap().name().unwrap())
+        .collect();
+    assert!(exploits.contains(&"cve-2017-0144"), "{exploits:?}");
+}
+
+#[test]
+fn every_stored_relation_is_ontology_legal() {
+    let mut kg = SecurityKg::bootstrap_without_ner(&dense_config(0xBEEF));
+    kg.crawl_and_ingest();
+    let ontology = securitykg::ontology::Ontology::standard();
+    let graph = kg.graph();
+    for edge in graph.all_edges() {
+        let s: securitykg::ontology::EntityKind =
+            graph.node(edge.from).unwrap().label.parse().unwrap();
+        let o: securitykg::ontology::EntityKind =
+            graph.node(edge.to).unwrap().label.parse().unwrap();
+        let r: securitykg::ontology::RelationKind = edge.rel_type.parse().unwrap();
+        assert!(
+            ontology.allows(s, r, o),
+            "illegal stored triplet <{s}, {r}, {o}>"
+        );
+    }
+}
+
+#[test]
+fn incremental_crawl_grows_the_graph_monotonically() {
+    let mut config = dense_config(0xCAFE);
+    config.articles_per_source = 30;
+    let mut kg = SecurityKg::bootstrap_without_ner(&config);
+    // Start the clock early so only part of the catalog is published.
+    kg.now_ms = kg.web().sources()[0].publish_time_ms(8);
+    let first = kg.crawl_and_ingest();
+    let nodes_after_first = kg.graph().node_count();
+    assert!(first.reports_ingested > 0);
+
+    // Advance time: more articles publish; second crawl is incremental.
+    kg.now_ms = u64::MAX / 4;
+    let second = kg.crawl_and_ingest();
+    assert!(second.reports_ingested > 0, "new publications must be crawled");
+    assert!(kg.graph().node_count() > nodes_after_first);
+
+    // Subsequent crawls converge: articles that hard-failed on flaky
+    // sources may still trickle in for a cycle or two, but with no new
+    // publications the crawl reaches a fixpoint of zero new reports.
+    let mut converged = false;
+    for _ in 0..6 {
+        if kg.crawl_and_ingest().reports_ingested == 0 {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "crawl must reach a fixpoint once the catalog is exhausted");
+}
+
+#[test]
+fn fusion_unifies_vendor_naming_conventions() {
+    let mut kg = SecurityKg::bootstrap_without_ner(&dense_config(0xA11A));
+    kg.crawl_and_ingest();
+    // Sources use per-vendor aliases, so alias groups appear as separate
+    // nodes pre-fusion whenever ≥2 aliases were written about.
+    let graph = kg.graph();
+    let alias_groups = &securitykg::corpus::names::MALWARE_ALIASES;
+    let mut splittable = 0;
+    for group in alias_groups.iter() {
+        let present = group
+            .iter()
+            .filter(|a| graph.node_by_name("Malware", &a.to_lowercase()).is_some())
+            .count();
+        if present >= 2 {
+            splittable += 1;
+        }
+    }
+    assert!(splittable > 0, "corpus should produce alias duplicates");
+
+    let report = kg.fuse();
+    assert!(report.clusters_merged > 0);
+    // After fusion with the default (similarity-only) config, the
+    // string-similar alias groups collapse.
+    let graph = kg.graph();
+    let wannacry_variants = ["wannacry", "wannacrypt", "wanna decryptor"]
+        .iter()
+        .filter(|a| graph.node_by_name("Malware", a).is_some())
+        .count();
+    assert!(wannacry_variants <= 1, "similar aliases must have merged");
+}
+
+#[test]
+fn demo_cypher_and_keyword_agree() {
+    let mut kg = SecurityKg::bootstrap_without_ner(&dense_config(0xD00D));
+    kg.crawl_and_ingest();
+    let from_keyword = kg.graph().node_by_name("Malware", "wannacry").expect("wannacry");
+    let result = kg.cypher("match (n) where n.name = \"wannacry\" return n").unwrap();
+    assert_eq!(result.node_ids(), vec![from_keyword]);
+    // And the keyword path surfaces it too.
+    assert!(kg.keyword_search("wannacry", 10).contains(&from_keyword));
+}
+
+#[test]
+fn graph_persistence_round_trips_a_real_build() {
+    let mut kg = SecurityKg::bootstrap_without_ner(&dense_config(0x5A5A));
+    kg.crawl_and_ingest();
+    let bytes = kg.graph().to_bytes().unwrap();
+    let restored = securitykg::graph::GraphStore::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.node_count(), kg.graph().node_count());
+    assert_eq!(restored.edge_count(), kg.graph().edge_count());
+    // Indexes rebuilt: lookups still work.
+    let malware = restored.nodes_with_label("Malware");
+    assert!(!malware.is_empty());
+    let name = restored.node(malware[0]).unwrap().name().unwrap();
+    assert_eq!(restored.node_by_name("Malware", name), Some(malware[0]));
+}

