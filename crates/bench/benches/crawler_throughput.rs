@@ -15,14 +15,21 @@ fn bench_crawl(c: &mut Criterion) {
     let mut group = c.benchmark_group("crawler/full_cycle");
     group.sample_size(10);
     for threads in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let config = CrawlerConfig { threads, ..CrawlerConfig::default() };
-            b.iter(|| {
-                let mut state = CrawlState::new();
-                let (reports, metrics) = crawl_all(&web, &mut state, &config, FOREVER);
-                black_box((reports.len(), metrics.new_reports))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let config = CrawlerConfig {
+                    threads,
+                    ..CrawlerConfig::default()
+                };
+                b.iter(|| {
+                    let mut state = CrawlState::new();
+                    let (reports, metrics) = crawl_all(&web, &mut state, &config, FOREVER);
+                    black_box((reports.len(), metrics.new_reports))
+                });
+            },
+        );
     }
     group.finish();
 

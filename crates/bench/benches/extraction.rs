@@ -40,7 +40,10 @@ fn bench_extraction(c: &mut Criterion) {
 
     let trained = train_ner(
         &web,
-        &TrainingConfig { articles: 80, ..TrainingConfig::default() },
+        &TrainingConfig {
+            articles: 80,
+            ..TrainingConfig::default()
+        },
     );
     let pipeline = trained.into_pipeline();
     let mut group = c.benchmark_group("extraction/model");
@@ -64,7 +67,10 @@ fn bench_extraction(c: &mut Criterion) {
         b.iter(|| {
             let t = train_ner(
                 &web,
-                &TrainingConfig { articles: 80, ..TrainingConfig::default() },
+                &TrainingConfig {
+                    articles: 80,
+                    ..TrainingConfig::default()
+                },
             );
             black_box(t.lf_accuracies.len())
         });

@@ -16,17 +16,13 @@ fn aliased_graph(n: usize) -> GraphStore {
             "FileName",
             [("name", Value::from(format!("payload{i}.exe")))],
         );
-        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
         if i % 5 == 0 {
-            let alias = g.create_node(
-                "Malware",
-                [("name", Value::from(format!("family {i:05}")))],
-            );
-            let d = g.create_node(
-                "Domain",
-                [("name", Value::from(format!("c2-{i}.evil.ru")))],
-            );
-            g.create_edge(alias, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+            let alias = g.create_node("Malware", [("name", Value::from(format!("family {i:05}")))]);
+            let d = g.create_node("Domain", [("name", Value::from(format!("c2-{i}.evil.ru")))]);
+            g.create_edge(alias, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+                .unwrap();
         }
     }
     g

@@ -16,9 +16,12 @@ fn kg(n: usize) -> GraphStore {
             "RegistryKey",
             [("name", Value::from(format!("hklm\\run\\k{i}")))],
         );
-        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(m, "PERSISTS_VIA", r, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(m, "PERSISTS_VIA", r, [] as [(&str, Value); 0])
+            .unwrap();
     }
     g
 }

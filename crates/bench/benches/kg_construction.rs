@@ -29,7 +29,9 @@ fn prepared_ctis() -> Vec<IntermediateCti> {
     let web = small_web(0xBE6);
     let mut state = CrawlState::new();
     let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
-    let extractor = IocOnlyExtractor { baseline: Arc::new(RegexNerBaseline::new(vec![])) };
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![])),
+    };
     run_sequential(
         reports,
         &ParserRegistry::new(),
@@ -86,7 +88,10 @@ fn bench_construction(c: &mut Criterion) {
             let from = nodes[i % nodes.len()];
             let to = nodes[(i * 7 + 1) % nodes.len()];
             i += 1;
-            black_box(g.create_edge(from, "RELATED_TO", to, [] as [(&str, Value); 0]).unwrap())
+            black_box(
+                g.create_edge(from, "RELATED_TO", to, [] as [(&str, Value); 0])
+                    .unwrap(),
+            )
         });
     });
 }

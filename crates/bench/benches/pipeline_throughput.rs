@@ -11,8 +11,7 @@ use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
 use kg_extract::RegexNerBaseline;
 use kg_ir::RawReport;
 use kg_pipeline::{
-    run_pipelined, run_sequential, GraphConnector, IocOnlyExtractor, ParserRegistry,
-    PipelineConfig,
+    run_pipelined, run_sequential, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -26,7 +25,9 @@ fn corpus() -> Vec<RawReport> {
 fn bench_pipeline(c: &mut Criterion) {
     let reports = corpus();
     let registry = ParserRegistry::new();
-    let extractor = IocOnlyExtractor { baseline: Arc::new(RegexNerBaseline::new(vec![])) };
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![])),
+    };
 
     let mut group = c.benchmark_group("pipeline/end_to_end");
     group.sample_size(10);
@@ -55,7 +56,10 @@ fn bench_pipeline(c: &mut Criterion) {
         });
     });
     group.bench_function("pipelined_serialized_transport", |b| {
-        let config = PipelineConfig { serialize_transport: true, ..PipelineConfig::default() };
+        let config = PipelineConfig {
+            serialize_transport: true,
+            ..PipelineConfig::default()
+        };
         b.iter(|| {
             let out = run_pipelined(
                 reports.clone(),

@@ -70,9 +70,7 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 graph
-                    .query_readonly(
-                        "MATCH (m:Malware)-[:MENTIONS]-(r) RETURN m.name LIMIT 20",
-                    )
+                    .query_readonly("MATCH (m:Malware)-[:MENTIONS]-(r) RETURN m.name LIMIT 20")
                     .unwrap()
                     .rows
                     .len(),

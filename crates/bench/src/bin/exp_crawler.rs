@@ -34,7 +34,10 @@ fn main() {
     ]);
     for threads in [1usize, 2, 4, 8, 16] {
         let mut state = CrawlState::new();
-        let config = CrawlerConfig { threads, ..CrawlerConfig::default() };
+        let config = CrawlerConfig {
+            threads,
+            ..CrawlerConfig::default()
+        };
         let (_, m) = crawl_all(&web, &mut state, &config, FOREVER);
         table.row(vec![
             threads.to_string(),

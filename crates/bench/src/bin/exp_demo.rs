@@ -27,7 +27,10 @@ fn main() {
             seed: 0xE8,
         },
         articles_per_source: 60,
-        training: TrainingConfig { articles: 200, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 200,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     };
     // The analyst-curated alias table (as MISP galaxy clusters provide in
@@ -55,15 +58,23 @@ fn main() {
     let hits = kg.keyword_search("wannacry", 10);
     let keyword_us = t.elapsed().as_micros();
     let wannacry = kg.graph().node_by_name("Malware", "wannacry");
-    println!("  {} hits in {} µs; malware node present: {}", hits.len(), keyword_us,
-        wannacry.is_some());
+    println!(
+        "  {} hits in {} µs; malware node present: {}",
+        hits.len(),
+        keyword_us,
+        wannacry.is_some()
+    );
     if let Some(node) = wannacry {
         let mut explorer = kg.explorer();
         explorer.show(vec![node]);
         explorer.expand(node);
         explorer.run_layout(100);
         let snap = explorer.snapshot();
-        println!("  expanded subgraph: {} nodes, {} edges", snap.nodes.len(), snap.edges.len());
+        println!(
+            "  expanded subgraph: {} nodes, {} edges",
+            snap.nodes.len(),
+            snap.edges.len()
+        );
         let mut table = Table::new(&["entity", "label", "via"]);
         for edge in kg.graph().outgoing(node) {
             let other = kg.graph().node(edge.to).unwrap();
@@ -86,8 +97,7 @@ fn main() {
                  RETURN t.name ORDER BY t.name",
             )
             .unwrap();
-        let techniques: Vec<String> =
-            result.rows.iter().map(|r| r[0].to_string()).collect();
+        let techniques: Vec<String> = result.rows.iter().map(|r| r[0].to_string()).collect();
         println!("  cozyduke techniques: {techniques:?}");
         let twins = kg
             .cypher(
@@ -109,7 +119,9 @@ fn main() {
     // ---- Scenario 3: Cypher vs keyword consistency -------------------------
     println!("scenario 3: match (n) where n.name = \"wannacry\" return n");
     let t = Instant::now();
-    let result = kg.cypher("match (n) where n.name = \"wannacry\" return n").unwrap();
+    let result = kg
+        .cypher("match (n) where n.name = \"wannacry\" return n")
+        .unwrap();
     let cypher_us = t.elapsed().as_micros();
     let cypher_nodes = result.node_ids();
     println!("  {} node(s) in {} µs", cypher_nodes.len(), cypher_us);
@@ -124,8 +136,14 @@ fn main() {
 
     // ---- Query latency table ------------------------------------------------
     let mut table = Table::new(&["query path", "latency"]);
-    table.row(vec!["keyword (BM25 index)".into(), format!("{keyword_us} µs")]);
-    table.row(vec!["Cypher full scan (name equality)".into(), format!("{cypher_us} µs")]);
+    table.row(vec![
+        "keyword (BM25 index)".into(),
+        format!("{keyword_us} µs"),
+    ]);
+    table.row(vec![
+        "Cypher full scan (name equality)".into(),
+        format!("{cypher_us} µs"),
+    ]);
     let t = Instant::now();
     let _ = kg
         .cypher("MATCH (m:Malware)-[:DROP]->(f:FileName) RETURN m.name, f.name LIMIT 50")
@@ -146,7 +164,13 @@ fn main() {
         fusion.clusters_merged, fusion.nodes_removed, fusion.edges_migrated
     );
     if let Some(node) = kg.find_entity("Malware", "wannacry") {
-        let canonical = kg.graph().node(node).unwrap().name().unwrap_or("?").to_owned();
+        let canonical = kg
+            .graph()
+            .node(node)
+            .unwrap()
+            .name()
+            .unwrap_or("?")
+            .to_owned();
         println!("  post-fusion lookup \"wannacry\" → canonical node {canonical:?}");
     }
 }

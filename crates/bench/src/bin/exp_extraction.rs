@@ -50,7 +50,10 @@ fn main() {
 
     let crf_mv = train_ner(
         &web,
-        &TrainingConfig { label_source: LabelSource::MajorityVote, ..default_config.clone() },
+        &TrainingConfig {
+            label_source: LabelSource::MajorityVote,
+            ..default_config.clone()
+        },
     )
     .into_pipeline();
     let s_mv = evaluate_ner(&crf_mv, &test);
@@ -58,13 +61,22 @@ fn main() {
 
     let crf_gold = train_ner(
         &web,
-        &TrainingConfig { label_source: LabelSource::Gold, ..default_config.clone() },
+        &TrainingConfig {
+            label_source: LabelSource::Gold,
+            ..default_config.clone()
+        },
     )
     .into_pipeline();
     let s_gold = evaluate_ner(&crf_gold, &test);
-    push_scores(&mut main_table, "CRF + oracle gold labels (upper bound)", &s_gold);
+    push_scores(
+        &mut main_table,
+        "CRF + oracle gold labels (upper bound)",
+        &s_gold,
+    );
 
-    let curated = web.world().curated_lists(default_config.lf_coverage, default_config.seed);
+    let curated = web
+        .world()
+        .curated_lists(default_config.lf_coverage, default_config.seed);
     let gazetteer_baseline = RegexNerBaseline::new(vec![
         (EntityKind::Malware, curated.malware.clone()),
         (EntityKind::ThreatActor, curated.actors.clone()),
@@ -97,8 +109,8 @@ fn main() {
         .cloned()
         .map(|mut g| {
             g.mentions.retain(|m: &GoldMention| {
-                    concept_kind(m.kind) && !listed.contains(&m.text.to_lowercase())
-                });
+                concept_kind(m.kind) && !listed.contains(&m.text.to_lowercase())
+            });
             g.relations.clear();
             g
         })
@@ -116,7 +128,10 @@ fn main() {
     for coverage in [0.3, 0.5, 0.8, 1.0] {
         let p = train_ner(
             &web,
-            &TrainingConfig { lf_coverage: coverage, ..default_config.clone() },
+            &TrainingConfig {
+                lf_coverage: coverage,
+                ..default_config.clone()
+            },
         )
         .into_pipeline();
         let s = evaluate_ner(&p, &test);
@@ -133,8 +148,14 @@ fn main() {
     // ---- ablation: training-set size ---------------------------------------
     let mut size_table = Table::new(&["training articles", "NER F1"]);
     for articles in [50, 100, 200, 400] {
-        let p = train_ner(&web, &TrainingConfig { articles, ..default_config.clone() })
-            .into_pipeline();
+        let p = train_ner(
+            &web,
+            &TrainingConfig {
+                articles,
+                ..default_config.clone()
+            },
+        )
+        .into_pipeline();
         let s = evaluate_ner(&p, &test);
         size_table.row(vec![articles.to_string(), format!("{:.3}", s.ner_f1())]);
     }
@@ -146,14 +167,51 @@ fn main() {
     let mut feat_table = Table::new(&["features", "NER F1"]);
     for (name, features) in [
         ("all (default)", FeatureConfig::default()),
-        ("- gazetteers", FeatureConfig { gazetteers: false, ..FeatureConfig::default() }),
-        ("- embedding clusters", FeatureConfig { clusters: false, ..FeatureConfig::default() }),
-        ("- context window", FeatureConfig { context: false, ..FeatureConfig::default() }),
-        ("- IOC class (protection signal)", FeatureConfig { ioc_class: false, ..FeatureConfig::default() }),
-        ("- affixes & shape", FeatureConfig { affixes: false, shape: false, ..FeatureConfig::default() }),
+        (
+            "- gazetteers",
+            FeatureConfig {
+                gazetteers: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "- embedding clusters",
+            FeatureConfig {
+                clusters: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "- context window",
+            FeatureConfig {
+                context: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "- IOC class (protection signal)",
+            FeatureConfig {
+                ioc_class: false,
+                ..FeatureConfig::default()
+            },
+        ),
+        (
+            "- affixes & shape",
+            FeatureConfig {
+                affixes: false,
+                shape: false,
+                ..FeatureConfig::default()
+            },
+        ),
     ] {
-        let p = train_ner(&web, &TrainingConfig { features, ..default_config.clone() })
-            .into_pipeline();
+        let p = train_ner(
+            &web,
+            &TrainingConfig {
+                features,
+                ..default_config.clone()
+            },
+        )
+        .into_pipeline();
         let s = evaluate_ner(&p, &test);
         feat_table.row(vec![name.to_owned(), format!("{:.3}", s.ner_f1())]);
     }
@@ -188,7 +246,10 @@ fn concept_kind(kind: EntityKind) -> bool {
     )
 }
 
-fn recall_on(system: &dyn securitykg::evalx::ExtractsSentences, gold: &[kg_corpus::GoldReport]) -> f64 {
+fn recall_on(
+    system: &dyn securitykg::evalx::ExtractsSentences,
+    gold: &[kg_corpus::GoldReport],
+) -> f64 {
     let s = evaluate_ner(system, gold);
     s.ner.overall.recall()
 }

@@ -16,9 +16,11 @@
 
 use kg_bench::{standard_web, Table, FOREVER};
 use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
-use kg_fusion::{fuse, similarity, FusionConfig};
-use kg_pipeline::{run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig};
 use kg_extract::RegexNerBaseline;
+use kg_fusion::{fuse, similarity, FusionConfig};
+use kg_pipeline::{
+    run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig,
+};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -78,11 +80,17 @@ fn main() {
         ),
         (
             "similarity WITHOUT corroboration",
-            FusionConfig { require_shared_neighbor: false, ..FusionConfig::default() },
+            FusionConfig {
+                require_shared_neighbor: false,
+                ..FusionConfig::default()
+            },
         ),
         (
             "similarity + corroboration + alias table",
-            FusionConfig { alias_groups: alias_table(&web), ..FusionConfig::default() },
+            FusionConfig {
+                alias_groups: alias_table(&web),
+                ..FusionConfig::default()
+            },
         ),
         (
             "aggressive threshold 0.75, no corroboration",
@@ -97,10 +105,16 @@ fn main() {
         let report = fuse(&mut g, &config);
         let predicted = predicted_pairs(&report);
         let tp = predicted.intersection(&gold_pairs).count();
-        let precision =
-            if predicted.is_empty() { 1.0 } else { tp as f64 / predicted.len() as f64 };
-        let recall =
-            if gold_pairs.is_empty() { 1.0 } else { tp as f64 / gold_pairs.len() as f64 };
+        let precision = if predicted.is_empty() {
+            1.0
+        } else {
+            tp as f64 / predicted.len() as f64
+        };
+        let recall = if gold_pairs.is_empty() {
+            1.0
+        } else {
+            tp as f64 / gold_pairs.len() as f64
+        };
         table.row(vec![
             name.to_owned(),
             report.clusters_merged.to_string(),
@@ -177,8 +191,10 @@ fn gold_alias_pairs(
 fn predicted_pairs(report: &kg_fusion::FusionReport) -> HashSet<(String, String)> {
     let mut pairs = HashSet::new();
     for (kept, absorbed) in &report.merges {
-        let mut names: Vec<String> =
-            std::iter::once(kept).chain(absorbed).map(|n| similarity::normalize(n)).collect();
+        let mut names: Vec<String> = std::iter::once(kept)
+            .chain(absorbed)
+            .map(|n| similarity::normalize(n))
+            .collect();
         names.sort();
         names.dedup();
         for i in 0..names.len() {

@@ -16,7 +16,9 @@ use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
 use kg_extract::RegexNerBaseline;
 use kg_hunting::{behavior, AuditGenerator, Hunter};
 use kg_ontology::EntityKind;
-use kg_pipeline::{run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig};
+use kg_pipeline::{
+    run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig,
+};
 use std::sync::Arc;
 
 fn main() {
@@ -51,7 +53,10 @@ fn main() {
     }
     kg_fusion::fuse(
         &mut graph,
-        &kg_fusion::FusionConfig { alias_groups, ..kg_fusion::FusionConfig::default() },
+        &kg_fusion::FusionConfig {
+            alias_groups,
+            ..kg_fusion::FusionConfig::default()
+        },
     );
 
     let behaviors = behavior::behaviors_with_label(&graph, "Malware", 3);

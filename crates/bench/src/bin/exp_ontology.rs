@@ -24,14 +24,25 @@ fn main() {
 
     let ont = Ontology::standard();
     println!("SecurityKG ontology detail:");
-    println!("  entity kinds:   {} ({} IOC kinds, {} concept kinds, {} report kinds)",
+    println!(
+        "  entity kinds:   {} ({} IOC kinds, {} concept kinds, {} report kinds)",
         ont.entity_kind_count(),
         EntityKind::IOCS.len(),
         EntityKind::CONCEPTS.len(),
-        EntityKind::REPORTS.len());
+        EntityKind::REPORTS.len()
+    );
     println!("  relation kinds: {}", ont.relation_kind_count());
-    println!("  legal (subject, relation, object) triplets: {}", ont.triplet_count());
+    println!(
+        "  legal (subject, relation, object) triplets: {}",
+        ont.triplet_count()
+    );
     println!();
-    println!("example rule: <Malware, DROP, FileName> allowed = {}",
-        ont.allows(EntityKind::Malware, kg_ontology::RelationKind::Drop, EntityKind::FileName));
+    println!(
+        "example rule: <Malware, DROP, FileName> allowed = {}",
+        ont.allows(
+            EntityKind::Malware,
+            kg_ontology::RelationKind::Drop,
+            EntityKind::FileName
+        )
+    );
 }

@@ -23,15 +23,20 @@ use std::sync::Arc;
 fn main() {
     let web = standard_web(60, 0xE4);
     let mut state = CrawlState::new();
-    let (reports, _) =
-        crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
-    println!("E4: pipeline throughput — {} raw pages crawled", reports.len());
+    let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
+    println!(
+        "E4: pipeline throughput — {} raw pages crawled",
+        reports.len()
+    );
 
     // The real extractor (trained CRF) so the extract stage has CPU weight,
     // as in the paper's deployment.
     let trained = train_ner(
         &web,
-        &TrainingConfig { articles: 200, ..TrainingConfig::default() },
+        &TrainingConfig {
+            articles: 200,
+            ..TrainingConfig::default()
+        },
     );
     let ner = Arc::new(trained.into_pipeline());
     let registry = ParserRegistry::new();
@@ -45,7 +50,9 @@ fn main() {
         "speedup vs sequential",
     ]);
 
-    let extractor = NerExtractor { pipeline: Arc::clone(&ner) };
+    let extractor = NerExtractor {
+        pipeline: Arc::clone(&ner),
+    };
     let seq = run_sequential(
         reports.clone(),
         &registry,
@@ -69,7 +76,10 @@ fn main() {
         ("pipelined, 8 extract workers", 8, false),
         ("pipelined, 4 workers + serialized transport", 4, true),
     ] {
-        let mut config = PipelineConfig { serialize_transport: serialize, ..Default::default() };
+        let mut config = PipelineConfig {
+            serialize_transport: serialize,
+            ..Default::default()
+        };
         config.workers.extract = workers;
         config.workers.parse = 2;
         let out = run_pipelined(
@@ -88,7 +98,10 @@ fn main() {
             format!("{:.2}x", rate / seq_rate.max(1e-9)),
         ]);
         if workers == 4 && !serialize {
-            println!("stage busy-time (4 extract workers): {:?}", out.metrics.stage_busy_ms);
+            // Per-stage busy/blocked/queue-depth breakdown: busy is time
+            // actively processing items; waiting on channels is blocked.
+            println!("-- per-stage breakdown (4 extract workers) --");
+            print!("{}", out.metrics.stage_report());
             println!();
         }
     }

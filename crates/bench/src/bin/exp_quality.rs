@@ -12,7 +12,9 @@ use kg_bench::{standard_web, Table};
 use kg_crawler::{Scheduler, SchedulerConfig};
 use kg_extract::RegexNerBaseline;
 use kg_ontology::EntityKind;
-use kg_pipeline::{run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig};
+use kg_pipeline::{
+    run_pipelined, GraphConnector, IocOnlyExtractor, ParserRegistry, PipelineConfig,
+};
 use securitykg::source_quality;
 use std::sync::Arc;
 
@@ -23,7 +25,10 @@ fn main() {
     let start: u64 = 1_500_000_000_000;
     let mut scheduler = Scheduler::new(
         &web,
-        SchedulerConfig { interval_ms: 3_600_000, ..SchedulerConfig::default() },
+        SchedulerConfig {
+            interval_ms: 3_600_000,
+            ..SchedulerConfig::default()
+        },
         start,
     );
     let reports = scheduler.run_until(start + 200 * 24 * 3_600_000);
@@ -85,7 +90,10 @@ fn main() {
         ]);
     }
     table.print();
-    println!("  (top 12 of {} vendors by coverage)", quality.vendors.len());
+    println!(
+        "  (top 12 of {} vendors by coverage)",
+        quality.vendors.len()
+    );
     println!();
     println!(
         "shape to check (Tea-Leaves-style): vendors differ widely in volume and \

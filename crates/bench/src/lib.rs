@@ -8,7 +8,10 @@ pub const FOREVER: u64 = u64::MAX / 4;
 
 /// Build the standard simulated web at a given per-source article scale.
 pub fn standard_web(articles_per_source: usize, seed: u64) -> SimulatedWeb {
-    let world = World::generate(WorldConfig { seed, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        seed,
+        ..WorldConfig::default()
+    });
     SimulatedWeb::new(world, standard_sources(articles_per_source), seed)
 }
 

@@ -1,7 +1,7 @@
 //! `securitykg` — the command-line interface.
 //!
 //! ```text
-//! securitykg build   --out kg.json [--articles N] [--seed S] [--ner] [--fuse]
+//! securitykg build   --out kg.json [--articles N] [--seed S] [--ner] [--fuse] [--stats]
 //! securitykg stats   --kg kg.json
 //! securitykg search  --kg kg.json <keywords...>
 //! securitykg cypher  --kg kg.json <query>
@@ -51,7 +51,7 @@ const USAGE: &str = "\
 securitykg — automated OSCTI gathering and management
 
 USAGE:
-  securitykg build  --out <kg.json> [--articles <n>] [--seed <s>] [--ner] [--fuse]
+  securitykg build  --out <kg.json> [--articles <n>] [--seed <s>] [--ner] [--fuse] [--stats]
   securitykg stats  --kg <kg.json>
   securitykg search --kg <kg.json> <keywords...>
   securitykg cypher --kg <kg.json> <query>
@@ -66,9 +66,8 @@ fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
     while i < args.len() {
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value when followed by another flag/end.
-            let takes_value =
-                i + 1 < args.len() && !args[i + 1].starts_with("--");
-            if takes_value && !matches!(name, "ner" | "fuse") {
+            let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
+            if takes_value && !matches!(name, "ner" | "fuse" | "stats") {
                 flags.insert(name.to_owned(), args[i + 1].clone());
                 i += 2;
             } else {
@@ -92,20 +91,35 @@ fn load_kb(flags: &std::collections::HashMap<String, String>) -> Result<Knowledg
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args);
     let out = flags.get("out").ok_or("missing --out <path>")?;
-    let articles: usize =
-        flags.get("articles").map(|a| a.parse().map_err(|e| format!("--articles: {e}"))).transpose()?.unwrap_or(20);
-    let seed: u64 =
-        flags.get("seed").map(|s| s.parse().map_err(|e| format!("--seed: {e}"))).transpose()?.unwrap_or(0xC11);
+    let articles: usize = flags
+        .get("articles")
+        .map(|a| a.parse().map_err(|e| format!("--articles: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(0xC11);
 
     let config = SystemConfig {
-        world: WorldConfig { seed, ..WorldConfig::default() },
+        world: WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        },
         articles_per_source: articles,
         seed,
-        training: TrainingConfig { articles: 200, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 200,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     };
-    eprintln!("bootstrapping ({} articles/source, seed {seed:#x}, ner={})...",
-        articles, flags.contains_key("ner"));
+    eprintln!(
+        "bootstrapping ({} articles/source, seed {seed:#x}, ner={})...",
+        articles,
+        flags.contains_key("ner")
+    );
     let mut kg = if flags.contains_key("ner") {
         SecurityKg::bootstrap(&config)
     } else {
@@ -118,9 +132,23 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         kg.graph().node_count(),
         kg.graph().edge_count()
     );
+    if report.pipeline.quarantined > 0 {
+        eprintln!(
+            "warning: {} message(s) quarantined — see build --stats",
+            report.pipeline.quarantined
+        );
+    }
+    if flags.contains_key("stats") {
+        eprint!("{}", report.pipeline.stage_report());
+        eprintln!("trace (newest 20 events):");
+        eprint!("{}", kg.trace().render_tail(20));
+    }
     if flags.contains_key("fuse") {
         let fusion = kg.fuse();
-        eprintln!("fused {} alias clusters ({} nodes removed)", fusion.clusters_merged, fusion.nodes_removed);
+        eprintln!(
+            "fused {} alias clusters ({} nodes removed)",
+            fusion.clusters_merged, fusion.nodes_removed
+        );
     }
     let bytes = kg.snapshot().map_err(|e| e.to_string())?;
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
@@ -210,8 +238,11 @@ fn cmd_export_stix(args: &[String]) -> Result<(), String> {
 fn cmd_hunt(args: &[String]) -> Result<(), String> {
     let (flags, _) = parse_flags(args);
     let kb = load_kb(&flags)?;
-    let events: usize =
-        flags.get("events").map(|e| e.parse().map_err(|x| format!("--events: {x}"))).transpose()?.unwrap_or(5000);
+    let events: usize = flags
+        .get("events")
+        .map(|e| e.parse().map_err(|x| format!("--events: {x}")))
+        .transpose()?
+        .unwrap_or(5000);
 
     let behaviors = securitykg::hunting::behavior::behaviors_with_label(&kb.graph, "Malware", 3);
     eprintln!("{} threat behaviour graphs extracted", behaviors.len());
@@ -223,8 +254,16 @@ fn cmd_hunt(args: &[String]) -> Result<(), String> {
             .iter()
             .find(|b| b.name == name.to_lowercase())
             .ok_or_else(|| format!("no behaviour graph for {name:?}"))?;
-        generator.implant(&mut log, &behavior.as_audit_steps(), "implant.exe", "host-victim");
-        eprintln!("implanted a {} trace into {} benign events", behavior.name, events);
+        generator.implant(
+            &mut log,
+            &behavior.as_audit_steps(),
+            "implant.exe",
+            "host-victim",
+        );
+        eprintln!(
+            "implanted a {} trace into {} benign events",
+            behavior.name, events
+        );
     }
 
     let hunter = securitykg::hunting::Hunter::new(behaviors);
@@ -233,7 +272,10 @@ fn cmd_hunt(args: &[String]) -> Result<(), String> {
         println!("no threats above the noise floor");
         return Ok(());
     }
-    println!("{:<22} {:>6} {:>10} {:>14}", "threat", "score", "coverage", "focus host");
+    println!(
+        "{:<22} {:>6} {:>10} {:>14}",
+        "threat", "score", "coverage", "focus host"
+    );
     for r in reports.iter().take(10) {
         println!(
             "{:<22} {:>5.2} {:>7}/{:<3} {:>14}",

@@ -46,21 +46,30 @@ impl ExtractsSentences for kg_extract::RegexNerBaseline {
 
 /// Evaluate NER span F1 over gold reports.
 pub fn evaluate_ner(system: &dyn ExtractsSentences, gold: &[GoldReport]) -> ExtractionScores {
-    let mut scores = ExtractionScores { documents: gold.len(), ..Default::default() };
+    let mut scores = ExtractionScores {
+        documents: gold.len(),
+        ..Default::default()
+    };
     for report in gold {
         let extractions = system.run(&report.text);
         let predicted: Vec<SpanMatch> = extractions
             .iter()
             .flat_map(|se| {
-                sentence_mentions(se)
-                    .into_iter()
-                    .map(|m| SpanMatch { kind: m.kind, start: m.start, end: m.end })
+                sentence_mentions(se).into_iter().map(|m| SpanMatch {
+                    kind: m.kind,
+                    start: m.start,
+                    end: m.end,
+                })
             })
             .collect();
         let gold_spans: Vec<SpanMatch> = report
             .mentions
             .iter()
-            .map(|m| SpanMatch { kind: m.kind, start: m.start, end: m.end })
+            .map(|m| SpanMatch {
+                kind: m.kind,
+                start: m.start,
+                end: m.end,
+            })
             .collect();
         scores.ner.add_document(&predicted, &gold_spans);
         scores.relations.add(relation_prf(&extractions, report));
@@ -87,10 +96,14 @@ fn relation_prf(extractions: &[SentenceExtraction], gold: &GoldReport) -> Prf {
         for rel in &se.relations {
             let s = &se.spans[rel.subject];
             let o = &se.spans[rel.object];
-            let s_bytes =
-                (se.sentence.tokens[s.start].start, se.sentence.tokens[s.end - 1].end);
-            let o_bytes =
-                (se.sentence.tokens[o.start].start, se.sentence.tokens[o.end - 1].end);
+            let s_bytes = (
+                se.sentence.tokens[s.start].start,
+                se.sentence.tokens[s.end - 1].end,
+            );
+            let o_bytes = (
+                se.sentence.tokens[o.start].start,
+                se.sentence.tokens[o.end - 1].end,
+            );
             predicted.push((s_bytes, rel.kind, o_bytes));
         }
     }
@@ -115,7 +128,11 @@ mod tests {
     use kg_ontology::EntityKind;
 
     fn web() -> SimulatedWeb {
-        SimulatedWeb::new(World::generate(WorldConfig::tiny(5)), standard_sources(12), 9)
+        SimulatedWeb::new(
+            World::generate(WorldConfig::tiny(5)),
+            standard_sources(12),
+            9,
+        )
     }
 
     #[test]
@@ -123,7 +140,10 @@ mod tests {
         let web = web();
         let trained = train_ner(
             &web,
-            &TrainingConfig { articles: 120, ..TrainingConfig::default() },
+            &TrainingConfig {
+                articles: 120,
+                ..TrainingConfig::default()
+            },
         );
         let pipeline = trained.into_pipeline();
         let test = collect_gold(&web, 40, |i| i % 2 == 1);
@@ -154,7 +174,10 @@ mod tests {
         let test = collect_gold(&web, 30, |i| i % 2 == 1);
         let scores = evaluate_ner(&baseline, &test);
         assert!(scores.ner_f1() > 0.5, "{:.3}", scores.ner_f1());
-        assert!(scores.relations.tp > 0, "some relations should match exactly");
+        assert!(
+            scores.relations.tp > 0,
+            "some relations should match exactly"
+        );
     }
 
     #[test]

@@ -96,7 +96,8 @@ impl<'a> Explorer<'a> {
                 self.visible.push(id);
                 let angle = i as f32 * 2.399_963;
                 let radius = 30.0 * (i as f32 + 1.0).sqrt();
-                self.positions.insert(id, Vec2::new(radius * angle.cos(), radius * angle.sin()));
+                self.positions
+                    .insert(id, Vec2::new(radius * angle.cos(), radius * angle.sin()));
             }
         }
         self.engine.reheat();
@@ -142,8 +143,10 @@ impl<'a> Explorer<'a> {
             }
             self.visible.push(neighbor);
             let angle = (self.visible.len() as f32) * 2.399_963;
-            self.positions
-                .insert(neighbor, base + Vec2::new(40.0 * angle.cos(), 40.0 * angle.sin()));
+            self.positions.insert(
+                neighbor,
+                base + Vec2::new(40.0 * angle.cos(), 40.0 * angle.sin()),
+            );
             self.spawned_by.insert(neighbor, node);
             added += 1;
         }
@@ -253,8 +256,12 @@ impl<'a> Explorer<'a> {
 
     /// Run `steps` of the Barnes–Hut layout over the current view.
     pub fn run_layout(&mut self, steps: usize) {
-        let index: HashMap<NodeId, usize> =
-            self.visible.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let index: HashMap<NodeId, usize> = self
+            .visible
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
         let mut graph = LayoutGraph {
             positions: self
                 .visible
@@ -262,7 +269,11 @@ impl<'a> Explorer<'a> {
                 .map(|id| self.positions.get(id).copied().unwrap_or_default())
                 .collect(),
             edges: self.view_edges_indices(&index),
-            locked: self.visible.iter().map(|id| self.locked.contains(id)).collect(),
+            locked: self
+                .visible
+                .iter()
+                .map(|id| self.locked.contains(id))
+                .collect(),
         };
         self.engine.run(&mut graph, steps);
         for (i, id) in self.visible.iter().enumerate() {
@@ -284,8 +295,12 @@ impl<'a> Explorer<'a> {
 
     /// Snapshot the view for rendering.
     pub fn snapshot(&self) -> ViewSnapshot {
-        let index: HashMap<NodeId, usize> =
-            self.visible.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let index: HashMap<NodeId, usize> = self
+            .visible
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
         let nodes = self
             .visible
             .iter()
@@ -318,7 +333,7 @@ impl<'a> Explorer<'a> {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::{SecurityKg, SystemConfig, TrainingConfig};
     use kg_corpus::WorldConfig;
 
@@ -326,7 +341,10 @@ mod tests {
         let config = SystemConfig {
             world: WorldConfig::tiny(7),
             articles_per_source: 6,
-            training: TrainingConfig { articles: 40, ..TrainingConfig::default() },
+            training: TrainingConfig {
+                articles: 40,
+                ..TrainingConfig::default()
+            },
             ..SystemConfig::default()
         };
         let mut kg = SecurityKg::bootstrap_without_ner(&config);
@@ -367,7 +385,10 @@ mod tests {
         // Pick a node with 2-hop structure: a vendor publishes reports which
         // mention entities.
         let vendors = kg.graph().nodes_with_label("CtiVendor");
-        let vendor = *vendors.iter().max_by_key(|&&v| kg.graph().degree(v)).unwrap();
+        let vendor = *vendors
+            .iter()
+            .max_by_key(|&&v| kg.graph().degree(v))
+            .unwrap();
         explorer.show(vec![vendor]);
         explorer.expand(vendor);
         let reports: Vec<_> = explorer.visible()[1..].to_vec();
@@ -427,7 +448,9 @@ mod tests {
     fn cypher_view_and_snapshot_json() {
         let kg = built_kg();
         let mut explorer = kg.explorer();
-        let n = explorer.cypher("MATCH (v:CtiVendor) RETURN v LIMIT 3").unwrap();
+        let n = explorer
+            .cypher("MATCH (v:CtiVendor) RETURN v LIMIT 3")
+            .unwrap();
         assert!(n > 0);
         explorer.run_layout(10);
         let snap = explorer.snapshot();
@@ -435,7 +458,9 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"label\""));
         // Write queries are rejected on the read-only path.
-        assert!(explorer.cypher("CREATE (x:Malware {name: 'nope'})").is_err());
+        assert!(explorer
+            .cypher("CREATE (x:Malware {name: 'nope'})")
+            .is_err());
     }
 
     #[test]

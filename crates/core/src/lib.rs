@@ -64,7 +64,7 @@ use kg_fusion::{FusionConfig, FusionReport};
 use kg_graph::{GraphStore, NodeId};
 use kg_pipeline::{
     GraphConnector, IocOnlyExtractor, NerExtractor, ParserRegistry, PipelineConfig,
-    PipelineMetrics,
+    PipelineMetrics, TraceEvent, TraceLog,
 };
 use kg_search::SearchIndex;
 use std::sync::Arc;
@@ -114,6 +114,8 @@ pub struct SecurityKg {
     registry: ParserRegistry,
     ner: Option<Arc<kg_extract::NerPipeline>>,
     connector: GraphConnector,
+    /// Structured event log accumulated across ingest rounds.
+    trace: TraceLog,
     /// Simulated clock for incremental crawls.
     pub now_ms: u64,
 }
@@ -124,8 +126,11 @@ impl SecurityKg {
     /// graph.
     pub fn bootstrap(config: &SystemConfig) -> Self {
         let world = World::generate(config.world.clone());
-        let web =
-            SimulatedWeb::new(world, standard_sources(config.articles_per_source), config.seed);
+        let web = SimulatedWeb::new(
+            world,
+            standard_sources(config.articles_per_source),
+            config.seed,
+        );
         let trained = train_ner(&web, &config.training);
         let mut pipeline = trained.into_pipeline();
         pipeline.min_confidence = config.pipeline.ner_min_confidence;
@@ -136,6 +141,7 @@ impl SecurityKg {
             registry: ParserRegistry::new(),
             ner: Some(Arc::new(pipeline)),
             connector: GraphConnector::new(),
+            trace: TraceLog::new(),
             now_ms: u64::MAX / 4,
         }
     }
@@ -146,8 +152,11 @@ impl SecurityKg {
     /// and as the E3 baseline system.
     pub fn bootstrap_without_ner(config: &SystemConfig) -> Self {
         let world = World::generate(config.world.clone());
-        let web =
-            SimulatedWeb::new(world, standard_sources(config.articles_per_source), config.seed);
+        let web = SimulatedWeb::new(
+            world,
+            standard_sources(config.articles_per_source),
+            config.seed,
+        );
         SecurityKg {
             config: config.clone(),
             web,
@@ -155,6 +164,7 @@ impl SecurityKg {
             registry: ParserRegistry::new(),
             ner: None,
             connector: GraphConnector::new(),
+            trace: TraceLog::new(),
             now_ms: u64::MAX / 4,
         }
     }
@@ -189,14 +199,23 @@ impl SecurityKg {
     /// Crawl every source incrementally and push everything new through the
     /// processing pipeline into the knowledge graph.
     pub fn crawl_and_ingest(&mut self) -> IngestReport {
-        let (reports, crawl) =
-            crawl_all(&self.web, &mut self.crawl_state, &self.config.crawler, self.now_ms);
+        let (reports, crawl) = crawl_all(
+            &self.web,
+            &mut self.crawl_state,
+            &self.config.crawler,
+            self.now_ms,
+        );
+        self.trace.record(TraceEvent::IngestStarted {
+            pages: reports.len(),
+        });
         let connector = std::mem::take(&mut self.connector);
         let out = match &self.ner {
             Some(ner) => kg_pipeline::run_pipelined(
                 reports,
                 &self.registry,
-                &NerExtractor { pipeline: Arc::clone(ner) },
+                &NerExtractor {
+                    pipeline: Arc::clone(ner),
+                },
                 connector,
                 &self.config.pipeline,
             ),
@@ -209,11 +228,23 @@ impl SecurityKg {
             ),
         };
         self.connector = out.connector;
+        self.trace.absorb(&out.trace);
+        self.trace.record(TraceEvent::IngestFinished {
+            connected: out.metrics.connected,
+            quarantined: out.metrics.quarantined,
+            wall_us: out.metrics.wall_us,
+        });
         IngestReport {
             crawl,
             reports_ingested: out.metrics.connected,
             pipeline: out.metrics,
         }
+    }
+
+    /// The accumulated structured event log (pipeline stages, quarantines,
+    /// ingest rounds).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
     }
 
     /// Run the knowledge-fusion stage (§2.5) over the current graph.
@@ -243,14 +274,23 @@ impl SecurityKg {
         if let Some(id) = self.connector.graph.node_by_name(label, &name) {
             return Some(id);
         }
-        self.connector.graph.nodes_with_label(label).into_iter().find(|&id| {
-            match self.connector.graph.node(id).and_then(|n| n.props.get("aliases")) {
-                Some(kg_graph::Value::List(xs)) => {
-                    xs.iter().any(|v| v.as_text() == Some(name.as_str()))
+        self.connector
+            .graph
+            .nodes_with_label(label)
+            .into_iter()
+            .find(|&id| {
+                match self
+                    .connector
+                    .graph
+                    .node(id)
+                    .and_then(|n| n.props.get("aliases"))
+                {
+                    Some(kg_graph::Value::List(xs)) => {
+                        xs.iter().any(|v| v.as_text() == Some(name.as_str()))
+                    }
+                    _ => false,
                 }
-                _ => false,
-            }
-        })
+            })
     }
 
     /// Keyword search (Elasticsearch path in the paper's UI): returns
@@ -275,7 +315,10 @@ impl SecurityKg {
     }
 
     /// Cypher query (Neo4j path in the paper's UI).
-    pub fn cypher(&mut self, query: &str) -> Result<kg_graph::QueryResult, kg_graph::cypher::CypherError> {
+    pub fn cypher(
+        &mut self,
+        query: &str,
+    ) -> Result<kg_graph::QueryResult, kg_graph::cypher::CypherError> {
         self.connector.graph.query(query)
     }
 
@@ -305,7 +348,10 @@ mod tests {
         SystemConfig {
             world: WorldConfig::tiny(7),
             articles_per_source: 4,
-            training: TrainingConfig { articles: 60, ..TrainingConfig::default() },
+            training: TrainingConfig {
+                articles: 60,
+                ..TrainingConfig::default()
+            },
             ..SystemConfig::default()
         }
     }
@@ -323,7 +369,9 @@ mod tests {
         assert_eq!(second.reports_ingested, 0);
 
         // Cypher works over the built graph.
-        let result = kg.cypher("MATCH (v:CtiVendor)-[:PUBLISHES]->(r) RETURN count(*)").unwrap();
+        let result = kg
+            .cypher("MATCH (v:CtiVendor)-[:PUBLISHES]->(r) RETURN count(*)")
+            .unwrap();
         let published = result.rows[0][0].as_int().unwrap();
         assert_eq!(published as usize, report.reports_ingested);
 
@@ -335,6 +383,28 @@ mod tests {
     }
 
     #[test]
+    fn ingest_rounds_accumulate_in_the_trace() {
+        let mut kg = SecurityKg::bootstrap_without_ner(&tiny_config());
+        assert!(kg.trace().is_empty());
+        let first = kg.crawl_and_ingest();
+        let events: Vec<TraceEvent> = kg.trace().snapshot().into_iter().map(|r| r.event).collect();
+        assert!(matches!(events[0], TraceEvent::IngestStarted { .. }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::StageFinished { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::IngestFinished { connected, quarantined: 0, .. })
+                if *connected == first.reports_ingested
+        ));
+        let after_first = kg.trace().total_recorded();
+        // A second (empty) round still books-ends its events.
+        kg.crawl_and_ingest();
+        assert!(kg.trace().total_recorded() > after_first);
+        assert!(!kg.trace().render_tail(5).is_empty());
+    }
+
+    #[test]
     fn keyword_and_cypher_find_the_same_entity() {
         let mut config = tiny_config();
         config.articles_per_source = 12;
@@ -343,7 +413,13 @@ mod tests {
         // Find some malware that exists in the graph.
         let malware = kg.graph().nodes_with_label("Malware");
         assert!(!malware.is_empty());
-        let name = kg.graph().node(malware[0]).unwrap().name().unwrap().to_owned();
+        let name = kg
+            .graph()
+            .node(malware[0])
+            .unwrap()
+            .name()
+            .unwrap()
+            .to_owned();
         let keyword_hits = kg.keyword_search(&name, 10);
         assert!(keyword_hits.contains(&malware[0]), "{name}");
         let r = kg

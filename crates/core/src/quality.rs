@@ -64,7 +64,9 @@ pub fn source_quality(graph: &GraphStore) -> QualityReport {
     let mut vendor_entities: BTreeMap<String, HashSet<NodeId>> = BTreeMap::new();
 
     for vendor_node in graph.nodes_with_label(EntityKind::CtiVendor.label()) {
-        let Some(vendor) = graph.node(vendor_node).and_then(|n| n.name()) else { continue };
+        let Some(vendor) = graph.node(vendor_node).and_then(|n| n.name()) else {
+            continue;
+        };
         let vendor = vendor.to_owned();
         for publish_edge in graph.outgoing(vendor_node) {
             if publish_edge.rel_type != publishes {
@@ -82,7 +84,10 @@ pub fn source_quality(graph: &GraphStore) -> QualityReport {
                     continue;
                 }
                 let entity = mention_edge.to;
-                vendor_entities.entry(vendor.clone()).or_default().insert(entity);
+                vendor_entities
+                    .entry(vendor.clone())
+                    .or_default()
+                    .insert(entity);
                 let per_vendor = first_mention.entry(entity).or_default();
                 let slot = per_vendor.entry(vendor.clone()).or_insert(u64::MAX);
                 *slot = (*slot).min(timestamp);
@@ -91,8 +96,7 @@ pub fn source_quality(graph: &GraphStore) -> QualityReport {
     }
 
     let total_entities = first_mention.len();
-    let shared_entities =
-        first_mention.values().filter(|m| m.len() >= 2).count();
+    let shared_entities = first_mention.values().filter(|m| m.len() >= 2).count();
 
     // Global first-mention time per entity.
     let global_first: HashMap<NodeId, u64> = first_mention
@@ -150,9 +154,15 @@ pub fn source_quality(graph: &GraphStore) -> QualityReport {
     }
     // Highest coverage first.
     vendors.sort_by(|a, b| {
-        b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal)
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
-    QualityReport { vendors, total_entities, shared_entities }
+    QualityReport {
+        vendors,
+        total_entities,
+        shared_entities,
+    }
 }
 
 #[cfg(test)]
@@ -166,17 +176,32 @@ mod tests {
         let mut g = GraphStore::new();
         let vendor_a = g.create_node("CtiVendor", [("name", Value::from("alpha-labs"))]);
         let vendor_b = g.create_node("CtiVendor", [("name", Value::from("beta-intel"))]);
-        let report_a =
-            g.create_node("MalwareReport", [("name", Value::from("alpha-labs/r0")), ("timestamp", Value::Int(100))]);
-        let report_b =
-            g.create_node("MalwareReport", [("name", Value::from("beta-intel/r0")), ("timestamp", Value::Int(200))]);
+        let report_a = g.create_node(
+            "MalwareReport",
+            [
+                ("name", Value::from("alpha-labs/r0")),
+                ("timestamp", Value::Int(100)),
+            ],
+        );
+        let report_b = g.create_node(
+            "MalwareReport",
+            [
+                ("name", Value::from("beta-intel/r0")),
+                ("timestamp", Value::Int(200)),
+            ],
+        );
         let x = g.create_node("Malware", [("name", Value::from("x"))]);
         let y = g.create_node("Domain", [("name", Value::from("y.evil.ru"))]);
-        g.create_edge(vendor_a, "PUBLISHES", report_a, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(vendor_b, "PUBLISHES", report_b, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(report_a, "MENTIONS", x, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(report_a, "MENTIONS", y, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(report_b, "MENTIONS", x, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(vendor_a, "PUBLISHES", report_a, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(vendor_b, "PUBLISHES", report_b, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(report_a, "MENTIONS", x, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(report_a, "MENTIONS", y, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(report_b, "MENTIONS", x, [] as [(&str, Value); 0])
+            .unwrap();
         g
     }
 
@@ -185,8 +210,16 @@ mod tests {
         let report = source_quality(&sample());
         assert_eq!(report.total_entities, 2);
         assert_eq!(report.shared_entities, 1);
-        let a = report.vendors.iter().find(|v| v.vendor == "alpha-labs").unwrap();
-        let b = report.vendors.iter().find(|v| v.vendor == "beta-intel").unwrap();
+        let a = report
+            .vendors
+            .iter()
+            .find(|v| v.vendor == "alpha-labs")
+            .unwrap();
+        let b = report
+            .vendors
+            .iter()
+            .find(|v| v.vendor == "beta-intel")
+            .unwrap();
         assert_eq!(a.reports, 1);
         assert_eq!(a.entities, 2);
         assert_eq!(a.exclusive, 1);

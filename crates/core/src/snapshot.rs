@@ -25,7 +25,10 @@ impl KnowledgeBase {
         // GraphStore's secondary indexes are #[serde(skip)]; round-trip
         // through its own loader to rebuild them.
         let graph = GraphStore::from_bytes(&serde_json::to_vec(&kb.graph)?)?;
-        Ok(KnowledgeBase { graph, search: kb.search })
+        Ok(KnowledgeBase {
+            graph,
+            search: kb.search,
+        })
     }
 
     /// Keyword search over the stored index (+ direct name hits).
@@ -68,7 +71,10 @@ mod tests {
         let config = SystemConfig {
             world: WorldConfig::tiny(4),
             articles_per_source: 6,
-            training: TrainingConfig { articles: 30, ..TrainingConfig::default() },
+            training: TrainingConfig {
+                articles: 30,
+                ..TrainingConfig::default()
+            },
             ..SystemConfig::default()
         };
         let mut kg = SecurityKg::bootstrap_without_ner(&config);
@@ -80,11 +86,20 @@ mod tests {
         // Keyword search works on the restored index.
         let malware = kb.graph.nodes_with_label("Malware");
         assert!(!malware.is_empty());
-        let name = kb.graph.node(malware[0]).unwrap().name().unwrap().to_owned();
+        let name = kb
+            .graph
+            .node(malware[0])
+            .unwrap()
+            .name()
+            .unwrap()
+            .to_owned();
         assert!(kb.keyword_search(&name, 5).contains(&malware[0]));
 
         // Read-only Cypher works on the restored graph.
-        let r = kb.graph.query_readonly("MATCH (n:CtiVendor) RETURN count(*)").unwrap();
+        let r = kb
+            .graph
+            .query_readonly("MATCH (n:CtiVendor) RETURN count(*)")
+            .unwrap();
         assert!(r.rows[0][0].as_int().unwrap() > 0);
     }
 

@@ -45,9 +45,9 @@ pub fn stix_type(kind: EntityKind) -> &'static str {
         EntityKind::Vulnerability => "vulnerability",
         EntityKind::Campaign => "campaign",
         EntityKind::CtiVendor => "identity",
-        EntityKind::MalwareReport
-        | EntityKind::VulnerabilityReport
-        | EntityKind::AttackReport => "report",
+        EntityKind::MalwareReport | EntityKind::VulnerabilityReport | EntityKind::AttackReport => {
+            "report"
+        }
         // IOC kinds export as pattern-bearing indicators.
         _ => "indicator",
     }
@@ -99,7 +99,9 @@ pub fn export_bundle(graph: &GraphStore) -> Json {
     let mut ids: HashMap<NodeId, String> = HashMap::new();
 
     for node in graph.all_nodes() {
-        let Ok(kind) = node.label.parse::<EntityKind>() else { continue };
+        let Ok(kind) = node.label.parse::<EntityKind>() else {
+            continue;
+        };
         let typ = stix_type(kind);
         let id = stix_id(typ, node.id);
         ids.insert(node.id, id.clone());
@@ -132,7 +134,9 @@ pub fn export_bundle(graph: &GraphStore) -> Json {
         let (Some(src), Some(dst)) = (ids.get(&edge.from), ids.get(&edge.to)) else {
             continue;
         };
-        let Ok(kind) = edge.rel_type.parse::<RelationKind>() else { continue };
+        let Ok(kind) = edge.rel_type.parse::<RelationKind>() else {
+            continue;
+        };
         let rel_id = {
             let h = kg_ir::fnv1a64(format!("securitykg-edge-{}", edge.id.0).as_bytes());
             let h2 = kg_ir::fnv1a64(format!("securitykg-edge-salt-{}", edge.id.0).as_bytes());
@@ -176,7 +180,9 @@ pub fn import_bundle(bundle: &Json) -> Result<GraphStore, StixError> {
         if typ == "relationship" || typ == "bundle" {
             continue;
         }
-        let Some(id) = object.get("id").and_then(Json::as_str) else { continue };
+        let Some(id) = object.get("id").and_then(Json::as_str) else {
+            continue;
+        };
         let name = object.get("name").and_then(Json::as_str).unwrap_or("");
         let label = match object.get("x_securitykg_kind").and_then(Json::as_str) {
             Some(hint) => hint.to_owned(),
@@ -241,23 +247,25 @@ mod tests {
     fn sample_graph() -> GraphStore {
         let mut g = GraphStore::new();
         let mal = g.create_node("Malware", [("name", Value::from("wannacry"))]);
-        g.node_mut(mal).unwrap().props.insert(
-            "aliases".into(),
-            Value::List(vec![Value::from("wcry")]),
-        );
+        g.node_mut(mal)
+            .unwrap()
+            .props
+            .insert("aliases".into(), Value::List(vec![Value::from("wcry")]));
         let actor = g.create_node("ThreatActor", [("name", Value::from("lazarus group"))]);
         let file = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
-        let hash = g.create_node(
-            "HashSha256",
-            [("name", Value::from("aa".repeat(32)))],
-        );
+        let hash = g.create_node("HashSha256", [("name", Value::from("aa".repeat(32)))]);
         let vendor = g.create_node("CtiVendor", [("name", Value::from("securelist"))]);
         let report = g.create_node("MalwareReport", [("name", Value::from("securelist/r1"))]);
-        g.create_edge(mal, "DROP", file, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(mal, "ATTRIBUTED_TO", actor, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(hash, "IDENTIFIES", file, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(vendor, "PUBLISHES", report, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(report, "MENTIONS", mal, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(mal, "DROP", file, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(mal, "ATTRIBUTED_TO", actor, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(hash, "IDENTIFIES", file, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(vendor, "PUBLISHES", report, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(report, "MENTIONS", mal, [] as [(&str, Value); 0])
+            .unwrap();
         g
     }
 
@@ -289,7 +297,10 @@ mod tests {
                     && o["pattern"].as_str().is_some_and(|p| p.contains("SHA-256"))
             })
             .expect("hash indicator");
-        assert!(hash_ind["pattern"].as_str().unwrap().starts_with("[file:hashes."));
+        assert!(hash_ind["pattern"]
+            .as_str()
+            .unwrap()
+            .starts_with("[file:hashes."));
         // Relationship types map to STIX vocabulary.
         assert!(objects
             .iter()
@@ -312,8 +323,11 @@ mod tests {
         assert_eq!(restored.edge_count(), original.edge_count());
         // Facts survive.
         let mal = restored.node_by_name("Malware", "wannacry").unwrap();
-        let rels: Vec<&str> =
-            restored.outgoing(mal).iter().map(|e| e.rel_type.as_str()).collect();
+        let rels: Vec<&str> = restored
+            .outgoing(mal)
+            .iter()
+            .map(|e| e.rel_type.as_str())
+            .collect();
         assert!(rels.contains(&"DROP"));
         assert!(rels.contains(&"ATTRIBUTED_TO"));
         match restored.node(mal).unwrap().props.get("aliases") {

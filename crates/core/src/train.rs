@@ -10,7 +10,9 @@ use kg_extract::crf::{Crf, CrfConfig, Example};
 use kg_extract::features::{FeatureConfig, FeatureMap, Featurizer, Gazetteer};
 use kg_extract::labeling::{standard_lfs, LabelModel};
 use kg_extract::LabelSet;
-use kg_nlp::{analyze, AnalyzedSentence, EmbeddingConfig, Embeddings, IocMatcher, KMeans, PosTagger};
+use kg_nlp::{
+    analyze, AnalyzedSentence, EmbeddingConfig, Embeddings, IocMatcher, KMeans, PosTagger,
+};
 
 /// Where the training labels come from (the E3 ablation axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +51,10 @@ impl Default for TrainingConfig {
             label_source: LabelSource::DataProgramming,
             features: FeatureConfig::default(),
             crf: CrfConfig::default(),
-            embeddings: EmbeddingConfig { epochs: 2, ..EmbeddingConfig::default() },
+            embeddings: EmbeddingConfig {
+                epochs: 2,
+                ..EmbeddingConfig::default()
+            },
             clusters: 24,
             gazetteer_features: true,
             seed: 0x7241,
@@ -82,7 +87,12 @@ pub fn collect_gold(
     which: impl Fn(usize) -> bool,
 ) -> Vec<GoldReport> {
     let mut out = Vec::new();
-    let max_articles = web.sources().iter().map(|s| s.article_count).max().unwrap_or(0);
+    let max_articles = web
+        .sources()
+        .iter()
+        .map(|s| s.article_count)
+        .max()
+        .unwrap_or(0);
     'outer: for article in 0..max_articles {
         if !which(article) {
             continue;
@@ -103,7 +113,11 @@ pub fn collect_gold(
 }
 
 /// Analyse a gold report's text into sentences.
-pub fn analyze_gold(gold: &GoldReport, matcher: &IocMatcher, tagger: &PosTagger) -> Vec<AnalyzedSentence> {
+pub fn analyze_gold(
+    gold: &GoldReport,
+    matcher: &IocMatcher,
+    tagger: &PosTagger,
+) -> Vec<AnalyzedSentence> {
     analyze(&gold.text, matcher, tagger)
 }
 
@@ -113,8 +127,7 @@ pub fn gold_labels(
     sentence: &AnalyzedSentence,
     labels: &LabelSet,
 ) -> Vec<kg_extract::LabelId> {
-    let spans: Vec<(usize, usize)> =
-        sentence.tokens.iter().map(|t| (t.start, t.end)).collect();
+    let spans: Vec<(usize, usize)> = sentence.tokens.iter().map(|t| (t.start, t.end)).collect();
     let tags = kg_corpus::bio_tags(&gold.mentions, &spans);
     tags.iter()
         .map(|t| labels.id(t).unwrap_or(LabelSet::O))
@@ -160,9 +173,10 @@ pub fn train_ner(web: &SimulatedWeb, config: &TrainingConfig) -> TrainedNer {
                 .collect();
             (seqs, acc)
         }
-        LabelSource::MajorityVote => {
-            (LabelModel::majority_vote(&lfs, &sentences, &labels), Vec::new())
-        }
+        LabelSource::MajorityVote => (
+            LabelModel::majority_vote(&lfs, &sentences, &labels),
+            Vec::new(),
+        ),
         LabelSource::Gold => {
             let seqs = sentences
                 .iter()
@@ -181,8 +195,7 @@ pub fn train_ner(web: &SimulatedWeb, config: &TrainingConfig) -> TrainedNer {
             .map(|s| s.tokens.iter().map(|t| t.text.to_lowercase()).collect())
             .collect();
         let embeddings = Embeddings::train(&token_corpus, &config.embeddings);
-        featurizer.clusters =
-            Some(KMeans::fit(&embeddings, config.clusters, 25, config.seed));
+        featurizer.clusters = Some(KMeans::fit(&embeddings, config.clusters, 25, config.seed));
     }
     if config.gazetteer_features && config.features.gazetteers {
         featurizer.gazetteers = vec![
@@ -205,7 +218,11 @@ pub fn train_ner(web: &SimulatedWeb, config: &TrainingConfig) -> TrainedNer {
         })
         .collect();
     let crf = Crf::train(labels, map, &examples, &config.crf);
-    TrainedNer { crf, featurizer, lf_accuracies }
+    TrainedNer {
+        crf,
+        featurizer,
+        lf_accuracies,
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +231,11 @@ mod tests {
     use kg_corpus::{standard_sources, SimulatedWeb, World, WorldConfig};
 
     fn web() -> SimulatedWeb {
-        SimulatedWeb::new(World::generate(WorldConfig::tiny(5)), standard_sources(10), 9)
+        SimulatedWeb::new(
+            World::generate(WorldConfig::tiny(5)),
+            standard_sources(10),
+            9,
+        )
     }
 
     #[test]
@@ -226,7 +247,10 @@ mod tests {
         let even_keys: std::collections::HashSet<&str> =
             even.iter().map(|g| g.key.as_str()).collect();
         for o in &odd {
-            assert!(!even_keys.contains(o.key.as_str()), "train/test slices must be disjoint");
+            assert!(
+                !even_keys.contains(o.key.as_str()),
+                "train/test slices must be disjoint"
+            );
         }
     }
 
@@ -250,7 +274,10 @@ mod tests {
         let web = web();
         let config = TrainingConfig {
             articles: 60,
-            crf: CrfConfig { epochs: 4, ..CrfConfig::default() },
+            crf: CrfConfig {
+                epochs: 4,
+                ..CrfConfig::default()
+            },
             clusters: 8,
             ..TrainingConfig::default()
         };
@@ -261,9 +288,13 @@ mod tests {
         // corpus-like sentence.
         let mentions =
             pipeline.mentions("the wannacry ransomware dropped tasksche.exe on the host.");
-        assert!(mentions.iter().any(|m| m.kind == kg_ontology::EntityKind::FileName));
+        assert!(mentions
+            .iter()
+            .any(|m| m.kind == kg_ontology::EntityKind::FileName));
         assert!(
-            mentions.iter().any(|m| m.kind == kg_ontology::EntityKind::Malware),
+            mentions
+                .iter()
+                .any(|m| m.kind == kg_ontology::EntityKind::Malware),
             "{mentions:?}"
         );
     }

@@ -39,23 +39,73 @@ const FILLERS: &[&str] = &[
 /// One world fact scheduled for rendering as a sentence.
 #[derive(Debug, Clone)]
 enum Fact {
-    Drop { mal: String, file: String },
-    CreatePath { mal: String, path: String },
-    PersistReg { mal: String, reg: String },
-    Connect { mal: String, target: (EntityKind, String) },
-    Download { mal: String, url: String },
-    Exploit { subj: (EntityKind, String), cve: String },
-    Attributed { subj: (EntityKind, String), actor: String },
-    UseThing { subj: (EntityKind, String), obj: (EntityKind, String) },
-    UsePair { subj: (EntityKind, String), a: (EntityKind, String), b: (EntityKind, String) },
-    Target { subj: (EntityKind, String), soft: String },
-    Affects { cve: String, soft: String },
-    Conducts { actor: String, camp: String },
-    IdentifiedBy { hash: (EntityKind, String), file: String },
-    Resolve { mal: String, dom: String },
-    Send { mal: String, email: String },
-    Encrypt { mal: String },
-    MentionHashes { hashes: Vec<(EntityKind, String)> },
+    Drop {
+        mal: String,
+        file: String,
+    },
+    CreatePath {
+        mal: String,
+        path: String,
+    },
+    PersistReg {
+        mal: String,
+        reg: String,
+    },
+    Connect {
+        mal: String,
+        target: (EntityKind, String),
+    },
+    Download {
+        mal: String,
+        url: String,
+    },
+    Exploit {
+        subj: (EntityKind, String),
+        cve: String,
+    },
+    Attributed {
+        subj: (EntityKind, String),
+        actor: String,
+    },
+    UseThing {
+        subj: (EntityKind, String),
+        obj: (EntityKind, String),
+    },
+    UsePair {
+        subj: (EntityKind, String),
+        a: (EntityKind, String),
+        b: (EntityKind, String),
+    },
+    Target {
+        subj: (EntityKind, String),
+        soft: String,
+    },
+    Affects {
+        cve: String,
+        soft: String,
+    },
+    Conducts {
+        actor: String,
+        camp: String,
+    },
+    IdentifiedBy {
+        hash: (EntityKind, String),
+        file: String,
+    },
+    Resolve {
+        mal: String,
+        dom: String,
+    },
+    Send {
+        mal: String,
+        email: String,
+    },
+    Encrypt {
+        mal: String,
+    },
+    MentionHashes {
+        hashes: Vec<(EntityKind, String)>,
+    },
 }
 
 /// Generates articles (with gold labels) for sources, lazily and
@@ -70,7 +120,11 @@ pub struct ArticleGenerator<'w> {
 impl<'w> ArticleGenerator<'w> {
     /// Create a generator over a world.
     pub fn new(world: &'w World, seed: u64) -> Self {
-        ArticleGenerator { world, ontology: Ontology::standard(), seed }
+        ArticleGenerator {
+            world,
+            ontology: Ontology::standard(),
+            seed,
+        }
     }
 
     /// The world this generator draws facts from.
@@ -80,7 +134,9 @@ impl<'w> ArticleGenerator<'w> {
 
     /// Generate article `index` of `spec`, with full gold annotations.
     pub fn generate(&self, spec: &SourceSpec, index: usize) -> GoldReport {
-        let mut rng = Rng::new(self.seed).derive(&spec.name).derive_idx("article", index as u64);
+        let mut rng = Rng::new(self.seed)
+            .derive(&spec.name)
+            .derive_idx("article", index as u64);
         let category = pick_category(&mut rng, spec.category_mix);
         match category {
             ReportCategory::Malware => self.malware_report(spec, index, &mut rng),
@@ -102,17 +158,29 @@ impl<'w> ArticleGenerator<'w> {
 
         let mut facts: Vec<Fact> = Vec::new();
         for f in &m.dropped_files {
-            facts.push(Fact::Drop { mal: mal.clone(), file: f.clone() });
+            facts.push(Fact::Drop {
+                mal: mal.clone(),
+                file: f.clone(),
+            });
         }
         for p in &m.file_paths {
-            facts.push(Fact::CreatePath { mal: mal.clone(), path: p.clone() });
+            facts.push(Fact::CreatePath {
+                mal: mal.clone(),
+                path: p.clone(),
+            });
         }
         for r in &m.registry_keys {
-            facts.push(Fact::PersistReg { mal: mal.clone(), reg: r.clone() });
+            facts.push(Fact::PersistReg {
+                mal: mal.clone(),
+                reg: r.clone(),
+            });
         }
         for d in &m.domains {
             if rng.chance(0.3) {
-                facts.push(Fact::Resolve { mal: mal.clone(), dom: d.clone() });
+                facts.push(Fact::Resolve {
+                    mal: mal.clone(),
+                    dom: d.clone(),
+                });
             } else {
                 facts.push(Fact::Connect {
                     mal: mal.clone(),
@@ -121,16 +189,28 @@ impl<'w> ArticleGenerator<'w> {
             }
         }
         for ip in &m.ips {
-            facts.push(Fact::Connect { mal: mal.clone(), target: (EntityKind::IpAddress, ip.clone()) });
+            facts.push(Fact::Connect {
+                mal: mal.clone(),
+                target: (EntityKind::IpAddress, ip.clone()),
+            });
         }
         for u in &m.urls {
-            facts.push(Fact::Download { mal: mal.clone(), url: u.clone() });
+            facts.push(Fact::Download {
+                mal: mal.clone(),
+                url: u.clone(),
+            });
         }
         for e in &m.emails {
-            facts.push(Fact::Send { mal: mal.clone(), email: e.clone() });
+            facts.push(Fact::Send {
+                mal: mal.clone(),
+                email: e.clone(),
+            });
         }
         for &c in &m.cves {
-            facts.push(Fact::Exploit { subj: mal_e.clone(), cve: self.world.cves[c].id.clone() });
+            facts.push(Fact::Exploit {
+                subj: mal_e.clone(),
+                cve: self.world.cves[c].id.clone(),
+            });
         }
         for &t in &m.techniques {
             facts.push(Fact::UseThing {
@@ -145,11 +225,17 @@ impl<'w> ArticleGenerator<'w> {
             });
         }
         for &s in &m.target_software {
-            facts.push(Fact::Target { subj: mal_e.clone(), soft: self.world.software[s].clone() });
+            facts.push(Fact::Target {
+                subj: mal_e.clone(),
+                soft: self.world.software[s].clone(),
+            });
         }
         if let Some(a) = m.actor {
             let actor = Self::alias_for(spec, &self.world.actors[a].aliases);
-            facts.push(Fact::Attributed { subj: mal_e.clone(), actor });
+            facts.push(Fact::Attributed {
+                subj: mal_e.clone(),
+                actor,
+            });
         }
         if m.is_ransomware {
             facts.push(Fact::Encrypt { mal: mal.clone() });
@@ -163,7 +249,9 @@ impl<'w> ArticleGenerator<'w> {
             }
         }
         if m.hashes.len() > 1 {
-            facts.push(Fact::MentionHashes { hashes: m.hashes[1..].to_vec() });
+            facts.push(Fact::MentionHashes {
+                hashes: m.hashes[1..].to_vec(),
+            });
         }
 
         let title = match rng.below(3) {
@@ -172,11 +260,7 @@ impl<'w> ArticleGenerator<'w> {
             _ => format!("New {mal} activity observed in the wild"),
         };
 
-        let mut structured = vec![(
-            "family".to_owned(),
-            mal.clone(),
-            Some(EntityKind::Malware),
-        )];
+        let mut structured = vec![("family".to_owned(), mal.clone(), Some(EntityKind::Malware))];
         if let Some((kind, hash)) = m.hashes.first() {
             let key = match kind {
                 EntityKind::HashMd5 => "md5",
@@ -207,7 +291,10 @@ impl<'w> ArticleGenerator<'w> {
         let cve = &self.world.cves[ci];
         let soft = self.world.software[cve.affects].clone();
 
-        let mut facts = vec![Fact::Affects { cve: cve.id.clone(), soft: soft.clone() }];
+        let mut facts = vec![Fact::Affects {
+            cve: cve.id.clone(),
+            soft: soft.clone(),
+        }];
         // Malware exploiting this CVE, if any.
         for m in &self.world.malware {
             if m.cves.contains(&ci) {
@@ -232,9 +319,21 @@ impl<'w> ArticleGenerator<'w> {
             _ => format!("Advisory: {} patched in {}", cve.id, soft),
         };
         let structured = vec![
-            ("cve id".to_owned(), cve.id.clone(), Some(EntityKind::Vulnerability)),
-            ("affected product".to_owned(), soft.clone(), Some(EntityKind::Software)),
-            ("cvss score".to_owned(), format!("{}.{}", rng.range(6, 9), rng.below(10)), None),
+            (
+                "cve id".to_owned(),
+                cve.id.clone(),
+                Some(EntityKind::Vulnerability),
+            ),
+            (
+                "affected product".to_owned(),
+                soft.clone(),
+                Some(EntityKind::Software),
+            ),
+            (
+                "cvss score".to_owned(),
+                format!("{}.{}", rng.range(6, 9), rng.below(10)),
+                None,
+            ),
         ];
 
         self.assemble(
@@ -245,7 +344,10 @@ impl<'w> ArticleGenerator<'w> {
             structured,
             facts,
             rng,
-            Some(IntroSpec::Vuln { cve: cve.id.clone(), soft }),
+            Some(IntroSpec::Vuln {
+                cve: cve.id.clone(),
+                soft,
+            }),
         )
     }
 
@@ -255,9 +357,15 @@ impl<'w> ArticleGenerator<'w> {
         let actor_e = (EntityKind::ThreatActor, actor.clone());
 
         let mut facts: Vec<Fact> = Vec::new();
-        let camp = a.campaigns.first().map(|&c| self.world.campaigns[c].clone());
+        let camp = a
+            .campaigns
+            .first()
+            .map(|&c| self.world.campaigns[c].clone());
         if let Some(camp) = &camp {
-            facts.push(Fact::Conducts { actor: actor.clone(), camp: camp.clone() });
+            facts.push(Fact::Conducts {
+                actor: actor.clone(),
+                camp: camp.clone(),
+            });
             if rng.chance(0.5) {
                 facts.push(Fact::Attributed {
                     subj: (EntityKind::Campaign, camp.clone()),
@@ -293,7 +401,8 @@ impl<'w> ArticleGenerator<'w> {
         }
         // A malware deployed by this actor, if the world links one.
         if let Some(m) = self.world.malware.iter().find(|m| {
-            m.actor.is_some_and(|ai| self.world.actors[ai].name == a.name)
+            m.actor
+                .is_some_and(|ai| self.world.actors[ai].name == a.name)
         }) {
             facts.push(Fact::UseThing {
                 subj: actor_e.clone(),
@@ -441,7 +550,11 @@ impl<'w> ArticleGenerator<'w> {
                     (EntityKind::Malware, mal),
                     "drop",
                     (EntityKind::FileName, file),
-                    &["on the infected host.", "shortly after execution.", "to disk."],
+                    &[
+                        "on the infected host.",
+                        "shortly after execution.",
+                        "to disk.",
+                    ],
                 );
             }
             Fact::CreatePath { mal, path } => {
@@ -516,7 +629,11 @@ impl<'w> ArticleGenerator<'w> {
                     (subj.0, &subj.1),
                     verb,
                     (EntityKind::Vulnerability, cve),
-                    &["to gain initial access.", "in the wild.", "for lateral movement."],
+                    &[
+                        "to gain initial access.",
+                        "in the wild.",
+                        "for lateral movement.",
+                    ],
                 );
             }
             Fact::Attributed { subj, actor } => match rng.below(2) {
@@ -544,7 +661,11 @@ impl<'w> ArticleGenerator<'w> {
                     (subj.0, &subj.1),
                     verb,
                     (obj.0, &obj.1),
-                    &["during the intrusion.", "to great effect.", "in recent incidents."],
+                    &[
+                        "during the intrusion.",
+                        "to great effect.",
+                        "in recent incidents.",
+                    ],
                 );
             }
             Fact::UsePair { subj, a, b: second } => {
@@ -570,7 +691,11 @@ impl<'w> ArticleGenerator<'w> {
                     (subj.0, &subj.1),
                     verb,
                     (EntityKind::Software, soft),
-                    &["installations.", "deployments across multiple sectors.", "users."],
+                    &[
+                        "installations.",
+                        "deployments across multiple sectors.",
+                        "users.",
+                    ],
                 );
             }
             Fact::Affects { cve, soft } => {
@@ -647,7 +772,9 @@ impl<'w> ArticleGenerator<'w> {
     }
 
     fn resolve(&self, subj: EntityKind, verb: &str, obj: EntityKind) -> RelationKind {
-        self.ontology.resolve_extracted(subj, verb, obj).unwrap_or(RelationKind::RelatedTo)
+        self.ontology
+            .resolve_extracted(subj, verb, obj)
+            .unwrap_or(RelationKind::RelatedTo)
     }
 
     /// Emit "<S> <verb> <O> <tail>" with active/passive variation.
@@ -774,7 +901,12 @@ mod tests {
         for spec in sources.iter().take(8) {
             for i in 0..20 {
                 let r = generator.generate(spec, i);
-                assert!(r.is_consistent(), "source {} article {i}:\n{}", spec.name, r.text);
+                assert!(
+                    r.is_consistent(),
+                    "source {} article {i}:\n{}",
+                    spec.name,
+                    r.text
+                );
                 assert!(!r.title.is_empty());
                 assert!(!r.text.is_empty());
             }

@@ -47,7 +47,10 @@ pub fn third_singular(lemma: &str) -> String {
             return format!("{stripped}ies");
         }
     }
-    if ["s", "sh", "ch", "x", "z", "o"].iter().any(|s| lemma.ends_with(s)) {
+    if ["s", "sh", "ch", "x", "z", "o"]
+        .iter()
+        .any(|s| lemma.ends_with(s))
+    {
         return format!("{lemma}es");
     }
     format!("{lemma}s")
@@ -139,7 +142,9 @@ mod tests {
     #[test]
     fn inflections_lemmatize_back() {
         use kg_nlp::pos::PosTag;
-        for lemma in ["drop", "use", "encrypt", "target", "exploit", "download", "steal"] {
+        for lemma in [
+            "drop", "use", "encrypt", "target", "exploit", "download", "steal",
+        ] {
             for form in [third_singular(lemma), past(lemma), gerund(lemma)] {
                 let back = kg_nlp::lemma::lemmatize_validated(&form, PosTag::Verb, |c| c == lemma);
                 assert_eq!(back, lemma, "form {form}");

@@ -37,7 +37,10 @@ pub use world::{ActorProfile, CuratedLists, MalwareProfile, World, WorldConfig};
 /// Convenience constructor: a complete simulated web with the standard 42
 /// sources, `articles_per_source` scale and a single seed.
 pub fn standard_web(articles_per_source: usize, seed: u64) -> SimulatedWeb {
-    let world = World::generate(WorldConfig { seed, ..WorldConfig::default() });
+    let world = World::generate(WorldConfig {
+        seed,
+        ..WorldConfig::default()
+    });
     SimulatedWeb::new(world, standard_sources(articles_per_source), seed)
 }
 

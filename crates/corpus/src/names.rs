@@ -14,10 +14,38 @@ use crate::rng::Rng;
 
 /// Well-known malware family names (with alias groups for fusion tests).
 pub const SEED_MALWARE: &[&str] = &[
-    "wannacry", "emotet", "notpetya", "trickbot", "ryuk", "dridex", "qakbot", "locky",
-    "gandcrab", "maze", "conti", "revil", "zeus", "mirai", "stuxnet", "duqu", "flame",
-    "shamoon", "carbanak", "ursnif", "icedid", "raccoon", "agenttesla", "formbook",
-    "nanocore", "remcos", "darkcomet", "njrat", "plugx", "sunburst", "teardrop", "cobaltkitty",
+    "wannacry",
+    "emotet",
+    "notpetya",
+    "trickbot",
+    "ryuk",
+    "dridex",
+    "qakbot",
+    "locky",
+    "gandcrab",
+    "maze",
+    "conti",
+    "revil",
+    "zeus",
+    "mirai",
+    "stuxnet",
+    "duqu",
+    "flame",
+    "shamoon",
+    "carbanak",
+    "ursnif",
+    "icedid",
+    "raccoon",
+    "agenttesla",
+    "formbook",
+    "nanocore",
+    "remcos",
+    "darkcomet",
+    "njrat",
+    "plugx",
+    "sunburst",
+    "teardrop",
+    "cobaltkitty",
 ];
 
 /// Alias groups: names in a group refer to the same malware under different
@@ -33,10 +61,26 @@ pub const MALWARE_ALIASES: &[&[&str]] = &[
 
 /// Well-known threat actor names.
 pub const SEED_ACTORS: &[&str] = &[
-    "cozyduke", "lazarus group", "fancy bear", "equation group", "sandworm", "turla",
-    "carbon spider", "wizard spider", "ocean lotus", "kimsuky", "mustang panda",
-    "winnti group", "gallium", "hafnium", "nobelium", "charming kitten", "muddywater",
-    "gamaredon", "sidewinder", "transparent tribe",
+    "cozyduke",
+    "lazarus group",
+    "fancy bear",
+    "equation group",
+    "sandworm",
+    "turla",
+    "carbon spider",
+    "wizard spider",
+    "ocean lotus",
+    "kimsuky",
+    "mustang panda",
+    "winnti group",
+    "gallium",
+    "hafnium",
+    "nobelium",
+    "charming kitten",
+    "muddywater",
+    "gamaredon",
+    "sidewinder",
+    "transparent tribe",
 ];
 
 /// Actor alias groups (vendor naming conventions differ wildly for actors).
@@ -49,50 +93,130 @@ pub const ACTOR_ALIASES: &[&[&str]] = &[
 
 /// ATT&CK-style technique names (lowercase).
 pub const SEED_TECHNIQUES: &[&str] = &[
-    "spearphishing attachment", "spearphishing link", "credential dumping",
-    "process injection", "scheduled task", "registry run keys", "powershell execution",
-    "lateral movement", "pass the hash", "dll side-loading", "masquerading",
-    "obfuscated files", "remote desktop protocol", "brute force", "data encrypted for impact",
-    "exfiltration over c2 channel", "supply chain compromise", "drive-by compromise",
-    "command and scripting interpreter", "valid accounts", "web shell", "keylogging",
-    "screen capture", "domain generation algorithms", "smb exploitation",
-    "kerberoasting", "living off the land", "token impersonation",
+    "spearphishing attachment",
+    "spearphishing link",
+    "credential dumping",
+    "process injection",
+    "scheduled task",
+    "registry run keys",
+    "powershell execution",
+    "lateral movement",
+    "pass the hash",
+    "dll side-loading",
+    "masquerading",
+    "obfuscated files",
+    "remote desktop protocol",
+    "brute force",
+    "data encrypted for impact",
+    "exfiltration over c2 channel",
+    "supply chain compromise",
+    "drive-by compromise",
+    "command and scripting interpreter",
+    "valid accounts",
+    "web shell",
+    "keylogging",
+    "screen capture",
+    "domain generation algorithms",
+    "smb exploitation",
+    "kerberoasting",
+    "living off the land",
+    "token impersonation",
 ];
 
 /// Attack tool names.
 pub const SEED_TOOLS: &[&str] = &[
-    "mimikatz", "cobalt strike", "psexec", "metasploit", "empire", "bloodhound",
-    "powersploit", "lazagne", "procdump", "netcat", "nmap", "responder", "rubeus",
-    "sharphound", "impacket", "plink", "advanced port scanner", "anydesk",
+    "mimikatz",
+    "cobalt strike",
+    "psexec",
+    "metasploit",
+    "empire",
+    "bloodhound",
+    "powersploit",
+    "lazagne",
+    "procdump",
+    "netcat",
+    "nmap",
+    "responder",
+    "rubeus",
+    "sharphound",
+    "impacket",
+    "plink",
+    "advanced port scanner",
+    "anydesk",
 ];
 
 /// Targeted / abused software names.
 pub const SEED_SOFTWARE: &[&str] = &[
-    "windows", "microsoft office", "internet explorer", "microsoft exchange", "outlook",
-    "apache struts", "apache tomcat", "oracle weblogic", "adobe flash player",
-    "adobe reader", "java runtime", "openssl", "vmware vcenter", "citrix gateway",
-    "fortinet vpn", "pulse secure", "jenkins", "drupal", "wordpress", "smb protocol",
+    "windows",
+    "microsoft office",
+    "internet explorer",
+    "microsoft exchange",
+    "outlook",
+    "apache struts",
+    "apache tomcat",
+    "oracle weblogic",
+    "adobe flash player",
+    "adobe reader",
+    "java runtime",
+    "openssl",
+    "vmware vcenter",
+    "citrix gateway",
+    "fortinet vpn",
+    "pulse secure",
+    "jenkins",
+    "drupal",
+    "wordpress",
+    "smb protocol",
 ];
 
 /// Campaign name fragments.
 pub const CAMPAIGN_ADJECTIVES: &[&str] = &[
-    "silent", "hidden", "crimson", "frozen", "burning", "twisted", "shattered", "phantom",
-    "midnight", "emerald", "iron", "velvet", "broken", "silver", "obsidian", "scarlet",
+    "silent",
+    "hidden",
+    "crimson",
+    "frozen",
+    "burning",
+    "twisted",
+    "shattered",
+    "phantom",
+    "midnight",
+    "emerald",
+    "iron",
+    "velvet",
+    "broken",
+    "silver",
+    "obsidian",
+    "scarlet",
 ];
 
 pub const CAMPAIGN_NOUNS: &[&str] = &[
-    "serpent", "falcon", "tempest", "cascade", "harvest", "eclipse", "lantern", "anvil",
-    "compass", "monsoon", "aurora", "labyrinth", "sickle", "mirage", "citadel", "vortex",
+    "serpent",
+    "falcon",
+    "tempest",
+    "cascade",
+    "harvest",
+    "eclipse",
+    "lantern",
+    "anvil",
+    "compass",
+    "monsoon",
+    "aurora",
+    "labyrinth",
+    "sickle",
+    "mirage",
+    "citadel",
+    "vortex",
 ];
 
 /// Syllables for fabricated malware names.
 const MAL_SYLLABLES: &[&str] = &[
-    "zar", "vex", "kro", "lum", "dra", "mok", "tri", "bal", "rex", "nox", "pyr", "gla",
-    "shi", "vor", "qua", "zen", "hek", "tor", "fen", "bru", "cin", "dul", "eri", "fro",
+    "zar", "vex", "kro", "lum", "dra", "mok", "tri", "bal", "rex", "nox", "pyr", "gla", "shi",
+    "vor", "qua", "zen", "hek", "tor", "fen", "bru", "cin", "dul", "eri", "fro",
 ];
 
-const MAL_SUFFIXES: &[&str] =
-    &["bot", "locker", "crypt", "loader", "stealer", "rat", "worm", "kit", "spy", "miner"];
+const MAL_SUFFIXES: &[&str] = &[
+    "bot", "locker", "crypt", "loader", "stealer", "rat", "worm", "kit", "spy", "miner",
+];
 
 /// Fabricate a malware family name not present in the seed list.
 pub fn generate_malware_name(rng: &mut Rng) -> String {
@@ -118,7 +242,11 @@ pub fn generate_actor_name(rng: &mut Rng) -> String {
 
 /// Fabricate a campaign / operation name.
 pub fn generate_campaign_name(rng: &mut Rng) -> String {
-    format!("operation {} {}", rng.pick(CAMPAIGN_ADJECTIVES), rng.pick(CAMPAIGN_NOUNS))
+    format!(
+        "operation {} {}",
+        rng.pick(CAMPAIGN_ADJECTIVES),
+        rng.pick(CAMPAIGN_NOUNS)
+    )
 }
 
 /// Fabricate a CVE identifier.
@@ -129,9 +257,26 @@ pub fn generate_cve(rng: &mut Rng) -> String {
 /// Fabricate a file name IOC.
 pub fn generate_file_name(rng: &mut Rng) -> String {
     const STEMS: &[&str] = &[
-        "svchost", "update", "taskmgr", "winlogon", "installer", "setup", "payload",
-        "loader", "service", "helper", "config", "sync", "backup", "report", "invoice",
-        "document", "readme", "temp", "cache", "driver",
+        "svchost",
+        "update",
+        "taskmgr",
+        "winlogon",
+        "installer",
+        "setup",
+        "payload",
+        "loader",
+        "service",
+        "helper",
+        "config",
+        "sync",
+        "backup",
+        "report",
+        "invoice",
+        "document",
+        "readme",
+        "temp",
+        "cache",
+        "driver",
     ];
     const EXTS: &[&str] = &["exe", "dll", "bat", "ps1", "vbs", "scr", "tmp", "dat", "js"];
     format!("{}{}.{}", rng.pick(STEMS), rng.range(1, 99), rng.pick(EXTS))
@@ -140,8 +285,12 @@ pub fn generate_file_name(rng: &mut Rng) -> String {
 /// Fabricate a Windows file path IOC.
 pub fn generate_file_path(rng: &mut Rng) -> String {
     const DIRS: &[&str] = &[
-        "C:\\Windows\\System32", "C:\\Windows\\Temp", "C:\\ProgramData",
-        "C:\\Users\\Public", "C:\\Windows\\SysWOW64", "C:\\Temp",
+        "C:\\Windows\\System32",
+        "C:\\Windows\\Temp",
+        "C:\\ProgramData",
+        "C:\\Users\\Public",
+        "C:\\Windows\\SysWOW64",
+        "C:\\Temp",
     ];
     format!("{}\\{}", rng.pick(DIRS), generate_file_name(rng))
 }
@@ -155,22 +304,46 @@ pub fn generate_registry_key(rng: &mut Rng) -> String {
         "System\\CurrentControlSet\\Services",
         "Software\\Classes\\CLSID",
     ];
-    const NAMES: &[&str] =
-        &["Updater", "WinHelper", "SysCheck", "NetMon", "Loader", "Backup", "Sync"];
-    format!("{}\\{}\\{}", rng.pick(HIVES), rng.pick(PATHS), rng.pick(NAMES))
+    const NAMES: &[&str] = &[
+        "Updater",
+        "WinHelper",
+        "SysCheck",
+        "NetMon",
+        "Loader",
+        "Backup",
+        "Sync",
+    ];
+    format!(
+        "{}\\{}\\{}",
+        rng.pick(HIVES),
+        rng.pick(PATHS),
+        rng.pick(NAMES)
+    )
 }
 
 /// Fabricate a domain IOC.
 pub fn generate_domain(rng: &mut Rng) -> String {
     const WORDS: &[&str] = &[
-        "update", "cdn", "static", "api", "mail", "secure", "portal", "cloud", "files",
-        "sync", "news", "img", "data", "auth", "panel", "gate",
+        "update", "cdn", "static", "api", "mail", "secure", "portal", "cloud", "files", "sync",
+        "news", "img", "data", "auth", "panel", "gate",
     ];
     const SLDS: &[&str] = &[
-        "checkerr", "fastpath", "zonetrack", "webstat", "hostline", "netpulse", "linkcore",
-        "datahub", "sysboard", "infozone", "driftlane", "coldriver",
+        "checkerr",
+        "fastpath",
+        "zonetrack",
+        "webstat",
+        "hostline",
+        "netpulse",
+        "linkcore",
+        "datahub",
+        "sysboard",
+        "infozone",
+        "driftlane",
+        "coldriver",
     ];
-    const TLDS: &[&str] = &["com", "net", "org", "ru", "cn", "info", "biz", "xyz", "top", "su"];
+    const TLDS: &[&str] = &[
+        "com", "net", "org", "ru", "cn", "info", "biz", "xyz", "top", "su",
+    ];
     format!("{}.{}.{}", rng.pick(WORDS), rng.pick(SLDS), rng.pick(TLDS))
 }
 
@@ -187,15 +360,22 @@ pub fn generate_ip(rng: &mut Rng) -> String {
 
 /// Fabricate a URL IOC.
 pub fn generate_url(rng: &mut Rng) -> String {
-    const PATHS: &[&str] =
-        &["gate.php", "panel/login", "upload", "dl/payload.bin", "api/v1/report", "cfg.dat"];
+    const PATHS: &[&str] = &[
+        "gate.php",
+        "panel/login",
+        "upload",
+        "dl/payload.bin",
+        "api/v1/report",
+        "cfg.dat",
+    ];
     format!("http://{}/{}", generate_domain(rng), rng.pick(PATHS))
 }
 
 /// Fabricate an email IOC.
 pub fn generate_email(rng: &mut Rng) -> String {
-    const LOCALS: &[&str] =
-        &["billing", "invoice", "support", "admin", "hr", "noreply", "security", "alerts"];
+    const LOCALS: &[&str] = &[
+        "billing", "invoice", "support", "admin", "hr", "noreply", "security", "alerts",
+    ];
     format!("{}@{}", rng.pick(LOCALS), generate_domain(rng))
 }
 
@@ -251,7 +431,13 @@ mod tests {
 
     #[test]
     fn seed_lists_are_duplicate_free() {
-        for list in [SEED_MALWARE, SEED_ACTORS, SEED_TECHNIQUES, SEED_TOOLS, SEED_SOFTWARE] {
+        for list in [
+            SEED_MALWARE,
+            SEED_ACTORS,
+            SEED_TECHNIQUES,
+            SEED_TOOLS,
+            SEED_SOFTWARE,
+        ] {
             let set: std::collections::HashSet<_> = list.iter().collect();
             assert_eq!(set.len(), list.len());
         }

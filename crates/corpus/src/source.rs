@@ -13,15 +13,48 @@ use serde::{Deserialize, Serialize};
 
 /// The 42 CTI vendor names behind the simulated sources.
 pub const VENDOR_NAMES: [&str; 42] = [
-    "securelist", "threatpost", "krebsonsec", "malwarebytes-lab", "talos-intel",
-    "unit42", "mandiant-blog", "recordedfuture", "proofpoint-blog", "sophos-news",
-    "eset-welivesec", "trendmicro-blog", "mcafee-labs", "symantec-blog", "fireeye-blog",
-    "crowdstrike-blog", "sentinelone-labs", "checkpoint-research", "fortiguard-labs",
-    "paloalto-blog", "cisco-psirt", "msrc-advisories", "us-cert-alerts", "cisa-advisories",
-    "nvd-feed", "mitre-notes", "sans-isc", "bleeping-computer", "hacker-news-sec",
-    "dark-reading", "security-week", "threat-encyclopedia-a", "threat-encyclopedia-b",
-    "virus-bulletin", "abuse-ch", "phishtank-feed", "spamhaus-news", "team-cymru",
-    "shadowserver", "digital-shadows", "intel471-blog", "flashpoint-intel",
+    "securelist",
+    "threatpost",
+    "krebsonsec",
+    "malwarebytes-lab",
+    "talos-intel",
+    "unit42",
+    "mandiant-blog",
+    "recordedfuture",
+    "proofpoint-blog",
+    "sophos-news",
+    "eset-welivesec",
+    "trendmicro-blog",
+    "mcafee-labs",
+    "symantec-blog",
+    "fireeye-blog",
+    "crowdstrike-blog",
+    "sentinelone-labs",
+    "checkpoint-research",
+    "fortiguard-labs",
+    "paloalto-blog",
+    "cisco-psirt",
+    "msrc-advisories",
+    "us-cert-alerts",
+    "cisa-advisories",
+    "nvd-feed",
+    "mitre-notes",
+    "sans-isc",
+    "bleeping-computer",
+    "hacker-news-sec",
+    "dark-reading",
+    "security-week",
+    "threat-encyclopedia-a",
+    "threat-encyclopedia-b",
+    "virus-bulletin",
+    "abuse-ch",
+    "phishtank-feed",
+    "spamhaus-news",
+    "team-cymru",
+    "shadowserver",
+    "digital-shadows",
+    "intel471-blog",
+    "flashpoint-intel",
 ];
 
 /// What kind of publication a source is (affects category mix and style).
@@ -176,7 +209,11 @@ pub fn render_article(spec: &SourceSpec, gold: &GoldReport, page: u32, total_pag
     let per_page = paragraphs.len().div_ceil(total_pages as usize).max(1);
     let start = (page as usize - 1) * per_page;
     let end = (start + per_page).min(paragraphs.len());
-    let page_paragraphs = if start < paragraphs.len() { &paragraphs[start..end] } else { &[] };
+    let page_paragraphs = if start < paragraphs.len() {
+        &paragraphs[start..end]
+    } else {
+        &[]
+    };
 
     let mut html = String::with_capacity(2048);
     html.push_str("<!DOCTYPE html>\n<html>\n<head>\n<title>");
@@ -207,11 +244,7 @@ pub fn render_article(spec: &SourceSpec, gold: &GoldReport, page: u32, total_pag
                 if !gold.structured.is_empty() {
                     html.push_str("<dl class=\"meta\">\n");
                     for (k, v, _) in &gold.structured {
-                        html.push_str(&format!(
-                            "<dt>{}</dt><dd>{}</dd>\n",
-                            escape(k),
-                            escape(v)
-                        ));
+                        html.push_str(&format!("<dt>{}</dt><dd>{}</dd>\n", escape(k), escape(v)));
                     }
                     html.push_str("</dl>\n");
                 }
@@ -293,8 +326,14 @@ mod tests {
     fn urls_compose() {
         let s = &standard_sources(10)[0];
         assert_eq!(s.index_url(2), "https://securelist.example/index?page=2");
-        assert_eq!(s.article_url("r5", 1), "https://securelist.example/reports/r5");
-        assert_eq!(s.article_url("r5", 2), "https://securelist.example/reports/r5?page=2");
+        assert_eq!(
+            s.article_url("r5", 1),
+            "https://securelist.example/reports/r5"
+        );
+        assert_eq!(
+            s.article_url("r5", 2),
+            "https://securelist.example/reports/r5?page=2"
+        );
     }
 
     fn tiny_gold() -> GoldReport {
@@ -312,7 +351,10 @@ mod tests {
     #[test]
     fn render_escapes_and_paginates() {
         let sources = standard_sources(10);
-        let meta_source = sources.iter().find(|s| s.style == TemplateStyle::MetaTable).unwrap();
+        let meta_source = sources
+            .iter()
+            .find(|s| s.style == TemplateStyle::MetaTable)
+            .unwrap();
         let gold = tiny_gold();
         let p1 = render_article(meta_source, &gold, 1, 2);
         assert!(p1.contains("&lt;test&gt; &amp; title"));
@@ -321,7 +363,10 @@ mod tests {
         assert!(!p1.contains("Para three"));
         let p2 = render_article(meta_source, &gold, 2, 2);
         assert!(p2.contains("Para three"));
-        assert!(!p2.contains("<table class=\"meta\">"), "meta only on page 1");
+        assert!(
+            !p2.contains("<table class=\"meta\">"),
+            "meta only on page 1"
+        );
     }
 
     #[test]

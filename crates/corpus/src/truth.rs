@@ -56,9 +56,10 @@ impl GoldReport {
             m.end <= self.text.len()
                 && m.start < m.end
                 && self.text.get(m.start..m.end) == Some(m.text.as_str())
-        }) && self.relations.iter().all(|r| {
-            r.subject < self.mentions.len() && r.object < self.mentions.len()
-        })
+        }) && self
+            .relations
+            .iter()
+            .all(|r| r.subject < self.mentions.len() && r.object < self.mentions.len())
     }
 
     /// Mentions of a given kind.
@@ -95,14 +96,24 @@ impl TextBuilder {
     pub fn entity(&mut self, kind: EntityKind, name: &str) -> usize {
         let start = self.text.len();
         self.text.push_str(name);
-        self.mentions.push(GoldMention { kind, start, end: self.text.len(), text: name.into() });
+        self.mentions.push(GoldMention {
+            kind,
+            start,
+            end: self.text.len(),
+            text: name.into(),
+        });
         self.mentions.len() - 1
     }
 
     /// Record a relation between two previously appended mentions.
     pub fn relation(&mut self, subject: usize, verb: &str, object: usize, kind: RelationKind) {
         debug_assert!(subject < self.mentions.len() && object < self.mentions.len());
-        self.relations.push(GoldRelation { subject, object, verb: verb.into(), kind });
+        self.relations.push(GoldRelation {
+            subject,
+            object,
+            verb: verb.into(),
+            kind,
+        });
     }
 
     /// End the current paragraph (canonical separator is a single `\n`).
@@ -143,10 +154,7 @@ impl TextBuilder {
 /// token) or `I-<stem>`; all others get `"O"`. Tokens partially overlapping a
 /// mention boundary count as outside — the tokenizer's IOC protection should
 /// prevent that case, and the strictness surfaces misalignment bugs in tests.
-pub fn bio_tags(
-    mentions: &[GoldMention],
-    token_spans: &[(usize, usize)],
-) -> Vec<String> {
+pub fn bio_tags(mentions: &[GoldMention], token_spans: &[(usize, usize)]) -> Vec<String> {
     let mut tags = vec!["O".to_owned(); token_spans.len()];
     for mention in mentions {
         let mut first = true;

@@ -35,7 +35,11 @@ pub struct SimulatedWeb {
 impl SimulatedWeb {
     /// Build a web over a world with the given sources.
     pub fn new(world: World, sources: Vec<SourceSpec>, seed: u64) -> Self {
-        SimulatedWeb { world, sources, seed }
+        SimulatedWeb {
+            world,
+            sources,
+            seed,
+        }
     }
 
     /// The source registry.
@@ -62,18 +66,25 @@ impl SimulatedWeb {
 
     /// Total published articles across all sources at `now_ms`.
     pub fn total_published(&self, now_ms: u64) -> usize {
-        self.sources.iter().map(|s| self.published_count(s, now_ms)).sum()
+        self.sources
+            .iter()
+            .map(|s| self.published_count(s, now_ms))
+            .sum()
     }
 
     /// Whether article `index` of `spec` is an ad/junk page.
     pub fn is_ad(&self, spec: &SourceSpec, index: usize) -> bool {
-        let mut rng = Rng::new(self.seed).derive(&spec.name).derive_idx("ad", index as u64);
+        let mut rng = Rng::new(self.seed)
+            .derive(&spec.name)
+            .derive_idx("ad", index as u64);
         rng.chance(spec.ad_rate)
     }
 
     /// Number of pages article `index` of `spec` spans.
     pub fn page_count(&self, spec: &SourceSpec, index: usize) -> u32 {
-        let mut rng = Rng::new(self.seed).derive(&spec.name).derive_idx("pages", index as u64);
+        let mut rng = Rng::new(self.seed)
+            .derive(&spec.name)
+            .derive_idx("pages", index as u64);
         if rng.chance(spec.multipage_prob) {
             2
         } else {
@@ -97,30 +108,46 @@ impl SimulatedWeb {
     /// the behaviour the crawler's retry policy is designed for.
     pub fn fetch(&self, url: &str, now_ms: u64) -> FetchResponse {
         let Some((spec, path)) = self.resolve_host(url) else {
-            return FetchResponse { status: FetchStatus::NotFound, body: String::new(), latency_ms: 5 };
+            return FetchResponse {
+                status: FetchStatus::NotFound,
+                body: String::new(),
+                latency_ms: 5,
+            };
         };
 
         // Latency draw (deterministic per url+time window).
-        let mut lat_rng = Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes()))
-            .derive_idx("latency", now_ms >> 8);
+        let mut lat_rng =
+            Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes())).derive_idx("latency", now_ms >> 8);
         let latency_ms = spec.base_latency_ms
-            + if spec.latency_jitter_ms > 0 { lat_rng.below(spec.latency_jitter_ms as usize + 1) as u64 } else { 0 };
+            + if spec.latency_jitter_ms > 0 {
+                lat_rng.below(spec.latency_jitter_ms as usize + 1) as u64
+            } else {
+                0
+            };
 
         // Transient failure draw.
-        let mut fail_rng = Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes()))
-            .derive_idx("fail", now_ms >> 12);
+        let mut fail_rng =
+            Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes())).derive_idx("fail", now_ms >> 12);
         if fail_rng.chance(spec.failure_rate) {
             let status = if fail_rng.chance(0.5) {
                 FetchStatus::ServerError
             } else {
                 FetchStatus::TimedOut
             };
-            return FetchResponse { status, body: String::new(), latency_ms: latency_ms * 3 };
+            return FetchResponse {
+                status,
+                body: String::new(),
+                latency_ms: latency_ms * 3,
+            };
         }
 
         let body = self.render_path(spec, path, now_ms);
         match body {
-            Some(b) => FetchResponse { status: FetchStatus::Ok, body: b, latency_ms },
+            Some(b) => FetchResponse {
+                status: FetchStatus::Ok,
+                body: b,
+                latency_ms,
+            },
             None => FetchResponse {
                 status: FetchStatus::NotFound,
                 body: String::new(),
@@ -191,7 +218,11 @@ mod tests {
     const FOREVER: u64 = u64::MAX / 2;
 
     fn web() -> SimulatedWeb {
-        SimulatedWeb::new(World::generate(WorldConfig::tiny(1)), standard_sources(30), 7)
+        SimulatedWeb::new(
+            World::generate(WorldConfig::tiny(1)),
+            standard_sources(30),
+            7,
+        )
     }
 
     #[test]
@@ -216,9 +247,13 @@ mod tests {
     #[test]
     fn unknown_urls_404() {
         let web = web();
-        assert_eq!(web.fetch("https://nowhere.example/x", FOREVER).status, FetchStatus::NotFound);
         assert_eq!(
-            web.fetch("https://securelist.example/bogus", FOREVER).status,
+            web.fetch("https://nowhere.example/x", FOREVER).status,
+            FetchStatus::NotFound
+        );
+        assert_eq!(
+            web.fetch("https://securelist.example/bogus", FOREVER)
+                .status,
             FetchStatus::NotFound
         );
         let beyond = web.sources()[0].article_url("r999999", 1);
@@ -232,7 +267,10 @@ mod tests {
         let url = spec.article_url("r5", 1);
         let before = spec.publish_time_ms(5) - 1;
         assert_eq!(web.fetch(&url, before).status, FetchStatus::NotFound);
-        assert_eq!(web.fetch(&url, spec.publish_time_ms(5)).status, FetchStatus::Ok);
+        assert_eq!(
+            web.fetch(&url, spec.publish_time_ms(5)).status,
+            FetchStatus::Ok
+        );
     }
 
     #[test]

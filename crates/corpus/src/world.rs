@@ -37,7 +37,13 @@ impl Default for WorldConfig {
 impl WorldConfig {
     /// A small world for fast unit tests.
     pub fn tiny(seed: u64) -> Self {
-        WorldConfig { malware_count: 12, actor_count: 6, cve_count: 10, campaign_count: 4, seed }
+        WorldConfig {
+            malware_count: 12,
+            actor_count: 6,
+            cve_count: 10,
+            campaign_count: 4,
+            seed,
+        }
     }
 }
 
@@ -124,11 +130,15 @@ impl World {
     pub fn generate(config: WorldConfig) -> Self {
         let root = Rng::new(config.seed);
 
-        let techniques: Vec<String> =
-            names::SEED_TECHNIQUES.iter().map(|s| (*s).to_owned()).collect();
+        let techniques: Vec<String> = names::SEED_TECHNIQUES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
         let tools: Vec<String> = names::SEED_TOOLS.iter().map(|s| (*s).to_owned()).collect();
-        let software: Vec<String> =
-            names::SEED_SOFTWARE.iter().map(|s| (*s).to_owned()).collect();
+        let software: Vec<String> = names::SEED_SOFTWARE
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
 
         let mut rng = root.derive("campaigns");
         let mut campaigns = Vec::with_capacity(config.campaign_count);
@@ -152,7 +162,10 @@ impl World {
         // The demo's famous vulnerability, always present.
         cves.push(CveProfile {
             id: "CVE-2017-0144".into(),
-            affects: software.iter().position(|s| s == "smb protocol").unwrap_or(0),
+            affects: software
+                .iter()
+                .position(|s| s == "smb protocol")
+                .unwrap_or(0),
             nickname: Some("eternalblue".into()),
         });
         seen.insert("CVE-2017-0144".to_owned());
@@ -164,7 +177,11 @@ impl World {
                 } else {
                     None
                 };
-                cves.push(CveProfile { id, affects: rng.below(software.len()), nickname });
+                cves.push(CveProfile {
+                    id,
+                    affects: rng.below(software.len()),
+                    nickname,
+                });
             }
         }
 
@@ -326,10 +343,16 @@ impl World {
         };
         CuratedLists {
             malware: take(
-                self.malware.iter().flat_map(|m| m.aliases.clone()).collect(),
+                self.malware
+                    .iter()
+                    .flat_map(|m| m.aliases.clone())
+                    .collect(),
                 &mut rng,
             ),
-            actors: take(self.actors.iter().flat_map(|a| a.aliases.clone()).collect(), &mut rng),
+            actors: take(
+                self.actors.iter().flat_map(|a| a.aliases.clone()).collect(),
+                &mut rng,
+            ),
             techniques: take(self.techniques.clone(), &mut rng),
             tools: take(self.tools.clone(), &mut rng),
             software: take(self.software.clone(), &mut rng),
@@ -368,7 +391,10 @@ fn enrich_wannacry(profile: &mut MalwareProfile, techniques: &[String], actors: 
     profile.is_ransomware = true;
     if let Some(t) = techniques.iter().position(|t| t == "smb exploitation") {
         profile.techniques = vec![t];
-        if let Some(t2) = techniques.iter().position(|t| t == "data encrypted for impact") {
+        if let Some(t2) = techniques
+            .iter()
+            .position(|t| t == "data encrypted for impact")
+        {
             profile.techniques.push(t2);
         }
     }

@@ -223,7 +223,11 @@ mod tests {
     const FOREVER: u64 = u64::MAX / 4;
 
     fn web() -> SimulatedWeb {
-        SimulatedWeb::new(World::generate(WorldConfig::tiny(3)), standard_sources(25), 11)
+        SimulatedWeb::new(
+            World::generate(WorldConfig::tiny(3)),
+            standard_sources(25),
+            11,
+        )
     }
 
     #[test]
@@ -231,8 +235,13 @@ mod tests {
         let body = "<a href=\"/reports/r9\">r9</a> <a href=\"/reports/r8\">r8</a>";
         assert_eq!(parse_index_links(body), vec!["r9", "r8"]);
         assert!(!index_has_next(body));
-        assert!(index_has_next("<a class=\"next\" href=\"?page=next\">older</a>"));
-        assert_eq!(parse_total_pages("<div data-page=\"1\" data-total=\"2\"></div>"), 2);
+        assert!(index_has_next(
+            "<a class=\"next\" href=\"?page=next\">older</a>"
+        ));
+        assert_eq!(
+            parse_total_pages("<div data-page=\"1\" data-total=\"2\"></div>"),
+            2
+        );
         assert_eq!(parse_total_pages("<p>no pager</p>"), 1);
     }
 
@@ -288,7 +297,10 @@ mod tests {
         let spec = web.sources()[3].clone();
         assert!(spec.failure_rate > 0.0);
         let mut state = SourceState::default();
-        let config = CrawlerConfig { backoff_base_ms: 6000, ..CrawlerConfig::default() };
+        let config = CrawlerConfig {
+            backoff_base_ms: 6000,
+            ..CrawlerConfig::default()
+        };
         let out = crawl_source(&web, &spec, &mut state, &config, FOREVER);
         assert!(out.retries > 0, "expected transient failures to be retried");
         // With generous backoff the crawl should mostly complete.
@@ -307,15 +319,17 @@ mod tests {
             .find(|s| {
                 s.multipage_prob > 0.0
                     && s.failure_rate == 0.0
-                    && (0..s.article_count)
-                        .any(|i| web.page_count(s, i) == 2 && !web.is_ad(s, i))
+                    && (0..s.article_count).any(|i| web.page_count(s, i) == 2 && !web.is_ad(s, i))
             })
             .expect("some source with a multipage article")
             .clone();
         let mut state = SourceState::default();
         let out = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), FOREVER);
-        let multi: Vec<&RawReport> =
-            out.reports.iter().filter(|r| r.total_pages == Some(2)).collect();
+        let multi: Vec<&RawReport> = out
+            .reports
+            .iter()
+            .filter(|r| r.total_pages == Some(2))
+            .collect();
         assert!(!multi.is_empty(), "no multi-page article crawled");
         // Every 2-page report key appears exactly twice (page 1 and 2).
         let mut counts = std::collections::HashMap::new();
@@ -330,8 +344,10 @@ mod tests {
         let web = web();
         let spec = web.sources()[0].clone();
         let mut state = SourceState::default();
-        let config =
-            CrawlerConfig { max_new_per_source: Some(3), ..CrawlerConfig::default() };
+        let config = CrawlerConfig {
+            max_new_per_source: Some(3),
+            ..CrawlerConfig::default()
+        };
         let out = crawl_source(&web, &spec, &mut state, &config, FOREVER);
         assert_eq!(out.new_reports, 3);
     }

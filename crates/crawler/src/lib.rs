@@ -25,7 +25,7 @@ pub mod state;
 
 pub use fetch::{crawl_source, CrawlError, SourceOutcome};
 pub use pool::{crawl_all, CrawlMetrics};
-pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats};
+pub use scheduler::{RebootEvent, Scheduler, SchedulerConfig, SchedulerStats, MAX_REBOOT_EVENTS};
 pub use state::{CrawlState, SourceState};
 
 use serde::{Deserialize, Serialize};

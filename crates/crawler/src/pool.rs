@@ -54,9 +54,8 @@ impl CrawlMetrics {
     /// time is total fetch latency divided across workers, floored by the
     /// slowest single source (the critical path).
     pub fn reports_per_virtual_minute(&self, n_workers: usize) -> f64 {
-        let elapsed =
-            (self.virtual_ms_total as f64 / n_workers.max(1) as f64)
-                .max(self.virtual_ms_critical_path as f64);
+        let elapsed = (self.virtual_ms_total as f64 / n_workers.max(1) as f64)
+            .max(self.virtual_ms_critical_path as f64);
         if elapsed <= 0.0 {
             return 0.0;
         }
@@ -139,7 +138,11 @@ mod tests {
     const FOREVER: u64 = u64::MAX / 4;
 
     fn web(articles: usize) -> SimulatedWeb {
-        SimulatedWeb::new(World::generate(WorldConfig::tiny(3)), standard_sources(articles), 11)
+        SimulatedWeb::new(
+            World::generate(WorldConfig::tiny(3)),
+            standard_sources(articles),
+            11,
+        )
     }
 
     #[test]
@@ -162,8 +165,14 @@ mod tests {
         let web = web(6);
         let mut s1 = CrawlState::new();
         let mut s8 = CrawlState::new();
-        let c1 = CrawlerConfig { threads: 1, ..CrawlerConfig::default() };
-        let c8 = CrawlerConfig { threads: 8, ..CrawlerConfig::default() };
+        let c1 = CrawlerConfig {
+            threads: 1,
+            ..CrawlerConfig::default()
+        };
+        let c8 = CrawlerConfig {
+            threads: 8,
+            ..CrawlerConfig::default()
+        };
         let (_, m1) = crawl_all(&web, &mut s1, &c1, FOREVER);
         let (_, m8) = crawl_all(&web, &mut s8, &c8, FOREVER);
         assert_eq!(m1.new_reports, m8.new_reports);
@@ -194,6 +203,11 @@ mod tests {
         // may re-attempt articles that hard-failed in cycle 1, but the second
         // cycle is still far cheaper than the first.
         assert!(m2.pages_fetched >= 42, "{}", m2.pages_fetched);
-        assert!(m2.pages_fetched <= m1.pages_fetched / 2, "{} vs {}", m2.pages_fetched, m1.pages_fetched);
+        assert!(
+            m2.pages_fetched <= m1.pages_fetched / 2,
+            "{} vs {}",
+            m2.pages_fetched,
+            m1.pages_fetched
+        );
     }
 }

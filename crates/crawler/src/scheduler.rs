@@ -46,6 +46,22 @@ pub struct SchedulerStats {
     pub reboots: usize,
     pub new_reports: usize,
     pub pages_fetched: usize,
+    /// The first [`MAX_REBOOT_EVENTS`] reboots, with source and cause;
+    /// `reboots` keeps counting past the cap.
+    #[serde(default)]
+    pub reboot_events: Vec<RebootEvent>,
+}
+
+/// At most this many reboot events keep their details.
+pub const MAX_REBOOT_EVENTS: usize = 256;
+
+/// One scheduler reboot: which source crawler aborted, when, and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebootEvent {
+    pub source: String,
+    /// Simulated time the aborted cycle fired.
+    pub due_ms: u64,
+    pub error: String,
 }
 
 /// The periodic crawl scheduler.
@@ -61,8 +77,16 @@ pub struct Scheduler<'w> {
 impl<'w> Scheduler<'w> {
     /// Create a scheduler with every source due at `start_ms`.
     pub fn new(web: &'w SimulatedWeb, config: SchedulerConfig, start_ms: u64) -> Self {
-        let queue = (0..web.sources().len()).map(|i| Reverse((start_ms, i))).collect();
-        Scheduler { web, config, queue, state: CrawlState::new(), stats: SchedulerStats::default() }
+        let queue = (0..web.sources().len())
+            .map(|i| Reverse((start_ms, i)))
+            .collect();
+        Scheduler {
+            web,
+            config,
+            queue,
+            state: CrawlState::new(),
+            stats: SchedulerStats::default(),
+        }
     }
 
     /// Next due time, if any job is queued.
@@ -85,8 +109,15 @@ impl<'w> Scheduler<'w> {
             self.stats.cycles_run += 1;
             self.stats.new_reports += outcome.new_reports;
             self.stats.pages_fetched += outcome.pages_fetched;
-            let next_due = if outcome.error.is_some() {
+            let next_due = if let Some(error) = &outcome.error {
                 self.stats.reboots += 1;
+                if self.stats.reboot_events.len() < MAX_REBOOT_EVENTS {
+                    self.stats.reboot_events.push(RebootEvent {
+                        source: spec.name.clone(),
+                        due_ms: due,
+                        error: error.to_string(),
+                    });
+                }
                 due + outcome.virtual_ms.max(1) + self.config.reboot_delay_ms
             } else {
                 due + outcome.virtual_ms.max(1) + self.config.interval_ms
@@ -104,7 +135,11 @@ mod tests {
     use kg_corpus::{standard_sources, SimulatedWeb, World, WorldConfig};
 
     fn web(articles: usize) -> SimulatedWeb {
-        SimulatedWeb::new(World::generate(WorldConfig::tiny(3)), standard_sources(articles), 11)
+        SimulatedWeb::new(
+            World::generate(WorldConfig::tiny(3)),
+            standard_sources(articles),
+            11,
+        )
     }
 
     #[test]
@@ -113,7 +148,10 @@ mod tests {
         let start = web.sources()[0].publish_time_ms(0);
         let mut sched = Scheduler::new(
             &web,
-            SchedulerConfig { interval_ms: 3_600_000, ..SchedulerConfig::default() },
+            SchedulerConfig {
+                interval_ms: 3_600_000,
+                ..SchedulerConfig::default()
+            },
             start,
         );
         // After the first horizon some articles exist.
@@ -140,8 +178,7 @@ mod tests {
             assert!(seen >= last);
             last = seen;
         }
-        let total_catalog: usize =
-            web.sources().iter().map(|s| s.article_count).sum();
+        let total_catalog: usize = web.sources().iter().map(|s| s.article_count).sum();
         // Everything published by the horizon is eventually crawled. Ads are
         // "seen" too (fetched then discarded downstream), so full coverage.
         let published: usize = web
@@ -173,6 +210,21 @@ mod tests {
         assert!(sched.stats.reboots > 0, "{:?}", sched.stats);
         // Despite reboots, crawling makes progress.
         assert!(sched.state.total_seen() > 0);
+        // Every reboot up to the capture cap is recorded with its cause.
+        assert_eq!(
+            sched.stats.reboot_events.len(),
+            sched.stats.reboots.min(MAX_REBOOT_EVENTS),
+            "{:?}",
+            sched.stats
+        );
+        let event = &sched.stats.reboot_events[0];
+        assert!(!event.source.is_empty());
+        assert!(event.due_ms >= start);
+        assert!(event.error.contains("fetch failures"), "{event:?}");
+        // The event log round-trips with the stats.
+        let json = serde_json::to_string(&sched.stats).unwrap();
+        let back: SchedulerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sched.stats);
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub struct CrfConfig {
 
 impl Default for CrfConfig {
     fn default() -> Self {
-        CrfConfig { epochs: 8, lr: 0.25, l2: 1e-5, seed: 0x1234 }
+        CrfConfig {
+            epochs: 8,
+            lr: 0.25,
+            l2: 1e-5,
+            seed: 0x1234,
+        }
     }
 }
 
@@ -117,7 +122,13 @@ impl Crf {
             }
         }
 
-        Crf { labels, features: map, emit, trans, n_labels }
+        Crf {
+            labels,
+            features: map,
+            emit,
+            trans,
+            n_labels,
+        }
     }
 
     /// One AdaGrad step on one sentence.
@@ -312,9 +323,7 @@ impl Crf {
         for t in (0..t_len - 1).rev() {
             for l in 0..n {
                 for (q, slot) in buf.iter_mut().enumerate() {
-                    *slot = self.trans[l * n + q]
-                        + scores[(t + 1) * n + q]
-                        + beta[(t + 1) * n + q];
+                    *slot = self.trans[l * n + q] + scores[(t + 1) * n + q] + beta[(t + 1) * n + q];
                 }
                 beta[t * n + l] = logsumexp(&buf);
             }
@@ -371,11 +380,26 @@ mod tests {
         let mut examples = Vec::new();
         type Row = (&'static str, Vec<(EntityKind, usize, usize)>);
         let data: Vec<Row> = vec![
-            ("the zarbot family spread fast.", vec![(EntityKind::Malware, 1, 2)]),
-            ("the vexbot family returned today.", vec![(EntityKind::Malware, 1, 2)]),
-            ("the krobot family evolved again.", vec![(EntityKind::Malware, 1, 2)]),
-            ("analysts watched lazarus group closely.", vec![(EntityKind::ThreatActor, 2, 4)]),
-            ("analysts watched sandworm group closely.", vec![(EntityKind::ThreatActor, 2, 4)]),
+            (
+                "the zarbot family spread fast.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
+            (
+                "the vexbot family returned today.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
+            (
+                "the krobot family evolved again.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
+            (
+                "analysts watched lazarus group closely.",
+                vec![(EntityKind::ThreatActor, 2, 4)],
+            ),
+            (
+                "analysts watched sandworm group closely.",
+                vec![(EntityKind::ThreatActor, 2, 4)],
+            ),
             ("nothing suspicious happened yesterday.", vec![]),
             ("the campaign continued without pause.", vec![]),
         ];
@@ -383,7 +407,10 @@ mod tests {
             let sent = analyze(text, &matcher, &tagger).remove(0);
             let feats = featurizer.features_interned(&sent, &mut map);
             let gold = labels.encode_spans(sent.tokens.len(), &spans);
-            examples.push(Example { features: feats, labels: gold });
+            examples.push(Example {
+                features: feats,
+                labels: gold,
+            });
         }
         (labels, map, examples, featurizer)
     }
@@ -438,7 +465,12 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (labels, map, examples, featurizer) = toy_training();
-        let a = Crf::train(labels.clone(), map.clone(), &examples, &CrfConfig::default());
+        let a = Crf::train(
+            labels.clone(),
+            map.clone(),
+            &examples,
+            &CrfConfig::default(),
+        );
         let (labels2, map2, examples2, _) = toy_training();
         let b = Crf::train(labels2, map2, &examples2, &CrfConfig::default());
         let matcher = IocMatcher::standard();
@@ -456,6 +488,9 @@ mod tests {
         let matcher = IocMatcher::standard();
         let tagger = PosTagger::standard();
         let sent = analyze("the krobot family evolved again.", &matcher, &tagger).remove(0);
-        assert_eq!(crf.decode(&featurizer, &sent), back.decode(&featurizer, &sent));
+        assert_eq!(
+            crf.decode(&featurizer, &sent),
+            back.decode(&featurizer, &sent)
+        );
     }
 }

@@ -62,11 +62,20 @@ impl Gazetteer {
     pub fn new(name: &str, entries: impl IntoIterator<Item = String>) -> Self {
         let entries: HashSet<Vec<String>> = entries
             .into_iter()
-            .map(|e| e.to_lowercase().split_whitespace().map(str::to_owned).collect())
+            .map(|e| {
+                e.to_lowercase()
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect()
+            })
             .filter(|v: &Vec<String>| !v.is_empty())
             .collect();
         let max_len = entries.iter().map(Vec::len).max().unwrap_or(0);
-        Gazetteer { name: name.to_owned(), entries, max_len }
+        Gazetteer {
+            name: name.to_owned(),
+            entries,
+            max_len,
+        }
     }
 
     /// Number of entries.
@@ -147,14 +156,21 @@ pub struct Featurizer {
 impl Featurizer {
     /// A featurizer with the default config and no external resources.
     pub fn new(config: FeatureConfig) -> Self {
-        Featurizer { config, clusters: None, gazetteers: Vec::new() }
+        Featurizer {
+            config,
+            clusters: None,
+            gazetteers: Vec::new(),
+        }
     }
 
     /// Emit feature strings for every position of a sentence.
     pub fn features(&self, sentence: &AnalyzedSentence) -> Vec<Vec<String>> {
         let n = sentence.tokens.len();
-        let lower: Vec<String> =
-            sentence.tokens.iter().map(|t| t.text.to_lowercase()).collect();
+        let lower: Vec<String> = sentence
+            .tokens
+            .iter()
+            .map(|t| t.text.to_lowercase())
+            .collect();
         let gaz_flags: Vec<(String, Vec<(bool, bool)>)> = if self.config.gazetteers {
             self.gazetteers
                 .iter()
@@ -262,11 +278,7 @@ impl Featurizer {
     }
 
     /// Emit and look up features; used at decode time (unknown → dropped).
-    pub fn features_lookup(
-        &self,
-        sentence: &AnalyzedSentence,
-        map: &FeatureMap,
-    ) -> Vec<Vec<u32>> {
+    pub fn features_lookup(&self, sentence: &AnalyzedSentence, map: &FeatureMap) -> Vec<Vec<u32>> {
         self.features(sentence)
             .into_iter()
             .map(|fs| fs.iter().filter_map(|f| map.get(f)).collect())
@@ -334,7 +346,11 @@ mod tests {
 
     #[test]
     fn ablation_switches_remove_families() {
-        let cfg = FeatureConfig { context: false, affixes: false, ..FeatureConfig::default() };
+        let cfg = FeatureConfig {
+            context: false,
+            affixes: false,
+            ..FeatureConfig::default()
+        };
         let f = Featurizer::new(cfg);
         let feats = f.features(&sentence("emotet spreads fast."));
         for fs in &feats {
@@ -370,7 +386,8 @@ mod tests {
     #[test]
     fn gazetteer_features_appear() {
         let mut f = Featurizer::new(FeatureConfig::default());
-        f.gazetteers.push(Gazetteer::new("mal", ["emotet".to_owned()]));
+        f.gazetteers
+            .push(Gazetteer::new("mal", ["emotet".to_owned()]));
         let feats = f.features(&sentence("the emotet malware returned."));
         let pos = 1; // "emotet"
         assert!(feats[pos].iter().any(|x| x == "gaz=mal"));

@@ -43,7 +43,12 @@ impl LabelSet {
             .enumerate()
             .map(|(i, n)| (n.clone(), i as LabelId))
             .collect();
-        LabelSet { names, index, kinds, begins }
+        LabelSet {
+            names,
+            index,
+            kinds,
+            begins,
+        }
     }
 
     /// Number of labels (including `O`).
@@ -125,8 +130,7 @@ impl LabelSet {
                     }
                 }
                 Some(kind) => {
-                    let continues = !self.is_begin(l)
-                        && current.is_some_and(|(k, _)| k == kind);
+                    let continues = !self.is_begin(l) && current.is_some_and(|(k, _)| k == kind);
                     if !continues {
                         if let Some((k, s)) = current.take() {
                             spans.push((k, s, i));

@@ -25,17 +25,33 @@ pub trait LabelingFunction: Send + Sync {
 /// The built-in labeling functions.
 pub enum Lf {
     /// Multi-word gazetteer match → B/I votes for `kind`.
-    Gazetteer { label: String, gazetteer: Gazetteer, kind: EntityKind },
+    Gazetteer {
+        label: String,
+        gazetteer: Gazetteer,
+        kind: EntityKind,
+    },
     /// Protected IOC tokens vote their scanner kind.
     IocClass,
     /// An unknown word immediately *followed by* one of the cue words votes
     /// `kind` (e.g. "`<X>` ransomware" → malware).
-    FollowedByCue { label: String, cues: Vec<&'static str>, kind: EntityKind },
+    FollowedByCue {
+        label: String,
+        cues: Vec<&'static str>,
+        kind: EntityKind,
+    },
     /// An unknown word immediately *preceded by* one of the cue words votes
     /// `kind` (e.g. "actor `<X>`").
-    PrecededByCue { label: String, cues: Vec<&'static str>, kind: EntityKind },
+    PrecededByCue {
+        label: String,
+        cues: Vec<&'static str>,
+        kind: EntityKind,
+    },
     /// Lowercase words with a tell-tale suffix vote `kind` ("-bot", "-locker").
-    Suffix { label: String, suffixes: Vec<&'static str>, kind: EntityKind },
+    Suffix {
+        label: String,
+        suffixes: Vec<&'static str>,
+        kind: EntityKind,
+    },
     /// `aptNN` tokens vote threat actor.
     AptPattern,
 }
@@ -56,13 +72,22 @@ impl LabelingFunction for Lf {
         let n = sentence.tokens.len();
         let mut votes = vec![None; n];
         match self {
-            Lf::Gazetteer { gazetteer, kind, .. } => {
-                let lower: Vec<String> =
-                    sentence.tokens.iter().map(|t| t.text.to_lowercase()).collect();
+            Lf::Gazetteer {
+                gazetteer, kind, ..
+            } => {
+                let lower: Vec<String> = sentence
+                    .tokens
+                    .iter()
+                    .map(|t| t.text.to_lowercase())
+                    .collect();
                 let flags = gazetteer.match_tokens(&lower);
                 for i in 0..n {
                     if flags[i].0 {
-                        votes[i] = if flags[i].1 { labels.begin(*kind) } else { labels.inside(*kind) };
+                        votes[i] = if flags[i].1 {
+                            labels.begin(*kind)
+                        } else {
+                            labels.inside(*kind)
+                        };
                     }
                 }
             }
@@ -76,9 +101,7 @@ impl LabelingFunction for Lf {
             Lf::FollowedByCue { cues, kind, .. } => {
                 for (i, vote) in votes.iter_mut().enumerate().take(n.saturating_sub(1)) {
                     let next = sentence.tokens[i + 1].text.to_lowercase();
-                    if sentence.tokens[i].kind == TokenKind::Word
-                        && cues.contains(&next.as_str())
-                    {
+                    if sentence.tokens[i].kind == TokenKind::Word && cues.contains(&next.as_str()) {
                         *vote = labels.begin(*kind);
                     }
                 }
@@ -86,9 +109,7 @@ impl LabelingFunction for Lf {
             Lf::PrecededByCue { cues, kind, .. } => {
                 for (i, vote) in votes.iter_mut().enumerate().skip(1) {
                     let prev = sentence.tokens[i - 1].text.to_lowercase();
-                    if sentence.tokens[i].kind == TokenKind::Word
-                        && cues.contains(&prev.as_str())
-                    {
+                    if sentence.tokens[i].kind == TokenKind::Word && cues.contains(&prev.as_str()) {
                         *vote = labels.begin(*kind);
                     }
                 }
@@ -156,7 +177,14 @@ pub fn standard_lfs(
         Lf::IocClass,
         Lf::FollowedByCue {
             label: "cue-malware-head".into(),
-            cues: vec!["ransomware", "malware", "trojan", "botnet", "worm", "family"],
+            cues: vec![
+                "ransomware",
+                "malware",
+                "trojan",
+                "botnet",
+                "worm",
+                "family",
+            ],
             kind: EntityKind::Malware,
         },
         Lf::PrecededByCue {
@@ -166,7 +194,9 @@ pub fn standard_lfs(
         },
         Lf::Suffix {
             label: "suffix-malware".into(),
-            suffixes: vec!["bot", "locker", "crypt", "loader", "stealer", "rat", "worm", "miner"],
+            suffixes: vec![
+                "bot", "locker", "crypt", "loader", "stealer", "rat", "worm", "miner",
+            ],
             kind: EntityKind::Malware,
         },
         Lf::AptPattern,
@@ -326,15 +356,26 @@ fn token_posterior(
         .map(|y| {
             // Mild prior for O: unvoted tokens are overwhelmingly O, and LFs
             // do fire spuriously.
-            let mut log_p: f64 = if y == LabelSet::O { (0.3f64).ln() } else { (0.7f64).ln() };
+            let mut log_p: f64 = if y == LabelSet::O {
+                (0.3f64).ln()
+            } else {
+                (0.7f64).ln()
+            };
             for &(j, v) in votes {
                 let a = acc[j];
-                log_p += if v == y { a.ln() } else { ((1.0 - a) / (k - 1.0)).ln() };
+                log_p += if v == y {
+                    a.ln()
+                } else {
+                    ((1.0 - a) / (k - 1.0)).ln()
+                };
             }
             (y, log_p)
         })
         .collect();
-    let m = scored.iter().map(|(_, p)| *p).fold(f64::NEG_INFINITY, f64::max);
+    let m = scored
+        .iter()
+        .map(|(_, p)| *p)
+        .fold(f64::NEG_INFINITY, f64::max);
     let z: f64 = scored.iter().map(|(_, p)| (p - m).exp()).sum();
     for (_, p) in &mut scored {
         *p = (*p - m).exp() / z;
@@ -350,7 +391,10 @@ mod tests {
     fn sentences(texts: &[&str]) -> Vec<AnalyzedSentence> {
         let matcher = IocMatcher::standard();
         let tagger = PosTagger::standard();
-        texts.iter().flat_map(|t| analyze(t, &matcher, &tagger)).collect()
+        texts
+            .iter()
+            .flat_map(|t| analyze(t, &matcher, &tagger))
+            .collect()
     }
 
     fn lfs() -> Vec<Lf> {
@@ -371,8 +415,14 @@ mod tests {
         let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
         let spans = labels.decode_spans(&denoised[0]);
         assert!(spans.contains(&(EntityKind::Malware, 0, 1)), "{spans:?}");
-        assert!(spans.iter().any(|&(k, _, _)| k == EntityKind::FileName), "{spans:?}");
-        assert!(spans.iter().any(|&(k, _, _)| k == EntityKind::Software), "{spans:?}");
+        assert!(
+            spans.iter().any(|&(k, _, _)| k == EntityKind::FileName),
+            "{spans:?}"
+        );
+        assert!(
+            spans.iter().any(|&(k, _, _)| k == EntityKind::Software),
+            "{spans:?}"
+        );
     }
 
     #[test]
@@ -395,7 +445,10 @@ mod tests {
         let spans = labels.decode_spans(&denoised[0]);
         assert!(spans.contains(&(EntityKind::Malware, 0, 1)), "{spans:?}");
         // tokens: zarlocker(0) appeared(1) alongside(2) apt77(3) ...
-        assert!(spans.contains(&(EntityKind::ThreatActor, 3, 4)), "{spans:?}");
+        assert!(
+            spans.contains(&(EntityKind::ThreatActor, 3, 4)),
+            "{spans:?}"
+        );
     }
 
     #[test]
@@ -405,7 +458,10 @@ mod tests {
         let sents = sentences(&["lazarus group used credential dumping via mimikatz."]);
         let (_, denoised) = LabelModel::fit(&lfs, &sents, &labels, 5);
         let spans = labels.decode_spans(&denoised[0]);
-        assert!(spans.contains(&(EntityKind::ThreatActor, 0, 2)), "{spans:?}");
+        assert!(
+            spans.contains(&(EntityKind::ThreatActor, 0, 2)),
+            "{spans:?}"
+        );
         assert!(spans.contains(&(EntityKind::Technique, 3, 5)), "{spans:?}");
         assert!(spans.contains(&(EntityKind::Tool, 6, 7)), "{spans:?}");
     }
@@ -421,8 +477,16 @@ mod tests {
             "emotet ransomware evolved.",
         ]);
         let (model, _) = LabelModel::fit(&lfs, &sents, &labels, 10);
-        let gaz_idx = model.names().iter().position(|n| n == "gaz-malware").unwrap();
-        assert!(model.accuracies()[gaz_idx] > 0.5, "{:?}", model.accuracies());
+        let gaz_idx = model
+            .names()
+            .iter()
+            .position(|n| n == "gaz-malware")
+            .unwrap();
+        assert!(
+            model.accuracies()[gaz_idx] > 0.5,
+            "{:?}",
+            model.accuracies()
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Prf {
         let pred: std::collections::BTreeSet<T> = predicted.iter().cloned().collect();
         let gold_set: std::collections::BTreeSet<T> = gold.iter().cloned().collect();
         let tp = pred.intersection(&gold_set).count();
-        Prf { tp, fp: pred.len() - tp, fn_: gold_set.len() - tp }
+        Prf {
+            tp,
+            fp: pred.len() - tp,
+            fn_: gold_set.len() - tp,
+        }
     }
 }
 
@@ -79,23 +83,29 @@ impl SpanScores {
     /// Score one document's span predictions and fold into the totals.
     pub fn add_document(&mut self, predicted: &[SpanMatch], gold: &[SpanMatch]) {
         self.overall.add(Prf::score_sets(predicted, gold));
-        let kinds: std::collections::BTreeSet<EntityKind> = predicted
-            .iter()
-            .chain(gold)
-            .map(|s| s.kind)
-            .collect();
+        let kinds: std::collections::BTreeSet<EntityKind> =
+            predicted.iter().chain(gold).map(|s| s.kind).collect();
         for kind in kinds {
-            let p: Vec<SpanMatch> =
-                predicted.iter().copied().filter(|s| s.kind == kind).collect();
+            let p: Vec<SpanMatch> = predicted
+                .iter()
+                .copied()
+                .filter(|s| s.kind == kind)
+                .collect();
             let g: Vec<SpanMatch> = gold.iter().copied().filter(|s| s.kind == kind).collect();
-            self.per_kind.entry(kind).or_default().add(Prf::score_sets(&p, &g));
+            self.per_kind
+                .entry(kind)
+                .or_default()
+                .add(Prf::score_sets(&p, &g));
         }
     }
 
     /// Macro-averaged F1 over kinds that appear in the gold data.
     pub fn macro_f1(&self) -> f64 {
-        let with_gold: Vec<&Prf> =
-            self.per_kind.values().filter(|p| p.tp + p.fn_ > 0).collect();
+        let with_gold: Vec<&Prf> = self
+            .per_kind
+            .values()
+            .filter(|p| p.tp + p.fn_ > 0)
+            .collect();
         if with_gold.is_empty() {
             return 0.0;
         }
@@ -113,9 +123,19 @@ mod tests {
 
     #[test]
     fn perfect_prediction() {
-        let gold = vec![span(EntityKind::Malware, 0, 8), span(EntityKind::FileName, 10, 22)];
+        let gold = vec![
+            span(EntityKind::Malware, 0, 8),
+            span(EntityKind::FileName, 10, 22),
+        ];
         let prf = Prf::score_sets(&gold.clone(), &gold);
-        assert_eq!(prf, Prf { tp: 2, fp: 0, fn_: 0 });
+        assert_eq!(
+            prf,
+            Prf {
+                tp: 2,
+                fp: 0,
+                fn_: 0
+            }
+        );
         assert_eq!(prf.f1(), 1.0);
     }
 
@@ -124,7 +144,14 @@ mod tests {
         let gold = vec![span(EntityKind::Malware, 0, 8)];
         let pred = vec![span(EntityKind::Malware, 0, 7)];
         let prf = Prf::score_sets(&pred, &gold);
-        assert_eq!(prf, Prf { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            prf,
+            Prf {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(prf.f1(), 0.0);
     }
 
@@ -150,17 +177,37 @@ mod tests {
     fn micro_accumulation_and_per_kind() {
         let mut scores = SpanScores::default();
         scores.add_document(
-            &[span(EntityKind::Malware, 0, 8), span(EntityKind::Tool, 9, 12)],
+            &[
+                span(EntityKind::Malware, 0, 8),
+                span(EntityKind::Tool, 9, 12),
+            ],
             &[span(EntityKind::Malware, 0, 8)],
         );
         scores.add_document(
             &[span(EntityKind::Malware, 5, 9)],
-            &[span(EntityKind::Malware, 5, 9), span(EntityKind::Tool, 20, 25)],
+            &[
+                span(EntityKind::Malware, 5, 9),
+                span(EntityKind::Tool, 20, 25),
+            ],
         );
-        assert_eq!(scores.overall, Prf { tp: 2, fp: 1, fn_: 1 });
+        assert_eq!(
+            scores.overall,
+            Prf {
+                tp: 2,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(scores.per_kind[&EntityKind::Malware].f1(), 1.0);
         let tool = scores.per_kind[&EntityKind::Tool];
-        assert_eq!(tool, Prf { tp: 0, fp: 1, fn_: 1 });
+        assert_eq!(
+            tool,
+            Prf {
+                tp: 0,
+                fp: 1,
+                fn_: 1
+            }
+        );
         // Macro-F1 averages only kinds with gold instances.
         assert!((scores.macro_f1() - 0.5).abs() < 1e-9);
     }
@@ -168,8 +215,18 @@ mod tests {
     #[test]
     fn duplicates_collapse() {
         let gold = vec![span(EntityKind::Malware, 0, 8)];
-        let pred = vec![span(EntityKind::Malware, 0, 8), span(EntityKind::Malware, 0, 8)];
+        let pred = vec![
+            span(EntityKind::Malware, 0, 8),
+            span(EntityKind::Malware, 0, 8),
+        ];
         let prf = Prf::score_sets(&pred, &gold);
-        assert_eq!(prf, Prf { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(
+            prf,
+            Prf {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
     }
 }

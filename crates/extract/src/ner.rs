@@ -54,7 +54,9 @@ impl NerPipeline {
         analyze(text, &self.matcher, &self.tagger)
             .into_iter()
             .map(|sentence| {
-                let feats = self.featurizer.features_lookup(&sentence, self.crf.feature_map());
+                let feats = self
+                    .featurizer
+                    .features_lookup(&sentence, self.crf.feature_map());
                 let (ids, marginals) = self.crf.decode_with_marginals(&feats);
                 let mut spans: Vec<EntitySpan> = self
                     .crf
@@ -62,10 +64,8 @@ impl NerPipeline {
                     .decode_spans(&ids)
                     .into_iter()
                     .filter(|&(_, start, end)| {
-                        let confidence = marginals[start..end]
-                            .iter()
-                            .copied()
-                            .fold(1.0f64, f64::min);
+                        let confidence =
+                            marginals[start..end].iter().copied().fold(1.0f64, f64::min);
                         confidence >= self.min_confidence
                     })
                     .map(|(kind, start, end)| EntitySpan { kind, start, end })
@@ -81,20 +81,31 @@ impl NerPipeline {
                                     s.kind = kind;
                                 }
                             }
-                            None => spans.push(EntitySpan { kind, start: i, end: i + 1 }),
+                            None => spans.push(EntitySpan {
+                                kind,
+                                start: i,
+                                end: i + 1,
+                            }),
                         }
                     }
                 }
                 spans.sort_by_key(|s| (s.start, s.end));
                 let relations = extract_relations(&sentence, &spans, &self.ontology);
-                SentenceExtraction { sentence, spans, relations }
+                SentenceExtraction {
+                    sentence,
+                    spans,
+                    relations,
+                }
             })
             .collect()
     }
 
     /// Flatten extraction output into [`EntityMention`]s with byte offsets.
     pub fn mentions(&self, text: &str) -> Vec<EntityMention> {
-        self.extract(text).into_iter().flat_map(|se| sentence_mentions(&se)).collect()
+        self.extract(text)
+            .into_iter()
+            .flat_map(|se| sentence_mentions(&se))
+            .collect()
     }
 }
 
@@ -149,8 +160,11 @@ impl RegexNerBaseline {
         analyze(text, &self.matcher, &self.tagger)
             .into_iter()
             .map(|sentence| {
-                let lower: Vec<String> =
-                    sentence.tokens.iter().map(|t| t.text.to_lowercase()).collect();
+                let lower: Vec<String> = sentence
+                    .tokens
+                    .iter()
+                    .map(|t| t.text.to_lowercase())
+                    .collect();
                 let mut covered = vec![false; sentence.tokens.len()];
                 let mut spans: Vec<EntitySpan> = Vec::new();
                 for (kind, gaz) in &self.gazetteers {
@@ -164,7 +178,11 @@ impl RegexNerBaseline {
                                 end += 1;
                             }
                             if !covered[start..end].iter().any(|&c| c) {
-                                spans.push(EntitySpan { kind: *kind, start, end });
+                                spans.push(EntitySpan {
+                                    kind: *kind,
+                                    start,
+                                    end,
+                                });
                                 covered[start..end].iter_mut().for_each(|c| *c = true);
                             }
                             i = end;
@@ -176,21 +194,32 @@ impl RegexNerBaseline {
                 for (i, tok) in sentence.tokens.iter().enumerate() {
                     if let TokenKind::Ioc(kind) = tok.kind {
                         if !covered[i] {
-                            spans.push(EntitySpan { kind, start: i, end: i + 1 });
+                            spans.push(EntitySpan {
+                                kind,
+                                start: i,
+                                end: i + 1,
+                            });
                             covered[i] = true;
                         }
                     }
                 }
                 spans.sort_by_key(|s| (s.start, s.end));
                 let relations = extract_relations(&sentence, &spans, &self.ontology);
-                SentenceExtraction { sentence, spans, relations }
+                SentenceExtraction {
+                    sentence,
+                    spans,
+                    relations,
+                }
             })
             .collect()
     }
 
     /// Flatten into byte-offset mentions.
     pub fn mentions(&self, text: &str) -> Vec<EntityMention> {
-        self.extract(text).into_iter().flat_map(|se| sentence_mentions(&se)).collect()
+        self.extract(text)
+            .into_iter()
+            .flat_map(|se| sentence_mentions(&se))
+            .collect()
     }
 }
 
@@ -210,15 +239,24 @@ mod tests {
         let mut examples = Vec::new();
         type Row = (&'static str, Vec<(EntityKind, usize, usize)>);
         let data: Vec<Row> = vec![
-            ("the zarbot ransomware spread fast.", vec![(EntityKind::Malware, 1, 2)]),
-            ("the vexbot ransomware returned today.", vec![(EntityKind::Malware, 1, 2)]),
+            (
+                "the zarbot ransomware spread fast.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
+            (
+                "the vexbot ransomware returned today.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
             ("nothing suspicious happened yesterday.", vec![]),
         ];
         for (text, spans) in data {
             let sent = analyze(text, &matcher, &tagger).remove(0);
             let feats = featurizer.features_interned(&sent, &mut map);
             let gold = labels.encode_spans(sent.tokens.len(), &spans);
-            examples.push(Example { features: feats, labels: gold });
+            examples.push(Example {
+                features: feats,
+                labels: gold,
+            });
         }
         let crf = Crf::train(labels, map, &examples, &CrfConfig::default());
         NerPipeline::new(crf, featurizer)
@@ -229,9 +267,15 @@ mod tests {
         let p = trained_pipeline();
         let text = "the krobot ransomware dropped stage2.exe yesterday.";
         let mentions = p.mentions(text);
-        let mal = mentions.iter().find(|m| m.kind == EntityKind::Malware).expect("malware");
+        let mal = mentions
+            .iter()
+            .find(|m| m.kind == EntityKind::Malware)
+            .expect("malware");
         assert_eq!(&text[mal.start..mal.end], "krobot");
-        let file = mentions.iter().find(|m| m.kind == EntityKind::FileName).expect("file");
+        let file = mentions
+            .iter()
+            .find(|m| m.kind == EntityKind::FileName)
+            .expect("file");
         assert_eq!(&text[file.start..file.end], "stage2.exe");
         assert_eq!(file.origin, MentionOrigin::Regex);
     }
@@ -243,20 +287,26 @@ mod tests {
         // the span anyway.
         let text = "persistence used HKLM\\Software\\Run\\Evil throughout.";
         let mentions = p.mentions(text);
-        assert!(mentions.iter().any(|m| m.kind == EntityKind::RegistryKey), "{mentions:?}");
+        assert!(
+            mentions.iter().any(|m| m.kind == EntityKind::RegistryKey),
+            "{mentions:?}"
+        );
     }
 
     #[test]
     fn baseline_finds_listed_but_not_unlisted() {
-        let baseline = RegexNerBaseline::new(vec![(
-            EntityKind::Malware,
-            vec!["zarbot".to_owned()],
-        )]);
+        let baseline =
+            RegexNerBaseline::new(vec![(EntityKind::Malware, vec!["zarbot".to_owned()])]);
         let listed = baseline.mentions("the zarbot ransomware spread.");
-        assert!(listed.iter().any(|m| m.kind == EntityKind::Malware && m.text == "zarbot"));
+        assert!(listed
+            .iter()
+            .any(|m| m.kind == EntityKind::Malware && m.text == "zarbot"));
         // Unlisted name with identical context: baseline misses it.
         let unlisted = baseline.mentions("the krobot ransomware spread.");
-        assert!(!unlisted.iter().any(|m| m.kind == EntityKind::Malware), "{unlisted:?}");
+        assert!(
+            !unlisted.iter().any(|m| m.kind == EntityKind::Malware),
+            "{unlisted:?}"
+        );
         // But the IOC scanner still fires.
         let ioc = baseline.mentions("it dropped stage2.exe here.");
         assert!(ioc.iter().any(|m| m.kind == EntityKind::FileName));
@@ -279,7 +329,11 @@ mod tests {
         // An impossible threshold suppresses every non-IOC span.
         p.min_confidence = 1.1;
         let out = p.extract(text);
-        assert!(out[0].spans.iter().all(|s| s.kind.is_ioc()), "{:?}", out[0].spans);
+        assert!(
+            out[0].spans.iter().all(|s| s.kind.is_ioc()),
+            "{:?}",
+            out[0].spans
+        );
     }
 
     #[test]
@@ -288,7 +342,8 @@ mod tests {
         let out = p.extract("the zarbot ransomware dropped stage2.exe quickly.");
         let rels: Vec<_> = out.iter().flat_map(|se| se.relations.clone()).collect();
         assert!(
-            rels.iter().any(|r| r.kind == kg_ontology::RelationKind::Drop),
+            rels.iter()
+                .any(|r| r.kind == kg_ontology::RelationKind::Drop),
             "{rels:?}"
         );
     }

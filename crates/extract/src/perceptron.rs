@@ -21,7 +21,10 @@ pub struct PerceptronConfig {
 
 impl Default for PerceptronConfig {
     fn default() -> Self {
-        PerceptronConfig { epochs: 8, seed: 0x9a7c }
+        PerceptronConfig {
+            epochs: 8,
+            seed: 0x9a7c,
+        }
     }
 }
 
@@ -44,7 +47,11 @@ struct Averaged {
 
 impl Averaged {
     fn new(n: usize) -> Self {
-        Averaged { w: vec![0.0; n], acc: vec![0.0; n], last: vec![0; n] }
+        Averaged {
+            w: vec![0.0; n],
+            acc: vec![0.0; n],
+            last: vec![0; n],
+        }
     }
 
     fn update(&mut self, idx: usize, delta: f64, step: u64) {
@@ -112,8 +119,7 @@ impl StructuredPerceptron {
                         }
                     }
                     if t > 0 {
-                        let (gp, pp) =
-                            (ex.labels[t - 1] as usize, predicted[t - 1] as usize);
+                        let (gp, pp) = (ex.labels[t - 1] as usize, predicted[t - 1] as usize);
                         if gp != pp || gold != pred {
                             trans.update(gp * n + gold, 1.0, step);
                             trans.update(pp * n + pred, -1.0, step);
@@ -223,16 +229,28 @@ mod tests {
         let mut examples = Vec::new();
         type Row = (&'static str, Vec<(EntityKind, usize, usize)>);
         let data: Vec<Row> = vec![
-            ("the zarbot family spread fast.", vec![(EntityKind::Malware, 1, 2)]),
-            ("the vexbot family returned today.", vec![(EntityKind::Malware, 1, 2)]),
-            ("analysts watched lazarus group closely.", vec![(EntityKind::ThreatActor, 2, 4)]),
+            (
+                "the zarbot family spread fast.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
+            (
+                "the vexbot family returned today.",
+                vec![(EntityKind::Malware, 1, 2)],
+            ),
+            (
+                "analysts watched lazarus group closely.",
+                vec![(EntityKind::ThreatActor, 2, 4)],
+            ),
             ("nothing suspicious happened yesterday.", vec![]),
         ];
         for (text, spans) in data {
             let sent = analyze(text, &matcher, &tagger).remove(0);
             let feats = featurizer.features_interned(&sent, &mut map);
             let gold = labels.encode_spans(sent.tokens.len(), &spans);
-            examples.push(Example { features: feats, labels: gold });
+            examples.push(Example {
+                features: feats,
+                labels: gold,
+            });
         }
         (labels, map, examples, featurizer)
     }
@@ -245,7 +263,9 @@ mod tests {
         let matcher = IocMatcher::standard();
         let tagger = PosTagger::standard();
         let sent = analyze("the krobot family spread fast.", &matcher, &tagger).remove(0);
-        let spans = model.labels().decode_spans(&model.decode(&featurizer, &sent));
+        let spans = model
+            .labels()
+            .decode_spans(&model.decode(&featurizer, &sent));
         assert_eq!(spans, vec![(EntityKind::Malware, 1, 2)]);
     }
 

@@ -159,7 +159,12 @@ pub fn extract_relations(
             else {
                 continue;
             };
-            let rel = ExtractedRelation { subject: s, object: o, verb: lemma.clone(), kind };
+            let rel = ExtractedRelation {
+                subject: s,
+                object: o,
+                verb: lemma.clone(),
+                kind,
+            };
             if !out.contains(&rel) {
                 out.push(rel);
             }
@@ -215,22 +220,31 @@ mod tests {
     fn active_svo() {
         // tokens: wannacry drops tasksche.exe on the infected host .
         let s = analysed("wannacry drops tasksche.exe on the infected host.");
-        let spans = vec![span(EntityKind::Malware, 0, 1), span(EntityKind::FileName, 2, 3)];
+        let spans = vec![
+            span(EntityKind::Malware, 0, 1),
+            span(EntityKind::FileName, 2, 3),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 1, "{rels:?}");
-        assert_eq!(rels[0], ExtractedRelation {
-            subject: 0,
-            object: 1,
-            verb: "drop".into(),
-            kind: RelationKind::Drop
-        });
+        assert_eq!(
+            rels[0],
+            ExtractedRelation {
+                subject: 0,
+                object: 1,
+                verb: "drop".into(),
+                kind: RelationKind::Drop
+            }
+        );
     }
 
     #[test]
     fn passive_by_inverts() {
         // tokens: tasksche.exe was dropped by wannacry today .
         let s = analysed("tasksche.exe was dropped by wannacry today.");
-        let spans = vec![span(EntityKind::FileName, 0, 1), span(EntityKind::Malware, 4, 5)];
+        let spans = vec![
+            span(EntityKind::FileName, 0, 1),
+            span(EntityKind::Malware, 4, 5),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 1, "{rels:?}");
         assert_eq!(rels[0].subject, 1);
@@ -242,7 +256,10 @@ mod tests {
     fn passive_to_stays_forward() {
         // tokens: emotet has been attributed to lazarus group .
         let s = analysed("emotet has been attributed to lazarus group.");
-        let spans = vec![span(EntityKind::Malware, 0, 1), span(EntityKind::ThreatActor, 5, 7)];
+        let spans = vec![
+            span(EntityKind::Malware, 0, 1),
+            span(EntityKind::ThreatActor, 5, 7),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 1, "{rels:?}");
         assert_eq!(rels[0].subject, 0);
@@ -254,7 +271,10 @@ mod tests {
     fn subjectless_link_to() {
         // tokens: analysts have linked emotet to lazarus group .
         let s = analysed("analysts have linked emotet to lazarus group.");
-        let spans = vec![span(EntityKind::Malware, 3, 4), span(EntityKind::ThreatActor, 5, 7)];
+        let spans = vec![
+            span(EntityKind::Malware, 3, 4),
+            span(EntityKind::ThreatActor, 5, 7),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 1, "{rels:?}");
         assert_eq!(rels[0].subject, 0);
@@ -273,7 +293,9 @@ mod tests {
         ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 2, "{rels:?}");
-        assert!(rels.iter().all(|r| r.subject == 0 && r.kind == RelationKind::Uses));
+        assert!(rels
+            .iter()
+            .all(|r| r.subject == 0 && r.kind == RelationKind::Uses));
         let objects: Vec<usize> = rels.iter().map(|r| r.object).collect();
         assert_eq!(objects, vec![1, 2]);
     }
@@ -282,7 +304,10 @@ mod tests {
     fn prepositional_object() {
         // tokens: wannacry connects to 10.0.0.1 for command and control .
         let s = analysed("wannacry connects to 10.0.0.1 for command and control.");
-        let spans = vec![span(EntityKind::Malware, 0, 1), span(EntityKind::IpAddress, 3, 4)];
+        let spans = vec![
+            span(EntityKind::Malware, 0, 1),
+            span(EntityKind::IpAddress, 3, 4),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 1, "{rels:?}");
         assert_eq!(rels[0].kind, RelationKind::ConnectsTo);
@@ -292,7 +317,10 @@ mod tests {
     fn inadmissible_pairs_degrade_to_related_to() {
         // "drop" from Malware to Domain is not schema-admissible as DROP.
         let s = analysed("wannacry drops evil.example.com here.");
-        let spans = vec![span(EntityKind::Malware, 0, 1), span(EntityKind::Domain, 2, 3)];
+        let spans = vec![
+            span(EntityKind::Malware, 0, 1),
+            span(EntityKind::Domain, 2, 3),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         assert_eq!(rels.len(), 1);
         assert_eq!(rels[0].kind, RelationKind::RelatedTo);
@@ -308,7 +336,10 @@ mod tests {
     #[test]
     fn unknown_verb_degrades_not_crashes() {
         let s = analysed("wannacry mystifies tasksche.exe somehow.");
-        let spans = vec![span(EntityKind::Malware, 0, 1), span(EntityKind::FileName, 2, 3)];
+        let spans = vec![
+            span(EntityKind::Malware, 0, 1),
+            span(EntityKind::FileName, 2, 3),
+        ];
         let rels = extract_relations(&s, &spans, &ont());
         // "mystify" is no known verb → RELATED_TO fallback (if tagged VERB at
         // all; if the tagger missed it, no relation, which is also fine).

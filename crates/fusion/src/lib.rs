@@ -109,7 +109,13 @@ pub fn fuse_once(store: &mut GraphStore, config: &FusionConfig) -> FusionReport 
         }
         let names: Vec<String> = ids
             .iter()
-            .map(|&id| store.node(id).and_then(|n| n.name()).unwrap_or("").to_owned())
+            .map(|&id| {
+                store
+                    .node(id)
+                    .and_then(|n| n.name())
+                    .unwrap_or("")
+                    .to_owned()
+            })
             .collect();
         let normalized: Vec<String> = names.iter().map(|n| similarity::normalize(n)).collect();
 
@@ -149,9 +155,7 @@ pub fn fuse_once(store: &mut GraphStore, config: &FusionConfig) -> FusionReport 
                 if similarity::name_similarity(a, b) < config.threshold {
                     continue;
                 }
-                if config.require_shared_neighbor
-                    && !shares_fact_neighbor(store, ids[i], ids[j])
-                {
+                if config.require_shared_neighbor && !shares_fact_neighbor(store, ids[i], ids[j]) {
                     continue;
                 }
                 dsu.union(i, j);
@@ -187,7 +191,9 @@ pub fn fuse_once(store: &mut GraphStore, config: &FusionConfig) -> FusionReport 
             // Record aliases on the canonical node.
             append_aliases(store, kept, &absorbed_names);
             report.clusters_merged += 1;
-            report.merges.push((names[canonical].clone(), absorbed_names));
+            report
+                .merges
+                .push((names[canonical].clone(), absorbed_names));
         }
     }
     report
@@ -208,12 +214,18 @@ fn shares_fact_neighbor(store: &GraphStore, a: NodeId, b: NodeId) -> bool {
                 .unwrap_or(false)
         })
     };
-    let a_neighbors: std::collections::HashSet<NodeId> =
-        store.neighbors(a).into_iter().filter(|&n| is_ioc(n)).collect();
+    let a_neighbors: std::collections::HashSet<NodeId> = store
+        .neighbors(a)
+        .into_iter()
+        .filter(|&n| is_ioc(n))
+        .collect();
     if a_neighbors.is_empty() {
         return false;
     }
-    store.neighbors(b).into_iter().any(|n| a_neighbors.contains(&n))
+    store
+        .neighbors(b)
+        .into_iter()
+        .any(|n| a_neighbors.contains(&n))
 }
 
 /// Migrate all edges of `absorbed` onto `kept`, merge properties, delete
@@ -244,7 +256,12 @@ fn merge_into(store: &mut GraphStore, kept: NodeId, absorbed: NodeId) -> usize {
     // the absorbed node.
     let absorbed_props: Vec<(String, Value)> = store
         .node(absorbed)
-        .map(|n| n.props.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+        .map(|n| {
+            n.props
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        })
         .unwrap_or_default();
     if let Some(node) = store.node_mut(kept) {
         for (k, v) in absorbed_props {
@@ -261,7 +278,9 @@ fn append_aliases(store: &mut GraphStore, node: NodeId, aliases: &[String]) {
     if aliases.is_empty() {
         return;
     }
-    let Some(n) = store.node_mut(node) else { return };
+    let Some(n) = store.node_mut(node) else {
+        return;
+    };
     let list = n
         .props
         .entry("aliases".to_owned())
@@ -300,17 +319,25 @@ mod tests {
         let d = g.create_node("Domain", [("name", Value::from("kill.switch.com"))]);
         // The canonical-to-be (higher degree) drops a file; the alias node
         // carries a distinct fact that must survive migration.
-        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(ids[0], "RESOLVES", d, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(ids[1], "ENCRYPTS", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(ids[0], "RESOLVES", d, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(ids[1], "ENCRYPTS", f, [] as [(&str, Value); 0])
+            .unwrap();
         let report = fuse(&mut g, &FusionConfig::default());
         assert_eq!(report.clusters_merged, 1);
         assert_eq!(report.nodes_removed, 1);
         assert_eq!(g.nodes_with_label("Malware").len(), 2);
         // The alias's ENCRYPTS edge survived onto the canonical node.
-        let survivor = g.node_by_name("Malware", "wannacry").expect("canonical kept");
-        let rels: Vec<&str> =
-            g.outgoing(survivor).iter().map(|e| e.rel_type.as_str()).collect();
+        let survivor = g
+            .node_by_name("Malware", "wannacry")
+            .expect("canonical kept");
+        let rels: Vec<&str> = g
+            .outgoing(survivor)
+            .iter()
+            .map(|e| e.rel_type.as_str())
+            .collect();
         assert_eq!(rels.len(), 3, "{rels:?}");
         assert!(rels.contains(&"ENCRYPTS"));
         assert_eq!(report.edges_migrated, 1);
@@ -331,26 +358,23 @@ mod tests {
         assert_eq!(report.clusters_merged, 1);
         assert_eq!(g.nodes_with_label("ThreatActor").len(), 2);
         // Without the table the names are too dissimilar.
-        let (mut g2, _) = store_with(&[
-            ("ThreatActor", "cozyduke"),
-            ("ThreatActor", "APT29"),
-        ]);
+        let (mut g2, _) = store_with(&[("ThreatActor", "cozyduke"), ("ThreatActor", "APT29")]);
         let r2 = fuse(&mut g2, &FusionConfig::default());
         assert_eq!(r2.clusters_merged, 0);
     }
 
     #[test]
     fn canonical_node_is_highest_degree_and_gains_aliases() {
-        let (mut g, ids) = store_with(&[
-            ("Malware", "notpetya"),
-            ("Malware", "not petya"),
-        ]);
+        let (mut g, ids) = store_with(&[("Malware", "notpetya"), ("Malware", "not petya")]);
         let f = g.create_node("FileName", [("name", Value::from("a.exe"))]);
         let d = g.create_node("Domain", [("name", Value::from("x.evil.ru"))]);
-        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(ids[0], "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(ids[0], "CONNECTS_TO", d, [] as [(&str, Value); 0])
+            .unwrap();
         // The alias corroborates via the shared dropped file.
-        g.create_edge(ids[1], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[1], "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
         let report = fuse(&mut g, &FusionConfig::default());
         assert_eq!(report.merges.len(), 1);
         assert_eq!(report.merges[0].0, "notpetya", "higher degree wins");
@@ -376,15 +400,20 @@ mod tests {
             ("HashMd5", "d41d8cd98f00b204e9800998ecf8427f"),
         ]);
         let report = fuse(&mut g, &FusionConfig::default());
-        assert_eq!(report.clusters_merged, 0, "near-identical hashes must not fuse");
+        assert_eq!(
+            report.clusters_merged, 0,
+            "near-identical hashes must not fuse"
+        );
     }
 
     #[test]
     fn edge_dedup_during_migration() {
         let (mut g, ids) = store_with(&[("Malware", "ryuk"), ("Malware", "ryuk ransomware")]);
         let f = g.create_node("FileName", [("name", Value::from("r.exe"))]);
-        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(ids[1], "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(ids[0], "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(ids[1], "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
         let report = fuse(&mut g, &FusionConfig::default());
         assert_eq!(report.clusters_merged, 1);
         // Both nodes dropped the same file; after fusion exactly one edge.
@@ -398,8 +427,10 @@ mod tests {
             ("Malware", "wannacrypt"),
             ("Malware", "wanna cry"),
         ]);
-        let config =
-            FusionConfig { require_shared_neighbor: false, ..FusionConfig::default() };
+        let config = FusionConfig {
+            require_shared_neighbor: false,
+            ..FusionConfig::default()
+        };
         let r1 = fuse(&mut g, &config);
         assert!(r1.nodes_removed > 0);
         let r2 = fuse(&mut g, &config);

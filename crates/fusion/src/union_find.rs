@@ -10,7 +10,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set (with path compression).

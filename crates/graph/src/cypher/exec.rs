@@ -53,19 +53,29 @@ impl QueryResult {
 /// write lock on the knowledge graph.
 pub fn execute_read(store: &GraphStore, query: &Query) -> Result<QueryResult, CypherError> {
     match query {
-        Query::Read { patterns, filter, ret } => {
+        Query::Read {
+            patterns,
+            filter,
+            ret,
+        } => {
             let rows = match_patterns(store, patterns)?;
             let rows = apply_filter(store, rows, filter)?;
             project(store, rows, ret)
         }
-        _ => Err(CypherError::Exec("write query on the read-only path".into())),
+        _ => Err(CypherError::Exec(
+            "write query on the read-only path".into(),
+        )),
     }
 }
 
 /// Execute a parsed query.
 pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, CypherError> {
     match query {
-        Query::Read { patterns, filter, ret } => {
+        Query::Read {
+            patterns,
+            filter,
+            ret,
+        } => {
             let rows = match_patterns(store, patterns)?;
             let rows = apply_filter(store, rows, filter)?;
             project(store, rows, ret)
@@ -76,7 +86,10 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
             for pattern in patterns {
                 create_pattern(store, pattern, &mut bound, &mut stats)?;
             }
-            Ok(QueryResult { stats, ..QueryResult::default() })
+            Ok(QueryResult {
+                stats,
+                ..QueryResult::default()
+            })
         }
         Query::Merge { pattern, ret } => {
             let mut stats = WriteStats::default();
@@ -87,11 +100,19 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
                     r.stats = stats;
                     r
                 }
-                None => QueryResult { stats, ..QueryResult::default() },
+                None => QueryResult {
+                    stats,
+                    ..QueryResult::default()
+                },
             };
             Ok(result)
         }
-        Query::Delete { patterns, filter, vars, detach } => {
+        Query::Delete {
+            patterns,
+            filter,
+            vars,
+            detach,
+        } => {
             let rows = match_patterns(store, patterns)?;
             let rows = apply_filter(store, rows, filter)?;
             let mut stats = WriteStats::default();
@@ -103,9 +124,7 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
                         Some(Binding::Node(id)) if !nodes.contains(id) => nodes.push(*id),
                         Some(Binding::Edge(id)) if !edges.contains(id) => edges.push(*id),
                         Some(_) => {}
-                        None => {
-                            return Err(CypherError::Exec(format!("unbound variable {var}")))
-                        }
+                        None => return Err(CypherError::Exec(format!("unbound variable {var}"))),
                     }
                 }
             }
@@ -130,7 +149,10 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
                     .map_err(|e| CypherError::Exec(e.to_string()))?;
                 stats.nodes_deleted += 1;
             }
-            Ok(QueryResult { stats, ..QueryResult::default() })
+            Ok(QueryResult {
+                stats,
+                ..QueryResult::default()
+            })
         }
     }
 }
@@ -150,13 +172,17 @@ fn match_patterns(store: &GraphStore, patterns: &[Pattern]) -> Result<Vec<Row>, 
 }
 
 fn node_matches(store: &GraphStore, id: NodeId, np: &NodePattern) -> bool {
-    let Some(node) = store.node(id) else { return false };
+    let Some(node) = store.node(id) else {
+        return false;
+    };
     if let Some(label) = &np.label {
         if &node.label != label {
             return false;
         }
     }
-    np.props.iter().all(|(k, v)| node.props.get(k).is_some_and(|pv| pv.eq_cypher(v)))
+    np.props
+        .iter()
+        .all(|(k, v)| node.props.get(k).is_some_and(|pv| pv.eq_cypher(v)))
 }
 
 fn candidates(store: &GraphStore, np: &NodePattern, row: &Row) -> Vec<NodeId> {
@@ -183,7 +209,11 @@ fn candidates(store: &GraphStore, np: &NodePattern, row: &Row) -> Vec<NodeId> {
             .filter(|&id| node_matches(store, id, np))
             .collect();
     }
-    store.all_nodes().map(|n| n.id).filter(|&id| node_matches(store, id, np)).collect()
+    store
+        .all_nodes()
+        .map(|n| n.id)
+        .filter(|&id| node_matches(store, id, np))
+        .collect()
 }
 
 fn match_pattern(store: &GraphStore, pattern: &Pattern, row: Row, out: &mut Vec<Row>) {
@@ -213,54 +243,52 @@ fn extend(
     let rel = &pattern.rels[step];
     let next_np = &pattern.nodes[step + 1];
 
-    let try_edge = |edge_id: EdgeId,
-                        other: NodeId,
-                        used_edges: &mut Vec<EdgeId>,
-                        out: &mut Vec<Row>| {
-        if used_edges.contains(&edge_id) {
-            return;
-        }
-        let edge = match store.edge(edge_id) {
-            Some(e) => e,
-            None => return,
+    let try_edge =
+        |edge_id: EdgeId, other: NodeId, used_edges: &mut Vec<EdgeId>, out: &mut Vec<Row>| {
+            if used_edges.contains(&edge_id) {
+                return;
+            }
+            let edge = match store.edge(edge_id) {
+                Some(e) => e,
+                None => return,
+            };
+            if let Some(t) = &rel.rel_type {
+                if &edge.rel_type != t {
+                    return;
+                }
+            }
+            // Edge-variable consistency.
+            if let Some(var) = &rel.var {
+                if let Some(existing) = row.get(var) {
+                    if *existing != Binding::Edge(edge_id) {
+                        return;
+                    }
+                }
+            }
+            // Node-pattern check including variable consistency.
+            if let Some(var) = &next_np.var {
+                if let Some(Binding::Node(bound)) = row.get(var) {
+                    if *bound != other {
+                        return;
+                    }
+                } else if row.contains_key(var) {
+                    return;
+                }
+            }
+            if !node_matches(store, other, next_np) {
+                return;
+            }
+            let mut next_row = row.clone();
+            if let Some(var) = &rel.var {
+                next_row.insert(var.clone(), Binding::Edge(edge_id));
+            }
+            if let Some(var) = &next_np.var {
+                next_row.insert(var.clone(), Binding::Node(other));
+            }
+            used_edges.push(edge_id);
+            extend(store, pattern, step + 1, other, next_row, used_edges, out);
+            used_edges.pop();
         };
-        if let Some(t) = &rel.rel_type {
-            if &edge.rel_type != t {
-                return;
-            }
-        }
-        // Edge-variable consistency.
-        if let Some(var) = &rel.var {
-            if let Some(existing) = row.get(var) {
-                if *existing != Binding::Edge(edge_id) {
-                    return;
-                }
-            }
-        }
-        // Node-pattern check including variable consistency.
-        if let Some(var) = &next_np.var {
-            if let Some(Binding::Node(bound)) = row.get(var) {
-                if *bound != other {
-                    return;
-                }
-            } else if row.contains_key(var) {
-                return;
-            }
-        }
-        if !node_matches(store, other, next_np) {
-            return;
-        }
-        let mut next_row = row.clone();
-        if let Some(var) = &rel.var {
-            next_row.insert(var.clone(), Binding::Edge(edge_id));
-        }
-        if let Some(var) = &next_np.var {
-            next_row.insert(var.clone(), Binding::Node(other));
-        }
-        used_edges.push(edge_id);
-        extend(store, pattern, step + 1, other, next_row, used_edges, out);
-        used_edges.pop();
-    };
 
     if matches!(rel.direction, Direction::Out | Direction::Either) {
         for edge in store.outgoing(at) {
@@ -382,9 +410,10 @@ fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResu
                 .filter(|i| !i.expr.is_aggregate())
                 .map(|i| eval(store, &row, &i.expr))
                 .collect::<Result<_, _>>()?;
-            match groups.iter_mut().find(|(k, _)| {
-                k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a == b)
-            }) {
+            match groups
+                .iter_mut()
+                .find(|(k, _)| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a == b))
+            {
                 Some((_, members)) => members.push(row),
                 None => groups.push((key, vec![row])),
             }
@@ -473,7 +502,11 @@ fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResu
         out_rows.truncate(limit);
     }
 
-    Ok(QueryResult { columns, rows: out_rows, stats: WriteStats::default() })
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+        stats: WriteStats::default(),
+    })
 }
 
 // ---- writes -------------------------------------------------------------------
@@ -506,7 +539,10 @@ fn create_pattern(
             Direction::Out | Direction::Either => (node_ids[i], node_ids[i + 1]),
             Direction::In => (node_ids[i + 1], node_ids[i]),
         };
-        let rel_type = rel.rel_type.clone().unwrap_or_else(|| "RELATED_TO".to_owned());
+        let rel_type = rel
+            .rel_type
+            .clone()
+            .unwrap_or_else(|| "RELATED_TO".to_owned());
         store
             .create_edge(from, &rel_type, to, std::iter::empty::<(String, Value)>())
             .map_err(|e| CypherError::Exec(e.to_string()))?;
@@ -523,20 +559,23 @@ fn merge_pattern(
     // Every node pattern needs a label and a textual name property.
     let mut ids = Vec::with_capacity(pattern.nodes.len());
     for np in &pattern.nodes {
-        let label = np.label.as_deref().ok_or_else(|| {
-            CypherError::Exec("MERGE requires a label on every node".into())
-        })?;
+        let label = np
+            .label
+            .as_deref()
+            .ok_or_else(|| CypherError::Exec("MERGE requires a label on every node".into()))?;
         let name = np
             .props
             .iter()
             .find(|(k, _)| k == "name")
             .and_then(|(_, v)| v.as_text())
-            .ok_or_else(|| {
-                CypherError::Exec("MERGE requires a textual name property".into())
-            })?;
+            .ok_or_else(|| CypherError::Exec("MERGE requires a textual name property".into()))?;
         let before = store.node_count();
-        let extra: Vec<(String, Value)> =
-            np.props.iter().filter(|(k, _)| k != "name").cloned().collect();
+        let extra: Vec<(String, Value)> = np
+            .props
+            .iter()
+            .filter(|(k, _)| k != "name")
+            .cloned()
+            .collect();
         let id = store.merge_node(label, name, extra);
         if store.node_count() > before {
             stats.nodes_created += 1;
@@ -548,7 +587,10 @@ fn merge_pattern(
             Direction::Out | Direction::Either => (ids[i], ids[i + 1]),
             Direction::In => (ids[i + 1], ids[i]),
         };
-        let rel_type = rel.rel_type.clone().unwrap_or_else(|| "RELATED_TO".to_owned());
+        let rel_type = rel
+            .rel_type
+            .clone()
+            .unwrap_or_else(|| "RELATED_TO".to_owned());
         let before = store.edge_count();
         store
             .merge_edge(from, &rel_type, to)
@@ -579,19 +621,27 @@ mod tests {
         let actor = g.create_node("ThreatActor", [("name", Value::from("lazarus group"))]);
         let t1 = g.create_node("Technique", [("name", Value::from("smb exploitation"))]);
         let t2 = g.create_node("Technique", [("name", Value::from("keylogging"))]);
-        g.create_edge(wannacry, "DROP", file, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(wannacry, "EXPLOITS", cve, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(wannacry, "ATTRIBUTED_TO", actor, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(actor, "USES", t1, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(actor, "USES", t2, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(emotet, "USES", t2, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(wannacry, "DROP", file, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(wannacry, "EXPLOITS", cve, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(wannacry, "ATTRIBUTED_TO", actor, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(actor, "USES", t1, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(actor, "USES", t2, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(emotet, "USES", t2, [] as [(&str, Value); 0])
+            .unwrap();
         g
     }
 
     #[test]
     fn the_paper_demo_query_returns_the_wannacry_node() {
         let mut g = demo_store();
-        let r = g.query("match (n) where n.name = \"wannacry\" return n").unwrap();
+        let r = g
+            .query("match (n) where n.name = \"wannacry\" return n")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         let id = match r.rows[0][0] {
             Value::Node(id) => id,
@@ -606,7 +656,10 @@ mod tests {
         let r = g
             .query("MATCH (m:Malware)-[:DROP]->(f:FileName) RETURN m.name, f.name")
             .unwrap();
-        assert_eq!(r.rows, vec![vec![Value::from("wannacry"), Value::from("tasksche.exe")]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::from("wannacry"), Value::from("tasksche.exe")]]
+        );
         // Reverse direction finds nothing.
         let r = g
             .query("MATCH (m:Malware)<-[:DROP]-(f:FileName) RETURN m.name")
@@ -643,7 +696,10 @@ mod tests {
             .query("MATCH (n) WHERE n.name CONTAINS 'o' AND NOT n.name = 'emotet' RETURN n.name ORDER BY n.name")
             .unwrap();
         let names: Vec<&str> = r.rows.iter().map(|row| row[0].as_text().unwrap()).collect();
-        assert_eq!(names, vec!["keylogging", "lazarus group", "smb exploitation"]);
+        assert_eq!(
+            names,
+            vec!["keylogging", "lazarus group", "smb exploitation"]
+        );
     }
 
     #[test]
@@ -690,7 +746,9 @@ mod tests {
         // MERGE of the same node is a no-op.
         let r = g.query("MERGE (m:Malware {name: 'x'})").unwrap();
         assert_eq!(r.stats.nodes_created, 0);
-        let r = g.query("MERGE (m:Malware {name: 'z'}) RETURN m.name").unwrap();
+        let r = g
+            .query("MERGE (m:Malware {name: 'z'}) RETURN m.name")
+            .unwrap();
         assert_eq!(r.stats.nodes_created, 1);
         assert_eq!(r.rows, vec![vec![Value::from("z")]]);
         // MERGE of a path merges endpoints and edge.
@@ -726,7 +784,13 @@ mod tests {
                  RETURN a.name, t.name",
             )
             .unwrap();
-        assert_eq!(r.rows, vec![vec![Value::from("lazarus group"), Value::from("keylogging")]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                Value::from("lazarus group"),
+                Value::from("keylogging")
+            ]]
+        );
     }
 
     #[test]
@@ -734,7 +798,9 @@ mod tests {
         let mut g = demo_store();
         let r = g.query("MATCH (n) WHERE n.missing = 'x' RETURN n").unwrap();
         assert!(r.rows.is_empty());
-        let r = g.query("MATCH (n) WHERE n.missing <> 'x' RETURN n").unwrap();
+        let r = g
+            .query("MATCH (n) WHERE n.missing <> 'x' RETURN n")
+            .unwrap();
         assert!(r.rows.is_empty(), "NULL <> x is NULL, not true");
     }
 
@@ -745,7 +811,9 @@ mod tests {
         let b = g.create_node("N", [("name", Value::from("b"))]);
         g.create_edge(a, "R", b, [] as [(&str, Value); 0]).unwrap();
         // A 2-step path a-b-a cannot reuse the single edge.
-        let r = g.query("MATCH (x)-[:R]-(y)-[:R]-(z) RETURN x.name").unwrap();
+        let r = g
+            .query("MATCH (x)-[:R]-(y)-[:R]-(z) RETURN x.name")
+            .unwrap();
         assert!(r.rows.is_empty());
     }
 }

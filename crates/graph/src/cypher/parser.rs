@@ -43,7 +43,9 @@ impl Parser {
     fn expect(&mut self, tok: &Tok) -> Result<(), CypherError> {
         match self.next() {
             Some(t) if &t == tok => Ok(()),
-            other => Err(CypherError::Parse(format!("expected {tok:?}, found {other:?}"))),
+            other => Err(CypherError::Parse(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
         }
     }
 
@@ -64,7 +66,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, CypherError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(CypherError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(CypherError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -75,7 +79,11 @@ impl Parser {
         }
         if self.eat_keyword("merge") {
             let pattern = self.pattern()?;
-            let ret = if self.eat_keyword("return") { Some(self.return_clause()?) } else { None };
+            let ret = if self.eat_keyword("return") {
+                Some(self.return_clause()?)
+            } else {
+                None
+            };
             return Ok(Query::Merge { pattern, ret });
         }
         if !self.eat_keyword("match") {
@@ -84,23 +92,43 @@ impl Parser {
             ));
         }
         let patterns = self.patterns()?;
-        let filter = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
+        let filter = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         if self.eat_keyword("detach") {
             if !self.eat_keyword("delete") {
-                return Err(CypherError::Parse("DETACH must be followed by DELETE".into()));
+                return Err(CypherError::Parse(
+                    "DETACH must be followed by DELETE".into(),
+                ));
             }
             let vars = self.var_list()?;
-            return Ok(Query::Delete { patterns, filter, vars, detach: true });
+            return Ok(Query::Delete {
+                patterns,
+                filter,
+                vars,
+                detach: true,
+            });
         }
         if self.eat_keyword("delete") {
             let vars = self.var_list()?;
-            return Ok(Query::Delete { patterns, filter, vars, detach: false });
+            return Ok(Query::Delete {
+                patterns,
+                filter,
+                vars,
+                detach: false,
+            });
         }
         if !self.eat_keyword("return") {
             return Err(CypherError::Parse("expected RETURN or DELETE".into()));
         }
         let ret = self.return_clause()?;
-        Ok(Query::Read { patterns, filter, ret })
+        Ok(Query::Read {
+            patterns,
+            filter,
+            ret,
+        })
     }
 
     fn var_list(&mut self) -> Result<Vec<String>, CypherError> {
@@ -122,7 +150,10 @@ impl Parser {
     }
 
     fn pattern(&mut self) -> Result<Pattern, CypherError> {
-        let mut pattern = Pattern { nodes: vec![self.node_pattern()?], rels: Vec::new() };
+        let mut pattern = Pattern {
+            nodes: vec![self.node_pattern()?],
+            rels: Vec::new(),
+        };
         while let Some(Tok::Dash) | Some(Tok::BackArrow) = self.peek() {
             let rel = self.rel_pattern()?;
             let node = self.node_pattern()?;
@@ -134,7 +165,11 @@ impl Parser {
 
     fn node_pattern(&mut self) -> Result<NodePattern, CypherError> {
         self.expect(&Tok::LParen)?;
-        let mut node = NodePattern { var: None, label: None, props: Vec::new() };
+        let mut node = NodePattern {
+            var: None,
+            label: None,
+            props: Vec::new(),
+        };
         if let Some(Tok::Ident(_)) = self.peek() {
             node.var = Some(self.ident()?);
         }
@@ -157,7 +192,11 @@ impl Parser {
         } else {
             self.expect(&Tok::Dash)?;
         }
-        let mut rel = RelPattern { var: None, rel_type: None, direction: Direction::Either };
+        let mut rel = RelPattern {
+            var: None,
+            rel_type: None,
+            direction: Direction::Either,
+        };
         if matches!(self.peek(), Some(Tok::LBracket)) {
             self.next();
             if let Some(Tok::Ident(_)) = self.peek() {
@@ -177,10 +216,16 @@ impl Parser {
                 rel.direction = Direction::Out;
             }
             Some(Tok::Dash) => {
-                rel.direction = if leading_back { Direction::In } else { Direction::Either };
+                rel.direction = if leading_back {
+                    Direction::In
+                } else {
+                    Direction::Either
+                };
             }
             other => {
-                return Err(CypherError::Parse(format!("expected -> or -, found {other:?}")))
+                return Err(CypherError::Parse(format!(
+                    "expected -> or -, found {other:?}"
+                )))
             }
         }
         Ok(rel)
@@ -221,7 +266,9 @@ impl Parser {
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
-            other => Err(CypherError::Parse(format!("expected literal, found {other:?}"))),
+            other => Err(CypherError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 
@@ -330,17 +377,26 @@ impl Parser {
                 }
                 Ok(Expr::Var(name))
             }
-            other => Err(CypherError::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(CypherError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
     fn return_clause(&mut self) -> Result<Return, CypherError> {
-        let mut ret = Return { distinct: self.eat_keyword("distinct"), ..Return::default() };
+        let mut ret = Return {
+            distinct: self.eat_keyword("distinct"),
+            ..Return::default()
+        };
         loop {
             let start = self.pos;
             let expr = self.expr()?;
             let text = self.render_tokens(start, self.pos);
-            let alias = if self.eat_keyword("as") { Some(self.ident()?) } else { None };
+            let alias = if self.eat_keyword("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             ret.items.push(ReturnItem { expr, alias, text });
             if matches!(self.peek(), Some(Tok::Comma)) {
                 self.next();
@@ -410,7 +466,11 @@ mod tests {
     fn parses_the_demo_query() {
         let q = parse("match (n) where n.name = \"wannacry\" return n").unwrap();
         match q {
-            Query::Read { patterns, filter, ret } => {
+            Query::Read {
+                patterns,
+                filter,
+                ret,
+            } => {
                 assert_eq!(patterns.len(), 1);
                 assert_eq!(patterns[0].nodes[0].var.as_deref(), Some("n"));
                 assert!(matches!(filter, Some(Expr::Compare(..))));
@@ -470,7 +530,10 @@ mod tests {
             "MATCH (n) WHERE n.name STARTS WITH 'wanna' AND NOT n.score > 3 OR n.x = true RETURN n",
         )
         .unwrap();
-        if let Query::Read { filter: Some(e), .. } = q {
+        if let Query::Read {
+            filter: Some(e), ..
+        } = q
+        {
             assert!(matches!(e, Expr::Or(..)));
         } else {
             panic!();

@@ -13,15 +13,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Dense node identifier (never reused).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u64);
 
 /// Dense edge identifier (never reused).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EdgeId(pub u64);
 
 /// A stored node.
@@ -109,16 +105,25 @@ impl GraphStore {
         V: Into<Value>,
     {
         let id = NodeId(self.nodes.len() as u64);
-        let props: BTreeMap<String, Value> =
-            props.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
-        let node = Node { id, label: label.to_owned(), props };
+        let props: BTreeMap<String, Value> = props
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect();
+        let node = Node {
+            id,
+            label: label.to_owned(),
+            props,
+        };
         if let Some(name) = node.name() {
             self.name_index
                 .entry((node.label.clone(), name.to_owned()))
                 .or_default()
                 .push(id);
         }
-        self.label_index.entry(node.label.clone()).or_default().push(id);
+        self.label_index
+            .entry(node.label.clone())
+            .or_default()
+            .push(id);
         self.nodes.push(Some(node));
         self.live_nodes += 1;
         id
@@ -148,8 +153,10 @@ impl GraphStore {
             }
             return id;
         }
-        let mut props: Vec<(String, Value)> =
-            extra_props.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
+        let mut props: Vec<(String, Value)> = extra_props
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect();
         props.push(("name".to_owned(), Value::from(name)));
         self.create_node(label, props)
     }
@@ -194,8 +201,11 @@ impl GraphStore {
 
     /// Delete a node and (detach) all its edges.
     pub fn delete_node(&mut self, id: NodeId) -> Result<(), StoreError> {
-        let node =
-            self.nodes.get(id.0 as usize).and_then(Option::as_ref).ok_or(StoreError::NoSuchNode(id))?;
+        let node = self
+            .nodes
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(StoreError::NoSuchNode(id))?;
         let label = node.label.clone();
         let name = node.name().map(str::to_owned);
         let touching: Vec<EdgeId> = self
@@ -277,9 +287,17 @@ impl GraphStore {
             return Err(StoreError::NoSuchNode(to));
         }
         let id = EdgeId(self.edges.len() as u64);
-        let props: BTreeMap<String, Value> =
-            props.into_iter().map(|(k, v)| (k.into(), v.into())).collect();
-        self.edges.push(Some(Edge { id, from, to, rel_type: rel_type.to_owned(), props }));
+        let props: BTreeMap<String, Value> = props
+            .into_iter()
+            .map(|(k, v)| (k.into(), v.into()))
+            .collect();
+        self.edges.push(Some(Edge {
+            id,
+            from,
+            to,
+            rel_type: rel_type.to_owned(),
+            props,
+        }));
         self.out_edges.entry(from).or_default().push(id);
         self.in_edges.entry(to).or_default().push(id);
         self.live_edges += 1;
@@ -293,15 +311,10 @@ impl GraphStore {
         rel_type: &str,
         to: NodeId,
     ) -> Result<EdgeId, StoreError> {
-        if let Some(existing) = self
-            .out_edges
-            .get(&from)
-            .into_iter()
-            .flatten()
-            .find(|&&e| {
-                self.edge(e).is_some_and(|edge| edge.to == to && edge.rel_type == rel_type)
-            })
-        {
+        if let Some(existing) = self.out_edges.get(&from).into_iter().flatten().find(|&&e| {
+            self.edge(e)
+                .is_some_and(|edge| edge.to == to && edge.rel_type == rel_type)
+        }) {
             return Ok(*existing);
         }
         self.create_edge(from, rel_type, to, std::iter::empty::<(String, Value)>())
@@ -319,8 +332,11 @@ impl GraphStore {
 
     /// Delete an edge.
     pub fn delete_edge(&mut self, id: EdgeId) -> Result<(), StoreError> {
-        let edge =
-            self.edges.get(id.0 as usize).and_then(Option::as_ref).ok_or(StoreError::NoSuchEdge(id))?;
+        let edge = self
+            .edges
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(StoreError::NoSuchEdge(id))?;
         let (from, to) = (edge.from, edge.to);
         self.edges[id.0 as usize] = None;
         self.live_edges -= 1;
@@ -418,7 +434,10 @@ impl GraphStore {
         self.out_edges.clear();
         self.in_edges.clear();
         for node in self.nodes.iter().filter_map(Option::as_ref) {
-            self.label_index.entry(node.label.clone()).or_default().push(node.id);
+            self.label_index
+                .entry(node.label.clone())
+                .or_default()
+                .push(node.id);
             if let Some(name) = node.name() {
                 self.name_index
                     .entry((node.label.clone(), name.to_owned()))
@@ -450,12 +469,19 @@ mod tests {
     #[test]
     fn merge_node_deduplicates_exact_name() {
         let mut g = GraphStore::new();
-        let a = g.merge_node("Malware", "wannacry", [("vendor", Value::from("securelist"))]);
+        let a = g.merge_node(
+            "Malware",
+            "wannacry",
+            [("vendor", Value::from("securelist"))],
+        );
         let b = g.merge_node("Malware", "wannacry", [("vendor", Value::from("talos"))]);
         assert_eq!(a, b);
         assert_eq!(g.node_count(), 1);
         // First-writer wins on existing props.
-        assert_eq!(g.node(a).unwrap().props["vendor"], Value::from("securelist"));
+        assert_eq!(
+            g.node(a).unwrap().props["vendor"],
+            Value::from("securelist")
+        );
         // Different label ≠ same node.
         let c = g.merge_node("Tool", "wannacry", [] as [(&str, Value); 0]);
         assert_ne!(a, c);
@@ -466,7 +492,9 @@ mod tests {
         let mut g = GraphStore::new();
         let m = g.create_node("Malware", [("name", Value::from("wannacry"))]);
         let f = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
-        let e = g.create_edge(m, "DROP", f, [("confidence", Value::from(0.9))]).unwrap();
+        let e = g
+            .create_edge(m, "DROP", f, [("confidence", Value::from(0.9))])
+            .unwrap();
         assert_eq!(g.edge(e).unwrap().rel_type, "DROP");
         assert_eq!(g.outgoing(m).len(), 1);
         assert_eq!(g.incoming(f).len(), 1);
@@ -493,7 +521,8 @@ mod tests {
         let mut g = GraphStore::new();
         let a = g.create_node("Malware", [("name", Value::from("x"))]);
         let b = g.create_node("FileName", [("name", Value::from("y.exe"))]);
-        g.create_edge(a, "DROP", b, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(a, "DROP", b, [] as [(&str, Value); 0])
+            .unwrap();
         g.delete_node(b).unwrap();
         assert_eq!(g.node_count(), 1);
         assert_eq!(g.edge_count(), 0);
@@ -527,7 +556,8 @@ mod tests {
         let mut g = GraphStore::new();
         let m = g.create_node("Malware", [("name", Value::from("wannacry"))]);
         let f = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
-        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
         let bytes = g.to_bytes().unwrap();
         let back = GraphStore::from_bytes(&bytes).unwrap();
         assert_eq!(back.node_count(), 2);

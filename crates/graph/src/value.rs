@@ -55,7 +55,9 @@ impl Value {
         if matches!(self, Value::Null) || matches!(other, Value::Null) {
             return false;
         }
-        if let (Some(a), Some(b)) = (self.as_float(), other.as_float()) { return a == b }
+        if let (Some(a), Some(b)) = (self.as_float(), other.as_float()) {
+            return a == b;
+        }
         self == other
     }
 
@@ -200,6 +202,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Value::List(vec![Value::Int(1), Value::from("a")]).to_string(), "[1, a]");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::from("a")]).to_string(),
+            "[1, a]"
+        );
     }
 }

@@ -5,11 +5,19 @@ use kg_graph::{GraphStore, Value};
 
 fn graph() -> GraphStore {
     let mut g = GraphStore::new();
-    let a = g.create_node("Malware", [("name", Value::from("alpha")), ("score", Value::Int(9))]);
-    let b = g.create_node("Malware", [("name", Value::from("beta")), ("score", Value::Int(3))]);
+    let a = g.create_node(
+        "Malware",
+        [("name", Value::from("alpha")), ("score", Value::Int(9))],
+    );
+    let b = g.create_node(
+        "Malware",
+        [("name", Value::from("beta")), ("score", Value::Int(3))],
+    );
     let c = g.create_node("Tool", [("name", Value::from("gamma"))]);
-    g.create_edge(a, "USES", c, [("confidence", Value::Float(0.8))]).unwrap();
-    g.create_edge(b, "USES", c, [("confidence", Value::Float(0.2))]).unwrap();
+    g.create_edge(a, "USES", c, [("confidence", Value::Float(0.8))])
+        .unwrap();
+    g.create_edge(b, "USES", c, [("confidence", Value::Float(0.2))])
+        .unwrap();
     g
 }
 
@@ -27,7 +35,9 @@ fn edge_variables_bind_and_expose_properties() {
 #[test]
 fn returning_edges_and_literals() {
     let mut g = graph();
-    let r = g.query("MATCH (m)-[r]->(t) RETURN r, 42, 'label' LIMIT 1").unwrap();
+    let r = g
+        .query("MATCH (m)-[r]->(t) RETURN r, 42, 'label' LIMIT 1")
+        .unwrap();
     assert!(matches!(r.rows[0][0], Value::Edge(_)));
     assert_eq!(r.rows[0][1], Value::Int(42));
     assert_eq!(r.rows[0][2], Value::from("label"));
@@ -57,14 +67,18 @@ fn order_by_numeric_descending() {
 fn string_ops_on_non_text_are_null_not_error() {
     let mut g = graph();
     // score is an Int; CONTAINS on it evaluates to NULL → filtered out.
-    let r = g.query("MATCH (m:Malware) WHERE m.score CONTAINS '9' RETURN m").unwrap();
+    let r = g
+        .query("MATCH (m:Malware) WHERE m.score CONTAINS '9' RETURN m")
+        .unwrap();
     assert!(r.rows.is_empty());
 }
 
 #[test]
 fn aliases_name_columns() {
     let mut g = graph();
-    let r = g.query("MATCH (m:Malware) RETURN m.name AS malware LIMIT 1").unwrap();
+    let r = g
+        .query("MATCH (m:Malware) RETURN m.name AS malware LIMIT 1")
+        .unwrap();
     assert_eq!(r.columns, vec!["malware"]);
 }
 
@@ -109,7 +123,8 @@ fn create_reuses_bound_variables_within_statement() {
 #[test]
 fn incoming_direction_in_create() {
     let mut g = GraphStore::new();
-    g.query("CREATE (f:FileName {name: 'a.exe'})<-[:DROP]-(m:Malware {name: 'm'})").unwrap();
+    g.query("CREATE (f:FileName {name: 'a.exe'})<-[:DROP]-(m:Malware {name: 'm'})")
+        .unwrap();
     let m = g.node_by_name("Malware", "m").unwrap();
     let f = g.node_by_name("FileName", "a.exe").unwrap();
     let edge = g.outgoing(m);
@@ -144,12 +159,17 @@ fn boolean_precedence_not_binds_tighter_than_and() {
 fn self_loops_match_once_per_edge() {
     let mut g = GraphStore::new();
     let n = g.create_node("Malware", [("name", Value::from("ouroboros"))]);
-    g.create_edge(n, "RELATED_TO", n, [] as [(&str, Value); 0]).unwrap();
-    let r = g.query("MATCH (a)-[:RELATED_TO]->(b) RETURN a.name, b.name").unwrap();
+    g.create_edge(n, "RELATED_TO", n, [] as [(&str, Value); 0])
+        .unwrap();
+    let r = g
+        .query("MATCH (a)-[:RELATED_TO]->(b) RETURN a.name, b.name")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
     // Undirected match visits the self-loop from both directions but the
     // relationship-uniqueness rule prevents reuse within a path.
-    let r = g.query("MATCH (a)-[:RELATED_TO]-(b)-[:RELATED_TO]-(c) RETURN a").unwrap();
+    let r = g
+        .query("MATCH (a)-[:RELATED_TO]-(b)-[:RELATED_TO]-(c) RETURN a")
+        .unwrap();
     assert!(r.rows.is_empty());
 }
 
@@ -160,10 +180,13 @@ fn long_chain_pattern() {
         .map(|i| g.create_node("N", [("name", Value::from(format!("n{i}")))]))
         .collect();
     for w in ids.windows(2) {
-        g.create_edge(w[0], "NEXT", w[1], [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(w[0], "NEXT", w[1], [] as [(&str, Value); 0])
+            .unwrap();
     }
     let r = g
-        .query("MATCH (a)-[:NEXT]->(b)-[:NEXT]->(c)-[:NEXT]->(d)-[:NEXT]->(e) RETURN a.name, e.name")
+        .query(
+            "MATCH (a)-[:NEXT]->(b)-[:NEXT]->(c)-[:NEXT]->(d)-[:NEXT]->(e) RETURN a.name, e.name",
+        )
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::from("n0"), Value::from("n4")]]);
 }
@@ -171,6 +194,8 @@ fn long_chain_pattern() {
 #[test]
 fn distinct_on_projected_values() {
     let mut g = graph();
-    let r = g.query("MATCH (m:Malware)-[:USES]->(t) RETURN DISTINCT t.name").unwrap();
+    let r = g
+        .query("MATCH (m:Malware)-[:USES]->(t) RETURN DISTINCT t.name")
+        .unwrap();
     assert_eq!(r.rows.len(), 1);
 }

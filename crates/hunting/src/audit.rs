@@ -85,8 +85,16 @@ pub struct AuditGenerator {
 }
 
 const BENIGN_PROCESSES: &[&str] = &[
-    "explorer.exe", "winword.exe", "chrome.exe", "svchost.exe", "outlook.exe", "teams.exe",
-    "backupd", "sshd", "cron", "systemd",
+    "explorer.exe",
+    "winword.exe",
+    "chrome.exe",
+    "svchost.exe",
+    "outlook.exe",
+    "teams.exe",
+    "backupd",
+    "sshd",
+    "cron",
+    "systemd",
 ];
 
 const BENIGN_FILES: &[&str] = &[
@@ -129,25 +137,49 @@ impl AuditGenerator {
         let process = self.pick(BENIGN_PROCESSES).to_owned();
         let host = format!("host{}", self.next_u64() % 8);
         let (action, object) = if roll < 40 {
-            (EventAction::FileWrite, AuditObject::File(self.pick(BENIGN_FILES).to_owned()))
+            (
+                EventAction::FileWrite,
+                AuditObject::File(self.pick(BENIGN_FILES).to_owned()),
+            )
         } else if roll < 60 {
-            (EventAction::FileRead, AuditObject::File(self.pick(BENIGN_FILES).to_owned()))
+            (
+                EventAction::FileRead,
+                AuditObject::File(self.pick(BENIGN_FILES).to_owned()),
+            )
         } else if roll < 75 {
-            (EventAction::DnsResolve, AuditObject::Domain(self.pick(BENIGN_DOMAINS).to_owned()))
+            (
+                EventAction::DnsResolve,
+                AuditObject::Domain(self.pick(BENIGN_DOMAINS).to_owned()),
+            )
         } else if roll < 90 {
             (
                 EventAction::NetConnect,
-                AuditObject::Ip(format!("10.0.{}.{}", self.next_u64() % 256, self.next_u64() % 254 + 1)),
+                AuditObject::Ip(format!(
+                    "10.0.{}.{}",
+                    self.next_u64() % 256,
+                    self.next_u64() % 254 + 1
+                )),
             )
         } else {
-            (EventAction::ProcessExec, AuditObject::File(self.pick(BENIGN_PROCESSES).to_owned()))
+            (
+                EventAction::ProcessExec,
+                AuditObject::File(self.pick(BENIGN_PROCESSES).to_owned()),
+            )
         };
-        AuditEvent { ts_ms, process, host, action, object }
+        AuditEvent {
+            ts_ms,
+            process,
+            host,
+            action,
+            object,
+        }
     }
 
     /// A benign log of `n` events starting at `start_ms`, 1 event/second.
     pub fn benign_log(&mut self, n: usize, start_ms: u64) -> Vec<AuditEvent> {
-        (0..n).map(|i| self.benign_event(start_ms + i as u64 * 1000)).collect()
+        (0..n)
+            .map(|i| self.benign_event(start_ms + i as u64 * 1000))
+            .collect()
     }
 
     /// Implant an attack trace replaying the given `(action, object)` steps
@@ -228,7 +260,10 @@ mod tests {
         let mut log = Vec::new();
         generator.implant(
             &mut log,
-            &[(EventAction::DnsResolve, AuditObject::Domain("c2.evil.ru".into()))],
+            &[(
+                EventAction::DnsResolve,
+                AuditObject::Domain("c2.evil.ru".into()),
+            )],
             "mal.exe",
             "host0",
         );
@@ -237,7 +272,10 @@ mod tests {
 
     #[test]
     fn object_keys_lowercase() {
-        assert_eq!(AuditObject::File("C:\\EVIL.EXE".into()).key(), "c:\\evil.exe");
+        assert_eq!(
+            AuditObject::File("C:\\EVIL.EXE".into()).key(),
+            "c:\\evil.exe"
+        );
         assert_eq!(AuditObject::Domain("C2.Evil.RU".into()).key(), "c2.evil.ru");
     }
 }

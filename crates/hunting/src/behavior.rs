@@ -111,12 +111,18 @@ pub fn behavior_of(graph: &GraphStore, threat: NodeId) -> Option<BehaviorGraph> 
     let name = node.name().unwrap_or("").to_owned();
     let mut indicators = Vec::new();
     for edge in graph.outgoing(threat) {
-        let Ok(relation) = edge.rel_type.parse::<RelationKind>() else { continue };
+        let Ok(relation) = edge.rel_type.parse::<RelationKind>() else {
+            continue;
+        };
         if relation.is_structural() {
             continue;
         }
-        let Some(target) = graph.node(edge.to) else { continue };
-        let Ok(kind) = target.label.parse::<EntityKind>() else { continue };
+        let Some(target) = graph.node(edge.to) else {
+            continue;
+        };
+        let Ok(kind) = target.label.parse::<EntityKind>() else {
+            continue;
+        };
         if !kind.is_ioc() {
             continue;
         }
@@ -136,7 +142,11 @@ pub fn behavior_of(graph: &GraphStore, threat: NodeId) -> Option<BehaviorGraph> 
     // relations, keeping the first.
     indicators.sort_by(|a, b| (a.kind, &a.value).cmp(&(b.kind, &b.value)));
     indicators.dedup_by(|a, b| a.kind == b.kind && a.value == b.value);
-    Some(BehaviorGraph { threat, name, indicators })
+    Some(BehaviorGraph {
+        threat,
+        name,
+        indicators,
+    })
 }
 
 /// Extract behaviour graphs for every node with the given label that has at
@@ -170,11 +180,16 @@ mod tests {
         );
         let tech = g.create_node("Technique", [("name", Value::from("keylogging"))]);
         let report = g.create_node("MalwareReport", [("name", Value::from("src/r1"))]);
-        g.create_edge(mal, "DROP", f, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(mal, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(mal, "PERSISTS_VIA", reg, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(mal, "USES", tech, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(report, "MENTIONS", mal, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(mal, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(mal, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(mal, "PERSISTS_VIA", reg, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(mal, "USES", tech, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(report, "MENTIONS", mal, [] as [(&str, Value); 0])
+            .unwrap();
         (g, mal)
     }
 
@@ -199,9 +214,7 @@ mod tests {
             && matches!(o, AuditObject::File(f) if f == "bot.exe")));
         assert!(steps.iter().any(|(a, o)| *a == EventAction::DnsResolve
             && matches!(o, AuditObject::Domain(d) if d == "c2.evil.ru")));
-        assert!(steps
-            .iter()
-            .any(|(a, _)| *a == EventAction::RegistryWrite));
+        assert!(steps.iter().any(|(a, _)| *a == EventAction::RegistryWrite));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub fn hunt(behavior: &BehaviorGraph, log: &[AuditEvent]) -> HuntReport {
     // Index the log: (action, object key) → event indices.
     let mut index: HashMap<(crate::audit::EventAction, String), Vec<usize>> = HashMap::new();
     for (i, event) in log.iter().enumerate() {
-        index.entry((event.action, event.object.key())).or_default().push(i);
+        index
+            .entry((event.action, event.object.key()))
+            .or_default()
+            .push(i);
     }
 
     let mut matches = Vec::new();
@@ -53,15 +56,18 @@ pub fn hunt(behavior: &BehaviorGraph, log: &[AuditEvent]) -> HuntReport {
         }
         events.sort_unstable();
         events.dedup();
-        let mut hosts: Vec<String> =
-            events.iter().map(|&e| log[e].host.clone()).collect();
+        let mut hosts: Vec<String> = events.iter().map(|&e| log[e].host.clone()).collect();
         hosts.sort();
         hosts.dedup();
         for host in &hosts {
             *host_hits.entry(host.clone()).or_insert(0) += 1;
         }
         matched_weight += indicator.weight;
-        matches.push(HuntMatch { indicator: idx, events, hosts });
+        matches.push(HuntMatch {
+            indicator: idx,
+            events,
+            hosts,
+        });
     }
 
     let total_weight = behavior.total_weight();
@@ -71,7 +77,11 @@ pub fn hunt(behavior: &BehaviorGraph, log: &[AuditEvent]) -> HuntReport {
         .map(|(host, _)| host);
     HuntReport {
         threat_name: behavior.name.clone(),
-        score: if total_weight > 0.0 { matched_weight / total_weight } else { 0.0 },
+        score: if total_weight > 0.0 {
+            matched_weight / total_weight
+        } else {
+            0.0
+        },
         coverage: (matches.len(), behavior.indicators.len()),
         matches,
         focus_host,
@@ -88,7 +98,10 @@ pub struct Hunter {
 impl Hunter {
     /// A hunter over extracted behaviours with the default noise floor.
     pub fn new(behaviors: Vec<BehaviorGraph>) -> Self {
-        Hunter { behaviors, min_score: 0.05 }
+        Hunter {
+            behaviors,
+            min_score: 0.05,
+        }
     }
 
     /// Scan the log; reports sorted by score descending, ties by name.
@@ -125,8 +138,10 @@ mod tests {
             let m = g.create_node("Malware", [("name", Value::from(mal))]);
             let f = g.create_node("FileName", [("name", Value::from(file))]);
             let d = g.create_node("Domain", [("name", Value::from(domain))]);
-            g.create_edge(m, "DROP", f, [] as [(&str, Value); 0]).unwrap();
-            g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0]).unwrap();
+            g.create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+                .unwrap();
+            g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+                .unwrap();
         }
         g
     }
@@ -170,7 +185,10 @@ mod tests {
         // Only the domain indicator manifests.
         generator.implant(
             &mut log,
-            &[(EventAction::DnsResolve, AuditObject::Domain("c2.evil.ru".into()))],
+            &[(
+                EventAction::DnsResolve,
+                AuditObject::Domain("c2.evil.ru".into()),
+            )],
             "chrome.exe",
             "host0",
         );
@@ -189,21 +207,27 @@ mod tests {
         let b = g.create_node("Malware", [("name", Value::from("beta"))]);
         let shared = g.create_node("FileName", [("name", Value::from("stage.exe"))]);
         let domain = g.create_node("Domain", [("name", Value::from("only-alpha.evil"))]);
-        g.create_edge(a, "DROP", shared, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(a, "CONNECTS_TO", domain, [] as [(&str, Value); 0]).unwrap();
-        g.create_edge(b, "DROP", shared, [] as [(&str, Value); 0]).unwrap();
+        g.create_edge(a, "DROP", shared, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(a, "CONNECTS_TO", domain, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(b, "DROP", shared, [] as [(&str, Value); 0])
+            .unwrap();
 
-        let behaviors = vec![
-            behavior_of(&g, a).unwrap(),
-            behavior_of(&g, b).unwrap(),
-        ];
+        let behaviors = vec![behavior_of(&g, a).unwrap(), behavior_of(&g, b).unwrap()];
         let mut generator = AuditGenerator::new(2);
         let mut log = generator.benign_log(100, 0);
         generator.implant(
             &mut log,
             &[
-                (EventAction::FileWrite, AuditObject::File("stage.exe".into())),
-                (EventAction::DnsResolve, AuditObject::Domain("only-alpha.evil".into())),
+                (
+                    EventAction::FileWrite,
+                    AuditObject::File("stage.exe".into()),
+                ),
+                (
+                    EventAction::DnsResolve,
+                    AuditObject::Domain("only-alpha.evil".into()),
+                ),
             ],
             "stage.exe",
             "host1",

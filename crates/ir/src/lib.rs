@@ -43,7 +43,12 @@ mod tests {
         let mut cti = IntermediateCti::new(meta, ReportCategory::Malware);
         cti.text = "wannacry drops tasksche.exe".into();
         let m0 = cti.push_mention(EntityMention::new(EntityKind::Malware, "wannacry", 0, 8));
-        let m1 = cti.push_mention(EntityMention::new(EntityKind::FileName, "tasksche.exe", 15, 27));
+        let m1 = cti.push_mention(EntityMention::new(
+            EntityKind::FileName,
+            "tasksche.exe",
+            15,
+            27,
+        ));
         cti.relations.push(RelationMention::new(m0, m1, "drop"));
         cti
     }

@@ -102,7 +102,13 @@ pub struct RelationMention {
 impl RelationMention {
     /// A relation mention with default confidence 1.0 and unresolved kind.
     pub fn new(subject: usize, object: usize, verb: impl Into<String>) -> Self {
-        RelationMention { subject, object, verb: verb.into(), kind: None, confidence: 1.0 }
+        RelationMention {
+            subject,
+            object,
+            verb: verb.into(),
+            kind: None,
+            confidence: 1.0,
+        }
     }
 
     /// Builder-style kind override.

@@ -105,7 +105,10 @@ mod tests {
         let a = raw(FetchStatus::Ok, "<html>one</html>");
         let b = raw(FetchStatus::Ok, "<html>two</html>");
         assert_ne!(a.content_hash(), b.content_hash());
-        assert_eq!(a.content_hash(), raw(FetchStatus::Ok, "<html>one</html>").content_hash());
+        assert_eq!(
+            a.content_hash(),
+            raw(FetchStatus::Ok, "<html>one</html>").content_hash()
+        );
     }
 
     #[test]

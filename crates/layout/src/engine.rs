@@ -62,7 +62,11 @@ impl LayoutGraph {
                 Vec2::new(radius * angle.cos(), radius * angle.sin())
             })
             .collect();
-        LayoutGraph { positions, edges, locked: vec![false; n] }
+        LayoutGraph {
+            positions,
+            edges,
+            locked: vec![false; n],
+        }
     }
 
     /// Number of nodes.
@@ -135,7 +139,10 @@ impl ForceLayout {
     /// New engine at the config's initial temperature.
     pub fn new(config: LayoutConfig) -> Self {
         let temperature = config.temperature;
-        ForceLayout { config, temperature }
+        ForceLayout {
+            config,
+            temperature,
+        }
     }
 
     /// One simulation step; returns the total displacement (convergence
@@ -195,7 +202,11 @@ impl ForceLayout {
             }
             let f = f;
             let len = f.len();
-            let step = if len > self.temperature { f * (self.temperature / len) } else { f };
+            let step = if len > self.temperature {
+                f * (self.temperature / len)
+            } else {
+                f
+            };
             graph.positions[i] += step;
             total += step.len();
         }
@@ -240,7 +251,11 @@ mod tests {
         graph.positions[0] = Vec2::default();
         let mut engine = ForceLayout::new(LayoutConfig::default());
         engine.run(&mut graph, 150);
-        assert!(graph.min_pairwise_distance() > 5.0, "{}", graph.min_pairwise_distance());
+        assert!(
+            graph.min_pairwise_distance() > 5.0,
+            "{}",
+            graph.min_pairwise_distance()
+        );
     }
 
     #[test]
@@ -262,7 +277,10 @@ mod tests {
         let early = engine.step(&mut graph);
         engine.run(&mut graph, 200);
         let late = engine.step(&mut graph);
-        assert!(late < early, "late {late} should be smaller than early {early}");
+        assert!(
+            late < early,
+            "late {late} should be smaller than early {early}"
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ const MAX_DEPTH: u32 = 32;
 impl QuadTree {
     /// Build a tree over the points (all mass 1).
     pub fn build(points: &[Vec2]) -> Self {
-        let mut tree = QuadTree { cells: Vec::new(), points: points.to_vec() };
+        let mut tree = QuadTree {
+            cells: Vec::new(),
+            points: points.to_vec(),
+        };
         if points.is_empty() {
             return tree;
         }
@@ -274,7 +277,10 @@ mod tests {
     #[test]
     fn empty_and_single() {
         let tree = QuadTree::build(&[]);
-        assert_eq!(tree.repulsion(Vec2::default(), None, 1.0, 0.8), Vec2::default());
+        assert_eq!(
+            tree.repulsion(Vec2::default(), None, 1.0, 0.8),
+            Vec2::default()
+        );
         let tree = QuadTree::build(&[Vec2::new(5.0, 5.0)]);
         let f = tree.repulsion(Vec2::new(5.0, 5.0), Some(0), 1.0, 0.8);
         assert_eq!(f, Vec2::default());

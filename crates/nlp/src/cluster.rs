@@ -29,7 +29,12 @@ impl KMeans {
         let n = embeddings.vocab_size();
         let k = k.min(n.max(1));
         if n == 0 {
-            return KMeans { k: 0, dims, centroids: Vec::new(), assignment: HashMap::new() };
+            return KMeans {
+                k: 0,
+                dims,
+                centroids: Vec::new(),
+                assignment: HashMap::new(),
+            };
         }
         let row = |i: usize| &matrix[i * dims..(i + 1) * dims];
 
@@ -115,7 +120,12 @@ impl KMeans {
             .enumerate()
             .map(|(i, w)| (w.clone(), assign[i]))
             .collect();
-        KMeans { k, dims, centroids, assignment }
+        KMeans {
+            k,
+            dims,
+            centroids,
+            assignment,
+        }
     }
 
     /// Number of clusters.
@@ -133,12 +143,11 @@ impl KMeans {
         if self.k == 0 || vector.len() != self.dims {
             return None;
         }
-        (0..self.k)
-            .min_by(|&a, &b| {
-                let da = sq_dist(vector, &self.centroids[a * self.dims..(a + 1) * self.dims]);
-                let db = sq_dist(vector, &self.centroids[b * self.dims..(b + 1) * self.dims]);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
+        (0..self.k).min_by(|&a, &b| {
+            let da = sq_dist(vector, &self.centroids[a * self.dims..(a + 1) * self.dims]);
+            let db = sq_dist(vector, &self.centroids[b * self.dims..(b + 1) * self.dims]);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 
@@ -167,7 +176,14 @@ mod tests {
                 );
             }
         }
-        Embeddings::train(&sents, &EmbeddingConfig { dims: 16, epochs: 4, ..Default::default() })
+        Embeddings::train(
+            &sents,
+            &EmbeddingConfig {
+                dims: 16,
+                epochs: 4,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -198,7 +214,13 @@ mod tests {
         let sents: Vec<Vec<String>> = (0..10)
             .map(|_| vec!["alpha".to_owned(), "beta".to_owned()])
             .collect();
-        let emb = Embeddings::train(&sents, &EmbeddingConfig { dims: 4, ..Default::default() });
+        let emb = Embeddings::train(
+            &sents,
+            &EmbeddingConfig {
+                dims: 4,
+                ..Default::default()
+            },
+        );
         let km = KMeans::fit(&emb, 100, 10, 1);
         assert!(km.k() <= emb.vocab_size());
     }

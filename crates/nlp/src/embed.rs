@@ -102,12 +102,18 @@ impl Embeddings {
                 *counts.entry(tok.as_ref()).or_insert(0) += 1;
             }
         }
-        let mut words: Vec<(&str, usize)> =
-            counts.iter().filter(|(_, &c)| c >= config.min_count).map(|(&w, &c)| (w, c)).collect();
+        let mut words: Vec<(&str, usize)> = counts
+            .iter()
+            .filter(|(_, &c)| c >= config.min_count)
+            .map(|(&w, &c)| (w, c))
+            .collect();
         // Deterministic order: by count desc, then lexicographic.
         words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        let vocab: HashMap<String, usize> =
-            words.iter().enumerate().map(|(i, (w, _))| ((*w).to_owned(), i)).collect();
+        let vocab: HashMap<String, usize> = words
+            .iter()
+            .enumerate()
+            .map(|(i, (w, _))| ((*w).to_owned(), i))
+            .collect();
         let v = words.len();
         let dims = config.dims;
 
@@ -132,7 +138,11 @@ impl Embeddings {
         // 4. Encode corpus as ids once.
         let encoded: Vec<Vec<usize>> = sentences
             .iter()
-            .map(|s| s.iter().filter_map(|t| vocab.get(t.as_ref()).copied()).collect())
+            .map(|s| {
+                s.iter()
+                    .filter_map(|t| vocab.get(t.as_ref()).copied())
+                    .collect()
+            })
             .collect();
         let total_tokens: usize = encoded.iter().map(Vec::len).sum();
         let total_steps = (total_tokens * config.epochs).max(1);
@@ -143,8 +153,7 @@ impl Embeddings {
         for _epoch in 0..config.epochs {
             for sent in &encoded {
                 for (pos, &center) in sent.iter().enumerate() {
-                    let lr = config.lr
-                        * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
+                    let lr = config.lr * (1.0 - 0.9 * step as f32 / total_steps as f32).max(0.1);
                     step += 1;
                     let window = 1 + rng.below(config.window);
                     let lo = pos.saturating_sub(window);
@@ -205,7 +214,9 @@ impl Embeddings {
 
     /// The vector for `word`, if in vocabulary.
     pub fn vector(&self, word: &str) -> Option<&[f32]> {
-        self.vocab.get(word).map(|&i| &self.vectors[i * self.dims..(i + 1) * self.dims])
+        self.vocab
+            .get(word)
+            .map(|&i| &self.vectors[i * self.dims..(i + 1) * self.dims])
     }
 
     /// Vocabulary id for `word`.
@@ -232,7 +243,9 @@ impl Embeddings {
 
     /// The `k` nearest vocabulary words to `word` by cosine similarity.
     pub fn nearest(&self, word: &str, k: usize) -> Vec<(String, f32)> {
-        let Some(target) = self.vector(word) else { return Vec::new() };
+        let Some(target) = self.vector(word) else {
+            return Vec::new();
+        };
         let target = target.to_vec();
         let mut scored: Vec<(usize, f32)> = (0..self.words.len())
             .filter(|&i| self.words[i] != word)
@@ -243,7 +256,10 @@ impl Embeddings {
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);
-        scored.into_iter().map(|(i, s)| (self.words[i].clone(), s)).collect()
+        scored
+            .into_iter()
+            .map(|(i, s)| (self.words[i].clone(), s))
+            .collect()
     }
 }
 
@@ -289,7 +305,11 @@ mod tests {
     }
 
     fn small_config() -> EmbeddingConfig {
-        EmbeddingConfig { dims: 16, epochs: 4, ..EmbeddingConfig::default() }
+        EmbeddingConfig {
+            dims: 16,
+            epochs: 4,
+            ..EmbeddingConfig::default()
+        }
     }
 
     #[test]

@@ -37,24 +37,27 @@ pub struct IocMatcher {
 /// File extensions recognised as file-name IOCs.
 const FILE_EXTENSIONS: &[&str] = &[
     "exe", "dll", "bat", "cmd", "ps1", "vbs", "js", "jse", "wsf", "hta", "scr", "pif", "sys",
-    "drv", "ocx", "cpl", "msi", "jar", "apk", "elf", "so", "dylib", "sh", "py", "pl", "rb",
-    "doc", "docx", "docm", "xls", "xlsx", "xlsm", "ppt", "pptx", "pdf", "rtf", "zip", "rar",
-    "7z", "tar", "gz", "iso", "img", "lnk", "tmp", "dat", "bin", "log", "db", "sqlite", "cfg",
-    "ini", "key", "pem",
+    "drv", "ocx", "cpl", "msi", "jar", "apk", "elf", "so", "dylib", "sh", "py", "pl", "rb", "doc",
+    "docx", "docm", "xls", "xlsx", "xlsm", "ppt", "pptx", "pdf", "rtf", "zip", "rar", "7z", "tar",
+    "gz", "iso", "img", "lnk", "tmp", "dat", "bin", "log", "db", "sqlite", "cfg", "ini", "key",
+    "pem",
 ];
 
 /// Top-level domains recognised as domain IOCs. Intentionally not exhaustive:
 /// the synthetic corpus and common CTI reporting use these.
 const TLDS: &[&str] = &[
-    "com", "net", "org", "io", "ru", "cn", "info", "biz", "onion", "xyz", "top", "cc", "su",
-    "uk", "de", "fr", "kr", "jp", "in", "br", "nl", "se", "ch", "eu", "us", "ca", "au", "edu",
-    "gov", "mil", "co", "me", "tv", "ws", "pw", "site", "online", "club", "space", "example",
+    "com", "net", "org", "io", "ru", "cn", "info", "biz", "onion", "xyz", "top", "cc", "su", "uk",
+    "de", "fr", "kr", "jp", "in", "br", "nl", "se", "ch", "eu", "us", "ca", "au", "edu", "gov",
+    "mil", "co", "me", "tv", "ws", "pw", "site", "online", "club", "space", "example",
 ];
 
 impl IocMatcher {
     /// The standard matcher with the built-in extension and TLD lists.
     pub fn standard() -> Self {
-        IocMatcher { file_extensions: FILE_EXTENSIONS.to_vec(), tlds: TLDS.to_vec() }
+        IocMatcher {
+            file_extensions: FILE_EXTENSIONS.to_vec(),
+            tlds: TLDS.to_vec(),
+        }
     }
 
     /// Find every IOC span in `text`, left to right, non-overlapping.
@@ -81,7 +84,12 @@ impl IocMatcher {
             }
             let candidate = &text[s..e];
             if let Some(kind) = self.classify(candidate) {
-                spans.push(IocSpan { kind, start: s, end: e, text: candidate.to_owned() });
+                spans.push(IocSpan {
+                    kind,
+                    start: s,
+                    end: e,
+                    text: candidate.to_owned(),
+                });
             }
         }
         spans
@@ -121,7 +129,9 @@ impl IocMatcher {
 
     fn is_file_name(&self, s: &str) -> bool {
         // name.ext where ext is known and name has no path separators.
-        let Some(dot) = s.rfind('.') else { return false };
+        let Some(dot) = s.rfind('.') else {
+            return false;
+        };
         if dot == 0 || dot + 1 >= s.len() {
             return false;
         }
@@ -131,7 +141,9 @@ impl IocMatcher {
         }
         let ext = ext.to_ascii_lowercase();
         self.file_extensions.iter().any(|&e| e == ext)
-            && name.chars().all(|c| c.is_ascii_alphanumeric() || "._-$%~".contains(c))
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._-$%~".contains(c))
     }
 
     fn is_file_path(&self, s: &str) -> bool {
@@ -162,7 +174,8 @@ impl IocMatcher {
         }
         labels.iter().all(|l| {
             !l.is_empty()
-                && l.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                && l.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
                 && !l.starts_with('-')
                 && !l.ends_with('-')
         })
@@ -221,13 +234,19 @@ fn is_url(s: &str) -> bool {
 
 fn is_email(s: &str) -> bool {
     let refanged = refang(s);
-    let Some((local, domain)) = refanged.split_once('@') else { return false };
+    let Some((local, domain)) = refanged.split_once('@') else {
+        return false;
+    };
     if local.is_empty() || domain.is_empty() || domain.contains('@') {
         return false;
     }
-    local.chars().all(|c| c.is_ascii_alphanumeric() || "._%+-".contains(c))
+    local
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "._%+-".contains(c))
         && domain.contains('.')
-        && domain.chars().all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c))
+        && domain
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c))
 }
 
 fn is_registry_key(s: &str) -> bool {
@@ -242,15 +261,19 @@ fn is_registry_key(s: &str) -> bool {
         "HKCR",
         "HKU",
     ];
-    HIVES.iter().any(|h| {
-        s.len() > h.len() && s.starts_with(h) && s.as_bytes()[h.len()] == b'\\'
-    })
+    HIVES
+        .iter()
+        .any(|h| s.len() > h.len() && s.starts_with(h) && s.as_bytes()[h.len()] == b'\\')
 }
 
 fn is_cve(s: &str) -> bool {
     let up = s.to_ascii_uppercase();
-    let Some(rest) = up.strip_prefix("CVE-") else { return false };
-    let Some((year, num)) = rest.split_once('-') else { return false };
+    let Some(rest) = up.strip_prefix("CVE-") else {
+        return false;
+    };
+    let Some((year, num)) = rest.split_once('-') else {
+        return false;
+    };
     year.len() == 4
         && year.bytes().all(|b| b.is_ascii_digit())
         && num.len() >= 4
@@ -311,7 +334,10 @@ mod tests {
         assert_eq!(classify("/usr/local/bin/dropper"), Some(FilePath));
         assert_eq!(classify(r"HKLM\Software\Run\Updater"), Some(RegistryKey));
         assert_eq!(classify("d41d8cd98f00b204e9800998ecf8427e"), Some(HashMd5));
-        assert_eq!(classify("da39a3ee5e6b4b0d3255bfef95601890afd80709"), Some(HashSha1));
+        assert_eq!(
+            classify("da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            Some(HashSha1)
+        );
         assert_eq!(
             classify("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
             Some(HashSha256)

@@ -10,46 +10,122 @@ use crate::pos::PosTag;
 
 /// Irregular verb forms → lemma.
 const IRREGULAR_VERBS: &[(&str, &str)] = &[
-    ("was", "be"), ("were", "be"), ("been", "be"), ("is", "be"), ("are", "be"), ("am", "be"),
+    ("was", "be"),
+    ("were", "be"),
+    ("been", "be"),
+    ("is", "be"),
+    ("are", "be"),
+    ("am", "be"),
     ("being", "be"),
-    ("has", "have"), ("had", "have"), ("having", "have"),
-    ("did", "do"), ("does", "do"), ("done", "do"),
-    ("ran", "run"), ("run", "run"),
-    ("sent", "send"), ("wrote", "write"), ("written", "write"),
-    ("stole", "steal"), ("stolen", "steal"),
-    ("spread", "spread"), ("hid", "hide"), ("hidden", "hide"),
-    ("began", "begin"), ("begun", "begin"),
-    ("took", "take"), ("taken", "take"),
-    ("made", "make"), ("saw", "see"), ("seen", "see"),
-    ("found", "find"), ("got", "get"), ("gotten", "get"),
-    ("came", "come"), ("went", "go"), ("gone", "go"),
-    ("became", "become"), ("grew", "grow"), ("grown", "grow"),
-    ("left", "leave"), ("built", "build"), ("brought", "bring"),
-    ("caught", "catch"), ("held", "hold"), ("kept", "keep"),
-    ("led", "lead"), ("lost", "lose"), ("met", "meet"),
-    ("paid", "pay"), ("put", "put"), ("read", "read"),
-    ("said", "say"), ("sold", "sell"), ("set", "set"),
-    ("shut", "shut"), ("sat", "sit"), ("spoke", "speak"), ("spoken", "speak"),
-    ("spent", "spend"), ("stood", "stand"), ("struck", "strike"),
-    ("thought", "think"), ("told", "tell"), ("understood", "understand"),
-    ("woke", "wake"), ("won", "win"), ("drew", "draw"), ("drawn", "draw"),
+    ("has", "have"),
+    ("had", "have"),
+    ("having", "have"),
+    ("did", "do"),
+    ("does", "do"),
+    ("done", "do"),
+    ("ran", "run"),
+    ("run", "run"),
+    ("sent", "send"),
+    ("wrote", "write"),
+    ("written", "write"),
+    ("stole", "steal"),
+    ("stolen", "steal"),
+    ("spread", "spread"),
+    ("hid", "hide"),
+    ("hidden", "hide"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("took", "take"),
+    ("taken", "take"),
+    ("made", "make"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("found", "find"),
+    ("got", "get"),
+    ("gotten", "get"),
+    ("came", "come"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("became", "become"),
+    ("grew", "grow"),
+    ("grown", "grow"),
+    ("left", "leave"),
+    ("built", "build"),
+    ("brought", "bring"),
+    ("caught", "catch"),
+    ("held", "hold"),
+    ("kept", "keep"),
+    ("led", "lead"),
+    ("lost", "lose"),
+    ("met", "meet"),
+    ("paid", "pay"),
+    ("put", "put"),
+    ("read", "read"),
+    ("said", "say"),
+    ("sold", "sell"),
+    ("set", "set"),
+    ("shut", "shut"),
+    ("sat", "sit"),
+    ("spoke", "speak"),
+    ("spoken", "speak"),
+    ("spent", "spend"),
+    ("stood", "stand"),
+    ("struck", "strike"),
+    ("thought", "think"),
+    ("told", "tell"),
+    ("understood", "understand"),
+    ("woke", "wake"),
+    ("won", "win"),
+    ("drew", "draw"),
+    ("drawn", "draw"),
 ];
 
 /// Irregular noun plurals → singular.
 const IRREGULAR_NOUNS: &[(&str, &str)] = &[
-    ("children", "child"), ("men", "man"), ("women", "woman"), ("feet", "foot"),
-    ("teeth", "tooth"), ("mice", "mouse"), ("people", "person"), ("indices", "index"),
-    ("matrices", "matrix"), ("vertices", "vertex"), ("analyses", "analysis"),
-    ("viruses", "virus"), ("processes", "process"), ("addresses", "address"),
-    ("accesses", "access"), ("botnets", "botnet"),
+    ("children", "child"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("feet", "foot"),
+    ("teeth", "tooth"),
+    ("mice", "mouse"),
+    ("people", "person"),
+    ("indices", "index"),
+    ("matrices", "matrix"),
+    ("vertices", "vertex"),
+    ("analyses", "analysis"),
+    ("viruses", "virus"),
+    ("processes", "process"),
+    ("addresses", "address"),
+    ("accesses", "access"),
+    ("botnets", "botnet"),
 ];
 
 /// Words that look inflected but are not ("ransomware" is not "ransomwar" +
 /// e, "across" is not a plural).
 const NON_INFLECTED: &[&str] = &[
-    "across", "its", "this", "his", "was", "dangerous", "malicious", "previous", "various",
-    "virus", "analysis", "always", "perhaps", "ransomware", "malware", "spyware", "adware",
-    "less", "process", "access", "address", "business", "campaigns",
+    "across",
+    "its",
+    "this",
+    "his",
+    "was",
+    "dangerous",
+    "malicious",
+    "previous",
+    "various",
+    "virus",
+    "analysis",
+    "always",
+    "perhaps",
+    "ransomware",
+    "malware",
+    "spyware",
+    "adware",
+    "less",
+    "process",
+    "access",
+    "address",
+    "business",
+    "campaigns",
 ];
 
 /// Candidate lemmas for a possibly-inflected verb form, best first.
@@ -106,7 +182,10 @@ pub fn noun_lemma_candidates(word: &str) -> Vec<String> {
     if word.ends_with("ies") && n > 4 {
         out.push(format!("{}y", &word[..n - 3]));
     }
-    if ["ches", "shes", "xes", "zes", "sses"].iter().any(|s| word.ends_with(s)) {
+    if ["ches", "shes", "xes", "zes", "sses"]
+        .iter()
+        .any(|s| word.ends_with(s))
+    {
         out.push(word[..n - 2].to_owned());
     } else if word.ends_with('s') && !word.ends_with("ss") && n > 2 {
         out.push(word[..n - 1].to_owned());
@@ -143,22 +222,22 @@ pub fn lemmatize(word: &str, tag: PosTag) -> String {
             if NON_INFLECTED.contains(&word) && lookup(IRREGULAR_VERBS, word).is_none() {
                 return word.to_owned();
             }
-            verb_lemma_candidates(word).into_iter().next().unwrap_or_else(|| word.to_owned())
+            verb_lemma_candidates(word)
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| word.to_owned())
         }
-        PosTag::Noun | PosTag::ProperNoun => {
-            noun_lemma_candidates(word).into_iter().next().unwrap_or_else(|| word.to_owned())
-        }
+        PosTag::Noun | PosTag::ProperNoun => noun_lemma_candidates(word)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| word.to_owned()),
         _ => word.to_owned(),
     }
 }
 
 /// Lemmatize against a validating predicate: the first candidate accepted by
 /// `is_known` wins, then the plain first candidate, then the word itself.
-pub fn lemmatize_validated(
-    word: &str,
-    tag: PosTag,
-    is_known: impl Fn(&str) -> bool,
-) -> String {
+pub fn lemmatize_validated(word: &str, tag: PosTag, is_known: impl Fn(&str) -> bool) -> String {
     let candidates = match tag {
         PosTag::Verb | PosTag::Aux => verb_lemma_candidates(word),
         PosTag::Noun | PosTag::ProperNoun => noun_lemma_candidates(word),
@@ -167,7 +246,10 @@ pub fn lemmatize_validated(
     if let Some(valid) = candidates.iter().find(|c| is_known(c)) {
         return valid.clone();
     }
-    candidates.into_iter().next().unwrap_or_else(|| word.to_owned())
+    candidates
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| word.to_owned())
 }
 
 #[cfg(test)]
@@ -193,7 +275,10 @@ mod tests {
         let known = |w: &str| ["use", "drop", "beacon"].contains(&w);
         assert_eq!(lemmatize_validated("used", PosTag::Verb, known), "use");
         assert_eq!(lemmatize_validated("using", PosTag::Verb, known), "use");
-        assert_eq!(lemmatize_validated("beaconed", PosTag::Verb, known), "beacon");
+        assert_eq!(
+            lemmatize_validated("beaconed", PosTag::Verb, known),
+            "beacon"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod segment;
 pub mod token;
 
 pub use cluster::KMeans;
-pub use embed::{Embeddings, EmbeddingConfig};
+pub use embed::{EmbeddingConfig, Embeddings};
 pub use ioc::{IocMatcher, IocSpan};
 pub use lemma::lemmatize;
 pub use pos::{PosTag, PosTagger};
@@ -67,7 +67,11 @@ pub fn analyze(text: &str, matcher: &IocMatcher, tagger: &PosTagger) -> Vec<Anal
                     }
                 })
                 .collect();
-            AnalyzedSentence { tokens: sentence, tags, lemmas }
+            AnalyzedSentence {
+                tokens: sentence,
+                tags,
+                lemmas,
+            }
         })
         .collect()
 }
@@ -88,8 +92,11 @@ mod tests {
         assert!(sents[0].tokens.iter().any(|t| t.text == "mssecsvc.exe"));
         assert!(sents[1].tokens.iter().any(|t| t.text == "104.20.1.1"));
         // "dropped" lemmatizes to "drop".
-        let drop_idx =
-            sents[0].tokens.iter().position(|t| t.text == "dropped").expect("dropped token");
+        let drop_idx = sents[0]
+            .tokens
+            .iter()
+            .position(|t| t.text == "dropped")
+            .expect("dropped token");
         assert_eq!(sents[0].lemmas[drop_idx], "drop");
         assert_eq!(sents[0].tags[drop_idx], PosTag::Verb);
     }

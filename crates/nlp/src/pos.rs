@@ -61,46 +61,171 @@ const DETERMINERS: &[&str] = &[
 ];
 
 const PREPOSITIONS: &[&str] = &[
-    "in", "on", "at", "to", "from", "with", "without", "by", "for", "of", "into", "onto",
-    "over", "under", "through", "via", "across", "against", "during", "after", "before",
-    "between", "within", "upon", "inside", "outside", "toward", "towards", "among", "per",
-    "as", "about", "off",
+    "in", "on", "at", "to", "from", "with", "without", "by", "for", "of", "into", "onto", "over",
+    "under", "through", "via", "across", "against", "during", "after", "before", "between",
+    "within", "upon", "inside", "outside", "toward", "towards", "among", "per", "as", "about",
+    "off",
 ];
 
 const PRONOUNS: &[&str] = &[
-    "it", "they", "he", "she", "we", "you", "i", "them", "him", "us", "itself", "themselves",
-    "which", "who", "whom", "whose", "what", "something", "anything", "nothing",
+    "it",
+    "they",
+    "he",
+    "she",
+    "we",
+    "you",
+    "i",
+    "them",
+    "him",
+    "us",
+    "itself",
+    "themselves",
+    "which",
+    "who",
+    "whom",
+    "whose",
+    "what",
+    "something",
+    "anything",
+    "nothing",
 ];
 
-const CONJUNCTIONS: &[&str] =
-    &["and", "or", "but", "nor", "so", "yet", "then", "while", "because", "although", "if",
-      "when", "once", "where", "that", "however", "therefore"];
+const CONJUNCTIONS: &[&str] = &[
+    "and",
+    "or",
+    "but",
+    "nor",
+    "so",
+    "yet",
+    "then",
+    "while",
+    "because",
+    "although",
+    "if",
+    "when",
+    "once",
+    "where",
+    "that",
+    "however",
+    "therefore",
+];
 
 const AUXILIARIES: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having",
-    "do", "does", "did", "will", "would", "can", "could", "may", "might", "shall", "should",
-    "must",
+    "is", "are", "was", "were", "be", "been", "being", "am", "has", "have", "had", "having", "do",
+    "does", "did", "will", "would", "can", "could", "may", "might", "shall", "should", "must",
 ];
 
 const COMMON_ADVERBS: &[&str] = &[
-    "then", "also", "later", "subsequently", "first", "next", "finally", "additionally",
-    "furthermore", "moreover", "often", "typically", "usually", "silently", "quickly",
-    "remotely", "immediately", "repeatedly", "actively", "initially", "here", "there", "not",
-    "never", "already", "again", "still", "even", "further",
+    "then",
+    "also",
+    "later",
+    "subsequently",
+    "first",
+    "next",
+    "finally",
+    "additionally",
+    "furthermore",
+    "moreover",
+    "often",
+    "typically",
+    "usually",
+    "silently",
+    "quickly",
+    "remotely",
+    "immediately",
+    "repeatedly",
+    "actively",
+    "initially",
+    "here",
+    "there",
+    "not",
+    "never",
+    "already",
+    "again",
+    "still",
+    "even",
+    "further",
 ];
 
 /// Verbs commonly seen in CTI reports (beyond the ontology verbs), in lemma
 /// form. Inflected forms are recognised by stripping -s/-ed/-ing.
 const CTI_VERBS: &[&str] = &[
-    "observe", "detect", "report", "analyze", "discover", "identify", "find", "see", "show",
-    "reveal", "contain", "include", "begin", "start", "continue", "stop", "attempt", "try",
-    "appear", "spread", "infect", "encrypt", "decrypt", "scan", "exploit", "compromise",
-    "install", "uninstall", "copy", "move", "hide", "obfuscate", "pack", "unpack", "inject",
-    "exfiltrate", "capture", "log", "record", "monitor", "disable", "enable", "bypass",
-    "escalate", "gain", "obtain", "achieve", "establish", "maintain", "receive", "request",
-    "respond", "communicate", "call", "allow", "make", "take", "perform", "conduct", "carry",
-    "distribute", "propagate", "spawn", "terminate", "check", "verify", "wait", "sleep",
-    "beacon", "masquerade", "impersonate", "become", "remain", "emerge", "evolve", "belong",
+    "observe",
+    "detect",
+    "report",
+    "analyze",
+    "discover",
+    "identify",
+    "find",
+    "see",
+    "show",
+    "reveal",
+    "contain",
+    "include",
+    "begin",
+    "start",
+    "continue",
+    "stop",
+    "attempt",
+    "try",
+    "appear",
+    "spread",
+    "infect",
+    "encrypt",
+    "decrypt",
+    "scan",
+    "exploit",
+    "compromise",
+    "install",
+    "uninstall",
+    "copy",
+    "move",
+    "hide",
+    "obfuscate",
+    "pack",
+    "unpack",
+    "inject",
+    "exfiltrate",
+    "capture",
+    "log",
+    "record",
+    "monitor",
+    "disable",
+    "enable",
+    "bypass",
+    "escalate",
+    "gain",
+    "obtain",
+    "achieve",
+    "establish",
+    "maintain",
+    "receive",
+    "request",
+    "respond",
+    "communicate",
+    "call",
+    "allow",
+    "make",
+    "take",
+    "perform",
+    "conduct",
+    "carry",
+    "distribute",
+    "propagate",
+    "spawn",
+    "terminate",
+    "check",
+    "verify",
+    "wait",
+    "sleep",
+    "beacon",
+    "masquerade",
+    "impersonate",
+    "become",
+    "remain",
+    "emerge",
+    "evolve",
+    "belong",
 ];
 
 /// The deterministic POS tagger.
@@ -183,7 +308,11 @@ impl PosTagger {
             return PosTag::Adverb;
         }
 
-        let prev_tag = if i == 0 { None } else { prev_tags.get(i - 1).copied() };
+        let prev_tag = if i == 0 {
+            None
+        } else {
+            prev_tags.get(i - 1).copied()
+        };
         if self.is_verb_form(lower) {
             // A known verb form is a verb unless a determiner/adjective
             // immediately precedes it ("the drop", "a scan") — then it is the
@@ -200,15 +329,19 @@ impl PosTagger {
         }
 
         // Suffix heuristics for open-class words.
-        if ["ous", "ive", "ful", "less", "able", "ible"].iter().any(|s| lower.ends_with(s))
+        if ["ous", "ive", "ful", "less", "able", "ible"]
+            .iter()
+            .any(|s| lower.ends_with(s))
             || (lower.ends_with("al") && lower.len() > 4)
             || (lower.ends_with("ic") && lower.len() > 4)
         {
             return PosTag::Adjective;
         }
-        if ["tion", "sion", "ment", "ness", "ity", "ance", "ence", "ware", "tor", "ers"]
-            .iter()
-            .any(|s| lower.ends_with(s))
+        if [
+            "tion", "sion", "ment", "ness", "ity", "ance", "ence", "ware", "tor", "ers",
+        ]
+        .iter()
+        .any(|s| lower.ends_with(s))
         {
             return PosTag::Noun;
         }
@@ -257,7 +390,11 @@ mod tests {
     }
 
     fn tag_of(pairs: &[(String, PosTag)], word: &str) -> PosTag {
-        pairs.iter().find(|(w, _)| w == word).unwrap_or_else(|| panic!("{word} missing")).1
+        pairs
+            .iter()
+            .find(|(w, _)| w == word)
+            .unwrap_or_else(|| panic!("{word} missing"))
+            .1
     }
 
     #[test]
@@ -275,8 +412,11 @@ mod tests {
     fn verb_noun_disambiguation_by_determiner() {
         let pairs = tag_text("The drop was observed. Attackers drop files.");
         // First "drop" follows a determiner → nominal; second is verbal.
-        let drops: Vec<PosTag> =
-            pairs.iter().filter(|(w, _)| w == "drop").map(|(_, t)| *t).collect();
+        let drops: Vec<PosTag> = pairs
+            .iter()
+            .filter(|(w, _)| w == "drop")
+            .map(|(_, t)| *t)
+            .collect();
         assert_eq!(drops, vec![PosTag::Noun, PosTag::Verb]);
     }
 

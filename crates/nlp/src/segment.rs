@@ -11,8 +11,8 @@ use crate::token::{Token, TokenKind};
 /// Abbreviations whose trailing dot does not end a sentence.
 const ABBREVIATIONS: &[&str] = &[
     "e.g", "i.e", "etc", "vs", "fig", "mr", "mrs", "dr", "st", "no", "inc", "corp", "ltd",
-    "approx", "dept", "est", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
-    "oct", "nov", "dec",
+    "approx", "dept", "est", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct",
+    "nov", "dec",
 ];
 
 /// Split a token stream into sentences.
@@ -24,8 +24,8 @@ pub fn split_sentences(tokens: Vec<Token>) -> Vec<Vec<Token>> {
     let mut sentences = Vec::new();
     let mut current: Vec<Token> = Vec::new();
     for token in tokens {
-        let is_terminator = token.kind == TokenKind::Punct
-            && matches!(token.text.as_str(), "." | "!" | "?");
+        let is_terminator =
+            token.kind == TokenKind::Punct && matches!(token.text.as_str(), "." | "!" | "?");
         if is_terminator {
             let suppress = current.last().is_some_and(|prev| {
                 prev.kind == TokenKind::Word
@@ -68,7 +68,10 @@ mod tests {
     use crate::token::{tokenize, tokenize_protected};
 
     fn texts(sents: &[Vec<Token>]) -> Vec<Vec<String>> {
-        sents.iter().map(|s| s.iter().map(|t| t.text.clone()).collect()).collect()
+        sents
+            .iter()
+            .map(|s| s.iter().map(|t| t.text.clone()).collect())
+            .collect()
     }
 
     #[test]
@@ -86,7 +89,10 @@ mod tests {
     #[test]
     fn ioc_dots_do_not_split() {
         let m = IocMatcher::standard();
-        let toks = tokenize_protected("The file mssecsvc.exe beaconed to 10.0.0.1 today. Done.", &m);
+        let toks = tokenize_protected(
+            "The file mssecsvc.exe beaconed to 10.0.0.1 today. Done.",
+            &m,
+        );
         let sents = split_sentences(toks);
         assert_eq!(sents.len(), 2, "{:?}", texts(&sents));
         assert!(sents[0].iter().any(|t| t.text == "mssecsvc.exe"));

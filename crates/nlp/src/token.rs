@@ -128,11 +128,19 @@ fn tokenize_range(text: &str, from: usize, to: usize) -> Vec<Token> {
 }
 
 fn next_char_is_alnum(text: &str, at: usize, to: usize) -> bool {
-    at < to && text[at..].chars().next().is_some_and(|c| c.is_alphanumeric())
+    at < to
+        && text[at..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric())
 }
 
 fn next_char_is_digit(text: &str, at: usize, to: usize) -> bool {
-    at < to && text[at..].chars().next().is_some_and(|c| c.is_ascii_digit())
+    at < to
+        && text[at..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
 }
 
 /// Tokenize with IOC protection: IOC spans become single [`TokenKind::Ioc`]
@@ -188,7 +196,16 @@ mod tests {
         let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(
             texts,
-            vec!["Attackers", "used", "2", "well-known", "tools", ",", "quickly", "."]
+            vec![
+                "Attackers",
+                "used",
+                "2",
+                "well-known",
+                "tools",
+                ",",
+                "quickly",
+                "."
+            ]
         );
         assert_eq!(toks[2].kind, TokenKind::Number);
         assert_eq!(toks[3].kind, TokenKind::Word);
@@ -205,8 +222,10 @@ mod tests {
 
     #[test]
     fn trailing_hyphen_is_punct() {
-        let texts: Vec<String> =
-            tokenize("on-going attack -").into_iter().map(|t| t.text).collect();
+        let texts: Vec<String> = tokenize("on-going attack -")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
         assert_eq!(texts, vec!["on-going", "attack", "-"]);
     }
 
@@ -218,7 +237,9 @@ mod tests {
         assert_eq!(ioc.len(), 1);
         assert_eq!(ioc[0].text, "C:\\Windows\\mssecsvc.exe");
         // Gap tokens are ordinary words.
-        assert!(toks.iter().any(|t| t.text == "wannacry" && t.kind == TokenKind::Word));
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "wannacry" && t.kind == TokenKind::Word));
         // Offsets still index the original string.
         let text = "wannacry dropped C:\\Windows\\mssecsvc.exe today.";
         for t in &toks {
@@ -229,8 +250,7 @@ mod tests {
     #[test]
     fn protect_text_substitutes_and_records() {
         let m = IocMatcher::standard();
-        let (masked, originals) =
-            protect_text("beacon to 10.0.0.1 and drop x.exe", &m);
+        let (masked, originals) = protect_text("beacon to 10.0.0.1 and drop x.exe", &m);
         assert_eq!(masked, "beacon to something and drop something");
         assert_eq!(originals, vec!["10.0.0.1".to_owned(), "x.exe".to_owned()]);
     }

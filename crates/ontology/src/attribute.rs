@@ -245,15 +245,19 @@ mod tests {
             .with(AttributeKey::Name, "wannacry")
             .with(AttributeKey::Confidence, 0.97);
         assert_eq!(a.text(&AttributeKey::Name), Some("wannacry"));
-        assert_eq!(a.get(&AttributeKey::Confidence).unwrap().as_float(), Some(0.97));
+        assert_eq!(
+            a.get(&AttributeKey::Confidence).unwrap().as_float(),
+            Some(0.97)
+        );
         assert_eq!(a.len(), 2);
     }
 
     #[test]
     fn merge_prefers_self_but_unions_lists() {
-        let mut a = Attributes::new()
-            .with(AttributeKey::Name, "wannacry")
-            .with(AttributeKey::Aliases, AttributeValue::List(vec!["wcry".into()]));
+        let mut a = Attributes::new().with(AttributeKey::Name, "wannacry").with(
+            AttributeKey::Aliases,
+            AttributeValue::List(vec!["wcry".into()]),
+        );
         let b = Attributes::new()
             .with(AttributeKey::Name, "WannaCrypt")
             .with(

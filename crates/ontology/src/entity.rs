@@ -315,8 +315,10 @@ mod tests {
     #[test]
     fn partition_is_exhaustive() {
         for k in EntityKind::ALL {
-            let memberships =
-                [k.is_ioc(), k.is_report(), k.is_concept()].iter().filter(|b| **b).count();
+            let memberships = [k.is_ioc(), k.is_report(), k.is_concept()]
+                .iter()
+                .filter(|b| **b)
+                .count();
             assert_eq!(memberships, 1, "{k} must be in exactly one layer");
         }
     }

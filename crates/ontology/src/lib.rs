@@ -38,7 +38,11 @@ mod tests {
         // The paper's worked example: <MALWARE_A, DROP, FILE_A>.
         let ont = Ontology::standard();
         assert!(ont
-            .validate_triplet(EntityKind::Malware, RelationKind::Drop, EntityKind::FileName)
+            .validate_triplet(
+                EntityKind::Malware,
+                RelationKind::Drop,
+                EntityKind::FileName
+            )
             .is_ok());
     }
 }

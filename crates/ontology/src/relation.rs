@@ -230,10 +230,22 @@ mod tests {
 
     #[test]
     fn verb_mapping_hits_expected_kinds() {
-        assert_eq!(RelationKind::from_verb_lemma("drop"), Some(RelationKind::Drop));
-        assert_eq!(RelationKind::from_verb_lemma("exploit"), Some(RelationKind::Exploits));
-        assert_eq!(RelationKind::from_verb_lemma("beacon"), Some(RelationKind::ConnectsTo));
-        assert_eq!(RelationKind::from_verb_lemma("encrypt"), Some(RelationKind::Encrypts));
+        assert_eq!(
+            RelationKind::from_verb_lemma("drop"),
+            Some(RelationKind::Drop)
+        );
+        assert_eq!(
+            RelationKind::from_verb_lemma("exploit"),
+            Some(RelationKind::Exploits)
+        );
+        assert_eq!(
+            RelationKind::from_verb_lemma("beacon"),
+            Some(RelationKind::ConnectsTo)
+        );
+        assert_eq!(
+            RelationKind::from_verb_lemma("encrypt"),
+            Some(RelationKind::Encrypts)
+        );
         assert_eq!(RelationKind::from_verb_lemma("photosynthesize"), None);
     }
 
@@ -241,7 +253,10 @@ mod tests {
     fn shared_lemma_tiebreak_is_stable() {
         // "launch" appears for both Conducts and Executes; Conducts is
         // declared earlier and must win deterministically.
-        assert_eq!(RelationKind::from_verb_lemma("launch"), Some(RelationKind::Conducts));
+        assert_eq!(
+            RelationKind::from_verb_lemma("launch"),
+            Some(RelationKind::Conducts)
+        );
     }
 
     #[test]

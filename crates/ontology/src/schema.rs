@@ -23,7 +23,11 @@ pub struct TripletRule {
 impl TripletRule {
     /// Build a rule from slices.
     pub fn new(relation: RelationKind, subjects: &[EntityKind], objects: &[EntityKind]) -> Self {
-        TripletRule { relation, subjects: subjects.to_vec(), objects: objects.to_vec() }
+        TripletRule {
+            relation,
+            subjects: subjects.to_vec(),
+            objects: objects.to_vec(),
+        }
     }
 }
 
@@ -44,7 +48,11 @@ impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchemaError::UnknownRelation(r) => write!(f, "no schema rule for relation {r}"),
-            SchemaError::IllegalTriplet { subject, relation, object } => {
+            SchemaError::IllegalTriplet {
+                subject,
+                relation,
+                object,
+            } => {
                 write!(f, "illegal triplet <{subject}, {relation}, {object}>")
             }
         }
@@ -65,7 +73,10 @@ pub struct Ontology {
 impl Ontology {
     /// Build an ontology from explicit rules.
     pub fn from_rules(rules: Vec<TripletRule>) -> Self {
-        let mut ont = Ontology { rules, index: HashSet::new() };
+        let mut ont = Ontology {
+            rules,
+            index: HashSet::new(),
+        };
         ont.rebuild_index();
         ont
     }
@@ -80,8 +91,11 @@ impl Ontology {
         const ARTIFACTS: &[EntityKind] = &[FileName, FilePath, RegistryKey];
         const HASHES: &[EntityKind] = &[HashMd5, HashSha1, HashSha256];
         let all: Vec<EntityKind> = EntityKind::ALL.to_vec();
-        let non_report: Vec<EntityKind> =
-            EntityKind::ALL.iter().copied().filter(|k| !k.is_report()).collect();
+        let non_report: Vec<EntityKind> = EntityKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| !k.is_report())
+            .collect();
 
         let rules = vec![
             TripletRule::new(Publishes, &[CtiVendor], &EntityKind::REPORTS),
@@ -122,9 +136,17 @@ impl Ontology {
                 &[Malware, Tool],
                 &[FileName, FilePath, RegistryKey, Software],
             ),
-            TripletRule::new(Deletes, &[Malware, Tool], &[FileName, FilePath, RegistryKey]),
+            TripletRule::new(
+                Deletes,
+                &[Malware, Tool],
+                &[FileName, FilePath, RegistryKey],
+            ),
             TripletRule::new(InjectsInto, &[Malware, Tool], &[Software, FileName]),
-            TripletRule::new(SpreadsVia, &[Malware], &[Software, Technique, Email, Domain]),
+            TripletRule::new(
+                SpreadsVia,
+                &[Malware],
+                &[Software, Technique, Email, Domain],
+            ),
             TripletRule::new(Encrypts, &[Malware], &[FileName, FilePath, Software]),
             TripletRule::new(Exfiltrates, &[Malware, ThreatActor], INFRA),
             TripletRule::new(Sends, &[Malware, ThreatActor], &[Email, Url]),
@@ -169,7 +191,11 @@ impl Ontology {
             return Ok(());
         }
         if self.rules.iter().any(|r| r.relation == relation) {
-            Err(SchemaError::IllegalTriplet { subject, relation, object })
+            Err(SchemaError::IllegalTriplet {
+                subject,
+                relation,
+                object,
+            })
         } else {
             Err(SchemaError::UnknownRelation(relation))
         }
@@ -182,11 +208,7 @@ impl Ontology {
 
     /// All relation kinds that may connect `subject` to `object`, in
     /// declaration order.
-    pub fn relations_between(
-        &self,
-        subject: EntityKind,
-        object: EntityKind,
-    ) -> Vec<RelationKind> {
+    pub fn relations_between(&self, subject: EntityKind, object: EntityKind) -> Vec<RelationKind> {
         RelationKind::ALL
             .iter()
             .copied()
@@ -279,7 +301,11 @@ mod tests {
         );
         assert_eq!(
             ont.validate_triplet(Tool, Drop, FileName),
-            Err(SchemaError::IllegalTriplet { subject: Tool, relation: Drop, object: FileName })
+            Err(SchemaError::IllegalTriplet {
+                subject: Tool,
+                relation: Drop,
+                object: FileName
+            })
         );
     }
 
@@ -290,9 +316,15 @@ mod tests {
         assert_eq!(ont.resolve_extracted(Malware, "drop", FileName), Some(Drop));
         // "drop" between Malware and Domain is not admissible as DROP but the
         // generic RELATED_TO edge still captures it.
-        assert_eq!(ont.resolve_extracted(Malware, "drop", Domain), Some(RelatedTo));
+        assert_eq!(
+            ont.resolve_extracted(Malware, "drop", Domain),
+            Some(RelatedTo)
+        );
         // Unknown verbs degrade to RELATED_TO too.
-        assert_eq!(ont.resolve_extracted(Malware, "florble", Domain), Some(RelatedTo));
+        assert_eq!(
+            ont.resolve_extracted(Malware, "florble", Domain),
+            Some(RelatedTo)
+        );
         // Reports can never be subjects of extracted relations.
         assert_eq!(ont.resolve_extracted(MalwareReport, "drop", FileName), None);
     }

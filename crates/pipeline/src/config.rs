@@ -37,8 +37,22 @@ pub struct StageWorkers {
 
 impl Default for StageWorkers {
     fn default() -> Self {
-        StageWorkers { check: 1, parse: 2, extract: 4 }
+        StageWorkers {
+            check: 1,
+            parse: 2,
+            extract: 4,
+        }
     }
+}
+
+/// Fault injection for hardening tests. Not part of the configuration
+/// file — it is skipped by (de)serialisation and only reachable from code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultInjection {
+    /// Corrupt the payload of the Nth (0-based) message leaving the porter
+    /// in serialize-transport mode, so downstream decoding fails and the
+    /// message must take the quarantine path.
+    pub corrupt_port_message: Option<usize>,
 }
 
 /// Full pipeline configuration.
@@ -58,6 +72,9 @@ pub struct PipelineConfig {
     /// Minimum CRF span confidence for NER mentions (the "threshold values
     /// for entity recognition" the paper's config file passes to components).
     pub ner_min_confidence: f64,
+    /// Test-only fault injection; never read from or written to JSON.
+    #[serde(skip)]
+    pub fault: FaultInjection,
 }
 
 impl Default for PipelineConfig {
@@ -70,6 +87,7 @@ impl Default for PipelineConfig {
             channel_capacity: 256,
             serialize_transport: false,
             ner_min_confidence: 0.0,
+            fault: FaultInjection::default(),
         }
     }
 }
@@ -106,7 +124,20 @@ mod tests {
         .unwrap();
         assert_eq!(c.extractor, ExtractorChoice::IocOnly);
         assert_eq!(c.workers.extract, 8);
-        assert_eq!(c.channel_capacity, PipelineConfig::default().channel_capacity);
+        assert_eq!(
+            c.channel_capacity,
+            PipelineConfig::default().channel_capacity
+        );
+    }
+
+    #[test]
+    fn fault_injection_stays_out_of_the_config_file() {
+        let mut c = PipelineConfig::default();
+        c.fault.corrupt_port_message = Some(3);
+        let json = c.to_json();
+        assert!(!json.contains("fault"), "{json}");
+        let back = PipelineConfig::from_json(&json).unwrap();
+        assert_eq!(back.fault, FaultInjection::default());
     }
 
     #[test]

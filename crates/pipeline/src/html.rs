@@ -37,9 +37,13 @@ pub fn all_tags(body: &str, tag: &str) -> Vec<String> {
             rest = &rest[start + open.len()..];
             continue;
         }
-        let Some(gt) = rest[start..].find('>') else { break };
+        let Some(gt) = rest[start..].find('>') else {
+            break;
+        };
         let content_start = start + gt + 1;
-        let Some(end_rel) = rest[content_start..].find(&close) else { break };
+        let Some(end_rel) = rest[content_start..].find(&close) else {
+            break;
+        };
         let end = content_start + end_rel;
         out.push(unescape(rest[content_start..end].trim()));
         rest = &rest[end + close.len()..];
@@ -63,7 +67,9 @@ pub fn has_class(body: &str, class: &str) -> bool {
 
 /// `(key, value)` rows of the first `<table class="meta">`.
 pub fn meta_table_rows(body: &str) -> Vec<(String, String)> {
-    let Some(start) = body.find("<table class=\"meta\">") else { return Vec::new() };
+    let Some(start) = body.find("<table class=\"meta\">") else {
+        return Vec::new();
+    };
     let table = match body[start..].find("</table>") {
         Some(end) => &body[start..start + end],
         None => &body[start..],
@@ -75,7 +81,9 @@ pub fn meta_table_rows(body: &str) -> Vec<(String, String)> {
 
 /// `(key, value)` rows of the first `<dl class="meta">`.
 pub fn meta_dl_rows(body: &str) -> Vec<(String, String)> {
-    let Some(start) = body.find("<dl class=\"meta\">") else { return Vec::new() };
+    let Some(start) = body.find("<dl class=\"meta\">") else {
+        return Vec::new();
+    };
     let dl = match body[start..].find("</dl>") {
         Some(end) => &body[start..start + end],
         None => &body[start..],
@@ -88,7 +96,9 @@ pub fn meta_dl_rows(body: &str) -> Vec<(String, String)> {
 /// The paragraph texts of the `<div class="content">` section (the article
 /// body), joined into the canonical text (paragraphs separated by `\n`).
 pub fn content_paragraphs(body: &str) -> Vec<String> {
-    let Some(start) = body.find("<div class=\"content\">") else { return Vec::new() };
+    let Some(start) = body.find("<div class=\"content\">") else {
+        return Vec::new();
+    };
     let content = match body[start..].find("</div>") {
         Some(end) => &body[start..start + end],
         None => &body[start..],
@@ -141,7 +151,10 @@ mod tests {
 
     #[test]
     fn class_probing() {
-        assert_eq!(first_with_class(PAGE, "category").as_deref(), Some("malware"));
+        assert_eq!(
+            first_with_class(PAGE, "category").as_deref(),
+            Some("malware")
+        );
         assert!(has_class(PAGE, "category"));
         assert!(!has_class(PAGE, "ad"));
     }
@@ -149,7 +162,10 @@ mod tests {
     #[test]
     fn dl_rows() {
         let page = "<dl class=\"meta\">\n<dt>cve id</dt><dd>CVE-2020-1</dd>\n</dl>";
-        assert_eq!(meta_dl_rows(page), vec![("cve id".to_owned(), "CVE-2020-1".to_owned())]);
+        assert_eq!(
+            meta_dl_rows(page),
+            vec![("cve id".to_owned(), "CVE-2020-1".to_owned())]
+        );
     }
 
     #[test]
@@ -168,6 +184,9 @@ mod tests {
 
     #[test]
     fn unescape_round_trip() {
-        assert_eq!(unescape("&lt;a&gt; &amp; &quot;b&quot; &#39;c&#39;"), "<a> & \"b\" 'c'");
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &quot;b&quot; &#39;c&#39;"),
+            "<a> & \"b\" 'c'"
+        );
     }
 }

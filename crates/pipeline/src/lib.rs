@@ -15,17 +15,25 @@
 //! - [`engine`] — pipelined, multi-worker execution over bounded crossbeam
 //!   channels, with optional byte-serialised hand-off between stages (the
 //!   multi-host deployment story of §2.1); plus the sequential baseline for
-//!   experiment E4.
+//!   experiment E4. Messages that cannot cross a stage boundary are
+//!   quarantined (dead-lettered), not dropped or fatal.
+//! - [`trace`] — the structured event log (bounded ring of typed events)
+//!   populated by the engine and rendered by the CLI and the benches.
 
 pub mod config;
 pub mod engine;
 pub mod html;
 pub mod stages;
+pub mod trace;
 
-pub use config::PipelineConfig;
-pub use engine::{run_pipelined, run_sequential, PipelineMetrics, PipelineOutput};
-pub use stages::{
-    Checker, CompositeChecker, Connector, DedupChecker, DefaultChecker, DefaultPorter,
-    Extractor, GraphConnector, IocOnlyExtractor, NerExtractor, Parser, ParserRegistry, Porter,
-    StyleParser, TabularConnector,
+pub use config::{FaultInjection, PipelineConfig};
+pub use engine::{
+    run_pipelined, run_sequential, PipelineMetrics, PipelineOutput, QuarantinedMessage,
+    QueueDepthStats,
 };
+pub use stages::{
+    Checker, CompositeChecker, Connector, DedupChecker, DefaultChecker, DefaultPorter, Extractor,
+    GraphConnector, IocOnlyExtractor, NerExtractor, Parser, ParserRegistry, Porter, StyleParser,
+    TabularConnector,
+};
+pub use trace::{TraceEvent, TraceLog, TraceRecord};

@@ -51,7 +51,10 @@ impl DefaultPorter {
             title: html::first_tag(&first.body, "title").unwrap_or_default(),
             url: first.url.clone(),
             fetched_at_ms: pages.iter().map(|p| p.fetched_at_ms).max().unwrap_or(0),
-            location: Some(format!("archive/{}/{}", first.source_name, first.report_key)),
+            location: Some(format!(
+                "archive/{}/{}",
+                first.source_name, first.report_key
+            )),
             pages: pages.into_iter().map(|p| p.body).collect(),
             metadata,
         }
@@ -108,8 +111,10 @@ impl Checker for DefaultChecker {
         if html::has_class(&body, "ad") {
             return false;
         }
-        let text_len: usize =
-            html::content_paragraphs(&body).iter().map(String::len).sum();
+        let text_len: usize = html::content_paragraphs(&body)
+            .iter()
+            .map(String::len)
+            .sum();
         text_len >= self.min_text_len
     }
 }
@@ -253,8 +258,11 @@ impl Parser for StyleParser {
             _ => ReportCategory::Attack,
         };
         // Paragraphs from every page, in order, joined canonically.
-        let paragraphs: Vec<String> =
-            report.pages.iter().flat_map(|p| html::content_paragraphs(p)).collect();
+        let paragraphs: Vec<String> = report
+            .pages
+            .iter()
+            .flat_map(|p| html::content_paragraphs(p))
+            .collect();
         if paragraphs.is_empty() {
             return Err(ParseError::NoContent);
         }
@@ -301,7 +309,6 @@ impl Parser for StyleParser {
 pub struct ParserRegistry {
     by_source: HashMap<String, Arc<dyn Parser>>,
 }
-
 
 impl ParserRegistry {
     /// Empty registry (sniffing fallback only).
@@ -434,8 +441,8 @@ impl GraphConnector {
 /// Function words and other strings that can never be a real concept-entity
 /// name; NER false positives on these would otherwise pollute the graph.
 const IMPLAUSIBLE_NAMES: &[&str] = &[
-    "the", "a", "an", "in", "on", "to", "of", "and", "or", "by", "it", "its", "is", "was",
-    "for", "with", "from", "as", "at", "this", "that", "new", "via",
+    "the", "a", "an", "in", "on", "to", "of", "and", "or", "by", "it", "its", "is", "was", "for",
+    "with", "from", "as", "at", "this", "that", "new", "via",
 ];
 
 /// Whether a canonical name is plausible for a concept (non-IOC) entity.
@@ -460,15 +467,15 @@ impl Connector for GraphConnector {
             &cti.meta.vendor,
             [] as [(&str, Value); 0],
         );
-        let _ = self.graph.merge_edge(vendor, RelationKind::Publishes.label(), report_node);
+        let _ = self
+            .graph
+            .merge_edge(vendor, RelationKind::Publishes.label(), report_node);
 
         // Entity mentions → merged entity nodes + MENTIONS provenance.
         let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity(cti.mentions.len());
         for mention in &cti.mentions {
             let name = mention.canonical_name();
-            if name.is_empty()
-                || (!mention.kind.is_ioc() && !plausible_concept_name(&name))
-            {
+            if name.is_empty() || (!mention.kind.is_ioc() && !plausible_concept_name(&name)) {
                 nodes.push(None);
                 continue;
             }
@@ -477,7 +484,9 @@ impl Connector for GraphConnector {
                 &name,
                 [("description", Value::from(name.clone()))],
             );
-            let _ = self.graph.merge_edge(report_node, RelationKind::Mentions.label(), node);
+            let _ = self
+                .graph
+                .merge_edge(report_node, RelationKind::Mentions.label(), node);
             nodes.push(Some(node));
         }
 
@@ -525,7 +534,8 @@ impl Connector for GraphConnector {
         }
 
         // Keyword index entry for the report.
-        self.search.add(report_node, &format!("{}\n{}", cti.meta.title, cti.text));
+        self.search
+            .add(report_node, &format!("{}\n{}", cti.meta.title, cti.text));
     }
 }
 
@@ -571,10 +581,12 @@ impl Connector for TabularConnector {
         }
         for rel in &cti.relations {
             if rel.subject < rows.len() && rel.object < rows.len() {
-                let kind = rel.kind.map(|k| k.label().to_owned()).unwrap_or_else(|| {
-                    RelationKind::RelatedTo.label().to_owned()
-                });
-                self.relations.push((rows[rel.subject], kind, rows[rel.object]));
+                let kind = rel
+                    .kind
+                    .map(|k| k.label().to_owned())
+                    .unwrap_or_else(|| RelationKind::RelatedTo.label().to_owned());
+                self.relations
+                    .push((rows[rel.subject], kind, rows[rel.object]));
             }
         }
     }
@@ -641,7 +653,12 @@ mod tests {
         let good = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
         assert!(checker.check(&good));
         let ad = porter
-            .feed(raw("ad", 1, 1, "<div class=\"ad\">Sponsored</div><div class=\"content\"></div>"))
+            .feed(raw(
+                "ad",
+                1,
+                1,
+                "<div class=\"ad\">Sponsored</div><div class=\"content\"></div>",
+            ))
             .unwrap();
         assert!(!checker.check(&ad));
         let empty = porter
@@ -693,7 +710,11 @@ mod tests {
     fn style_parser_extracts_structure() {
         let mut porter = DefaultPorter::new();
         let report = porter.feed(raw("r1", 1, 1, ARTICLE)).unwrap();
-        let cti = StyleParser { dialect: MetaDialect::Table }.parse(&report).unwrap();
+        let cti = StyleParser {
+            dialect: MetaDialect::Table,
+        }
+        .parse(&report)
+        .unwrap();
         assert_eq!(cti.category, ReportCategory::Malware);
         assert_eq!(cti.meta.title, "Emotet deep dive");
         assert_eq!(cti.structured["family"], "emotet");
@@ -704,7 +725,10 @@ mod tests {
             .mentions
             .iter()
             .any(|m| m.kind == EntityKind::Malware && m.origin == MentionOrigin::Structured));
-        assert!(cti.mentions.iter().any(|m| m.kind == EntityKind::HashSha256));
+        assert!(cti
+            .mentions
+            .iter()
+            .any(|m| m.kind == EntityKind::HashSha256));
     }
 
     #[test]
@@ -764,8 +788,10 @@ mod tests {
         let m = cti.push_mention(EntityMention::new(EntityKind::Malware, "zeus", 0, 0));
         let f = cti.push_mention(EntityMention::new(EntityKind::FileName, "a.exe", 0, 0));
         // Valid: zeus DROP a.exe. Invalid: a.exe DROP zeus.
-        cti.relations.push(RelationMention::new(m, f, "drop").with_kind(RelationKind::Drop));
-        cti.relations.push(RelationMention::new(f, m, "drop").with_kind(RelationKind::Drop));
+        cti.relations
+            .push(RelationMention::new(m, f, "drop").with_kind(RelationKind::Drop));
+        cti.relations
+            .push(RelationMention::new(f, m, "drop").with_kind(RelationKind::Drop));
         let mut connector = GraphConnector::new();
         connector.connect(&cti);
         assert_eq!(connector.rejected_relations, 1);
@@ -803,7 +829,10 @@ mod tests {
         connector.connect(&cti);
         assert!(connector.graph.node_by_name("ThreatActor", "in").is_none());
         assert!(connector.graph.node_by_name("Malware", "to").is_none());
-        assert!(connector.graph.node_by_name("ThreatActor", "apt29").is_some());
+        assert!(connector
+            .graph
+            .node_by_name("ThreatActor", "apt29")
+            .is_some());
     }
 
     #[test]

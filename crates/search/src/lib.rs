@@ -59,7 +59,12 @@ impl<D: Clone + PartialEq> Default for SearchIndex<D> {
 impl<D: Clone + PartialEq> SearchIndex<D> {
     /// An empty index.
     pub fn new(params: Bm25Params) -> Self {
-        SearchIndex { params, postings: HashMap::new(), docs: Vec::new(), total_tokens: 0 }
+        SearchIndex {
+            params,
+            postings: HashMap::new(),
+            docs: Vec::new(),
+            total_tokens: 0,
+        }
     }
 
     /// Number of indexed documents.
@@ -99,7 +104,10 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
             *counts.entry(term).or_insert(0) += 1;
         }
         for (term, tf) in counts {
-            self.postings.entry(term).or_default().push(Posting { doc: slot, tf });
+            self.postings
+                .entry(term)
+                .or_default()
+                .push(Posting { doc: slot, tf });
         }
     }
 
@@ -113,7 +121,9 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
         let avg_len = self.total_tokens as f64 / n;
         let mut scores: HashMap<u32, f64> = HashMap::new();
         for term in Self::terms(query) {
-            let Some(postings) = self.postings.get(&term) else { continue };
+            let Some(postings) = self.postings.get(&term) else {
+                continue;
+            };
             let df = postings.len() as f64;
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
             for p in postings {
@@ -127,11 +137,16 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
         }
         let mut hits: Vec<(u32, f64)> = scores.into_iter().collect();
         hits.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         hits.truncate(k);
         hits.into_iter()
-            .map(|(slot, score)| Hit { doc: self.docs[slot as usize].0.clone(), score })
+            .map(|(slot, score)| Hit {
+                doc: self.docs[slot as usize].0.clone(),
+                score,
+            })
             .collect()
     }
 }
@@ -142,9 +157,18 @@ mod tests {
 
     fn index() -> SearchIndex<u32> {
         let mut idx = SearchIndex::default();
-        idx.add(1, "wannacry ransomware encrypts files and drops tasksche.exe");
-        idx.add(2, "emotet banking trojan spreads via phishing email campaigns");
-        idx.add(3, "analysis of wannacry kill switch domain and smb exploitation");
+        idx.add(
+            1,
+            "wannacry ransomware encrypts files and drops tasksche.exe",
+        );
+        idx.add(
+            2,
+            "emotet banking trojan spreads via phishing email campaigns",
+        );
+        idx.add(
+            3,
+            "analysis of wannacry kill switch domain and smb exploitation",
+        );
         idx.add(4, "cozyduke threat actor targets government networks");
         idx
     }

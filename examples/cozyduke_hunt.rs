@@ -26,7 +26,10 @@ fn main() {
             seed: 0xD340, // same world as wannacry_investigation
         },
         articles_per_source: 30,
-        training: TrainingConfig { articles: 150, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 150,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     };
     // Without the analyst alias table, cozyduke's tradecraft scatters over
@@ -58,7 +61,12 @@ fn main() {
     // The investigated actor: cozyduke if the sampled corpus captured its
     // tradecraft, otherwise the best-covered actor (small corpora may not
     // include a cozyduke USES sentence the extractor caught).
-    let subject = if kg.graph().outgoing(cozyduke).iter().any(|e| e.rel_type == "USES") {
+    let subject = if kg
+        .graph()
+        .outgoing(cozyduke)
+        .iter()
+        .any(|e| e.rel_type == "USES")
+    {
         cozyduke
     } else {
         println!("  (corpus sample has no cozyduke technique edges; using the best-covered actor)");
@@ -66,7 +74,11 @@ fn main() {
             .nodes_with_label("ThreatActor")
             .into_iter()
             .max_by_key(|&a| {
-                kg.graph().outgoing(a).iter().filter(|e| e.rel_type == "USES").count()
+                kg.graph()
+                    .outgoing(a)
+                    .iter()
+                    .filter(|e| e.rel_type == "USES")
+                    .count()
             })
             .unwrap()
     };
@@ -95,7 +107,11 @@ fn main() {
         println!("    (none in this corpus sample)");
     }
     for row in &overlap.rows {
-        println!("    {:<25} shares {} technique(s)", row[0].to_string(), row[1]);
+        println!(
+            "    {:<25} shares {} technique(s)",
+            row[0].to_string(),
+            row[1]
+        );
     }
     // The world seeds a "technique twin" for cozyduke, so with dense
     // coverage at least one actor shares the full set.
@@ -111,7 +127,9 @@ fn main() {
 
     // ---- Scenario 3 -------------------------------------------------------
     println!("\nscenario 3 — cypher: match (n) where n.name = \"wannacry\" return n");
-    let result = kg.cypher("match (n) where n.name = \"wannacry\" return n").unwrap();
+    let result = kg
+        .cypher("match (n) where n.name = \"wannacry\" return n")
+        .unwrap();
     println!("  returned {} node(s)", result.rows.len());
     let keyword_hit = kg.graph().node_by_name("Malware", "wannacry");
     match (result.node_ids().first(), keyword_hit) {

@@ -22,27 +22,50 @@ fn main() {
     let cve = graph.create_node("Vulnerability", [("name", Value::from("CVE-2017-0144"))]);
     let domain = graph.create_node(
         "Domain",
-        [("name", Value::from("iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com"))],
+        [(
+            "name",
+            Value::from("iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.com"),
+        )],
     );
     // Vendors overlap on the dropped file (the IOC corroboration fusion
     // requires — shared CVEs deliberately do NOT corroborate, since many
     // unrelated threats exploit the same vulnerability) and each vendor
     // adds one fact of its own.
-    graph.create_edge(securelist, "DROP", file, [] as [(&str, Value); 0]).unwrap();
-    graph.create_edge(talos, "DROP", file, [] as [(&str, Value); 0]).unwrap();
-    graph.create_edge(talos, "EXPLOITS", cve, [] as [(&str, Value); 0]).unwrap();
-    graph.create_edge(msrc, "DROP", file, [] as [(&str, Value); 0]).unwrap();
-    graph.create_edge(msrc, "RESOLVES", domain, [] as [(&str, Value); 0]).unwrap();
-    graph.create_edge(unrelated, "DROP", file, [] as [(&str, Value); 0]).unwrap();
+    graph
+        .create_edge(securelist, "DROP", file, [] as [(&str, Value); 0])
+        .unwrap();
+    graph
+        .create_edge(talos, "DROP", file, [] as [(&str, Value); 0])
+        .unwrap();
+    graph
+        .create_edge(talos, "EXPLOITS", cve, [] as [(&str, Value); 0])
+        .unwrap();
+    graph
+        .create_edge(msrc, "DROP", file, [] as [(&str, Value); 0])
+        .unwrap();
+    graph
+        .create_edge(msrc, "RESOLVES", domain, [] as [(&str, Value); 0])
+        .unwrap();
+    graph
+        .create_edge(unrelated, "DROP", file, [] as [(&str, Value); 0])
+        .unwrap();
 
-    println!("before fusion: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "before fusion: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for id in graph.nodes_with_label("Malware") {
         let node = graph.node(id).unwrap();
         let facts: Vec<String> = graph
             .outgoing(id)
             .iter()
             .map(|e| {
-                format!("{} {}", e.rel_type, graph.node(e.to).unwrap().name().unwrap_or("?"))
+                format!(
+                    "{} {}",
+                    e.rel_type,
+                    graph.node(e.to).unwrap().name().unwrap_or("?")
+                )
             })
             .collect();
         println!("  {} → {:?}", node.name().unwrap(), facts);
@@ -59,14 +82,22 @@ fn main() {
         println!("  kept {kept:?}, absorbed {absorbed:?}");
     }
 
-    println!("\nafter fusion: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    println!(
+        "\nafter fusion: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for id in graph.nodes_with_label("Malware") {
         let node = graph.node(id).unwrap();
         let facts: Vec<String> = graph
             .outgoing(id)
             .iter()
             .map(|e| {
-                format!("{} {}", e.rel_type, graph.node(e.to).unwrap().name().unwrap_or("?"))
+                format!(
+                    "{} {}",
+                    e.rel_type,
+                    graph.node(e.to).unwrap().name().unwrap_or("?")
+                )
             })
             .collect();
         println!("  {} → {:?}", node.name().unwrap(), facts);

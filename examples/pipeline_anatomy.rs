@@ -21,8 +21,7 @@ fn main() {
     // A small simulated web and one crawl cycle.
     let web = securitykg::corpus::standard_web(6, 42);
     let mut state = CrawlState::new();
-    let (raw_pages, metrics) =
-        crawl_all(&web, &mut state, &CrawlerConfig::default(), u64::MAX / 4);
+    let (raw_pages, metrics) = crawl_all(&web, &mut state, &CrawlerConfig::default(), u64::MAX / 4);
     println!(
         "collection: {} raw pages from {} sources ({} whole reports)",
         raw_pages.len(),
@@ -41,7 +40,11 @@ fn main() {
         }
     }
     let report = first_report.expect("at least one single-page report");
-    println!("  porter   → IntermediateReport {} ({} page(s))", report.id, report.pages.len());
+    println!(
+        "  porter   → IntermediateReport {} ({} page(s))",
+        report.id,
+        report.pages.len()
+    );
 
     let checker = DefaultChecker::default();
     println!("  checker  → keep = {}", checker.check(&report));
@@ -55,7 +58,9 @@ fn main() {
         cti.text.len()
     );
 
-    let extractor = IocOnlyExtractor { baseline: Arc::new(RegexNerBaseline::new(vec![])) };
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![])),
+    };
     use securitykg::pipeline::Extractor as _;
     extractor.extract(&mut cti);
     println!(

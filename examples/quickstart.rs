@@ -8,8 +8,8 @@
 //! web + train the extraction model), crawl, process, store, then query the
 //! knowledge graph by keyword and by Cypher.
 
-use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
 use securitykg::corpus::WorldConfig;
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
 
 fn main() {
     // A small but complete configuration: 42 sources, ~8 articles each.
@@ -22,7 +22,10 @@ fn main() {
             seed: 1,
         },
         articles_per_source: 8,
-        training: TrainingConfig { articles: 120, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 120,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     };
 

@@ -25,7 +25,10 @@ fn main() {
             seed: 0xD340,
         },
         articles_per_source: 30,
-        training: TrainingConfig { articles: 150, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 150,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     };
     // Alias table: without fusion, vendor aliases (wannacry / wcry /
@@ -50,12 +53,21 @@ fn main() {
 
     // Extract behaviour graphs for every malware with ≥3 IOC indicators.
     let hunter: Hunter = kg.hunter(3);
-    println!("extracted {} threat behaviour graphs, e.g.:", hunter.behaviors.len());
-    let canonical = kg.find_entity("Malware", "wannacry").expect("wannacry canonical node");
-    let canonical_name =
-        kg.graph().node(canonical).unwrap().name().unwrap_or("?").to_owned();
-    let wannacry =
-        behavior::behavior_of(kg.graph(), canonical).expect("wannacry behaviour");
+    println!(
+        "extracted {} threat behaviour graphs, e.g.:",
+        hunter.behaviors.len()
+    );
+    let canonical = kg
+        .find_entity("Malware", "wannacry")
+        .expect("wannacry canonical node");
+    let canonical_name = kg
+        .graph()
+        .node(canonical)
+        .unwrap()
+        .name()
+        .unwrap_or("?")
+        .to_owned();
+    let wannacry = behavior::behavior_of(kg.graph(), canonical).expect("wannacry behaviour");
     println!("  (canonical name for wannacry after fusion: {canonical_name:?})");
     for ind in wannacry.indicators.iter().take(8) {
         println!(
@@ -69,12 +81,23 @@ fn main() {
     println!("\nsimulating an audit log: 5,000 benign events + implanted wannacry trace on host4");
     let mut generator = AuditGenerator::new(0xA0D17);
     let mut log = generator.benign_log(5_000, 0);
-    generator.implant(&mut log, &wannacry.as_audit_steps(), "mssecsvc.exe", "host4");
+    generator.implant(
+        &mut log,
+        &wannacry.as_audit_steps(),
+        "mssecsvc.exe",
+        "host4",
+    );
 
     // Hunt.
     let reports = hunter.scan(&log);
-    println!("\nhunt results ({} threats above the noise floor):", reports.len());
-    println!("{:<20} {:>7} {:>10} {:>12}", "threat", "score", "coverage", "focus host");
+    println!(
+        "\nhunt results ({} threats above the noise floor):",
+        reports.len()
+    );
+    println!(
+        "{:<20} {:>7} {:>10} {:>12}",
+        "threat", "score", "coverage", "focus host"
+    );
     for report in reports.iter().take(8) {
         println!(
             "{:<20} {:>6.2} {:>7}/{:<3} {:>12}",

@@ -24,7 +24,10 @@ fn main() {
             seed: 0xD340,
         },
         articles_per_source: 30,
-        training: TrainingConfig { articles: 150, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 150,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     };
     println!("building the knowledge graph (bootstrap + crawl + ingest + fuse)...");
@@ -46,7 +49,10 @@ fn main() {
         .node_by_name("Malware", "wannacry")
         .expect("wannacry node (dense corpus covers it)");
     assert!(explorer.visible().contains(&wannacry));
-    println!("  {} result nodes; wannacry node found\n", explorer.visible().len());
+    println!(
+        "  {} result nodes; wannacry node found\n",
+        explorer.visible().len()
+    );
 
     // Step 2: detailed information display (hover).
     let node = kg.graph().node(wannacry).unwrap();
@@ -63,7 +69,11 @@ fn main() {
     explorer.toggle(wannacry);
     explorer.run_layout(150);
     let snapshot = explorer.snapshot();
-    println!("  visible subgraph: {} nodes, {} edges", snapshot.nodes.len(), snapshot.edges.len());
+    println!(
+        "  visible subgraph: {} nodes, {} edges",
+        snapshot.nodes.len(),
+        snapshot.edges.len()
+    );
     for (a, b, rel) in snapshot.edges.iter().take(12) {
         println!(
             "    ({}) -[{}]-> ({})",
@@ -116,6 +126,8 @@ fn main() {
 
     // Step 6: collapse back (double-click again).
     explorer.toggle(wannacry);
-    println!("\nstep 6 — double-click again collapses the expansion: {} node(s) visible",
-        explorer.visible().len());
+    println!(
+        "\nstep 6 — double-click again collapses the expansion: {} node(s) visible",
+        explorer.visible().len()
+    );
 }

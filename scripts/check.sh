@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tests. Run from anywhere; exits non-zero on
+# the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "all checks passed"

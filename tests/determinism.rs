@@ -19,7 +19,9 @@ fn build_graph(seed: u64) -> securitykg::graph::GraphStore {
     reports.sort_by(|a, b| {
         (a.source.0, &a.report_key, a.page).cmp(&(b.source.0, &b.report_key, b.page))
     });
-    let extractor = IocOnlyExtractor { baseline: Arc::new(RegexNerBaseline::new(vec![])) };
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![])),
+    };
     run_sequential(
         reports,
         &ParserRegistry::new(),
@@ -81,10 +83,14 @@ fn crawl_state_serialisation_resumes_identically() {
     let mut resumed = CrawlState::from_bytes(&snapshot).unwrap();
     let (rest_resumed, _) = crawl_all(&web, &mut resumed, &config, u64::MAX / 4);
 
-    let mut keys_direct: Vec<String> =
-        rest_direct.iter().map(|r| format!("{}/{}/{}", r.source_name, r.report_key, r.page)).collect();
-    let mut keys_resumed: Vec<String> =
-        rest_resumed.iter().map(|r| format!("{}/{}/{}", r.source_name, r.report_key, r.page)).collect();
+    let mut keys_direct: Vec<String> = rest_direct
+        .iter()
+        .map(|r| format!("{}/{}/{}", r.source_name, r.report_key, r.page))
+        .collect();
+    let mut keys_resumed: Vec<String> = rest_resumed
+        .iter()
+        .map(|r| format!("{}/{}/{}", r.source_name, r.report_key, r.page))
+        .collect();
     keys_direct.sort();
     keys_resumed.sort();
     assert_eq!(keys_direct, keys_resumed);

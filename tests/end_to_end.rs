@@ -14,7 +14,10 @@ fn dense_config(seed: u64) -> SystemConfig {
             seed,
         },
         articles_per_source: 20,
-        training: TrainingConfig { articles: 120, ..TrainingConfig::default() },
+        training: TrainingConfig {
+            articles: 120,
+            ..TrainingConfig::default()
+        },
         ..SystemConfig::default()
     }
 }
@@ -27,7 +30,9 @@ fn knowledge_graph_contains_world_facts() {
 
     // The wannacry facts pinned in the world must surface in the graph.
     let graph = kg.graph();
-    let wannacry = graph.node_by_name("Malware", "wannacry").expect("wannacry node");
+    let wannacry = graph
+        .node_by_name("Malware", "wannacry")
+        .expect("wannacry node");
     let dropped: Vec<&str> = graph
         .outgoing(wannacry)
         .iter()
@@ -80,7 +85,10 @@ fn incremental_crawl_grows_the_graph_monotonically() {
     // Advance time: more articles publish; second crawl is incremental.
     kg.now_ms = u64::MAX / 4;
     let second = kg.crawl_and_ingest();
-    assert!(second.reports_ingested > 0, "new publications must be crawled");
+    assert!(
+        second.reports_ingested > 0,
+        "new publications must be crawled"
+    );
     assert!(kg.graph().node_count() > nodes_after_first);
 
     // Subsequent crawls converge: articles that hard-failed on flaky
@@ -93,7 +101,10 @@ fn incremental_crawl_grows_the_graph_monotonically() {
             break;
         }
     }
-    assert!(converged, "crawl must reach a fixpoint once the catalog is exhausted");
+    assert!(
+        converged,
+        "crawl must reach a fixpoint once the catalog is exhausted"
+    );
 }
 
 #[test]
@@ -132,8 +143,13 @@ fn fusion_unifies_vendor_naming_conventions() {
 fn demo_cypher_and_keyword_agree() {
     let mut kg = SecurityKg::bootstrap_without_ner(&dense_config(0xD00D));
     kg.crawl_and_ingest();
-    let from_keyword = kg.graph().node_by_name("Malware", "wannacry").expect("wannacry");
-    let result = kg.cypher("match (n) where n.name = \"wannacry\" return n").unwrap();
+    let from_keyword = kg
+        .graph()
+        .node_by_name("Malware", "wannacry")
+        .expect("wannacry");
+    let result = kg
+        .cypher("match (n) where n.name = \"wannacry\" return n")
+        .unwrap();
     assert_eq!(result.node_ids(), vec![from_keyword]);
     // And the keyword path surfaces it too.
     assert!(kg.keyword_search("wannacry", 10).contains(&from_keyword));

@@ -1,0 +1,504 @@
+//! Offline stand-in for `proptest`. Covers the surface the workspace's
+//! property tests use: the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros, range and tuple strategies, `prop::collection::vec`, `any::<T>()`,
+//! regex-literal string strategies (`[class]{m,n}` and `\PC{m,n}`), and
+//! `ProptestConfig { cases }`.
+//!
+//! Differences from real proptest: generation is deterministic (seeded from
+//! the test name, so failures reproduce across runs), and failing cases are
+//! reported with their inputs but not shrunk.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Failure raised by `prop_assert!`-style macros inside a test case.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from any displayable message.
+    pub fn fail(message: impl fmt::Display) -> Self {
+        TestCaseError(message.to_string())
+    }
+
+    /// Alias kept for API compatibility with real proptest's `Reject`.
+    pub fn reject(message: impl fmt::Display) -> Self {
+        TestCaseError(message.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for struct-update syntax; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator, seeded per test from the test path.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test path so every property gets a distinct, stable
+    /// stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A value generator. Unlike real proptest there is no shrinking tree; a
+/// strategy just produces values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full value domain of `T` as a strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from regex literals
+// ---------------------------------------------------------------------------
+
+/// Printable sample pool for `\PC` (any non-control character), including
+/// multi-byte characters so byte-offset handling gets exercised.
+const PRINTABLE_EXTRA: &[char] = &[
+    'é', 'ß', 'Ω', 'ж', '中', '文', '→', '€', '\u{00A0}', '😀', '🛡', '\u{FF01}',
+];
+
+struct CharClass {
+    /// Inclusive ranges of allowed characters.
+    ranges: Vec<(char, char)>,
+    /// Extra single characters.
+    singles: Vec<char>,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total = self.ranges.len() + self.singles.len();
+        let pick = rng.below(total as u64) as usize;
+        if pick < self.ranges.len() {
+            let (lo, hi) = self.ranges[pick];
+            let span = hi as u32 - lo as u32 + 1;
+            char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+        } else {
+            self.singles[pick - self.ranges.len()]
+        }
+    }
+}
+
+/// Parse the regex subset the workspace uses: `[class]{m,n}`, `\PC{m,n}`,
+/// with `{m}` also accepted. Panics on anything else, loudly, so an
+/// unsupported pattern fails the test instead of silently generating junk.
+fn parse_pattern(pattern: &str) -> (CharClass, usize, usize) {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        // Any printable: ASCII printable plus a multi-byte sample pool.
+        let class = CharClass {
+            ranges: vec![(' ', '~')],
+            singles: PRINTABLE_EXTRA.to_vec(),
+        };
+        (class, rest)
+    } else if let Some(body_and_rest) = pattern.strip_prefix('[') {
+        let end = body_and_rest
+            .find(']')
+            .unwrap_or_else(|| panic!("unterminated char class in pattern {pattern:?}"));
+        let body: Vec<char> = body_and_rest[..end].chars().collect();
+        let mut ranges = Vec::new();
+        let mut singles = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                singles.push(body[i]);
+                i += 1;
+            }
+        }
+        (CharClass { ranges, singles }, &body_and_rest[end + 1..])
+    } else {
+        panic!("unsupported pattern {pattern:?}: expected `[class]...` or `\\PC...`");
+    };
+
+    let reps = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in pattern {pattern:?}"));
+    let (min, max) = match reps.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("pattern min repeat"),
+            n.trim().parse().expect("pattern max repeat"),
+        ),
+        None => {
+            let n = reps.trim().parse().expect("pattern repeat");
+            (n, n)
+        }
+    };
+    (class, min, max)
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_pattern(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Collection size specification (`m..n` or an exact count).
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive, matching `Range` semantics.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// `prop::collection` equivalents.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.min < self.size.max, "empty size range");
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and `#[test] fn name(arg in strategy, ...)`
+/// items, mirroring real proptest's syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                #[allow(unreachable_code)]
+                let outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property, failing the case (not panicking)
+/// so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn char_classes_respected(s in "[a-c x]{2,6}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 6, "{s:?}");
+            prop_assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ' | 'x')), "{s:?}");
+        }
+
+        #[test]
+        fn printable_strings_have_no_controls(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+
+        #[test]
+        fn vec_of_tuples_generates(v in prop::collection::vec((0u8..4, 0usize..9), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 4 && b < 9);
+            }
+        }
+
+        #[test]
+        fn early_ok_return_is_supported(n in 0u8..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen_once = || {
+            let mut rng = TestRng::for_test("determinism-check");
+            "[a-z]{8,8}".generate(&mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failures_report_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(false, "forced failure");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,606 @@
+//! Offline, JSON-only stand-in for the `serde` crate.
+//!
+//! The growth container has no network access and no registry cache, so the
+//! real serde cannot be fetched. This crate keeps the same *surface* the
+//! workspace uses — `serde::{Serialize, Deserialize}` derives,
+//! `serde::de::DeserializeOwned`, field attributes `#[serde(skip)]` and
+//! `#[serde(default)]` — but is specialised to JSON: `Serialize` writes JSON
+//! text directly and `Deserialize` reads from a small recursive-descent
+//! parser. `serde_json` (also vendored) is a thin façade over this machinery.
+//!
+//! Guarantees the workspace relies on:
+//! - derived round-trips are loss-free (floats use shortest-round-trip
+//!   formatting; map/set orders are canonicalised on write);
+//! - unknown enum variants and unknown struct fields are hard errors;
+//! - missing `Option` fields deserialize to `None`, `#[serde(default)]`
+//!   containers/fields fall back to `Default`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod read;
+
+use read::Parser;
+use std::fmt;
+
+/// Serialisation/deserialisation error (shared with `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset in the input, when known.
+    pub offset: Option<usize>,
+}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn msg(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+            offset: None,
+        }
+    }
+
+    /// Attach a byte offset.
+    pub fn at(mut self, offset: usize) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {o}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Append this value as a JSON *object key*. Values whose encoding is
+    /// already a JSON string reuse it; everything else is re-quoted so the
+    /// output stays valid JSON.
+    fn write_json_key(&self, out: &mut String) {
+        let mut tmp = String::new();
+        self.write_json(&mut tmp);
+        if tmp.starts_with('"') {
+            out.push_str(&tmp);
+        } else {
+            write_escaped_str(&tmp, out);
+        }
+    }
+}
+
+/// Types that can read themselves from JSON.
+pub trait Deserialize: Sized {
+    /// Parse one JSON value.
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error>;
+
+    /// Parse from a JSON *object key* (always a string on the wire). The
+    /// default tries the raw key text as a JSON document first (numbers,
+    /// structured keys), then the re-quoted form (plain strings).
+    fn read_json_key(key: &str) -> Result<Self, Error> {
+        let mut p = Parser::new(key.as_bytes());
+        if let Ok(v) = Self::read_json(&mut p) {
+            if p.at_end() {
+                return Ok(v);
+            }
+        }
+        let mut quoted = String::new();
+        write_escaped_str(key, &mut quoted);
+        let mut p = Parser::new(quoted.as_bytes());
+        Self::read_json(&mut p)
+    }
+
+    /// Value for a field absent from the input. Overridden by `Option` to
+    /// yield `None`; everything else errors like real serde.
+    fn missing_field(field: &'static str) -> Result<Self, Error> {
+        Err(Error::msg(format!("missing field `{field}`")))
+    }
+}
+
+/// `serde::ser` compatibility alias.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+/// `serde::de` compatibility: `DeserializeOwned` is what generic byte-level
+/// transports (e.g. the pipeline's wire mode) bound on.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Owned deserialisation — trivially satisfied here since the vendored
+    /// `Deserialize` has no borrowed variants.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Escape `s` as a JSON string (with quotes) onto `out`.
+pub fn write_escaped_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let (tok, at) = p.number_token()?;
+                tok.parse::<$t>().map_err(|e| {
+                    Error::msg(format!("invalid {}: {e}", stringify!($t))).at(at)
+                })
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's Display is shortest-round-trip for floats.
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                if p.consume_keyword("null") {
+                    return Ok(<$t>::NAN);
+                }
+                let (tok, at) = p.number_token()?;
+                tok.parse::<$t>().map_err(|e| {
+                    Error::msg(format!("invalid {}: {e}", stringify!($t))).at(at)
+                })
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.consume_keyword("true") {
+            Ok(true)
+        } else if p.consume_keyword("false") {
+            Ok(false)
+        } else {
+            Err(Error::msg("expected boolean").at(p.offset()))
+        }
+    }
+}
+
+impl Serialize for char {
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(&self.to_string(), out);
+    }
+}
+
+impl Deserialize for char {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let at = p.offset();
+        let s = p.string()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg("expected single-character string").at(at)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.string()
+    }
+
+    fn read_json_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped_str(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+
+    fn write_json_key(&self, out: &mut String) {
+        (**self).write_json_key(out);
+    }
+}
+
+impl Serialize for () {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+impl Deserialize for () {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.expect_keyword("null")
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.consume_keyword("null") {
+            Ok(None)
+        } else {
+            Ok(Some(T::read_json(p)?))
+        }
+    }
+
+    fn missing_field(_field: &'static str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(Box::new(T::read_json(p)?))
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::read_json(p)?))
+    }
+}
+
+// Sequences ------------------------------------------------------------------
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+fn read_seq<T: Deserialize>(p: &mut Parser<'_>) -> Result<Vec<T>, Error> {
+    p.expect_byte(b'[')?;
+    let mut items = Vec::new();
+    if p.consume_byte(b']') {
+        return Ok(items);
+    }
+    loop {
+        items.push(T::read_json(p)?);
+        if p.consume_byte(b',') {
+            continue;
+        }
+        p.expect_byte(b']')?;
+        return Ok(items);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        read_seq(p)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let at = p.offset();
+        let items: Vec<T> = read_seq(p)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {n}")).at(at))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(read_seq(p)?.into())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(read_seq::<T>(p)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord + std::hash::Hash> Serialize for std::collections::HashSet<T> {
+    fn write_json(&self, out: &mut String) {
+        // Canonical (sorted) order so equal sets always encode identically.
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        write_seq(items.into_iter().map(|r| &*Box::leak(Box::new(r))), out);
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(read_seq::<T>(p)?.into_iter().collect())
+    }
+}
+
+// Tuples ---------------------------------------------------------------------
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                p.expect_byte(b'[')?;
+                let mut first = true;
+                let tuple = ($(
+                    {
+                        if !first { p.expect_byte(b',')?; }
+                        first = false;
+                        $name::read_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect_byte(b']')?;
+                Ok(tuple)
+            }
+        }
+    )+};
+}
+
+tuple_impl!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+// Maps -----------------------------------------------------------------------
+
+fn write_map_entries<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    out: &mut String,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        k.write_json_key(out);
+        out.push(':');
+        v.write_json(out);
+    }
+    out.push('}');
+}
+
+fn read_map_entries<K: Deserialize, V: Deserialize>(
+    p: &mut Parser<'_>,
+) -> Result<Vec<(K, V)>, Error> {
+    p.expect_byte(b'{')?;
+    let mut entries = Vec::new();
+    if p.consume_byte(b'}') {
+        return Ok(entries);
+    }
+    loop {
+        let at = p.offset();
+        let key = p.string()?;
+        let key = K::read_json_key(&key).map_err(|e| e.at(at))?;
+        p.expect_byte(b':')?;
+        let value = V::read_json(p)?;
+        entries.push((key, value));
+        if p.consume_byte(b',') {
+            continue;
+        }
+        p.expect_byte(b'}')?;
+        return Ok(entries);
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn write_json(&self, out: &mut String) {
+        write_map_entries(self.iter(), out);
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(read_map_entries::<K, V>(p)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize + Ord + std::hash::Hash, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn write_json(&self, out: &mut String) {
+        // Canonical (sorted) order: HashMap iteration order is per-instance
+        // random, which would make snapshots non-deterministic.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        write_map_entries(entries.into_iter(), out);
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn read_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(read_map_entries::<K, V>(p)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    fn from_json<T: Deserialize>(s: &str) -> T {
+        let mut p = Parser::new(s.as_bytes());
+        let v = T::read_json(&mut p).unwrap();
+        assert!(p.at_end(), "trailing input in {s:?}");
+        v
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_json(&42u64), "42");
+        assert_eq!(from_json::<u64>("42"), 42);
+        assert_eq!(to_json(&-1.5f64), "-1.5");
+        assert_eq!(from_json::<f64>("-1.5"), -1.5);
+        assert_eq!(to_json(&"a\"b\n".to_owned()), r#""a\"b\n""#);
+        assert_eq!(from_json::<String>(r#""a\"b\n""#), "a\"b\n");
+        assert_eq!(from_json::<Option<u32>>("null"), None);
+        assert_eq!(from_json::<Option<u32>>("7"), Some(7));
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [
+            0.1f64,
+            1.0 / 3.0,
+            1e-12,
+            123456.789,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = to_json(&f);
+            assert_eq!(from_json::<f64>(&s), f, "{s}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "a".to_owned()), (2, "b".to_owned())];
+        assert_eq!(from_json::<Vec<(u32, String)>>(&to_json(&v)), v);
+        let mut m = std::collections::HashMap::new();
+        m.insert(3u64, vec![1i64, -2]);
+        m.insert(1u64, vec![]);
+        assert_eq!(to_json(&m), r#"{"1":[],"3":[1,-2]}"#);
+        assert_eq!(
+            from_json::<std::collections::HashMap<u64, Vec<i64>>>(&to_json(&m)),
+            m
+        );
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let s = "héllo \u{1F600} \u{0007}".to_owned();
+        assert_eq!(from_json::<String>(&to_json(&s)), s);
+        assert_eq!(from_json::<String>(r#""😀""#), "\u{1F600}");
+    }
+}

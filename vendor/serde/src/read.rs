@@ -1,0 +1,281 @@
+//! Minimal recursive-descent JSON tokenizer shared by `serde` impls, the
+//! derive-generated code, and `serde_json`.
+
+use crate::Error;
+
+/// Byte-cursor over a JSON document.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Start parsing at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Parser { bytes, pos: 0 }
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Skip whitespace; true when no input remains.
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.bytes.len()
+    }
+
+    /// Error unless the entire input has been consumed.
+    pub fn expect_end(&mut self) -> Result<(), Error> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(Error::msg("trailing characters after JSON value").at(self.pos))
+        }
+    }
+
+    pub fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consume `expected` if it is the next non-whitespace byte.
+    pub fn consume_byte(&mut self, expected: u8) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require `expected` as the next non-whitespace byte.
+    pub fn expect_byte(&mut self, expected: u8) -> Result<(), Error> {
+        if self.consume_byte(expected) {
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}`", expected as char)).at(self.pos))
+        }
+    }
+
+    /// Consume the keyword (`null`, `true`, `false`) if present.
+    pub fn consume_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if self.bytes.get(self.pos..end) == Some(kw.as_bytes())
+            && !matches!(self.bytes.get(end), Some(b) if b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Require a keyword.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.consume_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{kw}`")).at(self.pos))
+        }
+    }
+
+    /// Slice out one JSON number token; returns `(token, start_offset)`.
+    pub fn number_token(&mut self) -> Result<(&'a str, usize), Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b) if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return Err(Error::msg("expected number").at(start));
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid utf-8 in number").at(start))?;
+        Ok((tok, start))
+    }
+
+    /// Parse a JSON string literal (with escape handling).
+    pub fn string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let at = self.pos;
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::msg("unterminated string").at(at))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::msg("unterminated escape").at(at))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(Error::msg("unpaired surrogate").at(at));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::msg("invalid low surrogate").at(at));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid codepoint").at(at))?,
+                            );
+                        }
+                        other => {
+                            return Err(
+                                Error::msg(format!("invalid escape `\\{}`", other as char)).at(at)
+                            )
+                        }
+                    }
+                }
+                _ => {
+                    // Copy a full UTF-8 sequence starting at `at`.
+                    let len =
+                        utf8_len(b).ok_or_else(|| Error::msg("invalid utf-8 in string").at(at))?;
+                    let end = at + len;
+                    let chunk = self
+                        .bytes
+                        .get(at..end)
+                        .ok_or_else(|| Error::msg("truncated utf-8 in string").at(at))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| Error::msg("invalid utf-8 in string").at(at))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let at = self.pos;
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape").at(at))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid \\u escape").at(at))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::msg("invalid \\u escape").at(at))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Skip one complete JSON value of any type (used to reject-with-context
+    /// or ignore unknown content).
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.expect_byte(b'{')?;
+                if self.consume_byte(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.string()?;
+                    self.expect_byte(b':')?;
+                    self.skip_value()?;
+                    if self.consume_byte(b',') {
+                        continue;
+                    }
+                    return self.expect_byte(b'}');
+                }
+            }
+            Some(b'[') => {
+                self.expect_byte(b'[')?;
+                if self.consume_byte(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if self.consume_byte(b',') {
+                        continue;
+                    }
+                    return self.expect_byte(b']');
+                }
+            }
+            Some(b't') => self.expect_keyword("true"),
+            Some(b'f') => self.expect_keyword("false"),
+            Some(b'n') => self.expect_keyword("null"),
+            Some(_) => self.number_token().map(|_| ()),
+            None => Err(Error::msg("unexpected end of input").at(self.pos)),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7F => Some(1),
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_nested_values() {
+        let doc = br#"{"a": [1, {"b": "x"}, null], "c": -1.5e3}  "#;
+        let mut p = Parser::new(doc);
+        p.skip_value().unwrap();
+        assert!(p.at_end());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let mut p = Parser::new("\"😀\"".as_bytes());
+        assert_eq!(p.string().unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut p = Parser::new(b"not json");
+        assert!(p.skip_value().is_err() || !p.at_end());
+    }
+}

@@ -1,0 +1,683 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored JSON-only serde.
+//!
+//! The container has no registry access, so `syn`/`quote` are unavailable;
+//! the item is parsed directly from `proc_macro::TokenStream` and the impls
+//! are emitted as source text. Supported shapes cover everything the
+//! workspace derives: named/tuple/unit structs, enums with unit, newtype,
+//! tuple, and struct variants (externally tagged, like real serde), simple
+//! type generics, and the `#[serde(skip)]` / `#[serde(default)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| {
+        compile_error(&format!("serde_derive produced invalid code: {e}\n{code}"))
+    })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({});", rust_str(msg))
+        .parse()
+        .unwrap()
+}
+
+/// Quote `s` as a Rust string literal.
+fn rust_str(s: &str) -> String {
+    format!("{s:?}")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type-parameter identifiers (bounds from the definition are dropped;
+    /// the impls re-bound each parameter on Serialize/Deserialize).
+    generics: Vec<String>,
+    /// Container-level `#[serde(default)]`.
+    default: bool,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    /// Tuple struct; one entry per field, `true` = `#[serde(skip)]`.
+    TupleStruct(Vec<bool>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Attrs {
+    skip: bool,
+    default: bool,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consume leading attributes, folding any `#[serde(...)]` flags.
+    fn eat_attrs(&mut self) -> Attrs {
+        let mut attrs = Attrs {
+            skip: false,
+            default: false,
+        };
+        loop {
+            if !self.at_punct('#') {
+                return attrs;
+            }
+            let Some(TokenTree::Group(g)) = self.toks.get(self.pos + 1) else {
+                return attrs;
+            };
+            if g.delimiter() != Delimiter::Bracket {
+                return attrs;
+            }
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let [TokenTree::Ident(name), TokenTree::Group(args)] = &inner[..] {
+                if name.to_string() == "serde" {
+                    for tok in args.stream() {
+                        if let TokenTree::Ident(flag) = tok {
+                            match flag.to_string().as_str() {
+                                "skip" => attrs.skip = true,
+                                "default" => attrs.default = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            self.pos += 2;
+        }
+    }
+
+    /// Skip `pub` / `pub(...)`.
+    fn eat_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Parse `<...>`, returning type-parameter names (bounds dropped).
+    fn eat_generics(&mut self) -> Result<Vec<String>, String> {
+        let mut params = Vec::new();
+        if !self.eat_punct('<') {
+            return Ok(params);
+        }
+        let mut depth = 1usize;
+        let mut take_next_ident = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => take_next_ident = true,
+                    ':' => take_next_ident = false,
+                    '\'' => {
+                        return Err(
+                            "lifetimes are not supported by the vendored serde derive".into()
+                        )
+                    }
+                    _ => {}
+                },
+                Some(TokenTree::Ident(i)) => {
+                    if depth == 1 && take_next_ident {
+                        let name = i.to_string();
+                        if name == "const" {
+                            return Err(
+                                "const generics are not supported by the vendored serde derive"
+                                    .into(),
+                            );
+                        }
+                        params.push(name);
+                        take_next_ident = false;
+                    }
+                }
+                Some(_) => {}
+                None => return Err("unterminated generic parameter list".into()),
+            }
+        }
+        Ok(params)
+    }
+
+    /// Skip a field type: everything up to a top-level `,` (or the end).
+    fn skip_type(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    let container = c.eat_attrs();
+    c.eat_vis();
+
+    let keyword = c.expect_ident()?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        "union" => return Err("unions cannot derive Serialize/Deserialize".into()),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    let name = c.expect_ident()?;
+    let generics = c.eat_generics()?;
+    if c.at_ident("where") {
+        return Err("where clauses are not supported by the vendored serde derive".into());
+    }
+
+    let kind = if is_enum {
+        let Some(TokenTree::Group(body)) = c.next() else {
+            return Err(format!("expected enum body for `{name}`"));
+        };
+        ItemKind::Enum(parse_variants(body.stream())?)
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(body.stream())?)
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(parse_tuple_fields(body.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        }
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        default: container.default,
+        kind,
+    })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.eat_attrs();
+        c.eat_vis();
+        let name = c.expect_ident()?;
+        if !c.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let mut c = Cursor::new(stream);
+    let mut skips = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.eat_attrs();
+        c.eat_vis();
+        c.skip_type();
+        c.eat_punct(',');
+        skips.push(attrs.skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs();
+        let name = c.expect_ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_fields(g.stream()).len();
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip the expression.
+            c.skip_type();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    let mut out = String::from(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n",
+    );
+    out.push_str("impl");
+    if !item.generics.is_empty() {
+        out.push('<');
+        for (i, p) in item.generics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{p}: ::serde::{trait_name}"));
+        }
+        out.push('>');
+    }
+    out.push_str(&format!(" ::serde::{trait_name} for {}", item.name));
+    if !item.generics.is_empty() {
+        out.push('<');
+        out.push_str(&item.generics.join(", "));
+        out.push('>');
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let mut extra = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            gen_write_named(fields, "&self.", &mut body);
+        }
+        ItemKind::TupleStruct(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|i| !skips[*i]).collect();
+            if skips.len() == 1 && live.len() == 1 {
+                body.push_str("::serde::Serialize::write_json(&self.0, out);\n");
+                extra.push_str(
+                    "fn write_json_key(&self, out: &mut String) {\n\
+                     ::serde::Serialize::write_json_key(&self.0, out);\n}\n",
+                );
+            } else {
+                body.push_str("out.push('[');\n");
+                for (i, idx) in live.iter().enumerate() {
+                    if i > 0 {
+                        body.push_str("out.push(',');\n");
+                    }
+                    body.push_str(&format!(
+                        "::serde::Serialize::write_json(&self.{idx}, out);\n"
+                    ));
+                }
+                body.push_str("out.push(']');\n");
+            }
+        }
+        ItemKind::UnitStruct => {
+            body.push_str("out.push_str(\"null\");\n");
+        }
+        ItemKind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let name = &item.name;
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let lit = rust_str(&format!("\"{vname}\""));
+                        body.push_str(&format!("{name}::{vname} => out.push_str({lit}),\n"));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let open = rust_str(&format!("{{\"{vname}\":"));
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nout.push_str({open});\n",
+                            binds.join(", ")
+                        ));
+                        if *arity == 1 {
+                            body.push_str("::serde::Serialize::write_json(f0, out);\n");
+                        } else {
+                            body.push_str("out.push('[');\n");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');\n");
+                                }
+                                body.push_str(&format!(
+                                    "::serde::Serialize::write_json({b}, out);\n"
+                                ));
+                            }
+                            body.push_str("out.push(']');\n");
+                        }
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let open = rust_str(&format!("{{\"{vname}\":"));
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\nout.push_str({open});\n",
+                            binds.join(", ")
+                        ));
+                        gen_write_named(fields, "", &mut body);
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+
+    format!(
+        "{header} {{\nfn write_json(&self, out: &mut String) {{\n{body}}}\n{extra}}}\n",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+/// Emit the `{"a":...,"b":...}` writer for named fields. `access` prefixes
+/// each field name (`&self.` for structs, empty for match bindings).
+fn gen_write_named(fields: &[Field], access: &str, body: &mut String) {
+    body.push_str("out.push('{');\n");
+    let mut first = true;
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let key = if first {
+            rust_str(&format!("\"{}\":", f.name))
+        } else {
+            rust_str(&format!(",\"{}\":", f.name))
+        };
+        first = false;
+        body.push_str(&format!(
+            "out.push_str({key});\n::serde::Serialize::write_json({access}{field}, out);\n",
+            field = f.name,
+        ));
+    }
+    body.push_str("out.push('}');\n");
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    let mut extra = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            gen_read_named(name, "", fields, item.default, &mut body);
+            body.push_str("::core::result::Result::Ok(__value)\n");
+        }
+        ItemKind::TupleStruct(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|i| !skips[*i]).collect();
+            let ctor_args = |reads: &[String]| -> String {
+                let mut args = Vec::new();
+                let mut it = reads.iter();
+                for skip in skips {
+                    if *skip {
+                        args.push("::core::default::Default::default()".to_string());
+                    } else {
+                        args.push(it.next().cloned().unwrap_or_default());
+                    }
+                }
+                args.join(", ")
+            };
+            if skips.len() == 1 && live.len() == 1 {
+                body.push_str(&format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::read_json(p)?))\n"
+                ));
+                extra.push_str(&format!(
+                    "fn read_json_key(key: &str) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::Deserialize::read_json_key(key)?))\n}}\n"
+                ));
+            } else {
+                body.push_str("p.expect_byte(b'[')?;\n");
+                let mut reads = Vec::new();
+                for (i, _) in live.iter().enumerate() {
+                    if i > 0 {
+                        body.push_str("p.expect_byte(b',')?;\n");
+                    }
+                    body.push_str(&format!(
+                        "let __v{i} = ::serde::Deserialize::read_json(p)?;\n"
+                    ));
+                    reads.push(format!("__v{i}"));
+                }
+                body.push_str("p.expect_byte(b']')?;\n");
+                body.push_str(&format!(
+                    "::core::result::Result::Ok({name}({}))\n",
+                    ctor_args(&reads)
+                ));
+            }
+        }
+        ItemKind::UnitStruct => {
+            body.push_str(&format!(
+                "p.expect_keyword(\"null\")?;\n::core::result::Result::Ok({name})\n"
+            ));
+        }
+        ItemKind::Enum(variants) => {
+            body.push_str("match p.peek() {\n");
+            // String form: unit variants.
+            body.push_str(
+                "::core::option::Option::Some(b'\"') => {\nlet __at = p.offset();\nlet __s = p.string()?;\nmatch __s.as_str() {\n",
+            );
+            for v in variants {
+                if let VariantKind::Unit = v.kind {
+                    body.push_str(&format!(
+                        "{lit} => ::core::result::Result::Ok({name}::{vname}),\n",
+                        lit = rust_str(&v.name),
+                        vname = v.name,
+                    ));
+                }
+            }
+            body.push_str(
+                "__other => ::core::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{}`\", __other)).at(__at)),\n}\n}\n",
+            );
+            // Map form: payload variants.
+            body.push_str(
+                "::core::option::Option::Some(b'{') => {\np.expect_byte(b'{')?;\nlet __at = p.offset();\nlet __key = p.string()?;\np.expect_byte(b':')?;\nlet __value = match __key.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(arity) => {
+                        body.push_str(&format!("{} => {{\n", rust_str(vname)));
+                        if *arity == 1 {
+                            body.push_str(&format!(
+                                "{name}::{vname}(::serde::Deserialize::read_json(p)?)\n"
+                            ));
+                        } else {
+                            body.push_str("p.expect_byte(b'[')?;\n");
+                            let mut reads = Vec::new();
+                            for i in 0..*arity {
+                                if i > 0 {
+                                    body.push_str("p.expect_byte(b',')?;\n");
+                                }
+                                body.push_str(&format!(
+                                    "let __v{i} = ::serde::Deserialize::read_json(p)?;\n"
+                                ));
+                                reads.push(format!("__v{i}"));
+                            }
+                            body.push_str("p.expect_byte(b']')?;\n");
+                            body.push_str(&format!("{name}::{vname}({})\n", reads.join(", ")));
+                        }
+                        body.push_str("}\n");
+                    }
+                    VariantKind::Named(fields) => {
+                        body.push_str(&format!("{} => {{\n", rust_str(vname)));
+                        gen_read_named(
+                            &format!("{name}::{vname}"),
+                            "__variant_",
+                            fields,
+                            false,
+                            &mut body,
+                        );
+                        body.push_str("__value\n}\n");
+                    }
+                }
+            }
+            body.push_str(
+                "__other => return ::core::result::Result::Err(::serde::Error::msg(format!(\"unknown variant `{}`\", __other)).at(__at)),\n};\np.expect_byte(b'}')?;\n::core::result::Result::Ok(__value)\n}\n",
+            );
+            body.push_str(
+                "_ => ::core::result::Result::Err(::serde::Error::msg(\"expected enum value\").at(p.offset())),\n}\n",
+            );
+        }
+    }
+
+    format!(
+        "{header} {{\nfn read_json(p: &mut ::serde::read::Parser<'_>) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}}}\n{extra}}}\n",
+        header = impl_header(item, "Deserialize"),
+    )
+}
+
+/// Emit the named-field object reader; leaves the constructed value in
+/// `__value`. `prefix` namespaces the per-field locals (enum variants parse
+/// inside a surrounding match and must not collide).
+fn gen_read_named(
+    ctor: &str,
+    prefix: &str,
+    fields: &[Field],
+    container_default: bool,
+    body: &mut String,
+) {
+    body.push_str("p.expect_byte(b'{')?;\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "let mut __f_{prefix}{} = ::core::option::Option::None;\n",
+            f.name
+        ));
+    }
+    body.push_str("if !p.consume_byte(b'}') {\nloop {\nlet __key = p.string()?;\np.expect_byte(b':')?;\nmatch __key.as_str() {\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        body.push_str(&format!(
+            "{lit} => {{ __f_{prefix}{field} = ::core::option::Option::Some(::serde::Deserialize::read_json(p)?); }}\n",
+            lit = rust_str(&f.name),
+            field = f.name,
+        ));
+    }
+    body.push_str("_ => { p.skip_value()?; }\n}\nif p.consume_byte(b',') { continue; }\np.expect_byte(b'}')?;\nbreak;\n}\n}\n");
+
+    if container_default {
+        body.push_str(&format!(
+            "let __container_default: {ctor} = ::core::default::Default::default();\n"
+        ));
+    }
+    body.push_str(&format!("let __value = {ctor} {{\n"));
+    for f in fields {
+        if f.skip {
+            if container_default {
+                body.push_str(&format!("{0}: __container_default.{0},\n", f.name));
+            } else {
+                body.push_str(&format!(
+                    "{}: ::core::default::Default::default(),\n",
+                    f.name
+                ));
+            }
+        } else if container_default {
+            body.push_str(&format!(
+                "{0}: match __f_{prefix}{0} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => __container_default.{0} }},\n",
+                f.name
+            ));
+        } else {
+            body.push_str(&format!(
+                "{0}: match __f_{prefix}{0} {{ ::core::option::Option::Some(__v) => __v, ::core::option::Option::None => ::serde::Deserialize::missing_field({lit})? }},\n",
+                f.name,
+                lit = rust_str(&f.name),
+            ));
+        }
+    }
+    body.push_str("};\n");
+}

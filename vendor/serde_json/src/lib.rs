@@ -1,0 +1,688 @@
+//! Offline stand-in for `serde_json`, backed by the vendored JSON-only
+//! `serde`. Provides the subset the workspace uses: `to_vec` / `to_string` /
+//! `to_string_pretty` / `from_slice` / `from_str`, a dynamic [`Value`] with
+//! the `json!` macro, and [`Map`] (a `BTreeMap`, so object keys are always
+//! sorted and output is deterministic).
+
+// The `json!` array arm expands to a push-per-element tt-muncher; the
+// init-then-push shape is inherent to the macro.
+#![allow(clippy::vec_init_then_push)]
+
+use serde::read::Parser;
+use serde::{Deserialize, Serialize};
+
+pub use serde::Error;
+
+/// `serde_json::Result` alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// JSON object representation. Real serde_json preserves insertion order by
+/// default; this stand-in sorts keys, which the workspace's determinism
+/// tests rely on.
+pub type Map = std::collections::BTreeMap<String, Value>;
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Serialize `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Deserialize `T` from a JSON string.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    from_slice(text.as_bytes())
+}
+
+/// Deserialize `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let mut p = Parser::new(bytes);
+    let value = T::read_json(&mut p)?;
+    p.expect_end()?;
+    Ok(value)
+}
+
+/// Re-indent a compact JSON document (string-literal aware).
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut chars = compact.chars().peekable();
+    let push_indent = |out: &mut String, n: usize| {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                let mut escaped = false;
+                for s in chars.by_ref() {
+                    out.push(s);
+                    if escaped {
+                        escaped = false;
+                    } else if s == '\\' {
+                        escaped = true;
+                    } else if s == '"' {
+                        break;
+                    }
+                }
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(c);
+                    out.push(close);
+                    chars.next();
+                } else {
+                    out.push(c);
+                    indent += 1;
+                    push_indent(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(',');
+                push_indent(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Number
+// ---------------------------------------------------------------------------
+
+/// A JSON number: integer when possible, float otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Fits in `i64`.
+    Int(i64),
+    /// Positive and larger than `i64::MAX`.
+    UInt(u64),
+    /// Everything else.
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::UInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::Int(v) => Some(v as f64),
+            Number::UInt(v) => Some(v as f64),
+            Number::Float(v) => Some(v),
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+/// A dynamically-typed JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                match i64::try_from(v) {
+                    Ok(i) => Value::Number(Number::Int(i)),
+                    Err(_) => Value::Number(Number::UInt(v as u64)),
+                }
+            }
+        }
+    )*};
+}
+
+value_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64().map(|v| v == *other as i64).unwrap_or(false)
+                    || self.as_u64().map(|v| v == *other as u64).unwrap_or(false)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Conversion used by `json!` in expression position. Borrows its input so
+/// `json!(name)` doesn't consume `name` (matching real serde_json, which
+/// serializes through `&T`).
+pub trait ToValue {
+    fn to_value(&self) -> Value;
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! to_value_via_from {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+to_value_via_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl ToValue for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.write_json(out),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => s.write_json(out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    k.write_json(out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn read_json(p: &mut Parser<'_>) -> std::result::Result<Self, Error> {
+        match p.peek() {
+            Some(b'n') => {
+                p.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') | Some(b'f') => Ok(Value::Bool(bool::read_json(p)?)),
+            Some(b'"') => Ok(Value::String(p.string()?)),
+            Some(b'[') => {
+                p.expect_byte(b'[')?;
+                let mut items = Vec::new();
+                if p.consume_byte(b']') {
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(Value::read_json(p)?);
+                    if p.consume_byte(b',') {
+                        continue;
+                    }
+                    p.expect_byte(b']')?;
+                    return Ok(Value::Array(items));
+                }
+            }
+            Some(b'{') => {
+                p.expect_byte(b'{')?;
+                let mut map = Map::new();
+                if p.consume_byte(b'}') {
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    let key = p.string()?;
+                    p.expect_byte(b':')?;
+                    let value = Value::read_json(p)?;
+                    map.insert(key, value);
+                    if p.consume_byte(b',') {
+                        continue;
+                    }
+                    p.expect_byte(b'}')?;
+                    return Ok(Value::Object(map));
+                }
+            }
+            Some(_) => {
+                let (tok, at) = p.number_token()?;
+                parse_number(tok).map(Value::Number).map_err(|e| e.at(at))
+            }
+            None => Err(Error::msg("unexpected end of input").at(p.offset())),
+        }
+    }
+}
+
+fn parse_number(tok: &str) -> std::result::Result<Number, Error> {
+    if !tok.contains(['.', 'e', 'E']) {
+        if let Ok(i) = tok.parse::<i64>() {
+            return Ok(Number::Int(i));
+        }
+        if let Ok(u) = tok.parse::<u64>() {
+            return Ok(Number::UInt(u));
+        }
+    }
+    tok.parse::<f64>()
+        .map(Number::Float)
+        .map_err(|e| Error::msg(format!("invalid number: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from JSON-like syntax. Supports literals, nested
+/// arrays/objects, and arbitrary Rust expressions in value position.
+#[macro_export]
+macro_rules! json {
+    // -- internal: array elements ------------------------------------------
+    (@arr $vec:ident ()) => {};
+    (@arr $vec:ident (, $($rest:tt)*)) => {
+        $crate::json!(@arr $vec ($($rest)*));
+    };
+    (@arr $vec:ident (null $($rest:tt)*)) => {
+        $vec.push($crate::Value::Null);
+        $crate::json!(@arr $vec ($($rest)*));
+    };
+    (@arr $vec:ident ([$($arr:tt)*] $($rest:tt)*)) => {
+        $vec.push($crate::json!([$($arr)*]));
+        $crate::json!(@arr $vec ($($rest)*));
+    };
+    (@arr $vec:ident ({$($map:tt)*} $($rest:tt)*)) => {
+        $vec.push($crate::json!({$($map)*}));
+        $crate::json!(@arr $vec ($($rest)*));
+    };
+    (@arr $vec:ident ($value:expr , $($rest:tt)*)) => {
+        $vec.push($crate::json!($value));
+        $crate::json!(@arr $vec ($($rest)*));
+    };
+    (@arr $vec:ident ($value:expr)) => {
+        $vec.push($crate::json!($value));
+    };
+
+    // -- internal: object members ------------------------------------------
+    (@obj $object:ident ()) => {};
+    (@obj $object:ident (, $($rest:tt)*)) => {
+        $crate::json!(@obj $object ($($rest)*));
+    };
+    (@obj $object:ident ($key:tt : null $($rest:tt)*)) => {
+        $object.insert(($key).into(), $crate::Value::Null);
+        $crate::json!(@obj $object ($($rest)*));
+    };
+    (@obj $object:ident ($key:tt : [$($arr:tt)*] $($rest:tt)*)) => {
+        $object.insert(($key).into(), $crate::json!([$($arr)*]));
+        $crate::json!(@obj $object ($($rest)*));
+    };
+    (@obj $object:ident ($key:tt : {$($map:tt)*} $($rest:tt)*)) => {
+        $object.insert(($key).into(), $crate::json!({$($map)*}));
+        $crate::json!(@obj $object ($($rest)*));
+    };
+    (@obj $object:ident ($key:tt : $value:expr , $($rest:tt)*)) => {
+        $object.insert(($key).into(), $crate::json!($value));
+        $crate::json!(@obj $object ($($rest)*));
+    };
+    (@obj $object:ident ($key:tt : $value:expr)) => {
+        $object.insert(($key).into(), $crate::json!($value));
+    };
+
+    // -- entry points ------------------------------------------------------
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@arr vec ($($tt)*));
+        $crate::Value::Array(vec)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut object = $crate::Map::new();
+        $crate::json!(@obj object ($($tt)*));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::ToValue::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_documents() {
+        let n = 2u64;
+        let v = json!({
+            "type": "bundle",
+            "count": n,
+            "flag": true,
+            "none": null,
+            "objects": [
+                {"id": "a", "score": 1.5},
+                {"id": format!("b{n}")}
+            ],
+        });
+        assert_eq!(v["type"].as_str(), Some("bundle"));
+        assert_eq!(v["count"].as_u64(), Some(2));
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert!(v["none"].is_null());
+        let objects = v["objects"].as_array().unwrap();
+        assert_eq!(objects.len(), 2);
+        assert_eq!(objects[1]["id"].as_str(), Some("b2"));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = json!({"a": [1, -2.5, "x", null, {"b": false}], "c": {}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_print_is_reparsable_and_indented() {
+        let v = json!({"a": [1, 2], "s": "he said \"hi\\\" {ok}", "e": [], "o": {}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,2] trailing").is_err());
+    }
+}
