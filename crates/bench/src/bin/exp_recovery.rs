@@ -1,0 +1,103 @@
+//! Experiment E11 — crash recovery time vs journal length.
+//!
+//! Claim to support (DESIGN.md "Failure model & recovery"): the *redo* work
+//! after a crash is bounded by the snapshot cadence, not by the journal's
+//! total length — replay itself is a linear scan of fixed-size frames. The
+//! table also surfaces the cadence trade-off: a denser cadence bounds the
+//! cycles redone more tightly but pays for it in sidecar serialisation,
+//! both during normal operation and again while re-stepping.
+//!
+//! Method: for each (horizon, snapshot cadence) cell, run an uninterrupted
+//! durable build to learn the journal length and reference digest, then kill
+//! a second run at ~90% of that journal and wall-clock the resume. The
+//! resumed digest must match the reference — this doubles as a chaos check
+//! at bench scale.
+//!
+//! Run: `cargo run -p kg-bench --bin exp_recovery --release`
+
+use kg_bench::Table;
+use kg_corpus::{FaultProfile, WorldConfig};
+use kg_crawler::SchedulerConfig;
+use securitykg::{run_durable, DurableOptions, JournalError, SystemConfig, DEFAULT_START_MS};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kg-exp-recovery-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let system = SystemConfig {
+        world: WorldConfig::tiny(0xE9),
+        articles_per_source: 6,
+        seed: 0xE9,
+        faults: FaultProfile::default(),
+        ..SystemConfig::default()
+    };
+    let sched = SchedulerConfig::default();
+
+    println!(
+        "E11: recovery time vs journal length — kill at ~90% of the journal, resume, verify digest"
+    );
+    println!();
+    let mut table = Table::new(&[
+        "days",
+        "snap every",
+        "journal recs",
+        "kill at",
+        "replayed",
+        "resumed from",
+        "cycles redone",
+        "recovery ms",
+        "digest ok",
+    ]);
+
+    for days in [1u64, 3, 7, 14] {
+        for snapshot_every in [8u64, 32, 128] {
+            let until = DEFAULT_START_MS + days * 24 * 3_600_000;
+            let opts = DurableOptions {
+                snapshot_every_cycles: snapshot_every,
+                ..DurableOptions::default()
+            };
+
+            let ref_dir = tmp_dir(&format!("ref-{days}-{snapshot_every}"));
+            let reference =
+                run_durable(&system, &sched, &ref_dir, until, &opts).expect("reference run");
+            let _ = std::fs::remove_dir_all(&ref_dir);
+            let kill_at = reference.records_appended * 9 / 10;
+
+            let dir = tmp_dir(&format!("kill-{days}-{snapshot_every}"));
+            let crash = DurableOptions {
+                crash_after_records: Some(kill_at),
+                crash_torn_tail: true,
+                ..opts.clone()
+            };
+            match run_durable(&system, &sched, &dir, until, &crash) {
+                Err(JournalError::InjectedCrash) => {}
+                other => panic!("expected injected crash, got {other:?}"),
+            }
+
+            let clock = Instant::now();
+            let resumed = run_durable(&system, &sched, &dir, until, &opts).expect("resume");
+            let recovery_ms = clock.elapsed().as_secs_f64() * 1000.0;
+            let _ = std::fs::remove_dir_all(&dir);
+
+            table.row(vec![
+                days.to_string(),
+                snapshot_every.to_string(),
+                reference.records_appended.to_string(),
+                kill_at.to_string(),
+                resumed.replayed_records.to_string(),
+                resumed
+                    .resumed_from_snapshot
+                    .map_or_else(|| "-".into(), |s| format!("snap {s}")),
+                resumed.cycles_run.to_string(),
+                format!("{recovery_ms:.1}"),
+                (resumed.kg_digest == reference.kg_digest).to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

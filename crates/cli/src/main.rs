@@ -14,10 +14,20 @@
 //! subcommand operates on that snapshot, needing none of the build
 //! machinery — the separation the paper's storage/application split implies.
 
-use securitykg::corpus::WorldConfig;
+use securitykg::corpus::{FaultProfile, WorldConfig};
+use securitykg::crawler::SchedulerConfig;
 use securitykg::hunting::AuditGenerator;
-use securitykg::{KnowledgeBase, SecurityKg, SystemConfig, TrainingConfig};
+use securitykg::{
+    run_durable, DurableOptions, JournalError, KnowledgeBase, SecurityKg, SystemConfig,
+    TrainingConfig, DEFAULT_START_MS,
+};
+use std::path::Path;
 use std::process::ExitCode;
+
+/// Exit code of a `--crash-after-records` run that hit its injected crash —
+/// distinct from ordinary failure so `scripts/chaos.sh` can tell "killed as
+/// planned" from "actually broken".
+const EXIT_INJECTED_CRASH: u8 = 9;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,19 +37,19 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "build" => cmd_build(&args[1..]),
-        "stats" => cmd_stats(&args[1..]),
-        "search" => cmd_search(&args[1..]),
-        "cypher" => cmd_cypher(&args[1..]),
-        "export-stix" => cmd_export_stix(&args[1..]),
-        "hunt" => cmd_hunt(&args[1..]),
+        "stats" => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "search" => cmd_search(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "cypher" => cmd_cypher(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "export-stix" => cmd_export_stix(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "hunt" => cmd_hunt(&args[1..]).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -52,11 +62,18 @@ securitykg — automated OSCTI gathering and management
 
 USAGE:
   securitykg build  --out <kg.json> [--articles <n>] [--seed <s>] [--ner] [--fuse] [--stats]
+  securitykg build  --journal <dir> [--days <n>] [--snapshot-every <n>] [--chaos]
+                    [--crash-after-records <n>] [--out <kg.json>] [--articles <n>] [--seed <s>]
+  securitykg build  --resume <dir>  [--days <n>] ... (like --journal, but the dir must exist)
   securitykg stats  --kg <kg.json>
   securitykg search --kg <kg.json> <keywords...>
   securitykg cypher --kg <kg.json> <query>
   securitykg export-stix --kg <kg.json> --out <bundle.json>
-  securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]";
+  securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]
+
+Durable builds journal every crawl cycle into <dir> and snapshot periodically;
+re-running over the same dir resumes from the last intact snapshot. A run
+killed by --crash-after-records exits with code 9 and leaves a resumable dir.";
 
 /// Pull `--name value` out of an argument list; returns remaining positionals.
 fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
@@ -67,7 +84,7 @@ fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value when followed by another flag/end.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            if takes_value && !matches!(name, "ner" | "fuse" | "stats") {
+            if takes_value && !matches!(name, "ner" | "fuse" | "stats" | "chaos") {
                 flags.insert(name.to_owned(), args[i + 1].clone());
                 i += 2;
             } else {
@@ -88,9 +105,7 @@ fn load_kb(flags: &std::collections::HashMap<String, String>) -> Result<Knowledg
     KnowledgeBase::from_bytes(&bytes).map_err(|e| format!("parse {path}: {e}"))
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
-    let (flags, _) = parse_flags(args);
-    let out = flags.get("out").ok_or("missing --out <path>")?;
+fn build_config(flags: &std::collections::HashMap<String, String>) -> Result<SystemConfig, String> {
     let articles: usize = flags
         .get("articles")
         .map(|a| a.parse().map_err(|e| format!("--articles: {e}")))
@@ -101,20 +116,120 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
         .transpose()?
         .unwrap_or(0xC11);
-
-    let config = SystemConfig {
+    let faults = if flags.contains_key("chaos") {
+        FaultProfile::chaos()
+    } else {
+        FaultProfile::default()
+    };
+    Ok(SystemConfig {
         world: WorldConfig {
             seed,
             ..WorldConfig::default()
         },
         articles_per_source: articles,
         seed,
+        faults,
         training: TrainingConfig {
             articles: 200,
             ..TrainingConfig::default()
         },
         ..SystemConfig::default()
+    })
+}
+
+/// A crash-safe `build`: journal every cycle into `dir`, snapshot
+/// periodically, resume from the last intact snapshot when `dir` already
+/// holds a journal. Prints the graph digest so callers can compare runs.
+fn cmd_build_durable(
+    flags: &std::collections::HashMap<String, String>,
+    dir: &str,
+) -> Result<ExitCode, String> {
+    let journal = Path::new(dir).join("journal.log");
+    if flags.contains_key("resume") && !journal.exists() {
+        return Err(format!(
+            "--resume {dir}: no journal at {}",
+            journal.display()
+        ));
+    }
+    let config = build_config(flags)?;
+    let days: u64 = flags
+        .get("days")
+        .map(|d| d.parse().map_err(|e| format!("--days: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let snapshot_every: u64 = flags
+        .get("snapshot-every")
+        .map(|s| s.parse().map_err(|e| format!("--snapshot-every: {e}")))
+        .transpose()?
+        .unwrap_or(8);
+    let crash_after: Option<u64> = flags
+        .get("crash-after-records")
+        .map(|c| c.parse().map_err(|e| format!("--crash-after-records: {e}")))
+        .transpose()?;
+    let opts = DurableOptions {
+        snapshot_every_cycles: snapshot_every,
+        crash_after_records: crash_after,
+        crash_torn_tail: false,
     };
+    let until_ms = DEFAULT_START_MS + days * 24 * 3_600_000;
+    let report = match run_durable(
+        &config,
+        &SchedulerConfig::default(),
+        Path::new(dir),
+        until_ms,
+        &opts,
+    ) {
+        Ok(report) => report,
+        Err(JournalError::InjectedCrash) => {
+            eprintln!(
+                "injected crash after {} record(s); {dir} is resumable",
+                crash_after.unwrap_or(0)
+            );
+            return Ok(ExitCode::from(EXIT_INJECTED_CRASH));
+        }
+        Err(e) => return Err(format!("durable build in {dir}: {e}")),
+    };
+    if let Some(seq) = report.resumed_from_snapshot {
+        eprintln!(
+            "resumed from snapshot {seq} ({} journal record(s) replayed{})",
+            report.replayed_records,
+            if report.torn_tail {
+                ", torn tail discarded"
+            } else {
+                ""
+            },
+        );
+    }
+    eprintln!(
+        "{} cycle(s), {} report(s) ingested, {} duplicate(s) skipped, {} record(s) appended",
+        report.cycles_run,
+        report.reports_ingested,
+        report.skipped_duplicates,
+        report.records_appended
+    );
+    if report.stats.breaker_opens > 0 || report.stats.reboots > 0 {
+        eprintln!(
+            "scheduler weathered {} reboot(s), {} breaker open(s), {} close(s)",
+            report.stats.reboots, report.stats.breaker_opens, report.stats.breaker_closes
+        );
+    }
+    if flags.contains_key("stats") {
+        eprintln!("trace (newest 20 events):");
+        eprint!("{}", report.trace.render_tail(20));
+    }
+    println!("kg-digest: {:016x}", report.kg_digest);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, _) = parse_flags(args);
+    if let Some(dir) = flags.get("journal").or_else(|| flags.get("resume")) {
+        return cmd_build_durable(&flags, &dir.clone());
+    }
+    let out = flags.get("out").ok_or("missing --out <path>")?;
+    let config = build_config(&flags)?;
+    let articles = config.articles_per_source;
+    let seed = config.seed;
     eprintln!(
         "bootstrapping ({} articles/source, seed {seed:#x}, ner={})...",
         articles,
@@ -153,7 +268,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let bytes = kg.snapshot().map_err(|e| e.to_string())?;
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("wrote {} ({} bytes)", out, bytes.len());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

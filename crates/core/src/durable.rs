@@ -1,0 +1,397 @@
+//! Crash-safe ingestion: the durable run driver.
+//!
+//! `run_durable` drives the crawl scheduler cycle-by-cycle through the
+//! *sequential* pipeline, journaling every cycle and every ingested report
+//! (see [`crate::journal`]) and periodically persisting a complete snapshot
+//! sidecar: the knowledge base, the scheduler's whole control state
+//! ([`kg_crawler::SchedulerCheckpoint`]: due-heap, crawl state, stats,
+//! breakers) and the set of ingested content hashes.
+//!
+//! The recovery model is **snapshot + deterministic redo**: the snapshot is
+//! the durable truth, and everything after it is recomputed rather than
+//! replayed from the journal. Because the simulated web is a pure function
+//! of `(seed, url, time)` and the scheduler's heap order is total, resuming
+//! from the last intact snapshot and re-stepping to the same horizon
+//! reproduces the uninterrupted run byte-for-byte — the property the chaos
+//! harness (`tests/chaos.rs`, `scripts/chaos.sh`) asserts via
+//! [`graph_digest`]. Journal records after the last snapshot marker are an
+//! audit trail (and the chaos harness's kill-point counter), not replay
+//! instructions; content-hash dedup keeps any re-ingestion idempotent.
+
+use crate::journal::{self, Journal, JournalError, JournalRecord};
+use crate::snapshot::KnowledgeBase;
+use crate::SystemConfig;
+use kg_corpus::{standard_sources, SimulatedWeb, World};
+use kg_crawler::{Scheduler, SchedulerCheckpoint, SchedulerConfig, SchedulerStats};
+use kg_graph::GraphStore;
+use kg_ir::{combine_hashes, fnv1a64, RawReport};
+use kg_pipeline::{
+    run_sequential, GraphConnector, ParserRegistry, PipelineMetrics, TraceEvent, TraceLog,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Default simulated start: the publication epoch of the synthetic corpus.
+pub const DEFAULT_START_MS: u64 = 1_500_000_000_000;
+
+/// Deterministic fingerprint of a knowledge graph: FNV-1a over its canonical
+/// JSON serialisation (node/edge arrays in id order, properties in BTreeMap
+/// order; the serde-skipped hash indexes never leak in).
+pub fn graph_digest(graph: &GraphStore) -> Result<u64, serde_json::Error> {
+    Ok(fnv1a64(&serde_json::to_vec(graph)?))
+}
+
+/// Everything a recovery needs, persisted atomically (tmp + rename) before
+/// its marker is appended to the journal.
+#[derive(Serialize, Deserialize)]
+pub struct SnapshotPayload {
+    pub seq: u64,
+    /// Scheduler cycles completed when the snapshot was taken.
+    pub cycles_done: u64,
+    /// [`graph_digest`] of `kb.graph`, re-verified on load.
+    pub kg_digest: u64,
+    /// Sorted content hashes of every report ingested so far.
+    pub ingested: Vec<u64>,
+    pub scheduler: SchedulerCheckpoint,
+    pub kb: KnowledgeBase,
+}
+
+/// Knobs of a durable run.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Persist a snapshot every this many scheduler cycles (plus one at the
+    /// end of every run that made progress). `0` means only the final one.
+    pub snapshot_every_cycles: u64,
+    /// Chaos harness: fail with [`JournalError::InjectedCrash`] instead of
+    /// appending journal record number N (counted from this run's start).
+    pub crash_after_records: Option<u64>,
+    /// Make the injected crash leave a torn half-written frame behind.
+    pub crash_torn_tail: bool,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            snapshot_every_cycles: 8,
+            crash_after_records: None,
+            crash_torn_tail: false,
+        }
+    }
+}
+
+/// What one `run_durable` call did.
+#[derive(Debug)]
+pub struct DurableReport {
+    /// Scheduler cycles fired by this call.
+    pub cycles_run: u64,
+    /// Reports connected into the graph by this call.
+    pub reports_ingested: usize,
+    /// Journal records appended by this call.
+    pub records_appended: u64,
+    /// Report groups skipped because their content hash was already ingested.
+    pub skipped_duplicates: usize,
+    /// [`graph_digest`] of the final graph.
+    pub kg_digest: u64,
+    /// Snapshot sequence number recovery started from, if resuming.
+    pub resumed_from_snapshot: Option<u64>,
+    /// Intact journal records found on startup.
+    pub replayed_records: usize,
+    /// Whether startup had to discard a torn journal tail.
+    pub torn_tail: bool,
+    /// Scheduler stats over the whole journal directory's lifetime.
+    pub stats: SchedulerStats,
+    /// Accumulated pipeline accounting across this call's cycles.
+    pub metrics: PipelineMetrics,
+    /// Structured events: replay, snapshots, reboots, breaker transitions.
+    pub trace: TraceLog,
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq}.json"))
+}
+
+/// Load and verify one snapshot sidecar: the payload must parse, its graph
+/// must rebuild, and the re-computed digest must match the stored one.
+fn load_snapshot(dir: &Path, seq: u64) -> Result<SnapshotPayload, JournalError> {
+    let bytes = std::fs::read(snapshot_path(dir, seq))?;
+    let mut payload: SnapshotPayload = serde_json::from_slice(&bytes)?;
+    // Rebuild the serde-skipped graph/search indexes.
+    payload.kb = KnowledgeBase::from_bytes(&serde_json::to_vec(&payload.kb)?)?;
+    Ok(payload)
+}
+
+/// Group a cycle's raw pages into whole reports (pages of one report arrive
+/// contiguously, in page order) with an order-sensitive combined body hash.
+fn group_reports(reports: Vec<RawReport>) -> Vec<(String, String, u64, Vec<RawReport>)> {
+    let mut groups: Vec<(String, String, Vec<RawReport>)> = Vec::new();
+    for report in reports {
+        match groups.last_mut() {
+            Some((_, key, pages)) if *key == report.report_key => pages.push(report),
+            _ => groups.push((
+                report.source_name.clone(),
+                report.report_key.clone(),
+                vec![report],
+            )),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(source, key, pages)| {
+            let hash = combine_hashes(pages.iter().map(|p| p.content_hash()));
+            (source, key, hash, pages)
+        })
+        .collect()
+}
+
+fn absorb_metrics(total: &mut PipelineMetrics, part: &PipelineMetrics) {
+    total.input_pages += part.input_pages;
+    total.ported += part.ported;
+    total.screened_out += part.screened_out;
+    total.parsed += part.parsed;
+    total.parse_errors += part.parse_errors;
+    total.extracted += part.extracted;
+    total.connected += part.connected;
+    total.quarantined += part.quarantined;
+    total.wall_us += part.wall_us;
+    total.wall_ms = total.wall_us / 1000;
+}
+
+struct DurableState<'w> {
+    scheduler: Scheduler<'w>,
+    connector: GraphConnector,
+    ingested: BTreeSet<u64>,
+    cycles_done: u64,
+    snapshot_seq: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_snapshot(
+    dir: &Path,
+    state: &DurableState<'_>,
+    journal: &mut Journal,
+    trace: &TraceLog,
+) -> Result<u64, JournalError> {
+    let seq = state.snapshot_seq;
+    let digest = graph_digest(&state.connector.graph)?;
+    let payload = SnapshotPayload {
+        seq,
+        cycles_done: state.cycles_done,
+        kg_digest: digest,
+        ingested: state.ingested.iter().copied().collect(),
+        scheduler: state.scheduler.checkpoint(),
+        kb: KnowledgeBase {
+            graph: state.connector.graph.clone(),
+            search: state.connector.search.clone(),
+        },
+    };
+    // Atomic publish: a reader never observes a half-written sidecar under
+    // the final name, and the journal marker is only appended afterwards.
+    let tmp = dir.join(format!("snapshot-{seq}.json.tmp"));
+    std::fs::write(&tmp, serde_json::to_vec(&payload)?)?;
+    std::fs::rename(&tmp, snapshot_path(dir, seq))?;
+    journal.append(&JournalRecord::Snapshot {
+        seq,
+        cycles_done: state.cycles_done,
+        kg_digest: digest,
+    })?;
+    trace.record(TraceEvent::SnapshotTaken {
+        seq,
+        cycles_done: state.cycles_done,
+        kg_digest: digest,
+    });
+    Ok(digest)
+}
+
+/// Run (or resume) a durable ingestion in `dir` up to simulated `until_ms`.
+///
+/// Fresh directories start every source at [`DEFAULT_START_MS`]. Existing
+/// directories are recovered: the journal is replayed (tolerating a torn
+/// tail), the newest snapshot whose sidecar loads and digest verifies is
+/// restored, and the scheduler re-runs deterministically from that frontier.
+/// Calling this again over a completed directory with the same horizon is a
+/// no-op that returns the same digest.
+pub fn run_durable(
+    system: &SystemConfig,
+    sched_config: &SchedulerConfig,
+    dir: &Path,
+    until_ms: u64,
+    opts: &DurableOptions,
+) -> Result<DurableReport, JournalError> {
+    std::fs::create_dir_all(dir)?;
+    let world = World::generate(system.world.clone());
+    let web = SimulatedWeb::with_faults(
+        world,
+        standard_sources(system.articles_per_source),
+        system.seed,
+        system.faults,
+    );
+    let trace = TraceLog::new();
+    let journal_path = dir.join("journal.log");
+
+    let mut resumed_from = None;
+    let mut replayed_records = 0;
+    let mut torn_tail = false;
+
+    let (mut journal, mut state) = if journal_path.exists() {
+        let replayed = journal::replay(&journal_path)?;
+        replayed_records = replayed.records.len();
+        torn_tail = replayed.torn_tail;
+        // Newest snapshot that is actually intact wins; older ones are the
+        // fallback if its sidecar was lost with the crash.
+        let mut restored = None;
+        for (seq, _cycles, digest) in replayed.snapshots().into_iter().rev() {
+            if let Ok(payload) = load_snapshot(dir, seq) {
+                if payload.kg_digest == digest && graph_digest(&payload.kb.graph)? == digest {
+                    restored = Some(payload);
+                    break;
+                }
+            }
+        }
+        let journal = Journal::open_after_replay(&journal_path, &replayed)?;
+        let state = match restored {
+            Some(payload) => {
+                resumed_from = Some(payload.seq);
+                DurableState {
+                    snapshot_seq: payload.seq,
+                    cycles_done: payload.cycles_done,
+                    ingested: payload.ingested.into_iter().collect(),
+                    scheduler: Scheduler::restore(&web, payload.scheduler),
+                    connector: GraphConnector {
+                        graph: payload.kb.graph,
+                        search: payload.kb.search,
+                        ..GraphConnector::new()
+                    },
+                }
+            }
+            None => DurableState {
+                scheduler: Scheduler::new(&web, sched_config.clone(), DEFAULT_START_MS),
+                connector: GraphConnector::new(),
+                ingested: BTreeSet::new(),
+                cycles_done: 0,
+                snapshot_seq: 0,
+            },
+        };
+        trace.record(TraceEvent::JournalReplayed {
+            records: replayed_records,
+            torn_tail,
+            resumed_from_snapshot: resumed_from,
+        });
+        (journal, state)
+    } else {
+        (
+            Journal::create(&journal_path)?,
+            DurableState {
+                scheduler: Scheduler::new(&web, sched_config.clone(), DEFAULT_START_MS),
+                connector: GraphConnector::new(),
+                ingested: BTreeSet::new(),
+                cycles_done: 0,
+                snapshot_seq: 0,
+            },
+        )
+    };
+
+    let records_at_start = journal.records_written();
+    if let Some(after) = opts.crash_after_records {
+        journal.set_crash_after(records_at_start + after, opts.crash_torn_tail);
+    }
+
+    let registry = ParserRegistry::new();
+    let extractor = crate::gazetteer_extractor(&web, &system.training);
+    let mut metrics = PipelineMetrics::default();
+    let mut cycles_run = 0u64;
+    let mut reports_ingested = 0usize;
+    let mut skipped_duplicates = 0usize;
+    let mut seen_reboots = state.scheduler.stats.reboot_events.len();
+    let mut seen_breaker_events = state.scheduler.stats.breaker_events.len();
+
+    while let Some(fired) = state.scheduler.step_due(until_ms) {
+        // Surface new scheduler events in the structured trace.
+        for event in &state.scheduler.stats.breaker_events[seen_breaker_events..] {
+            trace.record(TraceEvent::BreakerTransition {
+                source: event.source.clone(),
+                at_ms: event.at_ms,
+                from: event.from.to_string(),
+                to: event.to.to_string(),
+                reason: event.reason.clone(),
+            });
+        }
+        seen_breaker_events = state.scheduler.stats.breaker_events.len();
+        for event in &state.scheduler.stats.reboot_events[seen_reboots..] {
+            trace.record(TraceEvent::SchedulerReboot {
+                source: event.source.clone(),
+                due_ms: event.due_ms,
+                error: event.error.clone(),
+            });
+        }
+        seen_reboots = state.scheduler.stats.reboot_events.len();
+
+        // Dedup whole reports by combined content hash, then ingest the
+        // batch through the deterministic sequential pipeline.
+        let mut batch = Vec::new();
+        let mut newly_ingested = Vec::new();
+        for (source, key, hash, pages) in group_reports(fired.reports) {
+            if !state.ingested.insert(hash) {
+                skipped_duplicates += 1;
+                continue;
+            }
+            newly_ingested.push((hash, source, key));
+            batch.extend(pages);
+        }
+        if !batch.is_empty() {
+            let out = run_sequential(
+                batch,
+                &registry,
+                &extractor,
+                std::mem::take(&mut state.connector),
+                &system.pipeline,
+            );
+            state.connector = out.connector;
+            absorb_metrics(&mut metrics, &out.metrics);
+            reports_ingested += out.metrics.connected;
+        }
+
+        for (content_hash, source, report_key) in newly_ingested {
+            journal.append(&JournalRecord::Ingested {
+                content_hash,
+                source,
+                report_key,
+            })?;
+        }
+        journal.append(&JournalRecord::Cycle {
+            source: fired.source,
+            due_ms: fired.due_ms,
+            new_reports: fired.new_reports,
+            pages_fetched: fired.pages_fetched,
+            error: fired.error,
+        })?;
+
+        state.cycles_done += 1;
+        cycles_run += 1;
+        if opts.snapshot_every_cycles > 0 && state.cycles_done % opts.snapshot_every_cycles == 0 {
+            state.snapshot_seq += 1;
+            write_snapshot(dir, &state, &mut journal, &trace)?;
+        }
+    }
+
+    // Seal the run with a final snapshot (unless this call was a pure no-op
+    // resume of an already-complete directory).
+    if cycles_run > 0 || state.snapshot_seq == 0 {
+        state.snapshot_seq += 1;
+        write_snapshot(dir, &state, &mut journal, &trace)?;
+    }
+
+    Ok(DurableReport {
+        cycles_run,
+        reports_ingested,
+        records_appended: journal.records_written() - records_at_start,
+        skipped_duplicates,
+        kg_digest: graph_digest(&state.connector.graph)?,
+        resumed_from_snapshot: resumed_from,
+        replayed_records,
+        torn_tail,
+        stats: state.scheduler.stats.clone(),
+        metrics,
+        trace,
+    })
+}

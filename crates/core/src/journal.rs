@@ -1,0 +1,419 @@
+//! Durable, append-only ingest journal with torn-tail tolerance.
+//!
+//! The journal is the audit trail of a durable ingestion run (see
+//! [`crate::durable`]): one record per crawl cycle, one per ingested report
+//! (keyed by content hash), and a marker per persisted KG snapshot. The
+//! format is length-prefixed and checksummed so a reader can always tell a
+//! complete record from the torn tail a crash leaves behind:
+//!
+//! ```text
+//! [8-byte magic "KGJOURN1"]
+//! repeat:
+//!   [u32 LE payload length][u64 LE FNV-1a of payload][payload: JSON record]
+//! ```
+//!
+//! Replay stops at the first frame whose length, checksum or JSON does not
+//! check out and reports how many clean bytes precede it; re-opening for
+//! append truncates the torn tail away. Records are *facts about the past*,
+//! never instructions: recovery correctness comes from the snapshot sidecars
+//! the `Snapshot` markers point at (see DESIGN.md "Failure model & recovery").
+
+use kg_ir::fnv1a64;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// First bytes of every journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"KGJOURN1";
+
+/// Frame header size: u32 length + u64 checksum.
+const FRAME_HEADER: usize = 4 + 8;
+
+/// Upper bound on a single payload; anything larger is treated as torn
+/// (a corrupt length prefix would otherwise ask us to allocate garbage).
+const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A scheduler cycle fired for a source.
+    Cycle {
+        source: String,
+        /// When the job fired (simulated ms).
+        due_ms: u64,
+        new_reports: usize,
+        pages_fetched: usize,
+        /// Abort cause, if the cycle aborted.
+        error: Option<String>,
+    },
+    /// One whole report entered the knowledge graph.
+    Ingested {
+        /// Order-sensitive combined hash of all page bodies.
+        content_hash: u64,
+        source: String,
+        report_key: String,
+    },
+    /// A KG snapshot sidecar `snapshot-<seq>.json` was durably written
+    /// (tmp+rename) *before* this marker was appended, so the marker's
+    /// presence implies the sidecar is complete.
+    Snapshot {
+        seq: u64,
+        /// Scheduler cycles completed at snapshot time.
+        cycles_done: u64,
+        /// FNV-1a digest of the serialized graph at snapshot time.
+        kg_digest: u64,
+    },
+}
+
+/// Journal failure modes.
+#[derive(Debug)]
+pub enum JournalError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+    /// The file exists but does not start with [`JOURNAL_MAGIC`].
+    BadHeader,
+    /// A test-configured crash point fired (see [`Journal::set_crash_after`]).
+    InjectedCrash,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Serde(e) => write!(f, "journal encoding error: {e}"),
+            JournalError::BadHeader => write!(f, "journal header is not {JOURNAL_MAGIC:?}"),
+            JournalError::InjectedCrash => write!(f, "injected crash point reached"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for JournalError {
+    fn from(e: serde_json::Error) -> Self {
+        JournalError::Serde(e)
+    }
+}
+
+/// Outcome of replaying a journal file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every intact record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Whether trailing bytes had to be discarded (torn tail).
+    pub torn_tail: bool,
+    /// Clean prefix length in bytes (header + intact frames); re-opening for
+    /// append truncates the file to this length.
+    pub clean_len: u64,
+}
+
+impl Replay {
+    /// The last snapshot marker in the clean prefix, if any.
+    pub fn last_snapshot(&self) -> Option<(u64, u64, u64)> {
+        self.records.iter().rev().find_map(|r| match r {
+            JournalRecord::Snapshot {
+                seq,
+                cycles_done,
+                kg_digest,
+            } => Some((*seq, *cycles_done, *kg_digest)),
+            _ => None,
+        })
+    }
+
+    /// All snapshot markers in the clean prefix, oldest first.
+    pub fn snapshots(&self) -> Vec<(u64, u64, u64)> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Snapshot {
+                    seq,
+                    cycles_done,
+                    kg_digest,
+                } => Some((*seq, *cycles_done, *kg_digest)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Replay a journal from disk, tolerating a torn tail.
+pub fn replay(path: &Path) -> Result<Replay, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(JournalError::BadHeader);
+    }
+    let mut records = Vec::new();
+    let mut offset = JOURNAL_MAGIC.len();
+    let mut torn_tail = false;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < FRAME_HEADER {
+            torn_tail = true;
+            break;
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let checksum = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        if len > MAX_PAYLOAD || rest.len() < FRAME_HEADER + len {
+            torn_tail = true;
+            break;
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if fnv1a64(payload) != checksum {
+            torn_tail = true;
+            break;
+        }
+        match serde_json::from_slice::<JournalRecord>(payload) {
+            Ok(record) => records.push(record),
+            Err(_) => {
+                torn_tail = true;
+                break;
+            }
+        }
+        offset += FRAME_HEADER + len;
+    }
+    Ok(Replay {
+        records,
+        torn_tail,
+        clean_len: offset as u64,
+    })
+}
+
+/// An open journal, ready to append.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records_written: u64,
+    crash_after: Option<u64>,
+    crash_torn: bool,
+}
+
+impl Journal {
+    /// Create a fresh journal (truncating anything at `path`).
+    pub fn create(path: &Path) -> Result<Self, JournalError> {
+        let mut file = File::create(path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.flush()?;
+        Ok(Journal {
+            file,
+            path: path.to_owned(),
+            records_written: 0,
+            crash_after: None,
+            crash_torn: false,
+        })
+    }
+
+    /// Re-open an existing journal for append after [`replay`]: the torn
+    /// tail (if any) is truncated away so new frames extend the clean prefix.
+    pub fn open_after_replay(path: &Path, replay: &Replay) -> Result<Self, JournalError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(replay.clean_len)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Journal {
+            file,
+            path: path.to_owned(),
+            records_written: replay.records.len() as u64,
+            crash_after: None,
+            crash_torn: false,
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended over this journal's lifetime (including replayed
+    /// ones when opened after replay).
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Arm an injected crash: the append that would write record number
+    /// `record_count + 1` (1-based over the file's lifetime) fails with
+    /// [`JournalError::InjectedCrash`] instead. With `torn`, the doomed
+    /// append first writes a partial frame — the torn tail a real mid-write
+    /// crash leaves.
+    pub fn set_crash_after(&mut self, record_count: u64, torn: bool) {
+        self.crash_after = Some(record_count);
+        self.crash_torn = torn;
+    }
+
+    /// Append one record: length-prefixed, checksummed, flushed.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let payload = serde_json::to_vec(record)?;
+        if let Some(limit) = self.crash_after {
+            if self.records_written >= limit {
+                if self.crash_torn {
+                    // Die mid-write: a frame header promising more payload
+                    // than ever arrives.
+                    let mut torn = Vec::new();
+                    torn.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    torn.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+                    torn.extend_from_slice(&payload[..payload.len() / 2]);
+                    self.file.write_all(&torn)?;
+                    self.file.flush()?;
+                }
+                return Err(JournalError::InjectedCrash);
+            }
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.records_written += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kg-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Cycle {
+                source: "securelist".into(),
+                due_ms: 1_500_000_000_000,
+                new_reports: 3,
+                pages_fetched: 7,
+                error: None,
+            },
+            JournalRecord::Ingested {
+                content_hash: 0xDEAD_BEEF,
+                source: "securelist".into(),
+                report_key: "r0".into(),
+            },
+            JournalRecord::Snapshot {
+                seq: 1,
+                cycles_done: 1,
+                kg_digest: 42,
+            },
+            JournalRecord::Cycle {
+                source: "talos-intel".into(),
+                due_ms: 1_500_000_100_000,
+                new_reports: 0,
+                pages_fetched: 1,
+                error: Some("aborted after 10 hard fetch failures".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_record_kinds() {
+        let path = tmp("roundtrip");
+        let mut journal = Journal::create(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        let replay = replay(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records, sample_records());
+        assert_eq!(replay.last_snapshot(), Some((1, 1, 42)));
+        assert_eq!(replay.snapshots(), vec![(1, 1, 42)]);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_truncated_on_reopen() {
+        let path = tmp("torn");
+        let mut journal = Journal::create(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        // Simulate a crash mid-write: append half a frame of garbage.
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[0x77, 0x02, 0x00, 0x00, 0xAB, 0xCD])
+            .unwrap();
+        drop(file);
+
+        let first = replay(&path).unwrap();
+        assert!(first.torn_tail);
+        assert_eq!(first.records, sample_records());
+        assert_eq!(first.clean_len, clean_len);
+
+        // Re-open, truncating the tail, and keep appending.
+        let mut journal = Journal::open_after_replay(&path, &first).unwrap();
+        assert_eq!(journal.records_written(), 4);
+        journal
+            .append(&JournalRecord::Snapshot {
+                seq: 2,
+                cycles_done: 2,
+                kg_digest: 43,
+            })
+            .unwrap();
+        let second = replay(&path).unwrap();
+        assert!(!second.torn_tail);
+        assert_eq!(second.records.len(), 5);
+        assert_eq!(second.last_snapshot(), Some((2, 2, 43)));
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay_at_the_bad_frame() {
+        let path = tmp("checksum");
+        let mut journal = Journal::create(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        drop(journal);
+        // Flip a byte inside the last frame's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = replay(&path).unwrap();
+        assert!(replay.torn_tail);
+        assert_eq!(replay.records.len(), 3);
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        let path = tmp("header");
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        assert!(matches!(replay(&path), Err(JournalError::BadHeader)));
+        assert!(matches!(
+            replay(&path.with_extension("missing")),
+            Err(JournalError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn injected_crash_fires_on_the_chosen_append() {
+        let path = tmp("crash");
+        let mut journal = Journal::create(&path).unwrap();
+        journal.set_crash_after(2, true);
+        let records = sample_records();
+        journal.append(&records[0]).unwrap();
+        journal.append(&records[1]).unwrap();
+        let err = journal.append(&records[2]).unwrap_err();
+        assert!(matches!(err, JournalError::InjectedCrash));
+        drop(journal);
+        // The file holds two clean records plus a torn half-frame.
+        let after = replay(&path).unwrap();
+        assert!(after.torn_tail);
+        assert_eq!(after.records, records[..2].to_vec());
+    }
+}

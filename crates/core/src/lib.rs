@@ -29,8 +29,10 @@
 //! let _ = hits; // tiny corpora may or may not mention the demo malware
 //! ```
 
+pub mod durable;
 pub mod evalx;
 pub mod explorer;
+pub mod journal;
 pub mod quality;
 pub mod snapshot;
 pub mod stix;
@@ -51,14 +53,18 @@ pub use kg_ontology as ontology;
 pub use kg_pipeline as pipeline;
 pub use kg_search as search;
 
+pub use durable::{
+    graph_digest, run_durable, DurableOptions, DurableReport, SnapshotPayload, DEFAULT_START_MS,
+};
 pub use evalx::{evaluate_ner, evaluate_relations, ExtractionScores};
 pub use explorer::{Explorer, ViewNode, ViewSnapshot};
+pub use journal::{replay, Journal, JournalError, JournalRecord, Replay};
 pub use quality::{source_quality, QualityReport, VendorQuality};
 pub use snapshot::KnowledgeBase;
 pub use stix::{export_bundle, import_bundle};
 pub use train::{collect_gold, train_ner, LabelSource, TrainedNer, TrainingConfig};
 
-use kg_corpus::{standard_sources, SimulatedWeb, World, WorldConfig};
+use kg_corpus::{standard_sources, FaultProfile, SimulatedWeb, World, WorldConfig};
 use kg_crawler::{crawl_all, CrawlMetrics, CrawlState, CrawlerConfig};
 use kg_fusion::{FusionConfig, FusionReport};
 use kg_graph::{GraphStore, NodeId};
@@ -78,6 +84,9 @@ pub struct SystemConfig {
     pub articles_per_source: usize,
     /// Web / generation seed.
     pub seed: u64,
+    /// Injected fault rates layered on the simulated web (quiet by default;
+    /// chaos runs turn them up).
+    pub faults: FaultProfile,
     pub crawler: CrawlerConfig,
     pub pipeline: PipelineConfig,
     pub training: TrainingConfig,
@@ -90,11 +99,33 @@ impl Default for SystemConfig {
             world: WorldConfig::default(),
             articles_per_source: 40,
             seed: 0x5ec_417,
+            faults: FaultProfile::default(),
             crawler: CrawlerConfig::default(),
             pipeline: PipelineConfig::default(),
             training: TrainingConfig::default(),
             fusion: FusionConfig::default(),
         }
+    }
+}
+
+/// The gazetteer baseline extractor (IOC scanner + exact matching over the
+/// curated lists) for a given web — shared by [`SecurityKg`] and the durable
+/// ingest driver, which needs extraction without CRF training.
+pub(crate) fn gazetteer_extractor(
+    web: &SimulatedWeb,
+    training: &TrainingConfig,
+) -> IocOnlyExtractor {
+    let curated = web
+        .world()
+        .curated_lists(training.lf_coverage, training.seed);
+    IocOnlyExtractor {
+        baseline: Arc::new(kg_extract::RegexNerBaseline::new(vec![
+            (kg_ontology::EntityKind::Malware, curated.malware),
+            (kg_ontology::EntityKind::ThreatActor, curated.actors),
+            (kg_ontology::EntityKind::Technique, curated.techniques),
+            (kg_ontology::EntityKind::Tool, curated.tools),
+            (kg_ontology::EntityKind::Software, curated.software),
+        ])),
     }
 }
 
@@ -126,10 +157,11 @@ impl SecurityKg {
     /// graph.
     pub fn bootstrap(config: &SystemConfig) -> Self {
         let world = World::generate(config.world.clone());
-        let web = SimulatedWeb::new(
+        let web = SimulatedWeb::with_faults(
             world,
             standard_sources(config.articles_per_source),
             config.seed,
+            config.faults,
         );
         let trained = train_ner(&web, &config.training);
         let mut pipeline = trained.into_pipeline();
@@ -152,10 +184,11 @@ impl SecurityKg {
     /// and as the E3 baseline system.
     pub fn bootstrap_without_ner(config: &SystemConfig) -> Self {
         let world = World::generate(config.world.clone());
-        let web = SimulatedWeb::new(
+        let web = SimulatedWeb::with_faults(
             world,
             standard_sources(config.articles_per_source),
             config.seed,
+            config.faults,
         );
         SecurityKg {
             config: config.clone(),
@@ -171,19 +204,7 @@ impl SecurityKg {
 
     /// The gazetteer baseline extractor over this web's curated lists.
     fn baseline_extractor(&self) -> IocOnlyExtractor {
-        let curated = self
-            .web
-            .world()
-            .curated_lists(self.config.training.lf_coverage, self.config.training.seed);
-        IocOnlyExtractor {
-            baseline: Arc::new(kg_extract::RegexNerBaseline::new(vec![
-                (kg_ontology::EntityKind::Malware, curated.malware),
-                (kg_ontology::EntityKind::ThreatActor, curated.actors),
-                (kg_ontology::EntityKind::Technique, curated.techniques),
-                (kg_ontology::EntityKind::Tool, curated.tools),
-                (kg_ontology::EntityKind::Software, curated.software),
-            ])),
-        }
+        gazetteer_extractor(&self.web, &self.config.training)
     }
 
     /// The simulated web (for experiments needing ground truth).

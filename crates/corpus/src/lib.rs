@@ -31,7 +31,7 @@ pub use article::ArticleGenerator;
 pub use rng::Rng;
 pub use source::{standard_sources, SourceKind, SourceSpec, TemplateStyle};
 pub use truth::{bio_tags, GoldMention, GoldRelation, GoldReport, TextBuilder};
-pub use web::{FetchResponse, SimulatedWeb};
+pub use web::{FaultProfile, FetchResponse, SimulatedWeb, BODY_TERMINATOR};
 pub use world::{ActorProfile, CuratedLists, MalwareProfile, World, WorldConfig};
 
 /// Convenience constructor: a complete simulated web with the standard 42

@@ -12,6 +12,58 @@ use crate::source::{self, SourceSpec};
 use crate::truth::GoldReport;
 use crate::world::World;
 use kg_ir::FetchStatus;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic fault-injection knobs layered on top of each source's
+/// built-in transient failure rate. All rates default to zero, so a plain
+/// [`SimulatedWeb::new`] behaves exactly as before; the chaos harness turns
+/// them up via [`SimulatedWeb::with_faults`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability a fetch is answered with 429 + Retry-After.
+    #[serde(default)]
+    pub rate_limit_rate: f64,
+    /// Retry-After the simulated servers attach to a 429.
+    #[serde(default)]
+    pub retry_after_ms: u64,
+    /// Probability a successful body arrives cut off mid-transfer (the
+    /// closing `</html>` never arrives).
+    #[serde(default)]
+    pub truncate_rate: f64,
+    /// Probability a successful article body is structurally mangled while
+    /// still arriving complete (unclosed tags, zeroed pager totals).
+    #[serde(default)]
+    pub malform_rate: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            rate_limit_rate: 0.0,
+            retry_after_ms: 2_000,
+            truncate_rate: 0.0,
+            malform_rate: 0.0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// Elevated rates for chaos testing: roughly one fetch in four is
+    /// degraded somehow.
+    pub fn chaos() -> Self {
+        FaultProfile {
+            rate_limit_rate: 0.10,
+            retry_after_ms: 2_000,
+            truncate_rate: 0.08,
+            malform_rate: 0.10,
+        }
+    }
+
+    /// True when every rate is zero (the profile injects nothing).
+    pub fn is_quiet(&self) -> bool {
+        self.rate_limit_rate == 0.0 && self.truncate_rate == 0.0 && self.malform_rate == 0.0
+    }
+}
 
 /// The outcome of one simulated fetch.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,16 +82,34 @@ pub struct SimulatedWeb {
     world: World,
     sources: Vec<SourceSpec>,
     seed: u64,
+    faults: FaultProfile,
 }
 
 impl SimulatedWeb {
-    /// Build a web over a world with the given sources.
+    /// Build a web over a world with the given sources (no injected faults
+    /// beyond each source's own transient failure rate).
     pub fn new(world: World, sources: Vec<SourceSpec>, seed: u64) -> Self {
+        Self::with_faults(world, sources, seed, FaultProfile::default())
+    }
+
+    /// Build a web with an explicit fault profile layered on every source.
+    pub fn with_faults(
+        world: World,
+        sources: Vec<SourceSpec>,
+        seed: u64,
+        faults: FaultProfile,
+    ) -> Self {
         SimulatedWeb {
             world,
             sources,
             seed,
+            faults,
         }
+    }
+
+    /// The active fault profile.
+    pub fn faults(&self) -> &FaultProfile {
+        &self.faults
     }
 
     /// The source registry.
@@ -141,13 +211,36 @@ impl SimulatedWeb {
             };
         }
 
+        // Injected fault draws, on a separate stream so the profile being
+        // quiet leaves every pre-existing draw untouched. Keyed on the same
+        // time window as failures: immediate retries hit the same fault,
+        // backed-off retries usually clear it.
+        let mut chaos_rng =
+            Rng::new(self.seed ^ kg_ir::fnv1a64(url.as_bytes())).derive_idx("chaos", now_ms >> 12);
+        if chaos_rng.chance(self.faults.rate_limit_rate) {
+            return FetchResponse {
+                status: FetchStatus::RateLimited {
+                    retry_after_ms: self.faults.retry_after_ms,
+                },
+                body: String::new(),
+                latency_ms,
+            };
+        }
+
         let body = self.render_path(spec, path, now_ms);
         match body {
-            Some(b) => FetchResponse {
-                status: FetchStatus::Ok,
-                body: b,
-                latency_ms,
-            },
+            Some(mut b) => {
+                if chaos_rng.chance(self.faults.truncate_rate) {
+                    truncate_body(&mut b, &mut chaos_rng);
+                } else if chaos_rng.chance(self.faults.malform_rate) {
+                    b = malform_body(b, &mut chaos_rng);
+                }
+                FetchResponse {
+                    status: FetchStatus::Ok,
+                    body: b,
+                    latency_ms,
+                }
+            }
             None => FetchResponse {
                 status: FetchStatus::NotFound,
                 body: String::new(),
@@ -206,6 +299,49 @@ impl SimulatedWeb {
             .collect();
         let has_next = published > start + keys.len();
         source::render_index(spec, &keys, has_next)
+    }
+}
+
+/// Every rendered page ends with this terminator; a truncated transfer is
+/// detectable by its absence.
+pub const BODY_TERMINATOR: &str = "</html>";
+
+/// Cut a body off mid-transfer. The cut point lands in the middle half of the
+/// body and always removes the closing `</body>\n</html>\n`, which is how the
+/// crawler detects the truncation.
+fn truncate_body(body: &mut String, rng: &mut Rng) {
+    let keep_at_most = body.len().saturating_sub(BODY_TERMINATOR.len() + 9);
+    let mut cut = (body.len() / 4 + rng.below(body.len() / 2 + 1)).min(keep_at_most);
+    while cut > 0 && !body.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    body.truncate(cut);
+}
+
+/// Structurally mangle a body while keeping it "complete" (the terminator
+/// survives, so the crawler ships it downstream instead of retrying). The
+/// parser and checker stages must cope.
+fn malform_body(body: String, rng: &mut Rng) -> String {
+    match rng.below(3) {
+        // Unclosed tags spliced in before the content div.
+        0 => body.replacen(
+            "<div class=\"content\">",
+            "<div class=\"torn\"><span><div class=\"content\">",
+            1,
+        ),
+        // Pager total zeroed out (claims the report spans zero pages).
+        1 if body.contains("data-total=\"") => {
+            let mut out = body;
+            if let Some(start) = out.find("data-total=\"") {
+                let value_start = start + "data-total=\"".len();
+                if let Some(len) = out[value_start..].find('"') {
+                    out.replace_range(value_start..value_start + len, "0");
+                }
+            }
+            out
+        }
+        // Stray closing tags jammed in before the end of the document.
+        _ => body.replacen("</body>", "</p></td></body>", 1),
     }
 }
 
@@ -341,6 +477,93 @@ mod tests {
             }
         }
         panic!("no multipage article found");
+    }
+
+    fn chaos_web() -> SimulatedWeb {
+        SimulatedWeb::with_faults(
+            World::generate(WorldConfig::tiny(1)),
+            standard_sources(30),
+            7,
+            FaultProfile::chaos(),
+        )
+    }
+
+    #[test]
+    fn quiet_profile_changes_nothing() {
+        let plain = web();
+        let quiet = SimulatedWeb::with_faults(
+            World::generate(WorldConfig::tiny(1)),
+            standard_sources(30),
+            7,
+            FaultProfile::default(),
+        );
+        assert!(quiet.faults().is_quiet());
+        for spec in plain.sources().iter().take(8) {
+            for page in [spec.index_url(0), spec.article_url("r0", 1)] {
+                assert_eq!(plain.fetch(&page, FOREVER), quiet.fetch(&page, FOREVER));
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_profile_injects_each_fault_kind() {
+        let web = chaos_web();
+        let (mut rate_limited, mut truncated, mut malformed) = (0usize, 0usize, 0usize);
+        for spec in web.sources() {
+            for i in 0..spec.article_count.min(20) {
+                let url = spec.article_url(&format!("r{i}"), 1);
+                let resp = web.fetch(&url, FOREVER);
+                match resp.status {
+                    FetchStatus::RateLimited { retry_after_ms } => {
+                        assert_eq!(retry_after_ms, web.faults().retry_after_ms);
+                        assert!(resp.body.is_empty());
+                        rate_limited += 1;
+                    }
+                    FetchStatus::Ok if !resp.body.contains(BODY_TERMINATOR) => truncated += 1,
+                    FetchStatus::Ok
+                        if resp.body.contains("class=\"torn\"")
+                            || resp.body.contains("data-total=\"0\"")
+                            || resp.body.contains("</p></td></body>") =>
+                    {
+                        assert!(resp.body.ends_with("</html>\n"));
+                        malformed += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(rate_limited > 0, "no rate limits injected");
+        assert!(truncated > 0, "no truncations injected");
+        assert!(malformed > 0, "no malformations injected");
+    }
+
+    #[test]
+    fn injected_faults_clear_in_later_windows() {
+        let web = chaos_web();
+        let spec = web.sources()[0].clone();
+        for i in 0..spec.article_count.min(30) {
+            let url = spec.article_url(&format!("r{i}"), 1);
+            let mut t = FOREVER;
+            let mut clean = false;
+            for _ in 0..60 {
+                let resp = web.fetch(&url, t);
+                if resp.status == FetchStatus::Ok && resp.body.contains(BODY_TERMINATOR) {
+                    clean = true;
+                    break;
+                }
+                t += 1 << 13; // next fault window
+            }
+            assert!(clean, "article {i} never served a complete body");
+        }
+    }
+
+    #[test]
+    fn faulty_fetch_is_still_deterministic() {
+        let web = chaos_web();
+        for spec in web.sources().iter().take(6) {
+            let url = spec.article_url("r1", 1);
+            assert_eq!(web.fetch(&url, 123_456), web.fetch(&url, 123_456));
+        }
     }
 
     #[test]

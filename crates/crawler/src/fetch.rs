@@ -2,8 +2,8 @@
 
 use crate::state::SourceState;
 use crate::CrawlerConfig;
-use kg_corpus::{SimulatedWeb, SourceSpec};
-use kg_ir::{FetchStatus, RawReport};
+use kg_corpus::{SimulatedWeb, SourceSpec, BODY_TERMINATOR};
+use kg_ir::{combine_hashes, fnv1a64, fnv1a64_extend, FetchStatus, RawReport};
 use std::fmt;
 
 /// Why a source crawl aborted.
@@ -35,6 +35,10 @@ pub struct SourceOutcome {
     pub pages_fetched: usize,
     /// Transient failures retried.
     pub retries: usize,
+    /// 429 responses whose Retry-After was honored.
+    pub rate_limited: usize,
+    /// Bodies that arrived cut off (no closing terminator) and were refetched.
+    pub truncated: usize,
     /// Fetches that stayed failed after all retries.
     pub hard_failures: usize,
     /// Total simulated latency accumulated (virtual milliseconds).
@@ -43,7 +47,35 @@ pub struct SourceOutcome {
     pub error: Option<CrawlError>,
 }
 
-/// Fetch a URL with retry + exponential backoff. Returns the body if OK.
+/// Whether a 200-class body actually arrived whole: every rendered page ends
+/// with the document terminator, so its absence means the transfer was cut.
+fn body_is_complete(body: &str) -> bool {
+    body.trim_end().ends_with(BODY_TERMINATOR)
+}
+
+/// Exponential backoff wait for retry `attempt`: saturating doubling of
+/// `backoff_base_ms` capped at `backoff_cap_ms`, plus a deterministic jitter
+/// (up to a quarter of the wait) derived from the URL and attempt number so
+/// synchronized crawlers fan out without sharing an RNG.
+fn backoff_delay(url: &str, attempt: u32, config: &CrawlerConfig) -> u64 {
+    let cap = config.backoff_cap_ms.max(config.backoff_base_ms).max(1);
+    let mut delay = config.backoff_base_ms.max(1);
+    for _ in 0..attempt {
+        delay = delay.saturating_mul(2);
+        if delay >= cap {
+            delay = cap;
+            break;
+        }
+    }
+    let span = (delay / 4).max(1);
+    let draw = fnv1a64_extend(fnv1a64(url.as_bytes()), &attempt.to_le_bytes());
+    delay.saturating_add(draw % span)
+}
+
+/// Fetch a URL with retry + capped, jittered exponential backoff. A 429's
+/// Retry-After overrides the exponential schedule; a body missing its
+/// terminator counts as a truncated transfer and is refetched. Returns the
+/// body if OK and complete.
 fn fetch_with_retry(
     web: &SimulatedWeb,
     url: &str,
@@ -57,21 +89,36 @@ fn fetch_with_retry(
         outcome.virtual_ms += resp.latency_ms;
         *now_ms += resp.latency_ms;
         dilate(resp.latency_ms, config);
-        match resp.status {
-            FetchStatus::Ok => return Some(resp.body),
+        let retries_left = attempt < config.max_retries;
+        let wait = match resp.status {
+            FetchStatus::Ok if body_is_complete(&resp.body) => return Some(resp.body),
             FetchStatus::NotFound => return None,
-            s if s.is_retryable() && attempt < config.max_retries => {
-                let backoff = config.backoff_base_ms << attempt;
-                outcome.retries += 1;
-                outcome.virtual_ms += backoff;
-                *now_ms += backoff;
-                dilate(backoff, config);
+            FetchStatus::Ok => {
+                // Truncated transfer: retry like a transient failure.
+                if !retries_left {
+                    outcome.hard_failures += 1;
+                    return None;
+                }
+                outcome.truncated += 1;
+                backoff_delay(url, attempt, config)
             }
+            FetchStatus::RateLimited { retry_after_ms } if retries_left => {
+                // Honor the server's Retry-After instead of our own schedule
+                // (still jittered so a throttled fleet doesn't re-stampede).
+                outcome.rate_limited += 1;
+                let jitter = fnv1a64_extend(fnv1a64(url.as_bytes()), &attempt.to_le_bytes()) % 128;
+                retry_after_ms.saturating_add(jitter)
+            }
+            s if s.is_retryable() && retries_left => backoff_delay(url, attempt, config),
             _ => {
                 outcome.hard_failures += 1;
                 return None;
             }
-        }
+        };
+        outcome.retries += 1;
+        outcome.virtual_ms += wait;
+        *now_ms += wait;
+        dilate(wait, config);
     }
     None
 }
@@ -105,6 +152,8 @@ pub fn index_has_next(body: &str) -> bool {
 }
 
 /// Extract the total page count from a multi-page article's pager div.
+/// Clamped to ≥ 1: a malformed pager (`data-total="0"`, unparsable or
+/// missing) must never yield a report claiming zero pages.
 pub fn parse_total_pages(body: &str) -> u32 {
     body.find("data-total=\"")
         .and_then(|pos| {
@@ -112,6 +161,7 @@ pub fn parse_total_pages(body: &str) -> u32 {
             after.find('"').and_then(|end| after[..end].parse().ok())
         })
         .unwrap_or(1)
+        .max(1)
 }
 
 /// Crawl one source incrementally: walk index pages newest-first, fetch every
@@ -182,6 +232,11 @@ pub fn crawl_source(
                 // Leave unseen: the next cycle retries the whole article.
                 continue;
             }
+            // Fingerprint the whole report, not just its last page: combine
+            // the per-page body hashes order-sensitively so a change to any
+            // page (or a page-order anomaly) is detected on re-crawl.
+            let report_hash = combine_hashes(pages.iter().map(|(_, b)| fnv1a64(b.as_bytes())));
+            state.content_hashes.insert(key.clone(), report_hash);
             for (page, body) in pages {
                 let raw = RawReport {
                     source: spec.id,
@@ -194,7 +249,6 @@ pub fn crawl_source(
                     body,
                     fetched_at_ms: now_ms,
                 };
-                state.content_hashes.insert(key.clone(), raw.content_hash());
                 outcome.reports.push(raw);
             }
             state.seen.insert(key.clone());
@@ -337,6 +391,134 @@ mod tests {
             *counts.entry(&r.report_key).or_insert(0) += 1;
         }
         assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn pager_clamps_to_at_least_one_page() {
+        // `data-total="0"` (a malformed pager the chaos profile injects) must
+        // not produce a report claiming zero pages.
+        assert_eq!(
+            parse_total_pages("<div data-page=\"1\" data-total=\"0\"></div>"),
+            1
+        );
+        assert_eq!(parse_total_pages("<div data-total=\"\"></div>"), 1);
+        assert_eq!(parse_total_pages("<div data-total=\"-3\"></div>"), 1);
+        assert_eq!(parse_total_pages("<div data-total=\"seven\"></div>"), 1);
+        assert_eq!(parse_total_pages("<div data-total=\"4"), 1); // unterminated
+        assert_eq!(parse_total_pages("<div data-total=\"3\"></div>"), 3);
+    }
+
+    #[test]
+    fn backoff_saturates_at_cap_and_never_overflows() {
+        let config = CrawlerConfig {
+            backoff_base_ms: 200,
+            backoff_cap_ms: 5_000,
+            ..CrawlerConfig::default()
+        };
+        let url = "https://securelist.example/reports/r0";
+        for attempt in 0..256 {
+            let d = backoff_delay(url, attempt, &config);
+            assert!(d >= 200, "attempt {attempt}: {d}");
+            assert!(d <= 5_000 + 5_000 / 4, "attempt {attempt}: {d}");
+        }
+        // The old `base << attempt` panicked (debug) or wrapped here.
+        assert!(backoff_delay(url, 200, &config) >= 5_000);
+        // Deterministic, and jitter varies by URL.
+        assert_eq!(
+            backoff_delay(url, 7, &config),
+            backoff_delay(url, 7, &config)
+        );
+        assert_ne!(
+            backoff_delay(url, 7, &config),
+            backoff_delay("https://other.example/reports/r0", 7, &config)
+        );
+    }
+
+    #[test]
+    fn rate_limits_are_honored_and_counted() {
+        use kg_corpus::FaultProfile;
+        let web = SimulatedWeb::with_faults(
+            World::generate(WorldConfig::tiny(3)),
+            standard_sources(25),
+            11,
+            FaultProfile {
+                rate_limit_rate: 0.4,
+                retry_after_ms: 5_000, // past the fault window, so retries clear
+                ..FaultProfile::default()
+            },
+        );
+        let spec = web.sources()[0].clone(); // no intrinsic failures
+        let mut state = SourceState::default();
+        let out = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), FOREVER);
+        assert!(out.rate_limited > 0, "no 429s observed: {out:?}");
+        // Waiting out Retry-After recovers most of the catalog.
+        assert!(
+            out.new_reports as f64 >= spec.article_count as f64 * 0.8,
+            "{} of {}",
+            out.new_reports,
+            spec.article_count
+        );
+    }
+
+    #[test]
+    fn truncated_bodies_are_refetched_never_delivered() {
+        use kg_corpus::FaultProfile;
+        let web = SimulatedWeb::with_faults(
+            World::generate(WorldConfig::tiny(3)),
+            standard_sources(25),
+            11,
+            FaultProfile {
+                truncate_rate: 0.5,
+                ..FaultProfile::default()
+            },
+        );
+        let spec = web.sources()[0].clone();
+        let mut state = SourceState::default();
+        let config = CrawlerConfig {
+            backoff_base_ms: 6_000, // push retries into the next fault window
+            ..CrawlerConfig::default()
+        };
+        let out = crawl_source(&web, &spec, &mut state, &config, FOREVER);
+        assert!(out.truncated > 0, "no truncations observed: {out:?}");
+        for report in &out.reports {
+            assert!(
+                report.body.trim_end().ends_with("</html>"),
+                "truncated body delivered: {}",
+                report.url
+            );
+        }
+    }
+
+    #[test]
+    fn multipage_content_hash_covers_every_page() {
+        let web = web();
+        let spec = web
+            .sources()
+            .iter()
+            .find(|s| {
+                s.multipage_prob > 0.0
+                    && s.failure_rate == 0.0
+                    && (0..s.article_count).any(|i| web.page_count(s, i) == 2 && !web.is_ad(s, i))
+            })
+            .expect("some source with a multipage article")
+            .clone();
+        let mut state = SourceState::default();
+        let out = crawl_source(&web, &spec, &mut state, &CrawlerConfig::default(), FOREVER);
+        let key = out
+            .reports
+            .iter()
+            .find(|r| r.total_pages == Some(2))
+            .map(|r| r.report_key.clone())
+            .expect("a multipage report");
+        let mut pages: Vec<&RawReport> =
+            out.reports.iter().filter(|r| r.report_key == key).collect();
+        pages.sort_by_key(|r| r.page);
+        let expected = combine_hashes(pages.iter().map(|r| r.content_hash()));
+        let stored = state.content_hashes[&key];
+        assert_eq!(stored, expected);
+        // The old bug: the stored hash was just the last page's.
+        assert_ne!(stored, pages.last().unwrap().content_hash());
+        assert_ne!(stored, pages[0].content_hash());
     }
 
     #[test]

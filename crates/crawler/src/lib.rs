@@ -25,20 +25,29 @@ pub mod state;
 
 pub use fetch::{crawl_source, CrawlError, SourceOutcome};
 pub use pool::{crawl_all, CrawlMetrics};
-pub use scheduler::{RebootEvent, Scheduler, SchedulerConfig, SchedulerStats, MAX_REBOOT_EVENTS};
+pub use scheduler::{
+    Breaker, BreakerEvent, BreakerState, FiredCycle, QueueEntry, RebootEvent, Scheduler,
+    SchedulerCheckpoint, SchedulerConfig, SchedulerStats, MAX_BREAKER_EVENTS, MAX_REBOOT_EVENTS,
+};
 pub use state::{CrawlState, SourceState};
 
 use serde::{Deserialize, Serialize};
 
 /// Crawler configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrawlerConfig {
     /// Worker threads in the pool.
     pub threads: usize,
     /// Retries per fetch before counting a hard failure.
     pub max_retries: u32,
-    /// Base backoff; retry `i` waits `backoff_base_ms << i` (virtual).
+    /// Base backoff; retry `i` waits roughly `backoff_base_ms * 2^i`
+    /// (virtual), saturating at [`CrawlerConfig::backoff_cap_ms`] plus a
+    /// deterministic jitter.
     pub backoff_base_ms: u64,
+    /// Ceiling on a single backoff wait. Doubling saturates here instead of
+    /// overflowing for large retry counts.
+    #[serde(default)]
+    pub backoff_cap_ms: u64,
     /// Consecutive hard failures before a source crawl aborts (and the
     /// scheduler reboots it later).
     pub failure_budget: u32,
@@ -56,6 +65,7 @@ impl Default for CrawlerConfig {
             threads: 8,
             max_retries: 3,
             backoff_base_ms: 200,
+            backoff_cap_ms: 30_000,
             failure_budget: 10,
             time_dilation: 0.0,
             max_new_per_source: None,

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Per-source crawl state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SourceState {
     /// Report keys already fetched successfully.
     pub seen: HashSet<String>,
@@ -16,7 +16,7 @@ pub struct SourceState {
 
 /// Crawl state across all sources, keyed by source name. Serialisable so an
 /// interrupted deployment resumes instead of re-fetching 120K reports.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CrawlState {
     sources: HashMap<String, SourceState>,
 }

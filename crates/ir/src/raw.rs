@@ -15,12 +15,20 @@ pub enum FetchStatus {
     ServerError,
     /// The fetch exceeded the deadline; the scheduler should retry.
     TimedOut,
+    /// 429: the source throttled us and told us when to come back.
+    RateLimited {
+        /// Milliseconds the server asks us to wait before retrying.
+        retry_after_ms: u64,
+    },
 }
 
 impl FetchStatus {
     /// Whether a retry could plausibly succeed.
     pub fn is_retryable(self) -> bool {
-        matches!(self, FetchStatus::ServerError | FetchStatus::TimedOut)
+        matches!(
+            self,
+            FetchStatus::ServerError | FetchStatus::TimedOut | FetchStatus::RateLimited { .. }
+        )
     }
 
     /// Whether the fetch produced a usable body.
@@ -95,9 +103,26 @@ mod tests {
     fn retryability() {
         assert!(FetchStatus::ServerError.is_retryable());
         assert!(FetchStatus::TimedOut.is_retryable());
+        assert!(FetchStatus::RateLimited {
+            retry_after_ms: 750
+        }
+        .is_retryable());
         assert!(!FetchStatus::NotFound.is_retryable());
         assert!(!FetchStatus::Ok.is_retryable());
         assert!(FetchStatus::Ok.is_ok());
+    }
+
+    #[test]
+    fn rate_limited_round_trips() {
+        let mut page = raw(
+            FetchStatus::RateLimited {
+                retry_after_ms: 1_250,
+            },
+            "",
+        );
+        page.total_pages = None;
+        let back = RawReport::from_bytes(&page.to_bytes().unwrap()).unwrap();
+        assert_eq!(back, page);
     }
 
     #[test]

@@ -44,6 +44,27 @@ pub enum TraceEvent {
         due_ms: u64,
         error: String,
     },
+    /// A source's circuit breaker changed position (states rendered as
+    /// strings so the pipeline crate stays independent of the crawler).
+    BreakerTransition {
+        source: String,
+        at_ms: u64,
+        from: String,
+        to: String,
+        reason: String,
+    },
+    /// The durable ingest driver persisted a KG snapshot.
+    SnapshotTaken {
+        seq: u64,
+        cycles_done: u64,
+        kg_digest: u64,
+    },
+    /// A durable run replayed its journal on startup.
+    JournalReplayed {
+        records: usize,
+        torn_tail: bool,
+        resumed_from_snapshot: Option<u64>,
+    },
     /// A crawl-and-ingest round began.
     IngestStarted { pages: usize },
     /// A crawl-and-ingest round finished.

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bounded CLI-level chaos check: kill a durable build after a handful of
+# journal records, resume it, and demand the recovered graph digest match an
+# uninterrupted run's bit-for-bit. Also proves a chaos-fault build completes.
+# Run from anywhere; exits non-zero on the first divergence.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/debug/securitykg
+SEED=5
+ARTICLES=3
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/kg-chaos.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+cargo build -q -p securitykg-cli
+
+digest_of() { grep '^kg-digest:' "$1" | awk '{print $2}'; }
+
+echo "== uninterrupted reference run =="
+"$BIN" build --journal "$WORK/ref" --articles "$ARTICLES" --days 0 --seed "$SEED" \
+  >"$WORK/ref.out" 2>/dev/null
+REF=$(digest_of "$WORK/ref.out")
+echo "reference digest: $REF"
+
+for K in 5 20 55; do
+  echo "== kill after journal record $K, then resume =="
+  DIR="$WORK/kill-$K"
+  set +e
+  "$BIN" build --journal "$DIR" --articles "$ARTICLES" --days 0 --seed "$SEED" \
+    --crash-after-records "$K" >/dev/null 2>&1
+  CODE=$?
+  set -e
+  if [ "$CODE" -ne 9 ]; then
+    echo "FAIL: expected injected-crash exit 9, got $CODE" >&2
+    exit 1
+  fi
+  "$BIN" build --resume "$DIR" --articles "$ARTICLES" --days 0 --seed "$SEED" \
+    >"$WORK/resume-$K.out" 2>/dev/null
+  GOT=$(digest_of "$WORK/resume-$K.out")
+  if [ "$GOT" != "$REF" ]; then
+    echo "FAIL: kill at record $K recovered to $GOT, expected $REF" >&2
+    exit 1
+  fi
+  echo "recovered digest matches"
+done
+
+echo "== elevated-fault build completes =="
+"$BIN" build --journal "$WORK/chaos" --articles "$ARTICLES" --days 2 --seed "$SEED" \
+  --chaos >"$WORK/chaos.out" 2>&1
+grep -q '^kg-digest:' "$WORK/chaos.out"
+
+echo "chaos checks passed"

@@ -13,4 +13,7 @@ cargo clippy --workspace -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== chaos harness (bounded) =="
+scripts/chaos.sh
+
 echo "all checks passed"

@@ -1,0 +1,199 @@
+//! Chaos harness: crash-safety of the durable ingest driver.
+//!
+//! The core property: for a fixed seed, killing a durable run after *any*
+//! journal record and resuming must reconstruct a knowledge graph whose
+//! digest is byte-identical to the uninterrupted run's. A second battery
+//! turns the fault injectors up and checks that the pipeline accounting
+//! invariant and the breaker telemetry survive sustained failures.
+
+use securitykg::corpus::{FaultProfile, WorldConfig};
+use securitykg::crawler::{CrawlerConfig, SchedulerConfig};
+use securitykg::pipeline::TraceEvent;
+use securitykg::{run_durable, DurableOptions, DurableReport, JournalError, SystemConfig};
+use std::path::{Path, PathBuf};
+
+fn system(seed: u64, faults: FaultProfile) -> SystemConfig {
+    SystemConfig {
+        world: WorldConfig::tiny(seed),
+        articles_per_source: 2,
+        seed,
+        faults,
+        ..SystemConfig::default()
+    }
+}
+
+fn sched_config() -> SchedulerConfig {
+    SchedulerConfig {
+        breaker_threshold: 2,
+        breaker_cooldown_ms: 2 * 3_600_000,
+        ..SchedulerConfig::default()
+    }
+}
+
+fn tmp_dir(name: &str, k: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kg-chaos-{}-{name}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(dir: &Path, system: &SystemConfig, until_ms: u64, opts: &DurableOptions) -> DurableReport {
+    run_durable(system, &sched_config(), dir, until_ms, opts).expect("durable run")
+}
+
+const START: u64 = securitykg::DEFAULT_START_MS;
+
+#[test]
+fn crash_after_any_record_recovers_to_identical_digest() {
+    let system = system(7, FaultProfile::default());
+    let opts = DurableOptions {
+        snapshot_every_cycles: 5,
+        ..DurableOptions::default()
+    };
+
+    // Uninterrupted reference run.
+    let dir = tmp_dir("ref", 0);
+    let reference = run(&dir, &system, START, &opts);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(reference.cycles_run > 0);
+    assert!(reference.reports_ingested > 0);
+    let total_records = reference.records_appended;
+    assert!(
+        total_records > 20,
+        "want a journal worth killing, got {total_records}"
+    );
+
+    // Kill after each of the first records exhaustively, then stride through
+    // the rest so every region of the journal (early cycles, mid-run
+    // snapshots, the tail) gets a kill point.
+    let mut kill_points: Vec<u64> = (0..10.min(total_records)).collect();
+    kill_points.extend((10..total_records).step_by(7));
+    for k in kill_points {
+        let dir = tmp_dir("kill", k);
+        let crash = DurableOptions {
+            crash_after_records: Some(k),
+            // Every third kill leaves a torn half-written frame behind.
+            crash_torn_tail: k % 3 == 0,
+            ..opts.clone()
+        };
+        match run_durable(&system, &sched_config(), &dir, START, &crash) {
+            Err(JournalError::InjectedCrash) => {}
+            other => panic!("kill at record {k}: expected injected crash, got {other:?}"),
+        }
+        let resumed = run(&dir, &system, START, &opts);
+        assert_eq!(
+            resumed.kg_digest, reference.kg_digest,
+            "kill at record {k}: recovered digest diverged"
+        );
+        if k % 3 == 0 && k > 0 {
+            assert!(resumed.torn_tail, "kill at record {k} left a torn tail");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_is_idempotent_and_continues_the_run() {
+    let system = system(11, FaultProfile::default());
+    let opts = DurableOptions::default();
+    let horizon = START + 24 * 3_600_000;
+
+    // One uninterrupted run to the full horizon...
+    let ref_dir = tmp_dir("uninterrupted", 0);
+    let reference = run(&ref_dir, &system, horizon, &opts);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // ...versus the same horizon reached in two sittings.
+    let dir = tmp_dir("two-sittings", 0);
+    let first = run(&dir, &system, START + 6 * 3_600_000, &opts);
+    assert!(first.cycles_run > 0);
+    let second = run(&dir, &system, horizon, &opts);
+    assert!(second.resumed_from_snapshot.is_some());
+    assert_eq!(second.kg_digest, reference.kg_digest);
+
+    // A third call with nothing left to do is a no-op with the same digest.
+    let noop = run(&dir, &system, horizon, &opts);
+    assert_eq!(noop.cycles_run, 0);
+    assert_eq!(noop.kg_digest, reference.kg_digest);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_recovery_holds_under_elevated_faults() {
+    let system = system(13, FaultProfile::chaos());
+    let opts = DurableOptions {
+        snapshot_every_cycles: 16,
+        ..DurableOptions::default()
+    };
+    let horizon = START + 24 * 3_600_000;
+
+    let ref_dir = tmp_dir("chaos-ref", 0);
+    let reference = run(&ref_dir, &system, horizon, &opts);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    for k in [3, 17, 40] {
+        let dir = tmp_dir("chaos-kill", k);
+        let crash = DurableOptions {
+            crash_after_records: Some(k),
+            crash_torn_tail: k == 17,
+            ..opts.clone()
+        };
+        match run_durable(&system, &sched_config(), &dir, horizon, &crash) {
+            Err(JournalError::InjectedCrash) => {}
+            other => panic!("chaos kill at {k}: expected injected crash, got {other:?}"),
+        }
+        let resumed = run(&dir, &system, horizon, &opts);
+        assert_eq!(
+            resumed.kg_digest, reference.kg_digest,
+            "chaos kill at record {k}: recovered digest diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn elevated_faults_keep_accounting_balanced_and_surface_breakers() {
+    let system = system(17, FaultProfile::chaos());
+    let mut sched = sched_config();
+    // Tight budget so chaos faults actually abort cycles and trip breakers.
+    sched.crawler = CrawlerConfig {
+        max_retries: 0,
+        failure_budget: 1,
+        ..CrawlerConfig::default()
+    };
+    let opts = DurableOptions {
+        snapshot_every_cycles: 64,
+        ..DurableOptions::default()
+    };
+    let dir = tmp_dir("invariant", 0);
+    let horizon = START + 10 * 24 * 3_600_000;
+    let report = run_durable(&system, &sched, &dir, horizon, &opts).expect("chaos run");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // PR-1 accounting invariant: every ported page is accounted for even
+    // while fetches truncate, rate-limit and hand over mangled HTML.
+    assert!(report.reports_ingested > 0, "{report:?}");
+    assert!(
+        report.metrics.accounting_balanced(),
+        "ported {} != screened_out {} + parsed {} + parse_errors {} + quarantined {}",
+        report.metrics.ported,
+        report.metrics.screened_out,
+        report.metrics.parsed,
+        report.metrics.parse_errors,
+        report.metrics.quarantined,
+    );
+
+    // Breaker transitions are visible in both the stats and the trace.
+    assert!(report.stats.breaker_opens > 0, "{:?}", report.stats);
+    assert!(!report.stats.breaker_events.is_empty());
+    let trace = report.trace.snapshot();
+    let transitions = trace
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::BreakerTransition { .. }))
+        .count();
+    assert!(transitions > 0, "no BreakerTransition events in the trace");
+    let snapshots = trace
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::SnapshotTaken { .. }))
+        .count();
+    assert!(snapshots > 0, "no SnapshotTaken events in the trace");
+}
