@@ -42,6 +42,7 @@ fn main() -> ExitCode {
         "cypher" => cmd_cypher(&args[1..]).map(|()| ExitCode::SUCCESS),
         "export-stix" => cmd_export_stix(&args[1..]).map(|()| ExitCode::SUCCESS),
         "hunt" => cmd_hunt(&args[1..]).map(|()| ExitCode::SUCCESS),
+        "serve" => cmd_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -70,10 +71,19 @@ USAGE:
   securitykg cypher --kg <kg.json> <query>
   securitykg export-stix --kg <kg.json> --out <bundle.json>
   securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]
+  securitykg serve  --kg <kg.json> --queries <file> [--readers <n>] [--rounds <n>]
+                    [--cache <entries>] [--stats]
 
 Durable builds journal every crawl cycle into <dir> and snapshot periodically;
 re-running over the same dir resumes from the last intact snapshot. A run
-killed by --crash-after-records exits with code 9 and leaves a resumable dir.";
+killed by --crash-after-records exits with code 9 and leaves a resumable dir.
+
+Serve publishes the knowledge base as an immutable snapshot and replays the
+query file from <n> concurrent reader threads through the digest-keyed query
+cache. Query file lines (one per query; '#' comments):
+  search <keywords...>
+  cypher <read-only query>
+  expand <entity name> [hops] [cap]";
 
 /// Pull `--name value` out of an argument list; returns remaining positionals.
 fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
@@ -347,6 +357,162 @@ fn cmd_export_stix(args: &[String]) -> Result<(), String> {
     std::fs::write(out, text).map_err(|e| format!("write {out}: {e}"))?;
     let count = bundle["objects"].as_array().map(Vec::len).unwrap_or(0);
     eprintln!("wrote {count} STIX objects to {out}");
+    Ok(())
+}
+
+/// Parse one line of a serve query file; `None` for blanks and comments.
+fn parse_query_line(line: &str) -> Result<Option<securitykg::serve::Query>, String> {
+    use securitykg::serve::Query;
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let rest = rest.trim();
+    match verb {
+        "search" if !rest.is_empty() => Ok(Some(Query::Search {
+            q: rest.to_owned(),
+            k: 10,
+        })),
+        "cypher" if !rest.is_empty() => Ok(Some(Query::Cypher { q: rest.to_owned() })),
+        "expand" if !rest.is_empty() => {
+            let mut words: Vec<&str> = rest.split_whitespace().collect();
+            let mut hops = 1usize;
+            let mut cap = 50usize;
+            // Trailing numeric words are [hops] then [cap].
+            if words.len() > 2 && words[words.len() - 1].parse::<usize>().is_ok() {
+                if words[words.len() - 2].parse::<usize>().is_ok() {
+                    cap = words.pop().unwrap().parse().unwrap();
+                    hops = words.pop().unwrap().parse().unwrap();
+                } else {
+                    hops = words.pop().unwrap().parse().unwrap();
+                }
+            } else if words.len() == 2 && words[1].parse::<usize>().is_ok() {
+                hops = words.pop().unwrap().parse().unwrap();
+            }
+            if words.is_empty() {
+                return Err(format!("expand needs an entity name: {line:?}"));
+            }
+            Ok(Some(Query::Expand {
+                name: words.join(" "),
+                hops,
+                cap,
+            }))
+        }
+        _ => Err(format!(
+            "bad query line {line:?} (want: search/cypher/expand ...)"
+        )),
+    }
+}
+
+/// Serve the knowledge base to N concurrent readers replaying a query file.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use securitykg::serve::{percentile, KgServe, Query};
+    use std::time::Instant;
+
+    let (flags, _) = parse_flags(args);
+    let kb = load_kb(&flags)?;
+    let queries_path = flags.get("queries").ok_or("missing --queries <file>")?;
+    let text =
+        std::fs::read_to_string(queries_path).map_err(|e| format!("read {queries_path}: {e}"))?;
+    let queries: Vec<Query> = text
+        .lines()
+        .map(parse_query_line)
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .flatten()
+        .collect();
+    if queries.is_empty() {
+        return Err(format!("{queries_path}: no queries"));
+    }
+    let readers: usize = flags
+        .get("readers")
+        .map(|n| n.parse().map_err(|e| format!("--readers: {e}")))
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let rounds: usize = flags
+        .get("rounds")
+        .map(|n| n.parse().map_err(|e| format!("--rounds: {e}")))
+        .transpose()?
+        .unwrap_or(3)
+        .max(1);
+    let cache_entries: usize = flags
+        .get("cache")
+        .map(|n| n.parse().map_err(|e| format!("--cache: {e}")))
+        .transpose()?
+        .unwrap_or(1024);
+
+    let snapshot = kb.into_serving().map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving snapshot {:016x}: {} nodes, {} edges, {} indexed docs — {} reader(s) × {} round(s) × {} queries",
+        snapshot.digest(),
+        snapshot.node_count(),
+        snapshot.edge_count(),
+        snapshot.search_index().len(),
+        readers,
+        rounds,
+        queries.len()
+    );
+    let serve = KgServe::new(snapshot, cache_entries);
+
+    let wall = Instant::now();
+    let mut latencies: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let serve = &serve;
+            let queries = &queries;
+            handles.push(scope.spawn(move || {
+                let mut lat = Vec::with_capacity(rounds * queries.len());
+                for round in 0..rounds {
+                    // Stagger start offsets so readers don't walk in lockstep.
+                    let offset = (reader + round) % queries.len();
+                    for i in 0..queries.len() {
+                        let query = &queries[(offset + i) % queries.len()];
+                        let t = Instant::now();
+                        let response = serve.execute(query);
+                        lat.push(t.elapsed().as_micros() as u64);
+                        std::hint::black_box(&response);
+                    }
+                }
+                lat
+            }));
+        }
+        for handle in handles {
+            latencies.push(handle.join().expect("reader thread"));
+        }
+    });
+    let wall_us = wall.elapsed().as_micros().max(1) as u64;
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let total = all.len() as u64;
+    let stats = serve.stats();
+    serve.record_cache_report();
+    println!(
+        "{} queries in {:.1} ms — {:.0} queries/s across {readers} reader(s)",
+        total,
+        wall_us as f64 / 1000.0,
+        total as f64 / (wall_us as f64 / 1e6),
+    );
+    println!(
+        "latency p50 {} µs, p99 {} µs, max {} µs",
+        percentile(&mut all, 0.50),
+        percentile(&mut all, 0.99),
+        percentile(&mut all, 1.0)
+    );
+    println!(
+        "cache: {} hits, {} misses, {} evictions, {} entries ({:.0}% hit rate)",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.cache.entries,
+        100.0 * stats.cache.hits as f64 / (stats.cache.hits + stats.cache.misses).max(1) as f64
+    );
+    if flags.contains_key("stats") {
+        eprintln!("serving trace:");
+        eprint!("{}", serve.trace().render_tail(20));
+    }
     Ok(())
 }
 

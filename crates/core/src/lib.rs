@@ -52,6 +52,7 @@ pub use kg_nlp as nlp;
 pub use kg_ontology as ontology;
 pub use kg_pipeline as pipeline;
 pub use kg_search as search;
+pub use kg_serve as serve;
 
 pub use durable::{
     graph_digest, run_durable, DurableOptions, DurableReport, SnapshotPayload, DEFAULT_START_MS,
@@ -348,6 +349,15 @@ impl SecurityKg {
         Explorer::new(self)
     }
 
+    /// Freeze the current knowledge base into an immutable serving snapshot
+    /// (`kg-serve`'s publication unit): graph + keyword index + expansion
+    /// adjacency, stamped with the graph's canonical digest — the same
+    /// fingerprint [`graph_digest`] computes, so serving epochs and durable
+    /// snapshots are directly comparable.
+    pub fn serving_snapshot(&self) -> Result<kg_serve::KgSnapshot, serde_json::Error> {
+        kg_serve::KgSnapshot::build(self.connector.graph.clone(), self.connector.search.clone())
+    }
+
     /// Build a threat hunter from the knowledge graph (the paper's future
     /// work: knowledge-enhanced threat protection). Extracts a behaviour
     /// graph for every malware node with at least `min_indicators` IOC
@@ -423,6 +433,31 @@ mod tests {
         kg.crawl_and_ingest();
         assert!(kg.trace().total_recorded() > after_first);
         assert!(!kg.trace().render_tail(5).is_empty());
+    }
+
+    #[test]
+    fn serving_snapshot_matches_live_graph_and_digest() {
+        let mut kg = SecurityKg::bootstrap_without_ner(&tiny_config());
+        kg.crawl_and_ingest();
+        let snap = kg.serving_snapshot().unwrap();
+        assert_eq!(snap.node_count(), kg.graph().node_count());
+        assert_eq!(snap.edge_count(), kg.graph().edge_count());
+        assert_eq!(
+            snap.digest(),
+            durable::graph_digest(kg.graph()).unwrap(),
+            "serving digest must equal the durable graph digest"
+        );
+        // The snapshot answers the same keyword query as the live system.
+        let malware = kg.graph().nodes_with_label("Malware");
+        assert!(!malware.is_empty());
+        let name = kg
+            .graph()
+            .node(malware[0])
+            .unwrap()
+            .name()
+            .unwrap()
+            .to_owned();
+        assert_eq!(snap.keyword_search(&name, 10), kg.keyword_search(&name, 10));
     }
 
     #[test]

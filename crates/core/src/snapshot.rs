@@ -31,6 +31,11 @@ impl KnowledgeBase {
         })
     }
 
+    /// Freeze this knowledge base into a `kg-serve` publication snapshot.
+    pub fn into_serving(self) -> Result<kg_serve::KgSnapshot, serde_json::Error> {
+        kg_serve::KgSnapshot::build(self.graph, self.search)
+    }
+
     /// Keyword search over the stored index (+ direct name hits).
     pub fn keyword_search(&self, query: &str, k: usize) -> Vec<NodeId> {
         let mut out = Vec::new();

@@ -1,0 +1,129 @@
+//! Golden query tests — the paper's §3 demo scenarios (experiment E8),
+//! lifted out of `exp_demo` into deterministic assertions so regressions in
+//! the query paths fail CI instead of just skewing a demo printout.
+//!
+//! Scenario 1: keyword search "wannacry" finds the malware node and its
+//!   1-hop neighbourhood is non-trivial.
+//! Scenario 2: Cypher lists cozyduke's techniques and finds other actors
+//!   sharing them.
+//! Scenario 3: `match (n) where n.name = "wannacry" return n` returns
+//!   exactly the node scenario 1's keyword search surfaced.
+
+use kg_corpus::WorldConfig;
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+use std::sync::OnceLock;
+
+/// The E8 world (same seed and density as `exp_demo`), built once for all
+/// three scenarios. Gazetteer extraction keeps the build deterministic and
+/// fast; the demo binary additionally trains the NER path.
+fn demo_kg() -> &'static SecurityKg {
+    static KG: OnceLock<SecurityKg> = OnceLock::new();
+    KG.get_or_init(|| {
+        let mut config = SystemConfig {
+            world: WorldConfig {
+                malware_count: 40,
+                actor_count: 24,
+                cve_count: 60,
+                campaign_count: 16,
+                seed: 0xE8,
+            },
+            articles_per_source: 60,
+            training: TrainingConfig {
+                articles: 60,
+                ..TrainingConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        config.fusion.alias_groups = kg_corpus::names::MALWARE_ALIASES
+            .iter()
+            .chain(kg_corpus::names::ACTOR_ALIASES.iter())
+            .map(|group| group.iter().map(|s| (*s).to_owned()).collect())
+            .collect();
+        let mut kg = SecurityKg::bootstrap_without_ner(&config);
+        kg.crawl_and_ingest();
+        kg
+    })
+}
+
+#[test]
+fn scenario_1_wannacry_keyword_search_reaches_the_malware_node() {
+    let kg = demo_kg();
+    let hits = kg.keyword_search("wannacry", 10);
+    assert!(!hits.is_empty(), "keyword search must surface wannacry");
+    let node = kg
+        .graph()
+        .node_by_name("Malware", "wannacry")
+        .expect("E8 world covers wannacry");
+    assert!(
+        hits.contains(&node),
+        "the malware node itself must be among the hits: {hits:?}"
+    );
+    // The investigation has somewhere to go: the node has outgoing
+    // behaviour edges (dropped files, C2 domains, exploited CVEs...).
+    let neighbours = kg.graph().outgoing(node);
+    assert!(
+        neighbours.len() >= 2,
+        "wannacry neighbourhood too small: {neighbours:?}"
+    );
+}
+
+#[test]
+fn scenario_2_cozyduke_technique_overlap_via_cypher() {
+    let kg = demo_kg();
+    assert!(
+        kg.graph().node_by_name("ThreatActor", "cozyduke").is_some(),
+        "E8 world covers cozyduke"
+    );
+    let result = kg
+        .graph()
+        .query_readonly(
+            "MATCH (a:ThreatActor {name: 'cozyduke'})-[:USES]->(t:Technique) \
+             RETURN t.name ORDER BY t.name",
+        )
+        .unwrap();
+    assert!(
+        !result.rows.is_empty(),
+        "cozyduke must use at least one technique"
+    );
+    // Techniques come back sorted and unique (ORDER BY semantics).
+    let techniques: Vec<String> = result.rows.iter().map(|r| r[0].to_string()).collect();
+    let mut sorted = techniques.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(techniques, sorted, "ORDER BY t.name must sort uniquely");
+    // Other actors share techniques with cozyduke, ranked by overlap.
+    let twins = kg
+        .graph()
+        .query_readonly(
+            "MATCH (a:ThreatActor {name: 'cozyduke'})-[:USES]->(t:Technique)\
+             <-[:USES]-(other:ThreatActor) \
+             RETURN other.name, count(t) AS shared ORDER BY count(t) DESC LIMIT 5",
+        )
+        .unwrap();
+    assert!(!twins.rows.is_empty(), "no actor shares a technique");
+    let shared: Vec<i64> = twins
+        .rows
+        .iter()
+        .map(|r| r[1].to_string().parse().unwrap())
+        .collect();
+    assert!(shared.windows(2).all(|w| w[0] >= w[1]), "{shared:?}");
+    assert!(shared[0] >= 1);
+}
+
+#[test]
+fn scenario_3_cypher_and_keyword_search_agree_on_wannacry() {
+    let kg = demo_kg();
+    let node = kg
+        .graph()
+        .node_by_name("Malware", "wannacry")
+        .expect("E8 world covers wannacry");
+    let result = kg
+        .graph()
+        .query_readonly("match (n) where n.name = \"wannacry\" return n")
+        .unwrap();
+    assert_eq!(
+        result.node_ids(),
+        vec![node],
+        "Cypher full scan and keyword search must resolve the same node"
+    );
+}

@@ -59,6 +59,20 @@ pub enum TraceEvent {
         cycles_done: u64,
         kg_digest: u64,
     },
+    /// The serving layer published a new read snapshot (epoch swap).
+    SnapshotPublished {
+        version: u64,
+        kg_digest: u64,
+        nodes: usize,
+        edges: usize,
+    },
+    /// Point-in-time query-cache counters from the serving layer.
+    CacheReport {
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+        entries: usize,
+    },
     /// A durable run replayed its journal on startup.
     JournalReplayed {
         records: usize,

@@ -46,7 +46,7 @@ pub struct SearchIndex<D> {
     postings: HashMap<String, Vec<Posting>>,
     /// slot → (external doc key, token count).
     docs: Vec<(D, u32)>,
-    /// external key → slot, to support re-indexing.
+    /// Total tokens across all documents (the BM25 average-length term).
     total_tokens: u64,
 }
 
@@ -90,6 +90,21 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
             .filter(|t| t.kind != kg_nlp::TokenKind::Punct)
             .map(|t| t.text.to_lowercase())
             .collect()
+    }
+
+    /// The slot of the document indexed under `key` — the *newest* slot
+    /// when the key was re-added. This is the lookup re-indexing flows use
+    /// to find a document's current version.
+    pub fn slot_of(&self, key: &D) -> Option<u32> {
+        self.docs
+            .iter()
+            .rposition(|(k, _)| k == key)
+            .map(|slot| slot as u32)
+    }
+
+    /// The external key indexed at `slot`.
+    pub fn key_at(&self, slot: u32) -> Option<&D> {
+        self.docs.get(slot as usize).map(|(k, _)| k)
     }
 
     /// Index one document. Re-adding the same key indexes a new version
@@ -237,6 +252,24 @@ mod tests {
         assert_eq!(idx.search("malware", 5).len(), 5);
         assert_eq!(idx.len(), 50);
         assert!(idx.term_count() >= 3);
+    }
+
+    #[test]
+    fn key_to_slot_lookup_resolves_latest_version() {
+        let mut idx = index();
+        assert_eq!(idx.slot_of(&1), Some(0));
+        assert_eq!(idx.slot_of(&4), Some(3));
+        assert_eq!(idx.slot_of(&99), None);
+        assert_eq!(idx.key_at(0), Some(&1));
+        assert_eq!(idx.key_at(100), None);
+        // Re-adding a key indexes a new version; the lookup must resolve to
+        // the newest slot (what a re-indexing flow needs).
+        idx.add(1, "updated wannacry analysis with new kill switch details");
+        assert_eq!(idx.slot_of(&1), Some(4));
+        assert_eq!(idx.key_at(4), Some(&1));
+        // Both versions remain searchable under the same external key.
+        let hits = idx.search("wannacry", 10);
+        assert!(hits.iter().filter(|h| h.doc == 1).count() >= 2);
     }
 
     #[test]

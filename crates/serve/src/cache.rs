@@ -1,0 +1,188 @@
+//! Bounded, sharded query cache keyed by `(snapshot digest, query key)`.
+//!
+//! Because the digest is part of the key, publishing a new snapshot
+//! invalidates nothing explicitly: entries for the old digest simply stop
+//! being looked up and age out of the FIFO. Shards keep the lock a reader
+//! takes on a hit uncontended under concurrency (a single global lock would
+//! serialise the whole read path).
+
+use crate::snapshot::Answer;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of independently locked shards.
+const SHARDS: usize = 16;
+
+type Key = (u64, String);
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Answer>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Key>,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+}
+
+/// The bounded per-snapshot query cache.
+pub struct QueryCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Max entries per shard (total capacity / SHARDS, at least 1 when
+    /// caching is enabled at all).
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl QueryCache {
+    /// Cache holding at most ~`capacity` answers; 0 disables caching.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARDS)
+        };
+        QueryCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &Key) -> &Mutex<Shard> {
+        let h = kg_ir::fnv1a64(key.1.as_bytes()) ^ key.0;
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// Look up a cached answer for this `(digest, query key)`.
+    pub fn get(&self, digest: u64, query_key: &str) -> Option<Answer> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = (digest, query_key.to_owned());
+        let found = self.shard_of(&key).lock().map.get(&key).cloned();
+        match found {
+            Some(answer) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(answer)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert an answer, evicting the shard's oldest entry at capacity.
+    pub fn insert(&self, digest: u64, query_key: &str, answer: Answer) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let key = (digest, query_key.to_owned());
+        let mut shard = self.shard_of(&key).lock();
+        if let Some(existing) = shard.map.get_mut(&key) {
+            *existing = answer;
+            return;
+        }
+        if shard.map.len() >= self.per_shard {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.order.push_back(key.clone());
+        shard.map.insert(key, answer);
+    }
+
+    /// Entries currently cached (across shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::NodeId;
+
+    fn nodes(id: u64) -> Answer {
+        Answer::Nodes(vec![NodeId(id)])
+    }
+
+    #[test]
+    fn hit_miss_and_digest_keying() {
+        let cache = QueryCache::new(64);
+        assert_eq!(cache.get(1, "s:5:x"), None);
+        cache.insert(1, "s:5:x", nodes(7));
+        assert_eq!(cache.get(1, "s:5:x"), Some(nodes(7)));
+        // Same query under a different snapshot digest is a different entry.
+        assert_eq!(cache.get(2, "s:5:x"), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn capacity_bounds_and_evictions_counted() {
+        let cache = QueryCache::new(16); // 1 per shard
+        for i in 0..200u64 {
+            cache.insert(i, "q", nodes(i));
+        }
+        assert!(cache.len() <= 16, "{}", cache.len());
+        assert_eq!(cache.stats().evictions, 200 - cache.len() as u64);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.insert(1, "q", nodes(1));
+        assert_eq!(cache.get(1, "q"), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = QueryCache::new(64);
+        cache.insert(1, "a", nodes(1));
+        assert!(cache.get(1, "a").is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! kg-serve — the knowledge-consumption layer (paper §2.6; ThreatKG's
+//! explicit serving split): many concurrent readers over a store that
+//! ingestion keeps writing to.
+//!
+//! The concurrency model is **epoch-style snapshot publication**: the ingest
+//! writer periodically freezes the knowledge base into an immutable
+//! [`KgSnapshot`] (graph + BM25 index + expansion adjacency + canonical
+//! digest) and publishes it with one atomic `Arc` swap. Readers *pin* the
+//! current snapshot (an `Arc` clone) and run keyword search, Cypher and
+//! k-hop expansion against it for as long as they like:
+//!
+//! - readers never block the writer (the swap waits only for concurrent
+//!   `Arc` clones, never for in-flight queries);
+//! - readers never observe a torn graph — every answer is consistent with
+//!   exactly one published digest, which the response carries;
+//! - superseded snapshots are freed when the last pinned reader drops them.
+//!
+//! On top sits a bounded [`QueryCache`] keyed by `(snapshot digest,
+//! normalized query)`: publishing a new snapshot invalidates nothing and
+//! races nothing, because old-digest entries can never be returned for
+//! new-digest lookups — they just age out. Publishes and cache counters are
+//! surfaced as [`TraceEvent`]s on the serving [`TraceLog`].
+
+mod cache;
+mod snapshot;
+
+pub use cache::{CacheStats, QueryCache};
+pub use snapshot::{normalize, Answer, KgSnapshot, Query};
+
+use kg_pipeline::{TraceEvent, TraceLog};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One answered query, stamped with the snapshot it was answered from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Digest of the snapshot that produced `answer`.
+    pub digest: u64,
+    /// Publish version of that snapshot.
+    pub version: u64,
+    /// Whether the answer came from the cache.
+    pub cached: bool,
+    pub answer: Answer,
+}
+
+/// Aggregate serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Snapshots published (including the initial one).
+    pub publishes: u64,
+    /// Queries executed.
+    pub queries: u64,
+    pub cache: CacheStats,
+}
+
+/// The serving layer: one writer publishing snapshots, N readers querying.
+pub struct KgServe {
+    current: RwLock<Arc<KgSnapshot>>,
+    cache: QueryCache,
+    publishes: AtomicU64,
+    queries: AtomicU64,
+    trace: TraceLog,
+}
+
+impl KgServe {
+    /// Start serving `first` (published as version 1) with a query cache of
+    /// ~`cache_capacity` entries (0 disables caching).
+    pub fn new(first: KgSnapshot, cache_capacity: usize) -> Self {
+        let serve = KgServe {
+            current: RwLock::new(Arc::new(KgSnapshot::build_placeholder())),
+            cache: QueryCache::new(cache_capacity),
+            publishes: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            trace: TraceLog::new(),
+        };
+        serve.publish(first);
+        serve
+    }
+
+    /// Atomically swap in a new snapshot; returns its assigned version.
+    /// The write lock is held only for the pointer swap — readers holding
+    /// pinned `Arc`s are untouched and finish on their old epoch.
+    pub fn publish(&self, mut snapshot: KgSnapshot) -> u64 {
+        let version = self.publishes.fetch_add(1, Ordering::SeqCst) + 1;
+        snapshot.set_version(version);
+        let event = TraceEvent::SnapshotPublished {
+            version,
+            kg_digest: snapshot.digest(),
+            nodes: snapshot.node_count(),
+            edges: snapshot.edge_count(),
+        };
+        *self.current.write() = Arc::new(snapshot);
+        self.trace.record(event);
+        version
+    }
+
+    /// Pin the current snapshot: an `Arc` clone readers hold for the
+    /// duration of one query (or an entire session — epochs don't expire).
+    pub fn pin(&self) -> Arc<KgSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Execute against the *current* snapshot (pin + [`Self::execute_on`]).
+    pub fn execute(&self, query: &Query) -> QueryResponse {
+        let snapshot = self.pin();
+        self.execute_on(&snapshot, query)
+    }
+
+    /// Execute against an explicitly pinned snapshot, going through the
+    /// digest-keyed cache. The response's digest always equals
+    /// `snapshot.digest()` — answers can never leak across epochs.
+    pub fn execute_on(&self, snapshot: &KgSnapshot, query: &Query) -> QueryResponse {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key = query.cache_key();
+        if let Some(answer) = self.cache.get(snapshot.digest(), &key) {
+            return QueryResponse {
+                digest: snapshot.digest(),
+                version: snapshot.version(),
+                cached: true,
+                answer,
+            };
+        }
+        let answer = snapshot.answer(query);
+        self.cache.insert(snapshot.digest(), &key, answer.clone());
+        QueryResponse {
+            digest: snapshot.digest(),
+            version: snapshot.version(),
+            cached: false,
+            answer,
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            publishes: self.publishes.load(Ordering::SeqCst),
+            queries: self.queries.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// The query cache (for clearing between bench phases).
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// The serving trace (snapshot publishes, cache reports).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Record a point-in-time [`TraceEvent::CacheReport`] on the trace.
+    pub fn record_cache_report(&self) {
+        let stats = self.cache.stats();
+        self.trace.record(TraceEvent::CacheReport {
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            entries: stats.entries,
+        });
+    }
+}
+
+impl KgSnapshot {
+    /// Empty snapshot used only to initialise the publication cell before
+    /// the first real publish (never observable: `KgServe::new` publishes
+    /// over it before returning).
+    fn build_placeholder() -> KgSnapshot {
+        KgSnapshot::build(
+            kg_graph::GraphStore::new(),
+            kg_search::SearchIndex::default(),
+        )
+        .expect("empty graph serialises")
+    }
+}
+
+/// `p`-th percentile (0.0–1.0) of an unsorted sample set, in the sample's
+/// unit; 0 for empty samples. Sorts in place.
+pub fn percentile(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+    samples[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::{GraphStore, Value};
+    use kg_search::SearchIndex;
+
+    fn small_snapshot(extra: usize) -> KgSnapshot {
+        let mut graph = GraphStore::new();
+        let m = graph.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let f = graph.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        graph
+            .create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        for i in 0..extra {
+            graph.create_node("Malware", [("name", Value::from(format!("mal-{i}")))]);
+        }
+        let mut search = SearchIndex::default();
+        search.add(m, "wannacry ransomware drops tasksche.exe");
+        KgSnapshot::build(graph, search).unwrap()
+    }
+
+    #[test]
+    fn publish_assigns_versions_and_traces() {
+        let serve = KgServe::new(small_snapshot(0), 64);
+        assert_eq!(serve.pin().version(), 1);
+        let v2 = serve.publish(small_snapshot(3));
+        assert_eq!(v2, 2);
+        assert_eq!(serve.pin().version(), 2);
+        assert_eq!(serve.stats().publishes, 2);
+        let events: Vec<_> = serve
+            .trace()
+            .snapshot()
+            .into_iter()
+            .map(|r| r.event)
+            .collect();
+        assert!(matches!(
+            events[0],
+            TraceEvent::SnapshotPublished { version: 1, .. }
+        ));
+        assert!(matches!(
+            events[1],
+            TraceEvent::SnapshotPublished { version: 2, nodes, .. } if nodes == 5
+        ));
+    }
+
+    #[test]
+    fn pinned_readers_keep_their_epoch_across_publishes() {
+        let serve = KgServe::new(small_snapshot(0), 64);
+        let pinned = serve.pin();
+        let d1 = pinned.digest();
+        serve.publish(small_snapshot(5));
+        // The pinned epoch is unchanged and still fully queryable...
+        assert_eq!(pinned.digest(), d1);
+        assert_eq!(pinned.node_count(), 2);
+        let old = serve.execute_on(
+            &pinned,
+            &Query::Search {
+                q: "wannacry".into(),
+                k: 5,
+            },
+        );
+        assert_eq!(old.digest, d1);
+        // ...while fresh pins see the new epoch.
+        let new = serve.execute(&Query::Search {
+            q: "wannacry".into(),
+            k: 5,
+        });
+        assert_ne!(new.digest, d1);
+        assert_eq!(new.version, 2);
+    }
+
+    #[test]
+    fn cache_hits_within_an_epoch_and_resets_across_epochs() {
+        let serve = KgServe::new(small_snapshot(0), 64);
+        let q = Query::Search {
+            q: "wannacry".into(),
+            k: 5,
+        };
+        let first = serve.execute(&q);
+        assert!(!first.cached);
+        let second = serve.execute(&q);
+        assert!(second.cached);
+        assert_eq!(first.answer, second.answer);
+        // New epoch: same query misses (digest differs), then hits again.
+        serve.publish(small_snapshot(1));
+        let third = serve.execute(&q);
+        assert!(!third.cached);
+        assert!(serve.execute(&q).cached);
+        let stats = serve.stats();
+        assert_eq!(stats.queries, 4);
+        assert_eq!(stats.cache.hits, 2);
+        assert_eq!(stats.cache.misses, 2);
+    }
+
+    #[test]
+    fn cache_report_lands_on_the_trace() {
+        let serve = KgServe::new(small_snapshot(0), 64);
+        serve.execute(&Query::Cypher {
+            q: "MATCH (n:Malware) RETURN count(*)".into(),
+        });
+        serve.record_cache_report();
+        assert!(serve.trace().snapshot().iter().any(|r| matches!(
+            r.event,
+            TraceEvent::CacheReport {
+                misses: 1,
+                entries: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn expand_and_cypher_answers_reference_only_snapshot_nodes() {
+        let serve = KgServe::new(small_snapshot(4), 64);
+        let snap = serve.pin();
+        for query in [
+            Query::Expand {
+                name: "wannacry".into(),
+                hops: 2,
+                cap: 50,
+            },
+            Query::Cypher {
+                q: "MATCH (m:Malware)-[:DROP]->(f) RETURN m, f".into(),
+            },
+        ] {
+            let response = serve.execute_on(&snap, &query);
+            assert_eq!(response.digest, snap.digest());
+            let ids = response.answer.node_ids();
+            assert!(!ids.is_empty());
+            for id in ids {
+                assert!(snap.graph().node(id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let mut samples = vec![50, 10, 30, 20, 40];
+        assert_eq!(percentile(&mut samples, 0.0), 10);
+        assert_eq!(percentile(&mut samples, 0.5), 30);
+        assert_eq!(percentile(&mut samples, 1.0), 50);
+        assert_eq!(percentile(&mut [], 0.5), 0);
+    }
+
+    #[test]
+    fn unknown_expand_target_is_an_empty_answer() {
+        let serve = KgServe::new(small_snapshot(0), 64);
+        let response = serve.execute(&Query::Expand {
+            name: "no-such-entity".into(),
+            hops: 3,
+            cap: 10,
+        });
+        assert_eq!(response.answer, Answer::Nodes(Vec::new()));
+    }
+}

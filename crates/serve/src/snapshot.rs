@@ -1,0 +1,363 @@
+//! The immutable published snapshot readers query against.
+//!
+//! A [`KgSnapshot`] owns a frozen copy of the graph, the BM25 index and a
+//! precomputed adjacency table (the explorer's expansion structure), plus the
+//! graph's canonical digest. Once built it is never mutated — readers share
+//! it via `Arc` and every answer it produces is consistent with exactly this
+//! one graph state, whatever the ingest writer does meanwhile.
+
+use kg_graph::{cypher::CypherError, GraphStore, NodeId, QueryResult, Value};
+use kg_ir::fnv1a64;
+use kg_search::SearchIndex;
+use std::collections::HashMap;
+
+/// An immutable, self-contained read snapshot of the knowledge base.
+pub struct KgSnapshot {
+    /// Publish sequence number, assigned by [`crate::KgServe::publish`]
+    /// (0 until published).
+    version: u64,
+    /// FNV-1a over the graph's canonical JSON — the same fingerprint
+    /// `securitykg::graph_digest` computes, so serving and durable-ingest
+    /// snapshots are comparable.
+    digest: u64,
+    graph: GraphStore,
+    search: SearchIndex<NodeId>,
+    /// node → distinct neighbours (both directions, edge order) — the
+    /// explorer's expansion adjacency, precomputed once per snapshot so
+    /// k-hop expansion never walks edge lists under load.
+    adjacency: HashMap<NodeId, Vec<NodeId>>,
+}
+
+/// A normalized serving query: the three read paths of the paper's UI
+/// (§2.6 — Elasticsearch keyword search, Neo4j Cypher, node expansion).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// BM25 keyword search (plus direct entity-name hits), top `k`.
+    Search { q: String, k: usize },
+    /// Read-only Cypher.
+    Cypher { q: String },
+    /// k-hop neighbourhood of the entity named `name` (any entity label),
+    /// capped at `cap` nodes.
+    Expand {
+        name: String,
+        hops: usize,
+        cap: usize,
+    },
+}
+
+impl Query {
+    /// Canonical cache-key text: whitespace collapsed, parameters embedded,
+    /// search terms lowercased (the tokenizer lowercases anyway). Two
+    /// queries with the same key have the same answer on a given snapshot.
+    pub fn cache_key(&self) -> String {
+        match self {
+            Query::Search { q, k } => format!("s:{k}:{}", normalize(q).to_lowercase()),
+            Query::Cypher { q } => format!("c:{}", normalize(q)),
+            Query::Expand { name, hops, cap } => {
+                format!("x:{hops}:{cap}:{}", normalize(name).to_lowercase())
+            }
+        }
+    }
+}
+
+/// Collapse runs of whitespace to single spaces and trim the ends.
+pub fn normalize(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// What a query evaluates to. `Error` is an answer too: a malformed Cypher
+/// query fails identically on every snapshot with the same digest, so it is
+/// cacheable like any other result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// Node ids (search and expand paths).
+    Nodes(Vec<NodeId>),
+    /// A Cypher projection.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// A query-level failure (parse/execution error), rendered.
+    Error(String),
+}
+
+impl Answer {
+    /// Every node id referenced by the answer (for consistency checks).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        match self {
+            Answer::Nodes(ids) => ids.clone(),
+            Answer::Rows { rows, .. } => {
+                let mut out = Vec::new();
+                for row in rows {
+                    for value in row {
+                        if let Value::Node(id) = value {
+                            if !out.contains(id) {
+                                out.push(*id);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Answer::Error(_) => Vec::new(),
+        }
+    }
+}
+
+impl KgSnapshot {
+    /// Freeze a graph + index pair into a publishable snapshot: computes the
+    /// canonical digest and the expansion adjacency.
+    pub fn build(
+        graph: GraphStore,
+        search: SearchIndex<NodeId>,
+    ) -> Result<KgSnapshot, serde_json::Error> {
+        let digest = fnv1a64(&serde_json::to_vec(&graph)?);
+        let adjacency = graph
+            .all_nodes()
+            .map(|node| (node.id, graph.neighbors(node.id)))
+            .collect();
+        Ok(KgSnapshot {
+            version: 0,
+            digest,
+            graph,
+            search,
+            adjacency,
+        })
+    }
+
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Publish sequence number (0 until published).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Canonical graph digest.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The frozen graph.
+    pub fn graph(&self) -> &GraphStore {
+        &self.graph
+    }
+
+    /// The frozen keyword index.
+    pub fn search_index(&self) -> &SearchIndex<NodeId> {
+        &self.search
+    }
+
+    /// Live nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Live edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Resolve an entity by canonical name under any entity label.
+    pub fn entity_by_name(&self, name: &str) -> Option<NodeId> {
+        let name = name.to_lowercase();
+        kg_ontology::EntityKind::ALL
+            .iter()
+            .find_map(|kind| self.graph.node_by_name(kind.label(), &name))
+    }
+
+    /// Keyword search: direct entity-name hits first, then BM25 hits —
+    /// the same composition as `securitykg::KnowledgeBase::keyword_search`.
+    pub fn keyword_search(&self, query: &str, k: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let lowered = query.to_lowercase();
+        for kind in kg_ontology::EntityKind::ALL {
+            if let Some(id) = self.graph.node_by_name(kind.label(), &lowered) {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        for hit in self.search.search(query, k) {
+            if !out.contains(&hit.doc) {
+                out.push(hit.doc);
+            }
+        }
+        out.truncate(k.max(1));
+        out
+    }
+
+    /// Read-only Cypher against the frozen graph.
+    pub fn cypher(&self, query: &str) -> Result<QueryResult, CypherError> {
+        self.graph.query_readonly(query)
+    }
+
+    /// BFS over the precomputed adjacency: `start` plus everything within
+    /// `hops`, in BFS order, capped at `cap` nodes.
+    pub fn expand(&self, start: NodeId, hops: usize, cap: usize) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        if self.graph.node(start).is_none() || cap == 0 {
+            return out;
+        }
+        let mut frontier = vec![start];
+        let mut seen: std::collections::HashSet<NodeId> = [start].into_iter().collect();
+        out.push(start);
+        for _ in 0..hops {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for &neighbor in self.adjacency.get(&node).map_or(&[][..], Vec::as_slice) {
+                    if out.len() >= cap {
+                        return out;
+                    }
+                    if seen.insert(neighbor) {
+                        out.push(neighbor);
+                        next.push(neighbor);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    /// Evaluate a [`Query`] fresh against this snapshot (no cache).
+    pub fn answer(&self, query: &Query) -> Answer {
+        match query {
+            Query::Search { q, k } => Answer::Nodes(self.keyword_search(q, *k)),
+            Query::Cypher { q } => match self.cypher(q) {
+                Ok(result) => Answer::Rows {
+                    columns: result.columns,
+                    rows: result.rows,
+                },
+                Err(e) => Answer::Error(e.to_string()),
+            },
+            Query::Expand { name, hops, cap } => match self.entity_by_name(name) {
+                Some(id) => Answer::Nodes(self.expand(id, *hops, *cap)),
+                None => Answer::Nodes(Vec::new()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_graph::Value;
+
+    fn snapshot() -> KgSnapshot {
+        let mut graph = GraphStore::new();
+        let m = graph.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let f = graph.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        let d = graph.create_node("Domain", [("name", Value::from("kill.switch.test"))]);
+        graph
+            .create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        graph
+            .create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+            .unwrap();
+        let mut search = SearchIndex::default();
+        search.add(m, "wannacry ransomware drops tasksche.exe");
+        search.add(f, "tasksche.exe dropped file");
+        KgSnapshot::build(graph, search).unwrap()
+    }
+
+    #[test]
+    fn digest_matches_canonical_graph_serialisation() {
+        let snap = snapshot();
+        let expected = fnv1a64(&serde_json::to_vec(snap.graph()).unwrap());
+        assert_eq!(snap.digest(), expected);
+        assert_eq!(snap.version(), 0);
+    }
+
+    #[test]
+    fn keyword_search_prefers_named_entity() {
+        let snap = snapshot();
+        let m = snap.graph().node_by_name("Malware", "wannacry").unwrap();
+        let hits = snap.keyword_search("wannacry", 5);
+        assert_eq!(hits.first(), Some(&m));
+    }
+
+    #[test]
+    fn expand_bfs_layers_and_cap() {
+        let snap = snapshot();
+        let m = snap.graph().node_by_name("Malware", "wannacry").unwrap();
+        let hood = snap.expand(m, 1, 10);
+        assert_eq!(hood.len(), 3);
+        assert_eq!(hood[0], m);
+        assert_eq!(snap.expand(m, 1, 2).len(), 2);
+        assert_eq!(snap.expand(m, 0, 10), vec![m]);
+        assert!(snap.expand(NodeId(999), 1, 10).is_empty());
+    }
+
+    #[test]
+    fn answers_cover_all_query_kinds() {
+        let snap = snapshot();
+        let m = snap.graph().node_by_name("Malware", "wannacry").unwrap();
+        assert_eq!(
+            snap.answer(&Query::Search {
+                q: "wannacry".into(),
+                k: 5
+            })
+            .node_ids()
+            .first(),
+            Some(&m)
+        );
+        match snap.answer(&Query::Cypher {
+            q: "MATCH (n:Malware) RETURN n".into(),
+        }) {
+            Answer::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            snap.answer(&Query::Cypher {
+                q: "NOT CYPHER".into()
+            }),
+            Answer::Error(_)
+        ));
+        assert_eq!(
+            snap.answer(&Query::Expand {
+                name: "WannaCry".into(),
+                hops: 1,
+                cap: 10
+            })
+            .node_ids()
+            .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn cache_keys_normalize_whitespace_and_case() {
+        let a = Query::Search {
+            q: "  WannaCry   ransomware ".into(),
+            k: 5,
+        };
+        let b = Query::Search {
+            q: "wannacry ransomware".into(),
+            k: 5,
+        };
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = Query::Cypher {
+            q: "MATCH (n)  RETURN n".into(),
+        };
+        let d = Query::Cypher {
+            q: "MATCH (n) RETURN n".into(),
+        };
+        assert_eq!(c.cache_key(), d.cache_key());
+        // Cypher string literals stay case-sensitive.
+        assert_ne!(
+            Query::Cypher {
+                q: "MATCH (n {name: 'A'}) RETURN n".into()
+            }
+            .cache_key(),
+            Query::Cypher {
+                q: "MATCH (n {name: 'a'}) RETURN n".into()
+            }
+            .cache_key()
+        );
+    }
+}

@@ -10,8 +10,16 @@ cargo fmt --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --workspace -- -D warnings
 
-echo "== cargo test =="
-cargo test -q
+echo "== cargo test (workspace) =="
+test_log="$(mktemp)"
+trap 'rm -f "$test_log"' EXIT
+cargo test -q --workspace 2>&1 | tee "$test_log"
+awk '/^test result:/ { passed += $4; suites += 1 }
+     END { printf "test summary: %d tests passed across %d suites\n", passed, suites }' \
+    "$test_log"
+
+echo "== serving stress (elevated readers) =="
+SERVE_STRESS_READERS=8 cargo test -q --test serving
 
 echo "== chaos harness (bounded) =="
 scripts/chaos.sh

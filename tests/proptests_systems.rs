@@ -144,4 +144,75 @@ proptest! {
         prop_assert!((name_similarity(&na, &na) - 1.0).abs() < 1e-12);
         prop_assert!((s - name_similarity(&nb, &na)).abs() < 1e-12, "symmetry");
     }
+
+    /// Serving-cache coherence: for arbitrary query strings, the cached
+    /// answer equals a fresh evaluation against the same snapshot, and the
+    /// second execution of any query is a cache hit with an identical answer.
+    #[test]
+    fn serve_cache_coherent_with_fresh_evaluation(
+        docs in prop::collection::vec("[a-e ]{1,24}", 1..10),
+        queries in prop::collection::vec("[a-e .]{0,16}", 1..8),
+        k in 1usize..10
+    ) {
+        use securitykg::graph::{GraphStore, Value};
+        use securitykg::serve::{KgServe, KgSnapshot, Query};
+        let mut graph = GraphStore::new();
+        let mut search = SearchIndex::default();
+        for (i, text) in docs.iter().enumerate() {
+            let id = graph.create_node("Report", [("name", Value::from(format!("r{i}")))]);
+            search.add(id, text);
+        }
+        let serve = KgServe::new(KgSnapshot::build(graph, search).unwrap(), 1024);
+        let pinned = serve.pin();
+        for q in &queries {
+            // Search, Cypher and expansion all go through the same cache.
+            let cases = [
+                Query::Search { q: q.clone(), k },
+                Query::Cypher {
+                    q: "MATCH (n:Report) RETURN count(*)".into(),
+                },
+                Query::Expand { name: q.clone(), hops: 2, cap: 20 },
+            ];
+            for query in cases {
+                let first = serve.execute(&query);
+                let second = serve.execute(&query);
+                prop_assert!(second.cached, "{query:?}");
+                prop_assert_eq!(&second.answer, &first.answer);
+                // The cached answer must equal an uncached re-evaluation.
+                prop_assert_eq!(&second.answer, &pinned.answer(&query));
+            }
+        }
+    }
+
+    /// `SearchIndex` serde round-trip preserves BM25 scores bit-exactly and
+    /// keeps the key→slot lookup intact, for arbitrary document sets.
+    #[test]
+    fn search_index_serde_round_trip_is_score_exact(
+        docs in prop::collection::vec(
+            prop::collection::vec("[a-d]{1,6}", 1..8), 1..15),
+        query_idx in 0usize..100
+    ) {
+        let mut index = SearchIndex::default();
+        for (i, words) in docs.iter().enumerate() {
+            index.add(i as u32, &words.join(" "));
+        }
+        let json = serde_json::to_string(&index).unwrap();
+        let back: SearchIndex<u32> = serde_json::from_str(&json).unwrap();
+        let all_words: Vec<&String> = docs.iter().flatten().collect();
+        let query = all_words[query_idx % all_words.len()].clone();
+        let original = index.search(&query, docs.len() + 1);
+        let restored = back.search(&query, docs.len() + 1);
+        prop_assert_eq!(original.len(), restored.len());
+        for (a, b) in original.iter().zip(&restored) {
+            prop_assert_eq!(a.doc, b.doc);
+            prop_assert_eq!(
+                a.score.to_bits(), b.score.to_bits(),
+                "scores must survive serde bit-exactly: {} vs {}", a.score, b.score
+            );
+        }
+        for i in 0..docs.len() as u32 {
+            prop_assert_eq!(index.slot_of(&i), back.slot_of(&i));
+            prop_assert_eq!(index.key_at(i), back.key_at(i));
+        }
+    }
 }

@@ -1,0 +1,241 @@
+//! Concurrency stress over the serving layer: one ingest writer publishing
+//! snapshots while several readers hammer mixed search/Cypher/expand
+//! queries. The invariants under test:
+//!
+//! - **No torn reads**: every response is stamped with a digest that was
+//!   actually published, and the pinned snapshot's node/edge counts match
+//!   what the writer registered for exactly that digest.
+//! - **Answer consistency**: answers reference only nodes that exist in the
+//!   pinned snapshot, and cached answers equal fresh evaluation on it.
+//! - **No writer starvation**: the publish count advances to the writer's
+//!   full target while readers run flat out.
+//!
+//! Reader count defaults to 4 and can be raised via `SERVE_STRESS_READERS`
+//! (scripts/check.sh runs an elevated pass).
+
+use securitykg::corpus::WorldConfig;
+use securitykg::serve::{KgServe, KgSnapshot, Query};
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn built_kg() -> SecurityKg {
+    let config = SystemConfig {
+        world: WorldConfig::tiny(7),
+        articles_per_source: 4,
+        training: TrainingConfig {
+            articles: 40,
+            ..TrainingConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let mut kg = SecurityKg::bootstrap_without_ner(&config);
+    kg.crawl_and_ingest();
+    kg
+}
+
+/// A mixed query workload drawn from the built graph: keyword searches,
+/// Cypher (valid and deliberately malformed), k-hop expansions.
+fn mixed_queries(kg: &SecurityKg) -> Vec<Query> {
+    let name_of = |id| {
+        kg.graph()
+            .node(id)
+            .and_then(|n| n.name())
+            .unwrap_or("")
+            .to_owned()
+    };
+    let mut queries = vec![
+        Query::Cypher {
+            q: "MATCH (v:CtiVendor)-[:PUBLISHES]->(r) RETURN count(*)".into(),
+        },
+        Query::Cypher {
+            q: "MATCH (m:Malware)-[:DROP]->(f:FileName) RETURN m, f LIMIT 10".into(),
+        },
+        Query::Cypher {
+            q: "THIS IS NOT CYPHER".into(),
+        },
+        Query::Search {
+            q: "ransomware campaign".into(),
+            k: 10,
+        },
+    ];
+    for id in kg.graph().nodes_with_label("Malware").into_iter().take(3) {
+        queries.push(Query::Search {
+            q: name_of(id),
+            k: 8,
+        });
+        queries.push(Query::Expand {
+            name: name_of(id),
+            hops: 2,
+            cap: 30,
+        });
+    }
+    for id in kg.graph().nodes_with_label("CtiVendor").into_iter().take(2) {
+        queries.push(Query::Search {
+            q: name_of(id),
+            k: 5,
+        });
+    }
+    queries
+}
+
+#[test]
+fn readers_never_observe_torn_state_and_writer_is_never_starved() {
+    const PUBLISHES: u64 = 10;
+    let readers: usize = std::env::var("SERVE_STRESS_READERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(4);
+
+    let kg = built_kg();
+    let queries = mixed_queries(&kg);
+    let base_graph = kg.graph().clone();
+    let base_search = kg.search_index().clone();
+
+    // Digest → (nodes, edges), registered by the writer *before* each
+    // publish, so a reader can always validate whatever epoch it pinned.
+    let published: Mutex<HashMap<u64, (usize, usize)>> = Mutex::new(HashMap::new());
+    let first = kg.serving_snapshot().expect("snapshot builds");
+    published
+        .lock()
+        .unwrap()
+        .insert(first.digest(), (first.node_count(), first.edge_count()));
+    let serve = KgServe::new(first, 256);
+    let writer_done = AtomicBool::new(false);
+
+    let reader_counts: Vec<u64> = std::thread::scope(|scope| {
+        // ---- the writer: keeps ingesting (here: merging new entities) and
+        // publishing fresh epochs.
+        scope.spawn(|| {
+            let mut graph = base_graph;
+            let mut search = base_search;
+            for i in 0..PUBLISHES {
+                let m = graph.merge_node(
+                    "Malware",
+                    &format!("stress-malware-{i}"),
+                    [("vendor", securitykg::graph::Value::from("stress"))],
+                );
+                let f = graph.create_node(
+                    "FileName",
+                    [(
+                        "name",
+                        securitykg::graph::Value::from(format!("stress-{i}.exe")),
+                    )],
+                );
+                graph.merge_edge(m, "DROP", f).unwrap();
+                search.add(m, &format!("stress malware {i} drops stress-{i}.exe"));
+                let snapshot =
+                    KgSnapshot::build(graph.clone(), search.clone()).expect("snapshot builds");
+                published.lock().unwrap().insert(
+                    snapshot.digest(),
+                    (snapshot.node_count(), snapshot.edge_count()),
+                );
+                serve.publish(snapshot);
+                // Give readers a slice of the core between epochs.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        });
+
+        // ---- the readers: hammer the mixed workload until the writer is
+        // done (and always at least 3 full passes).
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let serve = &serve;
+            let queries = &queries;
+            let published = &published;
+            let writer_done = &writer_done;
+            handles.push(scope.spawn(move || {
+                let mut executed = 0u64;
+                let mut passes = 0u32;
+                while passes < 3 || !writer_done.load(Ordering::SeqCst) {
+                    for (i, query) in queries.iter().enumerate() {
+                        let snap = serve.pin();
+                        let response = serve.execute_on(&snap, query);
+                        executed += 1;
+
+                        // The response is stamped with the pinned epoch.
+                        assert_eq!(response.digest, snap.digest());
+                        // ...which is exactly one registered publication,
+                        // and the whole snapshot is coherent with it.
+                        let registered = published
+                            .lock()
+                            .unwrap()
+                            .get(&response.digest)
+                            .copied()
+                            .unwrap_or_else(|| {
+                                panic!("unpublished digest {:016x}", response.digest)
+                            });
+                        assert_eq!(
+                            registered,
+                            (snap.node_count(), snap.edge_count()),
+                            "torn snapshot for digest {:016x}",
+                            response.digest
+                        );
+                        // Answers reference only nodes of that epoch.
+                        for id in response.answer.node_ids() {
+                            assert!(
+                                snap.graph().node(id).is_some(),
+                                "answer leaked node {id:?} missing from its snapshot"
+                            );
+                        }
+                        // Cached answers equal fresh evaluation (sampled).
+                        if (i + reader) % 5 == 0 {
+                            assert_eq!(response.answer, snap.answer(query));
+                        }
+                    }
+                    passes += 1;
+                }
+                executed
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader"))
+            .collect()
+    });
+
+    // Writer was never starved: every planned epoch went out.
+    let stats = serve.stats();
+    assert_eq!(stats.publishes, 1 + PUBLISHES, "writer starved");
+    // Every reader made progress and the workload actually hit the cache.
+    assert!(reader_counts.iter().all(|&n| n > 0), "{reader_counts:?}");
+    assert_eq!(stats.queries, reader_counts.iter().sum::<u64>());
+    assert!(stats.cache.hits > 0, "{:?}", stats.cache);
+    // The final epoch is the writer's last publication.
+    let last = serve.pin();
+    assert_eq!(last.version(), 1 + PUBLISHES);
+    assert!(last
+        .graph()
+        .node_by_name("Malware", &format!("stress-malware-{}", PUBLISHES - 1))
+        .is_some());
+}
+
+#[test]
+fn held_pins_do_not_block_publication() {
+    let kg = built_kg();
+    let first = kg.serving_snapshot().unwrap();
+    let digest_v1 = first.digest();
+    let serve = KgServe::new(first, 64);
+
+    // A long-lived analyst session pins the first epoch...
+    let session = serve.pin();
+    // ...while the writer publishes several more.
+    let mut graph = kg.graph().clone();
+    for i in 0..3 {
+        graph.merge_node("Tool", &format!("pin-tool-{i}"), [] as [(&str, &str); 0]);
+        serve.publish(KgSnapshot::build(graph.clone(), kg.search_index().clone()).unwrap());
+    }
+    assert_eq!(serve.stats().publishes, 4);
+    // The session still sees its original epoch, fully queryable.
+    assert_eq!(session.digest(), digest_v1);
+    assert!(session.graph().node_by_name("Tool", "pin-tool-0").is_none());
+    assert!(serve
+        .pin()
+        .graph()
+        .node_by_name("Tool", "pin-tool-2")
+        .is_some());
+}
