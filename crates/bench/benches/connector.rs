@@ -1,0 +1,113 @@
+//! Microbench for the split connector (E4 tentpole): the parallelisable
+//! resolve phase vs the serial apply phase, against the fused classic path.
+//!
+//! The split pays off when `resolve` (canonicalisation + relation schema
+//! checks + BM25 pre-tokenization) dominates `apply` (graph merges under
+//! the writer lock): resolve shards across workers while apply stays
+//! single-threaded. This bench measures both halves per report so the
+//! writer's serial share can be compared with E4's end-to-end numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kg_bench::{small_web, FOREVER};
+use kg_crawler::{crawl_all, CrawlState, CrawlerConfig};
+use kg_extract::RegexNerBaseline;
+use kg_fusion::ResolverConfig;
+use kg_ir::IntermediateCti;
+use kg_ontology::EntityKind;
+use kg_pipeline::{
+    run_sequential, Connector, GraphConnector, GraphDelta, IocOnlyExtractor, ParserRegistry,
+    PipelineConfig,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Pre-parse a corpus into CTIs by running the pipeline with a capturing
+/// connector; the gazetteer extractor keeps mentions (and so fusion work)
+/// realistic without CRF training cost.
+fn prepared_ctis() -> Vec<IntermediateCti> {
+    #[derive(Default)]
+    struct Capture(Vec<IntermediateCti>);
+    impl Connector for Capture {
+        fn connect(&mut self, cti: &IntermediateCti) {
+            self.0.push(cti.clone());
+        }
+    }
+    let web = small_web(0xBE8);
+    let curated = web.world().curated_lists(1.0, 0xBE8);
+    let extractor = IocOnlyExtractor {
+        baseline: Arc::new(RegexNerBaseline::new(vec![
+            (EntityKind::Malware, curated.malware),
+            (EntityKind::ThreatActor, curated.actors),
+            (EntityKind::Technique, curated.techniques),
+            (EntityKind::Tool, curated.tools),
+            (EntityKind::Software, curated.software),
+        ])),
+    };
+    let mut state = CrawlState::new();
+    let (reports, _) = crawl_all(&web, &mut state, &CrawlerConfig::default(), FOREVER);
+    run_sequential(
+        reports,
+        &ParserRegistry::new(),
+        &extractor,
+        Capture::default(),
+        &PipelineConfig::default(),
+    )
+    .connector
+    .0
+}
+
+fn resolve_all(ctis: &[IntermediateCti]) -> Vec<GraphDelta> {
+    let connector = GraphConnector::with_resolver(ResolverConfig::standard());
+    let resolver = connector.resolver().expect("graph connector resolves");
+    ctis.iter()
+        .enumerate()
+        .map(|(i, cti)| {
+            let mut delta = resolver.resolve(cti);
+            delta.seq = i as u64;
+            delta
+        })
+        .collect()
+}
+
+fn bench_connector(c: &mut Criterion) {
+    let ctis = prepared_ctis();
+    assert!(!ctis.is_empty());
+    let deltas = resolve_all(&ctis);
+
+    let mut group = c.benchmark_group("connector/split");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ctis.len() as u64));
+    group.bench_function("resolve_phase_per_report", |b| {
+        let connector = GraphConnector::with_resolver(ResolverConfig::standard());
+        let resolver = connector.resolver().expect("graph connector resolves");
+        b.iter(|| {
+            let mut entities = 0usize;
+            for cti in &ctis {
+                entities += resolver.resolve(cti).entities.len();
+            }
+            black_box(entities)
+        });
+    });
+    group.bench_function("apply_phase_per_delta", |b| {
+        b.iter(|| {
+            let mut connector = GraphConnector::with_resolver(ResolverConfig::standard());
+            for delta in deltas.iter().cloned() {
+                connector.apply_delta(delta);
+            }
+            black_box(connector.graph.node_count())
+        });
+    });
+    group.bench_function("fused_classic_connect", |b| {
+        b.iter(|| {
+            let mut connector = GraphConnector::with_resolver(ResolverConfig::standard());
+            for cti in &ctis {
+                connector.connect(cti);
+            }
+            black_box(connector.graph.node_count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_connector);
+criterion_main!(benches);

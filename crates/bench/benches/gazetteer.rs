@@ -1,0 +1,101 @@
+//! Microbench for the gazetteer window matcher (ISSUE satellite: zero
+//! per-window heap allocation).
+//!
+//! "after" = the fingerprint-probed fast path: per-word FNV hashes computed
+//! once per sentence, each candidate window extended by one rolling
+//! `fnv1a64_extend` step, and the real entry set consulted only on a
+//! fingerprint hit. "before" = the direct path (what a freshly
+//! deserialised gazetteer falls back to): probe the entry set with a
+//! borrowed window at every (start, len) pair, longest first.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kg_bench::small_web;
+use kg_extract::features::Gazetteer;
+use std::hint::black_box;
+
+fn fixtures() -> (Gazetteer, Vec<Vec<String>>) {
+    let web = small_web(0xBE7);
+    let curated = web.world().curated_lists(1.0, 0xBE7);
+    let entries: Vec<String> = curated
+        .malware
+        .into_iter()
+        .chain(curated.actors)
+        .chain(curated.techniques)
+        .chain(curated.tools)
+        .chain(curated.software)
+        .collect();
+    let gaz = Gazetteer::new("bench", entries.clone());
+
+    // Sentences mixing gazetteer entries into filler prose, pre-lowered the
+    // way the featurizer hands them to `match_tokens`.
+    let filler = [
+        "the",
+        "campaign",
+        "dropped",
+        "a",
+        "loader",
+        "on",
+        "victims",
+        "and",
+        "then",
+        "pivoted",
+        "to",
+        "the",
+        "domain",
+        "controller",
+        "before",
+        "exfiltrating",
+        "credentials",
+    ];
+    let mut sentences = Vec::new();
+    for (i, entry) in entries.iter().enumerate().take(200) {
+        let mut words: Vec<String> = filler.iter().map(|w| (*w).to_owned()).collect();
+        let at = 3 + i % 7;
+        for (k, part) in entry.split_whitespace().enumerate() {
+            words.insert(at + k, part.to_lowercase());
+        }
+        sentences.push(words);
+    }
+    (gaz, sentences)
+}
+
+fn bench_gazetteer(c: &mut Criterion) {
+    let (gaz, sentences) = fixtures();
+    // Round-trip through serde to obtain the fingerprint-less "before"
+    // matcher (serialisation skips the derived hashes).
+    let direct: Gazetteer = serde_json::from_str(&serde_json::to_string(&gaz).unwrap()).unwrap();
+    let tokens: usize = sentences.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("gazetteer/match_tokens");
+    group.throughput(Throughput::Elements(tokens as u64));
+    group.bench_function("fingerprint_probe (after)", |b| {
+        b.iter(|| {
+            let mut covered = 0usize;
+            for sentence in &sentences {
+                covered += gaz
+                    .match_tokens(sentence)
+                    .iter()
+                    .filter(|(c, _)| *c)
+                    .count();
+            }
+            black_box(covered)
+        });
+    });
+    group.bench_function("direct_set_probe (before)", |b| {
+        b.iter(|| {
+            let mut covered = 0usize;
+            for sentence in &sentences {
+                covered += direct
+                    .match_tokens(sentence)
+                    .iter()
+                    .filter(|(c, _)| *c)
+                    .count();
+            }
+            black_box(covered)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gazetteer);
+criterion_main!(benches);

@@ -257,11 +257,7 @@ pub fn run_durable(
                     cycles_done: payload.cycles_done,
                     ingested: payload.ingested.into_iter().collect(),
                     scheduler: Scheduler::restore(&web, payload.scheduler),
-                    connector: GraphConnector {
-                        graph: payload.kb.graph,
-                        search: payload.kb.search,
-                        ..GraphConnector::new()
-                    },
+                    connector: GraphConnector::with_state(payload.kb.graph, payload.kb.search),
                 }
             }
             None => DurableState {

@@ -57,6 +57,36 @@ pub struct Example {
     pub labels: Vec<LabelId>,
 }
 
+/// Reusable per-sentence buffers for [`Crf::sgd_step`]. Allocated once per
+/// training run and resized (never reallocated, after the longest sentence)
+/// for each example, instead of four fresh `Vec`s per sentence per epoch.
+#[derive(Default)]
+struct SgdScratch {
+    /// Emission scores, `t_len × n_labels`.
+    scores: Vec<f64>,
+    /// Forward log-messages, `t_len × n_labels`.
+    alpha: Vec<f64>,
+    /// Backward log-messages, `t_len × n_labels`.
+    beta: Vec<f64>,
+    /// One row of incoming terms for `logsumexp`, `n_labels`.
+    buf: Vec<f64>,
+}
+
+impl SgdScratch {
+    /// Size the buffers for a sentence of `t_len` tokens, refilling the
+    /// initial values `sgd_step` assumes (zeros / `-inf`).
+    fn reset(&mut self, t_len: usize, n_labels: usize) {
+        self.scores.clear();
+        self.scores.resize(t_len * n_labels, 0.0);
+        self.alpha.clear();
+        self.alpha.resize(t_len * n_labels, f64::NEG_INFINITY);
+        self.beta.clear();
+        self.beta.resize(t_len * n_labels, 0.0);
+        self.buf.clear();
+        self.buf.resize(n_labels, 0.0);
+    }
+}
+
 fn logsumexp(xs: &[f64]) -> f64 {
     let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if m.is_infinite() {
@@ -94,6 +124,7 @@ impl Crf {
             z ^ (z >> 31)
         };
 
+        let mut scratch = SgdScratch::default();
         for _epoch in 0..config.epochs {
             // Fisher–Yates with the deterministic stream.
             for i in (1..order.len()).rev() {
@@ -113,6 +144,7 @@ impl Crf {
                     &mut emit_g2,
                     &mut trans_g2,
                     config.lr,
+                    &mut scratch,
                 );
             }
             if config.l2 > 0.0 {
@@ -141,10 +173,17 @@ impl Crf {
         emit_g2: &mut [f64],
         trans_g2: &mut [f64],
         lr: f64,
+        scratch: &mut SgdScratch,
     ) {
         let t_len = ex.features.len();
+        scratch.reset(t_len, n_labels);
+        let SgdScratch {
+            scores,
+            alpha,
+            beta,
+            buf,
+        } = scratch;
         // Emission scores per position.
-        let mut scores = vec![0f64; t_len * n_labels];
         for (t, feats) in ex.features.iter().enumerate() {
             for &f in feats {
                 let row = f as usize * n_labels;
@@ -155,19 +194,16 @@ impl Crf {
         }
 
         // Forward (log alpha).
-        let mut alpha = vec![f64::NEG_INFINITY; t_len * n_labels];
         alpha[..n_labels].copy_from_slice(&scores[..n_labels]);
-        let mut buf = vec![0f64; n_labels];
         for t in 1..t_len {
             for l in 0..n_labels {
                 for (p, slot) in buf.iter_mut().enumerate() {
                     *slot = alpha[(t - 1) * n_labels + p] + trans[p * n_labels + l];
                 }
-                alpha[t * n_labels + l] = logsumexp(&buf) + scores[t * n_labels + l];
+                alpha[t * n_labels + l] = logsumexp(buf) + scores[t * n_labels + l];
             }
         }
         // Backward (log beta).
-        let mut beta = vec![0f64; t_len * n_labels];
         for t in (0..t_len - 1).rev() {
             for l in 0..n_labels {
                 for (q, slot) in buf.iter_mut().enumerate() {
@@ -175,7 +211,7 @@ impl Crf {
                         + scores[(t + 1) * n_labels + q]
                         + beta[(t + 1) * n_labels + q];
                 }
-                beta[t * n_labels + l] = logsumexp(&buf);
+                beta[t * n_labels + l] = logsumexp(buf);
             }
         }
         let log_z = logsumexp(&alpha[(t_len - 1) * n_labels..]);
@@ -465,12 +501,7 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (labels, map, examples, featurizer) = toy_training();
-        let a = Crf::train(
-            labels.clone(),
-            map.clone(),
-            &examples,
-            &CrfConfig::default(),
-        );
+        let a = Crf::train(labels, map, &examples, &CrfConfig::default());
         let (labels2, map2, examples2, _) = toy_training();
         let b = Crf::train(labels2, map2, &examples2, &CrfConfig::default());
         let matcher = IocMatcher::standard();

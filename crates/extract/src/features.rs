@@ -49,12 +49,29 @@ impl Default for FeatureConfig {
 
 /// A gazetteer: a named set of (possibly multi-word) entries, matched over
 /// lowercase token windows.
+///
+/// Matching is hash-probed: each entry's word sequence is fingerprinted once
+/// at build time, and `match_tokens` extends a rolling window fingerprint by
+/// one precomputed word hash per step — so the inner window loop does no
+/// heap allocation and no per-character string hashing. A fingerprint hit is
+/// verified against the real entry set before it counts, so hash collisions
+/// cannot produce false matches.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Gazetteer {
     pub name: String,
     /// Entries, each pre-split into lowercase words.
     entries: HashSet<Vec<String>>,
     max_len: usize,
+    /// Fingerprints of `entries` (combined per-word FNV hashes). Rebuilt on
+    /// demand after deserialisation, which skips this field.
+    #[serde(skip)]
+    entry_hashes: HashSet<u64>,
+}
+
+/// Fingerprint of one word sequence: order-sensitive combination of the
+/// per-word FNV-1a hashes.
+fn words_fingerprint<'a>(words: impl IntoIterator<Item = &'a String>) -> u64 {
+    kg_ir::combine_hashes(words.into_iter().map(|w| kg_ir::fnv1a64(w.as_bytes())))
 }
 
 impl Gazetteer {
@@ -71,10 +88,12 @@ impl Gazetteer {
             .filter(|v: &Vec<String>| !v.is_empty())
             .collect();
         let max_len = entries.iter().map(Vec::len).max().unwrap_or(0);
+        let entry_hashes = entries.iter().map(words_fingerprint).collect();
         Gazetteer {
             name: name.to_owned(),
             entries,
             max_len,
+            entry_hashes,
         }
     }
 
@@ -89,12 +108,51 @@ impl Gazetteer {
     }
 
     /// Mark tokens covered by any entry: returns per-token `(covered,
-    /// begins)` flags.
+    /// begins)` flags. The longest entry starting at each token wins, as
+    /// before; only the probing strategy changed.
     pub fn match_tokens(&self, lower_words: &[String]) -> Vec<(bool, bool)> {
         let mut flags = vec![(false, false); lower_words.len()];
         if self.is_empty() {
             return flags;
         }
+        if self.entry_hashes.len() != self.entries.len() {
+            // Deserialized without fingerprints: direct set probes.
+            return self.match_tokens_direct(lower_words, flags);
+        }
+        let word_hashes: Vec<u64> = lower_words
+            .iter()
+            .map(|w| kg_ir::fnv1a64(w.as_bytes()))
+            .collect();
+        for start in 0..lower_words.len() {
+            let upper = self.max_len.min(lower_words.len() - start);
+            // `fnv1a64(&[])` is the FNV offset basis, so extending it per
+            // word hash reproduces `words_fingerprint` incrementally.
+            let mut h = kg_ir::fnv1a64(&[]);
+            let mut best = None;
+            for len in 1..=upper {
+                h = kg_ir::fnv1a64_extend(h, &word_hashes[start + len - 1].to_le_bytes());
+                if self.entry_hashes.contains(&h)
+                    && self.entries.contains(&lower_words[start..start + len])
+                {
+                    best = Some(len);
+                }
+            }
+            if let Some(len) = best {
+                flags[start].1 = true;
+                for f in &mut flags[start..start + len] {
+                    f.0 = true;
+                }
+            }
+        }
+        flags
+    }
+
+    /// Fallback matcher probing the entry set with borrowed windows.
+    fn match_tokens_direct(
+        &self,
+        lower_words: &[String],
+        mut flags: Vec<(bool, bool)>,
+    ) -> Vec<(bool, bool)> {
         for start in 0..lower_words.len() {
             for len in (1..=self.max_len.min(lower_words.len() - start)).rev() {
                 let window = &lower_words[start..start + len];
@@ -108,6 +166,12 @@ impl Gazetteer {
             }
         }
         flags
+    }
+
+    /// Rebuild the entry fingerprints (after deserialisation, which skips
+    /// them). Matching works without this, just slower.
+    pub fn rebuild_fingerprints(&mut self) {
+        self.entry_hashes = self.entries.iter().map(words_fingerprint).collect();
     }
 }
 
@@ -369,6 +433,44 @@ mod tests {
         assert_eq!(flags[2], (true, false));
         assert_eq!(flags[3], (false, false));
         assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn gazetteer_hash_probe_matches_direct_probe() {
+        let g = Gazetteer::new(
+            "mixed",
+            [
+                "Lazarus Group".to_owned(),
+                "lazarus group bd".to_owned(),
+                "turla".to_owned(),
+                "cozy bear".to_owned(),
+            ],
+        );
+        // A deserialized gazetteer loses its fingerprints and takes the
+        // direct-probe path; both paths must agree flag-for-flag (including
+        // preferring the longest match at a start position).
+        let json = serde_json::to_string(&g).unwrap();
+        let stripped: Gazetteer = serde_json::from_str(&json).unwrap();
+        let sentences: &[&[&str]] = &[
+            &["the", "lazarus", "group", "bd", "struck"],
+            &["lazarus", "group"],
+            &["cozy", "bear", "and", "turla"],
+            &["nothing", "here"],
+            &[],
+        ];
+        for words in sentences {
+            let lower: Vec<String> = words.iter().map(|w| (*w).to_owned()).collect();
+            assert_eq!(
+                g.match_tokens(&lower),
+                stripped.match_tokens(&lower),
+                "{words:?}"
+            );
+        }
+        // Rebuilding fingerprints restores the fast path with equal results.
+        let mut rebuilt = stripped.clone();
+        rebuilt.rebuild_fingerprints();
+        let lower: Vec<String> = ["lazarus", "group", "bd"].map(str::to_owned).into();
+        assert_eq!(g.match_tokens(&lower), rebuilt.match_tokens(&lower));
     }
 
     #[test]

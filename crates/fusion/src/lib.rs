@@ -12,9 +12,16 @@
 //!   similarity with name normalisation.
 //! - [`union_find`] — disjoint-set clustering of alias candidates.
 //! - [`fuse`] — the fusion pass over a [`kg_graph::GraphStore`].
+//! - [`resolver`] — ingest-time canonicalisation against a snapshot of the
+//!   canon table (the parallel connector's resolve phase).
 
+pub mod resolver;
 pub mod similarity;
 pub mod union_find;
+
+pub use resolver::{
+    CanonEntry, CanonSnapshot, CanonTable, Committed, Resolution, ResolveBasis, ResolverConfig,
+};
 
 use kg_graph::{GraphStore, NodeId, Value};
 use serde::{Deserialize, Serialize};
@@ -214,18 +221,12 @@ fn shares_fact_neighbor(store: &GraphStore, a: NodeId, b: NodeId) -> bool {
                 .unwrap_or(false)
         })
     };
-    let a_neighbors: std::collections::HashSet<NodeId> = store
-        .neighbors(a)
-        .into_iter()
-        .filter(|&n| is_ioc(n))
-        .collect();
+    let a_neighbors: std::collections::HashSet<NodeId> =
+        store.neighbors_iter(a).filter(|&n| is_ioc(n)).collect();
     if a_neighbors.is_empty() {
         return false;
     }
-    store
-        .neighbors(b)
-        .into_iter()
-        .any(|n| a_neighbors.contains(&n))
+    store.neighbors_iter(b).any(|n| a_neighbors.contains(&n))
 }
 
 /// Migrate all edges of `absorbed` onto `kept`, merge properties, delete

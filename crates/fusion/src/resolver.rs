@@ -1,0 +1,501 @@
+//! Ingest-time entity canonicalisation against a snapshot of the canon table.
+//!
+//! The pipeline's parallel connector splits graph construction into a
+//! *resolve* phase (N workers) and an *apply* phase (one writer). Workers
+//! canonicalise entity names against a read-only [`CanonSnapshot`] — a frozen
+//! prefix of the writer's [`CanonTable`] — and record *how* they resolved
+//! each name as a [`ResolveBasis`]. The writer then commits each resolution
+//! against the live table: exact and alias lookups are re-probed O(1), and
+//! only the table suffix appended after the worker's snapshot is re-scanned
+//! for similarity. Because the table is append-only and the resolution rule
+//! is deterministic (exact > alias claim > best similarity by `(max score,
+//! min entry index)`), the committed name equals what a sequential build
+//! resolving against the always-live table would produce — for *any*
+//! snapshot staleness. A worker prediction invalidated by entries appended
+//! since its snapshot is a **conflict**: detected at commit, re-resolved
+//! there, counted.
+//!
+//! Structural corroboration (shared-neighbour checks) stays in the post-hoc
+//! [`crate::fuse`] pass — workers have no graph. The resolver therefore
+//! ships disabled by default and, when enabled, should run with a stricter
+//! threshold than offline fusion.
+
+use crate::similarity;
+use kg_graph::GraphStore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Ingest-time canonicalisation policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResolverConfig {
+    /// Master switch. Disabled (the default) means every name resolves to
+    /// itself and the canon table stays empty — byte-identical to the
+    /// pre-resolver connector.
+    pub enabled: bool,
+    /// Similarity threshold for resolving a new mention onto an existing
+    /// canon entry. Stricter than offline fusion's, since there is no
+    /// shared-neighbour corroboration at ingest time.
+    pub threshold: f64,
+    /// Labels eligible for canonicalisation (IOC labels never are: two
+    /// different hashes are different facts even at edit distance 1).
+    pub labels: Vec<String>,
+    /// Analyst-curated alias groups, same semantics as
+    /// [`crate::FusionConfig::alias_groups`].
+    pub alias_groups: Vec<Vec<String>>,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            enabled: false,
+            threshold: 0.92,
+            labels: vec![
+                "Malware".into(),
+                "ThreatActor".into(),
+                "Campaign".into(),
+                "Tool".into(),
+                "Software".into(),
+            ],
+            alias_groups: Vec::new(),
+        }
+    }
+}
+
+impl ResolverConfig {
+    /// The default policy with canonicalisation switched on.
+    pub fn standard() -> Self {
+        ResolverConfig {
+            enabled: true,
+            ..ResolverConfig::default()
+        }
+    }
+}
+
+/// One canonical name the table has accepted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CanonEntry {
+    pub label: String,
+    pub name: String,
+    /// [`similarity::normalize`] of `name`, precomputed.
+    pub norm: String,
+}
+
+/// How a worker resolved one `(label, name)` against its snapshot. Travels
+/// inside a `GraphDelta` so the writer can commit with O(1) + suffix work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResolveBasis {
+    /// Resolver disabled or label not eligible: identity, nothing to commit.
+    Exempt,
+    /// The snapshot already held this exact `(label, name)` at `entry`.
+    Exact { entry: usize },
+    /// The name belongs to alias group `group`; `claimed` is the entry that
+    /// had claimed the group in the snapshot (`None` = unclaimed there).
+    Alias {
+        group: usize,
+        claimed: Option<usize>,
+    },
+    /// Best similarity match in the snapshot prefix.
+    Similar { entry: usize, sim: f64 },
+    /// Nothing in the snapshot matched — the name would become a new canon
+    /// entry.
+    New,
+}
+
+/// A worker-side resolution: the predicted canonical name, the evidence, and
+/// the snapshot length it was computed against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resolution {
+    pub name: String,
+    pub basis: ResolveBasis,
+    pub upto: usize,
+}
+
+/// What the writer's commit decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Committed {
+    /// The authoritative canonical name.
+    pub name: String,
+    /// The worker's prediction was invalidated by entries appended since its
+    /// snapshot and had to be re-resolved.
+    pub conflict: bool,
+}
+
+#[derive(Debug, Default)]
+struct SnapshotInner {
+    entries: Vec<CanonEntry>,
+    /// `label\0name` → entry index.
+    by_exact: HashMap<String, usize>,
+    /// alias group id → claiming entry index.
+    claims: HashMap<usize, usize>,
+}
+
+/// A frozen, shareable view of a [`CanonTable`] prefix. Cloning is an `Arc`
+/// bump; resolve workers hold one and swap it when the writer republishes.
+#[derive(Debug, Clone, Default)]
+pub struct CanonSnapshot {
+    config: Arc<ResolverConfig>,
+    alias_of: Arc<HashMap<String, usize>>,
+    inner: Arc<SnapshotInner>,
+}
+
+impl CanonSnapshot {
+    /// Number of entries visible to this snapshot (the commit-time `upto`).
+    pub fn upto(&self) -> usize {
+        self.inner.entries.len()
+    }
+
+    /// Resolve `(label, name)` against this snapshot. Deterministic rule:
+    /// exact entry > claimed alias group > best similarity `(max score, min
+    /// entry index)` at or above the threshold > the name itself.
+    pub fn resolve(&self, label: &str, name: &str) -> Resolution {
+        let upto = self.upto();
+        if !applies(&self.config, label) {
+            return Resolution {
+                name: name.to_owned(),
+                basis: ResolveBasis::Exempt,
+                upto,
+            };
+        }
+        if let Some(&entry) = self.inner.by_exact.get(&exact_key(label, name)) {
+            return Resolution {
+                name: name.to_owned(),
+                basis: ResolveBasis::Exact { entry },
+                upto,
+            };
+        }
+        let norm = similarity::normalize(name);
+        if let Some(&group) = self.alias_of.get(&norm) {
+            let claimed = self.inner.claims.get(&group).copied();
+            let resolved = claimed
+                .map(|e| self.inner.entries[e].name.clone())
+                .unwrap_or_else(|| name.to_owned());
+            return Resolution {
+                name: resolved,
+                basis: ResolveBasis::Alias { group, claimed },
+                upto,
+            };
+        }
+        match best_similar(
+            &self.inner.entries,
+            0..upto,
+            label,
+            &norm,
+            self.config.threshold,
+        ) {
+            Some((entry, sim)) => Resolution {
+                name: self.inner.entries[entry].name.clone(),
+                basis: ResolveBasis::Similar { entry, sim },
+                upto,
+            },
+            None => Resolution {
+                name: name.to_owned(),
+                basis: ResolveBasis::New,
+                upto,
+            },
+        }
+    }
+}
+
+/// The writer's live, append-only canon table.
+#[derive(Debug, Default)]
+pub struct CanonTable {
+    config: Arc<ResolverConfig>,
+    /// Normalised alias name → group id (from config, immutable).
+    alias_of: Arc<HashMap<String, usize>>,
+    entries: Vec<CanonEntry>,
+    by_exact: HashMap<String, usize>,
+    claims: HashMap<usize, usize>,
+}
+
+impl CanonTable {
+    pub fn new(config: ResolverConfig) -> Self {
+        let mut alias_of = HashMap::new();
+        for (gid, group) in config.alias_groups.iter().enumerate() {
+            for name in group {
+                alias_of.insert(similarity::normalize(name), gid);
+            }
+        }
+        CanonTable {
+            config: Arc::new(config),
+            alias_of: Arc::new(alias_of),
+            entries: Vec::new(),
+            by_exact: HashMap::new(),
+            claims: HashMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ResolverConfig {
+        &self.config
+    }
+
+    /// Entries accepted so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Freeze the current table state into a shareable snapshot.
+    pub fn snapshot(&self) -> CanonSnapshot {
+        CanonSnapshot {
+            config: Arc::clone(&self.config),
+            alias_of: Arc::clone(&self.alias_of),
+            inner: Arc::new(SnapshotInner {
+                entries: self.entries.clone(),
+                by_exact: self.by_exact.clone(),
+                claims: self.claims.clone(),
+            }),
+        }
+    }
+
+    /// Seed the table from an existing graph (durable resume): canon-eligible
+    /// nodes in creation order re-create the entries the original run
+    /// appended, in the same order.
+    pub fn seed_from_graph(&mut self, store: &GraphStore) {
+        if !self.config.enabled {
+            return;
+        }
+        for node in store.all_nodes() {
+            if !self.config.labels.iter().any(|l| l == &node.label) {
+                continue;
+            }
+            if let Some(name) = node.name() {
+                let key = exact_key(&node.label, name);
+                if !self.by_exact.contains_key(&key) {
+                    self.push_entry(node.label.clone(), name.to_owned());
+                }
+            }
+        }
+    }
+
+    /// Commit a worker resolution against the live table. Re-derives the
+    /// authoritative resolution — exact and alias by O(1) live probes, and
+    /// similarity as the better of the worker's snapshot-prefix best and a
+    /// scan of only the entries appended since (`resolution.upto ..`). If
+    /// the name stays canonical, it is appended to the table.
+    pub fn commit(&mut self, label: &str, raw: &str, resolution: &Resolution) -> Committed {
+        if !applies(&self.config, label) {
+            return Committed {
+                name: raw.to_owned(),
+                conflict: false,
+            };
+        }
+        let norm = similarity::normalize(raw);
+        let final_name = if self.by_exact.contains_key(&exact_key(label, raw)) {
+            raw.to_owned()
+        } else if let Some(&group) = self.alias_of.get(&norm) {
+            match self.claims.get(&group) {
+                Some(&e) => self.entries[e].name.clone(),
+                None => raw.to_owned(),
+            }
+        } else {
+            let prefix_best = match resolution.basis {
+                ResolveBasis::Similar { entry, sim } => Some((entry, sim)),
+                _ => None,
+            };
+            let suffix_best = best_similar(
+                &self.entries,
+                resolution.upto..self.entries.len(),
+                label,
+                &norm,
+                self.config.threshold,
+            );
+            match combine_best(prefix_best, suffix_best) {
+                Some((entry, _)) => self.entries[entry].name.clone(),
+                None => raw.to_owned(),
+            }
+        };
+        if final_name == raw && !self.by_exact.contains_key(&exact_key(label, raw)) {
+            self.push_entry(label.to_owned(), raw.to_owned());
+        }
+        let conflict = final_name != resolution.name;
+        Committed {
+            name: final_name,
+            conflict,
+        }
+    }
+
+    fn push_entry(&mut self, label: String, name: String) {
+        let norm = similarity::normalize(&name);
+        let idx = self.entries.len();
+        self.by_exact.insert(exact_key(&label, &name), idx);
+        if let Some(&gid) = self.alias_of.get(&norm) {
+            self.claims.entry(gid).or_insert(idx);
+        }
+        self.entries.push(CanonEntry { label, name, norm });
+    }
+}
+
+fn applies(config: &ResolverConfig, label: &str) -> bool {
+    config.enabled && config.labels.iter().any(|l| l == label)
+}
+
+fn exact_key(label: &str, name: &str) -> String {
+    format!("{label}\u{0}{name}")
+}
+
+/// Best similarity match for `norm` among `entries[range]` with `label`:
+/// highest score wins, ties break toward the lowest entry index (so prefix
+/// and suffix bests compose associatively to the full-table best).
+fn best_similar(
+    entries: &[CanonEntry],
+    range: std::ops::Range<usize>,
+    label: &str,
+    norm: &str,
+    threshold: f64,
+) -> Option<(usize, f64)> {
+    if norm.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for idx in range {
+        let entry = &entries[idx];
+        if entry.label != label || entry.norm.is_empty() {
+            continue;
+        }
+        let (a, b) = (norm, entry.norm.as_str());
+        let len_ratio = a.len().min(b.len()) as f64 / a.len().max(b.len()) as f64;
+        if len_ratio < 0.4 && a.as_bytes()[0] != b.as_bytes()[0] {
+            continue;
+        }
+        let sim = similarity::name_similarity(a, b);
+        if sim < threshold {
+            continue;
+        }
+        if best.is_none_or(|(_, s)| sim > s) {
+            best = Some((idx, sim));
+        }
+    }
+    best
+}
+
+fn combine_best(a: Option<(usize, f64)>, b: Option<(usize, f64)>) -> Option<(usize, f64)> {
+    match (a, b) {
+        (Some((ia, sa)), Some((ib, sb))) => {
+            if sb > sa || (sb == sa && ib < ia) {
+                Some((ib, sb))
+            } else {
+                Some((ia, sa))
+            }
+        }
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CanonTable {
+        CanonTable::new(ResolverConfig {
+            alias_groups: vec![vec!["cozyduke".into(), "apt29".into()]],
+            ..ResolverConfig::standard()
+        })
+    }
+
+    fn commit_raw(table: &mut CanonTable, label: &str, name: &str) -> Committed {
+        let resolution = table.snapshot().resolve(label, name);
+        table.commit(label, name, &resolution)
+    }
+
+    #[test]
+    fn disabled_resolver_is_identity_and_keeps_table_empty() {
+        let mut t = CanonTable::new(ResolverConfig::default());
+        let c = commit_raw(&mut t, "Malware", "wannacry");
+        assert_eq!(c.name, "wannacry");
+        assert!(!c.conflict);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ineligible_labels_are_exempt() {
+        let mut t = table();
+        let c = commit_raw(&mut t, "HashMd5", "44d88612fea8a8f36de82e1278abb02f");
+        assert_eq!(c.name, "44d88612fea8a8f36de82e1278abb02f");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn first_name_claims_then_similar_names_resolve_onto_it() {
+        let mut t = table();
+        assert_eq!(commit_raw(&mut t, "Malware", "wannacry").name, "wannacry");
+        // Same name: exact hit, no new entry.
+        assert_eq!(commit_raw(&mut t, "Malware", "wannacry").name, "wannacry");
+        assert_eq!(t.len(), 1);
+        // Similar spelling resolves onto the canonical.
+        assert_eq!(commit_raw(&mut t, "Malware", "wanna-cry").name, "wannacry");
+        assert_eq!(t.len(), 1);
+        // Same name under a different label is a different entity.
+        assert_eq!(commit_raw(&mut t, "Tool", "wannacry").name, "wannacry");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn alias_groups_resolve_without_similarity() {
+        let mut t = table();
+        assert_eq!(
+            commit_raw(&mut t, "ThreatActor", "cozyduke").name,
+            "cozyduke"
+        );
+        // No string similarity between the names, but the group claims it.
+        assert_eq!(commit_raw(&mut t, "ThreatActor", "apt29").name, "cozyduke");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stale_snapshot_conflict_is_reresolved_at_commit() {
+        let mut t = table();
+        let stale = t.snapshot(); // empty prefix
+        assert_eq!(commit_raw(&mut t, "Malware", "wannacry").name, "wannacry");
+        // A worker holding the stale snapshot misses the new entry...
+        let r = stale.resolve("Malware", "wanacry");
+        assert_eq!(r.name, "wanacry");
+        assert_eq!(r.basis, ResolveBasis::New);
+        // ...and the commit re-resolves it onto the live canonical.
+        let c = t.commit("Malware", "wanacry", &r);
+        assert_eq!(c.name, "wannacry");
+        assert!(c.conflict);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stale_and_fresh_snapshots_commit_identically() {
+        // The digest-identity property in miniature: resolution committed
+        // through any snapshot staleness equals live sequential resolution.
+        let names = ["wannacry", "wanna-cry", "emotet", "emotett", "wannacry 2"];
+        let mut live = table();
+        let live_names: Vec<String> = names
+            .iter()
+            .map(|n| commit_raw(&mut live, "Malware", n).name)
+            .collect();
+        let mut stale = table();
+        let frozen = stale.snapshot(); // never refreshed
+        let stale_names: Vec<String> = names
+            .iter()
+            .map(|n| {
+                let r = frozen.resolve("Malware", n);
+                stale.commit("Malware", n, &r).name
+            })
+            .collect();
+        assert_eq!(live_names, stale_names);
+    }
+
+    #[test]
+    fn seed_from_graph_recreates_entries_in_creation_order() {
+        use kg_graph::Value;
+        let mut g = GraphStore::new();
+        g.create_node("Malware", [("name", Value::from("wannacry"))]);
+        g.create_node("HashMd5", [("name", Value::from("abcd"))]);
+        g.create_node("ThreatActor", [("name", Value::from("cozyduke"))]);
+        let mut t = table();
+        t.seed_from_graph(&g);
+        assert_eq!(t.len(), 2);
+        // The seeded table resolves like the original live table would.
+        assert_eq!(commit_raw(&mut t, "Malware", "wanna_cry").name, "wannacry");
+        assert_eq!(commit_raw(&mut t, "ThreatActor", "apt29").name, "cozyduke");
+    }
+}

@@ -9,8 +9,40 @@
 
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+
+/// Composite `(label, name)` index key: `label`, NUL, `name`. Labels never
+/// contain NUL (they come from the ontology's label set), so the encoding is
+/// unambiguous and lets the index use one `String` per entry instead of a
+/// two-`String` tuple.
+fn name_key(label: &str, name: &str) -> String {
+    let mut key = String::with_capacity(label.len() + name.len() + 1);
+    key.push_str(label);
+    key.push('\u{0}');
+    key.push_str(name);
+    key
+}
+
+thread_local! {
+    /// Scratch buffer for index probes, so the hot `merge_node`/`node_by_name`
+    /// paths never allocate a key just to look it up.
+    static KEY_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Run `f` with the composite key for `(label, name)` built in a reusable
+/// thread-local buffer — zero heap allocation once the buffer has warmed up.
+fn with_name_key<R>(label: &str, name: &str, f: impl FnOnce(&str) -> R) -> R {
+    KEY_SCRATCH.with(|buf| {
+        let mut key = buf.borrow_mut();
+        key.clear();
+        key.push_str(label);
+        key.push('\u{0}');
+        key.push_str(name);
+        f(&key)
+    })
+}
 
 /// Dense node identifier (never reused).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -71,11 +103,12 @@ pub struct GraphStore {
     /// label → live node ids.
     #[serde(skip)]
     label_index: HashMap<String, Vec<NodeId>>,
-    /// (label, name) → live node ids bearing that name, in insertion order
-    /// (multi-valued: `create_node`/renames may duplicate names; lookups
-    /// resolve to the most recent writer, `merge_node` keeps names unique).
+    /// Composite `label\0name` key (see [`name_key`]) → live node ids bearing
+    /// that name, in insertion order (multi-valued: `create_node`/renames may
+    /// duplicate names; lookups resolve to the most recent writer,
+    /// `merge_node` keeps names unique).
     #[serde(skip)]
-    name_index: HashMap<(String, String), Vec<NodeId>>,
+    name_index: HashMap<String, Vec<NodeId>>,
     /// node → outgoing edge ids.
     #[serde(skip)]
     out_edges: HashMap<NodeId, Vec<EdgeId>>,
@@ -116,7 +149,7 @@ impl GraphStore {
         };
         if let Some(name) = node.name() {
             self.name_index
-                .entry((node.label.clone(), name.to_owned()))
+                .entry(name_key(&node.label, name))
                 .or_default()
                 .push(id);
         }
@@ -141,11 +174,9 @@ impl GraphStore {
         K: Into<String>,
         V: Into<Value>,
     {
-        if let Some(&id) = self
-            .name_index
-            .get(&(label.to_owned(), name.to_owned()))
-            .and_then(|ids| ids.last())
-        {
+        if let Some(id) = with_name_key(label, name, |key| {
+            self.name_index.get(key).and_then(|ids| ids.last()).copied()
+        }) {
             if let Some(node) = self.nodes[id.0 as usize].as_mut() {
                 for (k, v) in extra_props {
                     node.props.entry(k.into()).or_insert_with(|| v.into());
@@ -180,7 +211,7 @@ impl GraphStore {
             .ok_or(StoreError::NoSuchNode(id))?;
         if key == "name" {
             if let Some(old) = node.name() {
-                let k = (node.label.clone(), old.to_owned());
+                let k = name_key(&node.label, old);
                 if let Some(ids) = self.name_index.get_mut(&k) {
                     ids.retain(|&n| n != id);
                     if ids.is_empty() {
@@ -190,7 +221,7 @@ impl GraphStore {
             }
             if let Some(new_name) = value.as_text() {
                 self.name_index
-                    .entry((node.label.clone(), new_name.to_owned()))
+                    .entry(name_key(&node.label, new_name))
                     .or_default()
                     .push(id);
             }
@@ -225,7 +256,7 @@ impl GraphStore {
             ids.retain(|&n| n != id);
         }
         if let Some(name) = name {
-            let key = (label, name);
+            let key = name_key(&label, &name);
             if let Some(ids) = self.name_index.get_mut(&key) {
                 ids.retain(|&n| n != id);
                 if ids.is_empty() {
@@ -242,18 +273,16 @@ impl GraphStore {
     /// via unconstrained `create_node`/renames) the most recent writer wins;
     /// [`GraphStore::nodes_by_name`] returns all of them.
     pub fn node_by_name(&self, label: &str, name: &str) -> Option<NodeId> {
-        self.name_index
-            .get(&(label.to_owned(), name.to_owned()))
-            .and_then(|ids| ids.last())
-            .copied()
+        with_name_key(label, name, |key| {
+            self.name_index.get(key).and_then(|ids| ids.last()).copied()
+        })
     }
 
     /// Every live node with this `(label, name)`, oldest first.
     pub fn nodes_by_name(&self, label: &str, name: &str) -> Vec<NodeId> {
-        self.name_index
-            .get(&(label.to_owned(), name.to_owned()))
-            .cloned()
-            .unwrap_or_default()
+        with_name_key(label, name, |key| {
+            self.name_index.get(key).cloned().unwrap_or_default()
+        })
     }
 
     /// Live nodes with a label, in creation order.
@@ -349,40 +378,55 @@ impl GraphStore {
         Ok(())
     }
 
-    /// Outgoing edges of a node.
-    pub fn outgoing(&self, id: NodeId) -> Vec<&Edge> {
+    /// Outgoing edges of a node, lazily — no per-call `Vec`.
+    pub fn outgoing_iter(&self, id: NodeId) -> impl Iterator<Item = &Edge> + '_ {
         self.out_edges
             .get(&id)
             .into_iter()
             .flatten()
             .filter_map(|&e| self.edge(e))
-            .collect()
     }
 
-    /// Incoming edges of a node.
-    pub fn incoming(&self, id: NodeId) -> Vec<&Edge> {
+    /// Incoming edges of a node, lazily — no per-call `Vec`.
+    pub fn incoming_iter(&self, id: NodeId) -> impl Iterator<Item = &Edge> + '_ {
         self.in_edges
             .get(&id)
             .into_iter()
             .flatten()
             .filter_map(|&e| self.edge(e))
-            .collect()
+    }
+
+    /// Outgoing edges of a node.
+    pub fn outgoing(&self, id: NodeId) -> Vec<&Edge> {
+        self.outgoing_iter(id).collect()
+    }
+
+    /// Incoming edges of a node.
+    pub fn incoming(&self, id: NodeId) -> Vec<&Edge> {
+        self.incoming_iter(id).collect()
+    }
+
+    /// Distinct neighbor node ids (both directions), in edge order, lazily.
+    /// Dedup state lives inside the iterator, so callers that stop early
+    /// (`any`, `take`) never pay for the full adjacency list.
+    pub fn neighbors_iter(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut seen: Vec<NodeId> = Vec::new();
+        self.outgoing_iter(id)
+            .map(|e| e.to)
+            .chain(self.incoming_iter(id).map(|e| e.from))
+            .filter(move |n| {
+                if seen.contains(n) {
+                    false
+                } else {
+                    seen.push(*n);
+                    true
+                }
+            })
     }
 
     /// Distinct neighbor node ids (both directions), in edge order.
     pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for e in self.outgoing(id) {
-            if !out.contains(&e.to) {
-                out.push(e.to);
-            }
-        }
-        for e in self.incoming(id) {
-            if !out.contains(&e.from) {
-                out.push(e.from);
-            }
-        }
-        out
+        self.neighbors_iter(id).collect()
     }
 
     /// Total degree (in + out).
@@ -440,7 +484,7 @@ impl GraphStore {
                 .push(node.id);
             if let Some(name) = node.name() {
                 self.name_index
-                    .entry((node.label.clone(), name.to_owned()))
+                    .entry(name_key(&node.label, name))
                     .or_default()
                     .push(node.id);
             }
@@ -501,6 +545,34 @@ mod tests {
         assert_eq!(g.neighbors(m), vec![f]);
         assert_eq!(g.neighbors(f), vec![m]);
         assert_eq!(g.degree(m), 1);
+    }
+
+    #[test]
+    fn iterator_adjacency_matches_vec_variants() {
+        let mut g = GraphStore::new();
+        let m = g.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let f = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        let d = g.create_node("Domain", [("name", Value::from("kill.switch"))]);
+        g.create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+            .unwrap();
+        g.create_edge(d, "MENTIONS", m, [] as [(&str, Value); 0])
+            .unwrap();
+        assert_eq!(
+            g.outgoing_iter(m).map(|e| e.id).collect::<Vec<_>>(),
+            g.outgoing(m).iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            g.incoming_iter(m).map(|e| e.id).collect::<Vec<_>>(),
+            g.incoming(m).iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+        // d is both an outgoing target and an incoming source of m — the
+        // lazy dedup must keep it single like the Vec variant does.
+        assert_eq!(g.neighbors_iter(m).collect::<Vec<_>>(), g.neighbors(m));
+        assert_eq!(g.neighbors(m), vec![f, d]);
+        // Early exit works without draining the adjacency.
+        assert!(g.neighbors_iter(m).any(|n| n == d));
     }
 
     #[test]

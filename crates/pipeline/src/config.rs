@@ -27,12 +27,17 @@ pub enum ConnectorChoice {
     Tabular,
 }
 
-/// Worker counts per parallelisable stage.
+/// Worker counts per parallelisable stage. Missing fields in a config file
+/// take their defaults, so older files without `connect` keep parsing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct StageWorkers {
     pub check: usize,
     pub parse: usize,
     pub extract: usize,
+    /// Resolve-phase workers of the split connector (the serial apply phase
+    /// always runs on exactly one writer thread).
+    pub connect: usize,
 }
 
 impl Default for StageWorkers {
@@ -41,6 +46,7 @@ impl Default for StageWorkers {
             check: 1,
             parse: 2,
             extract: 4,
+            connect: 2,
         }
     }
 }
@@ -124,6 +130,8 @@ mod tests {
         .unwrap();
         assert_eq!(c.extractor, ExtractorChoice::IocOnly);
         assert_eq!(c.workers.extract, 8);
+        // `connect` is absent from the (older-style) file: default applies.
+        assert_eq!(c.workers.connect, StageWorkers::default().connect);
         assert_eq!(
             c.channel_capacity,
             PipelineConfig::default().channel_capacity

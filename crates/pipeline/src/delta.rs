@@ -1,0 +1,204 @@
+//! The parallel connector's intermediate representation: self-contained
+//! graph deltas.
+//!
+//! The classic connector did everything under the single writer: name
+//! canonicalisation, ontology validation, BM25 tokenization, and the actual
+//! hash-map merges. [`resolve_cti`] moves all of the CPU-heavy work into a
+//! *resolve* phase that N workers run in parallel against read-only state (an
+//! [`Ontology`], an [`IocMatcher`], a [`CanonSnapshot`]), producing a
+//! [`GraphDelta`]: canonicalised entities with their [`Resolution`] evidence,
+//! pre-validated relation edges, and pre-tokenized BM25 term counts. The
+//! writer's apply phase is reduced to hash-map inserts/merges plus O(1)
+//! canon-commit probes (see `GraphConnector::apply_delta`).
+//!
+//! Deltas are ordered by the port-assigned sequence number `seq`, and the
+//! writer applies them in that order — so the final graph is byte-identical
+//! to a sequential build no matter how many resolve workers raced.
+
+use crate::stages::{plausible_concept_name, StyleParser};
+use kg_fusion::{CanonSnapshot, Resolution};
+use kg_ir::{EntityMention, IntermediateCti};
+use kg_nlp::IocMatcher;
+use kg_ontology::{EntityKind, Ontology, RelationKind};
+use kg_search::SearchIndex;
+use serde::{Deserialize, Serialize};
+
+/// One canonicalised entity mention inside a delta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaEntity {
+    /// Entity label (the mention kind's label).
+    pub label: String,
+    /// Raw canonical name from the mention text.
+    pub raw: String,
+    /// Worker-side resolution of `raw` against the canon snapshot; the
+    /// writer commits it against the live table.
+    pub resolution: Resolution,
+}
+
+/// One ontology-validated relation inside a delta, referencing entity slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRelation {
+    /// Index into [`GraphDelta::entities`].
+    pub subject: usize,
+    /// Index into [`GraphDelta::entities`].
+    pub object: usize,
+    /// Validated relation label.
+    pub rel_label: String,
+    /// The extracted verb, kept as an edge property on `RELATED_TO` edges.
+    pub verb: Option<String>,
+}
+
+/// Everything the writer needs to merge one report into the graph and the
+/// keyword index — no tokenization, no similarity scoring, no string
+/// normalisation left to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphDelta {
+    /// Port-assigned sequence number; the writer applies deltas in `seq`
+    /// order (batches may arrive shuffled, `apply_batch` sorts).
+    pub seq: u64,
+    pub report_id: String,
+    /// The report node's label (report-category entity kind).
+    pub report_label: String,
+    pub title: String,
+    pub source_url: String,
+    pub fetched_at_ms: u64,
+    pub vendor: String,
+    /// Per-mention entities, `None` for skipped implausible/empty names.
+    pub entities: Vec<Option<DeltaEntity>>,
+    pub relations: Vec<DeltaRelation>,
+    /// Relations that failed ontology validation (diagnostics counter).
+    pub rejected_relations: usize,
+    /// DESCRIBES candidates `(label, canonical name)` from structured
+    /// metadata; linked at apply time only if the node exists then (the
+    /// classic connector's only-if-present semantics).
+    pub describes: Vec<(String, String)>,
+    /// Pre-tokenized BM25 term counts, sorted by term.
+    pub terms: Vec<(String, u32)>,
+    /// Total token count of the indexed text.
+    pub token_len: u32,
+}
+
+/// What applying one delta did (surfaced into metrics and the trace).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Worker resolutions re-resolved at commit (stale-snapshot conflicts).
+    pub conflicts: usize,
+    /// `Some(entries)` when this apply republished the canon snapshot.
+    pub canon_published: Option<usize>,
+}
+
+/// What flows from the resolve stage to the writer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Resolved {
+    /// A precomputed delta (connectors that provide a resolver).
+    Delta(GraphDelta),
+    /// Passthrough for plain connectors: the writer calls `connect` itself,
+    /// still in sequence order.
+    Cti(IntermediateCti),
+}
+
+impl Resolved {
+    /// Report id, for quarantine records.
+    pub fn report_id(&self) -> &str {
+        match self {
+            Resolved::Delta(delta) => &delta.report_id,
+            Resolved::Cti(cti) => cti.meta.id.as_str(),
+        }
+    }
+}
+
+/// A resolve-phase worker: turns an extracted CTI into a [`GraphDelta`]
+/// using only shared read-only state.
+pub trait CtiResolver: Send + Sync {
+    fn resolve(&self, cti: &IntermediateCti) -> GraphDelta;
+}
+
+/// The structured-metadata keys the classic connector promoted to DESCRIBES
+/// edges.
+pub(crate) const DESCRIBES_KEYS: [&str; 3] = ["family", "cve id", "threat actor"];
+
+/// The resolve phase, shared verbatim by the parallel workers, the
+/// sequential baseline and `GraphConnector::connect`: canonicalise every
+/// mention against `snapshot`, validate relations against `ontology`, and
+/// tokenize the report text for BM25. `seq` is left 0 — the engine stamps it.
+pub fn resolve_cti(
+    cti: &IntermediateCti,
+    ontology: &Ontology,
+    matcher: &IocMatcher,
+    snapshot: &CanonSnapshot,
+) -> GraphDelta {
+    let mut entities: Vec<Option<DeltaEntity>> = Vec::with_capacity(cti.mentions.len());
+    for mention in &cti.mentions {
+        let name = mention.canonical_name();
+        if name.is_empty() || (!mention.kind.is_ioc() && !plausible_concept_name(&name)) {
+            entities.push(None);
+            continue;
+        }
+        let label = mention.kind.label();
+        let resolution = snapshot.resolve(label, &name);
+        entities.push(Some(DeltaEntity {
+            label: label.to_owned(),
+            raw: name,
+            resolution,
+        }));
+    }
+
+    let mut describes = Vec::new();
+    for key in DESCRIBES_KEYS {
+        if let Some(value) = cti.structured.get(key) {
+            if let Some(kind) = StyleParser::kind_for_key(key) {
+                let name = EntityMention::new(kind, value.clone(), 0, 0).canonical_name();
+                describes.push((kind.label().to_owned(), name));
+            }
+        }
+    }
+
+    let mut relations = Vec::new();
+    let mut rejected_relations = 0usize;
+    for rel in &cti.relations {
+        let (Some(Some(_)), Some(Some(_))) = (entities.get(rel.subject), entities.get(rel.object))
+        else {
+            continue;
+        };
+        let s_kind = cti.mentions[rel.subject].kind;
+        let o_kind = cti.mentions[rel.object].kind;
+        let kind = rel
+            .kind
+            .or_else(|| ontology.resolve_extracted(s_kind, &rel.verb, o_kind));
+        match kind {
+            Some(kind) if ontology.allows(s_kind, kind, o_kind) => {
+                relations.push(DeltaRelation {
+                    subject: rel.subject,
+                    object: rel.object,
+                    rel_label: kind.label().to_owned(),
+                    verb: (kind == RelationKind::RelatedTo).then(|| rel.verb.clone()),
+                });
+            }
+            _ => rejected_relations += 1,
+        }
+    }
+
+    let (terms, token_len) =
+        SearchIndex::<u32>::term_counts_with(matcher, &format!("{}\n{}", cti.meta.title, cti.text));
+
+    GraphDelta {
+        seq: 0,
+        report_id: cti.meta.id.as_str().to_owned(),
+        report_label: cti.category.entity_kind().label().to_owned(),
+        title: cti.meta.title.clone(),
+        source_url: cti.meta.url.clone(),
+        fetched_at_ms: cti.meta.fetched_at_ms,
+        vendor: cti.meta.vendor.clone(),
+        entities,
+        relations,
+        rejected_relations,
+        describes,
+        terms,
+        token_len,
+    }
+}
+
+/// The vendor provenance label, needed at apply time.
+pub(crate) fn vendor_label() -> &'static str {
+    EntityKind::CtiVendor.label()
+}

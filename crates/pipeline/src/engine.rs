@@ -20,27 +20,44 @@
 //! holds in both transport modes.
 
 use crate::config::PipelineConfig;
+use crate::delta::{CtiResolver, Resolved};
 use crate::stages::{
     Checker, Connector, DefaultChecker, DefaultPorter, Extractor, ParserRegistry, Porter,
 };
 use crate::trace::{TraceEvent, TraceLog};
 use crossbeam::channel::{bounded, Receiver, SendError, Sender};
 use kg_ir::{IntermediateCti, IntermediateReport, RawReport};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Stage names, in pipeline order.
-const STAGE_NAMES: [&str; 5] = ["port", "check", "parse", "extract", "connect"];
+/// Stage names, in pipeline order. `resolve` and `connect` are the two
+/// halves of the split connector: N resolve workers produce self-contained
+/// graph deltas; the single connect writer applies them in sequence order.
+const STAGE_NAMES: [&str; 6] = ["port", "check", "parse", "extract", "resolve", "connect"];
 
 /// Channel-boundary names, in pipeline order.
-const BOUNDARY_NAMES: [&str; 4] = [
+const BOUNDARY_NAMES: [&str; 5] = [
     "port->check",
     "check->parse",
     "parse->extract",
-    "extract->connect",
+    "extract->resolve",
+    "resolve->connect",
 ];
+
+/// The sequencing envelope every message travels in. The porter stamps each
+/// report with a monotone sequence number; a stage that terminates a report
+/// (screened out, parse error, quarantined) forwards a `Gone` marker in its
+/// place, so the connect writer can apply items in exact port order without
+/// waiting forever on sequence numbers that will never arrive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Tagged<T> {
+    Item { seq: u64, item: T },
+    Gone { seq: u64 },
+}
 
 /// At most this many quarantined messages keep their full details; the
 /// counter keeps counting past it.
@@ -101,6 +118,9 @@ pub struct PipelineMetrics {
     pub quarantined: usize,
     /// Details of the first [`QUARANTINE_CAPTURE`] quarantined messages.
     pub quarantine: Vec<QuarantinedMessage>,
+    /// Worker-side canon resolutions invalidated by entries the writer
+    /// appended after the worker's snapshot, re-resolved at apply time.
+    pub canon_conflicts: usize,
     pub wall_ms: u64,
     /// Wall-clock in microseconds (`wall_ms` rounds this down).
     pub wall_us: u64,
@@ -176,6 +196,12 @@ impl PipelineMetrics {
             }
             out.push('\n');
         }
+        if self.canon_conflicts > 0 {
+            out.push_str(&format!(
+                "canon conflicts re-resolved: {}\n",
+                self.canon_conflicts
+            ));
+        }
         if self.quarantined > 0 {
             out.push_str(&format!(
                 "quarantined: {} (showing {})\n",
@@ -241,13 +267,15 @@ struct Shared {
     parse_errors: AtomicUsize,
     extracted: AtomicUsize,
     quarantined: AtomicUsize,
+    canon_conflicts: AtomicUsize,
     quarantine: parking_lot::Mutex<Vec<QuarantinedMessage>>,
     port: StageCounters,
     check: StageCounters,
     parse: StageCounters,
     extract: StageCounters,
+    resolve: StageCounters,
     connect: StageCounters,
-    depths: [DepthCounters; 4],
+    depths: [DepthCounters; 5],
 }
 
 impl Shared {
@@ -291,12 +319,14 @@ impl Shared {
         metrics.parse_errors = self.parse_errors.load(Ordering::Relaxed);
         metrics.extracted = self.extracted.load(Ordering::Relaxed);
         metrics.quarantined = self.quarantined.load(Ordering::Relaxed);
+        metrics.canon_conflicts = self.canon_conflicts.load(Ordering::Relaxed);
         metrics.quarantine = std::mem::take(&mut *self.quarantine.lock());
         for (name, counters) in STAGE_NAMES.iter().zip([
             &self.port,
             &self.check,
             &self.parse,
             &self.extract,
+            &self.resolve,
             &self.connect,
         ]) {
             metrics
@@ -445,6 +475,89 @@ fn connect_one<C: Connector>(
     }
 }
 
+/// The connect writer's reorder buffer: resolve workers race, so resolved
+/// items arrive out of order; the writer applies them in exact port order.
+/// `None` entries are Gone markers (terminated upstream). On channel close,
+/// whatever is still buffered (items stranded behind a sequence number lost
+/// to an undecodable payload) is drained in key order, so nothing is lost
+/// and the apply order stays deterministic.
+struct SeqWriter<T> {
+    next_seq: u64,
+    buffer: BTreeMap<u64, Option<T>>,
+}
+
+impl<T> SeqWriter<T> {
+    fn new() -> Self {
+        SeqWriter {
+            next_seq: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, seq: u64, item: Option<T>) {
+        self.buffer.insert(seq, item);
+    }
+
+    /// Pop the next contiguous entry, if it has arrived.
+    fn pop_ready(&mut self) -> Option<Option<T>> {
+        let entry = self.buffer.remove(&self.next_seq)?;
+        self.next_seq += 1;
+        Some(entry)
+    }
+
+    /// End of stream: everything still buffered, in sequence order.
+    fn drain(&mut self) -> impl Iterator<Item = Option<T>> + '_ {
+        std::mem::take(&mut self.buffer).into_values()
+    }
+}
+
+/// Apply one resolved item on the writer: precomputed deltas go through
+/// `apply_delta`, passthrough CTIs through the classic `connect`. Panics are
+/// quarantined either way. Returns 1 if the item connected.
+fn apply_one<C: Connector>(
+    connector: &mut C,
+    resolved: Resolved,
+    shared: &Shared,
+    trace: &TraceLog,
+    clock: &mut WorkerClock<'_>,
+) -> usize {
+    let applied = match resolved {
+        Resolved::Cti(cti) => clock.busy(|| connect_one(connector, &cti, shared, trace)),
+        Resolved::Delta(delta) => {
+            let source = delta.report_id.clone();
+            match clock.busy(|| catch_unwind(AssertUnwindSafe(|| connector.apply_delta(delta)))) {
+                Ok(outcome) => {
+                    if outcome.conflicts > 0 {
+                        shared
+                            .canon_conflicts
+                            .fetch_add(outcome.conflicts, Ordering::Relaxed);
+                        trace.record(TraceEvent::CanonConflictResolved {
+                            source,
+                            conflicts: outcome.conflicts,
+                        });
+                    }
+                    if let Some(entries) = outcome.canon_published {
+                        trace.record(TraceEvent::CanonSnapshotPublished { entries });
+                    }
+                    true
+                }
+                Err(payload) => {
+                    shared.quarantine(
+                        trace,
+                        "connect",
+                        source,
+                        panic_message(payload),
+                        &[&shared.parsed, &shared.extracted],
+                    );
+                    false
+                }
+            }
+        }
+    };
+    clock.item_done();
+    usize::from(applied)
+}
+
 // ---------------------------------------------------------------------------
 // Pipelined runner
 // ---------------------------------------------------------------------------
@@ -469,6 +582,7 @@ pub fn run_pipelined<C: Connector>(
     let trace = TraceLog::new();
     let shared = Shared::default();
     let sampler_done = AtomicBool::new(0 == 1);
+    let resolver = connector.resolver();
 
     let connected = if config.serialize_transport {
         run_serialized(
@@ -476,6 +590,7 @@ pub fn run_pipelined<C: Connector>(
             registry,
             extractor,
             &mut connector,
+            &resolver,
             config,
             &checker,
             cap,
@@ -489,6 +604,7 @@ pub fn run_pipelined<C: Connector>(
             registry,
             extractor,
             &mut connector,
+            &resolver,
             config,
             &checker,
             cap,
@@ -541,6 +657,7 @@ fn run_serialized<C: Connector>(
     registry: &ParserRegistry,
     extractor: &dyn Extractor,
     connector: &mut C,
+    resolver: &Option<Arc<dyn CtiResolver>>,
     config: &PipelineConfig,
     checker: &DefaultChecker,
     cap: usize,
@@ -551,6 +668,7 @@ fn run_serialized<C: Connector>(
     let (tx_report, rx_report) = bounded::<Vec<u8>>(cap);
     let (tx_checked, rx_checked) = bounded::<Vec<u8>>(cap);
     let (tx_cti, rx_cti) = bounded::<Vec<u8>>(cap);
+    let (tx_extracted, rx_extracted) = bounded::<Vec<u8>>(cap);
     let (tx_final, rx_final) = bounded::<Vec<u8>>(cap);
     let fault = config.fault;
     std::thread::scope(|scope| {
@@ -558,6 +676,7 @@ fn run_serialized<C: Connector>(
             probe(&rx_report),
             probe(&rx_checked),
             probe(&rx_cti),
+            probe(&rx_extracted),
             probe(&rx_final),
         ];
         spawn_sampler(scope, probes, shared, sampler_done);
@@ -567,15 +686,18 @@ fn run_serialized<C: Connector>(
             let mut clock = WorkerClock::start("port", 0, &shared.port, trace);
             let mut porter = DefaultPorter::new();
             let mut emitted = 0usize;
+            let mut seq = 0u64;
             let mut emit = |report: IntermediateReport, clock: &mut WorkerClock<'_>| {
                 shared.ported.fetch_add(1, Ordering::Relaxed);
-                let mut bytes = match clock.busy(|| serde_json::to_vec(&report)) {
+                let tagged = Tagged::Item { seq, item: report };
+                seq += 1;
+                let mut bytes = match clock.busy(|| serde_json::to_vec(&tagged)) {
                     Ok(bytes) => bytes,
                     Err(e) => {
                         shared.quarantine(
                             trace,
                             "port",
-                            report.id.as_str().to_owned(),
+                            tagged.report_id().to_owned(),
                             e.to_string(),
                             &[],
                         );
@@ -591,7 +713,7 @@ fn run_serialized<C: Connector>(
                     shared.quarantine(
                         trace,
                         "port",
-                        report.id.as_str().to_owned(),
+                        tagged.report_id().to_owned(),
                         STAGE_GONE.to_owned(),
                         &[],
                     );
@@ -616,13 +738,28 @@ fn run_serialized<C: Connector>(
             scope.spawn(move || {
                 let mut clock = WorkerClock::start("check", worker, &shared.check, trace);
                 while let Ok(bytes) = clock.blocked(|| rx.recv()) {
-                    match clock.busy(|| serde_json::from_slice::<IntermediateReport>(&bytes)) {
-                        Ok(report) => {
+                    match clock
+                        .busy(|| serde_json::from_slice::<Tagged<IntermediateReport>>(&bytes))
+                    {
+                        Ok(Tagged::Item { seq, item: report }) => {
                             if clock.busy(|| checker.check(&report)) {
-                                forward_wire(&mut clock, &tx, &report, "check", shared, trace, &[]);
+                                forward_wire(
+                                    &mut clock,
+                                    &tx,
+                                    &Tagged::Item { seq, item: report },
+                                    "check",
+                                    shared,
+                                    trace,
+                                    &[],
+                                );
                             } else {
                                 shared.screened.fetch_add(1, Ordering::Relaxed);
+                                forward_gone_wire::<IntermediateReport>(&mut clock, &tx, seq);
                             }
+                            clock.item_done();
+                        }
+                        Ok(Tagged::Gone { seq }) => {
+                            forward_gone_wire::<IntermediateReport>(&mut clock, &tx, seq);
                         }
                         Err(e) => shared.quarantine(
                             trace,
@@ -632,7 +769,6 @@ fn run_serialized<C: Connector>(
                             &[],
                         ),
                     }
-                    clock.item_done();
                 }
                 clock.finish();
             });
@@ -647,24 +783,33 @@ fn run_serialized<C: Connector>(
             scope.spawn(move || {
                 let mut clock = WorkerClock::start("parse", worker, &shared.parse, trace);
                 while let Ok(bytes) = clock.blocked(|| rx.recv()) {
-                    match clock.busy(|| serde_json::from_slice::<IntermediateReport>(&bytes)) {
-                        Ok(report) => match clock.busy(|| registry.parse(&report)) {
-                            Ok(cti) => {
-                                shared.parsed.fetch_add(1, Ordering::Relaxed);
-                                forward_wire(
-                                    &mut clock,
-                                    &tx,
-                                    &cti,
-                                    "parse",
-                                    shared,
-                                    trace,
-                                    &[&shared.parsed],
-                                );
+                    match clock
+                        .busy(|| serde_json::from_slice::<Tagged<IntermediateReport>>(&bytes))
+                    {
+                        Ok(Tagged::Item { seq, item: report }) => {
+                            match clock.busy(|| registry.parse(&report)) {
+                                Ok(cti) => {
+                                    shared.parsed.fetch_add(1, Ordering::Relaxed);
+                                    forward_wire(
+                                        &mut clock,
+                                        &tx,
+                                        &Tagged::Item { seq, item: cti },
+                                        "parse",
+                                        shared,
+                                        trace,
+                                        &[&shared.parsed],
+                                    );
+                                }
+                                Err(_) => {
+                                    shared.parse_errors.fetch_add(1, Ordering::Relaxed);
+                                    forward_gone_wire::<IntermediateCti>(&mut clock, &tx, seq);
+                                }
                             }
-                            Err(_) => {
-                                shared.parse_errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        },
+                            clock.item_done();
+                        }
+                        Ok(Tagged::Gone { seq }) => {
+                            forward_gone_wire::<IntermediateCti>(&mut clock, &tx, seq);
+                        }
                         Err(e) => shared.quarantine(
                             trace,
                             "parse",
@@ -673,7 +818,6 @@ fn run_serialized<C: Connector>(
                             &[],
                         ),
                     }
-                    clock.item_done();
                 }
                 clock.finish();
             });
@@ -684,23 +828,27 @@ fn run_serialized<C: Connector>(
         // Extract.
         for worker in 0..config.workers.extract.max(1) {
             let rx = rx_cti.clone();
-            let tx = tx_final.clone();
+            let tx = tx_extracted.clone();
             scope.spawn(move || {
                 let mut clock = WorkerClock::start("extract", worker, &shared.extract, trace);
                 while let Ok(bytes) = clock.blocked(|| rx.recv()) {
-                    match clock.busy(|| serde_json::from_slice::<IntermediateCti>(&bytes)) {
-                        Ok(mut cti) => {
+                    match clock.busy(|| serde_json::from_slice::<Tagged<IntermediateCti>>(&bytes)) {
+                        Ok(Tagged::Item { seq, item: mut cti }) => {
                             clock.busy(|| extractor.extract(&mut cti));
                             shared.extracted.fetch_add(1, Ordering::Relaxed);
                             forward_wire(
                                 &mut clock,
                                 &tx,
-                                &cti,
+                                &Tagged::Item { seq, item: cti },
                                 "extract",
                                 shared,
                                 trace,
                                 &[&shared.parsed, &shared.extracted],
                             );
+                            clock.item_done();
+                        }
+                        Ok(Tagged::Gone { seq }) => {
+                            forward_gone_wire::<IntermediateCti>(&mut clock, &tx, seq);
                         }
                         Err(e) => shared.quarantine(
                             trace,
@@ -710,38 +858,125 @@ fn run_serialized<C: Connector>(
                             &[&shared.parsed],
                         ),
                     }
-                    clock.item_done();
                 }
                 clock.finish();
             });
         }
         drop(rx_cti);
-        drop(tx_final);
+        drop(tx_extracted);
 
-        // Connect (on this thread).
-        let mut clock = WorkerClock::start("connect", 0, &shared.connect, trace);
-        let mut connected = 0usize;
-        while let Ok(bytes) = clock.blocked(|| rx_final.recv()) {
-            match clock.busy(|| serde_json::from_slice::<IntermediateCti>(&bytes)) {
-                Ok(cti) => {
-                    if clock.busy(|| connect_one(connector, &cti, shared, trace)) {
-                        connected += 1;
+        // Resolve: the parallel half of the split connector. With a
+        // resolver, each worker turns a CTI into a self-contained delta;
+        // without one, items pass through for the writer's classic path.
+        for worker in 0..config.workers.connect.max(1) {
+            let rx = rx_extracted.clone();
+            let tx = tx_final.clone();
+            let resolver = resolver.clone();
+            scope.spawn(move || {
+                let mut clock = WorkerClock::start("resolve", worker, &shared.resolve, trace);
+                while let Ok(bytes) = clock.blocked(|| rx.recv()) {
+                    match clock.busy(|| serde_json::from_slice::<Tagged<IntermediateCti>>(&bytes)) {
+                        Ok(Tagged::Item { seq, item: cti }) => {
+                            match resolve_item(&resolver, seq, cti, shared, trace, &mut clock) {
+                                Some(resolved) => forward_wire(
+                                    &mut clock,
+                                    &tx,
+                                    &Tagged::Item {
+                                        seq,
+                                        item: resolved,
+                                    },
+                                    "resolve",
+                                    shared,
+                                    trace,
+                                    &[&shared.parsed, &shared.extracted],
+                                ),
+                                None => {
+                                    forward_gone_wire::<Resolved>(&mut clock, &tx, seq);
+                                }
+                            }
+                            clock.item_done();
+                        }
+                        Ok(Tagged::Gone { seq }) => {
+                            forward_gone_wire::<Resolved>(&mut clock, &tx, seq);
+                        }
+                        Err(e) => shared.quarantine(
+                            trace,
+                            "resolve",
+                            wire_source(&bytes),
+                            e.to_string(),
+                            &[&shared.parsed, &shared.extracted],
+                        ),
                     }
                 }
-                Err(e) => shared.quarantine(
-                    trace,
-                    "connect",
-                    wire_source(&bytes),
-                    e.to_string(),
-                    &[&shared.parsed, &shared.extracted],
-                ),
+                clock.finish();
+            });
+        }
+        drop(rx_extracted);
+        drop(tx_final);
+
+        // Connect: the single writer, applying in sequence order.
+        let mut clock = WorkerClock::start("connect", 0, &shared.connect, trace);
+        let mut writer = SeqWriter::<Resolved>::new();
+        let mut connected = 0usize;
+        while let Ok(bytes) = clock.blocked(|| rx_final.recv()) {
+            match clock.busy(|| serde_json::from_slice::<Tagged<Resolved>>(&bytes)) {
+                Ok(Tagged::Item { seq, item }) => writer.insert(seq, Some(item)),
+                Ok(Tagged::Gone { seq }) => writer.insert(seq, None),
+                Err(e) => {
+                    shared.quarantine(
+                        trace,
+                        "connect",
+                        wire_source(&bytes),
+                        e.to_string(),
+                        &[&shared.parsed, &shared.extracted],
+                    );
+                    continue;
+                }
             }
-            clock.item_done();
+            while let Some(entry) = writer.pop_ready() {
+                if let Some(resolved) = entry {
+                    connected += apply_one(connector, resolved, shared, trace, &mut clock);
+                }
+            }
+        }
+        for resolved in writer.drain().flatten() {
+            connected += apply_one(connector, resolved, shared, trace, &mut clock);
         }
         clock.finish();
         sampler_done.store(true, Ordering::Relaxed);
         connected
     })
+}
+
+/// Run the resolve half on one CTI: `Some(resolved)` to forward, `None` when
+/// a resolver panic quarantined the item (a Gone marker must flow instead).
+fn resolve_item(
+    resolver: &Option<Arc<dyn CtiResolver>>,
+    seq: u64,
+    cti: IntermediateCti,
+    shared: &Shared,
+    trace: &TraceLog,
+    clock: &mut WorkerClock<'_>,
+) -> Option<Resolved> {
+    match resolver {
+        Some(r) => match clock.busy(|| catch_unwind(AssertUnwindSafe(|| r.resolve(&cti)))) {
+            Ok(mut delta) => {
+                delta.seq = seq;
+                Some(Resolved::Delta(delta))
+            }
+            Err(payload) => {
+                shared.quarantine(
+                    trace,
+                    "resolve",
+                    cti.meta.id.as_str().to_owned(),
+                    panic_message(payload),
+                    &[&shared.parsed, &shared.extracted],
+                );
+                None
+            }
+        },
+        None => Some(Resolved::Cti(cti)),
+    }
 }
 
 /// Serialise and send one message; serialisation or send failure routes the
@@ -777,6 +1012,19 @@ fn forward_wire<T: serde::Serialize + HasReportId>(
     }
 }
 
+/// Serialise and send a Gone marker. A send failure means the downstream
+/// stage is dead and the run is shutting down; the report the marker stood
+/// for has already reached its terminal fate, so there is nothing to roll
+/// back.
+fn forward_gone_wire<T: serde::Serialize>(
+    clock: &mut WorkerClock<'_>,
+    tx: &Sender<Vec<u8>>,
+    seq: u64,
+) {
+    let bytes = serde_json::to_vec(&Tagged::<T>::Gone { seq }).expect("gone marker serialises");
+    let _ = clock.send(tx, bytes);
+}
+
 /// The report id carried by a wire message, for quarantine records.
 trait HasReportId {
     fn report_id(&self) -> &str;
@@ -791,6 +1039,21 @@ impl HasReportId for IntermediateReport {
 impl HasReportId for IntermediateCti {
     fn report_id(&self) -> &str {
         self.meta.id.as_str()
+    }
+}
+
+impl HasReportId for Resolved {
+    fn report_id(&self) -> &str {
+        Resolved::report_id(self)
+    }
+}
+
+impl<T: HasReportId> HasReportId for Tagged<T> {
+    fn report_id(&self) -> &str {
+        match self {
+            Tagged::Item { item, .. } => item.report_id(),
+            Tagged::Gone { .. } => "<gone marker>",
+        }
     }
 }
 
@@ -810,6 +1073,7 @@ fn run_direct<C: Connector>(
     registry: &ParserRegistry,
     extractor: &dyn Extractor,
     connector: &mut C,
+    resolver: &Option<Arc<dyn CtiResolver>>,
     config: &PipelineConfig,
     checker: &DefaultChecker,
     cap: usize,
@@ -817,15 +1081,17 @@ fn run_direct<C: Connector>(
     trace: &TraceLog,
     sampler_done: &AtomicBool,
 ) -> usize {
-    let (tx_report, rx_report) = bounded::<IntermediateReport>(cap);
-    let (tx_checked, rx_checked) = bounded::<IntermediateReport>(cap);
-    let (tx_cti, rx_cti) = bounded::<IntermediateCti>(cap);
-    let (tx_final, rx_final) = bounded::<IntermediateCti>(cap);
+    let (tx_report, rx_report) = bounded::<Tagged<IntermediateReport>>(cap);
+    let (tx_checked, rx_checked) = bounded::<Tagged<IntermediateReport>>(cap);
+    let (tx_cti, rx_cti) = bounded::<Tagged<IntermediateCti>>(cap);
+    let (tx_extracted, rx_extracted) = bounded::<Tagged<IntermediateCti>>(cap);
+    let (tx_final, rx_final) = bounded::<Tagged<Resolved>>(cap);
     std::thread::scope(|scope| {
         let probes: Vec<Box<dyn Fn() -> usize + Send + '_>> = vec![
             probe(&rx_report),
             probe(&rx_checked),
             probe(&rx_cti),
+            probe(&rx_extracted),
             probe(&rx_final),
         ];
         spawn_sampler(scope, probes, shared, sampler_done);
@@ -834,13 +1100,16 @@ fn run_direct<C: Connector>(
         scope.spawn(move || {
             let mut clock = WorkerClock::start("port", 0, &shared.port, trace);
             let mut porter = DefaultPorter::new();
-            let emit = |report: IntermediateReport, clock: &mut WorkerClock<'_>| {
+            let mut seq = 0u64;
+            let mut emit = |report: IntermediateReport, clock: &mut WorkerClock<'_>| {
                 shared.ported.fetch_add(1, Ordering::Relaxed);
-                if let Err(SendError(report)) = clock.send(&tx_report, report) {
+                let tagged = Tagged::Item { seq, item: report };
+                seq += 1;
+                if let Err(SendError(lost)) = clock.send(&tx_report, tagged) {
                     shared.quarantine(
                         trace,
                         "port",
-                        report.id.as_str().to_owned(),
+                        lost.report_id().to_owned(),
                         STAGE_GONE.to_owned(),
                         &[],
                     );
@@ -864,21 +1133,31 @@ fn run_direct<C: Connector>(
             let tx = tx_checked.clone();
             scope.spawn(move || {
                 let mut clock = WorkerClock::start("check", worker, &shared.check, trace);
-                while let Ok(report) = clock.blocked(|| rx.recv()) {
-                    if clock.busy(|| checker.check(&report)) {
-                        if let Err(SendError(report)) = clock.send(&tx, report) {
-                            shared.quarantine(
-                                trace,
-                                "check",
-                                report.id.as_str().to_owned(),
-                                STAGE_GONE.to_owned(),
-                                &[],
-                            );
+                while let Ok(msg) = clock.blocked(|| rx.recv()) {
+                    match msg {
+                        Tagged::Item { seq, item: report } => {
+                            if clock.busy(|| checker.check(&report)) {
+                                if let Err(SendError(lost)) =
+                                    clock.send(&tx, Tagged::Item { seq, item: report })
+                                {
+                                    shared.quarantine(
+                                        trace,
+                                        "check",
+                                        lost.report_id().to_owned(),
+                                        STAGE_GONE.to_owned(),
+                                        &[],
+                                    );
+                                }
+                            } else {
+                                shared.screened.fetch_add(1, Ordering::Relaxed);
+                                let _ = clock.send(&tx, Tagged::Gone { seq });
+                            }
+                            clock.item_done();
                         }
-                    } else {
-                        shared.screened.fetch_add(1, Ordering::Relaxed);
+                        Tagged::Gone { seq } => {
+                            let _ = clock.send(&tx, Tagged::Gone { seq });
+                        }
                     }
-                    clock.item_done();
                 }
                 clock.finish();
             });
@@ -892,25 +1171,35 @@ fn run_direct<C: Connector>(
             let tx = tx_cti.clone();
             scope.spawn(move || {
                 let mut clock = WorkerClock::start("parse", worker, &shared.parse, trace);
-                while let Ok(report) = clock.blocked(|| rx.recv()) {
-                    match clock.busy(|| registry.parse(&report)) {
-                        Ok(cti) => {
-                            shared.parsed.fetch_add(1, Ordering::Relaxed);
-                            if let Err(SendError(cti)) = clock.send(&tx, cti) {
-                                shared.quarantine(
-                                    trace,
-                                    "parse",
-                                    cti.meta.id.as_str().to_owned(),
-                                    STAGE_GONE.to_owned(),
-                                    &[&shared.parsed],
-                                );
+                while let Ok(msg) = clock.blocked(|| rx.recv()) {
+                    match msg {
+                        Tagged::Item { seq, item: report } => {
+                            match clock.busy(|| registry.parse(&report)) {
+                                Ok(cti) => {
+                                    shared.parsed.fetch_add(1, Ordering::Relaxed);
+                                    if let Err(SendError(lost)) =
+                                        clock.send(&tx, Tagged::Item { seq, item: cti })
+                                    {
+                                        shared.quarantine(
+                                            trace,
+                                            "parse",
+                                            lost.report_id().to_owned(),
+                                            STAGE_GONE.to_owned(),
+                                            &[&shared.parsed],
+                                        );
+                                    }
+                                }
+                                Err(_) => {
+                                    shared.parse_errors.fetch_add(1, Ordering::Relaxed);
+                                    let _ = clock.send(&tx, Tagged::Gone { seq });
+                                }
                             }
+                            clock.item_done();
                         }
-                        Err(_) => {
-                            shared.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        Tagged::Gone { seq } => {
+                            let _ = clock.send(&tx, Tagged::Gone { seq });
                         }
                     }
-                    clock.item_done();
                 }
                 clock.finish();
             });
@@ -921,37 +1210,100 @@ fn run_direct<C: Connector>(
         // Extract.
         for worker in 0..config.workers.extract.max(1) {
             let rx = rx_cti.clone();
-            let tx = tx_final.clone();
+            let tx = tx_extracted.clone();
             scope.spawn(move || {
                 let mut clock = WorkerClock::start("extract", worker, &shared.extract, trace);
-                while let Ok(mut cti) = clock.blocked(|| rx.recv()) {
-                    clock.busy(|| extractor.extract(&mut cti));
-                    shared.extracted.fetch_add(1, Ordering::Relaxed);
-                    if let Err(SendError(cti)) = clock.send(&tx, cti) {
-                        shared.quarantine(
-                            trace,
-                            "extract",
-                            cti.meta.id.as_str().to_owned(),
-                            STAGE_GONE.to_owned(),
-                            &[&shared.parsed, &shared.extracted],
-                        );
+                while let Ok(msg) = clock.blocked(|| rx.recv()) {
+                    match msg {
+                        Tagged::Item { seq, item: mut cti } => {
+                            clock.busy(|| extractor.extract(&mut cti));
+                            shared.extracted.fetch_add(1, Ordering::Relaxed);
+                            if let Err(SendError(lost)) =
+                                clock.send(&tx, Tagged::Item { seq, item: cti })
+                            {
+                                shared.quarantine(
+                                    trace,
+                                    "extract",
+                                    lost.report_id().to_owned(),
+                                    STAGE_GONE.to_owned(),
+                                    &[&shared.parsed, &shared.extracted],
+                                );
+                            }
+                            clock.item_done();
+                        }
+                        Tagged::Gone { seq } => {
+                            let _ = clock.send(&tx, Tagged::Gone { seq });
+                        }
                     }
-                    clock.item_done();
                 }
                 clock.finish();
             });
         }
         drop(rx_cti);
+        drop(tx_extracted);
+
+        // Resolve: the parallel half of the split connector.
+        for worker in 0..config.workers.connect.max(1) {
+            let rx = rx_extracted.clone();
+            let tx = tx_final.clone();
+            let resolver = resolver.clone();
+            scope.spawn(move || {
+                let mut clock = WorkerClock::start("resolve", worker, &shared.resolve, trace);
+                while let Ok(msg) = clock.blocked(|| rx.recv()) {
+                    match msg {
+                        Tagged::Item { seq, item: cti } => {
+                            match resolve_item(&resolver, seq, cti, shared, trace, &mut clock) {
+                                Some(resolved) => {
+                                    if let Err(SendError(lost)) = clock.send(
+                                        &tx,
+                                        Tagged::Item {
+                                            seq,
+                                            item: resolved,
+                                        },
+                                    ) {
+                                        shared.quarantine(
+                                            trace,
+                                            "resolve",
+                                            lost.report_id().to_owned(),
+                                            STAGE_GONE.to_owned(),
+                                            &[&shared.parsed, &shared.extracted],
+                                        );
+                                    }
+                                }
+                                None => {
+                                    let _ = clock.send(&tx, Tagged::Gone { seq });
+                                }
+                            }
+                            clock.item_done();
+                        }
+                        Tagged::Gone { seq } => {
+                            let _ = clock.send(&tx, Tagged::Gone { seq });
+                        }
+                    }
+                }
+                clock.finish();
+            });
+        }
+        drop(rx_extracted);
         drop(tx_final);
 
-        // Connect (on this thread).
+        // Connect: the single writer, applying in sequence order.
         let mut clock = WorkerClock::start("connect", 0, &shared.connect, trace);
+        let mut writer = SeqWriter::<Resolved>::new();
         let mut connected = 0usize;
-        while let Ok(cti) = clock.blocked(|| rx_final.recv()) {
-            if clock.busy(|| connect_one(connector, &cti, shared, trace)) {
-                connected += 1;
+        while let Ok(msg) = clock.blocked(|| rx_final.recv()) {
+            match msg {
+                Tagged::Item { seq, item } => writer.insert(seq, Some(item)),
+                Tagged::Gone { seq } => writer.insert(seq, None),
             }
-            clock.item_done();
+            while let Some(entry) = writer.pop_ready() {
+                if let Some(resolved) = entry {
+                    connected += apply_one(connector, resolved, shared, trace, &mut clock);
+                }
+            }
+        }
+        for resolved in writer.drain().flatten() {
+            connected += apply_one(connector, resolved, shared, trace, &mut clock);
         }
         clock.finish();
         sampler_done.store(true, Ordering::Relaxed);
@@ -1001,10 +1353,13 @@ pub fn run_sequential<C: Connector>(
     port_clock.finish();
     metrics.ported = completed.len();
 
+    let resolver = connector.resolver();
     let mut check_clock = WorkerClock::start("check", 0, &shared.check, &trace);
     let mut parse_clock = WorkerClock::start("parse", 0, &shared.parse, &trace);
     let mut extract_clock = WorkerClock::start("extract", 0, &shared.extract, &trace);
+    let mut resolve_clock = WorkerClock::start("resolve", 0, &shared.resolve, &trace);
     let mut connect_clock = WorkerClock::start("connect", 0, &shared.connect, &trace);
+    let mut seq = 0u64;
     for report in completed {
         let kept = check_clock.busy(|| checker.check(&report));
         check_clock.item_done();
@@ -1027,13 +1382,39 @@ pub fn run_sequential<C: Connector>(
         extract_clock.busy(|| extractor.extract(&mut cti));
         extract_clock.item_done();
         metrics.extracted += 1;
-        connect_clock.busy(|| connector.connect(&cti));
+        match &resolver {
+            Some(r) => {
+                // Same resolve/apply split as the pipelined runner, on one
+                // thread, so E4's baseline attributes time to the same six
+                // stages — and so both modes run literally the same code.
+                let mut delta = resolve_clock.busy(|| r.resolve(&cti));
+                delta.seq = seq;
+                resolve_clock.item_done();
+                let source = delta.report_id.clone();
+                let outcome = connect_clock.busy(|| connector.apply_delta(delta));
+                if outcome.conflicts > 0 {
+                    metrics.canon_conflicts += outcome.conflicts;
+                    trace.record(TraceEvent::CanonConflictResolved {
+                        source,
+                        conflicts: outcome.conflicts,
+                    });
+                }
+                if let Some(entries) = outcome.canon_published {
+                    trace.record(TraceEvent::CanonSnapshotPublished { entries });
+                }
+            }
+            None => {
+                connect_clock.busy(|| connector.connect(&cti));
+            }
+        }
+        seq += 1;
         connect_clock.item_done();
         metrics.connected += 1;
     }
     check_clock.finish();
     parse_clock.finish();
     extract_clock.finish();
+    resolve_clock.finish();
     connect_clock.finish();
 
     for (name, counters) in STAGE_NAMES.iter().zip([
@@ -1041,6 +1422,7 @@ pub fn run_sequential<C: Connector>(
         &shared.check,
         &shared.parse,
         &shared.extract,
+        &shared.resolve,
         &shared.connect,
     ]) {
         metrics
@@ -1110,6 +1492,12 @@ mod tests {
         assert!(out.connector.graph.edge_count() > 0);
     }
 
+    /// fnv1a64 over the canonical JSON serialisation of the whole graph:
+    /// byte-identical graphs, not merely equal counts.
+    fn graph_digest(connector: &GraphConnector) -> u64 {
+        kg_ir::fnv1a64(&serde_json::to_vec(&connector.graph).expect("graph serialises"))
+    }
+
     #[test]
     fn sequential_and_pipelined_agree() {
         let reports = crawled_reports();
@@ -1138,6 +1526,54 @@ mod tests {
             seq.connector.graph.edge_count(),
             pip.connector.graph.edge_count()
         );
+        assert_eq!(graph_digest(&seq.connector), graph_digest(&pip.connector));
+    }
+
+    #[test]
+    fn parallel_resolver_is_byte_identical_to_sequential() {
+        use kg_fusion::ResolverConfig;
+        let reports = crawled_reports();
+        let registry = ParserRegistry::new();
+        let extractor = ioc_extractor();
+        let seq = run_sequential(
+            reports.clone(),
+            &registry,
+            &extractor,
+            GraphConnector::with_resolver(ResolverConfig::standard()),
+            &PipelineConfig::default(),
+        );
+        let seq_digest = graph_digest(&seq.connector);
+        for (connect_workers, serialize_transport) in [(1usize, false), (4, false), (4, true)] {
+            let config = PipelineConfig {
+                workers: StageWorkers {
+                    connect: connect_workers,
+                    ..StageWorkers::default()
+                },
+                serialize_transport,
+                ..PipelineConfig::default()
+            };
+            let pip = run_pipelined(
+                reports.clone(),
+                &registry,
+                &extractor,
+                GraphConnector::with_resolver(ResolverConfig::standard()),
+                &config,
+            );
+            assert_eq!(
+                seq.metrics.connected, pip.metrics.connected,
+                "workers={connect_workers} serialized={serialize_transport}"
+            );
+            assert_eq!(
+                seq_digest,
+                graph_digest(&pip.connector),
+                "workers={connect_workers} serialized={serialize_transport}"
+            );
+            assert_eq!(
+                seq.connector.canon().len(),
+                pip.connector.canon().len(),
+                "workers={connect_workers} serialized={serialize_transport}"
+            );
+        }
     }
 
     #[test]
@@ -1158,6 +1594,7 @@ mod tests {
                     check: workers,
                     parse: workers,
                     extract: workers,
+                    connect: workers,
                 },
                 ..PipelineConfig::default()
             };
@@ -1334,10 +1771,10 @@ mod tests {
             &PipelineConfig::default(),
         );
         let m = &out.metrics;
-        assert_eq!(m.stage_busy_ms.len(), 5);
-        assert_eq!(m.stage_blocked_ms.len(), 5);
-        assert_eq!(m.stage_items.len(), 5);
-        assert_eq!(m.queue_depths.len(), 4);
+        assert_eq!(m.stage_busy_ms.len(), 6);
+        assert_eq!(m.stage_blocked_ms.len(), 6);
+        assert_eq!(m.stage_items.len(), 6);
+        assert_eq!(m.queue_depths.len(), 5);
         assert!(
             m.queue_depths.values().all(|d| d.samples >= 1),
             "{:?}",
@@ -1449,7 +1886,8 @@ mod tests {
             &PipelineConfig::default(),
         );
         let m = &out.metrics;
-        assert_eq!(m.stage_items.len(), 5);
+        assert_eq!(m.stage_items.len(), 6);
+        assert_eq!(m.stage_items["resolve"], m.extracted as u64);
         assert_eq!(m.stage_items["connect"], m.connected as u64);
         assert_eq!(m.quarantined, 0);
         assert!(m.accounting_balanced());

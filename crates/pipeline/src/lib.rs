@@ -20,13 +20,20 @@
 //! - [`trace`] — the structured event log (bounded ring of typed events)
 //!   populated by the engine and rendered by the CLI and the benches.
 
+//! - [`delta`] — the split connector's intermediate representation: the
+//!   parallel resolve phase emits self-contained [`delta::GraphDelta`]s
+//!   (canonicalised entities, validated relations, pre-tokenized postings)
+//!   that the single writer applies in sequence order.
+
 pub mod config;
+pub mod delta;
 pub mod engine;
 pub mod html;
 pub mod stages;
 pub mod trace;
 
 pub use config::{FaultInjection, PipelineConfig};
+pub use delta::{resolve_cti, ApplyOutcome, CtiResolver, DeltaEntity, DeltaRelation, GraphDelta};
 pub use engine::{
     run_pipelined, run_sequential, PipelineMetrics, PipelineOutput, QuarantinedMessage,
     QueueDepthStats,

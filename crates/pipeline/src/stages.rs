@@ -1,14 +1,18 @@
 //! Pipeline components (paper §2.4): porters, checkers, source-dependent
 //! parsers, source-independent extractors, and storage connectors.
 
+use crate::delta::{resolve_cti, vendor_label, ApplyOutcome, CtiResolver, GraphDelta};
 use crate::html;
+use kg_fusion::{CanonSnapshot, CanonTable, ResolverConfig};
 use kg_graph::{GraphStore, NodeId, Value};
 use kg_ir::{
     EntityMention, IntermediateCti, IntermediateReport, MentionOrigin, RawReport, RelationMention,
     ReportId, ReportMeta,
 };
+use kg_nlp::IocMatcher;
 use kg_ontology::{EntityKind, Ontology, RelationKind, ReportCategory};
 use kg_search::SearchIndex;
+use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -403,38 +407,113 @@ impl Extractor for IocOnlyExtractor {
 // Connector
 // ---------------------------------------------------------------------------
 
+/// How often the connect writer republishes the canon snapshot handed to
+/// resolve workers. Purely a performance knob: commits are authoritative for
+/// any snapshot staleness, so the cadence never changes the final graph.
+pub const CANON_REFRESH_EVERY: usize = 64;
+
 /// Connectors "merge the intermediate CTI representations into the
 /// corresponding storage by refactoring them to match our ontology".
+///
+/// A connector may additionally *split* its work into a parallel resolve
+/// phase and a serial apply phase by providing a [`CtiResolver`]. The engine
+/// then runs N resolve workers producing [`GraphDelta`]s and calls
+/// [`Connector::apply_delta`] on the single writer, in sequence order.
+/// Connectors without a resolver keep the classic single-phase `connect`
+/// path, also called in sequence order.
 pub trait Connector: Send {
     fn connect(&mut self, cti: &IntermediateCti);
+
+    /// A shareable resolve-phase worker, or `None` for single-phase
+    /// connectors.
+    fn resolver(&self) -> Option<Arc<dyn CtiResolver>> {
+        None
+    }
+
+    /// Apply one precomputed delta. Called only when [`Connector::resolver`]
+    /// returned `Some`.
+    fn apply_delta(&mut self, _delta: GraphDelta) -> ApplyOutcome {
+        unreachable!("apply_delta called on a connector without a resolver")
+    }
+
+    /// Apply a batch of deltas. Order inside the batch is irrelevant: the
+    /// batch is sorted by sequence number before applying, so any
+    /// interleaving the resolve workers produced converges to the same
+    /// state.
+    fn apply_batch(&mut self, mut deltas: Vec<GraphDelta>) -> Vec<ApplyOutcome> {
+        deltas.sort_by_key(|d| d.seq);
+        deltas.into_iter().map(|d| self.apply_delta(d)).collect()
+    }
 }
 
 /// The graph connector (the default "Neo4j" path): merges entities by exact
 /// canonical name (§2.5), creates report/vendor provenance nodes, ontology-
 /// validated relation edges, and feeds the keyword index.
+///
+/// Provides the split resolve/apply path: its resolver canonicalises names
+/// against a [`CanonSnapshot`] and pre-tokenizes BM25 terms off the writer
+/// thread; [`GraphConnector::apply_delta`] is left with hash-map merges and
+/// O(1) canon-commit probes.
 pub struct GraphConnector {
     pub graph: GraphStore,
     pub search: SearchIndex<NodeId>,
     pub ontology: Ontology,
     /// Reports whose relations failed ontology validation (diagnostics).
     pub rejected_relations: usize,
+    /// Worker resolutions invalidated by canon entries appended after their
+    /// snapshot and re-resolved at apply time.
+    pub canon_conflicts: usize,
+    canon: CanonTable,
+    snapshot_cell: Arc<RwLock<CanonSnapshot>>,
+    matcher: IocMatcher,
+    applied: usize,
 }
 
 impl Default for GraphConnector {
     fn default() -> Self {
+        Self::with_resolver(ResolverConfig::default())
+    }
+}
+
+impl GraphConnector {
+    /// Fresh empty backend with ingest-time canonicalisation disabled (the
+    /// classic exact-name merge behaviour).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh empty backend with the given canonicalisation policy.
+    pub fn with_resolver(config: ResolverConfig) -> Self {
+        let canon = CanonTable::new(config);
+        let snapshot_cell = Arc::new(RwLock::new(canon.snapshot()));
         GraphConnector {
             graph: GraphStore::new(),
             search: SearchIndex::default(),
             ontology: Ontology::standard(),
             rejected_relations: 0,
+            canon_conflicts: 0,
+            canon,
+            snapshot_cell,
+            matcher: IocMatcher::standard(),
+            applied: 0,
         }
     }
-}
 
-impl GraphConnector {
-    /// Fresh empty backend.
-    pub fn new() -> Self {
-        Self::default()
+    /// Rebuild a connector around pre-existing state (durable resume). The
+    /// canon table is re-seeded from the graph so resumed runs resolve names
+    /// exactly as the original run would have continued to.
+    pub fn with_state(graph: GraphStore, search: SearchIndex<NodeId>) -> Self {
+        let mut connector = Self::new();
+        connector.canon.seed_from_graph(&graph);
+        connector.graph = graph;
+        connector.search = search;
+        *connector.snapshot_cell.write() = connector.canon.snapshot();
+        connector
+    }
+
+    /// The live canon table (entry count is what tests care about).
+    pub fn canon(&self) -> &CanonTable {
+        &self.canon
     }
 }
 
@@ -446,43 +525,82 @@ const IMPLAUSIBLE_NAMES: &[&str] = &[
 ];
 
 /// Whether a canonical name is plausible for a concept (non-IOC) entity.
-fn plausible_concept_name(name: &str) -> bool {
+pub(crate) fn plausible_concept_name(name: &str) -> bool {
     name.len() >= 3 && !IMPLAUSIBLE_NAMES.contains(&name)
 }
 
+/// The graph connector's resolve-phase worker: read-only ontology + IOC
+/// matcher, plus the snapshot cell the writer republishes into.
+struct GraphResolver {
+    ontology: Ontology,
+    matcher: IocMatcher,
+    snapshot: Arc<RwLock<CanonSnapshot>>,
+}
+
+impl CtiResolver for GraphResolver {
+    fn resolve(&self, cti: &IntermediateCti) -> GraphDelta {
+        let snapshot = self.snapshot.read().clone();
+        resolve_cti(cti, &self.ontology, &self.matcher, &snapshot)
+    }
+}
+
 impl Connector for GraphConnector {
+    /// The single-phase path is literally resolve-then-apply against the
+    /// live table — the exact code the split pipeline runs, which is what
+    /// makes sequential and parallel builds byte-identical.
     fn connect(&mut self, cti: &IntermediateCti) {
-        let report_kind = cti.category.entity_kind();
+        let snapshot = self.snapshot_cell.read().clone();
+        let delta = resolve_cti(cti, &self.ontology, &self.matcher, &snapshot);
+        self.apply_delta(delta);
+    }
+
+    fn resolver(&self) -> Option<Arc<dyn CtiResolver>> {
+        *self.snapshot_cell.write() = self.canon.snapshot();
+        Some(Arc::new(GraphResolver {
+            ontology: self.ontology.clone(),
+            matcher: IocMatcher::standard(),
+            snapshot: Arc::clone(&self.snapshot_cell),
+        }))
+    }
+
+    /// The serial apply phase: pure hash-map inserts/merges plus O(1)
+    /// canon-commit probes (similarity is only recomputed over entries
+    /// appended after the worker's snapshot).
+    fn apply_delta(&mut self, delta: GraphDelta) -> ApplyOutcome {
+        let mut outcome = ApplyOutcome::default();
         let report_node = self.graph.merge_node(
-            report_kind.label(),
-            cti.meta.id.as_str(),
+            &delta.report_label,
+            &delta.report_id,
             [
-                ("title", Value::from(cti.meta.title.clone())),
-                ("source_url", Value::from(cti.meta.url.clone())),
-                ("timestamp", Value::from(cti.meta.fetched_at_ms as i64)),
+                ("title", Value::from(delta.title)),
+                ("source_url", Value::from(delta.source_url)),
+                ("timestamp", Value::from(delta.fetched_at_ms as i64)),
             ],
         );
-        let vendor = self.graph.merge_node(
-            EntityKind::CtiVendor.label(),
-            &cti.meta.vendor,
-            [] as [(&str, Value); 0],
-        );
+        let vendor = self
+            .graph
+            .merge_node(vendor_label(), &delta.vendor, [] as [(&str, Value); 0]);
         let _ = self
             .graph
             .merge_edge(vendor, RelationKind::Publishes.label(), report_node);
 
-        // Entity mentions → merged entity nodes + MENTIONS provenance.
-        let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity(cti.mentions.len());
-        for mention in &cti.mentions {
-            let name = mention.canonical_name();
-            if name.is_empty() || (!mention.kind.is_ioc() && !plausible_concept_name(&name)) {
+        // Entity mentions → canon commit → merged entity nodes + MENTIONS.
+        let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity(delta.entities.len());
+        for entity in &delta.entities {
+            let Some(entity) = entity else {
                 nodes.push(None);
                 continue;
+            };
+            let committed = self
+                .canon
+                .commit(&entity.label, &entity.raw, &entity.resolution);
+            if committed.conflict {
+                outcome.conflicts += 1;
             }
             let node = self.graph.merge_node(
-                mention.kind.label(),
-                &name,
-                [("description", Value::from(name.clone()))],
+                &entity.label,
+                &committed.name,
+                [("description", Value::from(committed.name.clone()))],
             );
             let _ = self
                 .graph
@@ -490,52 +608,46 @@ impl Connector for GraphConnector {
             nodes.push(Some(node));
         }
 
-        // DESCRIBES: the report's primary subject from structured metadata.
-        for key in ["family", "cve id", "threat actor"] {
-            if let Some(value) = cti.structured.get(key) {
-                if let Some(kind) = StyleParser::kind_for_key(key) {
-                    let name = EntityMention::new(kind, value.clone(), 0, 0).canonical_name();
-                    if let Some(node) = self.graph.node_by_name(kind.label(), &name) {
-                        let _ = self.graph.merge_edge(
-                            report_node,
-                            RelationKind::Describes.label(),
-                            node,
-                        );
-                    }
-                }
+        // DESCRIBES: linked only when the subject node already exists (same
+        // only-if-present rule as the classic connector; looked up by raw
+        // canonical name).
+        for (label, name) in &delta.describes {
+            if let Some(node) = self.graph.node_by_name(label, name) {
+                let _ = self
+                    .graph
+                    .merge_edge(report_node, RelationKind::Describes.label(), node);
             }
         }
 
-        // Relations, validated against the ontology.
-        for rel in &cti.relations {
+        // Relations were already ontology-validated worker-side.
+        for rel in &delta.relations {
             let (Some(Some(s)), Some(Some(o))) = (nodes.get(rel.subject), nodes.get(rel.object))
             else {
                 continue;
             };
-            let s_kind = cti.mentions[rel.subject].kind;
-            let o_kind = cti.mentions[rel.object].kind;
-            let kind = rel
-                .kind
-                .or_else(|| self.ontology.resolve_extracted(s_kind, &rel.verb, o_kind));
-            match kind {
-                Some(kind) if self.ontology.allows(s_kind, kind, o_kind) => {
-                    if let Ok(edge) = self.graph.merge_edge(*s, kind.label(), *o) {
-                        if kind == RelationKind::RelatedTo {
-                            if let Some(e) = self.graph.edge_mut(edge) {
-                                e.props
-                                    .entry("verb".to_owned())
-                                    .or_insert_with(|| Value::from(rel.verb.clone()));
-                            }
-                        }
+            if let Ok(edge) = self.graph.merge_edge(*s, &rel.rel_label, *o) {
+                if let Some(verb) = &rel.verb {
+                    if let Some(e) = self.graph.edge_mut(edge) {
+                        e.props
+                            .entry("verb".to_owned())
+                            .or_insert_with(|| Value::from(verb.clone()));
                     }
                 }
-                _ => self.rejected_relations += 1,
             }
         }
+        self.rejected_relations += delta.rejected_relations;
 
-        // Keyword index entry for the report.
+        // Keyword index entry for the report, pre-tokenized worker-side.
         self.search
-            .add(report_node, &format!("{}\n{}", cti.meta.title, cti.text));
+            .add_pretokenized(report_node, delta.terms, delta.token_len);
+
+        self.canon_conflicts += outcome.conflicts;
+        self.applied += 1;
+        if self.applied.is_multiple_of(CANON_REFRESH_EVERY) {
+            *self.snapshot_cell.write() = self.canon.snapshot();
+            outcome.canon_published = Some(self.canon.len());
+        }
+        outcome
     }
 }
 

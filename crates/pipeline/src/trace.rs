@@ -79,6 +79,12 @@ pub enum TraceEvent {
         torn_tail: bool,
         resumed_from_snapshot: Option<u64>,
     },
+    /// The connect writer republished the canon-table snapshot handed to
+    /// resolve workers.
+    CanonSnapshotPublished { entries: usize },
+    /// A worker resolution was invalidated by canon entries appended after
+    /// its snapshot and re-resolved at apply time.
+    CanonConflictResolved { source: String, conflicts: usize },
     /// A crawl-and-ingest round began.
     IngestStarted { pages: usize },
     /// A crawl-and-ingest round finished.

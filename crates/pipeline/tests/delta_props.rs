@@ -1,0 +1,107 @@
+//! Property tests for the split connector's delta representation.
+//!
+//! The writer may receive a batch of resolved deltas in any arrival order
+//! (workers race); `Connector::apply_batch` must produce the same graph no
+//! matter how a batch is permuted, because it re-establishes sequence order
+//! before applying. This is the invariant the reorder buffer leans on when
+//! it drains out-of-order stragglers at channel close.
+
+use kg_fusion::ResolverConfig;
+use kg_ir::{EntityMention, IntermediateCti, RelationMention, ReportId, ReportMeta, SourceId};
+use kg_ontology::{EntityKind, ReportCategory};
+use kg_pipeline::{Connector, GraphConnector, GraphDelta};
+use proptest::prelude::*;
+
+/// A small pool of near-duplicate names so the similarity resolver has real
+/// fusion work to do (not just identity commits).
+const NAME_POOL: [&str; 8] = [
+    "zarbot", "zar-bot", "ZarBot", "vexworm", "vex worm", "Lazarus", "lazarus", "krodown",
+];
+
+fn cti(i: usize, name_picks: &[usize], relate: bool) -> IntermediateCti {
+    let meta = ReportMeta {
+        id: ReportId::new("propsrc", &format!("r{i}")),
+        source: SourceId(0),
+        vendor: "PropVendor".to_owned(),
+        title: format!("prop report {i}"),
+        url: format!("https://propsrc.example/r{i}"),
+        fetched_at_ms: 1_000 + i as u64,
+        published_at_ms: None,
+    };
+    let mut out = IntermediateCti::new(meta, ReportCategory::Malware);
+    let names: Vec<&str> = name_picks
+        .iter()
+        .map(|&p| NAME_POOL[p % NAME_POOL.len()])
+        .collect();
+    out.text = format!("the {} campaign used {}.", names.join(" and "), "mimikatz");
+    for name in &names {
+        out.mentions
+            .push(EntityMention::new(EntityKind::Malware, *name, 0, 0));
+    }
+    if relate && out.mentions.len() >= 2 {
+        out.relations.push(RelationMention::new(0, 1, "used"));
+    }
+    out
+}
+
+fn digest(connector: &GraphConnector) -> u64 {
+    kg_ir::fnv1a64(&serde_json::to_vec(&connector.graph).expect("graph serialises"))
+}
+
+/// Resolve every CTI against an empty canon snapshot and stamp sequence
+/// numbers in corpus order — exactly what the parallel resolve stage does.
+fn resolve_all(ctis: &[IntermediateCti]) -> Vec<GraphDelta> {
+    let connector = GraphConnector::with_resolver(ResolverConfig::standard());
+    let resolver = connector.resolver().expect("graph connector resolves");
+    ctis.iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let mut delta = resolver.resolve(c);
+            delta.seq = i as u64;
+            delta
+        })
+        .collect()
+}
+
+proptest! {
+    /// apply_batch(permuted deltas) == apply_delta in sequence order.
+    #[test]
+    fn apply_batch_is_shuffle_invariant(
+        picks in prop::collection::vec(
+            (prop::collection::vec(0usize..8, 1..4), any::<bool>()),
+            1..8,
+        ),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let ctis: Vec<IntermediateCti> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, (names, relate))| cti(i, names, *relate))
+            .collect();
+        let deltas = resolve_all(&ctis);
+
+        // Reference: strict sequence order, one delta at a time.
+        let mut ordered = GraphConnector::with_resolver(ResolverConfig::standard());
+        for delta in deltas.clone() {
+            ordered.apply_delta(delta);
+        }
+
+        // Candidate: one batch, Fisher–Yates-permuted by the proptest seed.
+        let mut shuffled = deltas;
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut batched = GraphConnector::with_resolver(ResolverConfig::standard());
+        let outcomes = batched.apply_batch(shuffled);
+
+        prop_assert_eq!(outcomes.len(), ctis.len());
+        prop_assert_eq!(digest(&batched), digest(&ordered));
+        prop_assert_eq!(batched.canon().len(), ordered.canon().len());
+        prop_assert_eq!(batched.rejected_relations, ordered.rejected_relations);
+    }
+}

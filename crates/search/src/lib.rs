@@ -84,12 +84,34 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
 
     /// Tokenize text into lowercase index terms (IOC-protected).
     pub fn terms(text: &str) -> Vec<String> {
-        let matcher = IocMatcher::standard();
-        tokenize_protected(text, &matcher)
+        Self::terms_with(&IocMatcher::standard(), text)
+    }
+
+    /// [`SearchIndex::terms`] with a caller-supplied matcher, so hot loops
+    /// (the pipeline's resolve workers) build the IOC matcher once instead
+    /// of once per document.
+    pub fn terms_with(matcher: &IocMatcher, text: &str) -> Vec<String> {
+        tokenize_protected(text, matcher)
             .into_iter()
             .filter(|t| t.kind != kg_nlp::TokenKind::Punct)
             .map(|t| t.text.to_lowercase())
             .collect()
+    }
+
+    /// Tokenize and aggregate into sorted `(term, frequency)` pairs plus the
+    /// total token count — the precomputed shape [`SearchIndex::add_pretokenized`]
+    /// ingests. Sorting makes downstream posting insertion order (and thus
+    /// index layout) deterministic regardless of hash-map iteration order.
+    pub fn term_counts_with(matcher: &IocMatcher, text: &str) -> (Vec<(String, u32)>, u32) {
+        let terms = Self::terms_with(matcher, text);
+        let token_len = terms.len() as u32;
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for term in terms {
+            *counts.entry(term).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(String, u32)> = counts.into_iter().collect();
+        counts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        (counts, token_len)
     }
 
     /// The slot of the document indexed under `key` — the *newest* slot
@@ -110,14 +132,19 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
     /// Index one document. Re-adding the same key indexes a new version
     /// alongside the old one; prefer one `add` per key.
     pub fn add(&mut self, key: D, text: &str) {
-        let terms = Self::terms(text);
+        let (counts, token_len) = Self::term_counts_with(&IocMatcher::standard(), text);
+        self.add_pretokenized(key, counts, token_len);
+    }
+
+    /// Bulk-ingest a document whose terms were tokenized and counted
+    /// elsewhere (the pipeline's resolve workers): pure hash-map pushes, no
+    /// tokenization under the writer. `counts` must hold each distinct term
+    /// once; pass them sorted (as [`SearchIndex::term_counts_with`] returns
+    /// them) for a deterministic index layout.
+    pub fn add_pretokenized(&mut self, key: D, counts: Vec<(String, u32)>, token_len: u32) {
         let slot = self.docs.len() as u32;
-        self.docs.push((key, terms.len() as u32));
-        self.total_tokens += terms.len() as u64;
-        let mut counts: HashMap<String, u32> = HashMap::new();
-        for term in terms {
-            *counts.entry(term).or_insert(0) += 1;
-        }
+        self.docs.push((key, token_len));
+        self.total_tokens += token_len as u64;
         for (term, tf) in counts {
             self.postings
                 .entry(term)
@@ -270,6 +297,31 @@ mod tests {
         // Both versions remain searchable under the same external key.
         let hits = idx.search("wannacry", 10);
         assert!(hits.iter().filter(|h| h.doc == 1).count() >= 2);
+    }
+
+    #[test]
+    fn pretokenized_add_matches_plain_add() {
+        let text = "wannacry ransomware encrypts files and drops tasksche.exe wannacry";
+        let mut plain: SearchIndex<u32> = SearchIndex::default();
+        plain.add(1, text);
+        let matcher = IocMatcher::standard();
+        let (counts, token_len) = SearchIndex::<u32>::term_counts_with(&matcher, text);
+        assert_eq!(counts.iter().find(|(t, _)| t == "wannacry").unwrap().1, 2);
+        let mut bulk: SearchIndex<u32> = SearchIndex::default();
+        bulk.add_pretokenized(1, counts, token_len);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&bulk).unwrap()
+        );
+        for q in ["wannacry", "tasksche.exe", "files"] {
+            let a = plain.search(q, 5);
+            let b = bulk.search(q, 5);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ awk '/^test result:/ { passed += $4; suites += 1 }
      END { printf "test summary: %d tests passed across %d suites\n", passed, suites }' \
     "$test_log"
 
+echo "== E4 smoke (4 connect workers, digest vs sequential) =="
+cargo run -q -p kg-bench --bin exp_pipeline --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 
