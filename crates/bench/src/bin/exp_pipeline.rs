@@ -33,7 +33,7 @@ use securitykg::{train_ner, TrainingConfig};
 use std::sync::Arc;
 
 fn digest(connector: &GraphConnector) -> u64 {
-    kg_ir::fnv1a64(&serde_json::to_vec(&connector.graph).expect("graph serialises"))
+    connector.graph.digest()
 }
 
 /// Share of total wall-clock the single-threaded apply phase kept the

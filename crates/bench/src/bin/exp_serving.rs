@@ -106,8 +106,7 @@ fn run_cell(serve: &KgServe, pool: &[Query], readers: usize, writer: Option<&Sec
                         [] as [(&str, &str); 0],
                     );
                     search.add(m, &format!("freshly ingested malware {i}"));
-                    let snapshot =
-                        KgSnapshot::build(graph.clone(), search.clone()).expect("snapshot builds");
+                    let snapshot = KgSnapshot::build(graph.clone(), search.clone());
                     serve.publish(snapshot);
                     i += 1;
                     std::thread::sleep(PUBLISH_EVERY);
@@ -174,7 +173,7 @@ fn main() {
     let mut baseline_qps = [0f64; 2];
     for (mode, writer) in [("off", None), ("on", Some(&kg))] {
         for (i, readers) in [1usize, 2, 4, 8].into_iter().enumerate() {
-            let serve = KgServe::new(kg.serving_snapshot().unwrap(), 4096);
+            let serve = KgServe::new(kg.serving_snapshot(), 4096);
             let mut cell = run_cell(&serve, &pool, readers, writer);
             let queries = cell.latencies.len();
             let qps = queries as f64 / cell.wall.as_secs_f64();
@@ -210,7 +209,7 @@ fn main() {
         "hit rate",
     ]);
     for (label, capacity) in [("cold (disabled)", 0usize), ("warm (4096)", 4096)] {
-        let serve = KgServe::new(kg.serving_snapshot().unwrap(), capacity);
+        let serve = KgServe::new(kg.serving_snapshot(), capacity);
         if capacity > 0 {
             // Warm it: one full pass over the pool.
             for query in &pool {

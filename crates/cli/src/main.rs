@@ -72,7 +72,7 @@ USAGE:
   securitykg export-stix --kg <kg.json> --out <bundle.json>
   securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]
   securitykg serve  --kg <kg.json> --queries <file> [--readers <n>] [--rounds <n>]
-                    [--cache <entries>] [--stats]
+                    [--cache <entries>] [--publishes <n>] [--stats]
 
 Durable builds journal every crawl cycle into <dir> and snapshot periodically;
 re-running over the same dir resumes from the last intact snapshot. A run
@@ -80,7 +80,9 @@ killed by --crash-after-records exits with code 9 and leaves a resumable dir.
 
 Serve publishes the knowledge base as an immutable snapshot and replays the
 query file from <n> concurrent reader threads through the digest-keyed query
-cache. Query file lines (one per query; '#' comments):
+cache. With --publishes, a concurrent writer also freezes and republishes
+<n> incremental epochs while the readers run, reporting freeze latency.
+Query file lines (one per query; '#' comments):
   search <keywords...>
   cypher <read-only query>
   expand <entity name> [hops] [cap]";
@@ -406,8 +408,10 @@ fn parse_query_line(line: &str) -> Result<Option<securitykg::serve::Query>, Stri
 }
 
 /// Serve the knowledge base to N concurrent readers replaying a query file.
+/// With `--publishes N`, a concurrent writer also republishes the snapshot
+/// N times through the incremental epoch path while the readers run.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use securitykg::serve::{percentile, KgServe, Query};
+    use securitykg::serve::{percentile, EpochBuilder, KgServe, Query};
     use std::time::Instant;
 
     let (flags, _) = parse_flags(args);
@@ -443,13 +447,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(1024);
 
-    let snapshot = kb.into_serving().map_err(|e| e.to_string())?;
+    let publishes: usize = flags
+        .get("publishes")
+        .map(|n| n.parse().map_err(|e| format!("--publishes: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+
+    // Keep a writer-side copy of the KB when a concurrent writer is asked
+    // for (`into_serving` consumes the original).
+    let mut writer_state = (publishes > 0).then(|| (kb.graph.clone(), kb.search.clone()));
+    let snapshot = kb.into_serving();
     eprintln!(
-        "serving snapshot {:016x}: {} nodes, {} edges, {} indexed docs — {} reader(s) × {} round(s) × {} queries",
+        "serving snapshot {:016x}: {} nodes, {} edges, {} indexed docs ({} build, {} µs) — {} reader(s) × {} round(s) × {} queries",
         snapshot.digest(),
         snapshot.node_count(),
         snapshot.edge_count(),
         snapshot.search_index().len(),
+        snapshot.mode().label(),
+        snapshot.build_us(),
         readers,
         rounds,
         queries.len()
@@ -458,6 +473,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let wall = Instant::now();
     let mut latencies: Vec<Vec<u64>> = Vec::new();
+    let mut publish_us: Vec<u64> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for reader in 0..readers {
@@ -479,8 +495,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 lat
             }));
         }
+        let writer = writer_state.take().map(|(mut graph, search)| {
+            let serve = &serve;
+            scope.spawn(move || {
+                let mut epoch = EpochBuilder::new(&mut graph);
+                let target = graph.all_nodes().next().map(|n| n.id);
+                let mut us = Vec::with_capacity(publishes);
+                for i in 0..publishes {
+                    if let Some(id) = target {
+                        let _ = graph.set_node_prop(
+                            id,
+                            "serve_epoch",
+                            securitykg::graph::Value::from(i as i64),
+                        );
+                    }
+                    let snap = epoch.freeze(&mut graph, &search);
+                    us.push(snap.build_us());
+                    serve.publish(snap);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                us
+            })
+        });
         for handle in handles {
             latencies.push(handle.join().expect("reader thread"));
+        }
+        if let Some(writer) = writer {
+            publish_us = writer.join().expect("writer thread");
         }
     });
     let wall_us = wall.elapsed().as_micros().max(1) as u64;
@@ -509,6 +550,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         stats.cache.entries,
         100.0 * stats.cache.hits as f64 / (stats.cache.hits + stats.cache.misses).max(1) as f64
     );
+    if !publish_us.is_empty() {
+        println!(
+            "incremental publishes: {} × (freeze p50 {} µs, p99 {} µs) concurrent with readers",
+            publish_us.len(),
+            percentile(&mut publish_us, 0.50),
+            percentile(&mut publish_us, 0.99),
+        );
+    }
     if flags.contains_key("stats") {
         eprintln!("serving trace:");
         eprint!("{}", serve.trace().render_tail(20));

@@ -24,7 +24,7 @@ use crate::SystemConfig;
 use kg_corpus::{standard_sources, SimulatedWeb, World};
 use kg_crawler::{Scheduler, SchedulerCheckpoint, SchedulerConfig, SchedulerStats};
 use kg_graph::GraphStore;
-use kg_ir::{combine_hashes, fnv1a64, RawReport};
+use kg_ir::{combine_hashes, RawReport};
 use kg_pipeline::{
     run_sequential, GraphConnector, ParserRegistry, PipelineMetrics, TraceEvent, TraceLog,
 };
@@ -35,11 +35,16 @@ use std::path::{Path, PathBuf};
 /// Default simulated start: the publication epoch of the synthetic corpus.
 pub const DEFAULT_START_MS: u64 = 1_500_000_000_000;
 
-/// Deterministic fingerprint of a knowledge graph: FNV-1a over its canonical
-/// JSON serialisation (node/edge arrays in id order, properties in BTreeMap
-/// order; the serde-skipped hash indexes never leak in).
-pub fn graph_digest(graph: &GraphStore) -> Result<u64, serde_json::Error> {
-    Ok(fnv1a64(&serde_json::to_vec(graph)?))
+/// Deterministic fingerprint of a knowledge graph — a thin alias for
+/// [`GraphStore::digest`]: the commutative sum of per-element hashes over the
+/// elements' canonical JSON (properties in BTreeMap order; the serde-skipped
+/// hash indexes never leak in). The same scheme serves all three digest
+/// consumers — durable snapshots, the determinism suite, and serving epochs
+/// (`kg_serve::KgSnapshot::digest`) — so their fingerprints stay mutually
+/// comparable, and the serving layer's `EpochBuilder` can maintain it in
+/// O(delta) per publish.
+pub fn graph_digest(graph: &GraphStore) -> u64 {
+    graph.digest()
 }
 
 /// Everything a recovery needs, persisted atomically (tmp + rename) before
@@ -173,7 +178,7 @@ fn write_snapshot(
     trace: &TraceLog,
 ) -> Result<u64, JournalError> {
     let seq = state.snapshot_seq;
-    let digest = graph_digest(&state.connector.graph)?;
+    let digest = graph_digest(&state.connector.graph);
     let payload = SnapshotPayload {
         seq,
         cycles_done: state.cycles_done,
@@ -242,7 +247,7 @@ pub fn run_durable(
         let mut restored = None;
         for (seq, _cycles, digest) in replayed.snapshots().into_iter().rev() {
             if let Ok(payload) = load_snapshot(dir, seq) {
-                if payload.kg_digest == digest && graph_digest(&payload.kb.graph)? == digest {
+                if payload.kg_digest == digest && graph_digest(&payload.kb.graph) == digest {
                     restored = Some(payload);
                     break;
                 }
@@ -382,7 +387,7 @@ pub fn run_durable(
         reports_ingested,
         records_appended: journal.records_written() - records_at_start,
         skipped_duplicates,
-        kg_digest: graph_digest(&state.connector.graph)?,
+        kg_digest: graph_digest(&state.connector.graph),
         resumed_from_snapshot: resumed_from,
         replayed_records,
         torn_tail,

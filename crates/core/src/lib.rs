@@ -146,6 +146,9 @@ pub struct SecurityKg {
     registry: ParserRegistry,
     ner: Option<Arc<kg_extract::NerPipeline>>,
     connector: GraphConnector,
+    /// Incremental epoch builder for O(delta) serving publishes; seeded
+    /// lazily on the first [`SecurityKg::serving_snapshot_incremental`].
+    epoch: Option<kg_serve::EpochBuilder>,
     /// Structured event log accumulated across ingest rounds.
     trace: TraceLog,
     /// Simulated clock for incremental crawls.
@@ -174,6 +177,7 @@ impl SecurityKg {
             registry: ParserRegistry::new(),
             ner: Some(Arc::new(pipeline)),
             connector: GraphConnector::new(),
+            epoch: None,
             trace: TraceLog::new(),
             now_ms: u64::MAX / 4,
         }
@@ -198,6 +202,7 @@ impl SecurityKg {
             registry: ParserRegistry::new(),
             ner: None,
             connector: GraphConnector::new(),
+            epoch: None,
             trace: TraceLog::new(),
             now_ms: u64::MAX / 4,
         }
@@ -292,8 +297,13 @@ impl SecurityKg {
     /// Find an entity node by name **or recorded alias** (fusion may have
     /// absorbed the queried name into a canonical sibling).
     pub fn find_entity(&self, label: &str, name: &str) -> Option<NodeId> {
-        let name = name.to_lowercase();
-        if let Some(id) = self.connector.graph.node_by_name(label, &name) {
+        self.find_entity_lowered(label, &name.to_lowercase())
+    }
+
+    /// [`SecurityKg::find_entity`] with the name already lowercased, so
+    /// per-label loops normalise the query once instead of once per kind.
+    fn find_entity_lowered(&self, label: &str, name: &str) -> Option<NodeId> {
+        if let Some(id) = self.connector.graph.node_by_name(label, name) {
             return Some(id);
         }
         self.connector
@@ -307,9 +317,7 @@ impl SecurityKg {
                     .node(id)
                     .and_then(|n| n.props.get("aliases"))
                 {
-                    Some(kg_graph::Value::List(xs)) => {
-                        xs.iter().any(|v| v.as_text() == Some(name.as_str()))
-                    }
+                    Some(kg_graph::Value::List(xs)) => xs.iter().any(|v| v.as_text() == Some(name)),
                     _ => false,
                 }
             })
@@ -319,9 +327,11 @@ impl SecurityKg {
     /// matching *report* nodes plus the entity nodes they describe.
     pub fn keyword_search(&self, query: &str, k: usize) -> Vec<NodeId> {
         let mut out = Vec::new();
-        // Entity whose canonical name (or alias) matches directly, first.
+        // Entity whose canonical name (or alias) matches directly, first
+        // (query lowercased once, not once per entity kind).
+        let lowered = query.to_lowercase();
         for label in kg_ontology::EntityKind::ALL {
-            if let Some(id) = self.find_entity(label.label(), query) {
+            if let Some(id) = self.find_entity_lowered(label.label(), &lowered) {
                 if !out.contains(&id) {
                     out.push(id);
                 }
@@ -353,9 +363,26 @@ impl SecurityKg {
     /// (`kg-serve`'s publication unit): graph + keyword index + expansion
     /// adjacency, stamped with the graph's canonical digest — the same
     /// fingerprint [`graph_digest`] computes, so serving epochs and durable
-    /// snapshots are directly comparable.
-    pub fn serving_snapshot(&self) -> Result<kg_serve::KgSnapshot, serde_json::Error> {
+    /// snapshots are directly comparable. This is the O(graph) full rebuild;
+    /// [`SecurityKg::serving_snapshot_incremental`] is the O(delta) path.
+    pub fn serving_snapshot(&self) -> kg_serve::KgSnapshot {
         kg_serve::KgSnapshot::build(self.connector.graph.clone(), self.connector.search.clone())
+    }
+
+    /// Freeze a serving snapshot incrementally: digest and adjacency are
+    /// carried forward from the previous freeze and patched with whatever
+    /// ingestion touched since (O(delta)), and the graph/index clones are
+    /// refcount bumps over `Arc`'d segments. The first call seeds the epoch
+    /// builder with one full scan; digest-identical to
+    /// [`SecurityKg::serving_snapshot`] at every state.
+    pub fn serving_snapshot_incremental(&mut self) -> kg_serve::KgSnapshot {
+        if self.epoch.is_none() {
+            self.epoch = Some(kg_serve::EpochBuilder::new(&mut self.connector.graph));
+        }
+        self.epoch
+            .as_mut()
+            .expect("seeded above")
+            .freeze(&mut self.connector.graph, &self.connector.search)
     }
 
     /// Build a threat hunter from the knowledge graph (the paper's future
@@ -439,14 +466,23 @@ mod tests {
     fn serving_snapshot_matches_live_graph_and_digest() {
         let mut kg = SecurityKg::bootstrap_without_ner(&tiny_config());
         kg.crawl_and_ingest();
-        let snap = kg.serving_snapshot().unwrap();
+        let snap = kg.serving_snapshot();
         assert_eq!(snap.node_count(), kg.graph().node_count());
         assert_eq!(snap.edge_count(), kg.graph().edge_count());
         assert_eq!(
             snap.digest(),
-            durable::graph_digest(kg.graph()).unwrap(),
+            durable::graph_digest(kg.graph()),
             "serving digest must equal the durable graph digest"
         );
+        // The incremental freeze agrees with the full rebuild, now and
+        // after another ingest round mutates the graph.
+        let inc = kg.serving_snapshot_incremental();
+        assert_eq!(inc.digest(), snap.digest());
+        assert_eq!(inc.mode(), kg_serve::SnapshotMode::Incremental);
+        kg.crawl_and_ingest();
+        let inc2 = kg.serving_snapshot_incremental();
+        assert_eq!(inc2.digest(), kg.serving_snapshot().digest());
+        assert_eq!(inc2.digest(), durable::graph_digest(kg.graph()));
         // The snapshot answers the same keyword query as the live system.
         let malware = kg.graph().nodes_with_label("Malware");
         assert!(!malware.is_empty());

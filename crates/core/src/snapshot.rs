@@ -32,15 +32,17 @@ impl KnowledgeBase {
     }
 
     /// Freeze this knowledge base into a `kg-serve` publication snapshot.
-    pub fn into_serving(self) -> Result<kg_serve::KgSnapshot, serde_json::Error> {
+    pub fn into_serving(self) -> kg_serve::KgSnapshot {
         kg_serve::KgSnapshot::build(self.graph, self.search)
     }
 
     /// Keyword search over the stored index (+ direct name hits).
     pub fn keyword_search(&self, query: &str, k: usize) -> Vec<NodeId> {
         let mut out = Vec::new();
+        // Lowercase the query once, not once per entity kind.
+        let lowered = query.to_lowercase();
         for kind in kg_ontology::EntityKind::ALL {
-            if let Some(id) = self.graph.node_by_name(kind.label(), &query.to_lowercase()) {
+            if let Some(id) = self.graph.node_by_name(kind.label(), &lowered) {
                 out.push(id);
             }
         }

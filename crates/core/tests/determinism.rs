@@ -49,8 +49,13 @@ fn extractor(web: &SimulatedWeb) -> IocOnlyExtractor {
     }
 }
 
-fn digest(connector: &GraphConnector) -> u64 {
-    securitykg::ir::fnv1a64(&serde_json::to_vec(&connector.graph).expect("graph serialises"))
+/// The schedule-independence digest: the canonical per-element graph digest
+/// *and* (strictly stronger) the fnv1a64 of the serialised bytes, asserted
+/// mutually consistent so the byte-identity contract survives the digest's
+/// move to a commutative per-element scheme.
+fn digest(connector: &GraphConnector) -> (u64, u64) {
+    let bytes = serde_json::to_vec(&connector.graph).expect("graph serialises");
+    (connector.graph.digest(), securitykg::ir::fnv1a64(&bytes))
 }
 
 #[test]

@@ -111,10 +111,12 @@ pub fn crawl_all(
                     let spec = &sources[i];
                     let mut slot = state_slots[i].lock();
                     let outcome = crawl_source(web, spec, &mut slot, config, now_ms);
-                    for report in &outcome.reports {
-                        let _ = tx.send(report.clone());
-                    }
+                    // absorb only reads the counters, so the reports can be
+                    // drained by value and moved into the channel un-cloned.
                     metrics.lock().absorb(&outcome);
+                    for report in outcome.reports {
+                        let _ = tx.send(report);
+                    }
                 });
             }
             drop(tx);

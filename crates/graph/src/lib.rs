@@ -26,5 +26,8 @@ pub mod store;
 pub mod value;
 
 pub use cypher::{parse, QueryResult};
-pub use store::{Edge, EdgeId, GraphStore, Node, NodeId, StoreError};
+pub use store::{
+    edge_digest, node_digest, Edge, EdgeId, GraphChanges, GraphStore, Node, NodeId, StoreError,
+    DIGEST_SEED,
+};
 pub use value::Value;

@@ -1492,10 +1492,13 @@ mod tests {
         assert!(out.connector.graph.edge_count() > 0);
     }
 
-    /// fnv1a64 over the canonical JSON serialisation of the whole graph:
-    /// byte-identical graphs, not merely equal counts.
-    fn graph_digest(connector: &GraphConnector) -> u64 {
-        kg_ir::fnv1a64(&serde_json::to_vec(&connector.graph).expect("graph serialises"))
+    /// Byte-identical graphs, not merely equal counts: fnv1a64 over the
+    /// canonical JSON serialisation, paired with the per-element
+    /// `GraphStore::digest` so the two schemes are checked against each
+    /// other on every equivalence assertion.
+    fn graph_digest(connector: &GraphConnector) -> (u64, u64) {
+        let bytes = serde_json::to_vec(&connector.graph).expect("graph serialises");
+        (kg_ir::fnv1a64(&bytes), connector.graph.digest())
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub enum TraceEvent {
         kg_digest: u64,
         nodes: usize,
         edges: usize,
+        /// Wall time spent freezing the snapshot, microseconds.
+        build_us: u64,
+        /// How it was frozen: "full" rebuild or "incremental" epoch patch.
+        mode: &'static str,
     },
     /// Point-in-time query-cache counters from the serving layer.
     CacheReport {

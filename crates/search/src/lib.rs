@@ -9,6 +9,7 @@
 use kg_nlp::{tokenize_protected, IocMatcher};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// BM25 parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -42,8 +43,12 @@ struct Posting {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchIndex<D> {
     params: Bm25Params,
-    /// term → postings (document slots ascending).
-    postings: HashMap<String, Vec<Posting>>,
+    /// term → postings (document slots ascending). Each list is `Arc`'d so
+    /// cloning the index for a serving snapshot bumps refcounts instead of
+    /// deep-copying every posting; the writer's next append to a shared list
+    /// copies just that list (`Arc::make_mut`). `Arc` serialises
+    /// transparently, so the JSON shape is unchanged.
+    postings: HashMap<String, Arc<Vec<Posting>>>,
     /// slot → (external doc key, token count).
     docs: Vec<(D, u32)>,
     /// Total tokens across all documents (the BM25 average-length term).
@@ -146,10 +151,7 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
         self.docs.push((key, token_len));
         self.total_tokens += token_len as u64;
         for (term, tf) in counts {
-            self.postings
-                .entry(term)
-                .or_default()
-                .push(Posting { doc: slot, tf });
+            Arc::make_mut(self.postings.entry(term).or_default()).push(Posting { doc: slot, tf });
         }
     }
 
@@ -168,7 +170,7 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
             };
             let df = postings.len() as f64;
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
-            for p in postings {
+            for p in postings.iter() {
                 let doc_len = self.docs[p.doc as usize].1 as f64;
                 let tf = p.tf as f64;
                 let denom = tf

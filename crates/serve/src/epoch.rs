@@ -1,0 +1,236 @@
+//! O(delta) snapshot freezing: the incremental epoch builder.
+//!
+//! [`KgSnapshot::build`] is O(entire graph) per publish — it hashes every
+//! element for the digest and walks every adjacency list. As the KG grows,
+//! each publish stalls the ingest writer for time proportional to everything
+//! ever ingested, not to what changed since the previous epoch. An
+//! [`EpochBuilder`] sits beside the writer and carries the digest and
+//! adjacency table forward across epochs:
+//!
+//! - the **digest** is the commutative per-element sum from
+//!   [`kg_graph::GraphStore::digest`] — patching it for a touched element is
+//!   `wrapping_sub(old term)` + `wrapping_add(new term)`;
+//! - the **adjacency table** re-freezes only the nodes whose edge sets the
+//!   delta touched (each list individually `Arc`'d, untouched entries are
+//!   shared with every previous epoch);
+//! - the **graph and index clones** are cheap by structural sharing:
+//!   `GraphStore` arenas are `Arc`'d segments and `SearchIndex` posting lists
+//!   are `Arc`'d, so `clone()` bumps refcounts and only writer-touched
+//!   shards were ever deep-copied.
+//!
+//! The builder does not re-apply `GraphDelta`s itself — apply is not
+//! delta-pure (canon commit re-resolves against the live table), so the
+//! builder instead *observes* the writer's graph through the store's
+//! change-tracking ([`kg_graph::GraphStore::drain_changes`]): whatever the
+//! writer did, the drained touched-set names every element whose digest term
+//! or adjacency entry may have moved. The full-rebuild path stays as the
+//! correctness oracle (see `tests/epoch_props.rs` at the workspace root).
+
+use crate::snapshot::KgSnapshot;
+use kg_graph::{edge_digest, node_digest, GraphStore, NodeId, DIGEST_SEED};
+use kg_search::SearchIndex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maintains digest + adjacency across epochs so freezing a snapshot costs
+/// O(elements touched since the last freeze) instead of O(graph).
+pub struct EpochBuilder {
+    /// Current digest term of every live node (what to subtract when the
+    /// node changes or dies).
+    node_terms: HashMap<NodeId, u64>,
+    /// Current digest term of every live edge.
+    edge_terms: HashMap<kg_graph::EdgeId, u64>,
+    /// Running graph digest, kept equal to `graph.digest()`.
+    digest: u64,
+    /// Carried-forward adjacency table; only dirty entries are re-frozen.
+    adjacency: HashMap<NodeId, Arc<Vec<NodeId>>>,
+}
+
+impl EpochBuilder {
+    /// Seed the builder from the writer's live graph with one full scan —
+    /// the only O(graph) moment in the builder's lifetime. Any changes the
+    /// store had tracked before seeding are discarded (the scan sees them).
+    pub fn new(graph: &mut GraphStore) -> Self {
+        let _ = graph.drain_changes();
+        let mut digest = DIGEST_SEED;
+        let mut node_terms = HashMap::new();
+        let mut edge_terms = HashMap::new();
+        let mut adjacency = HashMap::new();
+        for node in graph.all_nodes() {
+            let term = node_digest(node);
+            node_terms.insert(node.id, term);
+            digest = digest.wrapping_add(term);
+            adjacency.insert(node.id, Arc::new(graph.neighbors(node.id)));
+        }
+        for edge in graph.all_edges() {
+            let term = edge_digest(edge);
+            edge_terms.insert(edge.id, term);
+            digest = digest.wrapping_add(term);
+        }
+        EpochBuilder {
+            node_terms,
+            edge_terms,
+            digest,
+            adjacency,
+        }
+    }
+
+    /// Drain the store's touched-set and patch digest + adjacency: O(delta).
+    pub fn absorb(&mut self, graph: &mut GraphStore) {
+        let changes = graph.drain_changes();
+        // Endpoints whose adjacency entry must be re-frozen.
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        for (edge_id, from, to) in changes.edges {
+            if let Some(old) = self.edge_terms.remove(&edge_id) {
+                self.digest = self.digest.wrapping_sub(old);
+            }
+            if let Some(edge) = graph.edge(edge_id) {
+                let term = edge_digest(edge);
+                self.edge_terms.insert(edge_id, term);
+                self.digest = self.digest.wrapping_add(term);
+            }
+            dirty.insert(from);
+            dirty.insert(to);
+        }
+        for node_id in changes.nodes {
+            if let Some(old) = self.node_terms.remove(&node_id) {
+                self.digest = self.digest.wrapping_sub(old);
+            }
+            if let Some(node) = graph.node(node_id) {
+                let term = node_digest(node);
+                self.node_terms.insert(node_id, term);
+                self.digest = self.digest.wrapping_add(term);
+            }
+            dirty.insert(node_id);
+        }
+        for node_id in dirty {
+            if graph.node(node_id).is_some() {
+                self.adjacency
+                    .insert(node_id, Arc::new(graph.neighbors(node_id)));
+            } else {
+                self.adjacency.remove(&node_id);
+            }
+        }
+    }
+
+    /// The digest the next frozen snapshot will carry (before any pending
+    /// un-absorbed changes).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Absorb pending changes and freeze the current graph + index state
+    /// into a publishable snapshot. The clones are refcount bumps over
+    /// `Arc`'d segments/posting lists — only shards the writer touches
+    /// *after* this freeze get deep-copied, on its side.
+    pub fn freeze(&mut self, graph: &mut GraphStore, search: &SearchIndex<NodeId>) -> KgSnapshot {
+        let start = Instant::now();
+        self.absorb(graph);
+        KgSnapshot::from_parts(
+            graph.clone(),
+            search.clone(),
+            self.adjacency.clone(),
+            self.digest,
+            start.elapsed().as_micros() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotMode;
+    use kg_graph::Value;
+
+    fn assert_equivalent(snap: &KgSnapshot, oracle: &KgSnapshot) {
+        assert_eq!(snap.digest(), oracle.digest());
+        assert_eq!(snap.node_count(), oracle.node_count());
+        assert_eq!(snap.edge_count(), oracle.edge_count());
+        assert_eq!(snap.adjacency_len(), oracle.adjacency_len());
+        for node in oracle.graph().all_nodes() {
+            assert_eq!(snap.neighbors(node.id), oracle.neighbors(node.id));
+        }
+    }
+
+    #[test]
+    fn incremental_freeze_matches_full_build_across_mutations() {
+        let mut graph = GraphStore::new();
+        let search: SearchIndex<NodeId> = SearchIndex::default();
+        let m = graph.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let mut epoch = EpochBuilder::new(&mut graph);
+
+        // Epoch 1: add nodes and edges.
+        let f = graph.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        let d = graph.create_node("Domain", [("name", Value::from("kill.switch"))]);
+        graph
+            .create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        let e2 = graph
+            .create_edge(m, "CONNECTS_TO", d, [] as [(&str, Value); 0])
+            .unwrap();
+        let snap = epoch.freeze(&mut graph, &search);
+        assert_eq!(snap.mode(), SnapshotMode::Incremental);
+        assert_equivalent(&snap, &KgSnapshot::build(graph.clone(), search.clone()));
+
+        // Epoch 2: mutate a node, delete an edge.
+        graph
+            .set_node_prop(m, "vendor", Value::from("talos"))
+            .unwrap();
+        graph.delete_edge(e2).unwrap();
+        let snap = epoch.freeze(&mut graph, &search);
+        assert_equivalent(&snap, &KgSnapshot::build(graph.clone(), search.clone()));
+
+        // Epoch 3: delete a node (cascades through its edges).
+        graph.delete_node(f).unwrap();
+        let snap = epoch.freeze(&mut graph, &search);
+        assert_equivalent(&snap, &KgSnapshot::build(graph.clone(), search.clone()));
+
+        // Epoch 4: nothing changed — freeze is a near-no-op and still right.
+        let snap = epoch.freeze(&mut graph, &search);
+        assert_equivalent(&snap, &KgSnapshot::build(graph.clone(), search.clone()));
+        assert_eq!(snap.digest(), graph.digest());
+    }
+
+    #[test]
+    fn seeding_discards_previously_tracked_changes() {
+        let mut graph = GraphStore::new();
+        graph.create_node("Malware", [("name", Value::from("a"))]);
+        // The create above is pending in the touched-set; seeding must not
+        // double-count it (the full scan already sees the node).
+        let mut epoch = EpochBuilder::new(&mut graph);
+        assert_eq!(epoch.digest(), graph.digest());
+        let search: SearchIndex<NodeId> = SearchIndex::default();
+        let snap = epoch.freeze(&mut graph, &search);
+        assert_eq!(snap.digest(), graph.digest());
+    }
+
+    #[test]
+    fn old_epochs_stay_intact_while_writer_mutates() {
+        let mut graph = GraphStore::new();
+        let search: SearchIndex<NodeId> = SearchIndex::default();
+        let m = graph.create_node("Malware", [("name", Value::from("x"))]);
+        let f = graph.create_node("FileName", [("name", Value::from("y.exe"))]);
+        graph
+            .create_edge(m, "DROP", f, [] as [(&str, Value); 0])
+            .unwrap();
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let old = epoch.freeze(&mut graph, &search);
+        let old_digest = old.digest();
+        // Writer keeps going after the freeze.
+        graph.delete_node(f).unwrap();
+        graph.create_node("Tool", [("name", Value::from("t"))]);
+        let new = epoch.freeze(&mut graph, &search);
+        // The frozen epoch still answers from its own state.
+        assert_eq!(old.digest(), old_digest);
+        assert_eq!(old.node_count(), 2);
+        assert_eq!(old.edge_count(), 1);
+        assert_eq!(old.neighbors(m), &[f]);
+        assert!(old.graph().node(f).is_some());
+        // And the new epoch reflects the mutations.
+        assert_ne!(new.digest(), old_digest);
+        assert_eq!(new.node_count(), 2);
+        assert_eq!(new.edge_count(), 0);
+        assert!(new.neighbors(m).is_empty());
+    }
+}

@@ -20,12 +20,20 @@
 //! races nothing, because old-digest entries can never be returned for
 //! new-digest lookups — they just age out. Publishes and cache counters are
 //! surfaced as [`TraceEvent`]s on the serving [`TraceLog`].
+//!
+//! Freezing a snapshot comes in two flavours: [`KgSnapshot::build`] is the
+//! O(graph) full rebuild (the correctness oracle), and [`EpochBuilder`] is
+//! the O(delta) incremental path — it carries the digest and adjacency table
+//! forward across epochs and relies on structural sharing (`Arc`'d graph
+//! segments and posting lists) to make the freeze clones refcount bumps.
 
 mod cache;
+mod epoch;
 mod snapshot;
 
 pub use cache::{CacheStats, QueryCache};
-pub use snapshot::{normalize, Answer, KgSnapshot, Query};
+pub use epoch::EpochBuilder;
+pub use snapshot::{normalize, Answer, KgSnapshot, Query, SnapshotMode};
 
 use kg_pipeline::{TraceEvent, TraceLog};
 use parking_lot::RwLock;
@@ -89,6 +97,8 @@ impl KgServe {
             kg_digest: snapshot.digest(),
             nodes: snapshot.node_count(),
             edges: snapshot.edge_count(),
+            build_us: snapshot.build_us(),
+            mode: snapshot.mode().label(),
         };
         *self.current.write() = Arc::new(snapshot);
         self.trace.record(event);
@@ -171,7 +181,6 @@ impl KgSnapshot {
             kg_graph::GraphStore::new(),
             kg_search::SearchIndex::default(),
         )
-        .expect("empty graph serialises")
     }
 }
 
@@ -204,7 +213,7 @@ mod tests {
         }
         let mut search = SearchIndex::default();
         search.add(m, "wannacry ransomware drops tasksche.exe");
-        KgSnapshot::build(graph, search).unwrap()
+        KgSnapshot::build(graph, search)
     }
 
     #[test]

@@ -7,25 +7,51 @@
 //! one graph state, whatever the ingest writer does meanwhile.
 
 use kg_graph::{cypher::CypherError, GraphStore, NodeId, QueryResult, Value};
-use kg_ir::fnv1a64;
 use kg_search::SearchIndex;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How a snapshot was frozen: full rebuild (the oracle) or incrementally
+/// via [`crate::EpochBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Digest and adjacency recomputed from scratch ([`KgSnapshot::build`]).
+    Full,
+    /// Digest and adjacency carried forward and patched with the delta.
+    Incremental,
+}
+
+impl SnapshotMode {
+    /// Stable lowercase label for traces and stats output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SnapshotMode::Full => "full",
+            SnapshotMode::Incremental => "incremental",
+        }
+    }
+}
 
 /// An immutable, self-contained read snapshot of the knowledge base.
 pub struct KgSnapshot {
     /// Publish sequence number, assigned by [`crate::KgServe::publish`]
     /// (0 until published).
     version: u64,
-    /// FNV-1a over the graph's canonical JSON — the same fingerprint
-    /// `securitykg::graph_digest` computes, so serving and durable-ingest
-    /// snapshots are comparable.
+    /// The graph's content digest — `GraphStore::digest()`, the same
+    /// commutative per-element fingerprint `securitykg::graph_digest`
+    /// computes, so serving and durable-ingest snapshots are comparable.
     digest: u64,
     graph: GraphStore,
     search: SearchIndex<NodeId>,
     /// node → distinct neighbours (both directions, edge order) — the
     /// explorer's expansion adjacency, precomputed once per snapshot so
-    /// k-hop expansion never walks edge lists under load.
-    adjacency: HashMap<NodeId, Vec<NodeId>>,
+    /// k-hop expansion never walks edge lists under load. Lists are `Arc`'d:
+    /// the incremental builder re-freezes only delta-touched entries.
+    adjacency: HashMap<NodeId, Arc<Vec<NodeId>>>,
+    /// Wall time spent freezing this snapshot, microseconds.
+    build_us: u64,
+    /// Full rebuild or incremental patch.
+    mode: SnapshotMode,
 }
 
 /// A normalized serving query: the three read paths of the paper's UI
@@ -106,23 +132,45 @@ impl Answer {
 
 impl KgSnapshot {
     /// Freeze a graph + index pair into a publishable snapshot: computes the
-    /// canonical digest and the expansion adjacency.
-    pub fn build(
-        graph: GraphStore,
-        search: SearchIndex<NodeId>,
-    ) -> Result<KgSnapshot, serde_json::Error> {
-        let digest = fnv1a64(&serde_json::to_vec(&graph)?);
+    /// canonical digest and the expansion adjacency from scratch. This is
+    /// the O(graph) path — the correctness oracle the incremental
+    /// [`crate::EpochBuilder`] is proven against.
+    pub fn build(graph: GraphStore, search: SearchIndex<NodeId>) -> KgSnapshot {
+        let start = Instant::now();
+        let digest = graph.digest();
         let adjacency = graph
             .all_nodes()
-            .map(|node| (node.id, graph.neighbors(node.id)))
+            .map(|node| (node.id, Arc::new(graph.neighbors(node.id))))
             .collect();
-        Ok(KgSnapshot {
+        KgSnapshot {
             version: 0,
             digest,
             graph,
             search,
             adjacency,
-        })
+            build_us: start.elapsed().as_micros() as u64,
+            mode: SnapshotMode::Full,
+        }
+    }
+
+    /// Assemble a snapshot from components an [`crate::EpochBuilder`]
+    /// maintained incrementally.
+    pub(crate) fn from_parts(
+        graph: GraphStore,
+        search: SearchIndex<NodeId>,
+        adjacency: HashMap<NodeId, Arc<Vec<NodeId>>>,
+        digest: u64,
+        build_us: u64,
+    ) -> KgSnapshot {
+        KgSnapshot {
+            version: 0,
+            digest,
+            graph,
+            search,
+            adjacency,
+            build_us,
+            mode: SnapshotMode::Incremental,
+        }
     }
 
     pub(crate) fn set_version(&mut self, version: u64) {
@@ -137,6 +185,28 @@ impl KgSnapshot {
     /// Canonical graph digest.
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Wall time spent freezing this snapshot, microseconds.
+    pub fn build_us(&self) -> u64 {
+        self.build_us
+    }
+
+    /// How this snapshot was frozen.
+    pub fn mode(&self) -> SnapshotMode {
+        self.mode
+    }
+
+    /// The precomputed expansion adjacency of one node (empty when the node
+    /// has no edges or does not exist). Exposed so equivalence tests can
+    /// compare incremental against full-rebuilt tables entry by entry.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.adjacency.get(&id).map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// Number of adjacency entries (one per live node at freeze time).
+    pub fn adjacency_len(&self) -> usize {
+        self.adjacency.len()
     }
 
     /// The frozen graph.
@@ -206,7 +276,7 @@ impl KgSnapshot {
         for _ in 0..hops {
             let mut next = Vec::new();
             for &node in &frontier {
-                for &neighbor in self.adjacency.get(&node).map_or(&[][..], Vec::as_slice) {
+                for &neighbor in self.neighbors(node) {
                     if out.len() >= cap {
                         return out;
                     }
@@ -262,15 +332,21 @@ mod tests {
         let mut search = SearchIndex::default();
         search.add(m, "wannacry ransomware drops tasksche.exe");
         search.add(f, "tasksche.exe dropped file");
-        KgSnapshot::build(graph, search).unwrap()
+        KgSnapshot::build(graph, search)
     }
 
     #[test]
-    fn digest_matches_canonical_graph_serialisation() {
+    fn digest_matches_canonical_graph_digest() {
         let snap = snapshot();
-        let expected = fnv1a64(&serde_json::to_vec(snap.graph()).unwrap());
-        assert_eq!(snap.digest(), expected);
+        assert_eq!(snap.digest(), snap.graph().digest());
         assert_eq!(snap.version(), 0);
+        assert_eq!(snap.mode(), SnapshotMode::Full);
+        assert_eq!(snap.mode().label(), "full");
+        // One adjacency entry per live node, matching the live graph.
+        assert_eq!(snap.adjacency_len(), snap.node_count());
+        for node in snap.graph().all_nodes() {
+            assert_eq!(snap.neighbors(node.id), snap.graph().neighbors(node.id));
+        }
     }
 
     #[test]

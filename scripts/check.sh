@@ -21,6 +21,9 @@ awk '/^test result:/ { passed += $4; suites += 1 }
 echo "== E4 smoke (4 connect workers, digest vs sequential) =="
 cargo run -q -p kg-bench --bin exp_pipeline --release -- --smoke
 
+echo "== E13 smoke (incremental publish digest vs full rebuild) =="
+cargo run -q -p kg-bench --bin exp_publish --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 

@@ -1,0 +1,173 @@
+//! Property tests for the O(delta) publication path: an incremental
+//! [`EpochBuilder`] driven by arbitrary mutation sequences must stay
+//! **indistinguishable** from the full-rebuild oracle `KgSnapshot::build` —
+//! same digest, same adjacency table, same search/Cypher/expand answers —
+//! at every freeze point, no matter how creates, merges, property updates,
+//! renames and deletes interleave with epoch boundaries.
+
+use proptest::prelude::*;
+use securitykg::graph::{GraphStore, NodeId, Value};
+use securitykg::search::SearchIndex;
+use securitykg::serve::{EpochBuilder, KgSnapshot, Query, SnapshotMode};
+
+const LABELS: [&str; 3] = ["Malware", "Tool", "FileName"];
+
+/// Apply one encoded mutation to the live graph/index. Operands index into
+/// the *current* live node/edge sets, so every op is valid by construction.
+fn apply_op(graph: &mut GraphStore, search: &mut SearchIndex<NodeId>, op: u8, a: u8, b: u8) {
+    let live_nodes: Vec<NodeId> = graph.all_nodes().map(|n| n.id).collect();
+    let pick = |sel: u8| {
+        live_nodes
+            .get(sel as usize % live_nodes.len().max(1))
+            .copied()
+    };
+    match op % 8 {
+        0 => {
+            let label = LABELS[a as usize % LABELS.len()];
+            graph.merge_node(
+                label,
+                &format!("entity-{}", b % 12),
+                [("seen", Value::from(1i64))],
+            );
+        }
+        1 => {
+            let label = LABELS[a as usize % LABELS.len()];
+            graph.create_node(label, [("name", Value::from(format!("dup-{}", b % 6)))]);
+        }
+        2 => {
+            if let Some(id) = pick(a) {
+                let _ = graph.set_node_prop(id, "weight", Value::from(b as i64));
+            }
+        }
+        3 => {
+            // Rename: exercises the name index and changes the digest term.
+            if let Some(id) = pick(a) {
+                let _ = graph.set_node_prop(id, "name", Value::from(format!("renamed-{}", b % 10)));
+            }
+        }
+        4 => {
+            if let Some(id) = pick(a) {
+                let _ = graph.delete_node(id);
+            }
+        }
+        5 => {
+            if let (Some(from), Some(to)) = (pick(a), pick(b.wrapping_add(1))) {
+                let _ = graph.merge_edge(from, "RELATED_TO", to);
+            }
+        }
+        6 => {
+            let live_edges: Vec<_> = graph.all_edges().map(|e| e.id).collect();
+            if !live_edges.is_empty() {
+                let _ = graph.delete_edge(live_edges[a as usize % live_edges.len()]);
+            }
+        }
+        _ => {
+            if let Some(id) = pick(a) {
+                search.add(id, &format!("report about entity-{} campaign", b % 12));
+            }
+        }
+    }
+}
+
+/// The equivalence oracle: digest, adjacency (entry by entry, both ways)
+/// and the three read paths must agree between the incremental freeze and a
+/// full rebuild of the same state.
+fn assert_equivalent(inc: &KgSnapshot, full: &KgSnapshot) -> Result<(), TestCaseError> {
+    prop_assert_eq!(inc.mode(), SnapshotMode::Incremental);
+    prop_assert_eq!(full.mode(), SnapshotMode::Full);
+    prop_assert_eq!(inc.digest(), full.digest());
+    prop_assert_eq!(inc.node_count(), full.node_count());
+    prop_assert_eq!(inc.edge_count(), full.edge_count());
+    prop_assert_eq!(inc.adjacency_len(), full.adjacency_len());
+    for node in full.graph().all_nodes() {
+        prop_assert_eq!(
+            inc.neighbors(node.id),
+            full.neighbors(node.id),
+            "adjacency diverged at {:?}",
+            node.id
+        );
+    }
+    for query in [
+        Query::Search {
+            q: "entity-3 campaign".into(),
+            k: 8,
+        },
+        Query::Search {
+            q: "renamed-4".into(),
+            k: 5,
+        },
+        Query::Cypher {
+            q: "MATCH (n:Malware) RETURN count(*)".into(),
+        },
+        Query::Cypher {
+            q: "MATCH (a)-[:RELATED_TO]->(b) RETURN a, b".into(),
+        },
+        Query::Expand {
+            name: "entity-3".into(),
+            hops: 2,
+            cap: 20,
+        },
+    ] {
+        prop_assert_eq!(
+            inc.answer(&query),
+            full.answer(&query),
+            "answer diverged for {:?}",
+            query
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random mutation sequences with freezes sprinkled between them:
+    /// every incremental freeze equals the full rebuild of that state.
+    #[test]
+    fn incremental_freeze_equals_full_rebuild(
+        ops in prop::collection::vec((0u8..16, 0u8..32, 0u8..32), 1..60),
+        freeze_every in 1usize..7
+    ) {
+        let mut graph = GraphStore::new();
+        let mut search: SearchIndex<NodeId> = SearchIndex::default();
+        // Non-empty start so early ops have nodes to hit.
+        graph.merge_node("Malware", "entity-3", [("seen", Value::from(1i64))]);
+        let mut epoch = EpochBuilder::new(&mut graph);
+
+        for (i, (op, a, b)) in ops.into_iter().enumerate() {
+            apply_op(&mut graph, &mut search, op, a, b);
+            if i % freeze_every == 0 {
+                let inc = epoch.freeze(&mut graph, &search);
+                let full = KgSnapshot::build(graph.clone(), search.clone());
+                assert_equivalent(&inc, &full)?;
+            }
+        }
+        // Always compare the final state too.
+        let inc = epoch.freeze(&mut graph, &search);
+        let full = KgSnapshot::build(graph.clone(), search.clone());
+        assert_equivalent(&inc, &full)?;
+    }
+
+    /// Seeding an EpochBuilder at an arbitrary mid-history point (instead of
+    /// on an empty graph) changes nothing: the freeze still matches the
+    /// oracle. This is the "recovery re-seeds from a full scan" contract.
+    #[test]
+    fn late_seeded_builder_matches_oracle(
+        pre in prop::collection::vec((0u8..16, 0u8..32, 0u8..32), 1..25),
+        post in prop::collection::vec((0u8..16, 0u8..32, 0u8..32), 1..25)
+    ) {
+        let mut graph = GraphStore::new();
+        let mut search: SearchIndex<NodeId> = SearchIndex::default();
+        graph.merge_node("Malware", "entity-3", [("seen", Value::from(1i64))]);
+        for (op, a, b) in pre {
+            apply_op(&mut graph, &mut search, op, a, b);
+        }
+        let mut epoch = EpochBuilder::new(&mut graph);
+        for (op, a, b) in post {
+            apply_op(&mut graph, &mut search, op, a, b);
+        }
+        let inc = epoch.freeze(&mut graph, &search);
+        let full = KgSnapshot::build(graph.clone(), search.clone());
+        assert_equivalent(&inc, &full)?;
+    }
+}

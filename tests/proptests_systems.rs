@@ -162,7 +162,7 @@ proptest! {
             let id = graph.create_node("Report", [("name", Value::from(format!("r{i}")))]);
             search.add(id, text);
         }
-        let serve = KgServe::new(KgSnapshot::build(graph, search).unwrap(), 1024);
+        let serve = KgServe::new(KgSnapshot::build(graph, search), 1024);
         let pinned = serve.pin();
         for q in &queries {
             // Search, Cypher and expansion all go through the same cache.

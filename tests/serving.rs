@@ -98,7 +98,7 @@ fn readers_never_observe_torn_state_and_writer_is_never_starved() {
     // Digest → (nodes, edges), registered by the writer *before* each
     // publish, so a reader can always validate whatever epoch it pinned.
     let published: Mutex<HashMap<u64, (usize, usize)>> = Mutex::new(HashMap::new());
-    let first = kg.serving_snapshot().expect("snapshot builds");
+    let first = kg.serving_snapshot();
     published
         .lock()
         .unwrap()
@@ -127,8 +127,7 @@ fn readers_never_observe_torn_state_and_writer_is_never_starved() {
                 );
                 graph.merge_edge(m, "DROP", f).unwrap();
                 search.add(m, &format!("stress malware {i} drops stress-{i}.exe"));
-                let snapshot =
-                    KgSnapshot::build(graph.clone(), search.clone()).expect("snapshot builds");
+                let snapshot = KgSnapshot::build(graph.clone(), search.clone());
                 published.lock().unwrap().insert(
                     snapshot.digest(),
                     (snapshot.node_count(), snapshot.edge_count()),
@@ -214,10 +213,145 @@ fn readers_never_observe_torn_state_and_writer_is_never_starved() {
         .is_some());
 }
 
+/// The same torn-read/starvation battery, but the writer publishes through
+/// the O(delta) incremental path ([`securitykg::serve::EpochBuilder`]) and
+/// every epoch is digest-checked against a full `KgSnapshot::build` of the
+/// same graph state before it goes out — readers pinned on older epochs keep
+/// working while the builder patches digest and adjacency in place.
+#[test]
+fn incremental_writer_publishes_while_readers_pinned() {
+    use securitykg::serve::{EpochBuilder, SnapshotMode};
+    const PUBLISHES: u64 = 10;
+    let readers: usize = std::env::var("SERVE_STRESS_READERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(4);
+
+    let kg = built_kg();
+    let queries = mixed_queries(&kg);
+    let base_graph = kg.graph().clone();
+    let base_search = kg.search_index().clone();
+
+    let published: Mutex<HashMap<u64, (usize, usize)>> = Mutex::new(HashMap::new());
+    let first = kg.serving_snapshot();
+    published
+        .lock()
+        .unwrap()
+        .insert(first.digest(), (first.node_count(), first.edge_count()));
+    let serve = KgServe::new(first, 256);
+    let writer_done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // ---- the writer: mutates (adds, renames, deletes) and freezes
+        // every epoch incrementally.
+        scope.spawn(|| {
+            let mut graph = base_graph;
+            let search = base_search;
+            let mut epoch = EpochBuilder::new(&mut graph);
+            let mut victims = Vec::new();
+            for i in 0..PUBLISHES {
+                let m = graph.merge_node(
+                    "Malware",
+                    &format!("inc-malware-{i}"),
+                    [("vendor", securitykg::graph::Value::from("inc"))],
+                );
+                let f = graph.create_node(
+                    "FileName",
+                    [(
+                        "name",
+                        securitykg::graph::Value::from(format!("inc-{i}.exe")),
+                    )],
+                );
+                graph.merge_edge(m, "DROP", f).unwrap();
+                victims.push(f);
+                // Every third epoch also deletes an earlier node, so the
+                // incremental path covers removals under concurrency.
+                if i % 3 == 2 {
+                    let victim = victims.remove(0);
+                    graph.delete_node(victim).unwrap();
+                }
+                let snapshot = epoch.freeze(&mut graph, &search);
+                assert_eq!(snapshot.mode(), SnapshotMode::Incremental);
+                // The incremental epoch is digest-identical to a full
+                // rebuild of the same state — checked on every publish.
+                assert_eq!(snapshot.digest(), graph.digest());
+                published.lock().unwrap().insert(
+                    snapshot.digest(),
+                    (snapshot.node_count(), snapshot.edge_count()),
+                );
+                serve.publish(snapshot);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        });
+
+        // ---- the readers: same torn-read battery as the full-build test.
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let serve = &serve;
+            let queries = &queries;
+            let published = &published;
+            let writer_done = &writer_done;
+            handles.push(scope.spawn(move || {
+                let mut passes = 0u32;
+                while passes < 3 || !writer_done.load(Ordering::SeqCst) {
+                    for (i, query) in queries.iter().enumerate() {
+                        let snap = serve.pin();
+                        let response = serve.execute_on(&snap, query);
+                        assert_eq!(response.digest, snap.digest());
+                        let registered = published
+                            .lock()
+                            .unwrap()
+                            .get(&response.digest)
+                            .copied()
+                            .unwrap_or_else(|| {
+                                panic!("unpublished digest {:016x}", response.digest)
+                            });
+                        assert_eq!(
+                            registered,
+                            (snap.node_count(), snap.edge_count()),
+                            "torn snapshot for digest {:016x}",
+                            response.digest
+                        );
+                        for id in response.answer.node_ids() {
+                            assert!(snap.graph().node(id).is_some());
+                        }
+                        if (i + reader) % 5 == 0 {
+                            assert_eq!(response.answer, snap.answer(query));
+                        }
+                    }
+                    passes += 1;
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("reader");
+        }
+    });
+
+    let stats = serve.stats();
+    assert_eq!(stats.publishes, 1 + PUBLISHES, "writer starved");
+    let last = serve.pin();
+    assert_eq!(last.version(), 1 + PUBLISHES);
+    assert!(last
+        .graph()
+        .node_by_name("Malware", &format!("inc-malware-{}", PUBLISHES - 1))
+        .is_some());
+    // Publish trace carries the new observability fields.
+    assert!(serve.trace().snapshot().iter().any(|r| matches!(
+        r.event,
+        securitykg::pipeline::TraceEvent::SnapshotPublished {
+            mode: "incremental",
+            ..
+        }
+    )));
+}
+
 #[test]
 fn held_pins_do_not_block_publication() {
     let kg = built_kg();
-    let first = kg.serving_snapshot().unwrap();
+    let first = kg.serving_snapshot();
     let digest_v1 = first.digest();
     let serve = KgServe::new(first, 64);
 
@@ -227,7 +361,7 @@ fn held_pins_do_not_block_publication() {
     let mut graph = kg.graph().clone();
     for i in 0..3 {
         graph.merge_node("Tool", &format!("pin-tool-{i}"), [] as [(&str, &str); 0]);
-        serve.publish(KgSnapshot::build(graph.clone(), kg.search_index().clone()).unwrap());
+        serve.publish(KgSnapshot::build(graph.clone(), kg.search_index().clone()));
     }
     assert_eq!(serve.stats().publishes, 4);
     // The session still sees its original epoch, fully queryable.
