@@ -72,7 +72,7 @@ USAGE:
   securitykg export-stix --kg <kg.json> --out <bundle.json>
   securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]
   securitykg serve  --kg <kg.json> --queries <file> [--readers <n>] [--rounds <n>]
-                    [--cache <entries>] [--publishes <n>] [--stats]
+                    [--cache <entries>] [--publishes <n>] [--watch <file>] [--stats]
 
 Durable builds journal every crawl cycle into <dir> and snapshot periodically;
 re-running over the same dir resumes from the last intact snapshot. A run
@@ -85,7 +85,12 @@ cache. With --publishes, a concurrent writer also freezes and republishes
 Query file lines (one per query; '#' comments):
   search <keywords...>
   cypher <read-only query>
-  expand <entity name> [hops] [cap]";
+  expand <entity name> [hops] [cap]
+
+--watch registers standing queries evaluated incrementally against each
+published epoch's delta (requires --publishes). Watch file lines:
+  node <label|*> [where-expr over n]     e.g.  node Technique n.name CONTAINS 'T1486'
+  edge <entity name>                     fires on edges touching that entity";
 
 /// Pull `--name value` out of an argument list; returns remaining positionals.
 fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
@@ -407,11 +412,63 @@ fn parse_query_line(line: &str) -> Result<Option<securitykg::serve::Query>, Stri
     }
 }
 
+/// Parse one line of a `--watch` file into a standing-query spec; `None`
+/// for blanks and comments. `edge` targets are resolved against the writer
+/// graph by entity name (case-insensitive).
+fn parse_watch_line(
+    line: &str,
+    graph: &securitykg::graph::GraphStore,
+) -> Result<Option<(String, securitykg::serve::WatchSpec)>, String> {
+    use securitykg::serve::{CompiledPredicate, WatchSpec};
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = trimmed
+        .split_once(char::is_whitespace)
+        .unwrap_or((trimmed, ""));
+    let rest = rest.trim();
+    match verb {
+        "node" if !rest.is_empty() => {
+            let (label, expr) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+            let label = (label != "*").then(|| label.to_owned());
+            let expr = expr.trim();
+            let predicate = if expr.is_empty() {
+                None
+            } else {
+                Some(
+                    CompiledPredicate::compile(expr)
+                        .map_err(|e| format!("watch line {trimmed:?}: {e}"))?,
+                )
+            };
+            Ok(Some((
+                trimmed.to_owned(),
+                WatchSpec::Node { label, predicate },
+            )))
+        }
+        "edge" if !rest.is_empty() => {
+            let want = rest.to_lowercase();
+            let id = graph
+                .all_nodes()
+                .find(|n| {
+                    n.name()
+                        .is_some_and(|name| name.eq_ignore_ascii_case(&want))
+                })
+                .map(|n| n.id)
+                .ok_or_else(|| format!("watch line {trimmed:?}: no entity named {rest:?}"))?;
+            Ok(Some((trimmed.to_owned(), WatchSpec::EdgeTouching(id))))
+        }
+        _ => Err(format!(
+            "bad watch line {trimmed:?} (want: node <label|*> [expr] | edge <entity>)"
+        )),
+    }
+}
+
 /// Serve the knowledge base to N concurrent readers replaying a query file.
 /// With `--publishes N`, a concurrent writer also republishes the snapshot
 /// N times through the incremental epoch path while the readers run.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use securitykg::serve::{percentile, EpochBuilder, KgServe, Query};
+    use securitykg::serve::{percentile, EpochBuilder, KgServe, Query, SubscriptionHub};
     use std::time::Instant;
 
     let (flags, _) = parse_flags(args);
@@ -456,6 +513,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // Keep a writer-side copy of the KB when a concurrent writer is asked
     // for (`into_serving` consumes the original).
     let mut writer_state = (publishes > 0).then(|| (kb.graph.clone(), kb.search.clone()));
+
+    // Standing queries ride the writer's delta log, so they only make sense
+    // when epochs are actually being published.
+    let mut hub = None;
+    let mut watches: Vec<(String, securitykg::serve::Subscription)> = Vec::new();
+    if let Some(path) = flags.get("watch") {
+        let Some((graph, _)) = writer_state.as_mut() else {
+            return Err(
+                "--watch requires --publishes > 0 (standing queries fire at epoch publishes)"
+                    .into(),
+            );
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let registry = SubscriptionHub::new(graph);
+        for line in text.lines() {
+            if let Some((label, spec)) = parse_watch_line(line, graph)? {
+                let sub = registry.subscribe(spec, 1024);
+                watches.push((label, sub));
+            }
+        }
+        if watches.is_empty() {
+            return Err(format!("{path}: no watch lines"));
+        }
+        eprintln!(
+            "{} standing quer(ies) registered from {path}",
+            watches.len()
+        );
+        hub = Some(registry);
+    }
     let snapshot = kb.into_serving();
     eprintln!(
         "serving snapshot {:016x}: {} nodes, {} edges, {} indexed docs ({} build, {} µs) — {} reader(s) × {} round(s) × {} queries",
@@ -497,6 +583,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         let writer = writer_state.take().map(|(mut graph, search)| {
             let serve = &serve;
+            let hub = hub.as_ref();
             scope.spawn(move || {
                 let mut epoch = EpochBuilder::new(&mut graph);
                 let target = graph.all_nodes().next().map(|n| n.id);
@@ -511,7 +598,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     }
                     let snap = epoch.freeze(&mut graph, &search);
                     us.push(snap.build_us());
-                    serve.publish(snap);
+                    match hub {
+                        Some(hub) => {
+                            serve.publish_watched(hub, &mut graph, snap);
+                        }
+                        None => {
+                            serve.publish(snap);
+                        }
+                    }
                     std::thread::sleep(std::time::Duration::from_millis(1));
                 }
                 us
@@ -557,6 +651,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             percentile(&mut publish_us, 0.50),
             percentile(&mut publish_us, 0.99),
         );
+    }
+    if !watches.is_empty() {
+        println!("standing queries ({} subscriptions):", watches.len());
+        for (label, sub) in &watches {
+            let s = sub.stats();
+            println!(
+                "  {label:<48} matched {:>5}, delivered {:>5}, dropped {:>3}, queued {:>4}",
+                s.matched, s.delivered, s.dropped, s.queued
+            );
+        }
     }
     if flags.contains_key("stats") {
         eprintln!("serving trace:");

@@ -385,6 +385,30 @@ impl SecurityKg {
             .freeze(&mut self.connector.graph, &self.connector.search)
     }
 
+    /// Register a standing-query hub on the live graph's delta log (its own
+    /// cursor — independent of the epoch builder's). Pair with
+    /// [`SecurityKg::serving_snapshot_incremental`]: subscriptions are
+    /// evaluated against each publish's delta via
+    /// [`SecurityKg::evaluate_subscriptions`], turning polling into push
+    /// alerts.
+    pub fn subscription_hub(&mut self) -> kg_serve::SubscriptionHub {
+        kg_serve::SubscriptionHub::new(&mut self.connector.graph)
+    }
+
+    /// Evaluate `hub`'s standing queries over the delta sealed by `next`'s
+    /// freeze, diffing each touched element between `prev` and `next`
+    /// (O(delta × subscriptions)). Matches land in the subscribers'
+    /// mailboxes; `SubscriptionMatched`/`MailboxOverflow` land on the
+    /// system trace.
+    pub fn evaluate_subscriptions(
+        &mut self,
+        hub: &kg_serve::SubscriptionHub,
+        prev: &kg_serve::KgSnapshot,
+        next: &kg_serve::KgSnapshot,
+    ) -> kg_serve::DeliveryReport {
+        hub.evaluate(&mut self.connector.graph, prev, next, Some(&self.trace))
+    }
+
     /// Build a threat hunter from the knowledge graph (the paper's future
     /// work: knowledge-enhanced threat protection). Extracts a behaviour
     /// graph for every malware node with at least `min_indicators` IOC
@@ -494,6 +518,55 @@ mod tests {
             .unwrap()
             .to_owned();
         assert_eq!(snap.keyword_search(&name, 10), kg.keyword_search(&name, 10));
+    }
+
+    #[test]
+    fn standing_queries_fire_across_ingest_rounds() {
+        let mut kg = SecurityKg::bootstrap_without_ner(&tiny_config());
+        let hub = kg.subscription_hub();
+        let sub = hub.subscribe(
+            kg_serve::WatchSpec::Node {
+                label: Some("Malware".into()),
+                predicate: None,
+            },
+            usize::MAX,
+        );
+        let prev = kg.serving_snapshot_incremental();
+        kg.crawl_and_ingest();
+        let next = kg.serving_snapshot_incremental();
+        let report = kg.evaluate_subscriptions(&hub, &prev, &next);
+        // Every malware node ingested this round appears exactly once, and
+        // the incremental match set equals the full-rescan oracle.
+        let malware = kg.graph().nodes_with_label("Malware");
+        assert!(!malware.is_empty());
+        let appeared: Vec<_> = sub
+            .drain()
+            .into_iter()
+            .filter(|e| e.kind == kg_serve::MatchKind::Appeared)
+            .map(|e| e.node)
+            .collect();
+        assert_eq!(appeared.len(), malware.len());
+        assert_eq!(
+            report.matches,
+            kg_serve::rescan_matches(
+                &kg_serve::WatchSpec::Node {
+                    label: Some("Malware".into()),
+                    predicate: None,
+                },
+                sub.id(),
+                &prev,
+                &next,
+            )
+        );
+        assert!(kg.trace().snapshot().iter().any(|r| matches!(
+            r.event,
+            TraceEvent::SubscriptionMatched { matched, .. } if matched == appeared.len()
+        )));
+        // A quiet round fires nothing.
+        kg.crawl_and_ingest();
+        let next2 = kg.serving_snapshot_incremental();
+        let report = kg.evaluate_subscriptions(&hub, &next, &next2);
+        assert_eq!(report.matched, 0);
     }
 
     #[test]

@@ -304,6 +304,21 @@ fn extend(
 
 // ---- expression evaluation --------------------------------------------------
 
+/// Evaluate a WHERE-style predicate against a single node bound to `var` —
+/// the standing-query entry point into the exact evaluator `WHERE` uses
+/// (same truthiness, same NULL propagation). Aggregates are execution
+/// errors here just as they are in `WHERE`.
+pub fn node_satisfies(
+    store: &GraphStore,
+    id: NodeId,
+    var: &str,
+    expr: &Expr,
+) -> Result<bool, CypherError> {
+    let mut row = Row::new();
+    row.insert(var.to_owned(), Binding::Node(id));
+    Ok(eval(store, &row, expr)?.truthy())
+}
+
 fn eval(store: &GraphStore, row: &Row, expr: &Expr) -> Result<Value, CypherError> {
     Ok(match expr {
         Expr::Literal(v) => v.clone(),

@@ -21,8 +21,8 @@ mod exec;
 mod lexer;
 mod parser;
 
-pub use exec::{execute, execute_read, QueryResult};
-pub use parser::parse;
+pub use exec::{execute, execute_read, node_satisfies, QueryResult};
+pub use parser::{parse, parse_predicate, MAX_EXPR_DEPTH, MAX_PATTERN_HOPS};
 
 use crate::value::Value;
 
@@ -96,6 +96,23 @@ impl Expr {
     /// Whether the expression contains an aggregate.
     pub fn is_aggregate(&self) -> bool {
         matches!(self, Expr::CountStar | Expr::Count(_))
+    }
+
+    /// Whether an aggregate appears *anywhere* in the tree — used to reject
+    /// aggregates in contexts that evaluate row-at-a-time (standing-query
+    /// predicates) before they can become runtime errors.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::CountStar | Expr::Count(_) => true,
+            Expr::Compare(l, _, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Contains(l, r)
+            | Expr::StartsWith(l, r)
+            | Expr::EndsWith(l, r) => l.contains_aggregate() || r.contains_aggregate(),
+            Expr::Not(e) => e.contains_aggregate(),
+            Expr::Literal(_) | Expr::Var(_) | Expr::Prop(..) => false,
+        }
     }
 }
 

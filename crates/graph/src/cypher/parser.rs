@@ -7,27 +7,77 @@ use super::{
 };
 use crate::value::Value;
 
+/// Maximum expression nesting depth (parens, `NOT` chains, `count(...)`).
+/// Unbounded nesting would recurse the parser off the stack — an abort, not
+/// an error — on adversarial input; past this limit parsing fails cleanly.
+pub const MAX_EXPR_DEPTH: usize = 128;
+
+/// Maximum relationship hops in a single path pattern. Execution recurses
+/// once per hop, so a pathological million-hop pattern must be rejected at
+/// parse time instead of overflowing the stack at match time.
+pub const MAX_PATTERN_HOPS: usize = 256;
+
 /// Parse a query string into an AST.
 pub fn parse(text: &str) -> Result<Query, CypherError> {
     let toks = lex(text)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let q = p.query()?;
-    if p.pos != p.toks.len() {
-        return Err(CypherError::Parse(format!(
-            "trailing input at token {}: {:?}",
-            p.pos,
-            p.toks.get(p.pos)
-        )));
-    }
+    p.expect_end()?;
     Ok(q)
+}
+
+/// Parse a standalone WHERE-style predicate expression (no MATCH/RETURN
+/// framing) — the compiled-predicate form standing queries share with the
+/// Cypher `WHERE` evaluator.
+pub fn parse_predicate(text: &str) -> Result<Expr, CypherError> {
+    let toks = lex(text)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    let expr = p.expr()?;
+    p.expect_end()?;
+    Ok(expr)
 }
 
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Current expression nesting depth (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
+    fn expect_end(&self) -> Result<(), CypherError> {
+        if self.pos != self.toks.len() {
+            return Err(CypherError::Parse(format!(
+                "trailing input at token {}: {:?}",
+                self.pos,
+                self.toks.get(self.pos)
+            )));
+        }
+        Ok(())
+    }
+
+    fn descend(&mut self) -> Result<(), CypherError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(CypherError::Parse(format!(
+                "expression nesting exceeds {MAX_EXPR_DEPTH} levels"
+            )));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos)
     }
@@ -155,6 +205,11 @@ impl Parser {
             rels: Vec::new(),
         };
         while let Some(Tok::Dash) | Some(Tok::BackArrow) = self.peek() {
+            if pattern.rels.len() >= MAX_PATTERN_HOPS {
+                return Err(CypherError::Parse(format!(
+                    "pattern exceeds {MAX_PATTERN_HOPS} relationship hops"
+                )));
+            }
             let rel = self.rel_pattern()?;
             let node = self.node_pattern()?;
             pattern.rels.push(rel);
@@ -294,7 +349,10 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr, CypherError> {
         if self.eat_keyword("not") {
-            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+            self.descend()?;
+            let inner = self.not_expr()?;
+            self.ascend();
+            return Ok(Expr::Not(Box::new(inner)));
         }
         self.comparison()
     }
@@ -343,7 +401,9 @@ impl Parser {
         match self.peek().cloned() {
             Some(Tok::LParen) => {
                 self.next();
+                self.descend()?;
                 let e = self.expr()?;
+                self.ascend();
                 self.expect(&Tok::RParen)?;
                 Ok(e)
             }
@@ -359,7 +419,9 @@ impl Parser {
                         self.expect(&Tok::RParen)?;
                         return Ok(Expr::CountStar);
                     }
+                    self.descend()?;
                     let inner = self.atom()?;
+                    self.ascend();
                     self.expect(&Tok::RParen)?;
                     return Ok(Expr::Count(Box::new(inner)));
                 }
@@ -573,6 +635,40 @@ mod tests {
             parse("MATCH (m:Malware) WHERE m.name = 'x' DETACH DELETE m"),
             Ok(Query::Delete { detach: true, .. })
         ));
+    }
+
+    #[test]
+    fn parse_predicate_accepts_where_expressions_only() {
+        let e = parse_predicate("n.label = 'Technique' AND n.name CONTAINS 'T1486'").unwrap();
+        assert!(matches!(e, Expr::And(..)));
+        // Full query framing is trailing input for a predicate.
+        assert!(parse_predicate("MATCH (n) RETURN n").is_err());
+        assert!(parse_predicate("n.name = 'x' RETURN n").is_err());
+        assert!(parse_predicate("").is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded_not_a_stack_overflow() {
+        // Deep-but-legal nesting parses.
+        let ok = format!("{}n.x = 1{}", "(".repeat(100), ")".repeat(100));
+        assert!(parse_predicate(&ok).is_ok());
+        // Past the limit: a clean parse error, even at depths that would
+        // otherwise blow the stack.
+        let deep = format!("{}n.x = 1{}", "(".repeat(50_000), ")".repeat(50_000));
+        assert!(matches!(parse_predicate(&deep), Err(CypherError::Parse(_))));
+        let nots = format!("{} n.x = 1", "NOT ".repeat(50_000));
+        assert!(matches!(parse_predicate(&nots), Err(CypherError::Parse(_))));
+    }
+
+    #[test]
+    fn pattern_hop_count_is_bounded() {
+        let hops = "-[:R]->(n)".repeat(MAX_PATTERN_HOPS + 1);
+        let q = format!("MATCH (a){hops} RETURN a");
+        assert!(matches!(parse(&q), Err(CypherError::Parse(_))));
+        // At the limit it still parses.
+        let hops = "-[:R]->(n)".repeat(MAX_PATTERN_HOPS);
+        let q = format!("MATCH (a){hops} RETURN a");
+        assert!(parse(&q).is_ok());
     }
 
     #[test]

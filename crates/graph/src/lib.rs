@@ -27,7 +27,7 @@ pub mod value;
 
 pub use cypher::{parse, QueryResult};
 pub use store::{
-    edge_digest, node_digest, Edge, EdgeId, GraphChanges, GraphStore, Node, NodeId, StoreError,
-    DIGEST_SEED,
+    edge_digest, node_digest, DeltaBatch, DeltaCursor, Edge, EdgeId, GraphChanges, GraphStore,
+    Node, NodeId, StoreError, DIGEST_SEED,
 };
 pub use value::Value;

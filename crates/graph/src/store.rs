@@ -17,13 +17,19 @@
 //!   O(delta) elements, not O(N).
 //! - **Change tracking**: every mutation records the touched node/edge id
 //!   (edges with their endpoints, captured at touch time because a deleted
-//!   edge can no longer be looked up). [`GraphStore::drain_changes`] hands
-//!   the accumulated delta to incremental digest/adjacency maintenance.
+//!   edge can no longer be looked up). The accumulated touched-set is sealed
+//!   into sequence-numbered [`DeltaBatch`]es on a **multi-consumer delta
+//!   log**: each consumer registers a [`DeltaCursor`] and reads every batch
+//!   exactly once ([`GraphStore::collect_changes`]); batches are pruned once
+//!   the slowest cursor has passed them. Incremental digest/adjacency
+//!   maintenance (kg-serve's `EpochBuilder`) is cursor reader #1 and standing
+//!   query subscriptions are reader #2 — neither can starve the other, which
+//!   the old destructive single-consumer `drain_changes()` silently did.
 
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -265,10 +271,10 @@ impl<T: Deserialize> Deserialize for Segments<T> {
 
 // ---- change tracking --------------------------------------------------------
 
-/// Everything that changed since the previous [`GraphStore::drain_changes`]:
-/// the writer hook incremental epoch publication consumes. Ids are
-/// deduplicated and sorted; a "change" is conservative (created, mutated or
-/// deleted — the consumer re-reads the live element to find out which).
+/// One sealed span of changes on the delta log: everything touched between
+/// two seal points. Ids are deduplicated and sorted within a batch; a
+/// "change" is conservative (created, mutated or deleted — the consumer
+/// re-reads the live element to find out which).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphChanges {
     /// Touched node ids.
@@ -288,6 +294,47 @@ impl GraphChanges {
     /// Touched elements in total.
     pub fn len(&self) -> usize {
         self.nodes.len() + self.edges.len()
+    }
+}
+
+/// Handle for one registered consumer of the delta log. Obtained from
+/// [`GraphStore::register_delta_consumer`]; pass it back to
+/// [`GraphStore::collect_changes`] to read. Cursors belong to the store
+/// instance they were registered on (a cloned store carries the positions
+/// along, but consumers should keep reading from the original writer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeltaCursor(u64);
+
+/// A sealed, sequence-numbered change batch as read through a cursor.
+/// Sequence numbers are global to the store: two consumers reading the same
+/// span see the same `seq` on the same batch.
+#[derive(Debug, Clone)]
+pub struct DeltaBatch {
+    /// Position of this batch on the log (strictly increasing, never reused).
+    pub seq: u64,
+    /// The sealed changes; shared, not copied, between consumers.
+    pub changes: Arc<GraphChanges>,
+}
+
+/// The multi-consumer delta log: sealed batches retained until the slowest
+/// registered cursor has read them.
+#[derive(Debug, Clone, Default)]
+struct DeltaLog {
+    /// Sealed batches, oldest first; `batches[i]` has seq `base_seq + i`.
+    batches: VecDeque<Arc<GraphChanges>>,
+    /// Sequence number of the oldest retained batch.
+    base_seq: u64,
+    /// cursor id → next sequence number that consumer has not yet read.
+    cursors: HashMap<u64, u64>,
+    next_cursor_id: u64,
+    /// Cursor lazily registered by the deprecated [`GraphStore::drain_changes`].
+    legacy: Option<DeltaCursor>,
+}
+
+impl DeltaLog {
+    /// Sequence number the next sealed batch will get.
+    fn tail_seq(&self) -> u64 {
+        self.base_seq + self.batches.len() as u64
     }
 }
 
@@ -311,13 +358,17 @@ pub struct GraphStore {
     /// node → incoming edge ids.
     #[serde(skip)]
     in_edges: HashMap<NodeId, Vec<EdgeId>>,
-    /// Nodes touched since the last [`GraphStore::drain_changes`].
+    /// Nodes touched since the last seal point (the un-sealed tail of the
+    /// delta log).
     #[serde(skip)]
     touched_nodes: HashSet<NodeId>,
-    /// Edges touched since the last drain, with endpoints captured at touch
-    /// time (see [`GraphChanges::edges`]).
+    /// Edges touched since the last seal point, with endpoints captured at
+    /// touch time (see [`GraphChanges::edges`]).
     #[serde(skip)]
     touched_edges: HashMap<EdgeId, (NodeId, NodeId)>,
+    /// Sealed change batches + per-consumer cursors.
+    #[serde(skip)]
+    delta: DeltaLog,
     live_nodes: usize,
     live_edges: usize,
 }
@@ -672,11 +723,125 @@ impl GraphStore {
         digest
     }
 
-    /// Take the set of elements touched since the previous drain (sorted,
-    /// deduplicated). A freshly loaded store ([`GraphStore::from_bytes`])
-    /// reports no pending changes — incremental consumers must re-seed from
-    /// a full scan after a load.
+    /// Register a new consumer of the delta log. Pending (un-sealed) changes
+    /// are sealed first and the fresh cursor is positioned *after* them: a
+    /// new consumer sees exactly the changes made after registration, never
+    /// history it has no baseline for. A freshly loaded store
+    /// ([`GraphStore::from_bytes`]) starts with an empty log — incremental
+    /// consumers must re-seed from a full scan after a load.
+    pub fn register_delta_consumer(&mut self) -> DeltaCursor {
+        self.seal_pending();
+        let id = self.delta.next_cursor_id;
+        self.delta.next_cursor_id += 1;
+        let tail = self.delta.tail_seq();
+        self.delta.cursors.insert(id, tail);
+        self.prune_delta();
+        DeltaCursor(id)
+    }
+
+    /// Deregister a cursor so its unread batches no longer pin the log.
+    /// Unknown/already-released cursors are ignored.
+    pub fn release_delta_consumer(&mut self, cursor: DeltaCursor) {
+        if self.delta.cursors.remove(&cursor.0).is_some() {
+            self.prune_delta();
+        }
+    }
+
+    /// Seal the pending touched-set into a sequence-numbered batch on the
+    /// log (no-op when nothing is pending). Consumers normally never call
+    /// this — [`GraphStore::collect_changes`] seals implicitly — but an
+    /// explicit seal point lets a second consumer later read *exactly up to*
+    /// this moment via [`GraphStore::collect_sealed_changes`], even if the
+    /// writer has mutated again in between.
+    pub fn seal_changes(&mut self) {
+        self.seal_pending();
+        self.prune_delta();
+    }
+
+    /// Seal pending changes, then return every batch this cursor has not
+    /// seen yet (oldest first) and advance the cursor past them. Each batch
+    /// is delivered to each registered cursor exactly once; batches all
+    /// cursors have passed are pruned. An unregistered cursor reads nothing.
+    pub fn collect_changes(&mut self, cursor: DeltaCursor) -> Vec<DeltaBatch> {
+        self.seal_pending();
+        self.collect_sealed_changes(cursor)
+    }
+
+    /// Like [`GraphStore::collect_changes`] but without sealing: the cursor
+    /// reads only up to the last explicit seal point, leaving changes made
+    /// after it on the pending tail for a future batch.
+    pub fn collect_sealed_changes(&mut self, cursor: DeltaCursor) -> Vec<DeltaBatch> {
+        let Some(pos) = self.delta.cursors.get(&cursor.0).copied() else {
+            return Vec::new();
+        };
+        let tail = self.delta.tail_seq();
+        let start = pos.max(self.delta.base_seq);
+        let mut out = Vec::with_capacity((tail - start) as usize);
+        for seq in start..tail {
+            let idx = (seq - self.delta.base_seq) as usize;
+            out.push(DeltaBatch {
+                seq,
+                changes: Arc::clone(&self.delta.batches[idx]),
+            });
+        }
+        self.delta.cursors.insert(cursor.0, tail);
+        self.prune_delta();
+        out
+    }
+
+    /// Take everything touched since the previous drain, merged across seal
+    /// points (sorted, deduplicated). Serviced by a private cursor lazily
+    /// registered at the oldest retained batch, so single-consumer callers
+    /// keep the historical semantics — but a second consumer no longer loses
+    /// deltas to this one.
+    #[deprecated(
+        note = "single-consumer API; use register_delta_consumer + collect_changes instead"
+    )]
     pub fn drain_changes(&mut self) -> GraphChanges {
+        let cursor = match self.delta.legacy {
+            Some(cursor) => cursor,
+            None => {
+                // Position at the oldest retained batch (not the tail): the
+                // first drain must report everything since the store was
+                // created, as the destructive implementation did.
+                let id = self.delta.next_cursor_id;
+                self.delta.next_cursor_id += 1;
+                self.delta.cursors.insert(id, self.delta.base_seq);
+                let cursor = DeltaCursor(id);
+                self.delta.legacy = Some(cursor);
+                cursor
+            }
+        };
+        let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+        let mut edges: BTreeMap<EdgeId, (NodeId, NodeId)> = BTreeMap::new();
+        for batch in self.collect_changes(cursor) {
+            nodes.extend(batch.changes.nodes.iter().copied());
+            for &(id, from, to) in &batch.changes.edges {
+                edges.insert(id, (from, to));
+            }
+        }
+        GraphChanges {
+            nodes: nodes.into_iter().collect(),
+            edges: edges.into_iter().map(|(id, (f, t))| (id, f, t)).collect(),
+        }
+    }
+
+    /// Elements currently recorded as touched (pending — not yet sealed
+    /// into a batch).
+    pub fn pending_changes(&self) -> usize {
+        self.touched_nodes.len() + self.touched_edges.len()
+    }
+
+    /// Sealed batches currently retained on the log (waiting for the
+    /// slowest cursor).
+    pub fn delta_backlog(&self) -> usize {
+        self.delta.batches.len()
+    }
+
+    fn seal_pending(&mut self) {
+        if self.touched_nodes.is_empty() && self.touched_edges.is_empty() {
+            return;
+        }
         let mut nodes: Vec<NodeId> = self.touched_nodes.drain().collect();
         nodes.sort_unstable();
         let mut edges: Vec<(EdgeId, NodeId, NodeId)> = self
@@ -685,12 +850,21 @@ impl GraphStore {
             .map(|(id, (from, to))| (id, from, to))
             .collect();
         edges.sort_unstable();
-        GraphChanges { nodes, edges }
+        self.delta
+            .batches
+            .push_back(Arc::new(GraphChanges { nodes, edges }));
     }
 
-    /// Elements currently recorded as touched (pending a drain).
-    pub fn pending_changes(&self) -> usize {
-        self.touched_nodes.len() + self.touched_edges.len()
+    /// Drop batches every registered cursor has already read. With no
+    /// cursors registered, batches are retained for the lazily registered
+    /// legacy drain cursor (which starts at the oldest retained batch).
+    fn prune_delta(&mut self) {
+        let Some(min) = self.delta.cursors.values().copied().min() else {
+            return;
+        };
+        while self.delta.base_seq < min && self.delta.batches.pop_front().is_some() {
+            self.delta.base_seq += 1;
+        }
     }
 
     // ---- stats & persistence ----------------------------------------------
@@ -733,6 +907,7 @@ impl GraphStore {
         self.in_edges.clear();
         self.touched_nodes.clear();
         self.touched_edges.clear();
+        self.delta = DeltaLog::default();
         let mut label_entries: Vec<(String, NodeId)> = Vec::new();
         let mut name_entries: Vec<(String, NodeId)> = Vec::new();
         for node in self.nodes.iter() {
@@ -1014,6 +1189,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn change_tracking_drains_touched_elements() {
         let mut g = GraphStore::new();
         assert_eq!(g.pending_changes(), 0);
@@ -1038,5 +1214,112 @@ mod tests {
         // A prop-filling merge does.
         g.merge_node("Malware", "a", [("vendor", Value::from("x"))]);
         assert_eq!(g.drain_changes().nodes, vec![m]);
+    }
+
+    /// The regression the delta log exists for: with the old destructive
+    /// `drain_changes`, whichever consumer read first emptied the touched-set
+    /// and the other silently saw nothing. Two cursors must each observe
+    /// every change exactly once, regardless of interleaving.
+    #[test]
+    fn two_interleaved_consumers_each_see_every_change_exactly_once() {
+        let mut g = GraphStore::new();
+        let c1 = g.register_delta_consumer();
+        let c2 = g.register_delta_consumer();
+
+        let a = g.create_node("Malware", [("name", Value::from("a"))]);
+        // Consumer 1 reads first — under the destructive API this would have
+        // drained the change out from under consumer 2.
+        let got1 = g.collect_changes(c1);
+        assert_eq!(got1.len(), 1);
+        assert_eq!(got1[0].changes.nodes, vec![a]);
+
+        let b = g.create_node("Tool", [("name", Value::from("b"))]);
+        let e = g
+            .create_edge(a, "USES", b, [] as [(&str, Value); 0])
+            .unwrap();
+
+        // Consumer 2 catches up: both spans, exactly once, in order.
+        let got2 = g.collect_changes(c2);
+        let nodes2: Vec<NodeId> = got2
+            .iter()
+            .flat_map(|batch| batch.changes.nodes.iter().copied())
+            .collect();
+        let edges2: Vec<EdgeId> = got2
+            .iter()
+            .flat_map(|batch| batch.changes.edges.iter().map(|&(id, _, _)| id))
+            .collect();
+        assert_eq!(nodes2, vec![a, b]);
+        assert_eq!(edges2, vec![e]);
+
+        // Consumer 1 sees only the second span (it already consumed `a`),
+        // under the same sequence number consumer 2 saw for that span.
+        let got1 = g.collect_changes(c1);
+        assert_eq!(got1.len(), 1);
+        assert_eq!(got1[0].changes.nodes, vec![b]);
+        assert_eq!(got1[0].seq, got2.last().unwrap().seq);
+
+        // Fully drained on both sides: nothing more to read.
+        assert!(g.collect_changes(c1).is_empty());
+        assert!(g.collect_changes(c2).is_empty());
+    }
+
+    #[test]
+    fn delta_log_prunes_once_the_slowest_cursor_catches_up() {
+        let mut g = GraphStore::new();
+        let fast = g.register_delta_consumer();
+        let slow = g.register_delta_consumer();
+        for i in 0..4 {
+            g.create_node("Malware", [("name", Value::from(format!("m{i}")))]);
+            assert_eq!(g.collect_changes(fast).len(), 1);
+        }
+        // The slow cursor pins all four sealed batches.
+        assert_eq!(g.delta_backlog(), 4);
+        assert_eq!(g.collect_changes(slow).len(), 4);
+        assert_eq!(g.delta_backlog(), 0);
+
+        // Releasing a lagging cursor also unpins the log.
+        g.create_node("Tool", [("name", Value::from("t"))]);
+        g.seal_changes();
+        assert_eq!(g.delta_backlog(), 1);
+        g.release_delta_consumer(slow);
+        assert_eq!(g.collect_changes(fast).len(), 1);
+        assert_eq!(g.delta_backlog(), 0);
+        // A released cursor reads nothing, even after new changes.
+        g.create_node("Tool", [("name", Value::from("u"))]);
+        assert!(g.collect_changes(slow).is_empty());
+    }
+
+    /// `collect_sealed_changes` reads only up to the last explicit seal
+    /// point, leaving post-seal mutations pending for the next epoch.
+    #[test]
+    fn sealed_only_collection_stops_at_the_seal_point() {
+        let mut g = GraphStore::new();
+        let c = g.register_delta_consumer();
+        let a = g.create_node("Malware", [("name", Value::from("a"))]);
+        g.seal_changes();
+        let b = g.create_node("Malware", [("name", Value::from("b"))]);
+        let sealed = g.collect_sealed_changes(c);
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].changes.nodes, vec![a]);
+        assert_eq!(g.pending_changes(), 1);
+        // The pending tail arrives with the next sealing collection.
+        let rest = g.collect_changes(c);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].changes.nodes, vec![b]);
+    }
+
+    /// The deprecated alias coexists with registered cursors without
+    /// stealing their batches.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_drain_does_not_starve_registered_cursors() {
+        let mut g = GraphStore::new();
+        let c = g.register_delta_consumer();
+        let a = g.create_node("Malware", [("name", Value::from("a"))]);
+        assert_eq!(g.drain_changes().nodes, vec![a]);
+        // The cursor still sees the change the drain consumed for itself.
+        let got = g.collect_changes(c);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].changes.nodes, vec![a]);
     }
 }

@@ -199,3 +199,94 @@ fn distinct_on_projected_values() {
         .unwrap();
     assert_eq!(r.rows.len(), 1);
 }
+
+// --- adversarial inputs: hostile queries must come back as errors, ---
+// --- never stack overflows or panics ---------------------------------
+
+#[test]
+fn deeply_nested_parens_error_instead_of_overflowing() {
+    let mut g = graph();
+    let depth = 50_000;
+    let q = format!(
+        "MATCH (m) WHERE {}m.score > 1{} RETURN m",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    let err = g.query(&q).unwrap_err();
+    assert!(err.to_string().contains("nest"), "{err}");
+    // Within the limit the same shape parses and runs fine.
+    let ok_depth = kg_graph::cypher::MAX_EXPR_DEPTH - 10;
+    let q = format!(
+        "MATCH (m:Malware) WHERE {}m.score > 1{} RETURN count(*)",
+        "(".repeat(ok_depth),
+        ")".repeat(ok_depth)
+    );
+    assert_eq!(g.query(&q).unwrap().rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn long_not_chains_error_instead_of_overflowing() {
+    let mut g = graph();
+    let q = format!(
+        "MATCH (m) WHERE {} m.score > 1 RETURN m",
+        "NOT ".repeat(50_000)
+    );
+    assert!(g.query(&q).is_err());
+    let q = format!(
+        "MATCH (m:Malware) WHERE {} m.score > 100 RETURN count(*)",
+        "NOT ".repeat(7)
+    );
+    // Odd number of NOTs over a false comparison → true for both rows.
+    assert_eq!(g.query(&q).unwrap().rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn over_long_patterns_error_instead_of_exploding() {
+    let mut g = graph();
+    let hops = kg_graph::cypher::MAX_PATTERN_HOPS + 1;
+    let q = format!("MATCH (a){} RETURN a", "-[:NEXT]->()".repeat(hops));
+    let err = g.query(&q).unwrap_err();
+    assert!(err.to_string().contains("hops"), "{err}");
+}
+
+#[test]
+fn aggregates_in_row_contexts_are_clean_errors() {
+    let mut g = graph();
+    // count(...) is only meaningful in RETURN; in WHERE (or nested inside
+    // another count) it must fail as a query error, not a panic.
+    for q in [
+        "MATCH (m) WHERE count(*) > 1 RETURN m",
+        "MATCH (m) WHERE count(m) = 2 RETURN m",
+        "MATCH (m) RETURN count(count(*))",
+    ] {
+        assert!(g.query(q).is_err(), "{q}");
+    }
+}
+
+#[test]
+fn hostile_garbage_inputs_never_panic() {
+    let mut g = graph();
+    for q in [
+        "",
+        "   ",
+        "MATCH",
+        "MATCH (",
+        "MATCH (a RETURN a",
+        "MATCH (a)-[->(b) RETURN a",
+        "MATCH (a) WHERE RETURN a",
+        "MATCH (a) RETURN",
+        "MATCH (a) RETURN a ORDER BY",
+        "MATCH (a) RETURN a LIMIT x",
+        "MATCH (a) RETURN a SKIP -1",
+        "RETURN 1",
+        "MATCH (a) WHERE a. RETURN a",
+        "MATCH (a) WHERE 'unterminated RETURN a",
+        "MERGE",
+        "CREATE ()-[:X]->",
+        "DELETE a",
+        "MATCH (a) DELETE",
+        "\u{0}\u{1}\u{2}",
+    ] {
+        assert!(g.query(q).is_err(), "{q:?} should be an error");
+    }
+}

@@ -70,6 +70,24 @@ pub enum TraceEvent {
         /// How it was frozen: "full" rebuild or "incremental" epoch patch.
         mode: &'static str,
     },
+    /// A standing-query subscription matched against one epoch's delta
+    /// (recorded once per subscription per publish, only when it matched).
+    SubscriptionMatched {
+        subscription: u64,
+        /// Digest of the snapshot the matches were evaluated against.
+        kg_digest: u64,
+        matched: usize,
+        appeared: usize,
+        updated: usize,
+        removed: usize,
+    },
+    /// A subscriber's bounded mailbox overflowed during delivery; the
+    /// events were dropped but exactly counted (never silent loss).
+    MailboxOverflow {
+        subscription: u64,
+        kg_digest: u64,
+        dropped: u64,
+    },
     /// Point-in-time query-cache counters from the serving layer.
     CacheReport {
         hits: u64,

@@ -65,10 +65,12 @@ impl QueryCache {
         &self.shards[(h as usize) % SHARDS]
     }
 
-    /// Look up a cached answer for this `(digest, query key)`.
+    /// Look up a cached answer for this `(digest, query key)`. A disabled
+    /// cache (capacity 0) answers `None` without touching any counter — a
+    /// lookup that was never attempted is not a miss, and counting it would
+    /// skew every derived hit-rate to 0% instead of "no data".
     pub fn get(&self, digest: u64, query_key: &str) -> Option<Answer> {
         if self.per_shard == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let key = (digest, query_key.to_owned());
@@ -174,6 +176,18 @@ mod tests {
         assert_eq!(cache.get(1, "q"), None);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn disabled_cache_counts_nothing() {
+        let cache = QueryCache::new(0);
+        for i in 0..10u64 {
+            cache.insert(i, "q", nodes(i));
+            assert_eq!(cache.get(i, "q"), None);
+        }
+        // Lookups that never reached a shard are not misses: all counters
+        // stay zero, so hit-rate reads "no data" rather than 0%.
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

@@ -20,14 +20,20 @@
 //!
 //! The builder does not re-apply `GraphDelta`s itself — apply is not
 //! delta-pure (canon commit re-resolves against the live table), so the
-//! builder instead *observes* the writer's graph through the store's
-//! change-tracking ([`kg_graph::GraphStore::drain_changes`]): whatever the
-//! writer did, the drained touched-set names every element whose digest term
-//! or adjacency entry may have moved. The full-rebuild path stays as the
+//! builder instead *observes* the writer's graph through the store's delta
+//! log: it registers a [`kg_graph::DeltaCursor`] at seeding time and each
+//! absorb collects the sealed batches that cursor has not seen yet
+//! ([`kg_graph::GraphStore::collect_changes`]) — whatever the writer did,
+//! the batches name every element whose digest term or adjacency entry may
+//! have moved. The log is multi-consumer: standing-query subscriptions
+//! (`crate::subscribe`) read the same batches through their own cursor
+//! without racing the builder. The full-rebuild path stays as the
 //! correctness oracle (see `tests/epoch_props.rs` at the workspace root).
 
 use crate::snapshot::KgSnapshot;
-use kg_graph::{edge_digest, node_digest, GraphStore, NodeId, DIGEST_SEED};
+use kg_graph::{
+    edge_digest, node_digest, DeltaBatch, DeltaCursor, GraphStore, NodeId, DIGEST_SEED,
+};
 use kg_search::SearchIndex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -45,14 +51,17 @@ pub struct EpochBuilder {
     digest: u64,
     /// Carried-forward adjacency table; only dirty entries are re-frozen.
     adjacency: HashMap<NodeId, Arc<Vec<NodeId>>>,
+    /// This builder's cursor on the writer's delta log (reader #1).
+    cursor: DeltaCursor,
 }
 
 impl EpochBuilder {
     /// Seed the builder from the writer's live graph with one full scan —
-    /// the only O(graph) moment in the builder's lifetime. Any changes the
-    /// store had tracked before seeding are discarded (the scan sees them).
+    /// the only O(graph) moment in the builder's lifetime. Registering the
+    /// cursor positions it after any changes the store had already tracked,
+    /// so they are skipped (the scan sees them).
     pub fn new(graph: &mut GraphStore) -> Self {
-        let _ = graph.drain_changes();
+        let cursor = graph.register_delta_consumer();
         let mut digest = DIGEST_SEED;
         let mut node_terms = HashMap::new();
         let mut edge_terms = HashMap::new();
@@ -73,15 +82,25 @@ impl EpochBuilder {
             edge_terms,
             digest,
             adjacency,
+            cursor,
         }
     }
 
-    /// Drain the store's touched-set and patch digest + adjacency: O(delta).
+    /// Collect the delta batches this builder's cursor has not seen yet and
+    /// patch digest + adjacency: O(delta).
     pub fn absorb(&mut self, graph: &mut GraphStore) {
-        let changes = graph.drain_changes();
+        for batch in graph.collect_changes(self.cursor) {
+            self.apply_batch(graph, &batch);
+        }
+    }
+
+    /// Patch digest + adjacency for one sealed batch. Terms are re-read
+    /// from the *live* graph, so applying consecutive batches that touch the
+    /// same element converges on the same state as one merged batch.
+    fn apply_batch(&mut self, graph: &GraphStore, batch: &DeltaBatch) {
         // Endpoints whose adjacency entry must be re-frozen.
         let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
-        for (edge_id, from, to) in changes.edges {
+        for &(edge_id, from, to) in &batch.changes.edges {
             if let Some(old) = self.edge_terms.remove(&edge_id) {
                 self.digest = self.digest.wrapping_sub(old);
             }
@@ -93,7 +112,7 @@ impl EpochBuilder {
             dirty.insert(from);
             dirty.insert(to);
         }
-        for node_id in changes.nodes {
+        for &node_id in &batch.changes.nodes {
             if let Some(old) = self.node_terms.remove(&node_id) {
                 self.digest = self.digest.wrapping_sub(old);
             }

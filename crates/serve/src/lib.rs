@@ -26,14 +26,26 @@
 //! the O(delta) incremental path — it carries the digest and adjacency table
 //! forward across epochs and relies on structural sharing (`Arc`'d graph
 //! segments and posting lists) to make the freeze clones refcount bumps.
+//!
+//! Push alerts ride the same delta stream: a [`SubscriptionHub`] holds
+//! standing queries (node predicates compiled to the Cypher `WHERE` form,
+//! edge-touching-entity watches) and evaluates them **incrementally** against
+//! each epoch's delta at publish time — O(delta × subscriptions), never a
+//! rescan — delivering into per-subscriber bounded mailboxes with exact
+//! overflow accounting. See [`KgServe::publish_watched`].
 
 mod cache;
 mod epoch;
 mod snapshot;
+mod subscribe;
 
 pub use cache::{CacheStats, QueryCache};
 pub use epoch::EpochBuilder;
 pub use snapshot::{normalize, Answer, KgSnapshot, Query, SnapshotMode};
+pub use subscribe::{
+    rescan_matches, CompiledPredicate, DeliveryReport, MatchEvent, MatchKind, Subscription,
+    SubscriptionHub, SubscriptionId, SubscriptionStats, WatchSpec, PREDICATE_VAR,
+};
 
 use kg_pipeline::{TraceEvent, TraceLog};
 use parking_lot::RwLock;
@@ -103,6 +115,23 @@ impl KgServe {
         *self.current.write() = Arc::new(snapshot);
         self.trace.record(event);
         version
+    }
+
+    /// Publish with standing-query evaluation: diff the delta sealed by
+    /// `snapshot`'s freeze against every subscription in `hub` (previous
+    /// published snapshot as the baseline), record `SubscriptionMatched` /
+    /// `MailboxOverflow` on the serving trace, then swap the snapshot in.
+    /// Returns the assigned version and the delivery report.
+    pub fn publish_watched(
+        &self,
+        hub: &SubscriptionHub,
+        graph: &mut kg_graph::GraphStore,
+        snapshot: KgSnapshot,
+    ) -> (u64, DeliveryReport) {
+        let prev = self.pin();
+        let report = hub.evaluate(graph, &prev, &snapshot, Some(&self.trace));
+        let version = self.publish(snapshot);
+        (version, report)
     }
 
     /// Pin the current snapshot: an `Arc` clone readers hold for the

@@ -1,0 +1,719 @@
+//! Standing queries over the epoch delta stream (the paper's "continuous
+//! gathering" promise turned into push alerts: analysts register *alert me
+//! when X* watches instead of polling ad-hoc queries).
+//!
+//! A [`SubscriptionHub`] sits beside the ingest writer and holds its own
+//! [`DeltaCursor`] on the store's delta log (reader #2; the `EpochBuilder`
+//! is reader #1). At each publish, [`SubscriptionHub::evaluate`] collects
+//! the batches sealed by that epoch's freeze and evaluates every
+//! subscription **against the touched elements only** — O(delta ×
+//! subscriptions), never a full rescan — by comparing each touched element
+//! between the previous published snapshot and the new one:
+//!
+//! - didn't match before, matches now → [`MatchKind::Appeared`];
+//! - matched before and now, content changed → [`MatchKind::Updated`]
+//!   (a conservative touch that left the element identical fires nothing,
+//!   exactly like the full-rescan oracle);
+//! - matched before, gone or non-matching now → [`MatchKind::Removed`].
+//!
+//! Matches are delivered into per-subscriber **bounded mailboxes**. A full
+//! mailbox drops the event but never the count: `delivered + dropped ==
+//! matched` holds exactly, and overflows are surfaced as
+//! [`TraceEvent::MailboxOverflow`]. [`rescan_matches`] is the O(graph)
+//! correctness oracle the proptests and bench E14 compare against.
+
+use crate::snapshot::KgSnapshot;
+use kg_graph::cypher::{self, CypherError, Expr};
+use kg_graph::{DeltaCursor, EdgeId, GraphStore, NodeId};
+use kg_pipeline::{TraceEvent, TraceLog};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The variable a subscription predicate binds the candidate node to, as in
+/// `n.name CONTAINS 'T1486'`.
+pub const PREDICATE_VAR: &str = "n";
+
+/// Identifies one registered subscription (unique per hub).
+pub type SubscriptionId = u64;
+
+/// A predicate compiled to the Cypher `WHERE` expression form — parsed once
+/// at subscribe time, then evaluated per touched node by the exact evaluator
+/// `WHERE` uses (same truthiness, same NULL propagation).
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    source: String,
+    expr: Expr,
+}
+
+impl CompiledPredicate {
+    /// Compile a `WHERE`-style expression over [`PREDICATE_VAR`].
+    /// Aggregates are rejected up front — they have no meaning for a
+    /// node-at-a-time predicate and would only fail at evaluation time.
+    pub fn compile(source: &str) -> Result<Self, CypherError> {
+        let expr = cypher::parse_predicate(source)?;
+        if expr.contains_aggregate() {
+            return Err(CypherError::Parse(
+                "aggregates are not allowed in subscription predicates".into(),
+            ));
+        }
+        Ok(CompiledPredicate {
+            source: source.to_owned(),
+            expr,
+        })
+    }
+
+    /// The predicate's source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether `id` satisfies the predicate in `graph`. Evaluation cannot
+    /// error (aggregates were rejected at compile time); NULL-valued
+    /// comparisons are non-matches, as in `WHERE`.
+    pub fn matches(&self, graph: &GraphStore, id: NodeId) -> bool {
+        cypher::node_satisfies(graph, id, PREDICATE_VAR, &self.expr).unwrap_or(false)
+    }
+}
+
+/// What a subscription watches.
+#[derive(Debug, Clone)]
+pub enum WatchSpec {
+    /// Nodes bearing this label (`None` = any label) that satisfy the
+    /// predicate (`None` = every node).
+    Node {
+        label: Option<String>,
+        predicate: Option<CompiledPredicate>,
+    },
+    /// Edges touching this entity, in either direction (created, deleted or
+    /// re-pointed edges included — a deleted node's cascaded edges fire
+    /// `Removed` here).
+    EdgeTouching(NodeId),
+}
+
+fn node_spec_matches(
+    label: &Option<String>,
+    predicate: &Option<CompiledPredicate>,
+    graph: &GraphStore,
+    id: NodeId,
+) -> bool {
+    let Some(node) = graph.node(id) else {
+        return false;
+    };
+    if let Some(want) = label {
+        if &node.label != want {
+            return false;
+        }
+    }
+    predicate.as_ref().is_none_or(|p| p.matches(graph, id))
+}
+
+/// How a watched element changed between two published epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MatchKind {
+    /// Matches the new epoch but did not match the previous one.
+    Appeared,
+    /// Matched both epochs with different content.
+    Updated,
+    /// Matched the previous epoch; deleted or no longer matching.
+    Removed,
+}
+
+/// One delivered (or dropped) subscription match.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MatchEvent {
+    pub subscription: SubscriptionId,
+    pub kind: MatchKind,
+    /// The matched node (node watches) or the watched entity (edge watches).
+    pub node: NodeId,
+    /// The touched edge, for edge watches.
+    pub edge: Option<EdgeId>,
+    /// Digest of the epoch the match was evaluated against.
+    pub digest: u64,
+}
+
+/// Point-in-time per-subscription delivery counters. The accounting is
+/// exact: `matched == delivered + dropped` always.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubscriptionStats {
+    /// Matches the evaluator produced for this subscription.
+    pub matched: u64,
+    /// Matches enqueued into the mailbox.
+    pub delivered: u64,
+    /// Matches dropped because the mailbox was full (counted, never silent).
+    pub dropped: u64,
+    /// Events currently waiting in the mailbox.
+    pub queued: usize,
+}
+
+#[derive(Debug)]
+struct Mailbox {
+    capacity: usize,
+    queue: Mutex<VecDeque<MatchEvent>>,
+    matched: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Mailbox {
+    fn new(capacity: usize) -> Self {
+        Mailbox {
+            capacity,
+            queue: Mutex::new(VecDeque::new()),
+            matched: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Count the match and enqueue it if there is room; returns whether it
+    /// was delivered (false = dropped, still counted).
+    fn offer(&self, event: MatchEvent) -> bool {
+        self.matched.fetch_add(1, Ordering::Relaxed);
+        let mut queue = self.queue.lock();
+        if queue.len() < self.capacity {
+            queue.push_back(event);
+            drop(queue);
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            drop(queue);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    fn stats(&self) -> SubscriptionStats {
+        SubscriptionStats {
+            matched: self.matched.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            queued: self.queue.lock().len(),
+        }
+    }
+}
+
+/// Client handle for one standing query: poll delivered matches, read the
+/// delivery counters. Clones share the same mailbox. Dropping the handle
+/// does not unsubscribe — use [`SubscriptionHub::unsubscribe`].
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    id: SubscriptionId,
+    mailbox: Arc<Mailbox>,
+}
+
+impl Subscription {
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Pop the oldest undelivered match, if any.
+    pub fn poll(&self) -> Option<MatchEvent> {
+        self.mailbox.queue.lock().pop_front()
+    }
+
+    /// Take every queued match, oldest first.
+    pub fn drain(&self) -> Vec<MatchEvent> {
+        self.mailbox.queue.lock().drain(..).collect()
+    }
+
+    /// Exact delivery accounting for this subscription.
+    pub fn stats(&self) -> SubscriptionStats {
+        self.mailbox.stats()
+    }
+}
+
+struct HubEntry {
+    id: SubscriptionId,
+    spec: WatchSpec,
+    mailbox: Arc<Mailbox>,
+}
+
+struct HubInner {
+    next_id: SubscriptionId,
+    entries: Vec<HubEntry>,
+}
+
+/// Aggregate outcome of evaluating one epoch's delta against every
+/// subscription.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryReport {
+    /// Every match this evaluation produced, across all subscriptions
+    /// (each was also offered to its subscriber's mailbox, where it may
+    /// have been dropped). Sorted by node/edge id within a subscription.
+    pub matches: Vec<MatchEvent>,
+    pub matched: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+}
+
+/// The standing-query registry + evaluator: delta-log reader #2.
+pub struct SubscriptionHub {
+    cursor: DeltaCursor,
+    inner: Mutex<HubInner>,
+}
+
+impl SubscriptionHub {
+    /// Register the hub's cursor on the writer's delta log. Changes already
+    /// tracked at this moment are skipped — a subscription has no baseline
+    /// epoch to diff them against until the next publish.
+    pub fn new(graph: &mut GraphStore) -> Self {
+        SubscriptionHub {
+            cursor: graph.register_delta_consumer(),
+            inner: Mutex::new(HubInner {
+                next_id: 1,
+                entries: Vec::new(),
+            }),
+        }
+    }
+
+    /// Register a standing query delivering into a mailbox bounded to
+    /// `capacity` events (0 = count-only: every match is dropped but still
+    /// exactly counted).
+    pub fn subscribe(&self, spec: WatchSpec, capacity: usize) -> Subscription {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let mailbox = Arc::new(Mailbox::new(capacity));
+        inner.entries.push(HubEntry {
+            id,
+            spec,
+            mailbox: Arc::clone(&mailbox),
+        });
+        Subscription { id, mailbox }
+    }
+
+    /// Remove a subscription; its handle keeps any already-queued events.
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        self.inner.lock().entries.retain(|e| e.id != id);
+    }
+
+    /// Registered subscriptions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether no subscription is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluate every subscription against the delta sealed by the epoch
+    /// that froze `next` (reading only *sealed* batches: whatever the
+    /// writer mutated after the freeze stays pending for the next epoch).
+    /// `prev` must be the previously published snapshot — the baseline each
+    /// touched element is diffed against. O(delta × subscriptions).
+    pub fn evaluate(
+        &self,
+        graph: &mut GraphStore,
+        prev: &KgSnapshot,
+        next: &KgSnapshot,
+        trace: Option<&TraceLog>,
+    ) -> DeliveryReport {
+        let batches = graph.collect_sealed_changes(self.cursor);
+        let mut touched_nodes: BTreeSet<NodeId> = BTreeSet::new();
+        let mut touched_edges: BTreeMap<EdgeId, (NodeId, NodeId)> = BTreeMap::new();
+        for batch in &batches {
+            touched_nodes.extend(batch.changes.nodes.iter().copied());
+            for &(id, from, to) in &batch.changes.edges {
+                touched_edges.insert(id, (from, to));
+            }
+        }
+
+        let prev_graph = prev.graph();
+        let next_graph = next.graph();
+        let digest = next.digest();
+        let mut report = DeliveryReport::default();
+        let inner = self.inner.lock();
+        for entry in &inner.entries {
+            let found: Vec<(MatchKind, NodeId, Option<EdgeId>)> = match &entry.spec {
+                WatchSpec::Node { label, predicate } => touched_nodes
+                    .iter()
+                    .filter_map(|&id| {
+                        diff_node(label, predicate, prev_graph, next_graph, id)
+                            .map(|kind| (kind, id, None))
+                    })
+                    .collect(),
+                WatchSpec::EdgeTouching(target) => touched_edges
+                    .iter()
+                    .filter(|(_, &(from, to))| from == *target || to == *target)
+                    .filter_map(|(&edge_id, _)| {
+                        diff_edge(prev_graph, next_graph, edge_id)
+                            .map(|kind| (kind, *target, Some(edge_id)))
+                    })
+                    .collect(),
+            };
+            let (mut appeared, mut updated, mut removed) = (0usize, 0usize, 0usize);
+            let mut dropped_here = 0u64;
+            for (kind, node, edge) in found {
+                match kind {
+                    MatchKind::Appeared => appeared += 1,
+                    MatchKind::Updated => updated += 1,
+                    MatchKind::Removed => removed += 1,
+                }
+                let event = MatchEvent {
+                    subscription: entry.id,
+                    kind,
+                    node,
+                    edge,
+                    digest,
+                };
+                if entry.mailbox.offer(event.clone()) {
+                    report.delivered += 1;
+                } else {
+                    dropped_here += 1;
+                }
+                report.matched += 1;
+                report.matches.push(event);
+            }
+            report.dropped += dropped_here;
+            if let Some(trace) = trace {
+                let matched = appeared + updated + removed;
+                if matched > 0 {
+                    trace.record(TraceEvent::SubscriptionMatched {
+                        subscription: entry.id,
+                        kg_digest: digest,
+                        matched,
+                        appeared,
+                        updated,
+                        removed,
+                    });
+                }
+                if dropped_here > 0 {
+                    trace.record(TraceEvent::MailboxOverflow {
+                        subscription: entry.id,
+                        kg_digest: digest,
+                        dropped: dropped_here,
+                    });
+                }
+            }
+        }
+        report
+    }
+}
+
+/// How one node changed between epochs w.r.t. a node spec, or `None` for no
+/// event. Shared verbatim by the incremental path (over touched ids) and
+/// the rescan oracle (over all ids), so they can only differ if change
+/// tracking missed a touched element.
+fn diff_node(
+    label: &Option<String>,
+    predicate: &Option<CompiledPredicate>,
+    prev: &GraphStore,
+    next: &GraphStore,
+    id: NodeId,
+) -> Option<MatchKind> {
+    let was = node_spec_matches(label, predicate, prev, id);
+    let is = node_spec_matches(label, predicate, next, id);
+    match (was, is) {
+        (false, true) => Some(MatchKind::Appeared),
+        (true, false) => Some(MatchKind::Removed),
+        (true, true) if prev.node(id) != next.node(id) => Some(MatchKind::Updated),
+        _ => None,
+    }
+}
+
+/// How one edge changed between epochs, or `None` for no event.
+fn diff_edge(prev: &GraphStore, next: &GraphStore, id: EdgeId) -> Option<MatchKind> {
+    match (prev.edge(id), next.edge(id)) {
+        (None, Some(_)) => Some(MatchKind::Appeared),
+        (Some(_), None) => Some(MatchKind::Removed),
+        (Some(a), Some(b)) if a != b => Some(MatchKind::Updated),
+        _ => None,
+    }
+}
+
+/// The O(graph) full-rescan oracle: diff *every* element of the two
+/// snapshots against the spec, ignoring the delta entirely. Incremental
+/// evaluation must produce exactly this match set — E14 and the subscribe
+/// proptests assert it per publish.
+pub fn rescan_matches(
+    spec: &WatchSpec,
+    subscription: SubscriptionId,
+    prev: &KgSnapshot,
+    next: &KgSnapshot,
+) -> Vec<MatchEvent> {
+    let prev_graph = prev.graph();
+    let next_graph = next.graph();
+    let digest = next.digest();
+    let mut out = Vec::new();
+    match spec {
+        WatchSpec::Node { label, predicate } => {
+            let mut ids: BTreeSet<NodeId> = prev_graph.all_nodes().map(|n| n.id).collect();
+            ids.extend(next_graph.all_nodes().map(|n| n.id));
+            for id in ids {
+                if let Some(kind) = diff_node(label, predicate, prev_graph, next_graph, id) {
+                    out.push(MatchEvent {
+                        subscription,
+                        kind,
+                        node: id,
+                        edge: None,
+                        digest,
+                    });
+                }
+            }
+        }
+        WatchSpec::EdgeTouching(target) => {
+            let touching = |graph: &GraphStore| {
+                graph
+                    .all_edges()
+                    .filter(|e| e.from == *target || e.to == *target)
+                    .map(|e| e.id)
+                    .collect::<BTreeSet<EdgeId>>()
+            };
+            let mut ids = touching(prev_graph);
+            ids.extend(touching(next_graph));
+            for id in ids {
+                if let Some(kind) = diff_edge(prev_graph, next_graph, id) {
+                    out.push(MatchEvent {
+                        subscription,
+                        kind,
+                        node: *target,
+                        edge: Some(id),
+                        digest,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochBuilder;
+    use kg_graph::Value;
+    use kg_search::SearchIndex;
+
+    fn freeze(epoch: &mut EpochBuilder, graph: &mut GraphStore) -> KgSnapshot {
+        let search: SearchIndex<NodeId> = SearchIndex::default();
+        epoch.freeze(graph, &search)
+    }
+
+    fn technique_watch(pred: &str) -> WatchSpec {
+        WatchSpec::Node {
+            label: Some("Technique".into()),
+            predicate: Some(CompiledPredicate::compile(pred).unwrap()),
+        }
+    }
+
+    #[test]
+    fn node_predicate_lifecycle_appeared_updated_removed() {
+        let mut graph = GraphStore::new();
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let sub = hub.subscribe(technique_watch("n.name CONTAINS 'T1486'"), 16);
+        let mut prev = freeze(&mut epoch, &mut graph);
+
+        // Epoch 1: the watched entity appears (plus noise it must ignore).
+        let t = graph.create_node("Technique", [("name", Value::from("T1486 encrypt"))]);
+        graph.create_node("Technique", [("name", Value::from("T1059 scripting"))]);
+        graph.create_node("Malware", [("name", Value::from("T1486 decoy label"))]);
+        let next = freeze(&mut epoch, &mut graph);
+        let report = hub.evaluate(&mut graph, &prev, &next, None);
+        assert_eq!(report.matched, 1);
+        assert_eq!(
+            sub.poll().unwrap(),
+            MatchEvent {
+                subscription: sub.id(),
+                kind: MatchKind::Appeared,
+                node: t,
+                edge: None,
+                digest: next.digest(),
+            }
+        );
+        prev = next;
+
+        // Epoch 2: content change on a matching node → Updated.
+        graph
+            .set_node_prop(t, "severity", Value::from(9i64))
+            .unwrap();
+        let next = freeze(&mut epoch, &mut graph);
+        hub.evaluate(&mut graph, &prev, &next, None);
+        assert_eq!(sub.poll().unwrap().kind, MatchKind::Updated);
+        prev = next;
+
+        // Epoch 3: a conservative touch (same value re-written) fires
+        // nothing — identical to what a full diff would say.
+        graph
+            .set_node_prop(t, "severity", Value::from(9i64))
+            .unwrap();
+        let next = freeze(&mut epoch, &mut graph);
+        let report = hub.evaluate(&mut graph, &prev, &next, None);
+        assert_eq!(report.matched, 0);
+        assert!(sub.poll().is_none());
+        prev = next;
+
+        // Epoch 4: rename away from the predicate → Removed.
+        graph
+            .set_node_prop(t, "name", Value::from("T9999 renamed"))
+            .unwrap();
+        let next = freeze(&mut epoch, &mut graph);
+        hub.evaluate(&mut graph, &prev, &next, None);
+        assert_eq!(sub.poll().unwrap().kind, MatchKind::Removed);
+    }
+
+    #[test]
+    fn edge_watch_sees_attach_retarget_and_cascade() {
+        let mut graph = GraphStore::new();
+        let m = graph.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let f1 = graph.create_node("FileName", [("name", Value::from("a.exe"))]);
+        let f2 = graph.create_node("FileName", [("name", Value::from("b.exe"))]);
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let sub = hub.subscribe(WatchSpec::EdgeTouching(m), 16);
+        let prev = freeze(&mut epoch, &mut graph);
+
+        // Attach an edge; also an unrelated edge the watch must ignore.
+        let e1 = graph
+            .create_edge(m, "DROP", f1, [] as [(&str, Value); 0])
+            .unwrap();
+        graph
+            .create_edge(f1, "RELATED_TO", f2, [] as [(&str, Value); 0])
+            .unwrap();
+        let next = freeze(&mut epoch, &mut graph);
+        hub.evaluate(&mut graph, &prev, &next, None);
+        let got = sub.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].kind, got[0].edge), (MatchKind::Appeared, Some(e1)));
+        let prev = next;
+
+        // Re-point: delete + recreate toward another file, one epoch.
+        graph.delete_edge(e1).unwrap();
+        let e2 = graph
+            .create_edge(m, "DROP", f2, [] as [(&str, Value); 0])
+            .unwrap();
+        let next = freeze(&mut epoch, &mut graph);
+        hub.evaluate(&mut graph, &prev, &next, None);
+        let mut got = sub.drain();
+        got.sort();
+        assert_eq!(got.len(), 2);
+        assert!(got
+            .iter()
+            .any(|e| e.kind == MatchKind::Removed && e.edge == Some(e1)));
+        assert!(got
+            .iter()
+            .any(|e| e.kind == MatchKind::Appeared && e.edge == Some(e2)));
+        let prev = next;
+
+        // Deleting the watched entity cascades Removed for its edge.
+        graph.delete_node(m).unwrap();
+        let next = freeze(&mut epoch, &mut graph);
+        hub.evaluate(&mut graph, &prev, &next, None);
+        let got = sub.drain();
+        assert!(got
+            .iter()
+            .any(|e| e.kind == MatchKind::Removed && e.edge == Some(e2)));
+    }
+
+    #[test]
+    fn bounded_mailbox_accounts_for_every_dropped_match() {
+        let mut graph = GraphStore::new();
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let sub = hub.subscribe(
+            WatchSpec::Node {
+                label: Some("Malware".into()),
+                predicate: None,
+            },
+            2,
+        );
+        let trace = TraceLog::new();
+        let prev = freeze(&mut epoch, &mut graph);
+        for i in 0..5 {
+            graph.create_node("Malware", [("name", Value::from(format!("m{i}")))]);
+        }
+        let next = freeze(&mut epoch, &mut graph);
+        let report = hub.evaluate(&mut graph, &prev, &next, Some(&trace));
+
+        assert_eq!(report.matched, 5);
+        assert_eq!((report.delivered, report.dropped), (2, 3));
+        let stats = sub.stats();
+        assert_eq!(stats.matched, stats.delivered + stats.dropped);
+        assert_eq!((stats.delivered, stats.dropped, stats.queued), (2, 3, 2));
+        // The report still carries all five (the count is never lost).
+        assert_eq!(report.matches.len(), 5);
+        let events: Vec<TraceEvent> = trace.snapshot().into_iter().map(|r| r.event).collect();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::SubscriptionMatched {
+                matched: 5,
+                appeared: 5,
+                ..
+            }
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MailboxOverflow { dropped: 3, .. })));
+    }
+
+    #[test]
+    fn incremental_matches_equal_full_rescan() {
+        let mut graph = GraphStore::new();
+        let seed = graph.create_node("Malware", [("name", Value::from("seed"))]);
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let specs = vec![
+            WatchSpec::Node {
+                label: None,
+                predicate: Some(CompiledPredicate::compile("n.name CONTAINS 'e'").unwrap()),
+            },
+            WatchSpec::EdgeTouching(seed),
+        ];
+        let subs: Vec<Subscription> = specs
+            .iter()
+            .map(|s| hub.subscribe(s.clone(), usize::MAX))
+            .collect();
+        let mut prev = freeze(&mut epoch, &mut graph);
+        for round in 0..6 {
+            let n = graph.create_node("Tool", [("name", Value::from(format!("tool-{round}")))]);
+            graph
+                .create_edge(seed, "USES", n, [] as [(&str, Value); 0])
+                .unwrap();
+            if round % 2 == 0 {
+                graph.delete_node(n).unwrap();
+            }
+            let next = freeze(&mut epoch, &mut graph);
+            let report = hub.evaluate(&mut graph, &prev, &next, None);
+            for (spec, sub) in specs.iter().zip(&subs) {
+                let oracle = rescan_matches(spec, sub.id(), &prev, &next);
+                let got: Vec<MatchEvent> = report
+                    .matches
+                    .iter()
+                    .filter(|e| e.subscription == sub.id())
+                    .cloned()
+                    .collect();
+                assert_eq!(got, oracle, "round {round} diverged from the oracle");
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery_and_rejects_aggregates() {
+        let mut graph = GraphStore::new();
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let sub = hub.subscribe(
+            WatchSpec::Node {
+                label: None,
+                predicate: None,
+            },
+            8,
+        );
+        assert_eq!(hub.len(), 1);
+        hub.unsubscribe(sub.id());
+        assert!(hub.is_empty());
+        let prev = freeze(&mut epoch, &mut graph);
+        graph.create_node("Malware", [("name", Value::from("x"))]);
+        let next = freeze(&mut epoch, &mut graph);
+        let report = hub.evaluate(&mut graph, &prev, &next, None);
+        assert_eq!(report.matched, 0);
+        assert!(sub.poll().is_none());
+        // Aggregates have no row-at-a-time meaning: rejected at compile.
+        assert!(CompiledPredicate::compile("count(*) > 0").is_err());
+        assert!(CompiledPredicate::compile("NOT (count(n) = 1)").is_err());
+    }
+}

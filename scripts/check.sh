@@ -24,6 +24,9 @@ cargo run -q -p kg-bench --bin exp_pipeline --release -- --smoke
 echo "== E13 smoke (incremental publish digest vs full rebuild) =="
 cargo run -q -p kg-bench --bin exp_publish --release -- --smoke
 
+echo "== E14 smoke (standing queries vs full-rescan oracle) =="
+cargo run -q -p kg-bench --bin exp_subscribe --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 

@@ -1,0 +1,204 @@
+//! Property tests for standing queries over the epoch delta stream: for
+//! arbitrary interleavings of graph mutations and epoch publishes, the
+//! **incremental** subscription evaluation (touched elements only, via the
+//! hub's delta-log cursor) must produce exactly the match set of the
+//! O(graph) full-rescan oracle [`rescan_matches`] — per subscription, per
+//! publish — and the mailbox accounting must stay exact
+//! (`matched == delivered + dropped`) even under tiny capacities.
+
+use proptest::prelude::*;
+use securitykg::graph::{GraphStore, NodeId, Value};
+use securitykg::search::SearchIndex;
+use securitykg::serve::{
+    rescan_matches, CompiledPredicate, EpochBuilder, MatchEvent, Subscription, SubscriptionHub,
+    WatchSpec,
+};
+
+const LABELS: [&str; 3] = ["Malware", "Tool", "FileName"];
+
+/// Apply one encoded mutation (same op encoding as `epoch_props.rs`, minus
+/// the search-index op — subscriptions never look at the index). Operands
+/// index into the *current* live node/edge sets, so every op is valid by
+/// construction; deletes cascade and `merge_edge` re-points are covered.
+fn apply_op(graph: &mut GraphStore, op: u8, a: u8, b: u8) {
+    let live_nodes: Vec<NodeId> = graph.all_nodes().map(|n| n.id).collect();
+    let pick = |sel: u8| {
+        live_nodes
+            .get(sel as usize % live_nodes.len().max(1))
+            .copied()
+    };
+    match op % 8 {
+        0 => {
+            let label = LABELS[a as usize % LABELS.len()];
+            graph.merge_node(
+                label,
+                &format!("entity-{}", b % 12),
+                [("seen", Value::from(1i64))],
+            );
+        }
+        1 => {
+            let label = LABELS[a as usize % LABELS.len()];
+            graph.create_node(label, [("name", Value::from(format!("dup-{}", b % 6)))]);
+        }
+        2 => {
+            if let Some(id) = pick(a) {
+                let _ = graph.set_node_prop(id, "weight", Value::from(b as i64));
+            }
+        }
+        3 => {
+            if let Some(id) = pick(a) {
+                let _ = graph.set_node_prop(id, "name", Value::from(format!("renamed-{}", b % 10)));
+            }
+        }
+        4 => {
+            if let Some(id) = pick(a) {
+                let _ = graph.delete_node(id);
+            }
+        }
+        5 => {
+            if let (Some(from), Some(to)) = (pick(a), pick(b.wrapping_add(1))) {
+                let _ = graph.merge_edge(from, "RELATED_TO", to);
+            }
+        }
+        6 => {
+            let live_edges: Vec<_> = graph.all_edges().map(|e| e.id).collect();
+            if !live_edges.is_empty() {
+                let _ = graph.delete_edge(live_edges[a as usize % live_edges.len()]);
+            }
+        }
+        _ => {
+            // Conservative no-op touch: re-write a prop to its current
+            // value. The element lands in the delta but its content is
+            // unchanged — neither the incremental path nor the oracle may
+            // fire an event for it.
+            if let Some(id) = pick(a) {
+                if let Some(current) = graph.node(id).and_then(|n| n.props.get("seen")).cloned() {
+                    let _ = graph.set_node_prop(id, "seen", current);
+                }
+            }
+        }
+    }
+}
+
+/// The subscription mix under test: label-only, label+predicate,
+/// any-label-with-predicate, and an edge watch on the seed entity.
+fn specs(seed: NodeId) -> Vec<WatchSpec> {
+    vec![
+        WatchSpec::Node {
+            label: Some("Malware".into()),
+            predicate: None,
+        },
+        WatchSpec::Node {
+            label: Some("Tool".into()),
+            predicate: Some(CompiledPredicate::compile("n.weight >= 16").unwrap()),
+        },
+        WatchSpec::Node {
+            label: None,
+            predicate: Some(CompiledPredicate::compile("n.name STARTS WITH 'renamed'").unwrap()),
+        },
+        WatchSpec::EdgeTouching(seed),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Arbitrary mutate/publish interleavings: at every publish, each
+    /// subscription's incremental match set equals the full-rescan oracle's
+    /// (node deletion and edge re-point included), and delivery accounting
+    /// is exact under a tiny bounded mailbox.
+    #[test]
+    fn incremental_evaluation_equals_full_rescan(
+        ops in prop::collection::vec((0u8..16, 0u8..32, 0u8..32), 1..60),
+        publish_every in 1usize..7,
+        capacity in 0usize..5
+    ) {
+        let mut graph = GraphStore::new();
+        let search: SearchIndex<NodeId> = SearchIndex::default();
+        let seed = graph.merge_node("Malware", "entity-3", [("seen", Value::from(1i64))]);
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let subs: Vec<Subscription> = specs(seed)
+            .iter()
+            .map(|spec| hub.subscribe(spec.clone(), capacity))
+            .collect();
+        let mut prev = epoch.freeze(&mut graph, &search);
+
+        let check_publish = |graph: &mut GraphStore,
+                                 epoch: &mut EpochBuilder,
+                                 prev: &mut securitykg::serve::KgSnapshot|
+         -> Result<(), TestCaseError> {
+            let next = epoch.freeze(graph, &search);
+            let report = hub.evaluate(graph, prev, &next, None);
+            for (spec, sub) in specs(seed).iter().zip(&subs) {
+                let oracle = rescan_matches(spec, sub.id(), prev, &next);
+                let got: Vec<MatchEvent> = report
+                    .matches
+                    .iter()
+                    .filter(|e| e.subscription == sub.id())
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(got, oracle, "subscription {} diverged", sub.id());
+            }
+            prop_assert_eq!(report.matched, report.delivered + report.dropped);
+            *prev = next;
+            Ok(())
+        };
+
+        for (i, (op, a, b)) in ops.into_iter().enumerate() {
+            apply_op(&mut graph, op, a, b);
+            if i % publish_every == 0 {
+                check_publish(&mut graph, &mut epoch, &mut prev)?;
+            }
+        }
+        check_publish(&mut graph, &mut epoch, &mut prev)?;
+
+        // Lifetime accounting stays exact per subscription, and a bounded
+        // mailbox never retains more than its capacity.
+        for sub in &subs {
+            let stats = sub.stats();
+            prop_assert_eq!(stats.matched, stats.delivered + stats.dropped);
+            prop_assert!(stats.queued <= capacity, "mailbox exceeded its bound");
+            prop_assert!(sub.drain().len() as u64 <= stats.delivered);
+        }
+    }
+
+    /// The writer keeps mutating *after* the freeze that defines an epoch:
+    /// evaluation must still agree with the oracle over the frozen pair —
+    /// post-freeze changes stay sealed away for the next epoch.
+    #[test]
+    fn post_freeze_writer_noise_never_leaks_into_the_epoch(
+        ops in prop::collection::vec((0u8..16, 0u8..32, 0u8..32), 1..30),
+        noise in prop::collection::vec((0u8..16, 0u8..32, 0u8..32), 1..10)
+    ) {
+        let mut graph = GraphStore::new();
+        let search: SearchIndex<NodeId> = SearchIndex::default();
+        let seed = graph.merge_node("Malware", "entity-3", [("seen", Value::from(1i64))]);
+        let hub = SubscriptionHub::new(&mut graph);
+        let mut epoch = EpochBuilder::new(&mut graph);
+        let subs: Vec<Subscription> = specs(seed)
+            .iter()
+            .map(|spec| hub.subscribe(spec.clone(), usize::MAX))
+            .collect();
+        let prev = epoch.freeze(&mut graph, &search);
+        for (op, a, b) in ops {
+            apply_op(&mut graph, op, a, b);
+        }
+        let next = epoch.freeze(&mut graph, &search);
+        // Writer races ahead before the hub gets to run.
+        for (op, a, b) in noise {
+            apply_op(&mut graph, op, a, b);
+        }
+        let report = hub.evaluate(&mut graph, &prev, &next, None);
+        for (spec, sub) in specs(seed).iter().zip(&subs) {
+            let oracle = rescan_matches(spec, sub.id(), &prev, &next);
+            let got: Vec<MatchEvent> = report
+                .matches
+                .iter()
+                .filter(|e| e.subscription == sub.id())
+                .cloned()
+                .collect();
+            prop_assert_eq!(got, oracle, "subscription {} leaked post-freeze noise", sub.id());
+        }
+    }
+}
