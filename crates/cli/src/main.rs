@@ -37,6 +37,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "build" => cmd_build(&args[1..]),
+        "recover" => cmd_recover(&args[1..]),
         "stats" => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
         "search" => cmd_search(&args[1..]).map(|()| ExitCode::SUCCESS),
         "cypher" => cmd_cypher(&args[1..]).map(|()| ExitCode::SUCCESS),
@@ -63,9 +64,11 @@ securitykg — automated OSCTI gathering and management
 
 USAGE:
   securitykg build  --out <kg.json> [--articles <n>] [--seed <s>] [--ner] [--fuse] [--stats]
-  securitykg build  --journal <dir> [--days <n>] [--snapshot-every <n>] [--chaos]
-                    [--crash-after-records <n>] [--out <kg.json>] [--articles <n>] [--seed <s>]
+  securitykg build  --journal <dir> [--days <n>] [--snapshot-every <n>] [--retention <n>]
+                    [--chaos] [--crash-after-records <n>] [--kill-at-io <n>]
+                    [--out <kg.json>] [--articles <n>] [--seed <s>]
   securitykg build  --resume <dir>  [--days <n>] ... (like --journal, but the dir must exist)
+  securitykg recover --dir <dir> [--verify]
   securitykg stats  --kg <kg.json>
   securitykg search --kg <kg.json> <keywords...>
   securitykg cypher --kg <kg.json> <query>
@@ -74,9 +77,14 @@ USAGE:
   securitykg serve  --kg <kg.json> --queries <file> [--readers <n>] [--rounds <n>]
                     [--cache <entries>] [--publishes <n>] [--watch <file>] [--stats]
 
-Durable builds journal every crawl cycle into <dir> and snapshot periodically;
-re-running over the same dir resumes from the last intact snapshot. A run
-killed by --crash-after-records exits with code 9 and leaves a resumable dir.
+Durable builds journal every crawl cycle into <dir> and periodically commit
+incremental binary checkpoints to a checksummed segment store (--persist-dir
+is an alias for --journal); re-running over the same dir resumes from the
+newest checkpoint that verifies, quarantining corrupt ones. A run killed by
+--crash-after-records or --kill-at-io (a kill before global durable I/O op
+<n>) exits with code 9 and leaves a resumable dir. Recover inspects a dir
+without resuming: it lists checkpoints, verifies blob checksums (plus a full
+digest recomputation under --verify), and exits 0 iff one is restorable.
 
 Serve publishes the knowledge base as an immutable snapshot and replays the
 query file from <n> concurrent reader threads through the digest-keyed query
@@ -101,7 +109,7 @@ fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value when followed by another flag/end.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            if takes_value && !matches!(name, "ner" | "fuse" | "stats" | "chaos") {
+            if takes_value && !matches!(name, "ner" | "fuse" | "stats" | "chaos" | "verify") {
                 flags.insert(name.to_owned(), args[i + 1].clone());
                 i += 2;
             } else {
@@ -183,10 +191,23 @@ fn cmd_build_durable(
         .get("crash-after-records")
         .map(|c| c.parse().map_err(|e| format!("--crash-after-records: {e}")))
         .transpose()?;
+    let kill_at_io: Option<u64> = flags
+        .get("kill-at-io")
+        .map(|c| c.parse().map_err(|e| format!("--kill-at-io: {e}")))
+        .transpose()?;
+    let retention: usize = flags
+        .get("retention")
+        .map(|r| r.parse().map_err(|e| format!("--retention: {e}")))
+        .transpose()?
+        .unwrap_or(2);
     let opts = DurableOptions {
         snapshot_every_cycles: snapshot_every,
+        retention,
         crash_after_records: crash_after,
         crash_torn_tail: false,
+        io_kill_after: kill_at_io,
+        io_kill_torn: kill_at_io.is_some_and(|n| n % 2 == 1),
+        fault_hook: None,
     };
     let until_ms = DEFAULT_START_MS + days * 24 * 3_600_000;
     let report = match run_durable(
@@ -198,17 +219,24 @@ fn cmd_build_durable(
     ) {
         Ok(report) => report,
         Err(JournalError::InjectedCrash) => {
-            eprintln!(
-                "injected crash after {} record(s); {dir} is resumable",
-                crash_after.unwrap_or(0)
-            );
+            if let Some(at) = kill_at_io {
+                eprintln!("injected crash at I/O op {at}; {dir} is resumable");
+            } else {
+                eprintln!(
+                    "injected crash after {} record(s); {dir} is resumable",
+                    crash_after.unwrap_or(0)
+                );
+            }
             return Ok(ExitCode::from(EXIT_INJECTED_CRASH));
         }
         Err(e) => return Err(format!("durable build in {dir}: {e}")),
     };
+    for event in &report.recovery_events {
+        eprintln!("quarantined: {event}");
+    }
     if let Some(seq) = report.resumed_from_snapshot {
         eprintln!(
-            "resumed from snapshot {seq} ({} journal record(s) replayed{})",
+            "resumed from checkpoint {seq} ({} journal record(s) replayed{})",
             report.replayed_records,
             if report.torn_tail {
                 ", torn tail discarded"
@@ -240,7 +268,11 @@ fn cmd_build_durable(
 
 fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
     let (flags, _) = parse_flags(args);
-    if let Some(dir) = flags.get("journal").or_else(|| flags.get("resume")) {
+    if let Some(dir) = flags
+        .get("journal")
+        .or_else(|| flags.get("persist-dir"))
+        .or_else(|| flags.get("resume"))
+    {
         return cmd_build_durable(&flags, &dir.clone());
     }
     let out = flags.get("out").ok_or("missing --out <path>")?;
@@ -286,6 +318,61 @@ fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("wrote {} ({} bytes)", out, bytes.len());
     Ok(ExitCode::SUCCESS)
+}
+
+/// Inspect a durable directory's segment store: list its checkpoints, walk
+/// them newest-first until one verifies (blob checksums always; a full
+/// graph reassembly + digest recomputation under `--verify`), and report
+/// anything quarantined along the way. Exits 0 when a usable checkpoint
+/// exists — even if recovery had to fall back past corrupt ones.
+fn cmd_recover(args: &[String]) -> Result<ExitCode, String> {
+    let (flags, positional) = parse_flags(args);
+    let dir = flags
+        .get("dir")
+        .cloned()
+        .or_else(|| positional.first().cloned())
+        .ok_or("missing --dir <dir>")?;
+    let deep = flags.contains_key("verify");
+    let summary =
+        securitykg::verify_dir(Path::new(&dir), deep).map_err(|e| format!("recover {dir}: {e}"))?;
+    eprintln!(
+        "manifest: {} checkpoint record(s){}, {} bytes",
+        summary.checkpoints.len(),
+        if summary.manifest_torn {
+            " (torn tail truncated)"
+        } else {
+            ""
+        },
+        summary.stats.manifest_bytes,
+    );
+    for (seq, cycles, digest) in &summary.checkpoints {
+        println!("checkpoint {seq}: {cycles} cycle(s), digest {digest:016x}");
+    }
+    eprintln!(
+        "data: {} file(s), {} bytes on disk, {} bytes live",
+        summary.stats.data_files, summary.stats.data_bytes, summary.stats.live_bytes
+    );
+    for event in &summary.events {
+        eprintln!("quarantined: {event}");
+    }
+    match summary.restored {
+        Some((seq, cycles, digest)) => {
+            eprintln!(
+                "restorable: checkpoint {seq} at {cycles} cycle(s){}",
+                if deep {
+                    " (digest recomputed and verified)"
+                } else {
+                    " (checksums verified)"
+                }
+            );
+            println!("kg-digest: {digest:016x}");
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            eprintln!("no checkpoint verifies; a resume would redo from the epoch start");
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {

@@ -2,35 +2,48 @@
 //!
 //! `run_durable` drives the crawl scheduler cycle-by-cycle through the
 //! *sequential* pipeline, journaling every cycle and every ingested report
-//! (see [`crate::journal`]) and periodically persisting a complete snapshot
-//! sidecar: the knowledge base, the scheduler's whole control state
-//! ([`kg_crawler::SchedulerCheckpoint`]: due-heap, crawl state, stats,
-//! breakers) and the set of ingested content hashes.
+//! (see [`crate::journal`]) and periodically persisting an **incremental
+//! binary checkpoint** into a [`kg_persist::SegmentStore`] living alongside
+//! the journal: run metadata (scheduler control state + ingested hashes) as
+//! one blob, the graph's copy-on-write arena segments and the search index's
+//! term shards as one blob each. Only blobs dirtied since the previous
+//! checkpoint are rewritten — the rest are carried forward by manifest
+//! reference — so a steady-state checkpoint costs O(delta), not O(graph).
 //!
-//! The recovery model is **snapshot + deterministic redo**: the snapshot is
-//! the durable truth, and everything after it is recomputed rather than
+//! The recovery model is **snapshot + deterministic redo**: the checkpoint
+//! is the durable truth, and everything after it is recomputed rather than
 //! replayed from the journal. Because the simulated web is a pure function
 //! of `(seed, url, time)` and the scheduler's heap order is total, resuming
-//! from the last intact snapshot and re-stepping to the same horizon
-//! reproduces the uninterrupted run byte-for-byte — the property the chaos
-//! harness (`tests/chaos.rs`, `scripts/chaos.sh`) asserts via
-//! [`graph_digest`]. Journal records after the last snapshot marker are an
-//! audit trail (and the chaos harness's kill-point counter), not replay
-//! instructions; content-hash dedup keeps any re-ingestion idempotent.
+//! from the newest checkpoint that verifies (frame checksums, then a full
+//! digest recomputation) and re-stepping to the same horizon reproduces the
+//! uninterrupted run byte-for-byte — the property the chaos harness
+//! (`tests/chaos.rs`, `tests/persist_chaos.rs`, `scripts/chaos.sh`) asserts
+//! via [`graph_digest`]. A corrupt checkpoint is quarantined with
+//! attribution and recovery falls back to the next older one; journal
+//! records after the restored checkpoint are an audit trail (and the chaos
+//! harness's kill-point counter), not replay instructions; content-hash
+//! dedup keeps any re-ingestion idempotent.
+//!
+//! Disk growth is bounded: after each verified checkpoint the store prunes
+//! checkpoints beyond [`DurableOptions::retention`] and the journal is
+//! truncated below the oldest retained checkpoint's marker; accumulated
+//! dead frames trigger crash-safe compaction.
 
 use crate::journal::{self, Journal, JournalError, JournalRecord};
 use crate::snapshot::KnowledgeBase;
 use crate::SystemConfig;
 use kg_corpus::{standard_sources, SimulatedWeb, World};
 use kg_crawler::{Scheduler, SchedulerCheckpoint, SchedulerConfig, SchedulerStats};
-use kg_graph::GraphStore;
+use kg_graph::{Edge, GraphStore, Node, NodeId};
 use kg_ir::{combine_hashes, RawReport};
+use kg_persist::{FaultHook, SegmentStore, StoreOptions};
 use kg_pipeline::{
     run_sequential, GraphConnector, ParserRegistry, PipelineMetrics, TraceEvent, TraceLog,
 };
+use kg_search::{Bm25Params, SearchIndex, ShardTerms, PERSIST_SHARDS};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
-use std::path::{Path, PathBuf};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 /// Default simulated start: the publication epoch of the synthetic corpus.
 pub const DEFAULT_START_MS: u64 = 1_500_000_000_000;
@@ -38,17 +51,19 @@ pub const DEFAULT_START_MS: u64 = 1_500_000_000_000;
 /// Deterministic fingerprint of a knowledge graph — a thin alias for
 /// [`GraphStore::digest`]: the commutative sum of per-element hashes over the
 /// elements' canonical JSON (properties in BTreeMap order; the serde-skipped
-/// hash indexes never leak in). The same scheme serves all three digest
-/// consumers — durable snapshots, the determinism suite, and serving epochs
+/// hash indexes never leak in). The same scheme serves all digest consumers —
+/// durable checkpoints, the determinism suite, and serving epochs
 /// (`kg_serve::KgSnapshot::digest`) — so their fingerprints stay mutually
-/// comparable, and the serving layer's `EpochBuilder` can maintain it in
-/// O(delta) per publish.
+/// comparable, and recovery can verify a reassembled graph against the
+/// manifest's stored digest.
 pub fn graph_digest(graph: &GraphStore) -> u64 {
     graph.digest()
 }
 
-/// Everything a recovery needs, persisted atomically (tmp + rename) before
-/// its marker is appended to the journal.
+/// The legacy monolithic snapshot shape: everything a recovery needs in one
+/// JSON document. The durable driver no longer writes these (checkpoints go
+/// to the segment store); the struct remains as the JSON-sidecar baseline
+/// the E15 persistence benchmark compares the segment store against.
 #[derive(Serialize, Deserialize)]
 pub struct SnapshotPayload {
     pub seq: u64,
@@ -62,25 +77,59 @@ pub struct SnapshotPayload {
     pub kb: KnowledgeBase,
 }
 
+/// Checkpoint metadata blob (`meta`): everything outside the graph arenas
+/// and search shards, plus the counts recovery needs to know which segment
+/// blobs to read back.
+#[derive(Serialize, Deserialize)]
+struct CheckpointMeta {
+    seq: u64,
+    cycles_done: u64,
+    kg_digest: u64,
+    /// Sorted content hashes of every report ingested so far.
+    ingested: Vec<u64>,
+    scheduler: SchedulerCheckpoint,
+    node_segments: usize,
+    edge_segments: usize,
+    search_params: Bm25Params,
+    search_doc_segments: usize,
+}
+
 /// Knobs of a durable run.
 #[derive(Debug, Clone)]
 pub struct DurableOptions {
-    /// Persist a snapshot every this many scheduler cycles (plus one at the
-    /// end of every run that made progress). `0` means only the final one.
+    /// Persist a checkpoint every this many scheduler cycles (plus one at
+    /// the end of every run that made progress). `0` means only the final one.
     pub snapshot_every_cycles: u64,
+    /// Checkpoints retained on disk after each new one (min 1). Older
+    /// checkpoints are pruned and the journal truncated below the oldest
+    /// retained marker, bounding disk to O(live graph + retention).
+    pub retention: usize,
     /// Chaos harness: fail with [`JournalError::InjectedCrash`] instead of
     /// appending journal record number N (counted from this run's start).
     pub crash_after_records: Option<u64>,
     /// Make the injected crash leave a torn half-written frame behind.
     pub crash_torn_tail: bool,
+    /// Chaos harness: kill before global durable I/O operation N. Journal
+    /// and segment store share one op counter, so sweeping N crosses every
+    /// syscall boundary of the checkpoint/compaction/truncation paths.
+    pub io_kill_after: Option<u64>,
+    /// Make the doomed I/O op a torn half-write.
+    pub io_kill_torn: bool,
+    /// Externally supplied fault hook (op-order audits). When set,
+    /// `io_kill_after` arms *this* hook.
+    pub fault_hook: Option<FaultHook>,
 }
 
 impl Default for DurableOptions {
     fn default() -> Self {
         DurableOptions {
             snapshot_every_cycles: 8,
+            retention: 2,
             crash_after_records: None,
             crash_torn_tail: false,
+            io_kill_after: None,
+            io_kill_torn: false,
+            fault_hook: None,
         }
     }
 }
@@ -98,32 +147,22 @@ pub struct DurableReport {
     pub skipped_duplicates: usize,
     /// [`graph_digest`] of the final graph.
     pub kg_digest: u64,
-    /// Snapshot sequence number recovery started from, if resuming.
+    /// Checkpoint sequence number recovery started from, if resuming.
     pub resumed_from_snapshot: Option<u64>,
     /// Intact journal records found on startup.
     pub replayed_records: usize,
     /// Whether startup had to discard a torn journal tail.
     pub torn_tail: bool,
+    /// Attributed quarantine events from recovery: checkpoints (or single
+    /// blobs) that failed verification and were skipped. Empty on a clean
+    /// resume.
+    pub recovery_events: Vec<String>,
     /// Scheduler stats over the whole journal directory's lifetime.
     pub stats: SchedulerStats,
     /// Accumulated pipeline accounting across this call's cycles.
     pub metrics: PipelineMetrics,
     /// Structured events: replay, snapshots, reboots, breaker transitions.
     pub trace: TraceLog,
-}
-
-fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
-    dir.join(format!("snapshot-{seq}.json"))
-}
-
-/// Load and verify one snapshot sidecar: the payload must parse, its graph
-/// must rebuild, and the re-computed digest must match the stored one.
-fn load_snapshot(dir: &Path, seq: u64) -> Result<SnapshotPayload, JournalError> {
-    let bytes = std::fs::read(snapshot_path(dir, seq))?;
-    let mut payload: SnapshotPayload = serde_json::from_slice(&bytes)?;
-    // Rebuild the serde-skipped graph/search indexes.
-    payload.kb = KnowledgeBase::from_bytes(&serde_json::to_vec(&payload.kb)?)?;
-    Ok(payload)
 }
 
 /// Group a cycle's raw pages into whole reports (pages of one report arrive
@@ -170,41 +209,227 @@ struct DurableState<'w> {
     snapshot_seq: u64,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn write_snapshot(
-    dir: &Path,
-    state: &DurableState<'_>,
+/// One verified, reassembled checkpoint.
+struct Recovered {
+    meta: CheckpointMeta,
+    graph: GraphStore,
+    search: SearchIndex<NodeId>,
+}
+
+/// Reassemble a checkpoint from its verified blobs. Every structural or
+/// semantic mismatch is a clean `Err(reason)` — the store quarantines the
+/// checkpoint and falls back to an older one.
+fn reassemble(
+    record: &kg_persist::CheckpointRecord,
+    blobs: &BTreeMap<String, Vec<u8>>,
+) -> Result<Recovered, String> {
+    let meta_bytes = blobs.get("meta").ok_or("missing meta blob")?;
+    let meta: CheckpointMeta =
+        serde_json::from_slice(meta_bytes).map_err(|e| format!("meta blob: {e}"))?;
+    if meta.seq != record.seq || meta.kg_digest != record.kg_digest {
+        return Err(format!(
+            "meta blob identifies checkpoint {} (digest {:016x}), manifest says {} ({:016x})",
+            meta.seq, meta.kg_digest, record.seq, record.kg_digest
+        ));
+    }
+    let parse_parts = |prefix: &str, count: usize| -> Result<Vec<&Vec<u8>>, String> {
+        (0..count)
+            .map(|i| {
+                blobs
+                    .get(&format!("{prefix}{i}"))
+                    .ok_or_else(|| format!("missing blob {prefix}{i}"))
+            })
+            .collect()
+    };
+    let mut node_parts: Vec<Vec<Option<Node>>> = Vec::with_capacity(meta.node_segments);
+    for bytes in parse_parts("n", meta.node_segments)? {
+        node_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("node segment: {e}"))?);
+    }
+    let mut edge_parts: Vec<Vec<Option<Edge>>> = Vec::with_capacity(meta.edge_segments);
+    for bytes in parse_parts("e", meta.edge_segments)? {
+        edge_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("edge segment: {e}"))?);
+    }
+    let graph = GraphStore::from_segments(node_parts, edge_parts)?;
+    // The decisive check: the reassembled graph must reproduce the digest
+    // the manifest recorded at checkpoint time, byte-identical semantics.
+    let digest = graph_digest(&graph);
+    if digest != record.kg_digest {
+        return Err(format!(
+            "reassembled graph digest {digest:016x} != recorded {:016x}",
+            record.kg_digest
+        ));
+    }
+    let mut doc_parts: Vec<Vec<(NodeId, u32)>> = Vec::with_capacity(meta.search_doc_segments);
+    for bytes in parse_parts("d", meta.search_doc_segments)? {
+        doc_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("doc segment: {e}"))?);
+    }
+    let mut shard_parts: Vec<ShardTerms> = Vec::with_capacity(PERSIST_SHARDS);
+    for bytes in parse_parts("s", PERSIST_SHARDS)? {
+        shard_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("search shard: {e}"))?);
+    }
+    let search = SearchIndex::from_persist_parts(meta.search_params, doc_parts, shard_parts)?;
+    Ok(Recovered {
+        meta,
+        graph,
+        search,
+    })
+}
+
+/// What `verify_dir` found in a durable directory's segment store.
+#[derive(Debug)]
+pub struct RecoverSummary {
+    /// Every manifest checkpoint record, oldest first: `(seq, cycles_done,
+    /// kg_digest)`. Includes records that would fail verification.
+    pub checkpoints: Vec<(u64, u64, u64)>,
+    /// The newest checkpoint that passed verification, if any.
+    pub restored: Option<(u64, u64, u64)>,
+    /// Attributed quarantine events for checkpoints/blobs that failed.
+    pub events: Vec<String>,
+    /// Whether the manifest had a torn tail (tolerated, truncated on open).
+    pub manifest_torn: bool,
+    pub stats: kg_persist::StoreStats,
+}
+
+/// Inspect (read-only) the segment store in `dir`: replay the manifest,
+/// then walk checkpoints newest-first until one verifies. With
+/// `deep = false` each candidate's blobs are checksum-verified and its meta
+/// parsed; with `deep = true` the full graph and search index are
+/// reassembled and the graph digest recomputed against the manifest — the
+/// same verification a resume performs.
+pub fn verify_dir(dir: &Path, deep: bool) -> Result<RecoverSummary, JournalError> {
+    if !dir.join("manifest.log").exists() {
+        return Err(JournalError::Persist(
+            kg_persist::PersistError::ManifestUnusable {
+                reason: format!("no manifest.log in {}", dir.display()),
+            },
+        ));
+    }
+    let mut store = SegmentStore::open(dir, StoreOptions::default())?;
+    let checkpoints: Vec<(u64, u64, u64)> = store
+        .checkpoints()
+        .iter()
+        .map(|r| (r.seq, r.cycles_done, r.kg_digest))
+        .collect();
+    let restored = if deep {
+        store
+            .recover_with(reassemble)?
+            .map(|r| (r.meta.seq, r.meta.cycles_done, r.meta.kg_digest))
+    } else {
+        store.recover_with(|record, blobs| {
+            let meta_bytes = blobs.get("meta").ok_or("missing meta blob")?;
+            let meta: CheckpointMeta =
+                serde_json::from_slice(meta_bytes).map_err(|e| format!("meta blob: {e}"))?;
+            if meta.seq != record.seq || meta.kg_digest != record.kg_digest {
+                return Err("meta blob does not match its manifest record".to_owned());
+            }
+            Ok((meta.seq, meta.cycles_done, meta.kg_digest))
+        })?
+    };
+    Ok(RecoverSummary {
+        checkpoints,
+        restored,
+        events: store
+            .quarantine_log()
+            .iter()
+            .map(|event| event.to_string())
+            .collect(),
+        manifest_torn: store.manifest_torn(),
+        stats: store.stats(),
+    })
+}
+
+/// Persist one incremental checkpoint, commit its journal marker, then
+/// enforce retention (prune + journal truncation) and compaction.
+fn write_checkpoint(
+    store: &mut SegmentStore,
+    state: &mut DurableState<'_>,
     journal: &mut Journal,
     trace: &TraceLog,
 ) -> Result<u64, JournalError> {
     let seq = state.snapshot_seq;
-    let digest = graph_digest(&state.connector.graph);
-    let payload = SnapshotPayload {
+    let graph = &state.connector.graph;
+    let search = &state.connector.search;
+    let digest = graph_digest(graph);
+    // With no baseline (fresh store, or nothing survived recovery) the
+    // carry set is empty, so every blob must be written.
+    let full = store.baseline_seq().is_none();
+    let meta = CheckpointMeta {
         seq,
         cycles_done: state.cycles_done,
         kg_digest: digest,
         ingested: state.ingested.iter().copied().collect(),
         scheduler: state.scheduler.checkpoint(),
-        kb: KnowledgeBase {
-            graph: state.connector.graph.clone(),
-            search: state.connector.search.clone(),
-        },
+        node_segments: graph.node_segment_count(),
+        edge_segments: graph.edge_segment_count(),
+        search_params: search.persist_params(),
+        search_doc_segments: search.doc_segment_count(),
     };
-    // Atomic publish: a reader never observes a half-written sidecar under
-    // the final name, and the journal marker is only appended afterwards.
-    let tmp = dir.join(format!("snapshot-{seq}.json.tmp"));
-    std::fs::write(&tmp, serde_json::to_vec(&payload)?)?;
-    std::fs::rename(&tmp, snapshot_path(dir, seq))?;
+    let mut blobs: Vec<(String, Vec<u8>)> = Vec::new();
+    blobs.push(("meta".to_owned(), serde_json::to_vec(&meta)?));
+    let node_set: Vec<usize> = if full {
+        (0..meta.node_segments).collect()
+    } else {
+        graph.dirty_node_segments()
+    };
+    for i in node_set {
+        let json = graph.node_segment_json(i).expect("dirty segment exists");
+        blobs.push((format!("n{i}"), json.into_bytes()));
+    }
+    let edge_set: Vec<usize> = if full {
+        (0..meta.edge_segments).collect()
+    } else {
+        graph.dirty_edge_segments()
+    };
+    for i in edge_set {
+        let json = graph.edge_segment_json(i).expect("dirty segment exists");
+        blobs.push((format!("e{i}"), json.into_bytes()));
+    }
+    let doc_set: Vec<usize> = if full {
+        (0..meta.search_doc_segments).collect()
+    } else {
+        search.dirty_doc_segments()
+    };
+    for i in doc_set {
+        let json = search.doc_segment_json(i).expect("dirty segment exists");
+        blobs.push((format!("d{i}"), json.into_bytes()));
+    }
+    // Every shard is written on a full checkpoint — including empty ones —
+    // so the carried entry set always holds all PERSIST_SHARDS shards.
+    let shard_set: Vec<usize> = if full {
+        (0..PERSIST_SHARDS).collect()
+    } else {
+        search.dirty_persist_shards()
+    };
+    for s in shard_set {
+        blobs.push((format!("s{s}"), search.shard_json(s).into_bytes()));
+    }
+    store.checkpoint(seq, state.cycles_done, digest, blobs)?;
+    // The journal marker is audit only (the manifest committed above), but
+    // commit buffered cycle records alongside it so the audit trail is
+    // never behind the checkpoint it describes.
     journal.append(&JournalRecord::Snapshot {
         seq,
         cycles_done: state.cycles_done,
         kg_digest: digest,
     })?;
+    journal.commit()?;
+    // Only now — checkpoint durably committed — may dirtiness be forgotten.
+    state.connector.graph.clear_segment_dirty();
+    state.connector.search.clear_persist_dirty();
     trace.record(TraceEvent::SnapshotTaken {
         seq,
         cycles_done: state.cycles_done,
         kg_digest: digest,
     });
+    // Bound disk: retention pruning, journal truncation below the oldest
+    // retained checkpoint, and compaction once garbage dominates.
+    store.prune()?;
+    if let Some(horizon) = store.oldest_retained_seq() {
+        journal.truncate_before_snapshot(horizon)?;
+    }
+    if store.should_compact() {
+        store.compact()?;
+    }
     Ok(digest)
 }
 
@@ -212,10 +437,12 @@ fn write_snapshot(
 ///
 /// Fresh directories start every source at [`DEFAULT_START_MS`]. Existing
 /// directories are recovered: the journal is replayed (tolerating a torn
-/// tail), the newest snapshot whose sidecar loads and digest verifies is
-/// restored, and the scheduler re-runs deterministically from that frontier.
-/// Calling this again over a completed directory with the same horizon is a
-/// no-op that returns the same digest.
+/// tail), the newest segment-store checkpoint that verifies in full —
+/// frame checksums, then a recomputed graph digest — is restored (corrupt
+/// ones are quarantined with attribution and older ones tried), and the
+/// scheduler re-runs deterministically from that frontier. Calling this
+/// again over a completed directory with the same horizon is a no-op that
+/// returns the same digest.
 pub fn run_durable(
     system: &SystemConfig,
     sched_config: &SchedulerConfig,
@@ -234,37 +461,64 @@ pub fn run_durable(
     let trace = TraceLog::new();
     let journal_path = dir.join("journal.log");
 
+    // One hook shared by journal and segment store: op indices form a single
+    // global sequence, so an io_kill_after sweep crosses every boundary.
+    let hook = match (&opts.fault_hook, opts.io_kill_after) {
+        (Some(hook), kill) => {
+            if let Some(at) = kill {
+                hook.arm_kill_after(at, opts.io_kill_torn);
+            }
+            Some(hook.clone())
+        }
+        (None, Some(at)) => {
+            let hook = FaultHook::new();
+            hook.arm_kill_after(at, opts.io_kill_torn);
+            Some(hook)
+        }
+        (None, None) => None,
+    };
+    let mut store = SegmentStore::open(
+        dir,
+        StoreOptions {
+            retention: opts.retention.max(1),
+            hook: hook.clone(),
+            ..StoreOptions::default()
+        },
+    )?;
+
     let mut resumed_from = None;
     let mut replayed_records = 0;
     let mut torn_tail = false;
 
-    let (mut journal, mut state) = if journal_path.exists() {
+    // A journal shorter than its magic is a torn *creation* — the very
+    // first write of a fresh run died mid-magic, so nothing was ever
+    // committed. Start over instead of refusing with BadHeader.
+    let journal_usable = std::fs::metadata(&journal_path)
+        .map(|m| m.len() >= journal::JOURNAL_MAGIC.len() as u64)
+        .unwrap_or(false);
+    let (mut journal, mut state) = if journal_usable {
         let replayed = journal::replay(&journal_path)?;
         replayed_records = replayed.records.len();
         torn_tail = replayed.torn_tail;
-        // Newest snapshot that is actually intact wins; older ones are the
-        // fallback if its sidecar was lost with the crash.
-        let mut restored = None;
-        for (seq, _cycles, digest) in replayed.snapshots().into_iter().rev() {
-            if let Ok(payload) = load_snapshot(dir, seq) {
-                if payload.kg_digest == digest && graph_digest(&payload.kb.graph) == digest {
-                    restored = Some(payload);
-                    break;
-                }
-            }
-        }
-        let journal = Journal::open_after_replay(&journal_path, &replayed)?;
-        let state = match restored {
-            Some(payload) => {
-                resumed_from = Some(payload.seq);
+        let journal = Journal::open_after_replay_with(&journal_path, &replayed, hook.clone())?;
+        let recovered = store.recover_with(reassemble)?;
+        let state = match recovered {
+            Some(Recovered {
+                meta,
+                graph,
+                search,
+            }) => {
+                resumed_from = Some(meta.seq);
                 DurableState {
-                    snapshot_seq: payload.seq,
-                    cycles_done: payload.cycles_done,
-                    ingested: payload.ingested.into_iter().collect(),
-                    scheduler: Scheduler::restore(&web, payload.scheduler),
-                    connector: GraphConnector::with_state(payload.kb.graph, payload.kb.search),
+                    snapshot_seq: meta.seq,
+                    cycles_done: meta.cycles_done,
+                    ingested: meta.ingested.into_iter().collect(),
+                    scheduler: Scheduler::restore(&web, meta.scheduler),
+                    connector: GraphConnector::with_state(graph, search),
                 }
             }
+            // Nothing survived: deterministic redo from the epoch start
+            // reproduces the exact same state (and the same digest).
             None => DurableState {
                 scheduler: Scheduler::new(&web, sched_config.clone(), DEFAULT_START_MS),
                 connector: GraphConnector::new(),
@@ -281,7 +535,7 @@ pub fn run_durable(
         (journal, state)
     } else {
         (
-            Journal::create(&journal_path)?,
+            Journal::create_with(&journal_path, hook.clone())?,
             DurableState {
                 scheduler: Scheduler::new(&web, sched_config.clone(), DEFAULT_START_MS),
                 connector: GraphConnector::new(),
@@ -291,6 +545,11 @@ pub fn run_durable(
             },
         )
     };
+    let recovery_events: Vec<String> = store
+        .quarantine_log()
+        .iter()
+        .map(|event| event.to_string())
+        .collect();
 
     let records_at_start = journal.records_written();
     if let Some(after) = opts.crash_after_records {
@@ -366,20 +625,22 @@ pub fn run_durable(
             pages_fetched: fired.pages_fetched,
             error: fired.error,
         })?;
+        // Group commit: one barrier per cycle, not per record.
+        journal.commit()?;
 
         state.cycles_done += 1;
         cycles_run += 1;
         if opts.snapshot_every_cycles > 0 && state.cycles_done % opts.snapshot_every_cycles == 0 {
             state.snapshot_seq += 1;
-            write_snapshot(dir, &state, &mut journal, &trace)?;
+            write_checkpoint(&mut store, &mut state, &mut journal, &trace)?;
         }
     }
 
-    // Seal the run with a final snapshot (unless this call was a pure no-op
-    // resume of an already-complete directory).
+    // Seal the run with a final checkpoint (unless this call was a pure
+    // no-op resume of an already-complete directory).
     if cycles_run > 0 || state.snapshot_seq == 0 {
         state.snapshot_seq += 1;
-        write_snapshot(dir, &state, &mut journal, &trace)?;
+        write_checkpoint(&mut store, &mut state, &mut journal, &trace)?;
     }
 
     Ok(DurableReport {
@@ -391,6 +652,7 @@ pub fn run_durable(
         resumed_from_snapshot: resumed_from,
         replayed_records,
         torn_tail,
+        recovery_events,
         stats: state.scheduler.stats.clone(),
         metrics,
         trace,

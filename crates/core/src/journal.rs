@@ -19,6 +19,7 @@
 //! the `Snapshot` markers point at (see DESIGN.md "Failure model & recovery").
 
 use kg_ir::fnv1a64;
+use kg_persist::{FaultHook, PersistError, Vfs};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -55,9 +56,10 @@ pub enum JournalRecord {
         source: String,
         report_key: String,
     },
-    /// A KG snapshot sidecar `snapshot-<seq>.json` was durably written
-    /// (tmp+rename) *before* this marker was appended, so the marker's
-    /// presence implies the sidecar is complete.
+    /// A segment-store checkpoint was durably committed (its manifest
+    /// record fsynced) *before* this marker was appended — the marker is
+    /// an audit record and the journal-truncation horizon, not the commit
+    /// point itself.
     Snapshot {
         seq: u64,
         /// Scheduler cycles completed at snapshot time.
@@ -74,8 +76,11 @@ pub enum JournalError {
     Serde(serde_json::Error),
     /// The file exists but does not start with [`JOURNAL_MAGIC`].
     BadHeader,
-    /// A test-configured crash point fired (see [`Journal::set_crash_after`]).
+    /// A test-configured crash point fired (see [`Journal::set_crash_after`]
+    /// and [`kg_persist::FaultHook`]).
     InjectedCrash,
+    /// The segment store underneath the snapshots failed.
+    Persist(PersistError),
 }
 
 impl fmt::Display for JournalError {
@@ -85,6 +90,7 @@ impl fmt::Display for JournalError {
             JournalError::Serde(e) => write!(f, "journal encoding error: {e}"),
             JournalError::BadHeader => write!(f, "journal header is not {JOURNAL_MAGIC:?}"),
             JournalError::InjectedCrash => write!(f, "injected crash point reached"),
+            JournalError::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -100,6 +106,18 @@ impl From<std::io::Error> for JournalError {
 impl From<serde_json::Error> for JournalError {
     fn from(e: serde_json::Error) -> Self {
         JournalError::Serde(e)
+    }
+}
+
+impl From<PersistError> for JournalError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            // A hook-injected kill is the same failure mode wherever it
+            // fires; collapse so callers (and the CLI's exit code) need one
+            // check.
+            PersistError::InjectedCrash { .. } => JournalError::InjectedCrash,
+            other => JournalError::Persist(other),
+        }
     }
 }
 
@@ -193,7 +211,10 @@ pub fn replay(path: &Path) -> Result<Replay, JournalError> {
 pub struct Journal {
     file: File,
     path: PathBuf,
+    vfs: Vfs,
     records_written: u64,
+    /// Bytes appended since the last [`Journal::commit`].
+    uncommitted: u64,
     crash_after: Option<u64>,
     crash_torn: bool,
 }
@@ -201,13 +222,27 @@ pub struct Journal {
 impl Journal {
     /// Create a fresh journal (truncating anything at `path`).
     pub fn create(path: &Path) -> Result<Self, JournalError> {
-        let mut file = File::create(path)?;
-        file.write_all(JOURNAL_MAGIC)?;
-        file.flush()?;
+        Journal::create_with(path, None)
+    }
+
+    /// [`Journal::create`] with a fault hook interposing every I/O op. The
+    /// magic is made durable immediately (file + parent directory fsync) —
+    /// an empty journal that exists must replay as an empty journal, not as
+    /// a missing file.
+    pub fn create_with(path: &Path, hook: Option<FaultHook>) -> Result<Self, JournalError> {
+        let vfs = Vfs::new(hook);
+        let mut file = vfs.create(path)?;
+        vfs.append(&mut file, path, JOURNAL_MAGIC)?;
+        vfs.sync_file(&file, path)?;
+        if let Some(parent) = path.parent() {
+            vfs.sync_dir(parent)?;
+        }
         Ok(Journal {
             file,
             path: path.to_owned(),
+            vfs,
             records_written: 0,
+            uncommitted: 0,
             crash_after: None,
             crash_torn: false,
         })
@@ -216,6 +251,15 @@ impl Journal {
     /// Re-open an existing journal for append after [`replay`]: the torn
     /// tail (if any) is truncated away so new frames extend the clean prefix.
     pub fn open_after_replay(path: &Path, replay: &Replay) -> Result<Self, JournalError> {
+        Journal::open_after_replay_with(path, replay, None)
+    }
+
+    /// [`Journal::open_after_replay`] with a fault hook.
+    pub fn open_after_replay_with(
+        path: &Path,
+        replay: &Replay,
+        hook: Option<FaultHook>,
+    ) -> Result<Self, JournalError> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         file.set_len(replay.clean_len)?;
         let mut file = file;
@@ -224,7 +268,9 @@ impl Journal {
         Ok(Journal {
             file,
             path: path.to_owned(),
+            vfs: Vfs::new(hook),
             records_written: replay.records.len() as u64,
+            uncommitted: 0,
             crash_after: None,
             crash_torn: false,
         })
@@ -251,7 +297,10 @@ impl Journal {
         self.crash_torn = torn;
     }
 
-    /// Append one record: length-prefixed, checksummed, flushed.
+    /// Append one record: length-prefixed, checksummed, buffered. Records
+    /// are *facts*, not instructions — a record lost to a crash before
+    /// [`Journal::commit`] is re-derived by deterministic redo, so appends
+    /// need no per-record fsync (group commit).
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
         let payload = serde_json::to_vec(record)?;
         if let Some(limit) = self.crash_after {
@@ -273,10 +322,82 @@ impl Journal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
+        self.vfs.append(&mut self.file, &self.path, &frame)?;
+        self.uncommitted += frame.len() as u64;
         self.records_written += 1;
         Ok(())
+    }
+
+    /// Group-commit barrier: fsync everything appended since the last
+    /// commit. The durable loop calls this once per cycle (and before each
+    /// checkpoint's manifest write), not once per record.
+    pub fn commit(&mut self) -> Result<(), JournalError> {
+        if self.uncommitted == 0 {
+            return Ok(());
+        }
+        self.vfs.sync_file(&self.file, &self.path)?;
+        self.uncommitted = 0;
+        Ok(())
+    }
+
+    /// Drop every record below the `Snapshot { seq: horizon }` marker: the
+    /// retained suffix (marker included) is rewritten to a tmp file which is
+    /// atomically renamed over the journal (fsync'd both sides). Records
+    /// below a verified checkpoint are dead weight — recovery never replays
+    /// across a checkpoint — so this is what bounds journal growth.
+    ///
+    /// Returns whether anything was truncated. [`Journal::records_written`]
+    /// is *not* rewound: it counts appends over the journal's lifetime (so
+    /// armed [`Journal::set_crash_after`] points still fire), not frames
+    /// currently on disk.
+    pub fn truncate_before_snapshot(&mut self, horizon: u64) -> Result<bool, JournalError> {
+        self.commit()?;
+        let mut bytes = Vec::new();
+        File::open(&self.path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(JournalError::BadHeader);
+        }
+        // Find the byte offset of the horizon snapshot's frame.
+        let mut offset = JOURNAL_MAGIC.len();
+        let mut cut: Option<usize> = None;
+        while offset + FRAME_HEADER <= bytes.len() {
+            let rest = &bytes[offset..];
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            if len > MAX_PAYLOAD || rest.len() < FRAME_HEADER + len {
+                break;
+            }
+            let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+            if let Ok(JournalRecord::Snapshot { seq, .. }) =
+                serde_json::from_slice::<JournalRecord>(payload)
+            {
+                if seq == horizon {
+                    cut = Some(offset);
+                    break;
+                }
+            }
+            offset += FRAME_HEADER + len;
+        }
+        let Some(cut) = cut else {
+            return Ok(false); // horizon not found: keep everything
+        };
+        if cut == JOURNAL_MAGIC.len() {
+            return Ok(false); // nothing below the horizon
+        }
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut tmp = self.vfs.create(&tmp_path)?;
+        self.vfs.append(&mut tmp, &tmp_path, JOURNAL_MAGIC)?;
+        self.vfs.append(&mut tmp, &tmp_path, &bytes[cut..])?;
+        self.vfs.sync_file(&tmp, &tmp_path)?;
+        self.vfs.rename(&tmp_path, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            self.vfs.sync_dir(parent)?;
+        }
+        // Swap the append handle to the new file.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        Ok(true)
     }
 }
 
@@ -398,6 +519,103 @@ mod tests {
             replay(&path.with_extension("missing")),
             Err(JournalError::Io(_))
         ));
+    }
+
+    #[test]
+    fn truncation_drops_records_below_the_snapshot_horizon() {
+        let path = tmp("truncate");
+        let mut journal = Journal::create(&path).unwrap();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        journal
+            .append(&JournalRecord::Snapshot {
+                seq: 2,
+                cycles_done: 2,
+                kg_digest: 43,
+            })
+            .unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+
+        // Unknown horizon: keep everything.
+        assert!(!journal.truncate_before_snapshot(99).unwrap());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+
+        // Truncate below snapshot seq 2: the marker and later records stay.
+        assert!(journal.truncate_before_snapshot(2).unwrap());
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        let after = replay(&path).unwrap();
+        assert!(!after.torn_tail);
+        assert_eq!(
+            after.records,
+            vec![JournalRecord::Snapshot {
+                seq: 2,
+                cycles_done: 2,
+                kg_digest: 43
+            }]
+        );
+        // Lifetime record count is monotone — truncation never rewinds it.
+        assert_eq!(journal.records_written(), 5);
+
+        // The swapped handle keeps appending to the new file.
+        journal
+            .append(&JournalRecord::Ingested {
+                content_hash: 7,
+                source: "s".into(),
+                report_key: "r9".into(),
+            })
+            .unwrap();
+        journal.commit().unwrap();
+        assert_eq!(replay(&path).unwrap().records.len(), 2);
+    }
+
+    #[test]
+    fn barriers_are_issued_in_order() {
+        // The sync-counting audit: create → (write+sync+dirsync), appends
+        // buffer, commit syncs exactly once.
+        let dir = std::env::temp_dir().join(format!("kg-journal-{}-barrier", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.log");
+        let hook = kg_persist::FaultHook::new();
+        let mut journal = Journal::create_with(&path, Some(hook.clone())).unwrap();
+        use kg_persist::IoOp;
+        assert_eq!(
+            hook.log(),
+            vec![
+                IoOp::Create {
+                    file: "journal.log".into()
+                },
+                IoOp::Write {
+                    file: "journal.log".into(),
+                    bytes: JOURNAL_MAGIC.len()
+                },
+                IoOp::SyncFile {
+                    file: "journal.log".into()
+                },
+                IoOp::SyncDir {
+                    dir: dir.file_name().unwrap().to_string_lossy().into_owned()
+                },
+            ]
+        );
+        hook.clear_log();
+        for record in sample_records() {
+            journal.append(&record).unwrap();
+        }
+        // No sync yet: appends are group-committed.
+        assert!(hook.log().iter().all(|op| matches!(op, IoOp::Write { .. })));
+        journal.commit().unwrap();
+        let log = hook.log();
+        assert!(matches!(log.last(), Some(IoOp::SyncFile { .. })));
+        assert_eq!(
+            log.iter()
+                .filter(|op| matches!(op, IoOp::SyncFile { .. }))
+                .count(),
+            1
+        );
+        // Idempotent: nothing new to commit, no extra sync.
+        journal.commit().unwrap();
+        assert_eq!(hook.log().len(), log.len());
     }
 
     #[test]

@@ -50,12 +50,14 @@ pub use kg_ir as ir;
 pub use kg_layout as layout;
 pub use kg_nlp as nlp;
 pub use kg_ontology as ontology;
+pub use kg_persist as persist;
 pub use kg_pipeline as pipeline;
 pub use kg_search as search;
 pub use kg_serve as serve;
 
 pub use durable::{
-    graph_digest, run_durable, DurableOptions, DurableReport, SnapshotPayload, DEFAULT_START_MS,
+    graph_digest, run_durable, verify_dir, DurableOptions, DurableReport, RecoverSummary,
+    SnapshotPayload, DEFAULT_START_MS,
 };
 pub use evalx::{evaluate_ner, evaluate_relations, ExtractionScores};
 pub use explorer::{Explorer, ViewNode, ViewSnapshot};

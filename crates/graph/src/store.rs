@@ -174,6 +174,10 @@ struct Segments<T> {
     segs: Vec<Arc<Vec<Option<T>>>>,
     /// Total slots ever allocated, live or tombstoned.
     slots: usize,
+    /// Segments mutated since the last [`Segments::clear_dirty`] — the
+    /// incremental-checkpoint write set (kg-persist persists exactly these).
+    /// Not serialised; a deserialised arena is conservatively all-dirty.
+    dirty: BTreeSet<usize>,
 }
 
 impl<T> Default for Segments<T> {
@@ -181,6 +185,7 @@ impl<T> Default for Segments<T> {
         Segments {
             segs: Vec::new(),
             slots: 0,
+            dirty: BTreeSet::new(),
         }
     }
 }
@@ -203,6 +208,7 @@ impl<T: Clone> Segments<T> {
         if index >= self.slots {
             return None;
         }
+        self.dirty.insert(index >> SEG_BITS);
         Arc::make_mut(&mut self.segs[index >> SEG_BITS])
             .get_mut(index & (SEG_CAP - 1))?
             .as_mut()
@@ -213,6 +219,7 @@ impl<T: Clone> Segments<T> {
         if self.slots == self.segs.len() * SEG_CAP {
             self.segs.push(Arc::new(Vec::with_capacity(SEG_CAP)));
         }
+        self.dirty.insert(self.slots >> SEG_BITS);
         Arc::make_mut(self.segs.last_mut().expect("segment exists")).push(Some(value));
         self.slots += 1;
     }
@@ -221,6 +228,7 @@ impl<T: Clone> Segments<T> {
     fn clear(&mut self, index: u64) {
         let index = index as usize;
         if index < self.slots {
+            self.dirty.insert(index >> SEG_BITS);
             Arc::make_mut(&mut self.segs[index >> SEG_BITS])[index & (SEG_CAP - 1)] = None;
         }
     }
@@ -231,6 +239,56 @@ impl<T: Clone> Segments<T> {
             .iter()
             .flat_map(|seg| seg.iter())
             .filter_map(Option::as_ref)
+    }
+
+    /// Number of arena segments (including the partial tail segment).
+    fn seg_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Slot vector of one segment (`None` entries are tombstones).
+    fn segment(&self, index: usize) -> Option<&Vec<Option<T>>> {
+        self.segs.get(index).map(|seg| seg.as_ref())
+    }
+
+    /// Segment indices mutated since the last [`Segments::clear_dirty`].
+    fn dirty_segments(&self) -> Vec<usize> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Forget dirtiness — call only after the dirty set has been durably
+    /// persisted.
+    fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Reassemble an arena from per-segment slot vectors (the inverse of
+    /// reading each [`Segments::segment`]). Every segment but the last must
+    /// hold exactly [`SEG_CAP`] slots. The result is clean (not dirty): by
+    /// construction it matches what is on disk.
+    fn from_parts(parts: Vec<Vec<Option<T>>>) -> Result<Self, String> {
+        let mut slots = 0;
+        for (i, part) in parts.iter().enumerate() {
+            let last = i + 1 == parts.len();
+            if !last && part.len() != SEG_CAP {
+                return Err(format!(
+                    "segment {i}: {} slots, every segment but the last must hold {SEG_CAP}",
+                    part.len()
+                ));
+            }
+            if part.is_empty() || part.len() > SEG_CAP {
+                return Err(format!(
+                    "segment {i}: {} slots out of range 1..={SEG_CAP}",
+                    part.len()
+                ));
+            }
+            slots += part.len();
+        }
+        Ok(Segments {
+            segs: parts.into_iter().map(Arc::new).collect(),
+            slots,
+            dirty: BTreeSet::new(),
+        })
     }
 }
 
@@ -265,7 +323,10 @@ impl<T: Deserialize> Deserialize for Segments<T> {
         if !current.is_empty() {
             segs.push(Arc::new(current));
         }
-        Ok(Segments { segs, slots })
+        // A deserialised arena has no checkpoint to be incremental against:
+        // conservatively mark every segment dirty.
+        let dirty = (0..segs.len()).collect();
+        Ok(Segments { segs, slots, dirty })
     }
 }
 
@@ -900,6 +961,113 @@ impl GraphStore {
         Ok(store)
     }
 
+    // ---- segment persistence (kg-persist) ---------------------------------
+    //
+    // The checkpoint unit is one arena segment (SEG_CAP slots), matching the
+    // copy-on-write granularity: a mutation dirties exactly the segments it
+    // copies, so an incremental checkpoint writes exactly those.
+
+    /// Total node slots ever allocated (live + tombstoned).
+    pub fn node_slot_count(&self) -> usize {
+        self.nodes.slots()
+    }
+
+    /// Total edge slots ever allocated (live + tombstoned).
+    pub fn edge_slot_count(&self) -> usize {
+        self.edges.slots()
+    }
+
+    /// Number of node arena segments.
+    pub fn node_segment_count(&self) -> usize {
+        self.nodes.seg_count()
+    }
+
+    /// Number of edge arena segments.
+    pub fn edge_segment_count(&self) -> usize {
+        self.edges.seg_count()
+    }
+
+    /// One node arena segment as JSON (`null` entries are tombstones).
+    pub fn node_segment_json(&self, index: usize) -> Option<String> {
+        self.nodes
+            .segment(index)
+            .map(|seg| serde_json::to_string(seg).expect("node segment serialises"))
+    }
+
+    /// One edge arena segment as JSON (`null` entries are tombstones).
+    pub fn edge_segment_json(&self, index: usize) -> Option<String> {
+        self.edges
+            .segment(index)
+            .map(|seg| serde_json::to_string(seg).expect("edge segment serialises"))
+    }
+
+    /// Node segments mutated since [`GraphStore::clear_segment_dirty`].
+    pub fn dirty_node_segments(&self) -> Vec<usize> {
+        self.nodes.dirty_segments()
+    }
+
+    /// Edge segments mutated since [`GraphStore::clear_segment_dirty`].
+    pub fn dirty_edge_segments(&self) -> Vec<usize> {
+        self.edges.dirty_segments()
+    }
+
+    /// Forget segment dirtiness. Call only once a checkpoint containing the
+    /// dirty segments is durably committed — clearing early loses writes
+    /// from the next incremental checkpoint.
+    pub fn clear_segment_dirty(&mut self) {
+        self.nodes.clear_dirty();
+        self.edges.clear_dirty();
+    }
+
+    /// Reassemble a store from per-segment slot vectors (the inverse of
+    /// reading every `*_segment_json`). Validates the arena shape and that
+    /// each element sits in the slot its id names; indexes are rebuilt and
+    /// the dirty sets stay clear (the reassembled state *is* the disk state,
+    /// so the next incremental checkpoint need not rewrite it).
+    pub fn from_segments(
+        node_parts: Vec<Vec<Option<Node>>>,
+        edge_parts: Vec<Vec<Option<Edge>>>,
+    ) -> Result<Self, String> {
+        let nodes = Segments::from_parts(node_parts).map_err(|e| format!("node arena: {e}"))?;
+        let edges = Segments::from_parts(edge_parts).map_err(|e| format!("edge arena: {e}"))?;
+        let mut live_nodes = 0;
+        for (slot, node) in nodes
+            .segs
+            .iter()
+            .flat_map(|seg| seg.iter())
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|n| (i, n)))
+        {
+            if node.id.0 != slot as u64 {
+                return Err(format!("node id {} stored in slot {slot}", node.id.0));
+            }
+            live_nodes += 1;
+        }
+        let mut live_edges = 0;
+        for (slot, edge) in edges
+            .segs
+            .iter()
+            .flat_map(|seg| seg.iter())
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+        {
+            if edge.id.0 != slot as u64 {
+                return Err(format!("edge id {} stored in slot {slot}", edge.id.0));
+            }
+            live_edges += 1;
+        }
+        let mut store = GraphStore {
+            nodes,
+            edges,
+            live_nodes,
+            live_edges,
+            ..GraphStore::default()
+        };
+        store.rebuild_indexes();
+        store.clear_segment_dirty();
+        Ok(store)
+    }
+
     fn rebuild_indexes(&mut self) {
         self.label_index.clear();
         self.name_index.clear();
@@ -1078,6 +1246,52 @@ mod tests {
         assert_eq!(back.digest(), g.digest());
         // A fresh load reports a clean change-tracking baseline.
         assert_eq!(back.pending_changes(), 0);
+    }
+
+    #[test]
+    fn segment_dirty_tracking_is_exact_and_from_segments_round_trips() {
+        let mut g = GraphStore::new();
+        // Fill past one segment boundary so there are multiple segments.
+        let ids: Vec<NodeId> = (0..SEG_CAP + 10)
+            .map(|i| g.create_node("Malware", [("name", Value::from(format!("m{i}")))]))
+            .collect();
+        g.create_edge(ids[0], "DROP", ids[1], [] as [(&str, Value); 0])
+            .unwrap();
+        // Everything is dirty on first build.
+        assert_eq!(g.dirty_node_segments(), vec![0, 1]);
+        assert_eq!(g.dirty_edge_segments(), vec![0]);
+        g.clear_segment_dirty();
+        assert!(g.dirty_node_segments().is_empty());
+        // A mutation dirties exactly the segment it lands in.
+        g.set_node_prop(ids[SEG_CAP + 2], "family", Value::from("worm"))
+            .unwrap();
+        assert_eq!(g.dirty_node_segments(), vec![1]);
+        g.delete_node(ids[3]).unwrap();
+        assert_eq!(g.dirty_node_segments(), vec![0, 1]);
+        assert!(g.dirty_edge_segments().is_empty()); // edge of ids[0]–ids[1] untouched
+
+        // Round trip through per-segment JSON.
+        let node_parts: Vec<Vec<Option<Node>>> = (0..g.node_segment_count())
+            .map(|i| serde_json::from_str(&g.node_segment_json(i).unwrap()).unwrap())
+            .collect();
+        let edge_parts: Vec<Vec<Option<Edge>>> = (0..g.edge_segment_count())
+            .map(|i| serde_json::from_str(&g.edge_segment_json(i).unwrap()).unwrap())
+            .collect();
+        let back = GraphStore::from_segments(node_parts, edge_parts).unwrap();
+        assert_eq!(back.digest(), g.digest());
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert_eq!(back.node_slot_count(), g.node_slot_count());
+        // Reassembled state equals disk state: nothing is dirty.
+        assert!(back.dirty_node_segments().is_empty());
+        assert!(back.dirty_edge_segments().is_empty());
+
+        // Shape violations are clean errors, not panics.
+        assert!(GraphStore::from_segments(vec![vec![None::<Node>]; 2], Vec::new()).is_err());
+        let mut wrong_slot: Vec<Option<Node>> =
+            serde_json::from_str(&g.node_segment_json(0).unwrap()).unwrap();
+        wrong_slot.rotate_right(1);
+        assert!(GraphStore::from_segments(vec![wrong_slot], Vec::new()).is_err());
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Syscall-boundary fault injection and the hooked filesystem facade.
+//!
+//! Every durability-relevant operation (append, fsync, directory fsync,
+//! rename, remove, create) funnels through [`Vfs`]. Without a hook the
+//! facade is a zero-cost passthrough to `std::fs`. With a [`FaultHook`]
+//! attached it additionally:
+//!
+//! - records the exact order operations were issued in, so a test can prove
+//!   the write→sync→manifest→sync barrier ordering (the sync-counting audit
+//!   the journal historically lacked);
+//! - can inject a crash *before* operation N fires, modelling a process
+//!   kill between any two syscalls — the kill-after-every-syscall-boundary
+//!   chaos harness sweeps N across a whole run;
+//! - can leave a torn half-write behind on the doomed append, modelling a
+//!   mid-write power cut.
+
+use crate::format::PersistError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+fn name_of(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// One recorded I/O operation (paths reduced to file names — hooks compare
+/// shapes, not absolute directories).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoOp {
+    Create { file: String },
+    Write { file: String, bytes: usize },
+    SyncFile { file: String },
+    SyncDir { dir: String },
+    Rename { from: String, to: String },
+    Remove { file: String },
+}
+
+impl IoOp {
+    /// The file name this op targets (rename reports the destination).
+    pub fn target(&self) -> &str {
+        match self {
+            IoOp::Create { file }
+            | IoOp::Write { file, .. }
+            | IoOp::SyncFile { file }
+            | IoOp::Remove { file } => file,
+            IoOp::SyncDir { dir } => dir,
+            IoOp::Rename { to, .. } => to,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct HookState {
+    ops: Vec<IoOp>,
+    ops_done: u64,
+    kill_after: Option<u64>,
+    torn_writes: bool,
+}
+
+/// Shared, cloneable fault hook. Attach the same hook to every component of
+/// a durable run (journal + segment store) so operation indices count one
+/// global sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FaultHook {
+    inner: Arc<Mutex<HookState>>,
+}
+
+impl FaultHook {
+    pub fn new() -> Self {
+        FaultHook::default()
+    }
+
+    /// Arm an injected crash: the operation that would be I/O op number
+    /// `ops` (0-based over the hook's lifetime) fails with
+    /// [`PersistError::InjectedCrash`] instead of executing. With `torn`,
+    /// a doomed *append* first writes half its bytes — the torn tail a real
+    /// mid-write crash leaves.
+    pub fn arm_kill_after(&self, ops: u64, torn: bool) {
+        let mut state = self.inner.lock().unwrap();
+        state.kill_after = Some(ops);
+        state.torn_writes = torn;
+    }
+
+    /// Disarm any pending crash point.
+    pub fn disarm(&self) {
+        self.inner.lock().unwrap().kill_after = None;
+    }
+
+    /// Operations executed so far.
+    pub fn ops_done(&self) -> u64 {
+        self.inner.lock().unwrap().ops_done
+    }
+
+    /// The recorded operation log, in issue order.
+    pub fn log(&self) -> Vec<IoOp> {
+        self.inner.lock().unwrap().ops.clone()
+    }
+
+    /// Clear the recorded log (counters keep running).
+    pub fn clear_log(&self) {
+        self.inner.lock().unwrap().ops.clear();
+    }
+
+    /// Account one operation. `Ok(torn)` means proceed (`torn` asks an
+    /// append to half-write first and then report the crash).
+    fn enter(&self, op: IoOp) -> Result<bool, PersistError> {
+        let mut state = self.inner.lock().unwrap();
+        if let Some(limit) = state.kill_after {
+            if state.ops_done >= limit {
+                let torn = state.torn_writes && matches!(op, IoOp::Write { .. });
+                if !torn {
+                    return Err(PersistError::InjectedCrash {
+                        op_index: state.ops_done,
+                        op: format!("{op:?}"),
+                    });
+                }
+                state.ops.push(op);
+                return Ok(true);
+            }
+        }
+        state.ops_done += 1;
+        state.ops.push(op);
+        Ok(false)
+    }
+}
+
+/// The hooked filesystem facade. `Vfs::default()` (no hook) is a plain
+/// passthrough; every component doing durable I/O owns one.
+#[derive(Debug, Clone, Default)]
+pub struct Vfs {
+    hook: Option<FaultHook>,
+}
+
+impl Vfs {
+    pub fn new(hook: Option<FaultHook>) -> Self {
+        Vfs { hook }
+    }
+
+    /// The attached hook, if any.
+    pub fn hook(&self) -> Option<&FaultHook> {
+        self.hook.as_ref()
+    }
+
+    fn enter(&self, op: impl FnOnce() -> IoOp) -> Result<bool, PersistError> {
+        match &self.hook {
+            None => Ok(false),
+            Some(hook) => hook.enter(op()),
+        }
+    }
+
+    fn injected(&self, op: &str) -> PersistError {
+        let op_index = self.hook.as_ref().map(|h| h.ops_done()).unwrap_or(0);
+        PersistError::InjectedCrash {
+            op_index,
+            op: op.to_owned(),
+        }
+    }
+
+    /// Create (truncate) a file.
+    pub fn create(&self, path: &Path) -> Result<File, PersistError> {
+        self.enter(|| IoOp::Create {
+            file: name_of(path),
+        })?;
+        Ok(File::create(path)?)
+    }
+
+    /// Append bytes to an open file.
+    pub fn append(&self, file: &mut File, path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+        if self.enter(|| IoOp::Write {
+            file: name_of(path),
+            bytes: bytes.len(),
+        })? {
+            // Doomed torn write: half the bytes land, then the "process dies".
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = file.sync_data();
+            return Err(self.injected("torn write"));
+        }
+        file.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// fsync an open file's data.
+    pub fn sync_file(&self, file: &File, path: &Path) -> Result<(), PersistError> {
+        self.enter(|| IoOp::SyncFile {
+            file: name_of(path),
+        })?;
+        file.sync_data()?;
+        Ok(())
+    }
+
+    /// fsync a directory, making renames/creations/removals in it durable.
+    pub fn sync_dir(&self, dir: &Path) -> Result<(), PersistError> {
+        self.enter(|| IoOp::SyncDir { dir: name_of(dir) })?;
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Atomically rename `from` over `to`.
+    pub fn rename(&self, from: &Path, to: &Path) -> Result<(), PersistError> {
+        self.enter(|| IoOp::Rename {
+            from: name_of(from),
+            to: name_of(to),
+        })?;
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    /// Remove a file.
+    pub fn remove(&self, path: &Path) -> Result<(), PersistError> {
+        self.enter(|| IoOp::Remove {
+            file: name_of(path),
+        })?;
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kg-persist-vfs-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn hook_records_op_order_and_counts() {
+        let dir = tmp("order");
+        let hook = FaultHook::new();
+        let vfs = Vfs::new(Some(hook.clone()));
+        let path = dir.join("a.log");
+        let mut file = vfs.create(&path).unwrap();
+        vfs.append(&mut file, &path, b"abc").unwrap();
+        vfs.sync_file(&file, &path).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        let log = hook.log();
+        assert_eq!(
+            log,
+            vec![
+                IoOp::Create {
+                    file: "a.log".into()
+                },
+                IoOp::Write {
+                    file: "a.log".into(),
+                    bytes: 3
+                },
+                IoOp::SyncFile {
+                    file: "a.log".into()
+                },
+                IoOp::SyncDir { dir: name_of(&dir) },
+            ]
+        );
+        assert_eq!(hook.ops_done(), 4);
+    }
+
+    #[test]
+    fn armed_kill_fires_before_the_chosen_op() {
+        let dir = tmp("kill");
+        let hook = FaultHook::new();
+        let vfs = Vfs::new(Some(hook.clone()));
+        let path = dir.join("a.log");
+        let mut file = vfs.create(&path).unwrap();
+        hook.arm_kill_after(2, false);
+        vfs.append(&mut file, &path, b"first").unwrap();
+        let err = vfs.append(&mut file, &path, b"second").unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::InjectedCrash { op_index: 2, .. }
+        ));
+        // Nothing of the doomed write landed.
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // Once dead, every later op also fails — the process never comes back.
+        assert!(vfs.sync_file(&file, &path).is_err());
+    }
+
+    #[test]
+    fn torn_kill_leaves_half_the_bytes() {
+        let dir = tmp("torn");
+        let hook = FaultHook::new();
+        let vfs = Vfs::new(Some(hook.clone()));
+        let path = dir.join("a.log");
+        let mut file = vfs.create(&path).unwrap();
+        hook.arm_kill_after(1, true);
+        let err = vfs.append(&mut file, &path, b"abcdefgh").unwrap_err();
+        assert!(matches!(err, PersistError::InjectedCrash { .. }));
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcd");
+    }
+}

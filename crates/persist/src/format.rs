@@ -1,0 +1,168 @@
+//! Frame format shared by data files and the manifest log, and the error
+//! type every persistence path reports through.
+//!
+//! ```text
+//! data file:      [8-byte magic "KGSEGD01"] frame*
+//! manifest log:   [8-byte magic "KGMANIF1"] frame*
+//! frame:          [u32 LE payload length][u64 LE FNV-1a of payload][payload]
+//! ```
+//!
+//! The framing is the `KGJOURN1` journal format generalized: a reader can
+//! always tell a complete frame from the torn tail a crash leaves behind,
+//! and a corrupt length prefix can never ask us to allocate garbage
+//! ([`MAX_PAYLOAD`]).
+
+use kg_ir::fnv1a64;
+use std::fmt;
+
+/// First bytes of every segment data file.
+pub const DATA_MAGIC: &[u8; 8] = b"KGSEGD01";
+
+/// First bytes of the manifest log.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"KGMANIF1";
+
+/// Frame header size: u32 length + u64 checksum.
+pub const FRAME_HEADER: usize = 4 + 8;
+
+/// Upper bound on a single frame payload; a larger claimed length is treated
+/// as corruption rather than an allocation request.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Persistence failure modes. Corruption variants carry enough attribution
+/// (file, offset, reason) for an operator to know *what* was quarantined.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+    /// A file exists but does not start with its expected magic.
+    BadHeader {
+        file: String,
+    },
+    /// A referenced frame failed verification.
+    CorruptFrame {
+        file: String,
+        offset: u64,
+        reason: String,
+    },
+    /// The manifest log cannot be used at all (unreadable or bad header) —
+    /// unlike a corrupt checkpoint there is nothing to fall back to.
+    ManifestUnusable {
+        reason: String,
+    },
+    /// A [`crate::FaultHook`] crash point fired (chaos harness only).
+    InjectedCrash {
+        op_index: u64,
+        op: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
+            PersistError::Serde(e) => write!(f, "persist encoding error: {e}"),
+            PersistError::BadHeader { file } => write!(f, "{file}: bad magic header"),
+            PersistError::CorruptFrame {
+                file,
+                offset,
+                reason,
+            } => write!(f, "{file}@{offset}: corrupt frame: {reason}"),
+            PersistError::ManifestUnusable { reason } => {
+                write!(f, "manifest unusable: {reason}")
+            }
+            PersistError::InjectedCrash { op_index, op } => {
+                write!(f, "injected crash before I/O op #{op_index} ({op})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Encode one frame: header + payload.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decode the frame starting at `offset`. Returns `(payload, next_offset)`
+/// or the reason the bytes do not form a complete, intact frame.
+pub fn decode_frame_at(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), String> {
+    let rest = bytes.get(offset..).unwrap_or_default();
+    if rest.len() < FRAME_HEADER {
+        return Err(format!(
+            "short frame header: {} of {FRAME_HEADER} bytes",
+            rest.len()
+        ));
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(format!("length prefix {len} exceeds MAX_PAYLOAD"));
+    }
+    if rest.len() < FRAME_HEADER + len {
+        return Err(format!(
+            "short payload: {} of {len} bytes",
+            rest.len() - FRAME_HEADER
+        ));
+    }
+    let checksum = u64::from_le_bytes([
+        rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+    ]);
+    let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+    if fnv1a64(payload) != checksum {
+        return Err("checksum mismatch".to_owned());
+    }
+    Ok((payload, offset + FRAME_HEADER + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut bytes = DATA_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(b"hello"));
+        bytes.extend_from_slice(&encode_frame(b""));
+        let (p1, next) = decode_frame_at(&bytes, DATA_MAGIC.len()).unwrap();
+        assert_eq!(p1, b"hello");
+        let (p2, end) = decode_frame_at(&bytes, next).unwrap();
+        assert_eq!(p2, b"");
+        assert_eq!(end, bytes.len());
+    }
+
+    #[test]
+    fn every_corruption_is_detected() {
+        let mut bytes = encode_frame(b"payload-bytes");
+        // Torn tail.
+        assert!(decode_frame_at(&bytes[..bytes.len() - 1], 0).is_err());
+        assert!(decode_frame_at(&bytes[..4], 0).is_err());
+        // Bit flip in the payload.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(decode_frame_at(&bytes, 0).unwrap_err().contains("checksum"));
+        bytes[last] ^= 0x01;
+        // Garbage length prefix.
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_frame_at(&bytes, 0)
+            .unwrap_err()
+            .contains("MAX_PAYLOAD"));
+        // Offset past the end.
+        assert!(decode_frame_at(b"xy", 7).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The manifest log: an append-only, checksummed index of checkpoints.
+//!
+//! Each [`CheckpointRecord`] lists the *complete* blob set of one
+//! checkpoint — blobs written by that checkpoint and blobs carried forward
+//! from the previous one both appear, so a single record is sufficient to
+//! recover (no chain walking, no dependency on older records being intact).
+//! Records are framed exactly like journal records (see
+//! [`crate::format`]); a torn tail is truncated away on reopen, and
+//! compaction rewrites the whole log atomically (tmp + rename + dir fsync)
+//! to drop records that only reference dead generations.
+
+use crate::fault::Vfs;
+use crate::format::{self, PersistError, MANIFEST_MAGIC};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek};
+use std::path::{Path, PathBuf};
+
+/// Where one logical blob lives on disk. `offset` addresses the frame
+/// header inside `file`; `len`/`checksum` describe the payload and are
+/// verified against both the frame header and the bytes on every load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlobEntry {
+    pub logical: String,
+    pub file: String,
+    pub offset: u64,
+    pub len: u32,
+    pub checksum: u64,
+}
+
+/// One checkpoint: its identity, the digest recovery must reproduce, and
+/// the complete blob set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    pub seq: u64,
+    /// Scheduler cycles completed when the checkpoint was taken.
+    pub cycles_done: u64,
+    /// Digest of the persisted graph, re-verified after reassembly.
+    pub kg_digest: u64,
+    /// True when this record was rewritten by compaction (relocated
+    /// entries, no new data).
+    pub compacted: bool,
+    pub entries: Vec<BlobEntry>,
+}
+
+/// Outcome of replaying a manifest log.
+#[derive(Debug)]
+pub struct ManifestReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<CheckpointRecord>,
+    /// Whether trailing bytes had to be discarded.
+    pub torn_tail: bool,
+    /// Clean prefix length in bytes.
+    pub clean_len: u64,
+}
+
+/// Replay a manifest from disk, tolerating a torn tail. A missing file or
+/// bad magic is [`PersistError::ManifestUnusable`] — there is nothing to
+/// fall back to below the manifest.
+pub fn replay_manifest(path: &Path) -> Result<ManifestReplay, PersistError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| PersistError::ManifestUnusable {
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+    if bytes.len() < MANIFEST_MAGIC.len() || &bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Err(PersistError::ManifestUnusable {
+            reason: format!("{} does not start with {MANIFEST_MAGIC:?}", path.display()),
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = MANIFEST_MAGIC.len();
+    let mut torn_tail = false;
+    while offset < bytes.len() {
+        match format::decode_frame_at(&bytes, offset) {
+            Ok((payload, next)) => match serde_json::from_slice::<CheckpointRecord>(payload) {
+                Ok(record) => {
+                    records.push(record);
+                    offset = next;
+                }
+                Err(_) => {
+                    torn_tail = true;
+                    break;
+                }
+            },
+            Err(_) => {
+                torn_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(ManifestReplay {
+        records,
+        torn_tail,
+        clean_len: offset as u64,
+    })
+}
+
+/// An open manifest log, ready to append.
+#[derive(Debug)]
+pub struct ManifestLog {
+    file: File,
+    path: PathBuf,
+    vfs: Vfs,
+    len: u64,
+}
+
+impl ManifestLog {
+    /// Create a fresh manifest (truncating anything at `path`), durably:
+    /// the magic is synced and so is the parent directory.
+    pub fn create(path: &Path, vfs: Vfs) -> Result<Self, PersistError> {
+        let mut file = vfs.create(path)?;
+        vfs.append(&mut file, path, MANIFEST_MAGIC)?;
+        vfs.sync_file(&file, path)?;
+        if let Some(parent) = path.parent() {
+            vfs.sync_dir(parent)?;
+        }
+        Ok(ManifestLog {
+            file,
+            path: path.to_owned(),
+            vfs,
+            len: MANIFEST_MAGIC.len() as u64,
+        })
+    }
+
+    /// Re-open after [`replay_manifest`], truncating any torn tail.
+    pub fn open_after_replay(
+        path: &Path,
+        replay: &ManifestReplay,
+        vfs: Vfs,
+    ) -> Result<Self, PersistError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(replay.clean_len)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(ManifestLog {
+            file,
+            path: path.to_owned(),
+            vfs,
+            len: replay.clean_len,
+        })
+    }
+
+    /// Current manifest size in bytes (clean prefix + appends).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The manifest file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and fsync — the commit point of a checkpoint. The
+    /// caller must have synced every data frame the record references first.
+    pub fn append(&mut self, record: &CheckpointRecord) -> Result<(), PersistError> {
+        let frame = format::encode_frame(&serde_json::to_vec(record)?);
+        self.vfs.append(&mut self.file, &self.path, &frame)?;
+        self.vfs.sync_file(&self.file, &self.path)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically replace the whole log with `records` (compaction): write
+    /// a tmp file, fsync it, rename over the log, fsync the directory, then
+    /// continue appending to the new file.
+    pub fn replace_with(&mut self, records: &[CheckpointRecord]) -> Result<(), PersistError> {
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut tmp = self.vfs.create(&tmp_path)?;
+        let mut bytes = MANIFEST_MAGIC.to_vec();
+        for record in records {
+            bytes.extend_from_slice(&format::encode_frame(&serde_json::to_vec(record)?));
+        }
+        self.vfs.append(&mut tmp, &tmp_path, &bytes)?;
+        self.vfs.sync_file(&tmp, &tmp_path)?;
+        self.vfs.rename(&tmp_path, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            self.vfs.sync_dir(parent)?;
+        }
+        // Swap the open handle to the new file.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        self.len = bytes.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kg-persist-manifest-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("manifest.log")
+    }
+
+    fn record(seq: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            seq,
+            cycles_done: seq * 10,
+            kg_digest: 0xABCD ^ seq,
+            compacted: false,
+            entries: vec![BlobEntry {
+                logical: format!("n{seq}"),
+                file: "data-000001.log".into(),
+                offset: 8,
+                len: 4,
+                checksum: 99,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_and_torn_tail() {
+        let path = tmp("roundtrip");
+        let mut log = ManifestLog::create(&path, Vfs::default()).unwrap();
+        log.append(&record(1)).unwrap();
+        log.append(&record(2)).unwrap();
+        drop(log);
+
+        let replay = replay_manifest(&path).unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records, vec![record(1), record(2)]);
+
+        // Torn tail: garbage half-frame is truncated on reopen.
+        let clean = std::fs::metadata(&path).unwrap().len();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9, 9, 9]).unwrap();
+        drop(f);
+        let torn = replay_manifest(&path).unwrap();
+        assert!(torn.torn_tail);
+        assert_eq!(torn.clean_len, clean);
+        assert_eq!(torn.records.len(), 2);
+
+        let mut log = ManifestLog::open_after_replay(&path, &torn, Vfs::default()).unwrap();
+        log.append(&record(3)).unwrap();
+        let again = replay_manifest(&path).unwrap();
+        assert!(!again.torn_tail);
+        assert_eq!(again.records.len(), 3);
+    }
+
+    #[test]
+    fn bad_or_missing_manifest_is_unusable_not_a_panic() {
+        let path = tmp("bad");
+        assert!(matches!(
+            replay_manifest(&path),
+            Err(PersistError::ManifestUnusable { .. })
+        ));
+        std::fs::write(&path, b"not a manifest at all").unwrap();
+        assert!(matches!(
+            replay_manifest(&path),
+            Err(PersistError::ManifestUnusable { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_with_rewrites_atomically() {
+        let path = tmp("replace");
+        let mut log = ManifestLog::create(&path, Vfs::default()).unwrap();
+        for seq in 1..=5 {
+            log.append(&record(seq)).unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        log.replace_with(&[record(5)]).unwrap();
+        let replay = replay_manifest(&path).unwrap();
+        assert_eq!(replay.records, vec![record(5)]);
+        assert!(std::fs::metadata(&path).unwrap().len() < before);
+        // Appending after the swap extends the new file.
+        log.append(&record(6)).unwrap();
+        assert_eq!(replay_manifest(&path).unwrap().records.len(), 2);
+    }
+}

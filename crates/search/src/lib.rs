@@ -8,8 +8,35 @@
 
 use kg_nlp::{tokenize_protected, IocMatcher};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Term shards the index splits into for incremental persistence: a term
+/// belongs to shard `fnv1a64(term) % PERSIST_SHARDS`, and a checkpoint
+/// rewrites only shards whose postings changed.
+pub const PERSIST_SHARDS: usize = 64;
+
+/// Documents per persisted doc-table segment. Docs are append-only, so the
+/// dirty doc segments are exactly those covering slots past the last
+/// checkpoint's watermark.
+pub const DOC_SEG: usize = 256;
+
+/// One persisted term shard, as [`SearchIndex::shard_json`] encodes it:
+/// sorted `(term, [(doc, tf), ...])` pairs.
+pub type ShardTerms = Vec<(String, Vec<(u32, u32)>)>;
+
+fn fnv1a64_term(term: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in term.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+fn shard_of(term: &str) -> usize {
+    (fnv1a64_term(term) % PERSIST_SHARDS as u64) as usize
+}
 
 /// BM25 parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -53,6 +80,15 @@ pub struct SearchIndex<D> {
     docs: Vec<(D, u32)>,
     /// Total tokens across all documents (the BM25 average-length term).
     total_tokens: u64,
+    /// Term shards touched since the last [`SearchIndex::clear_persist_dirty`].
+    /// Not serialised — an index that did not come through
+    /// [`SearchIndex::from_persist_parts`] must be persisted in full once
+    /// before incremental dirty tracking means anything.
+    #[serde(skip)]
+    dirty_shards: BTreeSet<usize>,
+    /// Docs below this watermark are already persisted (docs are append-only).
+    #[serde(skip)]
+    clean_docs: usize,
 }
 
 impl<D: Clone + PartialEq> Default for SearchIndex<D> {
@@ -69,6 +105,8 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
             postings: HashMap::new(),
             docs: Vec::new(),
             total_tokens: 0,
+            dirty_shards: BTreeSet::new(),
+            clean_docs: 0,
         }
     }
 
@@ -151,6 +189,7 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
         self.docs.push((key, token_len));
         self.total_tokens += token_len as u64;
         for (term, tf) in counts {
+            self.dirty_shards.insert(shard_of(&term));
             Arc::make_mut(self.postings.entry(term).or_default()).push(Posting { doc: slot, tf });
         }
     }
@@ -192,6 +231,143 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
                 score,
             })
             .collect()
+    }
+
+    // ---- shard persistence (kg-persist) -----------------------------------
+
+    /// The BM25 parameters (persisted in checkpoint metadata).
+    pub fn persist_params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// Number of persisted doc-table segments ([`DOC_SEG`] docs each).
+    pub fn doc_segment_count(&self) -> usize {
+        self.docs.len().div_ceil(DOC_SEG)
+    }
+
+    /// One doc-table segment as JSON: `[(key, token_len), ...]`.
+    pub fn doc_segment_json(&self, index: usize) -> Option<String>
+    where
+        D: Serialize,
+    {
+        let a = index.checked_mul(DOC_SEG)?;
+        if a >= self.docs.len() {
+            return None;
+        }
+        let b = (a + DOC_SEG).min(self.docs.len());
+        let seg: Vec<(D, u32)> = self.docs[a..b].to_vec();
+        Some(serde_json::to_string(&seg).expect("doc segment serialises"))
+    }
+
+    /// One term shard as JSON: sorted `[(term, [(doc, tf), ...]), ...]`.
+    /// Empty shards serialise as `[]` — a full checkpoint writes all
+    /// [`PERSIST_SHARDS`] shards so the carried set is always complete.
+    pub fn shard_json(&self, shard: usize) -> String {
+        let mut terms: Vec<(&str, Vec<(u32, u32)>)> = self
+            .postings
+            .iter()
+            .filter(|(term, _)| shard_of(term) == shard)
+            .map(|(term, postings)| {
+                (
+                    term.as_str(),
+                    postings.iter().map(|p| (p.doc, p.tf)).collect(),
+                )
+            })
+            .collect();
+        terms.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        serde_json::to_string(&terms).expect("shard serialises")
+    }
+
+    /// Term shards touched since the last [`SearchIndex::clear_persist_dirty`].
+    pub fn dirty_persist_shards(&self) -> Vec<usize> {
+        self.dirty_shards.iter().copied().collect()
+    }
+
+    /// Doc-table segments holding docs added since the last
+    /// [`SearchIndex::clear_persist_dirty`] (docs are append-only, so that
+    /// is every segment covering a slot at or past the watermark).
+    pub fn dirty_doc_segments(&self) -> Vec<usize> {
+        if self.clean_docs >= self.docs.len() {
+            return Vec::new();
+        }
+        (self.clean_docs / DOC_SEG..self.doc_segment_count()).collect()
+    }
+
+    /// Forget persist dirtiness. Call only once a checkpoint containing the
+    /// dirty shards/segments is durably committed.
+    pub fn clear_persist_dirty(&mut self) {
+        self.dirty_shards.clear();
+        self.clean_docs = self.docs.len();
+    }
+
+    /// Reassemble an index from persisted parts (the inverse of reading
+    /// every `doc_segment_json` and all [`PERSIST_SHARDS`] `shard_json`s).
+    /// Validates shard assignment and posting bounds; the result is clean —
+    /// it matches what is on disk.
+    pub fn from_persist_parts(
+        params: Bm25Params,
+        doc_parts: Vec<Vec<(D, u32)>>,
+        shard_parts: Vec<ShardTerms>,
+    ) -> Result<Self, String> {
+        if shard_parts.len() != PERSIST_SHARDS {
+            return Err(format!(
+                "{} shards on disk, want {PERSIST_SHARDS}",
+                shard_parts.len()
+            ));
+        }
+        let mut docs: Vec<(D, u32)> = Vec::new();
+        let seg_count = doc_parts.len();
+        for (i, part) in doc_parts.into_iter().enumerate() {
+            if part.is_empty() || part.len() > DOC_SEG {
+                return Err(format!(
+                    "doc segment {i}: {} slots out of range 1..={DOC_SEG}",
+                    part.len()
+                ));
+            }
+            if i + 1 != seg_count && part.len() != DOC_SEG {
+                return Err(format!(
+                    "doc segment {i}: {} slots, every segment but the last must hold {DOC_SEG}",
+                    part.len()
+                ));
+            }
+            docs.extend(part);
+        }
+        let total_tokens: u64 = docs.iter().map(|(_, len)| *len as u64).sum();
+        let mut postings: HashMap<String, Arc<Vec<Posting>>> = HashMap::new();
+        for (shard, part) in shard_parts.into_iter().enumerate() {
+            for (term, list) in part {
+                if shard_of(&term) != shard {
+                    return Err(format!("term {term:?} stored in wrong shard {shard}"));
+                }
+                let mut converted = Vec::with_capacity(list.len());
+                let mut prev: Option<u32> = None;
+                for (doc, tf) in list {
+                    if doc as usize >= docs.len() {
+                        return Err(format!(
+                            "term {term:?}: posting references doc {doc} of {}",
+                            docs.len()
+                        ));
+                    }
+                    if prev.is_some_and(|p| p >= doc) {
+                        return Err(format!("term {term:?}: postings not ascending"));
+                    }
+                    prev = Some(doc);
+                    converted.push(Posting { doc, tf });
+                }
+                if postings.insert(term.clone(), Arc::new(converted)).is_some() {
+                    return Err(format!("term {term:?} appears twice"));
+                }
+            }
+        }
+        let clean_docs = docs.len();
+        Ok(SearchIndex {
+            params,
+            postings,
+            docs,
+            total_tokens,
+            dirty_shards: BTreeSet::new(),
+            clean_docs,
+        })
     }
 }
 
@@ -324,6 +500,53 @@ mod tests {
                 assert!((x.score - y.score).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn shard_persistence_round_trips_and_tracks_dirt() {
+        let mut idx = index();
+        // Full dump: every shard (including empty ones) + every doc segment.
+        let shards: Vec<ShardTerms> = (0..PERSIST_SHARDS)
+            .map(|s| serde_json::from_str(&idx.shard_json(s)).unwrap())
+            .collect();
+        let docs: Vec<Vec<(u32, u32)>> = (0..idx.doc_segment_count())
+            .map(|i| serde_json::from_str(&idx.doc_segment_json(i).unwrap()).unwrap())
+            .collect();
+        let back =
+            SearchIndex::<u32>::from_persist_parts(idx.persist_params(), docs, shards.clone())
+                .unwrap();
+        for q in ["wannacry", "tasksche.exe", "cozyduke"] {
+            let a = idx.search(q, 10);
+            let b = back.search(q, 10);
+            assert_eq!(a.len(), b.len(), "{q}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.doc, y.doc);
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+        }
+        // A reassembled index is clean; new adds dirty only their shards.
+        assert!(back.dirty_persist_shards().is_empty());
+        assert!(back.dirty_doc_segments().is_empty());
+        idx.clear_persist_dirty();
+        idx.add(9, "quuxbot dropper");
+        let dirty = idx.dirty_persist_shards();
+        assert!(!dirty.is_empty() && dirty.len() <= 2, "{dirty:?}");
+        assert_eq!(idx.dirty_doc_segments(), vec![0]);
+
+        // Corrupt parts are clean errors, not panics.
+        let mut wrong = shards.clone();
+        let donor = wrong.iter().position(|s| !s.is_empty()).unwrap();
+        let entry = wrong[donor].remove(0);
+        let target = (donor + 1) % PERSIST_SHARDS;
+        wrong[target].push(entry);
+        assert!(
+            SearchIndex::<u32>::from_persist_parts(Bm25Params::default(), vec![], wrong).is_err()
+        );
+        let mut short = shards;
+        short.pop();
+        assert!(
+            SearchIndex::<u32>::from_persist_parts(Bm25Params::default(), vec![], short).is_err()
+        );
     }
 
     #[test]

@@ -655,7 +655,7 @@ mod tests {
         let seed = graph.create_node("Malware", [("name", Value::from("seed"))]);
         let hub = SubscriptionHub::new(&mut graph);
         let mut epoch = EpochBuilder::new(&mut graph);
-        let specs = vec![
+        let specs = [
             WatchSpec::Node {
                 label: None,
                 predicate: Some(CompiledPredicate::compile("n.name CONTAINS 'e'").unwrap()),

@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# Bounded CLI-level chaos check: kill a durable build after a handful of
-# journal records, resume it, and demand the recovered graph digest match an
-# uninterrupted run's bit-for-bit. Also proves a chaos-fault build completes.
+# Bounded CLI-level chaos check over the durable build path:
+#   1. kill after N journal records → resume → digest matches the reference;
+#   2. kill before global durable I/O op N (half of them torn) → resume →
+#      digest matches — this sweeps kills into checkpoint, prune, journal
+#      truncation and compaction windows;
+#   3. flip a byte inside the newest data segment → `recover --verify` still
+#      exits 0 with the corruption attributed, and a resume falls back past
+#      the quarantined checkpoint to the reference digest;
+#   4. destroy the manifest magic → `recover` fails cleanly (exit 1, no panic);
+#   5. an elevated-fault (--chaos) build completes.
 # Run from anywhere; exits non-zero on the first divergence.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -43,6 +50,91 @@ for K in 5 20 55; do
   fi
   echo "recovered digest matches"
 done
+
+echo "== uninterrupted reference run (checkpoint every cycle) =="
+"$BIN" build --journal "$WORK/io-ref" --articles "$ARTICLES" --days 2 --seed "$SEED" \
+  --snapshot-every 1 >"$WORK/io-ref.out" 2>/dev/null
+IOREF=$(digest_of "$WORK/io-ref.out")
+echo "reference digest: $IOREF"
+
+for K in 3 40 90; do
+  echo "== kill before durable I/O op $K, then resume =="
+  DIR="$WORK/io-kill-$K"
+  set +e
+  "$BIN" build --journal "$DIR" --articles "$ARTICLES" --days 2 --seed "$SEED" \
+    --snapshot-every 1 --kill-at-io "$K" >/dev/null 2>&1
+  CODE=$?
+  set -e
+  if [ "$CODE" -ne 9 ]; then
+    echo "FAIL: expected injected-crash exit 9, got $CODE" >&2
+    exit 1
+  fi
+  # --journal, not --resume: a kill in the opening ops can die before the
+  # journal file exists, and the resume must then redo from scratch.
+  "$BIN" build --journal "$DIR" --articles "$ARTICLES" --days 2 --seed "$SEED" \
+    --snapshot-every 1 >"$WORK/io-resume-$K.out" 2>/dev/null
+  GOT=$(digest_of "$WORK/io-resume-$K.out")
+  if [ "$GOT" != "$IOREF" ]; then
+    echo "FAIL: I/O kill at op $K recovered to $GOT, expected $IOREF" >&2
+    exit 1
+  fi
+  echo "recovered digest matches"
+done
+
+echo "== bit flip in the newest data segment =="
+SRC="$WORK/flip-src"
+"$BIN" build --journal "$SRC" --articles "$ARTICLES" --days 1 --seed "$SEED" \
+  --snapshot-every 2 >"$WORK/flip-src.out" 2>/dev/null
+FLIPREF=$(digest_of "$WORK/flip-src.out")
+
+DIR="$WORK/flip-data"
+cp -r "$SRC" "$DIR"
+# The last byte of the newest data file belongs to the newest checkpoint's
+# final frame: flipping it must quarantine that checkpoint, not crash.
+DATA=$(ls "$DIR"/data-*.log | sort | tail -1)
+SIZE=$(wc -c <"$DATA")
+OLD=$(tail -c 1 "$DATA" | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((OLD ^ 255)))" |
+  dd of="$DATA" bs=1 seek=$((SIZE - 1)) conv=notrunc 2>/dev/null
+set +e
+"$BIN" recover --dir "$DIR" --verify >"$WORK/flip-recover.out" 2>&1
+CODE=$?
+set -e
+if [ "$CODE" -ne 0 ]; then
+  echo "FAIL: recover --verify exited $CODE on a single flipped byte" >&2
+  cat "$WORK/flip-recover.out" >&2
+  exit 1
+fi
+if ! grep -q '^quarantined:' "$WORK/flip-recover.out"; then
+  echo "FAIL: recover did not attribute the corrupt checkpoint" >&2
+  cat "$WORK/flip-recover.out" >&2
+  exit 1
+fi
+echo "corruption attributed: $(grep -c '^quarantined:' "$WORK/flip-recover.out") event(s)"
+"$BIN" build --resume "$DIR" --articles "$ARTICLES" --days 1 --seed "$SEED" \
+  --snapshot-every 2 >"$WORK/flip-resume.out" 2>/dev/null
+GOT=$(digest_of "$WORK/flip-resume.out")
+if [ "$GOT" != "$FLIPREF" ]; then
+  echo "FAIL: resume past the flipped byte recovered to $GOT, expected $FLIPREF" >&2
+  exit 1
+fi
+echo "resume fell back past the quarantined checkpoint; digest matches"
+
+echo "== destroyed manifest magic fails cleanly =="
+DIR="$WORK/flip-manifest"
+cp -r "$SRC" "$DIR"
+OLD=$(head -c 1 "$DIR/manifest.log" | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((OLD ^ 255)))" |
+  dd of="$DIR/manifest.log" bs=1 conv=notrunc 2>/dev/null
+set +e
+"$BIN" recover --dir "$DIR" >"$WORK/manifest-recover.out" 2>&1
+CODE=$?
+set -e
+if [ "$CODE" -eq 0 ]; then
+  echo "FAIL: recover claimed success over an unusable manifest" >&2
+  exit 1
+fi
+echo "recover refused the unusable manifest (exit $CODE)"
 
 echo "== elevated-fault build completes =="
 "$BIN" build --journal "$WORK/chaos" --articles "$ARTICLES" --days 2 --seed "$SEED" \

@@ -27,6 +27,9 @@ cargo run -q -p kg-bench --bin exp_publish --release -- --smoke
 echo "== E14 smoke (standing queries vs full-rescan oracle) =="
 cargo run -q -p kg-bench --bin exp_subscribe --release -- --smoke
 
+echo "== E15 smoke (segment checkpoint + recovery digest parity) =="
+cargo run -q -p kg-bench --bin exp_persist --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 

@@ -1,0 +1,196 @@
+//! Property tests for the segment store: arbitrary interleavings of blob
+//! mutation, checkpointing, injected kills (clean and torn), pruning and
+//! compaction must keep recovery exact.
+//!
+//! The oracle is an in-memory model of the blob set. After every simulated
+//! crash the store is reopened and recovered; the recovered blob set must
+//! be **byte-identical** to either the last committed model or the model of
+//! the checkpoint that was in flight when the kill fired (whose manifest
+//! record may or may not have reached the log) — never a mix, never a
+//! panic, never a torn half-state.
+
+use proptest::prelude::*;
+use securitykg::persist::{FaultHook, PersistError, SegmentStore, StoreOptions};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir() -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("kg-pprops-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type Model = BTreeMap<String, Vec<u8>>;
+
+fn model_digest(model: &Model) -> u64 {
+    let mut bytes = Vec::new();
+    for (key, value) in model {
+        bytes.extend_from_slice(key.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(value);
+        bytes.push(0xFF);
+    }
+    securitykg::ir::fnv1a64(&bytes)
+}
+
+/// Small store options so compaction thresholds are actually reachable.
+fn opts(hook: FaultHook) -> StoreOptions {
+    StoreOptions {
+        retention: 2,
+        compact_manifest_bytes: 8 * 1024,
+        compact_min_bytes: 256,
+        hook: Some(hook),
+        ..StoreOptions::default()
+    }
+}
+
+/// Collect the blobs a checkpoint must write: dirty keys, or everything
+/// when the store has no carry-forward baseline.
+fn blobs_for(
+    store: &SegmentStore,
+    model: &Model,
+    dirty: &BTreeSet<String>,
+) -> Vec<(String, Vec<u8>)> {
+    let keys: Vec<&String> = if store.baseline_seq().is_none() {
+        model.keys().collect()
+    } else {
+        dirty.iter().collect()
+    };
+    keys.into_iter()
+        .map(|k| (k.clone(), model[k].clone()))
+        .collect()
+}
+
+/// Recover the store's blob set, verifying the recorded digest.
+fn recover(store: &mut SegmentStore) -> Option<(u64, Model)> {
+    store
+        .recover_with(|record, blobs| {
+            let model: Model = blobs.clone();
+            if model_digest(&model) != record.kg_digest {
+                return Err("digest mismatch".to_owned());
+            }
+            Ok((record.seq, model))
+        })
+        .expect("recovery itself must not hard-fail")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Ops encode as (op, a, b): mutate a keyed blob, checkpoint (+ prune,
+    /// + compact when due), or checkpoint under an armed kill and restart.
+    #[test]
+    fn crash_restart_interleavings_recover_exactly(
+        ops in prop::collection::vec((0u8..8, 0u8..32, 0u8..32), 4..48)
+    ) {
+        let dir = tmp_dir();
+        let mut hook = FaultHook::new();
+        let mut store = SegmentStore::open(&dir, opts(hook.clone())).unwrap();
+
+        let mut model: Model = Model::new();
+        let mut committed: Model = Model::new();
+        let mut dirty: BTreeSet<String> = BTreeSet::new();
+        let mut seq = 0u64;
+        let mut payload_salt = 0u8;
+
+        for (op, a, b) in ops {
+            match op {
+                // Mutate: most ops touch the model, marking the key dirty.
+                0..=4 => {
+                    payload_salt = payload_salt.wrapping_add(1);
+                    let key = format!("b{}", a % 12);
+                    let value = vec![b ^ payload_salt; (a as usize % 48) + 1];
+                    model.insert(key.clone(), value);
+                    dirty.insert(key);
+                }
+                // Checkpoint, then the maintenance the durable driver runs.
+                5 | 6 => {
+                    seq += 1;
+                    let blobs = blobs_for(&store, &model, &dirty);
+                    store.checkpoint(seq, seq, model_digest(&model), blobs).unwrap();
+                    committed = model.clone();
+                    dirty.clear();
+                    store.prune().unwrap();
+                    if store.should_compact() {
+                        store.compact().unwrap();
+                    }
+                }
+                // Kill: arm the hook a few ops ahead, attempt the same
+                // checkpoint+maintenance sequence, then "restart".
+                _ => {
+                    seq += 1;
+                    let in_flight = model.clone();
+                    hook.arm_kill_after(hook.ops_done() + u64::from(b % 12), b % 2 == 0);
+                    let blobs = blobs_for(&store, &model, &dirty);
+                    let attempt = store
+                        .checkpoint(seq, seq, model_digest(&model), blobs)
+                        .and_then(|()| store.prune().map(|_| ()))
+                        .and_then(|()| {
+                            if store.should_compact() {
+                                store.compact()
+                            } else {
+                                Ok(())
+                            }
+                        });
+                    match attempt {
+                        Ok(()) => {
+                            // The kill never fired inside this window.
+                            hook.disarm();
+                            committed = model.clone();
+                            dirty.clear();
+                        }
+                        Err(PersistError::InjectedCrash { .. }) => {
+                            // Process death: reopen from disk with a fresh
+                            // hook and recover.
+                            drop(store);
+                            hook = FaultHook::new();
+                            store = SegmentStore::open(&dir, opts(hook.clone())).unwrap();
+                            let recovered = recover(&mut store);
+                            match recovered {
+                                Some((_, state)) => {
+                                    prop_assert!(
+                                        state == committed || state == in_flight,
+                                        "recovered neither the committed nor the in-flight state\n\
+                                         recovered: {state:?}\ncommitted: {committed:?}\nin-flight: {in_flight:?}"
+                                    );
+                                    model = state.clone();
+                                    committed = state;
+                                }
+                                None => {
+                                    // Nothing ever committed durably.
+                                    prop_assert!(
+                                        committed.is_empty(),
+                                        "store lost committed state {committed:?}"
+                                    );
+                                    model = Model::new();
+                                    committed = Model::new();
+                                }
+                            }
+                            dirty.clear();
+                        }
+                        Err(other) => prop_assert!(false, "unexpected store error: {other}"),
+                    }
+                }
+            }
+        }
+
+        // Epilogue: a final clean restart always lands on the committed set.
+        seq += 1;
+        let blobs = blobs_for(&store, &model, &dirty);
+        store.checkpoint(seq, seq, model_digest(&model), blobs).unwrap();
+        let final_model = model.clone();
+        drop(store);
+        let mut reopened = SegmentStore::open(&dir, StoreOptions::default()).unwrap();
+        let recovered = recover(&mut reopened);
+        prop_assert_eq!(
+            recovered.map(|(_, state)| state),
+            Some(final_model),
+            "clean reopen diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
