@@ -64,9 +64,10 @@ securitykg — automated OSCTI gathering and management
 
 USAGE:
   securitykg build  --out <kg.json> [--articles <n>] [--seed <s>] [--ner] [--fuse] [--stats]
+                    [--shards <n>]
   securitykg build  --journal <dir> [--days <n>] [--snapshot-every <n>] [--retention <n>]
                     [--chaos] [--crash-after-records <n>] [--kill-at-io <n>]
-                    [--out <kg.json>] [--articles <n>] [--seed <s>]
+                    [--out <kg.json>] [--articles <n>] [--seed <s>] [--shards <n>]
   securitykg build  --resume <dir>  [--days <n>] ... (like --journal, but the dir must exist)
   securitykg recover --dir <dir> [--verify]
   securitykg stats  --kg <kg.json>
@@ -76,6 +77,7 @@ USAGE:
   securitykg hunt   --kg <kg.json> [--implant <malware>] [--events <n>]
   securitykg serve  --kg <kg.json> --queries <file> [--readers <n>] [--rounds <n>]
                     [--cache <entries>] [--publishes <n>] [--watch <file>] [--stats]
+                    [--shards <n>]
 
 Durable builds journal every crawl cycle into <dir> and periodically commit
 incremental binary checkpoints to a checksummed segment store (--persist-dir
@@ -98,7 +100,14 @@ Query file lines (one per query; '#' comments):
 --watch registers standing queries evaluated incrementally against each
 published epoch's delta (requires --publishes). Watch file lines:
   node <label|*> [where-expr over n]     e.g.  node Technique n.name CONTAINS 'T1486'
-  edge <entity name>                     fires on edges touching that entity";
+  edge <entity name>                     fires on edges touching that entity
+
+serve --shards <n> partitions the knowledge base across <n> scatter-gather
+cells by hashed entity canon key and answers every query by fan-out + merge;
+with --publishes the writer republishes one shard per epoch, so readers see
+mixed per-shard versions (each response carries its shard stamp vector).
+build --shards <n> partitions the finished graph the same way and fails the
+run unless the per-shard partial digests reassemble the printed kg-digest.";
 
 /// Pull `--name value` out of an argument list; returns remaining positionals.
 fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, Vec<String>) {
@@ -122,6 +131,60 @@ fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
         }
     }
     (flags, positional)
+}
+
+/// Parse an optional `--shards <n>` flag (0/absent → None).
+fn parse_shards(
+    flags: &std::collections::HashMap<String, String>,
+) -> Result<Option<usize>, String> {
+    match flags.get("shards") {
+        None => Ok(None),
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|e| format!("--shards: {e}"))?;
+            Ok((n > 0).then_some(n))
+        }
+    }
+}
+
+/// Partition the finished graph + index across `shards` scatter-gather cells
+/// and check the cross-shard invariant: the per-shard partial digests (plus
+/// the digest seed) must reassemble the canonical graph digest — the same
+/// fingerprint `build` prints as `kg-digest:`. Errors (→ nonzero exit) on
+/// mismatch, so chaos runs can prove post-crash resumes still partition
+/// cleanly.
+fn verify_shard_partition(
+    graph: &securitykg::graph::GraphStore,
+    search: &securitykg::search::SearchIndex<securitykg::graph::NodeId>,
+    shards: usize,
+) -> Result<(), String> {
+    use securitykg::serve::{combined_digest, ShardSet};
+    let expect = securitykg::graph_digest(graph);
+    // The partitioner registers a delta cursor, so it works on a (cheap,
+    // Arc-segment) clone rather than the caller's graph.
+    let mut writer = graph.clone();
+    let mut set = ShardSet::new(&mut writer, search, shards);
+    let pins: Vec<_> = set
+        .freeze_all(&mut writer, search)
+        .into_iter()
+        .map(std::sync::Arc::new)
+        .collect();
+    for pin in &pins {
+        eprintln!(
+            "shard {}/{}: {} node(s), partial digest {:016x}",
+            pin.shard(),
+            shards,
+            pin.owned_count(),
+            pin.partial_digest(),
+        );
+    }
+    let combined = combined_digest(&pins);
+    if combined != expect {
+        return Err(format!(
+            "shard partition digest {combined:016x} != kg-digest {expect:016x}"
+        ));
+    }
+    eprintln!("shard partition verified: {shards} partial(s) reassemble kg-digest {combined:016x}");
+    Ok(())
 }
 
 fn load_kb(flags: &std::collections::HashMap<String, String>) -> Result<KnowledgeBase, String> {
@@ -263,6 +326,9 @@ fn cmd_build_durable(
         eprint!("{}", report.trace.render_tail(20));
     }
     println!("kg-digest: {:016x}", report.kg_digest);
+    if let Some(shards) = parse_shards(flags)? {
+        verify_shard_partition(&report.graph, &report.search, shards)?;
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -313,6 +379,9 @@ fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
             "fused {} alias clusters ({} nodes removed)",
             fusion.clusters_merged, fusion.nodes_removed
         );
+    }
+    if let Some(shards) = parse_shards(&flags)? {
+        verify_shard_partition(kg.graph(), kg.search_index(), shards)?;
     }
     let bytes = kg.snapshot().map_err(|e| e.to_string())?;
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
@@ -597,6 +666,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0);
 
+    if let Some(shards) = parse_shards(&flags)? {
+        if flags.contains_key("watch") {
+            return Err(
+                "--watch is not supported with --shards (standing queries ride the \
+                 single-snapshot epoch path)"
+                    .into(),
+            );
+        }
+        return serve_sharded(kb, &queries, readers, rounds, publishes, shards);
+    }
+
     // Keep a writer-side copy of the KB when a concurrent writer is asked
     // for (`into_serving` consumes the original).
     let mut writer_state = (publishes > 0).then(|| (kb.graph.clone(), kb.search.clone()));
@@ -752,6 +832,139 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flags.contains_key("stats") {
         eprintln!("serving trace:");
         eprint!("{}", serve.trace().render_tail(20));
+    }
+    Ok(())
+}
+
+/// The scale-out read path behind `serve --shards <n>`: partition the KB
+/// across `shards` scatter-gather cells, answer every query by fan-out +
+/// merge, and (with `--publishes`) republish one shard per epoch while the
+/// readers run — so readers observe mixed per-shard versions, stamped on
+/// every response.
+fn serve_sharded(
+    kb: KnowledgeBase,
+    queries: &[securitykg::serve::Query],
+    readers: usize,
+    rounds: usize,
+    publishes: usize,
+    shards: usize,
+) -> Result<(), String> {
+    use securitykg::serve::{combined_digest, percentile, ShardSet, ShardedServe};
+    use std::time::Instant;
+
+    let mut graph = kb.graph;
+    let search = kb.search;
+    let expect = securitykg::graph_digest(&graph);
+    let partition = Instant::now();
+    let mut set = ShardSet::new(&mut graph, &search, shards);
+    let initial = set.freeze_all(&mut graph, &search);
+    eprintln!(
+        "sharded serving: {} cell(s) over {} node(s) ({} µs to partition), owned per shard: [{}]",
+        shards,
+        graph.node_count(),
+        partition.elapsed().as_micros(),
+        initial
+            .iter()
+            .map(|s| s.owned_count().to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let serve = ShardedServe::new(initial);
+    let combined = combined_digest(&serve.pin_all());
+    if combined != expect {
+        return Err(format!(
+            "shard partition digest {combined:016x} != kg-digest {expect:016x}"
+        ));
+    }
+
+    let wall = Instant::now();
+    let mut latencies: Vec<Vec<u64>> = Vec::new();
+    let mut publish_us: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for reader in 0..readers {
+            let serve = &serve;
+            handles.push(scope.spawn(move || {
+                let mut lat = Vec::with_capacity(rounds * queries.len());
+                for round in 0..rounds {
+                    let offset = (reader + round) % queries.len();
+                    for i in 0..queries.len() {
+                        let query = &queries[(offset + i) % queries.len()];
+                        let t = Instant::now();
+                        let response = serve.execute(query);
+                        lat.push(t.elapsed().as_micros() as u64);
+                        debug_assert_eq!(response.vector.len(), shards);
+                        std::hint::black_box(&response);
+                    }
+                }
+                lat
+            }));
+        }
+        let writer = (publishes > 0).then(|| {
+            let serve = &serve;
+            scope.spawn(move || {
+                let mut graph = graph;
+                let mut set = set;
+                let target = graph.all_nodes().next().map(|n| n.id);
+                let mut us = Vec::with_capacity(publishes);
+                for i in 0..publishes {
+                    if let Some(id) = target {
+                        let _ = graph.set_node_prop(
+                            id,
+                            "serve_epoch",
+                            securitykg::graph::Value::from(i as i64),
+                        );
+                    }
+                    let snap = set.freeze_shard(i % shards, &mut graph, &search);
+                    us.push(snap.build_us());
+                    serve.publish_shard(snap);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                us
+            })
+        });
+        for handle in handles {
+            latencies.push(handle.join().expect("reader thread"));
+        }
+        if let Some(writer) = writer {
+            publish_us = writer.join().expect("writer thread");
+        }
+    });
+    let wall_us = wall.elapsed().as_micros().max(1) as u64;
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    let total = all.len() as u64;
+    let stats = serve.stats();
+    println!(
+        "{} scatter-gather queries in {:.1} ms — {:.0} queries/s across {readers} reader(s) × {shards} shard(s)",
+        total,
+        wall_us as f64 / 1000.0,
+        total as f64 / (wall_us as f64 / 1e6),
+    );
+    println!(
+        "latency p50 {} µs, p99 {} µs, p999 {} µs, max {} µs",
+        percentile(&mut all, 0.50),
+        percentile(&mut all, 0.99),
+        percentile(&mut all, 0.999),
+        percentile(&mut all, 1.0)
+    );
+    println!(
+        "shard publishes {} (incl. {} initial), scatter-gather queries {}",
+        stats.publishes, shards, stats.queries
+    );
+    if !publish_us.is_empty() {
+        println!(
+            "per-shard publishes: {} × (freeze p50 {} µs, p99 {} µs) concurrent with readers",
+            publish_us.len(),
+            percentile(&mut publish_us, 0.50),
+            percentile(&mut publish_us, 0.99),
+        );
+        let stamps: Vec<String> = serve
+            .pin_all()
+            .iter()
+            .map(|p| format!("{}@v{}", p.shard(), p.version()))
+            .collect();
+        println!("final shard stamps: [{}]", stamps.join(", "));
     }
     Ok(())
 }

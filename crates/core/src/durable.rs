@@ -161,6 +161,12 @@ pub struct DurableReport {
     pub stats: SchedulerStats,
     /// Accumulated pipeline accounting across this call's cycles.
     pub metrics: PipelineMetrics,
+    /// The final graph (an `Arc`-segment refcount clone, not a deep copy) —
+    /// lets callers run post-build checks (e.g. shard-partition digest
+    /// verification) without re-reading the durable dir.
+    pub graph: GraphStore,
+    /// The final keyword index (same cheap clone).
+    pub search: SearchIndex<NodeId>,
     /// Structured events: replay, snapshots, reboots, breaker transitions.
     pub trace: TraceLog,
 }
@@ -656,5 +662,7 @@ pub fn run_durable(
         stats: state.scheduler.stats.clone(),
         metrics,
         trace,
+        graph: state.connector.graph.clone(),
+        search: state.connector.search.clone(),
     })
 }

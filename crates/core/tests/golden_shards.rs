@@ -1,0 +1,143 @@
+//! Golden scatter-gather tests — the E8 demo scenarios of
+//! `golden_queries.rs` replayed through the sharded serving layer: every
+//! answer must be identical at 1 shard and at 4 shards, and both must equal
+//! the unsharded snapshot oracle. The deterministic gazetteer build keeps
+//! the world (and therefore the expected answers) fixed across runs.
+
+use kg_corpus::WorldConfig;
+use securitykg::serve::{KgSnapshot, Query, ShardSet, ShardedServe};
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+use std::sync::OnceLock;
+
+/// The E8 world — same seed and density as `golden_queries.rs` / `exp_demo`.
+fn demo_kg() -> &'static SecurityKg {
+    static KG: OnceLock<SecurityKg> = OnceLock::new();
+    KG.get_or_init(|| {
+        let mut config = SystemConfig {
+            world: WorldConfig {
+                malware_count: 40,
+                actor_count: 24,
+                cve_count: 60,
+                campaign_count: 16,
+                seed: 0xE8,
+            },
+            articles_per_source: 60,
+            training: TrainingConfig {
+                articles: 60,
+                ..TrainingConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        config.fusion.alias_groups = kg_corpus::names::MALWARE_ALIASES
+            .iter()
+            .chain(kg_corpus::names::ACTOR_ALIASES.iter())
+            .map(|group| group.iter().map(|s| (*s).to_owned()).collect())
+            .collect();
+        let mut kg = SecurityKg::bootstrap_without_ner(&config);
+        kg.crawl_and_ingest();
+        kg
+    })
+}
+
+/// Partition the demo KB into a fresh `shards`-cell server.
+fn sharded(kg: &SecurityKg, shards: usize) -> ShardedServe {
+    let mut graph = kg.graph().clone();
+    let mut set = ShardSet::new(&mut graph, kg.search_index(), shards);
+    ShardedServe::new(set.freeze_all(&mut graph, kg.search_index()))
+}
+
+/// The E8 demo queries, as serving-layer requests.
+fn demo_queries() -> Vec<Query> {
+    vec![
+        // Scenario 1: the analyst's entry point.
+        Query::Search {
+            q: "wannacry".into(),
+            k: 10,
+        },
+        Query::Expand {
+            name: "wannacry".into(),
+            hops: 2,
+            cap: 40,
+        },
+        // Scenario 2: cozyduke's techniques and the actors sharing them.
+        Query::Cypher {
+            q: "MATCH (a:ThreatActor {name: 'cozyduke'})-[:USES]->(t:Technique) \
+                RETURN t.name ORDER BY t.name"
+                .into(),
+        },
+        Query::Cypher {
+            q: "MATCH (a:ThreatActor {name: 'cozyduke'})-[:USES]->(t:Technique)\
+                <-[:USES]-(other:ThreatActor) \
+                RETURN other.name, count(t) AS shared ORDER BY count(t) DESC LIMIT 5"
+                .into(),
+        },
+        // Scenario 3: the full-scan WHERE path.
+        Query::Cypher {
+            q: "match (n) where n.name = \"wannacry\" return n".into(),
+        },
+    ]
+}
+
+#[test]
+fn demo_scenarios_are_identical_at_one_and_four_shards() {
+    let kg = demo_kg();
+    let oracle = KgSnapshot::build(kg.graph().clone(), kg.search_index().clone());
+    let one = sharded(kg, 1);
+    let four = sharded(kg, 4);
+    for query in demo_queries() {
+        let expected = oracle.answer(&query);
+        let at_one = one.execute(&query);
+        let at_four = four.execute(&query);
+        assert_eq!(at_one.answer, expected, "1-shard diverged on {query:?}");
+        assert_eq!(at_four.answer, expected, "4-shard diverged on {query:?}");
+        // Both partitions carry digest vectors that reassemble the same
+        // canonical graph digest.
+        assert_eq!(at_one.combined_digest(), oracle.digest());
+        assert_eq!(at_four.combined_digest(), oracle.digest());
+        assert_eq!(at_one.vector.len(), 1);
+        assert_eq!(at_four.vector.len(), 4);
+    }
+}
+
+#[test]
+fn demo_answers_are_nonempty_and_anchored_on_the_expected_entities() {
+    let kg = demo_kg();
+    let four = sharded(kg, 4);
+    let wannacry = kg
+        .graph()
+        .node_by_name("Malware", "wannacry")
+        .expect("E8 world covers wannacry");
+    // The search hits include the malware node itself, wherever it shards.
+    match four
+        .execute(&Query::Search {
+            q: "wannacry".into(),
+            k: 10,
+        })
+        .answer
+    {
+        securitykg::serve::Answer::Nodes(ids) => {
+            assert!(ids.contains(&wannacry), "search lost the malware node")
+        }
+        other => panic!("search answered {other:?}"),
+    }
+    // Cozyduke's technique list is sorted and unique, as in the unsharded
+    // golden test.
+    match four
+        .execute(&Query::Cypher {
+            q: "MATCH (a:ThreatActor {name: 'cozyduke'})-[:USES]->(t:Technique) \
+                RETURN t.name ORDER BY t.name"
+                .into(),
+        })
+        .answer
+    {
+        securitykg::serve::Answer::Rows { rows, .. } => {
+            assert!(!rows.is_empty(), "cozyduke must use at least one technique");
+            let techniques: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+            let mut sorted = techniques.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(techniques, sorted, "ORDER BY t.name must sort uniquely");
+        }
+        other => panic!("cypher answered {other:?}"),
+    }
+}

@@ -21,7 +21,9 @@ mod exec;
 mod lexer;
 mod parser;
 
-pub use exec::{execute, execute_read, node_satisfies, QueryResult};
+pub use exec::{
+    execute, execute_read, gather_project, node_satisfies, scatter_match, QueryResult, ScatterRow,
+};
 pub use parser::{parse, parse_predicate, MAX_EXPR_DEPTH, MAX_PATTERN_HOPS};
 
 use crate::value::Value;

@@ -25,9 +25,9 @@ pub mod cypher;
 pub mod store;
 pub mod value;
 
-pub use cypher::{parse, QueryResult};
+pub use cypher::{gather_project, parse, scatter_match, QueryResult, ScatterRow};
 pub use store::{
-    edge_digest, node_digest, DeltaBatch, DeltaCursor, Edge, EdgeId, GraphChanges, GraphStore,
-    Node, NodeId, StoreError, DIGEST_SEED,
+    canon_shard, edge_digest, id_shard, node_digest, node_shard, DeltaBatch, DeltaCursor, Edge,
+    EdgeId, GraphChanges, GraphStore, Node, NodeId, StoreError, DIGEST_SEED,
 };
 pub use value::Value;

@@ -158,6 +158,32 @@ pub fn edge_digest(edge: &Edge) -> u64 {
     element_term(edge, TAG_EDGE)
 }
 
+// ---- canon-key shard routing ------------------------------------------------
+
+/// The shard owning canon key `(label, name)` out of `shards` partitions —
+/// the routing function for sharded serving. It hashes the same composite
+/// key the `(label, name)` merge index uses, so the entities the paper's
+/// §2.5 merge rule would unify always land on the same shard.
+pub fn canon_shard(label: &str, name: &str, shards: usize) -> usize {
+    (fnv1a64_str(&name_key(label, name)) % shards.max(1) as u64) as usize
+}
+
+/// Fallback routing for elements with no usable canon key: hash the dense
+/// (never reused) id.
+pub fn id_shard(id: u64, shards: usize) -> usize {
+    (splitmix64(id) % shards.max(1) as u64) as usize
+}
+
+/// The shard owning `node`: canon-key routing when the node has a textual
+/// name, [`id_shard`] otherwise. Renaming a node migrates its ownership;
+/// nothing else moves.
+pub fn node_shard(node: &Node, shards: usize) -> usize {
+    match node.name() {
+        Some(name) => canon_shard(&node.label, name, shards),
+        None => id_shard(node.id.0, shards),
+    }
+}
+
 // ---- segmented arenas -------------------------------------------------------
 
 const SEG_BITS: usize = 8;

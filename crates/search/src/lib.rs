@@ -65,6 +65,44 @@ struct Posting {
     tf: u32,
 }
 
+/// Global corpus statistics injected into per-partition BM25 scoring
+/// (DFS-query-then-fetch): with the same document count, average length and
+/// per-term document frequencies on every partition, a document scores
+/// bit-identically to the unpartitioned index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Total documents across all partitions.
+    pub docs: u64,
+    /// Total tokens across all partitions.
+    pub total_tokens: u64,
+    /// Document frequency per *query* term (not the whole vocabulary).
+    pub doc_freq: HashMap<String, u64>,
+}
+
+impl CorpusStats {
+    /// Fold another partition's contribution in (all fields sum).
+    pub fn merge(&mut self, other: &CorpusStats) {
+        self.docs += other.docs;
+        self.total_tokens += other.total_tokens;
+        for (term, df) in &other.doc_freq {
+            *self.doc_freq.entry(term.clone()).or_insert(0) += df;
+        }
+    }
+}
+
+/// One document recovered from the postings tail by
+/// [`SearchIndex::appended_docs`]: everything `add_pretokenized` needs to
+/// re-ingest it into a partition.
+#[derive(Debug, Clone)]
+pub struct AppendedDoc<D> {
+    /// The slot the document occupies in the source index.
+    pub slot: u32,
+    pub key: D,
+    pub token_len: u32,
+    /// Sorted `(term, frequency)` pairs, as originally ingested.
+    pub counts: Vec<(String, u32)>,
+}
+
 /// An inverted index over documents identified by an arbitrary key type
 /// (the knowledge graph uses node ids; the pipeline uses report ids).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -208,6 +246,121 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
                 continue;
             };
             let df = postings.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for p in postings.iter() {
+                let doc_len = self.docs[p.doc as usize].1 as f64;
+                let tf = p.tf as f64;
+                let denom = tf
+                    + self.params.k1
+                        * (1.0 - self.params.b + self.params.b * doc_len / avg_len.max(1e-9));
+                *scores.entry(p.doc).or_insert(0.0) += idf * (tf * (self.params.k1 + 1.0)) / denom;
+            }
+        }
+        let mut hits: Vec<(u32, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        hits.truncate(k);
+        hits.into_iter()
+            .map(|(slot, score)| Hit {
+                doc: self.docs[slot as usize].0.clone(),
+                score,
+            })
+            .collect()
+    }
+
+    // ---- sharded scatter-gather support ------------------------------------
+
+    /// Total token count across all documents (numerator of the BM25
+    /// average-length term). Partitions sum these to recover the global
+    /// value.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Number of postings for `term` — its document frequency. Zero for
+    /// unknown terms. Partitions sum these to recover the global frequency.
+    pub fn doc_freq(&self, term: &str) -> u64 {
+        self.postings.get(term).map_or(0, |p| p.len() as u64)
+    }
+
+    /// This index's contribution to [`CorpusStats`] for `terms`: local doc
+    /// count, token total and per-term document frequencies. Summing the
+    /// contributions of disjoint partitions yields the global statistics.
+    pub fn corpus_stats_for(&self, terms: &[String]) -> CorpusStats {
+        let mut doc_freq = HashMap::new();
+        for term in terms {
+            doc_freq
+                .entry(term.clone())
+                .or_insert_with(|| self.doc_freq(term));
+        }
+        CorpusStats {
+            docs: self.docs.len() as u64,
+            total_tokens: self.total_tokens,
+            doc_freq,
+        }
+    }
+
+    /// Documents appended at or past `watermark`, reconstructed from the
+    /// postings tails: slot, key, token length, and the sorted per-term
+    /// counts [`SearchIndex::add_pretokenized`] originally ingested. Docs
+    /// are append-only and postings are slot-ascending, so each term's tail
+    /// starts at a binary-searched cut. This is how a shard partition syncs
+    /// from the shared writer index without re-tokenizing.
+    pub fn appended_docs(&self, watermark: usize) -> Vec<AppendedDoc<D>> {
+        if watermark >= self.docs.len() {
+            return Vec::new();
+        }
+        let mut counts: Vec<Vec<(String, u32)>> = vec![Vec::new(); self.docs.len() - watermark];
+        for (term, postings) in &self.postings {
+            let start = postings.partition_point(|p| (p.doc as usize) < watermark);
+            for p in &postings[start..] {
+                counts[p.doc as usize - watermark].push((term.clone(), p.tf));
+            }
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut c)| {
+                c.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                let slot = watermark + i;
+                let (key, token_len) = self.docs[slot].clone();
+                AppendedDoc {
+                    slot: slot as u32,
+                    key,
+                    token_len,
+                    counts: c,
+                }
+            })
+            .collect()
+    }
+
+    /// BM25 top-k over *pre-tokenized* query terms with externally supplied
+    /// global statistics. Per-document accumulation follows `terms` order —
+    /// duplicates included — matching [`SearchIndex::search`] operation for
+    /// operation, so a partition scoring with the merged stats of all
+    /// partitions reproduces the unpartitioned scores bit for bit. Ties
+    /// break by ascending slot, which for an append-ordered partition is
+    /// ascending global slot.
+    pub fn search_terms_with_stats(
+        &self,
+        terms: &[String],
+        k: usize,
+        stats: &CorpusStats,
+    ) -> Vec<Hit<D>> {
+        if self.docs.is_empty() || stats.docs == 0 {
+            return Vec::new();
+        }
+        let n = stats.docs as f64;
+        let avg_len = stats.total_tokens as f64 / n;
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in terms {
+            let Some(postings) = self.postings.get(term) else {
+                continue;
+            };
+            let df = stats.doc_freq.get(term).copied().unwrap_or(0) as f64;
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
             for p in postings.iter() {
                 let doc_len = self.docs[p.doc as usize].1 as f64;
@@ -546,6 +699,77 @@ mod tests {
         short.pop();
         assert!(
             SearchIndex::<u32>::from_persist_parts(Bm25Params::default(), vec![], short).is_err()
+        );
+    }
+
+    #[test]
+    fn stats_injected_search_matches_plain_search() {
+        let idx = index();
+        // Repeated query terms are double-counted by plain search; the
+        // stats-injected path must reproduce that exactly.
+        let query = "wannacry smb exploitation wannacry";
+        let terms = SearchIndex::<u32>::terms(query);
+        let stats = idx.corpus_stats_for(&terms);
+        let a = idx.search(query, 10);
+        let b = idx.search_terms_with_stats(&terms, 10, &stats);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "{query}");
+        }
+    }
+
+    #[test]
+    fn partitioned_scoring_with_merged_stats_is_bit_identical() {
+        let idx = index();
+        let query = "wannacry ransomware government";
+        let terms = SearchIndex::<u32>::terms(query);
+        // Split docs across two partitions by parity of the original slot.
+        let mut parts: Vec<SearchIndex<u32>> = vec![SearchIndex::default(), SearchIndex::default()];
+        for d in idx.appended_docs(0) {
+            parts[d.slot as usize % 2].add_pretokenized(d.key, d.counts, d.token_len);
+        }
+        let mut stats = CorpusStats::default();
+        for p in &parts {
+            stats.merge(&p.corpus_stats_for(&terms));
+        }
+        let global = idx.search(query, 10);
+        let mut merged: Vec<Hit<u32>> = parts
+            .iter()
+            .flat_map(|p| p.search_terms_with_stats(&terms, 10, &stats))
+            .collect();
+        merged.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        assert_eq!(global.len(), merged.len());
+        for (x, y) in global.iter().zip(&merged) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn appended_docs_reconstruct_the_postings_tail() {
+        let idx = index();
+        let tail = idx.appended_docs(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].slot, 2);
+        assert_eq!(tail[0].key, 3);
+        assert_eq!(tail[1].slot, 3);
+        assert!(idx.appended_docs(4).is_empty());
+        assert!(idx.appended_docs(100).is_empty());
+        // Re-ingesting the full tail into a fresh index reproduces the
+        // original layout exactly.
+        let mut rebuilt: SearchIndex<u32> = SearchIndex::default();
+        for d in idx.appended_docs(0) {
+            rebuilt.add_pretokenized(d.key, d.counts, d.token_len);
+        }
+        assert_eq!(
+            serde_json::to_string(&idx).unwrap(),
+            serde_json::to_string(&rebuilt).unwrap()
         );
     }
 

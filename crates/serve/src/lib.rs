@@ -36,11 +36,16 @@
 
 mod cache;
 mod epoch;
+mod shard;
 mod snapshot;
 mod subscribe;
 
 pub use cache::{CacheStats, QueryCache};
 pub use epoch::EpochBuilder;
+pub use shard::{
+    combined_digest, ShardDoc, ShardSet, ShardSnapshot, ShardStamp, ShardedResponse, ShardedServe,
+    ShardedStats,
+};
 pub use snapshot::{normalize, Answer, KgSnapshot, Query, SnapshotMode};
 pub use subscribe::{
     rescan_matches, CompiledPredicate, DeliveryReport, MatchEvent, MatchKind, Subscription,
@@ -215,13 +220,28 @@ impl KgSnapshot {
 
 /// `p`-th percentile (0.0–1.0) of an unsorted sample set, in the sample's
 /// unit; 0 for empty samples. Sorts in place.
+///
+/// Uses linear interpolation between closest ranks (the "C = 1" /
+/// `numpy.percentile` definition): the fractional rank `(n - 1) · p` is
+/// split into its floor and ceiling neighbours and the result interpolates
+/// between them. Rounding the rank instead (the previous behaviour)
+/// collapses high quantiles on small samples — with n = 100, p999 rounded
+/// to the p100 sample and p99 to... whatever `round` landed on — which
+/// makes tail latencies in E16's open-loop sweeps unreportable.
 pub fn percentile(samples: &mut [u64], p: f64) -> u64 {
     if samples.is_empty() {
         return 0;
     }
     samples.sort_unstable();
-    let rank = ((samples.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
-    samples[rank]
+    let rank = (samples.len() - 1) as f64 * p.clamp(0.0, 1.0);
+    let lo = rank.floor() as usize;
+    let hi = (rank.ceil() as usize).min(samples.len() - 1);
+    if lo == hi {
+        return samples[lo];
+    }
+    let frac = rank - lo as f64;
+    let (a, b) = (samples[lo] as f64, samples[hi] as f64);
+    (a + (b - a) * frac).round() as u64
 }
 
 #[cfg(test)]
@@ -366,6 +386,33 @@ mod tests {
         assert_eq!(percentile(&mut samples, 0.5), 30);
         assert_eq!(percentile(&mut samples, 1.0), 50);
         assert_eq!(percentile(&mut [], 0.5), 0);
+    }
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let mut samples = vec![10, 20, 30, 40, 50];
+        assert_eq!(percentile(&mut samples, 0.1), 14);
+        assert_eq!(percentile(&mut samples, 0.9), 46);
+        assert_eq!(percentile(&mut samples, 0.999), 50);
+        // Out-of-range p clamps to the extremes.
+        assert_eq!(percentile(&mut samples, -1.0), 10);
+        assert_eq!(percentile(&mut samples, 2.0), 50);
+    }
+
+    #[test]
+    fn percentile_degenerate_and_small_sample_counts() {
+        assert_eq!(percentile(&mut [], 0.999), 0);
+        // Single sample: every quantile is that sample.
+        assert_eq!(percentile(&mut [42], 0.0), 42);
+        assert_eq!(percentile(&mut [42], 0.999), 42);
+        assert_eq!(percentile(&mut [42], 1.0), 42);
+        // Two samples: p999 interpolates just below the max instead of
+        // collapsing onto a rounded rank.
+        assert_eq!(percentile(&mut [0, 1000], 0.5), 500);
+        assert_eq!(percentile(&mut [0, 1000], 0.999), 999);
+        // n < 1000: p999 lands between the top two samples.
+        let mut samples: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        assert_eq!(percentile(&mut samples, 0.999), 989);
     }
 
     #[test]

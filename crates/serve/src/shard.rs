@@ -1,0 +1,769 @@
+//! Sharded scale-out serving: canon-key partitioning + scatter-gather.
+//!
+//! The single-shard serving layer ([`crate::KgServe`]) publishes one
+//! [`KgSnapshot`] per epoch; every query runs against the whole graph and
+//! the whole BM25 index. This module partitions the serving state across N
+//! shards and reassembles exact answers:
+//!
+//! - **Routing** is by hashed entity canon key
+//!   ([`kg_graph::node_shard`]): a node is owned by
+//!   `hash(label + NUL + name) % N` (id hash for unnamed nodes), an edge by
+//!   the owner of its `from` node, and a search document by the owner of
+//!   its subject node at first sync (sticky thereafter). Canon-key routing
+//!   means the entities the §2.5 merge rule would unify always land
+//!   together, and a `(label, name)` query touches exactly one shard.
+//! - **Per-shard epoch streams**: each shard runs its own
+//!   [`ShardEpochBuilder`] — a delta-log cursor plus owned digest terms,
+//!   owned adjacency entries and an owned posting partition — so shards
+//!   freeze and publish independently, O(delta) each, exactly like the
+//!   single-shard [`crate::EpochBuilder`].
+//! - **Scatter-gather** ([`ShardedServe`]): keyword search computes global
+//!   BM25 statistics from the partitions, scores shard-locally with those
+//!   stats injected and merges per-shard top-k by `(score desc, global
+//!   slot asc)` — bit-identical to the unsharded scores. Cypher anchors
+//!   every row at the first pattern's first node, runs match/filter on the
+//!   owning shard (each shard carries a full structurally-shared replica,
+//!   so joins and property lookups resolve locally) and re-projects the
+//!   merged rows in `(anchor, seq)` order. BFS expansion walks the
+//!   per-shard adjacency partitions hop by hop from the gather side.
+//! - **Auditability**: every [`ShardedResponse`] carries a `(shard,
+//!   version, digest)` vector. Shard digests are *partial* digests — the
+//!   seedless sum of owned element terms — chosen so that
+//!   `DIGEST_SEED + Σ partial digests == GraphStore::digest()` holds for
+//!   any consistent cut: cross-shard consistency is one wrapping sum away
+//!   from the canonical whole-graph digest.
+//!
+//! The differential oracle battery lives in `tests/shard_props.rs`:
+//! sharded answers must be byte-identical to the N=1 answers for arbitrary
+//! mutate/publish interleavings and shard counts.
+
+use crate::snapshot::{Answer, Query};
+use kg_graph::{
+    canon_shard, edge_digest, gather_project, id_shard, node_digest, node_shard, parse,
+    scatter_match, DeltaBatch, DeltaCursor, EdgeId, GraphStore, NodeId, ScatterRow, DIGEST_SEED,
+};
+use kg_search::{CorpusStats, Hit, SearchIndex};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A search-partition document key: `(global slot, subject node)`. The
+/// global slot makes the cross-shard tie-break identical to the unsharded
+/// index's ascending-slot tie-break.
+pub type ShardDoc = (u32, NodeId);
+
+/// One shard's immutable published state: a full graph replica (cheap by
+/// structural sharing — this is the ghost/halo layer, realised through
+/// `Arc`'d arena segments instead of copies), the shard's posting
+/// partition, its owned adjacency entries, and its partial digest.
+pub struct ShardSnapshot {
+    shard: usize,
+    shards: usize,
+    version: u64,
+    /// Seedless wrapping sum of owned element digest terms. Summing all
+    /// shards' partials and adding [`DIGEST_SEED`] yields the canonical
+    /// whole-graph digest.
+    partial_digest: u64,
+    /// Full replica at freeze time; anchored match/filter and property
+    /// lookups resolve locally against it.
+    graph: GraphStore,
+    /// Posting partition over owned documents, keyed by global slot.
+    search: SearchIndex<ShardDoc>,
+    /// Owned live nodes → expansion neighbours. Presence in this table IS
+    /// the shard's ownership test.
+    adjacency: HashMap<NodeId, Arc<Vec<NodeId>>>,
+    build_us: u64,
+}
+
+impl ShardSnapshot {
+    /// Which shard of how many this is.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Total shard count of the partition this snapshot belongs to.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Publish sequence number (0 until published).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// The seedless partial digest over owned elements.
+    pub fn partial_digest(&self) -> u64 {
+        self.partial_digest
+    }
+
+    /// Wall time spent freezing this shard snapshot, microseconds.
+    pub fn build_us(&self) -> u64 {
+        self.build_us
+    }
+
+    /// Whether this shard owns `id` (and the node is live).
+    pub fn owns(&self, id: NodeId) -> bool {
+        self.adjacency.contains_key(&id)
+    }
+
+    /// Owned live nodes.
+    pub fn owned_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The expansion neighbours of an owned node (empty when not owned).
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        self.adjacency.get(&id).map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// The full graph replica frozen with this shard.
+    pub fn graph(&self) -> &GraphStore {
+        &self.graph
+    }
+
+    /// The shard's posting partition.
+    pub fn search_partition(&self) -> &SearchIndex<ShardDoc> {
+        &self.search
+    }
+}
+
+/// One shard's writer-side incremental state: the sharded sibling of
+/// [`crate::EpochBuilder`]. It observes the writer through its own
+/// delta-log cursor and maintains only *owned* digest terms and adjacency
+/// entries, re-evaluating ownership on every touched element (a rename
+/// migrates the node and its outgoing edges to another shard with no edge
+/// deltas, so node deltas re-route the node's outgoing edges too).
+struct ShardEpochBuilder {
+    shard: usize,
+    shards: usize,
+    /// Digest term of every live owned node.
+    node_terms: HashMap<NodeId, u64>,
+    /// Digest term of every live owned edge (owned = owner of `from`).
+    edge_terms: HashMap<EdgeId, u64>,
+    /// Running seedless partial digest.
+    partial: u64,
+    /// Owned live nodes → neighbours, individually `Arc`'d.
+    adjacency: HashMap<NodeId, Arc<Vec<NodeId>>>,
+    /// The shard's posting partition (append-only, like its source).
+    search: SearchIndex<ShardDoc>,
+    /// This builder's cursor on the writer's delta log.
+    cursor: DeltaCursor,
+}
+
+impl ShardEpochBuilder {
+    /// Seed from a full scan of the live graph, keeping only owned
+    /// elements. The one O(graph) moment per shard.
+    fn new(graph: &mut GraphStore, shard: usize, shards: usize) -> Self {
+        let cursor = graph.register_delta_consumer();
+        let mut partial = 0u64;
+        let mut node_terms = HashMap::new();
+        let mut edge_terms = HashMap::new();
+        let mut adjacency = HashMap::new();
+        for node in graph.all_nodes() {
+            if node_shard(node, shards) != shard {
+                continue;
+            }
+            let term = node_digest(node);
+            node_terms.insert(node.id, term);
+            partial = partial.wrapping_add(term);
+            adjacency.insert(node.id, Arc::new(graph.neighbors(node.id)));
+        }
+        for edge in graph.all_edges() {
+            if edge_owner(graph, edge.from, shards) != shard {
+                continue;
+            }
+            let term = edge_digest(edge);
+            edge_terms.insert(edge.id, term);
+            partial = partial.wrapping_add(term);
+        }
+        ShardEpochBuilder {
+            shard,
+            shards,
+            node_terms,
+            edge_terms,
+            partial,
+            adjacency,
+            search: SearchIndex::default(),
+            cursor,
+        }
+    }
+
+    /// Collect unseen delta batches and patch terms + adjacency: O(delta).
+    fn absorb(&mut self, graph: &mut GraphStore) {
+        for batch in graph.collect_changes(self.cursor) {
+            self.apply_batch(graph, &batch);
+        }
+    }
+
+    /// Drop a tracked edge term and re-add it iff the edge is live and
+    /// currently owned — the one routine every edge-ownership path (edge
+    /// delta, endpoint rename, endpoint delete) funnels through.
+    fn reroute_edge(&mut self, graph: &GraphStore, edge_id: EdgeId) {
+        if let Some(old) = self.edge_terms.remove(&edge_id) {
+            self.partial = self.partial.wrapping_sub(old);
+        }
+        if let Some(edge) = graph.edge(edge_id) {
+            if edge_owner(graph, edge.from, self.shards) == self.shard {
+                let term = edge_digest(edge);
+                self.edge_terms.insert(edge_id, term);
+                self.partial = self.partial.wrapping_add(term);
+            }
+        }
+    }
+
+    fn apply_batch(&mut self, graph: &GraphStore, batch: &DeltaBatch) {
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        for &(edge_id, from, to) in &batch.changes.edges {
+            self.reroute_edge(graph, edge_id);
+            dirty.insert(from);
+            dirty.insert(to);
+        }
+        for &node_id in &batch.changes.nodes {
+            if let Some(old) = self.node_terms.remove(&node_id) {
+                self.partial = self.partial.wrapping_sub(old);
+            }
+            if let Some(node) = graph.node(node_id) {
+                if node_shard(node, self.shards) == self.shard {
+                    let term = node_digest(node);
+                    self.node_terms.insert(node_id, term);
+                    self.partial = self.partial.wrapping_add(term);
+                }
+            }
+            // A rename migrates the node's outgoing edges between shards
+            // without any edge delta — re-route them off the node delta.
+            for edge in graph.outgoing(node_id) {
+                self.reroute_edge(graph, edge.id);
+            }
+            dirty.insert(node_id);
+        }
+        for node_id in dirty {
+            let owned_live = graph
+                .node(node_id)
+                .is_some_and(|n| node_shard(n, self.shards) == self.shard);
+            if owned_live {
+                self.adjacency
+                    .insert(node_id, Arc::new(graph.neighbors(node_id)));
+            } else {
+                self.adjacency.remove(&node_id);
+            }
+        }
+    }
+
+    fn freeze(&mut self, graph: &mut GraphStore) -> ShardSnapshot {
+        let start = Instant::now();
+        self.absorb(graph);
+        ShardSnapshot {
+            shard: self.shard,
+            shards: self.shards,
+            version: 0,
+            partial_digest: self.partial,
+            graph: graph.clone(),
+            search: self.search.clone(),
+            adjacency: self.adjacency.clone(),
+            build_us: start.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+/// The owner shard of an edge: the owner of its `from` node. Live edges
+/// always have live endpoints (deletes cascade); the id-hash arm is a
+/// defensive fallback that keeps routing total.
+fn edge_owner(graph: &GraphStore, from: NodeId, shards: usize) -> usize {
+    match graph.node(from) {
+        Some(node) => node_shard(node, shards),
+        None => id_shard(from.0, shards),
+    }
+}
+
+/// Writer-side partition state: one [`ShardEpochBuilder`] per shard plus
+/// the shared document watermark. Documents are routed exactly once,
+/// globally, in slot order — per-shard freeze skew can therefore never
+/// duplicate or drop a document, and within each partition local slot
+/// order equals global slot order (the tie-break invariant).
+pub struct ShardSet {
+    builders: Vec<ShardEpochBuilder>,
+    /// Docs below this watermark have been routed into a partition.
+    docs_seen: usize,
+}
+
+impl ShardSet {
+    /// Seed `shards` builders from a full scan and route every already-
+    /// indexed document.
+    pub fn new(graph: &mut GraphStore, search: &SearchIndex<NodeId>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut set = ShardSet {
+            builders: (0..shards)
+                .map(|shard| ShardEpochBuilder::new(graph, shard, shards))
+                .collect(),
+            docs_seen: 0,
+        };
+        set.sync_docs(graph, search);
+        set
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Route newly appended documents into their partitions: owner of the
+    /// subject node at routing time, sticky forever after (BM25 scoring
+    /// uses merged global stats, so *any* sticky assignment reproduces the
+    /// unsharded scores — routing only decides locality).
+    fn sync_docs(&mut self, graph: &GraphStore, search: &SearchIndex<NodeId>) {
+        let shards = self.builders.len();
+        for doc in search.appended_docs(self.docs_seen) {
+            let owner = match graph.node(doc.key) {
+                Some(node) => node_shard(node, shards),
+                None => id_shard(doc.key.0, shards),
+            };
+            self.builders[owner].search.add_pretokenized(
+                (doc.slot, doc.key),
+                doc.counts,
+                doc.token_len,
+            );
+        }
+        self.docs_seen = search.len();
+    }
+
+    /// Freeze one shard's current state (absorbing its unseen deltas and
+    /// any unrouted documents) into a publishable [`ShardSnapshot`].
+    pub fn freeze_shard(
+        &mut self,
+        shard: usize,
+        graph: &mut GraphStore,
+        search: &SearchIndex<NodeId>,
+    ) -> ShardSnapshot {
+        self.sync_docs(graph, search);
+        self.builders[shard].freeze(graph)
+    }
+
+    /// Freeze every shard at the same cut.
+    pub fn freeze_all(
+        &mut self,
+        graph: &mut GraphStore,
+        search: &SearchIndex<NodeId>,
+    ) -> Vec<ShardSnapshot> {
+        (0..self.builders.len())
+            .map(|shard| self.freeze_shard(shard, graph, search))
+            .collect()
+    }
+}
+
+/// One shard's stamp on a response: which epoch of which shard the answer
+/// was assembled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStamp {
+    pub shard: usize,
+    /// The shard snapshot's publish version.
+    pub version: u64,
+    /// The shard's partial digest.
+    pub digest: u64,
+}
+
+/// A scatter-gather answer plus the per-shard `(shard, version, digest)`
+/// consistency vector it was assembled from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedResponse {
+    pub vector: Vec<ShardStamp>,
+    pub answer: Answer,
+}
+
+impl ShardedResponse {
+    /// The whole-graph digest this vector claims:
+    /// `DIGEST_SEED + Σ partial digests`. For a consistent cut this equals
+    /// `GraphStore::digest()` of the underlying graph.
+    pub fn combined_digest(&self) -> u64 {
+        self.vector
+            .iter()
+            .fold(DIGEST_SEED, |acc, s| acc.wrapping_add(s.digest))
+    }
+}
+
+/// Combine pinned shard snapshots into the whole-graph digest they imply.
+pub fn combined_digest(pins: &[Arc<ShardSnapshot>]) -> u64 {
+    pins.iter()
+        .fold(DIGEST_SEED, |acc, p| acc.wrapping_add(p.partial_digest()))
+}
+
+/// Aggregate counters for a [`ShardedServe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Per-shard publishes (including the initial ones).
+    pub publishes: u64,
+    /// Scatter-gather queries executed.
+    pub queries: u64,
+}
+
+/// The scatter-gather serving layer: N independently-published shard
+/// cells, each an atomic `Arc` swap exactly like [`crate::KgServe`].
+/// Readers pin all N cells (`pin_all`), fan a [`Query`] out and merge.
+pub struct ShardedServe {
+    cells: Vec<RwLock<Arc<ShardSnapshot>>>,
+    publishes: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl ShardedServe {
+    /// Start serving an initial set of shard snapshots (one per shard, in
+    /// shard order), each published with its own version.
+    pub fn new(initial: Vec<ShardSnapshot>) -> Self {
+        assert!(!initial.is_empty(), "at least one shard");
+        let serve = ShardedServe {
+            cells: initial
+                .iter()
+                .map(|_| {
+                    RwLock::new(Arc::new(ShardSnapshot {
+                        shard: 0,
+                        shards: 1,
+                        version: 0,
+                        partial_digest: 0,
+                        graph: GraphStore::new(),
+                        search: SearchIndex::default(),
+                        adjacency: HashMap::new(),
+                        build_us: 0,
+                    }))
+                })
+                .collect(),
+            publishes: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        };
+        for snapshot in initial {
+            serve.publish_shard(snapshot);
+        }
+        serve
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Atomically swap one shard's snapshot in; other shards' readers and
+    /// cells are untouched. Returns the assigned (globally monotonic)
+    /// version.
+    pub fn publish_shard(&self, mut snapshot: ShardSnapshot) -> u64 {
+        let version = self.publishes.fetch_add(1, Ordering::SeqCst) + 1;
+        snapshot.set_version(version);
+        let shard = snapshot.shard();
+        *self.cells[shard].write() = Arc::new(snapshot);
+        version
+    }
+
+    /// Pin every shard's current snapshot. The vector is the read epoch: a
+    /// reader holds it for one query or a whole session, and concurrent
+    /// publishes never tear an individual cell (each stamp in the response
+    /// names exactly the epoch combination answered from).
+    pub fn pin_all(&self) -> Vec<Arc<ShardSnapshot>> {
+        self.cells.iter().map(|c| Arc::clone(&c.read())).collect()
+    }
+
+    /// Pin and execute ([`Self::pin_all`] + [`Self::execute_on`]).
+    pub fn execute(&self, query: &Query) -> ShardedResponse {
+        let pins = self.pin_all();
+        self.execute_on(&pins, query)
+    }
+
+    /// Scatter `query` over the pinned shard set and gather the exact
+    /// merged answer.
+    pub fn execute_on(&self, pins: &[Arc<ShardSnapshot>], query: &Query) -> ShardedResponse {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let answer = match query {
+            Query::Search { q, k } => Answer::Nodes(sharded_search(pins, q, *k)),
+            Query::Cypher { q } => sharded_cypher(pins, q),
+            Query::Expand { name, hops, cap } => {
+                Answer::Nodes(sharded_expand(pins, name, *hops, *cap))
+            }
+        };
+        ShardedResponse {
+            vector: pins
+                .iter()
+                .map(|p| ShardStamp {
+                    shard: p.shard(),
+                    version: p.version(),
+                    digest: p.partial_digest(),
+                })
+                .collect(),
+            answer,
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats {
+            publishes: self.publishes.load(Ordering::SeqCst),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolve an entity name exactly as `KgSnapshot::entity_by_name` does,
+/// but touching only the owning shard per entity kind (canon-key routing
+/// makes the owner computable from the query alone).
+fn sharded_entity_by_name(pins: &[Arc<ShardSnapshot>], name: &str) -> Option<NodeId> {
+    let lowered = name.to_lowercase();
+    kg_ontology::EntityKind::ALL.iter().find_map(|kind| {
+        let owner = canon_shard(kind.label(), &lowered, pins.len());
+        pins[owner].graph().node_by_name(kind.label(), &lowered)
+    })
+}
+
+/// Scatter-gather keyword search: direct entity-name hits (owner shard
+/// only) first, then the global-stats BM25 merge — the same composition,
+/// hit for hit and score for score, as `KgSnapshot::keyword_search`.
+fn sharded_search(pins: &[Arc<ShardSnapshot>], query: &str, k: usize) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let lowered = query.to_lowercase();
+    for kind in kg_ontology::EntityKind::ALL {
+        let owner = canon_shard(kind.label(), &lowered, pins.len());
+        if let Some(id) = pins[owner].graph().node_by_name(kind.label(), &lowered) {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    }
+    // DFS-query-then-fetch: merge per-partition stats into the global
+    // stats, score each partition with them injected, then k-merge.
+    let terms = SearchIndex::<NodeId>::terms(query);
+    let mut stats = CorpusStats::default();
+    for pin in pins {
+        stats.merge(&pin.search_partition().corpus_stats_for(&terms));
+    }
+    let mut merged: Vec<Hit<ShardDoc>> = pins
+        .iter()
+        .flat_map(|pin| {
+            pin.search_partition()
+                .search_terms_with_stats(&terms, k, &stats)
+        })
+        .collect();
+    merged.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.doc.0.cmp(&b.doc.0))
+    });
+    merged.truncate(k);
+    for hit in merged {
+        if !out.contains(&hit.doc.1) {
+            out.push(hit.doc.1);
+        }
+    }
+    out.truncate(k.max(1));
+    out
+}
+
+/// Scatter-gather Cypher: parse once, anchor-scatter the match/filter
+/// stage to the owning shards, re-project the merged materialized rows.
+fn sharded_cypher(pins: &[Arc<ShardSnapshot>], query_text: &str) -> Answer {
+    let query = match parse(query_text) {
+        Ok(q) => q,
+        Err(e) => return Answer::Error(e.to_string()),
+    };
+    let mut rows: Vec<ScatterRow> = Vec::new();
+    for pin in pins {
+        match scatter_match(pin.graph(), &query, &|id| pin.owns(id)) {
+            Ok(shard_rows) => rows.extend(shard_rows),
+            Err(e) => return Answer::Error(e.to_string()),
+        }
+    }
+    match gather_project(&query, rows) {
+        Ok(result) => Answer::Rows {
+            columns: result.columns,
+            rows: result.rows,
+        },
+        Err(e) => Answer::Error(e.to_string()),
+    }
+}
+
+/// Gather-driven BFS expansion over the per-shard adjacency partitions:
+/// the exact `KgSnapshot::expand` loop, with each node's neighbour list
+/// fetched from the shard that owns it.
+fn sharded_expand(pins: &[Arc<ShardSnapshot>], name: &str, hops: usize, cap: usize) -> Vec<NodeId> {
+    let Some(start) = sharded_entity_by_name(pins, name) else {
+        return Vec::new();
+    };
+    let neighbors = |id: NodeId| -> &[NodeId] {
+        pins.iter()
+            .find(|p| p.owns(id))
+            .map_or(&[][..], |p| p.neighbors(id))
+    };
+    let mut out = Vec::new();
+    if !pins.iter().any(|p| p.owns(start)) || cap == 0 {
+        return out;
+    }
+    let mut frontier = vec![start];
+    let mut seen: HashSet<NodeId> = [start].into_iter().collect();
+    out.push(start);
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for &neighbor in neighbors(node) {
+                if out.len() >= cap {
+                    return out;
+                }
+                if seen.insert(neighbor) {
+                    out.push(neighbor);
+                    next.push(neighbor);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::KgSnapshot;
+    use kg_graph::Value;
+
+    /// A small KG with cross-shard edges at any shard count: malware →
+    /// files/domains/techniques plus free-text search docs.
+    fn demo() -> (GraphStore, SearchIndex<NodeId>) {
+        let mut graph = GraphStore::new();
+        let m1 = graph.merge_node("Malware", "wannacry", [] as [(&str, Value); 0]);
+        let m2 = graph.merge_node("Malware", "emotet", [] as [(&str, Value); 0]);
+        let f = graph.merge_node("FileName", "tasksche.exe", [] as [(&str, Value); 0]);
+        let d = graph.merge_node("Domain", "kill.switch.test", [] as [(&str, Value); 0]);
+        let t = graph.merge_node("Technique", "smb exploitation", [] as [(&str, Value); 0]);
+        let a = graph.merge_node("ThreatActor", "lazarus group", [] as [(&str, Value); 0]);
+        graph.merge_edge(m1, "DROP", f).unwrap();
+        graph.merge_edge(m1, "CONNECTS_TO", d).unwrap();
+        graph.merge_edge(m1, "ATTRIBUTED_TO", a).unwrap();
+        graph.merge_edge(a, "USES", t).unwrap();
+        graph.merge_edge(m2, "USES", t).unwrap();
+        let mut search = SearchIndex::default();
+        search.add(
+            m1,
+            "wannacry ransomware encrypts files and drops tasksche.exe",
+        );
+        search.add(m2, "emotet banking trojan spreads via phishing");
+        search.add(f, "tasksche.exe dropped by wannacry smb exploit");
+        search.add(a, "lazarus group threat actor north korea");
+        (graph, search)
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            Query::Search {
+                q: "wannacry".into(),
+                k: 5,
+            },
+            Query::Search {
+                q: "wannacry smb banking".into(),
+                k: 3,
+            },
+            Query::Cypher {
+                q: "MATCH (m:Malware)-[:ATTRIBUTED_TO]->(a)-[:USES]->(t) RETURN t.name".into(),
+            },
+            Query::Cypher {
+                q: "MATCH (x)-[:USES]->(t) RETURN t.name, count(x) AS n ORDER BY count(x) DESC"
+                    .into(),
+            },
+            Query::Cypher {
+                q: "not cypher at all".into(),
+            },
+            Query::Expand {
+                name: "WannaCry".into(),
+                hops: 2,
+                cap: 10,
+            },
+            Query::Expand {
+                name: "nobody".into(),
+                hops: 2,
+                cap: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn sharded_answers_match_single_snapshot_at_every_shard_count() {
+        for shards in [1usize, 2, 3, 5] {
+            let (mut graph, search) = demo();
+            let oracle = KgSnapshot::build(graph.clone(), search.clone());
+            let mut set = ShardSet::new(&mut graph, &search, shards);
+            let serve = ShardedServe::new(set.freeze_all(&mut graph, &search));
+            for query in queries() {
+                let response = serve.execute(&query);
+                assert_eq!(
+                    response.answer,
+                    oracle.answer(&query),
+                    "{query:?} at {shards} shards"
+                );
+                assert_eq!(response.vector.len(), shards);
+                assert_eq!(response.combined_digest(), graph.digest());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_digests_sum_to_the_whole_graph_digest_across_epochs() {
+        let (mut graph, mut search) = demo();
+        let mut set = ShardSet::new(&mut graph, &search, 4);
+        let serve = ShardedServe::new(set.freeze_all(&mut graph, &search));
+        assert_eq!(combined_digest(&serve.pin_all()), graph.digest());
+
+        // Mutate: rename (ownership migration incl. outgoing edges),
+        // delete, create, new doc — then republish shard by shard.
+        let m2 = graph.node_by_name("Malware", "emotet").unwrap();
+        graph
+            .set_node_prop(m2, "name", Value::from("heodo"))
+            .unwrap();
+        let f = graph.node_by_name("FileName", "tasksche.exe").unwrap();
+        graph.delete_node(f).unwrap();
+        let new = graph.merge_node("Tool", "mimikatz", [] as [(&str, Value); 0]);
+        graph.merge_edge(m2, "USES", new).unwrap();
+        search.add(new, "mimikatz credential dumping tool");
+
+        for shard in 0..set.shards() {
+            serve.publish_shard(set.freeze_shard(shard, &mut graph, &search));
+        }
+        let pins = serve.pin_all();
+        assert_eq!(combined_digest(&pins), graph.digest());
+
+        // And the answers still match a fresh full rebuild.
+        let oracle = KgSnapshot::build(graph.clone(), search.clone());
+        for query in queries() {
+            assert_eq!(
+                serve.execute_on(&pins, &query).answer,
+                oracle.answer(&query),
+                "{query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_shard_publishes_are_independent_and_stamped() {
+        let (mut graph, search) = demo();
+        let mut set = ShardSet::new(&mut graph, &search, 2);
+        let serve = ShardedServe::new(set.freeze_all(&mut graph, &search));
+        let before = serve.pin_all();
+
+        graph.merge_node("Malware", "qbot", [] as [(&str, Value); 0]);
+        let v = serve.publish_shard(set.freeze_shard(0, &mut graph, &search));
+        assert!(v > 2);
+        let after = serve.pin_all();
+        // Shard 0 moved, shard 1 is the very same Arc'd epoch.
+        assert_eq!(after[0].version(), v);
+        assert!(Arc::ptr_eq(&before[1], &after[1]));
+        // The response vector names the mixed epoch combination.
+        let response = serve.execute(&Query::Search {
+            q: "wannacry".into(),
+            k: 3,
+        });
+        assert_eq!(response.vector[0].version, v);
+        assert_eq!(response.vector[1].version, before[1].version());
+        assert_eq!(serve.stats().queries, 1);
+        assert_eq!(serve.stats().publishes, 3);
+    }
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Bounded CLI-level chaos check over the durable build path:
-#   1. kill after N journal records → resume → digest matches the reference;
+#   1. kill after N journal records → resume → digest matches the reference
+#      (the resume also runs --shards 4, so the per-shard partial digests
+#      must reassemble the recovered kg-digest or the run fails);
 #   2. kill before global durable I/O op N (half of them torn) → resume →
 #      digest matches — this sweeps kills into checkpoint, prune, journal
 #      truncation and compaction windows;
@@ -41,14 +43,21 @@ for K in 5 20 55; do
     echo "FAIL: expected injected-crash exit 9, got $CODE" >&2
     exit 1
   fi
+  # --shards 4 partitions the recovered graph and fails (nonzero exit)
+  # unless the per-shard partial digests reassemble the printed kg-digest.
   "$BIN" build --resume "$DIR" --articles "$ARTICLES" --days 0 --seed "$SEED" \
-    >"$WORK/resume-$K.out" 2>/dev/null
+    --shards 4 >"$WORK/resume-$K.out" 2>"$WORK/resume-$K.err"
   GOT=$(digest_of "$WORK/resume-$K.out")
   if [ "$GOT" != "$REF" ]; then
     echo "FAIL: kill at record $K recovered to $GOT, expected $REF" >&2
     exit 1
   fi
-  echo "recovered digest matches"
+  if ! grep -q 'shard partition verified' "$WORK/resume-$K.err"; then
+    echo "FAIL: resume did not verify the 4-shard partition" >&2
+    cat "$WORK/resume-$K.err" >&2
+    exit 1
+  fi
+  echo "recovered digest matches; 4-shard partition reassembles it"
 done
 
 echo "== uninterrupted reference run (checkpoint every cycle) =="

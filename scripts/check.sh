@@ -30,6 +30,9 @@ cargo run -q -p kg-bench --bin exp_subscribe --release -- --smoke
 echo "== E15 smoke (segment checkpoint + recovery digest parity) =="
 cargo run -q -p kg-bench --bin exp_persist --release -- --smoke
 
+echo "== E16 smoke (open-loop load, 2 shards, per-request merge equality) =="
+cargo run -q -p kg-bench --bin exp_load --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 

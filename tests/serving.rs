@@ -348,6 +348,192 @@ fn incremental_writer_publishes_while_readers_pinned() {
     )));
 }
 
+/// The scale-out variant of the torn-read battery: one writer keeps
+/// mutating the graph and republishing **one shard at a time** while ≥4
+/// readers hammer scatter-gather queries. Readers see mixed per-shard
+/// epochs by design; the invariants are:
+///
+/// - **No torn cross-shard reads**: every `(shard, version, digest)` stamp
+///   in a response's vector is one the writer registered *before* that
+///   publish — a reader can never observe a shard state that was not a
+///   published epoch of exactly that shard.
+/// - **Per-shard monotonicity**: a reader's successive responses never see
+///   a shard's version go backwards.
+/// - **No starvation**: the writer lands every planned per-shard epoch and
+///   every reader makes progress.
+/// - **Barrier coherence**: after the writer's final all-shard barrier, the
+///   pinned vector's partial digests reassemble the live graph digest.
+#[test]
+fn sharded_readers_never_observe_unpublished_shard_epochs() {
+    use securitykg::serve::{combined_digest, ShardSet, ShardedServe};
+    use std::sync::atomic::AtomicU64;
+
+    const SHARDS: usize = 4;
+    const PUBLISHES: u64 = 24;
+    let readers: usize = std::env::var("SERVE_STRESS_READERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(4);
+
+    let kg = built_kg();
+    let queries = mixed_queries(&kg);
+    let mut graph = kg.graph().clone();
+    let mut search = kg.search_index().clone();
+
+    // (shard, version) → partial digest, registered by the writer *before*
+    // each publish; versions are deterministic under a single writer (the
+    // initial snapshots take 1..=SHARDS, then the global counter advances
+    // one per publish).
+    let published: Mutex<HashMap<(usize, u64), u64>> = Mutex::new(HashMap::new());
+    let mut set = ShardSet::new(&mut graph, &search, SHARDS);
+    let initial = set.freeze_all(&mut graph, &search);
+    {
+        let mut registry = published.lock().unwrap();
+        for (i, snapshot) in initial.iter().enumerate() {
+            registry.insert((snapshot.shard(), i as u64 + 1), snapshot.partial_digest());
+        }
+    }
+    let serve = ShardedServe::new(initial);
+    let writer_done = AtomicBool::new(false);
+    let final_digest = AtomicU64::new(0);
+
+    let reader_counts: Vec<u64> = std::thread::scope(|scope| {
+        // ---- the writer: mutate, then freeze + publish a single rotating
+        // shard per epoch; finish with an all-shard barrier.
+        scope.spawn(|| {
+            let mut next_version = SHARDS as u64;
+            let mut victims = Vec::new();
+            for i in 0..PUBLISHES {
+                let m = graph.merge_node(
+                    "Malware",
+                    &format!("shard-stress-{i}"),
+                    [("vendor", securitykg::graph::Value::from("stress"))],
+                );
+                let f = graph.create_node(
+                    "FileName",
+                    [(
+                        "name",
+                        securitykg::graph::Value::from(format!("shard-{i}.exe")),
+                    )],
+                );
+                graph.merge_edge(m, "DROP", f).unwrap();
+                search.add(m, &format!("sharded stress malware {i}"));
+                victims.push(f);
+                if i % 3 == 2 {
+                    let victim = victims.remove(0);
+                    graph.delete_node(victim).unwrap();
+                }
+                let snapshot = set.freeze_shard(i as usize % SHARDS, &mut graph, &search);
+                next_version += 1;
+                published
+                    .lock()
+                    .unwrap()
+                    .insert((snapshot.shard(), next_version), snapshot.partial_digest());
+                let version = serve.publish_shard(snapshot);
+                assert_eq!(version, next_version, "publish numbering raced");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Final barrier: bring every shard to the latest state.
+            for snapshot in set.freeze_all(&mut graph, &search) {
+                next_version += 1;
+                published
+                    .lock()
+                    .unwrap()
+                    .insert((snapshot.shard(), next_version), snapshot.partial_digest());
+                serve.publish_shard(snapshot);
+            }
+            final_digest.store(graph.digest(), Ordering::SeqCst);
+            writer_done.store(true, Ordering::SeqCst);
+        });
+
+        // ---- the readers: every response's stamp vector must consist of
+        // registered per-shard epochs, at non-decreasing versions.
+        let mut handles = Vec::new();
+        for _reader in 0..readers {
+            let serve = &serve;
+            let queries = &queries;
+            let published = &published;
+            let writer_done = &writer_done;
+            handles.push(scope.spawn(move || {
+                let mut executed = 0u64;
+                let mut passes = 0u32;
+                let mut seen = [0u64; SHARDS];
+                while passes < 3 || !writer_done.load(Ordering::SeqCst) {
+                    for query in queries.iter() {
+                        let pins = serve.pin_all();
+                        let response = serve.execute_on(&pins, query);
+                        executed += 1;
+                        assert_eq!(response.vector.len(), SHARDS);
+                        for stamp in &response.vector {
+                            let registered = published
+                                .lock()
+                                .unwrap()
+                                .get(&(stamp.shard, stamp.version))
+                                .copied()
+                                .unwrap_or_else(|| {
+                                    panic!(
+                                        "shard {} v{} was never published",
+                                        stamp.shard, stamp.version
+                                    )
+                                });
+                            assert_eq!(
+                                registered, stamp.digest,
+                                "torn shard {} at v{}",
+                                stamp.shard, stamp.version
+                            );
+                            assert!(
+                                stamp.version >= seen[stamp.shard],
+                                "shard {} went backwards: v{} after v{}",
+                                stamp.shard,
+                                stamp.version,
+                                seen[stamp.shard]
+                            );
+                            seen[stamp.shard] = stamp.version;
+                        }
+                        // Answers reference only nodes present in the
+                        // pinned replicas.
+                        for id in response.answer.node_ids() {
+                            assert!(
+                                pins.iter().any(|p| p.graph().node(id).is_some()),
+                                "answer leaked node {id:?} missing from every pin"
+                            );
+                        }
+                    }
+                    passes += 1;
+                }
+                executed
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader"))
+            .collect()
+    });
+
+    // No starvation: every planned epoch (initial + rotating + barrier)
+    // went out, and every reader made progress.
+    let stats = serve.stats();
+    assert_eq!(
+        stats.publishes,
+        SHARDS as u64 + PUBLISHES + SHARDS as u64,
+        "writer starved"
+    );
+    assert!(reader_counts.iter().all(|&n| n > 0), "{reader_counts:?}");
+    assert_eq!(stats.queries, reader_counts.iter().sum::<u64>());
+    // After the barrier the pinned vector reassembles the live digest.
+    assert_eq!(
+        combined_digest(&serve.pin_all()),
+        final_digest.load(Ordering::SeqCst)
+    );
+    // The last rotating epoch's mutation is visible post-barrier.
+    let wanted = format!("shard-stress-{}", PUBLISHES - 1);
+    assert!(serve
+        .pin_all()
+        .iter()
+        .any(|p| p.graph().node_by_name("Malware", &wanted).is_some()));
+}
+
 #[test]
 fn held_pins_do_not_block_publication() {
     let kg = built_kg();
