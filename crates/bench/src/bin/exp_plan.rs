@@ -1,0 +1,282 @@
+//! Experiment E17 — compiled query plans vs the interpreted executor
+//! (paper §2.6: sub-second management queries; here, the "plan once, bind
+//! many" split that keeps them sub-second as the graph grows).
+//!
+//! Per request, the old read path paid parse + interpret on every call, and
+//! the interpreter's only access path for a bare `WHERE n.name = …` was a
+//! full node scan. The compiled path pays parse + plan lowering **once**,
+//! then re-binds the cached [`CompiledPlan`] per call — and the planner
+//! lifts equality constraints into the store's property index, so the
+//! per-call cost of an index-selective query is proportional to the result,
+//! not the graph.
+//!
+//! For every query cell the two paths are first asserted **byte-identical**
+//! (columns and rows), then timed individually: p50/p99 over per-op
+//! latencies, interpreted vs compiled, with the speedup per cell. The
+//! headline is the minimum speedup across the *index-selective* cells
+//! (claimed ≥5× at both p50 and p99). Machine-readable results land in
+//! `BENCH_e17.json`.
+//!
+//! Run:   `cargo run -p kg-bench --bin exp_plan --release`
+//! Smoke: `cargo run -p kg-bench --bin exp_plan --release -- --smoke`
+//! (tiny corpus, equality assertions and plan-cache reuse only — no timing
+//! thresholds, so it is safe for CI).
+
+use kg_bench::Table;
+use kg_corpus::WorldConfig;
+use kg_graph::cypher::execute_read_with_params;
+use kg_graph::{parse, CompiledPlan, Params};
+use kg_serve::{percentile, KgSnapshot, PlanCache};
+use securitykg::{SecurityKg, SystemConfig, TrainingConfig};
+use std::time::Instant;
+
+fn build_kg(tiny: bool) -> SecurityKg {
+    let config = if tiny {
+        SystemConfig {
+            world: WorldConfig::tiny(0xE17),
+            articles_per_source: 6,
+            training: TrainingConfig {
+                articles: 40,
+                ..TrainingConfig::default()
+            },
+            ..SystemConfig::default()
+        }
+    } else {
+        SystemConfig {
+            world: WorldConfig {
+                malware_count: 40,
+                actor_count: 24,
+                cve_count: 60,
+                campaign_count: 16,
+                seed: 0xE17,
+            },
+            articles_per_source: 30,
+            training: TrainingConfig {
+                articles: 60,
+                ..TrainingConfig::default()
+            },
+            ..SystemConfig::default()
+        }
+    };
+    let mut kg = SecurityKg::bootstrap_without_ner(&config);
+    kg.crawl_and_ingest();
+    kg
+}
+
+struct Cell {
+    label: &'static str,
+    text: String,
+    /// Counts toward the ≥5× headline (queries where the planner picks an
+    /// index the interpreter doesn't have).
+    index_selective: bool,
+}
+
+/// The query suite: index-selective point lookups (the headline), plus
+/// label scans, aggregates, multi-hop and var-length patterns where the
+/// compiled path's win is mostly parse/lowering amortization.
+fn cells(kg: &SecurityKg) -> Vec<Cell> {
+    let name = kg
+        .graph()
+        .nodes_with_label("Malware")
+        .into_iter()
+        .find_map(|id| kg.graph().node(id).and_then(|n| n.name()).map(String::from))
+        .expect("corpus produced a named malware");
+    vec![
+        Cell {
+            label: "name-eq (lifted)",
+            text: format!("MATCH (n) WHERE n.name = '{name}' RETURN n"),
+            index_selective: true,
+        },
+        Cell {
+            label: "map-eq no label",
+            text: format!("MATCH (n {{name: '{name}'}}) RETURN n"),
+            index_selective: true,
+        },
+        Cell {
+            label: "name-eq + prop",
+            text: format!("MATCH (n) WHERE n.name = '{name}' RETURN n.name, n.vendor"),
+            index_selective: true,
+        },
+        Cell {
+            label: "label + name idx",
+            text: format!("MATCH (n:Malware {{name: '{name}'}}) RETURN n"),
+            index_selective: false,
+        },
+        Cell {
+            label: "label count",
+            text: "MATCH (m:Malware) RETURN count(*)".into(),
+            index_selective: false,
+        },
+        Cell {
+            label: "full scan + sort",
+            text: "MATCH (n) RETURN n.name ORDER BY n.name LIMIT 10".into(),
+            index_selective: false,
+        },
+        Cell {
+            label: "2-hop aggregate",
+            text: "MATCH (v:CtiVendor)-[:PUBLISHES]->(r) RETURN count(*)".into(),
+            index_selective: false,
+        },
+        Cell {
+            label: "var-length *1..2",
+            text: format!("MATCH (a {{name: '{name}'}})-[*1..2]-(b) RETURN count(*)"),
+            index_selective: false,
+        },
+    ]
+}
+
+/// Assert the two paths agree, then time `iters` individual calls of each.
+/// Returns (interpreted ns, compiled ns) per-op samples.
+fn measure(
+    snapshot: &KgSnapshot,
+    plan: &CompiledPlan,
+    text: &str,
+    iters: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let params = Params::new();
+    let query = parse(text).expect("cell parses");
+    let want =
+        execute_read_with_params(snapshot.graph(), &query, &params).expect("oracle executes");
+    let got = plan.execute_on(snapshot, &params).expect("plan executes");
+    assert_eq!(want.columns, got.columns, "columns diverged on {text}");
+    assert_eq!(want.rows, got.rows, "rows diverged on {text}");
+
+    let mut interp = Vec::with_capacity(iters);
+    let mut compiled = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        // What the old read path did per request: parse + interpret. Parse
+        // is re-done from text because that *was* the per-request cost.
+        let q = parse(text).expect("reparse");
+        std::hint::black_box(execute_read_with_params(snapshot.graph(), &q, &params).unwrap());
+        interp.push(t.elapsed().as_nanos() as u64);
+
+        let t = Instant::now();
+        std::hint::black_box(plan.execute_on(snapshot, &params).unwrap());
+        compiled.push(t.elapsed().as_nanos() as u64);
+    }
+    (interp, compiled)
+}
+
+fn smoke() {
+    let kg = build_kg(true);
+    let snapshot = KgSnapshot::build(kg.graph().clone(), kg.search_index().clone());
+    let cache = PlanCache::new(64);
+    for cell in cells(&kg) {
+        let plan = cache.plan(&cell.text).expect("cell compiles");
+        let (interp, compiled) = measure(&snapshot, &plan, &cell.text, 3);
+        assert_eq!(interp.len(), 3);
+        assert_eq!(compiled.len(), 3);
+        // Same text again: the cache re-binds, never recompiles.
+        let again = cache.plan(&cell.text).expect("cached");
+        assert!(std::sync::Arc::ptr_eq(&plan, &again));
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.compiles, stats.entries as u64, "{stats:?}");
+    println!(
+        "E17 smoke: {} query cells byte-identical between interpreted and compiled \
+         paths, {} plans compiled once each and re-bound from cache — ok",
+        cells(&kg).len(),
+        stats.compiles,
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+
+    println!("E17: compiled plans vs interpreted execution — building knowledge base...");
+    let kg = build_kg(false);
+    let snapshot = KgSnapshot::build(kg.graph().clone(), kg.search_index().clone());
+    println!(
+        "  {} nodes, {} edges",
+        snapshot.node_count(),
+        snapshot.edge_count()
+    );
+    println!();
+
+    const ITERS: usize = 400;
+    let cache = PlanCache::new(64);
+    let mut table = Table::new(&[
+        "query",
+        "interp p50 µs",
+        "interp p99 µs",
+        "plan p50 µs",
+        "plan p99 µs",
+        "×p50",
+        "×p99",
+    ]);
+    let mut json_rows: Vec<serde_json::Value> = Vec::new();
+    let mut headline: Vec<(f64, f64)> = Vec::new();
+    for cell in cells(&kg) {
+        let plan = cache.plan(&cell.text).expect("cell compiles");
+        // Warm both paths (first touch repairs the lazy prop index).
+        let _ = measure(&snapshot, &plan, &cell.text, 5);
+        let (mut interp, mut compiled) = measure(&snapshot, &plan, &cell.text, ITERS);
+        let (ip50, ip99) = (percentile(&mut interp, 0.50), percentile(&mut interp, 0.99));
+        let (cp50, cp99) = (
+            percentile(&mut compiled, 0.50),
+            percentile(&mut compiled, 0.99),
+        );
+        let (x50, x99) = (
+            ip50 as f64 / cp50.max(1) as f64,
+            ip99 as f64 / cp99.max(1) as f64,
+        );
+        if cell.index_selective {
+            headline.push((x50, x99));
+        }
+        table.row(vec![
+            cell.label.into(),
+            format!("{:.1}", ip50 as f64 / 1000.0),
+            format!("{:.1}", ip99 as f64 / 1000.0),
+            format!("{:.1}", cp50 as f64 / 1000.0),
+            format!("{:.1}", cp99 as f64 / 1000.0),
+            format!("{x50:.1}"),
+            format!("{x99:.1}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "label": cell.label,
+            "query": cell.text,
+            "index_selective": cell.index_selective,
+            "interpreted_ns": { "p50": ip50, "p99": ip99 },
+            "compiled_ns": { "p50": cp50, "p99": cp99 },
+            "speedup": { "p50": x50, "p99": x99 },
+        }));
+    }
+    table.print();
+    println!();
+
+    let min50 = headline.iter().map(|(a, _)| *a).fold(f64::MAX, f64::min);
+    let min99 = headline.iter().map(|(_, b)| *b).fold(f64::MAX, f64::min);
+    println!(
+        "headline (worst index-selective cell): {min50:.1}x at p50, {min99:.1}x at p99 \
+         (claim: ≥5x — the interpreter full-scans a bare name equality, the plan \
+         hits the property index and re-binds without parsing)"
+    );
+    let stats = cache.stats();
+    println!(
+        "plan cache: {} compiles for {} cells across {} executions (every timed \
+         call after the first was a re-bind)",
+        stats.compiles,
+        json_rows.len(),
+        json_rows.len() * (ITERS + 5) + json_rows.len(),
+    );
+
+    let payload = serde_json::json!({
+        "experiment": "E17",
+        "iters": ITERS,
+        "nodes": snapshot.node_count(),
+        "edges": snapshot.edge_count(),
+        "rows": json_rows,
+        "headline_speedup": { "p50": min50, "p99": min99 },
+    });
+    std::fs::write(
+        "BENCH_e17.json",
+        serde_json::to_string_pretty(&payload).expect("results serialise"),
+    )
+    .expect("write BENCH_e17.json");
+    println!();
+    println!("wrote BENCH_e17.json");
+}

@@ -118,7 +118,12 @@ fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
         if let Some(name) = args[i].strip_prefix("--") {
             // Boolean flags take no value when followed by another flag/end.
             let takes_value = i + 1 < args.len() && !args[i + 1].starts_with("--");
-            if takes_value && !matches!(name, "ner" | "fuse" | "stats" | "chaos" | "verify") {
+            if takes_value
+                && !matches!(
+                    name,
+                    "ner" | "fuse" | "stats" | "chaos" | "verify" | "explain"
+                )
+            {
                 flags.insert(name.to_owned(), args[i + 1].clone());
                 i += 2;
             } else {
@@ -642,6 +647,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if queries.is_empty() {
         return Err(format!("{queries_path}: no queries"));
     }
+
+    // `--explain`: print the compiled plan for every Cypher query in the
+    // file (chosen scan, index use, hop bounds) and exit without serving.
+    // Plans depend only on query text, never on graph content.
+    if flags.contains_key("explain") {
+        for query in &queries {
+            let Query::Cypher { q } = query else { continue };
+            println!("{q}");
+            match securitykg::graph::parse(q)
+                .and_then(|ast| securitykg::graph::CompiledPlan::compile(&ast))
+            {
+                Ok(plan) => {
+                    for line in plan.explain().lines() {
+                        println!("  {line}");
+                    }
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+            println!();
+        }
+        return Ok(());
+    }
     let readers: usize = flags
         .get("readers")
         .map(|n| n.parse().map_err(|e| format!("--readers: {e}")))
@@ -791,6 +818,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let total = all.len() as u64;
     let stats = serve.stats();
     serve.record_cache_report();
+    serve.record_plan_cache_report();
     println!(
         "{} queries in {:.1} ms — {:.0} queries/s across {readers} reader(s)",
         total,
@@ -810,6 +838,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         stats.cache.evictions,
         stats.cache.entries,
         100.0 * stats.cache.hits as f64 / (stats.cache.hits + stats.cache.misses).max(1) as f64
+    );
+    println!(
+        "plan cache: {} hits, {} compiles, {} entries (plans survive epoch publishes)",
+        stats.plans.hits, stats.plans.compiles, stats.plans.entries
     );
     if !publish_us.is_empty() {
         println!(

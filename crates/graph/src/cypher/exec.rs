@@ -1,6 +1,11 @@
 //! Query execution: backtracking pattern matching + expression evaluation.
+//!
+//! This is the *interpreted* executor. The compiled planner
+//! ([`super::planner`]) is the production read path; this module remains the
+//! semantics reference — the differential test battery asserts the compiled
+//! engine byte-matches it on arbitrary graphs and queries.
 
-use super::{CmpOp, CypherError, Direction, Expr, NodePattern, Pattern, Query, Return};
+use super::{CmpOp, CypherError, Direction, Expr, NodePattern, Params, Pattern, Query, Return};
 use crate::store::{EdgeId, GraphStore, NodeId};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -52,6 +57,15 @@ impl QueryResult {
 /// rejected. This is the path UI sessions use, so exploration never needs a
 /// write lock on the knowledge graph.
 pub fn execute_read(store: &GraphStore, query: &Query) -> Result<QueryResult, CypherError> {
+    execute_read_with_params(store, query, &Params::new())
+}
+
+/// [`execute_read`] with `$param` bindings.
+pub fn execute_read_with_params(
+    store: &GraphStore,
+    query: &Query,
+    params: &Params,
+) -> Result<QueryResult, CypherError> {
     match query {
         Query::Read {
             patterns,
@@ -59,8 +73,8 @@ pub fn execute_read(store: &GraphStore, query: &Query) -> Result<QueryResult, Cy
             ret,
         } => {
             let rows = match_patterns(store, patterns)?;
-            let rows = apply_filter(store, rows, filter)?;
-            project(store, rows, ret)
+            let rows = apply_filter(store, rows, filter, params)?;
+            project(store, rows, ret, params)
         }
         _ => Err(CypherError::Exec(
             "write query on the read-only path".into(),
@@ -70,6 +84,15 @@ pub fn execute_read(store: &GraphStore, query: &Query) -> Result<QueryResult, Cy
 
 /// Execute a parsed query.
 pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, CypherError> {
+    execute_with_params(store, query, &Params::new())
+}
+
+/// [`execute`] with `$param` bindings.
+pub fn execute_with_params(
+    store: &mut GraphStore,
+    query: &Query,
+    params: &Params,
+) -> Result<QueryResult, CypherError> {
     match query {
         Query::Read {
             patterns,
@@ -77,8 +100,8 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
             ret,
         } => {
             let rows = match_patterns(store, patterns)?;
-            let rows = apply_filter(store, rows, filter)?;
-            project(store, rows, ret)
+            let rows = apply_filter(store, rows, filter, params)?;
+            project(store, rows, ret, params)
         }
         Query::Create { patterns } => {
             let mut stats = WriteStats::default();
@@ -96,7 +119,7 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
             let row = merge_pattern(store, pattern, &mut stats)?;
             let result = match ret {
                 Some(ret) => {
-                    let mut r = project(store, vec![row], ret)?;
+                    let mut r = project(store, vec![row], ret, params)?;
                     r.stats = stats;
                     r
                 }
@@ -114,7 +137,7 @@ pub fn execute(store: &mut GraphStore, query: &Query) -> Result<QueryResult, Cyp
             detach,
         } => {
             let rows = match_patterns(store, patterns)?;
-            let rows = apply_filter(store, rows, filter)?;
+            let rows = apply_filter(store, rows, filter, params)?;
             let mut stats = WriteStats::default();
             let mut nodes: Vec<NodeId> = Vec::new();
             let mut edges: Vec<EdgeId> = Vec::new();
@@ -243,6 +266,35 @@ fn extend(
     let rel = &pattern.rels[step];
     let next_np = &pattern.nodes[step + 1];
 
+    if let Some((lo, hi)) = rel.hops {
+        // Var-length: the far node binds each distinct endpoint reachable
+        // via lo..=hi typed/directed hops (walk semantics — level sets, so
+        // revisits are allowed and relationship uniqueness is not tracked
+        // across the expansion). Ascending-id order keeps candidate
+        // enumeration deterministic for the scatter (anchor, seq) contract.
+        for other in var_length_endpoints(store, at, rel.rel_type.as_deref(), rel.direction, lo, hi)
+        {
+            if let Some(var) = &next_np.var {
+                if let Some(Binding::Node(bound)) = row.get(var) {
+                    if *bound != other {
+                        continue;
+                    }
+                } else if row.contains_key(var) {
+                    continue;
+                }
+            }
+            if !node_matches(store, other, next_np) {
+                continue;
+            }
+            let mut next_row = row.clone();
+            if let Some(var) = &next_np.var {
+                next_row.insert(var.clone(), Binding::Node(other));
+            }
+            extend(store, pattern, step + 1, other, next_row, used_edges, out);
+        }
+        return;
+    }
+
     let try_edge =
         |edge_id: EdgeId, other: NodeId, used_edges: &mut Vec<EdgeId>, out: &mut Vec<Row>| {
             if used_edges.contains(&edge_id) {
@@ -302,6 +354,55 @@ fn extend(
     }
 }
 
+/// Distinct endpoints reachable from `at` via `lo..=hi` hops along edges
+/// matching `rel_type`/`direction` — level-set iteration (walk semantics):
+/// `S_0 = {at}`, `S_{l+1} = step(S_l)`, result = `S_lo ∪ … ∪ S_hi`, sorted
+/// ascending by id. The compiled planner implements the identical expansion
+/// (optionally over a snapshot's frozen adjacency), so the two engines agree
+/// endpoint-for-endpoint.
+fn var_length_endpoints(
+    store: &GraphStore,
+    at: NodeId,
+    rel_type: Option<&str>,
+    direction: Direction,
+    lo: usize,
+    hi: usize,
+) -> Vec<NodeId> {
+    use std::collections::HashSet;
+    let mut result: HashSet<NodeId> = HashSet::new();
+    let mut frontier: HashSet<NodeId> = HashSet::new();
+    frontier.insert(at);
+    for level in 1..=hi {
+        let mut next: HashSet<NodeId> = HashSet::new();
+        for &node in &frontier {
+            if matches!(direction, Direction::Out | Direction::Either) {
+                for edge in store.outgoing_iter(node) {
+                    if rel_type.is_none_or(|t| edge.rel_type == t) {
+                        next.insert(edge.to);
+                    }
+                }
+            }
+            if matches!(direction, Direction::In | Direction::Either) {
+                for edge in store.incoming_iter(node) {
+                    if rel_type.is_none_or(|t| edge.rel_type == t) {
+                        next.insert(edge.from);
+                    }
+                }
+            }
+        }
+        if level >= lo {
+            result.extend(next.iter().copied());
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    let mut out: Vec<NodeId> = result.into_iter().collect();
+    out.sort();
+    out
+}
+
 // ---- expression evaluation --------------------------------------------------
 
 /// Evaluate a WHERE-style predicate against a single node bound to `var` —
@@ -316,12 +417,16 @@ pub fn node_satisfies(
 ) -> Result<bool, CypherError> {
     let mut row = Row::new();
     row.insert(var.to_owned(), Binding::Node(id));
-    Ok(eval(store, &row, expr)?.truthy())
+    Ok(eval(store, &row, expr, &Params::new())?.truthy())
 }
 
-fn eval(store: &GraphStore, row: &Row, expr: &Expr) -> Result<Value, CypherError> {
+fn eval(store: &GraphStore, row: &Row, expr: &Expr, params: &Params) -> Result<Value, CypherError> {
     Ok(match expr {
         Expr::Literal(v) => v.clone(),
+        Expr::Param(name) => match params.get(name) {
+            Some(v) => v.clone(),
+            None => return Err(CypherError::Bind(format!("unbound parameter ${name}"))),
+        },
         Expr::Var(name) => match row.get(name) {
             Some(Binding::Node(id)) => Value::Node(*id),
             Some(Binding::Edge(id)) => Value::Edge(*id),
@@ -341,7 +446,7 @@ fn eval(store: &GraphStore, row: &Row, expr: &Expr) -> Result<Value, CypherError
             None => Value::Null,
         },
         Expr::Compare(l, op, r) => {
-            let (a, b) = (eval(store, row, l)?, eval(store, row, r)?);
+            let (a, b) = (eval(store, row, l, params)?, eval(store, row, r, params)?);
             if matches!(a, Value::Null) || matches!(b, Value::Null) {
                 return Ok(Value::Null);
             }
@@ -355,16 +460,16 @@ fn eval(store: &GraphStore, row: &Row, expr: &Expr) -> Result<Value, CypherError
             };
             Value::Bool(result)
         }
-        Expr::And(l, r) => {
-            Value::Bool(eval(store, row, l)?.truthy() && eval(store, row, r)?.truthy())
-        }
-        Expr::Or(l, r) => {
-            Value::Bool(eval(store, row, l)?.truthy() || eval(store, row, r)?.truthy())
-        }
-        Expr::Not(e) => Value::Bool(!eval(store, row, e)?.truthy()),
-        Expr::Contains(l, r) => string_op(store, row, l, r, |a, b| a.contains(b))?,
-        Expr::StartsWith(l, r) => string_op(store, row, l, r, |a, b| a.starts_with(b))?,
-        Expr::EndsWith(l, r) => string_op(store, row, l, r, |a, b| a.ends_with(b))?,
+        Expr::And(l, r) => Value::Bool(
+            eval(store, row, l, params)?.truthy() && eval(store, row, r, params)?.truthy(),
+        ),
+        Expr::Or(l, r) => Value::Bool(
+            eval(store, row, l, params)?.truthy() || eval(store, row, r, params)?.truthy(),
+        ),
+        Expr::Not(e) => Value::Bool(!eval(store, row, e, params)?.truthy()),
+        Expr::Contains(l, r) => string_op(store, row, l, r, params, |a, b| a.contains(b))?,
+        Expr::StartsWith(l, r) => string_op(store, row, l, r, params, |a, b| a.starts_with(b))?,
+        Expr::EndsWith(l, r) => string_op(store, row, l, r, params, |a, b| a.ends_with(b))?,
         Expr::CountStar | Expr::Count(_) => {
             return Err(CypherError::Exec("aggregate outside RETURN".into()))
         }
@@ -376,9 +481,10 @@ fn string_op(
     row: &Row,
     l: &Expr,
     r: &Expr,
+    params: &Params,
     f: impl Fn(&str, &str) -> bool,
 ) -> Result<Value, CypherError> {
-    let (a, b) = (eval(store, row, l)?, eval(store, row, r)?);
+    let (a, b) = (eval(store, row, l, params)?, eval(store, row, r, params)?);
     match (a.as_text(), b.as_text()) {
         (Some(x), Some(y)) => Ok(Value::Bool(f(x, y))),
         _ => Ok(Value::Null),
@@ -389,13 +495,14 @@ fn apply_filter(
     store: &GraphStore,
     rows: Vec<Row>,
     filter: &Option<Expr>,
+    params: &Params,
 ) -> Result<Vec<Row>, CypherError> {
     match filter {
         None => Ok(rows),
         Some(expr) => {
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
-                if eval(store, &row, expr)?.truthy() {
+                if eval(store, &row, expr, params)?.truthy() {
                     out.push(row);
                 }
             }
@@ -406,7 +513,12 @@ fn apply_filter(
 
 // ---- projection --------------------------------------------------------------
 
-fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResult, CypherError> {
+fn project(
+    store: &GraphStore,
+    rows: Vec<Row>,
+    ret: &Return,
+    params: &Params,
+) -> Result<QueryResult, CypherError> {
     let columns: Vec<String> = ret
         .items
         .iter()
@@ -423,7 +535,7 @@ fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResu
                 .items
                 .iter()
                 .filter(|i| !i.expr.is_aggregate())
-                .map(|i| eval(store, &row, &i.expr))
+                .map(|i| eval(store, &row, &i.expr, params))
                 .collect::<Result<_, _>>()?;
             match groups
                 .iter_mut()
@@ -442,7 +554,7 @@ fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResu
                     Expr::Count(inner) => {
                         let mut n = 0i64;
                         for m in &members {
-                            if !matches!(eval(store, m, inner)?, Value::Null) {
+                            if !matches!(eval(store, m, inner, params)?, Value::Null) {
                                 n += 1;
                             }
                         }
@@ -458,7 +570,7 @@ fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResu
             let projected: Vec<Value> = ret
                 .items
                 .iter()
-                .map(|i| eval(store, row, &i.expr))
+                .map(|i| eval(store, row, &i.expr, params))
                 .collect::<Result<_, _>>()?;
             out_rows.push(projected);
         }
@@ -467,7 +579,7 @@ fn project(store: &GraphStore, rows: Vec<Row>, ret: &Return) -> Result<QueryResu
             let mut keyed: Vec<(Value, Vec<Value>)> = rows
                 .iter()
                 .zip(out_rows)
-                .map(|(row, out)| Ok((eval(store, row, expr)?, out)))
+                .map(|(row, out)| Ok((eval(store, row, expr, params)?, out)))
                 .collect::<Result<_, CypherError>>()?;
             keyed.sort_by(|a, b| {
                 let o = a.0.cmp_order(&b.0);
@@ -565,6 +677,16 @@ pub fn scatter_match(
     query: &Query,
     owns: &dyn Fn(NodeId) -> bool,
 ) -> Result<Vec<ScatterRow>, CypherError> {
+    scatter_match_with_params(store, query, &Params::new(), owns)
+}
+
+/// [`scatter_match`] with `$param` bindings.
+pub fn scatter_match_with_params(
+    store: &GraphStore,
+    query: &Query,
+    params: &Params,
+    owns: &dyn Fn(NodeId) -> bool,
+) -> Result<Vec<ScatterRow>, CypherError> {
     let Query::Read {
         patterns,
         filter,
@@ -607,7 +729,7 @@ pub fn scatter_match(
         match filter {
             None => filtered.push((anchor, row)),
             Some(expr) => {
-                if eval(store, &row, expr)?.truthy() {
+                if eval(store, &row, expr, params)?.truthy() {
                     filtered.push((anchor, row));
                 }
             }
@@ -621,12 +743,12 @@ pub fn scatter_match(
         for item in &ret.items {
             items.push(match &item.expr {
                 Expr::CountStar => Value::Null,
-                Expr::Count(inner) => eval(store, &row, inner)?,
-                expr => eval(store, &row, expr)?,
+                Expr::Count(inner) => eval(store, &row, inner, params)?,
+                expr => eval(store, &row, expr, params)?,
             });
         }
         let order = match &ret.order_by {
-            Some((expr, _)) if per_row_order => Some(eval(store, &row, expr)?),
+            Some((expr, _)) if per_row_order => Some(eval(store, &row, expr, params)?),
             _ => None,
         };
         out.push(ScatterRow {
@@ -644,15 +766,21 @@ pub fn scatter_match(
 /// pipeline — implicit aggregate grouping, ORDER BY, DISTINCT, SKIP,
 /// LIMIT — over the materialized values. Needs no store access: every
 /// value was evaluated shard-side.
-pub fn gather_project(
-    query: &Query,
-    mut scatter: Vec<ScatterRow>,
-) -> Result<QueryResult, CypherError> {
+pub fn gather_project(query: &Query, scatter: Vec<ScatterRow>) -> Result<QueryResult, CypherError> {
     let Query::Read { ret, .. } = query else {
         return Err(CypherError::Exec(
             "write query on the read-only path".into(),
         ));
     };
+    gather_project_ret(ret, scatter)
+}
+
+/// [`gather_project`] over a bare RETURN clause — the entry point compiled
+/// plans use, so interpreted and compiled scatter-gather share one merge.
+pub fn gather_project_ret(
+    ret: &Return,
+    mut scatter: Vec<ScatterRow>,
+) -> Result<QueryResult, CypherError> {
     scatter.sort_by(|a, b| a.anchor.cmp(&b.anchor).then(a.seq.cmp(&b.seq)));
     let columns: Vec<String> = ret
         .items
@@ -784,6 +912,11 @@ fn create_pattern(
         node_ids.push(id);
     }
     for (i, rel) in pattern.rels.iter().enumerate() {
+        if rel.hops.is_some() {
+            return Err(CypherError::Exec(
+                "var-length patterns cannot be created".into(),
+            ));
+        }
         let (from, to) = match rel.direction {
             Direction::Out | Direction::Either => (node_ids[i], node_ids[i + 1]),
             Direction::In => (node_ids[i + 1], node_ids[i]),
@@ -832,6 +965,11 @@ fn merge_pattern(
         ids.push(id);
     }
     for (i, rel) in pattern.rels.iter().enumerate() {
+        if rel.hops.is_some() {
+            return Err(CypherError::Exec(
+                "var-length patterns cannot be merged".into(),
+            ));
+        }
         let (from, to) = match rel.direction {
             Direction::Out | Direction::Either => (ids[i], ids[i + 1]),
             Direction::In => (ids[i + 1], ids[i]),

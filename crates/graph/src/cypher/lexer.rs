@@ -28,6 +28,8 @@ pub enum Tok {
     Gt,
     Ge,
     Star,
+    /// `$name` — a query parameter reference.
+    Param(String),
 }
 
 /// Tokenize a query string. Identifiers keep their case; keyword matching is
@@ -180,6 +182,17 @@ pub fn lex(text: &str) -> Result<Vec<Tok>, CypherError> {
                 }
                 out.push(Tok::Ident(text[start..i].to_owned()));
             }
+            '$' => {
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(CypherError::Lex("expected parameter name after '$'".into()));
+                }
+                out.push(Tok::Param(text[start..i].to_owned()));
+            }
             other => {
                 return Err(CypherError::Lex(format!("unexpected character {other:?}")));
             }
@@ -236,6 +249,17 @@ mod tests {
                 Tok::Str("dou\"ble".into()),
             ]
         );
+    }
+
+    #[test]
+    fn lexes_params() {
+        let toks = lex("$who $x_1").unwrap();
+        assert_eq!(
+            toks,
+            vec![Tok::Param("who".into()), Tok::Param("x_1".into())]
+        );
+        assert!(lex("$").is_err());
+        assert!(lex("$ name").is_err());
     }
 
     #[test]

@@ -20,13 +20,21 @@
 mod exec;
 mod lexer;
 mod parser;
+pub mod planner;
 
 pub use exec::{
-    execute, execute_read, gather_project, node_satisfies, scatter_match, QueryResult, ScatterRow,
+    execute, execute_read, execute_read_with_params, execute_with_params, gather_project,
+    gather_project_ret, node_satisfies, scatter_match, scatter_match_with_params, QueryResult,
+    ScatterRow,
 };
 pub use parser::{parse, parse_predicate, MAX_EXPR_DEPTH, MAX_PATTERN_HOPS};
+pub use planner::{CompiledNodePredicate, CompiledPlan};
 
 use crate::value::Value;
+
+/// `$param` bindings supplied at execution time; one compiled plan serves
+/// many bindings.
+pub type Params = std::collections::HashMap<String, Value>;
 
 /// Direction of a relationship pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,12 +55,16 @@ pub struct NodePattern {
     pub props: Vec<(String, Value)>,
 }
 
-/// `-[var:TYPE]->`
+/// `-[var:TYPE]->`, or a var-length pattern `-[:TYPE*lo..hi]->`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RelPattern {
     pub var: Option<String>,
     pub rel_type: Option<String>,
     pub direction: Direction,
+    /// `Some((lo, hi))` for a var-length pattern `-[*lo..hi]->`: the far node
+    /// binds to every distinct endpoint reachable via `lo..=hi` hops.
+    /// `None` for an ordinary single-hop relationship.
+    pub hops: Option<(usize, usize)>,
 }
 
 /// A path pattern: nodes joined by relationships.
@@ -88,6 +100,8 @@ pub enum Expr {
     Contains(Box<Expr>, Box<Expr>),
     StartsWith(Box<Expr>, Box<Expr>),
     EndsWith(Box<Expr>, Box<Expr>),
+    /// `$name` — a query parameter, bound at execution time.
+    Param(String),
     /// `count(*)`
     CountStar,
     /// `count(var)` / `count(var.prop)`
@@ -113,7 +127,7 @@ impl Expr {
             | Expr::StartsWith(l, r)
             | Expr::EndsWith(l, r) => l.contains_aggregate() || r.contains_aggregate(),
             Expr::Not(e) => e.contains_aggregate(),
-            Expr::Literal(_) | Expr::Var(_) | Expr::Prop(..) => false,
+            Expr::Literal(_) | Expr::Var(_) | Expr::Prop(..) | Expr::Param(_) => false,
         }
     }
 }
@@ -160,11 +174,14 @@ pub enum Query {
     },
 }
 
-/// Errors from parsing or execution.
+/// Errors from parsing, parameter binding, or execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CypherError {
     Lex(String),
     Parse(String),
+    /// A parameter reference could not be resolved against the supplied
+    /// bindings (e.g. `$who` with no `who` binding).
+    Bind(String),
     Exec(String),
 }
 
@@ -173,6 +190,7 @@ impl std::fmt::Display for CypherError {
         match self {
             CypherError::Lex(m) => write!(f, "lex error: {m}"),
             CypherError::Parse(m) => write!(f, "parse error: {m}"),
+            CypherError::Bind(m) => write!(f, "bind error: {m}"),
             CypherError::Exec(m) => write!(f, "execution error: {m}"),
         }
     }
@@ -181,16 +199,36 @@ impl std::fmt::Display for CypherError {
 impl std::error::Error for CypherError {}
 
 impl crate::store::GraphStore {
-    /// Parse and execute a Cypher query against this store.
+    /// Parse and execute a Cypher query against this store. Read queries
+    /// run through the compiled planner; writes take the interpreted path.
     pub fn query(&mut self, text: &str) -> Result<QueryResult, CypherError> {
         let query = parse(text)?;
+        if matches!(query, Query::Read { .. }) {
+            let plan = CompiledPlan::compile(&query)?;
+            return plan.execute_on(self, &Params::new());
+        }
         execute(self, &query)
     }
 
     /// Parse and execute a *read-only* Cypher query; `CREATE`/`MERGE`/
-    /// `DELETE` are rejected.
+    /// `DELETE` are rejected. Runs through the compiled planner.
     pub fn query_readonly(&self, text: &str) -> Result<QueryResult, CypherError> {
+        self.query_readonly_with_params(text, &Params::new())
+    }
+
+    /// [`Self::query_readonly`] with `$param` bindings.
+    pub fn query_readonly_with_params(
+        &self,
+        text: &str,
+        params: &Params,
+    ) -> Result<QueryResult, CypherError> {
         let query = parse(text)?;
-        execute_read(self, &query)
+        if !matches!(query, Query::Read { .. }) {
+            return Err(CypherError::Exec(
+                "write query on the read-only path".into(),
+            ));
+        }
+        let plan = CompiledPlan::compile(&query)?;
+        plan.execute_on(self, params)
     }
 }

@@ -239,7 +239,8 @@ impl Parser {
         Ok(node)
     }
 
-    /// `-[v:TYPE]->`, `<-[v:TYPE]-` or `-[v:TYPE]-`.
+    /// `-[v:TYPE]->`, `<-[v:TYPE]-`, `-[v:TYPE]-`, or the var-length forms
+    /// `-[*n]->` / `-[:TYPE*lo..hi]->`.
     fn rel_pattern(&mut self) -> Result<RelPattern, CypherError> {
         let leading_back = matches!(self.peek(), Some(Tok::BackArrow));
         if leading_back {
@@ -251,6 +252,7 @@ impl Parser {
             var: None,
             rel_type: None,
             direction: Direction::Either,
+            hops: None,
         };
         if matches!(self.peek(), Some(Tok::LBracket)) {
             self.next();
@@ -260,6 +262,15 @@ impl Parser {
             if matches!(self.peek(), Some(Tok::Colon)) {
                 self.next();
                 rel.rel_type = Some(self.ident()?);
+            }
+            if matches!(self.peek(), Some(Tok::Star)) {
+                self.next();
+                rel.hops = Some(self.hop_range()?);
+                if rel.var.is_some() {
+                    return Err(CypherError::Parse(
+                        "a var-length relationship cannot bind an edge variable".into(),
+                    ));
+                }
             }
             self.expect(&Tok::RBracket)?;
         }
@@ -284,6 +295,34 @@ impl Parser {
             }
         }
         Ok(rel)
+    }
+
+    /// The `lo..hi` (or bare `n`) bounds after `*` in a var-length pattern.
+    fn hop_range(&mut self) -> Result<(usize, usize), CypherError> {
+        let lo = self.usize_literal()?;
+        let hi = if matches!(self.peek(), Some(Tok::Dot)) {
+            self.expect(&Tok::Dot)?;
+            self.expect(&Tok::Dot)?;
+            self.usize_literal()?
+        } else {
+            lo
+        };
+        if lo == 0 {
+            return Err(CypherError::Parse(
+                "var-length patterns require at least one hop (*0 is not supported)".into(),
+            ));
+        }
+        if hi < lo {
+            return Err(CypherError::Parse(format!(
+                "var-length range *{lo}..{hi} is empty"
+            )));
+        }
+        if hi > MAX_PATTERN_HOPS {
+            return Err(CypherError::Parse(format!(
+                "var-length range exceeds {MAX_PATTERN_HOPS} hops"
+            )));
+        }
+        Ok((lo, hi))
     }
 
     fn prop_map(&mut self) -> Result<Vec<(String, Value)>, CypherError> {
@@ -410,6 +449,10 @@ impl Parser {
             Some(Tok::Str(_)) | Some(Tok::Int(_)) | Some(Tok::Float(_)) => {
                 Ok(Expr::Literal(self.literal()?))
             }
+            Some(Tok::Param(name)) => {
+                self.next();
+                Ok(Expr::Param(name))
+            }
             Some(Tok::Ident(name)) => {
                 if name.eq_ignore_ascii_case("count") {
                     self.next();
@@ -509,6 +552,10 @@ impl Parser {
                 }
                 Tok::Int(i) => s.push_str(&i.to_string()),
                 Tok::Float(f) => s.push_str(&f.to_string()),
+                Tok::Param(x) => {
+                    s.push('$');
+                    s.push_str(x);
+                }
                 Tok::Dot => s.push('.'),
                 Tok::Star => s.push('*'),
                 Tok::LParen => s.push('('),
@@ -669,6 +716,76 @@ mod tests {
         let hops = "-[:R]->(n)".repeat(MAX_PATTERN_HOPS);
         let q = format!("MATCH (a){hops} RETURN a");
         assert!(parse(&q).is_ok());
+    }
+
+    #[test]
+    fn parses_var_length_patterns() {
+        let q = parse("MATCH (a)-[:USES*1..3]->(b) RETURN b").unwrap();
+        if let Query::Read { patterns, .. } = q {
+            let rel = &patterns[0].rels[0];
+            assert_eq!(rel.hops, Some((1, 3)));
+            assert_eq!(rel.rel_type.as_deref(), Some("USES"));
+            assert_eq!(rel.direction, Direction::Out);
+        } else {
+            panic!();
+        }
+        let q = parse("MATCH (a)-[*2]-(b) RETURN b").unwrap();
+        if let Query::Read { patterns, .. } = q {
+            assert_eq!(patterns[0].rels[0].hops, Some((2, 2)));
+            assert_eq!(patterns[0].rels[0].direction, Direction::Either);
+        } else {
+            panic!();
+        }
+        // Zero hops, inverted/oversized ranges, and edge vars are clean errors.
+        assert!(matches!(
+            parse("MATCH (a)-[*0..2]->(b) RETURN b"),
+            Err(CypherError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("MATCH (a)-[*3..2]->(b) RETURN b"),
+            Err(CypherError::Parse(_))
+        ));
+        assert!(matches!(
+            parse(&format!(
+                "MATCH (a)-[*1..{}]->(b) RETURN b",
+                MAX_PATTERN_HOPS + 1
+            )),
+            Err(CypherError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("MATCH (a)-[r*1..2]->(b) RETURN b"),
+            Err(CypherError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn parses_parameters_as_expression_atoms_only() {
+        let q = parse("MATCH (n) WHERE n.name = $who RETURN n").unwrap();
+        if let Query::Read {
+            filter: Some(Expr::Compare(_, _, rhs)),
+            ..
+        } = q
+        {
+            assert_eq!(*rhs, Expr::Param("who".into()));
+        } else {
+            panic!();
+        }
+        // RETURN column text renders the parameter reference.
+        let q = parse("MATCH (n) RETURN $who").unwrap();
+        if let Query::Read { ret, .. } = q {
+            assert_eq!(ret.items[0].text, "$who");
+        } else {
+            panic!();
+        }
+        // Parameters are not literals: prop maps reject them cleanly.
+        assert!(matches!(
+            parse("MATCH (n {name: $who}) RETURN n"),
+            Err(CypherError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("MATCH (n) RETURN n LIMIT $k"),
+            Err(CypherError::Parse(_))
+        ));
     }
 
     #[test]

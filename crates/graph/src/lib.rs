@@ -22,10 +22,15 @@
 //! ```
 
 pub mod cypher;
+pub mod snapshot;
 pub mod store;
 pub mod value;
 
-pub use cypher::{gather_project, parse, scatter_match, QueryResult, ScatterRow};
+pub use cypher::{
+    gather_project, gather_project_ret, parse, scatter_match, CompiledNodePredicate, CompiledPlan,
+    Params, QueryResult, ScatterRow,
+};
+pub use snapshot::GraphSnapshot;
 pub use store::{
     canon_shard, edge_digest, id_shard, node_digest, node_shard, DeltaBatch, DeltaCursor, Edge,
     EdgeId, GraphChanges, GraphStore, Node, NodeId, StoreError, DIGEST_SEED,

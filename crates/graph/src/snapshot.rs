@@ -1,0 +1,175 @@
+//! [`GraphSnapshot`] — the abstract read surface compiled query plans
+//! evaluate against.
+//!
+//! A compiled plan ([`crate::cypher::planner::CompiledPlan`]) is
+//! snapshot-independent: it captures *how* to answer a query (scan choice,
+//! matchers, projection), while everything graph-shaped is reached through
+//! this trait. That lets one plan artifact serve the live [`GraphStore`],
+//! the frozen serving epochs (`KgSnapshot`), and the per-shard replicas —
+//! and lets snapshots advertise extra frozen structure (an undirected k-hop
+//! adjacency table) that plans exploit when present.
+
+use crate::store::{Edge, EdgeId, GraphStore, Node, NodeId};
+use crate::value::Value;
+
+/// An immutable view of a property graph, rich enough to drive a compiled
+/// query plan: point lookups, adjacency, and the index surface the planner
+/// selects scans from.
+///
+/// Ordering contract: every id-list method yields ids ascending by creation
+/// order (ids are dense and never reused), because scatter-gather serving
+/// relies on candidate enumeration order being identical on every
+/// implementation (the `(anchor, seq)` reassembly invariant).
+pub trait GraphSnapshot {
+    /// Fetch a live node; `None` for deleted/unknown ids.
+    fn node(&self, id: NodeId) -> Option<&Node>;
+
+    /// Fetch a live edge; `None` for deleted/unknown ids.
+    fn edge(&self, id: EdgeId) -> Option<&Edge>;
+
+    /// Outgoing edge ids of `id`, creation order. Resolve each through
+    /// [`GraphSnapshot::edge`]; implementations may leave tombstoned ids in
+    /// the slice.
+    fn out_edge_ids(&self, id: NodeId) -> &[EdgeId];
+
+    /// Incoming edge ids of `id`, creation order.
+    fn in_edge_ids(&self, id: NodeId) -> &[EdgeId];
+
+    /// Live node ids carrying `label`, creation order.
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId>;
+
+    /// The most recent live node with `(label, name)` — the single-result
+    /// name-index fast path (latest writer wins on duplicate names).
+    fn node_by_name(&self, label: &str, name: &str) -> Option<NodeId>;
+
+    /// All live node ids, creation order.
+    fn all_node_ids(&self) -> Vec<NodeId>;
+
+    /// Live node ids whose `key` property equals `value` exactly, ascending
+    /// — `None` when no equality index covers this value kind (the planner
+    /// falls back to a filtered scan). Only `Text` values are indexable:
+    /// numeric kinds coerce under `eq_cypher`, so an exact-value index
+    /// would miss coercion partners.
+    fn nodes_with_prop_eq(&self, key: &str, value: &Value) -> Option<Vec<NodeId>>;
+
+    /// The frozen undirected deduplicated neighbor list of `id`, if this
+    /// snapshot carries one — the k-hop table var-length patterns
+    /// (`-[*1..k]-`, untyped, undirected) walk without touching per-edge
+    /// records. `None` means "not available for this id"; plans fall back
+    /// to the edge walk.
+    fn khop_adjacency(&self, id: NodeId) -> Option<&[NodeId]>;
+}
+
+impl GraphSnapshot for GraphStore {
+    fn node(&self, id: NodeId) -> Option<&Node> {
+        GraphStore::node(self, id)
+    }
+
+    fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        GraphStore::edge(self, id)
+    }
+
+    fn out_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        GraphStore::out_edge_ids(self, id)
+    }
+
+    fn in_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        GraphStore::in_edge_ids(self, id)
+    }
+
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        GraphStore::nodes_with_label(self, label)
+    }
+
+    fn node_by_name(&self, label: &str, name: &str) -> Option<NodeId> {
+        GraphStore::node_by_name(self, label, name)
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        self.all_nodes().map(|n| n.id).collect()
+    }
+
+    fn nodes_with_prop_eq(&self, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        GraphStore::nodes_with_prop_eq(self, key, value)
+    }
+
+    fn khop_adjacency(&self, _id: NodeId) -> Option<&[NodeId]> {
+        // The live store has no frozen adjacency; plans walk edges.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_implements_the_snapshot_surface() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let b = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
+        let e = g
+            .create_edge(a, "DROP", b, [] as [(&str, Value); 0])
+            .unwrap();
+        let snap: &dyn GraphSnapshot = &g;
+        assert_eq!(snap.all_node_ids(), vec![a, b]);
+        assert_eq!(snap.nodes_with_label("Malware"), vec![a]);
+        assert_eq!(snap.node_by_name("FileName", "tasksche.exe"), Some(b));
+        assert_eq!(snap.out_edge_ids(a), &[e]);
+        assert_eq!(snap.in_edge_ids(b), &[e]);
+        assert_eq!(
+            snap.nodes_with_prop_eq("name", &Value::from("wannacry")),
+            Some(vec![a])
+        );
+        // Non-text values are not indexable.
+        assert_eq!(snap.nodes_with_prop_eq("name", &Value::Int(3)), None);
+        assert_eq!(snap.khop_adjacency(a), None);
+    }
+
+    #[test]
+    fn prop_index_tracks_mutations_deletes_and_renames() {
+        let mut g = GraphStore::new();
+        let a = g.create_node("N", [("tag", Value::from("hot"))]);
+        let b = g.create_node("N", [("tag", Value::from("hot"))]);
+        let c = g.create_node("N", [("tag", Value::from("cold"))]);
+        assert_eq!(
+            g.nodes_with_prop_eq("tag", &Value::from("hot")),
+            Some(vec![a, b])
+        );
+        // Rename via set_node_prop migrates entries.
+        g.set_node_prop(b, "tag", Value::from("cold")).unwrap();
+        assert_eq!(
+            g.nodes_with_prop_eq("tag", &Value::from("hot")),
+            Some(vec![a])
+        );
+        assert_eq!(
+            g.nodes_with_prop_eq("tag", &Value::from("cold")),
+            Some(vec![b, c])
+        );
+        // Raw node_mut edits (the index-bypassing path) are repaired too.
+        g.node_mut(a).unwrap().props.remove("tag");
+        assert_eq!(
+            g.nodes_with_prop_eq("tag", &Value::from("hot")),
+            Some(vec![])
+        );
+        // Deletes drop their entries.
+        g.delete_node(c).unwrap();
+        assert_eq!(
+            g.nodes_with_prop_eq("tag", &Value::from("cold")),
+            Some(vec![b])
+        );
+        // Non-text property values never enter the index.
+        g.set_node_prop(b, "tag", Value::Int(7)).unwrap();
+        assert_eq!(
+            g.nodes_with_prop_eq("tag", &Value::from("cold")),
+            Some(vec![])
+        );
+        // A serde round-trip resets and reseeds correctly.
+        let bytes = g.to_bytes().unwrap();
+        let g2 = GraphStore::from_bytes(&bytes).unwrap();
+        assert_eq!(
+            g2.nodes_with_prop_eq("tag", &Value::from("hot")),
+            Some(vec![])
+        );
+    }
+}

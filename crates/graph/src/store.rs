@@ -425,6 +425,84 @@ impl DeltaLog {
     }
 }
 
+/// Key for the equality property index: `prop\0text-value` (property names
+/// cannot contain NUL, same trick as [`name_key`]).
+fn prop_key(key: &str, text: &str) -> String {
+    let mut s = String::with_capacity(key.len() + 1 + text.len());
+    s.push_str(key);
+    s.push('\0');
+    s.push_str(text);
+    s
+}
+
+/// The equality index over `Text`-valued node properties, repaired lazily:
+/// mutators mark nodes stale (cheap), and the first indexed read after a
+/// batch of writes re-derives just those nodes' entries. Restricted to
+/// `Text` because text equality has no cross-type coercion partner under
+/// `eq_cypher` (`Int`/`Float` coerce into each other, so an exact-value
+/// index would miss matches).
+#[derive(Debug, Clone, Default)]
+struct PropIndex {
+    /// [`prop_key`] → live node ids carrying that exact value, ascending.
+    map: HashMap<String, Vec<NodeId>>,
+    /// node → the index keys its entries currently live under, so a stale
+    /// node can be un-indexed without knowing its old property values.
+    indexed: HashMap<NodeId, Vec<String>>,
+    /// Nodes touched since the last repair.
+    stale: HashSet<NodeId>,
+    /// Whether the initial full-scan seed has run; until a read needs the
+    /// index, writes cost nothing.
+    seeded: bool,
+}
+
+impl PropIndex {
+    fn insert_node(&mut self, node: &Node) {
+        let mut keys = Vec::new();
+        for (k, v) in &node.props {
+            if let Some(text) = v.as_text() {
+                let key = prop_key(k, text);
+                let ids = self.map.entry(key.clone()).or_default();
+                match ids.binary_search(&node.id) {
+                    Ok(_) => {}
+                    Err(pos) => ids.insert(pos, node.id),
+                }
+                keys.push(key);
+            }
+        }
+        if !keys.is_empty() {
+            self.indexed.insert(node.id, keys);
+        }
+    }
+
+    fn remove_node(&mut self, id: NodeId) {
+        if let Some(keys) = self.indexed.remove(&id) {
+            for key in keys {
+                if let Some(ids) = self.map.get_mut(&key) {
+                    if let Ok(pos) = ids.binary_search(&id) {
+                        ids.remove(pos);
+                    }
+                    if ids.is_empty() {
+                        self.map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interior-mutability cell around [`PropIndex`]: reads repair staleness
+/// under the lock, so the index lives behind `&self` like every other read
+/// path. Cloning clones the index state (a cloned store keeps its warmth).
+#[derive(Debug, Default)]
+struct PropIndexCell(std::sync::RwLock<PropIndex>);
+
+impl Clone for PropIndexCell {
+    fn clone(&self) -> Self {
+        let inner = self.0.read().unwrap_or_else(|e| e.into_inner()).clone();
+        PropIndexCell(std::sync::RwLock::new(inner))
+    }
+}
+
 /// The graph store.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GraphStore {
@@ -456,6 +534,9 @@ pub struct GraphStore {
     /// Sealed change batches + per-consumer cursors.
     #[serde(skip)]
     delta: DeltaLog,
+    /// Equality index over `Text` node properties (see [`PropIndex`]).
+    #[serde(skip)]
+    prop_index: PropIndexCell,
     live_nodes: usize,
     live_edges: usize,
 }
@@ -501,7 +582,54 @@ impl GraphStore {
         self.nodes.push(node);
         self.live_nodes += 1;
         self.touched_nodes.insert(id);
+        self.mark_prop_stale(id);
         id
+    }
+
+    /// Record that `id`'s property-index entries may be out of date. Free
+    /// until the index is first seeded by a read.
+    fn mark_prop_stale(&mut self, id: NodeId) {
+        let idx = self
+            .prop_index
+            .0
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner());
+        if idx.seeded {
+            idx.stale.insert(id);
+        }
+    }
+
+    /// Live node ids whose `key` property equals `value` exactly, ascending.
+    /// `None` when the value kind is not indexable (only `Text` is — other
+    /// kinds coerce under `eq_cypher`, so callers must fall back to a
+    /// filtered scan). Lazily repairs staleness from the touched set, so the
+    /// cost after a write burst is proportional to the delta, not the graph.
+    pub fn nodes_with_prop_eq(&self, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        let text = value.as_text()?;
+        let mut idx = self.prop_index.0.write().unwrap_or_else(|e| e.into_inner());
+        if !idx.seeded {
+            idx.map.clear();
+            idx.indexed.clear();
+            idx.stale.clear();
+            for node in self.nodes.iter() {
+                idx.insert_node(node);
+            }
+            idx.seeded = true;
+        } else if !idx.stale.is_empty() {
+            let stale: Vec<NodeId> = idx.stale.drain().collect();
+            for id in stale {
+                idx.remove_node(id);
+                if let Some(node) = self.nodes.get(id.0) {
+                    idx.insert_node(node);
+                }
+            }
+        }
+        Some(
+            idx.map
+                .get(&prop_key(key, text))
+                .cloned()
+                .unwrap_or_default(),
+        )
     }
 
     /// Get-or-create by `(label, name)` — the §2.5 exact-text merge. When the
@@ -532,6 +660,7 @@ impl GraphStore {
             }
             if changed {
                 self.touched_nodes.insert(id);
+                self.mark_prop_stale(id);
             }
             return id;
         }
@@ -552,6 +681,14 @@ impl GraphStore {
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
         let node = self.nodes.get_mut(id.0)?;
         self.touched_nodes.insert(id);
+        let idx = self
+            .prop_index
+            .0
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner());
+        if idx.seeded {
+            idx.stale.insert(id);
+        }
         Some(node)
     }
 
@@ -579,6 +716,7 @@ impl GraphStore {
         let node = self.nodes.get_mut(id.0).ok_or(StoreError::NoSuchNode(id))?;
         node.props.insert(key.to_owned(), value);
         self.touched_nodes.insert(id);
+        self.mark_prop_stale(id);
         Ok(())
     }
 
@@ -601,6 +739,7 @@ impl GraphStore {
         self.nodes.clear(id.0);
         self.live_nodes -= 1;
         self.touched_nodes.insert(id);
+        self.mark_prop_stale(id);
         if let Some(ids) = self.label_index.get_mut(&label) {
             ids.retain(|&n| n != id);
         }
@@ -728,6 +867,18 @@ impl GraphStore {
             es.retain(|&e| e != id);
         }
         Ok(())
+    }
+
+    /// Outgoing edge ids of a node, in creation order, zero-alloc. Callers
+    /// resolve through [`GraphStore::edge`] (which returns `None` for
+    /// tombstones), exactly as [`GraphStore::outgoing_iter`] does.
+    pub fn out_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        self.out_edges.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming edge ids of a node, in creation order, zero-alloc.
+    pub fn in_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        self.in_edges.get(&id).map_or(&[], Vec::as_slice)
     }
 
     /// Outgoing edges of a node, lazily — no per-call `Vec`.
@@ -1102,6 +1253,7 @@ impl GraphStore {
         self.touched_nodes.clear();
         self.touched_edges.clear();
         self.delta = DeltaLog::default();
+        self.prop_index = PropIndexCell::default();
         let mut label_entries: Vec<(String, NodeId)> = Vec::new();
         let mut name_entries: Vec<(String, NodeId)> = Vec::new();
         for node in self.nodes.iter() {

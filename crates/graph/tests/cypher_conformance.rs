@@ -264,6 +264,90 @@ fn aggregates_in_row_contexts_are_clean_errors() {
 }
 
 #[test]
+fn parameters_bind_in_where_and_return() {
+    let g = graph();
+    let mut params = kg_graph::Params::new();
+    params.insert("who".into(), Value::from("alpha"));
+    params.insert("floor".into(), Value::Int(5));
+    let r = g
+        .query_readonly_with_params(
+            "MATCH (m:Malware) WHERE m.name = $who RETURN m.name, m.score",
+            &params,
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::from("alpha"), Value::Int(9)]]);
+    let r = g
+        .query_readonly_with_params(
+            "MATCH (m:Malware) WHERE m.score > $floor RETURN m.name, $who",
+            &params,
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::from("alpha"), Value::from("alpha")]]
+    );
+}
+
+#[test]
+fn unknown_parameters_are_clean_bind_errors_never_panics() {
+    let g = graph();
+    let empty = kg_graph::Params::new();
+    for q in [
+        "MATCH (m) WHERE m.name = $missing RETURN m",
+        "MATCH (m) RETURN $missing",
+        "MATCH (m) RETURN m ORDER BY $missing",
+        "MATCH (m) WHERE $a = $b RETURN m",
+        "MATCH (m) WHERE m.name = 'alpha' AND m.score = $late RETURN m",
+    ] {
+        let err = g.query_readonly_with_params(q, &empty).unwrap_err();
+        assert!(
+            matches!(err, kg_graph::cypher::CypherError::Bind(_)),
+            "{q}: {err}"
+        );
+        assert!(err.to_string().contains("unbound parameter"), "{q}: {err}");
+    }
+    // A bound parameter elsewhere doesn't excuse the unbound one.
+    let mut partial = kg_graph::Params::new();
+    partial.insert("a".into(), Value::Int(1));
+    let err = g
+        .query_readonly_with_params("MATCH (m) WHERE $a = $b RETURN m", &partial)
+        .unwrap_err();
+    assert!(err.to_string().contains("$b"), "{err}");
+}
+
+#[test]
+fn hostile_parameter_spellings_never_panic() {
+    let g = graph();
+    let empty = kg_graph::Params::new();
+    for q in [
+        "MATCH (m) WHERE m.name = $ RETURN m",
+        "MATCH (m) WHERE m.name = $1name RETURN m",
+        "MATCH (m) WHERE m.name = $$x RETURN m",
+        "MATCH (m) RETURN $",
+        "MATCH (m {name: $who-}) RETURN m",
+        "$param",
+    ] {
+        assert!(g.query_readonly_with_params(q, &empty).is_err(), "{q:?}");
+    }
+}
+
+#[test]
+fn hop_limits_hold_after_planning() {
+    let g = graph();
+    // Var-length ranges past the parser cap are rejected before any plan
+    // exists; in-range ones execute through the planner without blowup.
+    let over = kg_graph::cypher::MAX_PATTERN_HOPS + 1;
+    let err = g
+        .query_readonly(&format!("MATCH (a)-[*1..{over}]->(b) RETURN b"))
+        .unwrap_err();
+    assert!(err.to_string().contains("hops"), "{err}");
+    let r = g
+        .query_readonly("MATCH (a:Malware)-[*1..2]->(b) RETURN a.name, b.name ORDER BY a.name")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2, "{:?}", r.rows);
+}
+
+#[test]
 fn hostile_garbage_inputs_never_panic() {
     let mut g = graph();
     for q in [

@@ -95,6 +95,17 @@ pub enum TraceEvent {
         evictions: u64,
         entries: usize,
     },
+    /// Point-in-time compiled-plan-cache counters from the serving layer.
+    /// Plans are keyed by normalized query text alone (no snapshot digest),
+    /// so `compiles` staying flat across publishes is the observable proof
+    /// that cached plans survive epochs.
+    PlanCacheReport {
+        hits: u64,
+        misses: u64,
+        compiles: u64,
+        evictions: u64,
+        entries: usize,
+    },
     /// A durable run replayed its journal on startup.
     JournalReplayed {
         records: usize,

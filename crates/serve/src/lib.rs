@@ -36,12 +36,14 @@
 
 mod cache;
 mod epoch;
+mod plan;
 mod shard;
 mod snapshot;
 mod subscribe;
 
 pub use cache::{CacheStats, QueryCache};
 pub use epoch::EpochBuilder;
+pub use plan::{PlanCache, PlanCacheStats};
 pub use shard::{
     combined_digest, ShardDoc, ShardSet, ShardSnapshot, ShardStamp, ShardedResponse, ShardedServe,
     ShardedStats,
@@ -77,12 +79,25 @@ pub struct ServeStats {
     /// Queries executed.
     pub queries: u64,
     pub cache: CacheStats,
+    /// Compiled-plan cache counters (keyed by query text alone, so these
+    /// survive publishes — `compiles` flat across epochs is the invariant).
+    pub plans: PlanCacheStats,
 }
+
+/// Default capacity of the compiled-plan caches ([`KgServe`] and
+/// [`ShardedServe`]). Plans are small (an AST-sized artifact, no graph
+/// data), so the bound exists to cap adversarial churn, not memory.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1024;
 
 /// The serving layer: one writer publishing snapshots, N readers querying.
 pub struct KgServe {
     current: RwLock<Arc<KgSnapshot>>,
     cache: QueryCache,
+    /// Compiled Cypher plans keyed by normalized query text — deliberately
+    /// *not* digest-keyed like `cache`: a plan depends only on the text, so
+    /// publishes invalidate nothing and compiled artifacts live for the
+    /// process lifetime.
+    plans: PlanCache,
     publishes: AtomicU64,
     queries: AtomicU64,
     trace: TraceLog,
@@ -95,6 +110,7 @@ impl KgServe {
         let serve = KgServe {
             current: RwLock::new(Arc::new(KgSnapshot::build_placeholder())),
             cache: QueryCache::new(cache_capacity),
+            plans: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             publishes: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             trace: TraceLog::new(),
@@ -165,7 +181,22 @@ impl KgServe {
                 answer,
             };
         }
-        let answer = snapshot.answer(query);
+        let answer = match query {
+            // The Cypher path binds a cached compiled plan to the pinned
+            // snapshot — plan reuse across epochs, answer isolation per
+            // epoch (the answer still enters the digest-keyed cache above).
+            Query::Cypher { q } => match self.plans.plan(q) {
+                Ok(plan) => match plan.execute_on(snapshot, &kg_graph::Params::new()) {
+                    Ok(result) => Answer::Rows {
+                        columns: result.columns,
+                        rows: result.rows,
+                    },
+                    Err(e) => Answer::Error(e.to_string()),
+                },
+                Err(e) => Answer::Error(e.to_string()),
+            },
+            _ => snapshot.answer(query),
+        };
         self.cache.insert(snapshot.digest(), &key, answer.clone());
         QueryResponse {
             digest: snapshot.digest(),
@@ -181,12 +212,19 @@ impl KgServe {
             publishes: self.publishes.load(Ordering::SeqCst),
             queries: self.queries.load(Ordering::Relaxed),
             cache: self.cache.stats(),
+            plans: self.plans.stats(),
         }
     }
 
     /// The query cache (for clearing between bench phases).
     pub fn cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// The compiled-plan cache (epoch-independent; never needs clearing on
+    /// publish).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// The serving trace (snapshot publishes, cache reports).
@@ -200,6 +238,18 @@ impl KgServe {
         self.trace.record(TraceEvent::CacheReport {
             hits: stats.hits,
             misses: stats.misses,
+            evictions: stats.evictions,
+            entries: stats.entries,
+        });
+    }
+
+    /// Record a point-in-time [`TraceEvent::PlanCacheReport`] on the trace.
+    pub fn record_plan_cache_report(&self) {
+        let stats = self.plans.stats();
+        self.trace.record(TraceEvent::PlanCacheReport {
+            hits: stats.hits,
+            misses: stats.misses,
+            compiles: stats.compiles,
             evictions: stats.evictions,
             entries: stats.entries,
         });

@@ -37,10 +37,12 @@
 //! sharded answers must be byte-identical to the N=1 answers for arbitrary
 //! mutate/publish interleavings and shard counts.
 
+use crate::plan::PlanCache;
 use crate::snapshot::{Answer, Query};
+use kg_graph::store::{Edge, Node};
 use kg_graph::{
-    canon_shard, edge_digest, gather_project, id_shard, node_digest, node_shard, parse,
-    scatter_match, DeltaBatch, DeltaCursor, EdgeId, GraphStore, NodeId, ScatterRow, DIGEST_SEED,
+    canon_shard, edge_digest, id_shard, node_digest, node_shard, DeltaBatch, DeltaCursor, EdgeId,
+    GraphSnapshot, GraphStore, NodeId, Params, ScatterRow, Value, DIGEST_SEED,
 };
 use kg_search::{CorpusStats, Hit, SearchIndex};
 use parking_lot::RwLock;
@@ -130,6 +132,49 @@ impl ShardSnapshot {
     /// The shard's posting partition.
     pub fn search_partition(&self) -> &SearchIndex<ShardDoc> {
         &self.search
+    }
+}
+
+/// Compiled plans scatter directly against a shard snapshot. Graph reads
+/// delegate to the full replica; [`GraphSnapshot::khop_adjacency`] serves
+/// the frozen table only for *owned* nodes (the shard's adjacency partition
+/// is partial — an unowned node's entry is absent, not empty, so plans must
+/// fall back to the replica's edge walk there).
+impl GraphSnapshot for ShardSnapshot {
+    fn node(&self, id: NodeId) -> Option<&Node> {
+        self.graph.node(id)
+    }
+
+    fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.graph.edge(id)
+    }
+
+    fn out_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        self.graph.out_edge_ids(id)
+    }
+
+    fn in_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        self.graph.in_edge_ids(id)
+    }
+
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.graph.nodes_with_label(label)
+    }
+
+    fn node_by_name(&self, label: &str, name: &str) -> Option<NodeId> {
+        self.graph.node_by_name(label, name)
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        self.graph.all_nodes().map(|n| n.id).collect()
+    }
+
+    fn nodes_with_prop_eq(&self, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        self.graph.nodes_with_prop_eq(key, value)
+    }
+
+    fn khop_adjacency(&self, id: NodeId) -> Option<&[NodeId]> {
+        self.adjacency.get(&id).map(|a| a.as_slice())
     }
 }
 
@@ -406,6 +451,9 @@ pub struct ShardedStats {
 /// Readers pin all N cells (`pin_all`), fan a [`Query`] out and merge.
 pub struct ShardedServe {
     cells: Vec<RwLock<Arc<ShardSnapshot>>>,
+    /// Compiled Cypher plans, shared by every shard and every epoch: one
+    /// compile serves the whole fleet for the lifetime of the process.
+    plans: PlanCache,
     publishes: AtomicU64,
     queries: AtomicU64,
 }
@@ -431,6 +479,7 @@ impl ShardedServe {
                     }))
                 })
                 .collect(),
+            plans: PlanCache::new(crate::DEFAULT_PLAN_CACHE_CAPACITY),
             publishes: AtomicU64::new(0),
             queries: AtomicU64::new(0),
         };
@@ -476,7 +525,7 @@ impl ShardedServe {
         self.queries.fetch_add(1, Ordering::Relaxed);
         let answer = match query {
             Query::Search { q, k } => Answer::Nodes(sharded_search(pins, q, *k)),
-            Query::Cypher { q } => sharded_cypher(pins, q),
+            Query::Cypher { q } => sharded_cypher(&self.plans, pins, q),
             Query::Expand { name, hops, cap } => {
                 Answer::Nodes(sharded_expand(pins, name, *hops, *cap))
             }
@@ -500,6 +549,12 @@ impl ShardedServe {
             publishes: self.publishes.load(Ordering::SeqCst),
             queries: self.queries.load(Ordering::Relaxed),
         }
+    }
+
+    /// The shared compiled-plan cache (counters prove plans survive both
+    /// shard republication and epoch turnover).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 }
 
@@ -558,21 +613,23 @@ fn sharded_search(pins: &[Arc<ShardSnapshot>], query: &str, k: usize) -> Vec<Nod
     out
 }
 
-/// Scatter-gather Cypher: parse once, anchor-scatter the match/filter
-/// stage to the owning shards, re-project the merged materialized rows.
-fn sharded_cypher(pins: &[Arc<ShardSnapshot>], query_text: &str) -> Answer {
-    let query = match parse(query_text) {
-        Ok(q) => q,
+/// Scatter-gather Cypher: one compiled plan (cached across epochs),
+/// anchor-scattered to the owning shards, merged rows re-projected by the
+/// plan's gather half.
+fn sharded_cypher(plans: &PlanCache, pins: &[Arc<ShardSnapshot>], query_text: &str) -> Answer {
+    let plan = match plans.plan(query_text) {
+        Ok(p) => p,
         Err(e) => return Answer::Error(e.to_string()),
     };
+    let params = Params::new();
     let mut rows: Vec<ScatterRow> = Vec::new();
     for pin in pins {
-        match scatter_match(pin.graph(), &query, &|id| pin.owns(id)) {
+        match plan.scatter_on(pin.as_ref(), &params, &|id| pin.owns(id)) {
             Ok(shard_rows) => rows.extend(shard_rows),
             Err(e) => return Answer::Error(e.to_string()),
         }
     }
-    match gather_project(&query, rows) {
+    match plan.gather(rows) {
         Ok(result) => Answer::Rows {
             columns: result.columns,
             rows: result.rows,

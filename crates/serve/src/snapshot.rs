@@ -6,7 +6,8 @@
 //! it via `Arc` and every answer it produces is consistent with exactly this
 //! one graph state, whatever the ingest writer does meanwhile.
 
-use kg_graph::{cypher::CypherError, GraphStore, NodeId, QueryResult, Value};
+use kg_graph::store::{Edge, EdgeId, Node};
+use kg_graph::{cypher::CypherError, GraphSnapshot, GraphStore, NodeId, QueryResult, Value};
 use kg_search::SearchIndex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -258,9 +259,13 @@ impl KgSnapshot {
         out
     }
 
-    /// Read-only Cypher against the frozen graph.
+    /// Read-only Cypher against the frozen graph: compiled fresh here (the
+    /// serving layer's [`crate::PlanCache`] is the plan-reusing path), then
+    /// bound to *this snapshot* so var-length patterns ride the frozen
+    /// adjacency table.
     pub fn cypher(&self, query: &str) -> Result<QueryResult, CypherError> {
-        self.graph.query_readonly(query)
+        let plan = kg_graph::CompiledPlan::compile(&kg_graph::parse(query)?)?;
+        plan.execute_on(self, &kg_graph::Params::new())
     }
 
     /// BFS over the precomputed adjacency: `start` plus everything within
@@ -310,6 +315,49 @@ impl KgSnapshot {
                 None => Answer::Nodes(Vec::new()),
             },
         }
+    }
+}
+
+/// Compiled plans bind directly to the frozen snapshot. Everything
+/// delegates to the frozen graph except [`GraphSnapshot::khop_adjacency`],
+/// which serves the precomputed expansion adjacency — so var-length
+/// patterns (`-[*1..k]-`) walk the frozen table instead of per-edge
+/// records.
+impl GraphSnapshot for KgSnapshot {
+    fn node(&self, id: NodeId) -> Option<&Node> {
+        self.graph.node(id)
+    }
+
+    fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.graph.edge(id)
+    }
+
+    fn out_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        self.graph.out_edge_ids(id)
+    }
+
+    fn in_edge_ids(&self, id: NodeId) -> &[EdgeId] {
+        self.graph.in_edge_ids(id)
+    }
+
+    fn nodes_with_label(&self, label: &str) -> Vec<NodeId> {
+        self.graph.nodes_with_label(label)
+    }
+
+    fn node_by_name(&self, label: &str, name: &str) -> Option<NodeId> {
+        self.graph.node_by_name(label, name)
+    }
+
+    fn all_node_ids(&self) -> Vec<NodeId> {
+        self.graph.all_nodes().map(|n| n.id).collect()
+    }
+
+    fn nodes_with_prop_eq(&self, key: &str, value: &Value) -> Option<Vec<NodeId>> {
+        self.graph.nodes_with_prop_eq(key, value)
+    }
+
+    fn khop_adjacency(&self, id: NodeId) -> Option<&[NodeId]> {
+        self.adjacency.get(&id).map(|a| a.as_slice())
     }
 }
 

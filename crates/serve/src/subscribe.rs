@@ -23,7 +23,7 @@
 //! correctness oracle the proptests and bench E14 compare against.
 
 use crate::snapshot::KgSnapshot;
-use kg_graph::cypher::{self, CypherError, Expr};
+use kg_graph::cypher::{self, CypherError};
 use kg_graph::{DeltaCursor, EdgeId, GraphStore, NodeId};
 use kg_pipeline::{TraceEvent, TraceLog};
 use parking_lot::Mutex;
@@ -38,13 +38,16 @@ pub const PREDICATE_VAR: &str = "n";
 /// Identifies one registered subscription (unique per hub).
 pub type SubscriptionId = u64;
 
-/// A predicate compiled to the Cypher `WHERE` expression form — parsed once
-/// at subscribe time, then evaluated per touched node by the exact evaluator
-/// `WHERE` uses (same truthiness, same NULL propagation).
+/// A predicate compiled to the Cypher `WHERE` expression form — parsed and
+/// plan-compiled once at subscribe time ([`PREDICATE_VAR`] resolved to a
+/// slot, names resolved to compiled accessors), then evaluated per touched
+/// node by the same compiled evaluator query plans use (same truthiness,
+/// same NULL propagation as interpreted `WHERE`; `node_satisfies` remains
+/// the interpreted oracle the tests compare against).
 #[derive(Debug, Clone)]
 pub struct CompiledPredicate {
     source: String,
-    expr: Expr,
+    compiled: kg_graph::CompiledNodePredicate,
 }
 
 impl CompiledPredicate {
@@ -60,7 +63,7 @@ impl CompiledPredicate {
         }
         Ok(CompiledPredicate {
             source: source.to_owned(),
-            expr,
+            compiled: kg_graph::CompiledNodePredicate::compile(&expr, PREDICATE_VAR),
         })
     }
 
@@ -73,7 +76,7 @@ impl CompiledPredicate {
     /// error (aggregates were rejected at compile time); NULL-valued
     /// comparisons are non-matches, as in `WHERE`.
     pub fn matches(&self, graph: &GraphStore, id: NodeId) -> bool {
-        cypher::node_satisfies(graph, id, PREDICATE_VAR, &self.expr).unwrap_or(false)
+        self.compiled.matches(graph, id)
     }
 }
 
@@ -715,5 +718,37 @@ mod tests {
         // Aggregates have no row-at-a-time meaning: rejected at compile.
         assert!(CompiledPredicate::compile("count(*) > 0").is_err());
         assert!(CompiledPredicate::compile("NOT (count(n) = 1)").is_err());
+    }
+
+    #[test]
+    fn compiled_predicates_agree_with_the_interpreted_evaluator() {
+        let mut graph = GraphStore::new();
+        let a = graph.create_node("Malware", [("name", Value::from("wannacry"))]);
+        let b = graph.create_node(
+            "Technique",
+            [("name", Value::from("T1486")), ("score", Value::Int(9))],
+        );
+        let c = graph.create_node("Tool", [] as [(&str, Value); 0]);
+        for source in [
+            "n.name CONTAINS 'T14'",
+            "n.name STARTS WITH 'wanna'",
+            "n.score >= 5",
+            "n.name = 'T1486' OR n.score < 3",
+            "NOT n.name ENDS WITH 'cry'",
+            "n.missing = 'x'",
+            "other.name = 'wannacry'",
+        ] {
+            let predicate = CompiledPredicate::compile(source).unwrap();
+            let expr = cypher::parse_predicate(source).unwrap();
+            for id in [a, b, c, NodeId(999)] {
+                let oracle =
+                    cypher::node_satisfies(&graph, id, PREDICATE_VAR, &expr).unwrap_or(false);
+                assert_eq!(
+                    predicate.matches(&graph, id),
+                    oracle,
+                    "{source} on {id:?} diverged from node_satisfies"
+                );
+            }
+        }
     }
 }

@@ -33,6 +33,9 @@ cargo run -q -p kg-bench --bin exp_persist --release -- --smoke
 echo "== E16 smoke (open-loop load, 2 shards, per-request merge equality) =="
 cargo run -q -p kg-bench --bin exp_load --release -- --smoke
 
+echo "== E17 smoke (compiled plans byte-identical to the interpreter) =="
+cargo run -q -p kg-bench --bin exp_plan --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 

@@ -9,6 +9,9 @@
 //!   pinned snapshot, and cached answers equal fresh evaluation on it.
 //! - **No writer starvation**: the publish count advances to the writer's
 //!   full target while readers run flat out.
+//! - **Plan-cache epoch survival**: each distinct valid Cypher text compiles
+//!   exactly once across the whole run — publishing new snapshots never
+//!   invalidates a compiled plan, so `compiles` stays flat while epochs roll.
 //!
 //! Reader count defaults to 4 and can be raised via `SERVE_STRESS_READERS`
 //! (scripts/check.sh runs an elevated pass).
@@ -204,6 +207,14 @@ fn readers_never_observe_torn_state_and_writer_is_never_starved() {
     assert!(reader_counts.iter().all(|&n| n > 0), "{reader_counts:?}");
     assert_eq!(stats.queries, reader_counts.iter().sum::<u64>());
     assert!(stats.cache.hits > 0, "{:?}", stats.cache);
+    // Zero recompiles across publishes: the workload carries exactly two
+    // valid Cypher texts, and each compiled once for the entire run — every
+    // later execution on every epoch re-bound the cached plan. (The
+    // deliberately malformed query misses every pass but never compiles, so
+    // it can't inflate the counter.)
+    assert_eq!(stats.plans.compiles, 2, "{:?}", stats.plans);
+    assert_eq!(stats.plans.entries, 2, "{:?}", stats.plans);
+    assert!(stats.plans.hits > stats.plans.compiles, "{:?}", stats.plans);
     // The final epoch is the writer's last publication.
     let last = serve.pin();
     assert_eq!(last.version(), 1 + PUBLISHES);
@@ -332,6 +343,8 @@ fn incremental_writer_publishes_while_readers_pinned() {
 
     let stats = serve.stats();
     assert_eq!(stats.publishes, 1 + PUBLISHES, "writer starved");
+    // Incremental publishes don't invalidate compiled plans either.
+    assert_eq!(stats.plans.compiles, 2, "{:?}", stats.plans);
     let last = serve.pin();
     assert_eq!(last.version(), 1 + PUBLISHES);
     assert!(last
@@ -345,6 +358,11 @@ fn incremental_writer_publishes_while_readers_pinned() {
             mode: "incremental",
             ..
         }
+    )));
+    serve.record_plan_cache_report();
+    assert!(serve.trace().snapshot().iter().any(|r| matches!(
+        r.event,
+        securitykg::pipeline::TraceEvent::PlanCacheReport { compiles: 2, .. }
     )));
 }
 
