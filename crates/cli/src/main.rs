@@ -68,6 +68,7 @@ USAGE:
   securitykg build  --journal <dir> [--days <n>] [--snapshot-every <n>] [--retention <n>]
                     [--chaos] [--crash-after-records <n>] [--kill-at-io <n>]
                     [--out <kg.json>] [--articles <n>] [--seed <s>] [--shards <n>]
+                    [--json-payloads]
   securitykg build  --resume <dir>  [--days <n>] ... (like --journal, but the dir must exist)
   securitykg recover --dir <dir> [--verify]
   securitykg stats  --kg <kg.json>
@@ -84,8 +85,11 @@ incremental binary checkpoints to a checksummed segment store (--persist-dir
 is an alias for --journal); re-running over the same dir resumes from the
 newest checkpoint that verifies, quarantining corrupt ones. A run killed by
 --crash-after-records or --kill-at-io (a kill before global durable I/O op
-<n>) exits with code 9 and leaves a resumable dir. Recover inspects a dir
-without resuming: it lists checkpoints, verifies blob checksums (plus a full
+<n>) exits with code 9 and leaves a resumable dir. Checkpoint segment blobs
+are fixed-layout KGBIN001 binary; --json-payloads writes the legacy JSON
+encoding instead (recovery auto-sniffs each blob, so mixed dirs resume
+cleanly). Recover inspects a dir without resuming: it lists checkpoints with
+their payload format (json/bin/mixed), verifies blob checksums (plus a full
 digest recomputation under --verify), and exits 0 iff one is restorable.
 
 Serve publishes the knowledge base as an immutable snapshot and replays the
@@ -121,7 +125,7 @@ fn parse_flags(args: &[String]) -> (std::collections::HashMap<String, String>, V
             if takes_value
                 && !matches!(
                     name,
-                    "ner" | "fuse" | "stats" | "chaos" | "verify" | "explain"
+                    "ner" | "fuse" | "stats" | "chaos" | "verify" | "explain" | "json-payloads"
                 )
             {
                 flags.insert(name.to_owned(), args[i + 1].clone());
@@ -276,6 +280,7 @@ fn cmd_build_durable(
         io_kill_after: kill_at_io,
         io_kill_torn: kill_at_io.is_some_and(|n| n % 2 == 1),
         fault_hook: None,
+        json_payloads: flags.contains_key("json-payloads"),
     };
     let until_ms = DEFAULT_START_MS + days * 24 * 3_600_000;
     let report = match run_durable(
@@ -419,8 +424,13 @@ fn cmd_recover(args: &[String]) -> Result<ExitCode, String> {
         },
         summary.stats.manifest_bytes,
     );
-    for (seq, cycles, digest) in &summary.checkpoints {
-        println!("checkpoint {seq}: {cycles} cycle(s), digest {digest:016x}");
+    for (i, (seq, cycles, digest)) in summary.checkpoints.iter().enumerate() {
+        let format = summary
+            .payload_formats
+            .get(i)
+            .map(String::as_str)
+            .unwrap_or("?");
+        println!("checkpoint {seq}: {cycles} cycle(s), digest {digest:016x}, payload {format}");
     }
     eprintln!(
         "data: {} file(s), {} bytes on disk, {} bytes live",

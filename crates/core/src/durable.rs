@@ -5,10 +5,18 @@
 //! (see [`crate::journal`]) and periodically persisting an **incremental
 //! binary checkpoint** into a [`kg_persist::SegmentStore`] living alongside
 //! the journal: run metadata (scheduler control state + ingested hashes) as
-//! one blob, the graph's copy-on-write arena segments and the search index's
-//! term shards as one blob each. Only blobs dirtied since the previous
+//! one JSON blob, the graph's copy-on-write arena segments and the search
+//! index's term shards as one `kg_codec` `KGBIN001` binary blob each
+//! (fixed-layout, validated in place — recovery is checksum + bounds-check +
+//! index rebuild, no per-field parse). Only blobs dirtied since the previous
 //! checkpoint are rewritten — the rest are carried forward by manifest
 //! reference — so a steady-state checkpoint costs O(delta), not O(graph).
+//! Recovery decodes segment blobs in parallel (they are independent by
+//! construction) and auto-sniffs each payload's format, so manifests mixing
+//! legacy JSON blobs with binary ones — e.g. a store written by an older
+//! build and resumed by this one — reassemble cleanly; the JSON encoding
+//! stays writable via [`DurableOptions::json_payloads`] as the codec's
+//! differential oracle.
 //!
 //! The recovery model is **snapshot + deterministic redo**: the checkpoint
 //! is the durable truth, and everything after it is recomputed rather than
@@ -118,6 +126,11 @@ pub struct DurableOptions {
     /// Externally supplied fault hook (op-order audits). When set,
     /// `io_kill_after` arms *this* hook.
     pub fault_hook: Option<FaultHook>,
+    /// Write segment/shard blobs as legacy JSON instead of `KGBIN001`
+    /// binary. Recovery auto-sniffs per blob either way; this knob exists as
+    /// the differential oracle for the binary codec and to emulate stores
+    /// written by older builds (mixed-format forward-compat tests).
+    pub json_payloads: bool,
 }
 
 impl Default for DurableOptions {
@@ -130,6 +143,7 @@ impl Default for DurableOptions {
             io_kill_after: None,
             io_kill_torn: false,
             fault_hook: None,
+            json_payloads: false,
         }
     }
 }
@@ -222,6 +236,80 @@ struct Recovered {
     search: SearchIndex<NodeId>,
 }
 
+/// One decoded segment blob, produced by the parallel decode pool.
+enum DecodedPart {
+    Node(Vec<Option<Node>>),
+    Edge(Vec<Option<Edge>>),
+    Doc(Vec<(NodeId, u32)>),
+    Shard(ShardTerms),
+}
+
+/// Decode one segment blob, auto-sniffing its wire format: `KGBIN001`
+/// payloads take the zero-parse binary path, anything else the legacy JSON
+/// path. The fallback is what makes mixed-format manifests (old JSON blobs
+/// carried forward beside new binary ones) recover without ceremony.
+fn decode_part(kind: char, index: usize, bytes: &[u8]) -> Result<DecodedPart, String> {
+    match kind {
+        'n' => kg_codec::decode_node_segment_auto(bytes)
+            .map(DecodedPart::Node)
+            .map_err(|e| format!("node segment {index}: {e}")),
+        'e' => kg_codec::decode_edge_segment_auto(bytes)
+            .map(DecodedPart::Edge)
+            .map_err(|e| format!("edge segment {index}: {e}")),
+        'd' => kg_codec::decode_doc_segment_auto(bytes)
+            .map(DecodedPart::Doc)
+            .map_err(|e| format!("doc segment {index}: {e}")),
+        's' => kg_codec::decode_posting_shard_auto(bytes)
+            .map(DecodedPart::Shard)
+            .map_err(|e| format!("search shard {index}: {e}")),
+        other => Err(format!("unknown blob kind {other:?}")),
+    }
+}
+
+/// Decode a checkpoint's segment blobs across cores: segments are
+/// independent by construction, so a work-stealing counter over the job
+/// list keeps every core busy regardless of skew in segment sizes. Results
+/// come back in job order.
+fn decode_parts(jobs: &[(char, usize, &[u8])]) -> Vec<Result<DecodedPart, String>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(jobs.len());
+    if workers <= 1 {
+        return jobs.iter().map(|&(k, i, b)| decode_part(k, i, b)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<DecodedPart, String>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let at = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(kind, index, bytes)) = jobs.get(at) else {
+                            break;
+                        };
+                        mine.push((at, decode_part(kind, index, bytes)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (at, result) in handle.join().expect("decode worker panicked") {
+                slots[at] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job claimed exactly once"))
+        .collect()
+}
+
 /// Reassemble a checkpoint from its verified blobs. Every structural or
 /// semantic mismatch is a clean `Err(reason)` — the store quarantines the
 /// checkpoint and falls back to an older one.
@@ -238,22 +326,35 @@ fn reassemble(
             meta.seq, meta.kg_digest, record.seq, record.kg_digest
         ));
     }
-    let parse_parts = |prefix: &str, count: usize| -> Result<Vec<&Vec<u8>>, String> {
-        (0..count)
-            .map(|i| {
-                blobs
-                    .get(&format!("{prefix}{i}"))
-                    .ok_or_else(|| format!("missing blob {prefix}{i}"))
-            })
-            .collect()
-    };
-    let mut node_parts: Vec<Vec<Option<Node>>> = Vec::with_capacity(meta.node_segments);
-    for bytes in parse_parts("n", meta.node_segments)? {
-        node_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("node segment: {e}"))?);
+    // One flat job list over every segment blob, decoded in parallel.
+    let mut jobs: Vec<(char, usize, &[u8])> = Vec::new();
+    let sets: [(char, usize); 4] = [
+        ('n', meta.node_segments),
+        ('e', meta.edge_segments),
+        ('d', meta.search_doc_segments),
+        ('s', PERSIST_SHARDS),
+    ];
+    for (kind, count) in sets {
+        for i in 0..count {
+            let name = format!("{kind}{i}");
+            let bytes = blobs
+                .get(&name)
+                .ok_or_else(|| format!("missing blob {name}"))?;
+            jobs.push((kind, i, bytes.as_slice()));
+        }
     }
+    let mut decoded = decode_parts(&jobs).into_iter();
+    let mut node_parts: Vec<Vec<Option<Node>>> = Vec::with_capacity(meta.node_segments);
     let mut edge_parts: Vec<Vec<Option<Edge>>> = Vec::with_capacity(meta.edge_segments);
-    for bytes in parse_parts("e", meta.edge_segments)? {
-        edge_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("edge segment: {e}"))?);
+    let mut doc_parts: Vec<Vec<(NodeId, u32)>> = Vec::with_capacity(meta.search_doc_segments);
+    let mut shard_parts: Vec<ShardTerms> = Vec::with_capacity(PERSIST_SHARDS);
+    for _ in 0..jobs.len() {
+        match decoded.next().expect("one result per job")? {
+            DecodedPart::Node(part) => node_parts.push(part),
+            DecodedPart::Edge(part) => edge_parts.push(part),
+            DecodedPart::Doc(part) => doc_parts.push(part),
+            DecodedPart::Shard(part) => shard_parts.push(part),
+        }
     }
     let graph = GraphStore::from_segments(node_parts, edge_parts)?;
     // The decisive check: the reassembled graph must reproduce the digest
@@ -264,14 +365,6 @@ fn reassemble(
             "reassembled graph digest {digest:016x} != recorded {:016x}",
             record.kg_digest
         ));
-    }
-    let mut doc_parts: Vec<Vec<(NodeId, u32)>> = Vec::with_capacity(meta.search_doc_segments);
-    for bytes in parse_parts("d", meta.search_doc_segments)? {
-        doc_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("doc segment: {e}"))?);
-    }
-    let mut shard_parts: Vec<ShardTerms> = Vec::with_capacity(PERSIST_SHARDS);
-    for bytes in parse_parts("s", PERSIST_SHARDS)? {
-        shard_parts.push(serde_json::from_slice(bytes).map_err(|e| format!("search shard: {e}"))?);
     }
     let search = SearchIndex::from_persist_parts(meta.search_params, doc_parts, shard_parts)?;
     Ok(Recovered {
@@ -287,6 +380,11 @@ pub struct RecoverSummary {
     /// Every manifest checkpoint record, oldest first: `(seq, cycles_done,
     /// kg_digest)`. Includes records that would fail verification.
     pub checkpoints: Vec<(u64, u64, u64)>,
+    /// Per-checkpoint payload wire format, aligned with `checkpoints`:
+    /// `"bin"`, `"json"`, or `"mixed(Nj/Mb)"` when carried-forward legacy
+    /// JSON blobs sit beside binary ones (`"empty"` for a meta-only record,
+    /// `"?"` when a blob could not be read — recovery attributes those).
+    pub payload_formats: Vec<String>,
     /// The newest checkpoint that passed verification, if any.
     pub restored: Option<(u64, u64, u64)>,
     /// Attributed quarantine events for checkpoints/blobs that failed.
@@ -316,6 +414,34 @@ pub fn verify_dir(dir: &Path, deep: bool) -> Result<RecoverSummary, JournalError
         .iter()
         .map(|r| (r.seq, r.cycles_done, r.kg_digest))
         .collect();
+    // Classify payload formats before recovery (which truncates the record
+    // list to the survivor) so the column aligns with `checkpoints`.
+    let payload_formats: Vec<String> = store
+        .checkpoints()
+        .iter()
+        .map(|record| {
+            let (mut json_n, mut bin_n, mut unreadable) = (0usize, 0usize, false);
+            for entry in &record.entries {
+                if entry.logical == "meta" {
+                    continue;
+                }
+                match store.blob_prefix(entry, kg_codec::BIN_MAGIC.len()) {
+                    Ok(prefix) => match kg_codec::payload_format(&prefix) {
+                        kg_codec::PayloadFormat::Binary => bin_n += 1,
+                        kg_codec::PayloadFormat::Json => json_n += 1,
+                    },
+                    Err(_) => unreadable = true,
+                }
+            }
+            match (json_n, bin_n) {
+                _ if unreadable => "?".to_owned(),
+                (0, 0) => "empty".to_owned(),
+                (0, _) => "bin".to_owned(),
+                (_, 0) => "json".to_owned(),
+                (j, b) => format!("mixed({j}j/{b}b)"),
+            }
+        })
+        .collect();
     let restored = if deep {
         store
             .recover_with(reassemble)?
@@ -333,6 +459,7 @@ pub fn verify_dir(dir: &Path, deep: bool) -> Result<RecoverSummary, JournalError
     };
     Ok(RecoverSummary {
         checkpoints,
+        payload_formats,
         restored,
         events: store
             .quarantine_log()
@@ -345,12 +472,15 @@ pub fn verify_dir(dir: &Path, deep: bool) -> Result<RecoverSummary, JournalError
 }
 
 /// Persist one incremental checkpoint, commit its journal marker, then
-/// enforce retention (prune + journal truncation) and compaction.
+/// enforce retention (prune + journal truncation) and compaction. Segment
+/// and shard blobs are `KGBIN001` binary unless `json_payloads` asks for
+/// the legacy JSON oracle encoding.
 fn write_checkpoint(
     store: &mut SegmentStore,
     state: &mut DurableState<'_>,
     journal: &mut Journal,
     trace: &TraceLog,
+    json_payloads: bool,
 ) -> Result<u64, JournalError> {
     let seq = state.snapshot_seq;
     let graph = &state.connector.graph;
@@ -378,8 +508,14 @@ fn write_checkpoint(
         graph.dirty_node_segments()
     };
     for i in node_set {
-        let json = graph.node_segment_json(i).expect("dirty segment exists");
-        blobs.push((format!("n{i}"), json.into_bytes()));
+        let bytes = if json_payloads {
+            let json = graph.node_segment_json(i).expect("dirty segment exists");
+            json.into_bytes()
+        } else {
+            let slots = graph.node_segment_slots(i).expect("dirty segment exists");
+            kg_codec::encode_node_segment(slots)
+        };
+        blobs.push((format!("n{i}"), bytes));
     }
     let edge_set: Vec<usize> = if full {
         (0..meta.edge_segments).collect()
@@ -387,8 +523,14 @@ fn write_checkpoint(
         graph.dirty_edge_segments()
     };
     for i in edge_set {
-        let json = graph.edge_segment_json(i).expect("dirty segment exists");
-        blobs.push((format!("e{i}"), json.into_bytes()));
+        let bytes = if json_payloads {
+            let json = graph.edge_segment_json(i).expect("dirty segment exists");
+            json.into_bytes()
+        } else {
+            let slots = graph.edge_segment_slots(i).expect("dirty segment exists");
+            kg_codec::encode_edge_segment(slots)
+        };
+        blobs.push((format!("e{i}"), bytes));
     }
     let doc_set: Vec<usize> = if full {
         (0..meta.search_doc_segments).collect()
@@ -396,8 +538,14 @@ fn write_checkpoint(
         search.dirty_doc_segments()
     };
     for i in doc_set {
-        let json = search.doc_segment_json(i).expect("dirty segment exists");
-        blobs.push((format!("d{i}"), json.into_bytes()));
+        let bytes = if json_payloads {
+            let json = search.doc_segment_json(i).expect("dirty segment exists");
+            json.into_bytes()
+        } else {
+            let slots = search.doc_segment_slots(i).expect("dirty segment exists");
+            kg_codec::encode_doc_segment(slots)
+        };
+        blobs.push((format!("d{i}"), bytes));
     }
     // Every shard is written on a full checkpoint — including empty ones —
     // so the carried entry set always holds all PERSIST_SHARDS shards.
@@ -407,7 +555,12 @@ fn write_checkpoint(
         search.dirty_persist_shards()
     };
     for s in shard_set {
-        blobs.push((format!("s{s}"), search.shard_json(s).into_bytes()));
+        let bytes = if json_payloads {
+            search.shard_json(s).into_bytes()
+        } else {
+            kg_codec::encode_posting_shard(&search.shard_terms(s))
+        };
+        blobs.push((format!("s{s}"), bytes));
     }
     store.checkpoint(seq, state.cycles_done, digest, blobs)?;
     // The journal marker is audit only (the manifest committed above), but
@@ -638,7 +791,13 @@ pub fn run_durable(
         cycles_run += 1;
         if opts.snapshot_every_cycles > 0 && state.cycles_done % opts.snapshot_every_cycles == 0 {
             state.snapshot_seq += 1;
-            write_checkpoint(&mut store, &mut state, &mut journal, &trace)?;
+            write_checkpoint(
+                &mut store,
+                &mut state,
+                &mut journal,
+                &trace,
+                opts.json_payloads,
+            )?;
         }
     }
 
@@ -646,7 +805,13 @@ pub fn run_durable(
     // no-op resume of an already-complete directory).
     if cycles_run > 0 || state.snapshot_seq == 0 {
         state.snapshot_seq += 1;
-        write_checkpoint(&mut store, &mut state, &mut journal, &trace)?;
+        write_checkpoint(
+            &mut store,
+            &mut state,
+            &mut journal,
+            &trace,
+            opts.json_payloads,
+        )?;
     }
 
     Ok(DurableReport {

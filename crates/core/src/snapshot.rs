@@ -21,14 +21,10 @@ impl KnowledgeBase {
 
     /// Load from JSON bytes (graph indexes are rebuilt).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
-        let kb: KnowledgeBase = serde_json::from_slice(bytes)?;
-        // GraphStore's secondary indexes are #[serde(skip)]; round-trip
-        // through its own loader to rebuild them.
-        let graph = GraphStore::from_bytes(&serde_json::to_vec(&kb.graph)?)?;
-        Ok(KnowledgeBase {
-            graph,
-            search: kb.search,
-        })
+        let mut kb: KnowledgeBase = serde_json::from_slice(bytes)?;
+        // GraphStore's secondary indexes are #[serde(skip)]; rebuild in place.
+        kb.graph.rebuild_after_load();
+        Ok(kb)
     }
 
     /// Freeze this knowledge base into a `kg-serve` publication snapshot.

@@ -165,8 +165,9 @@ mod tests {
             Some(vec![])
         );
         // A serde round-trip resets and reseeds correctly.
-        let bytes = g.to_bytes().unwrap();
-        let g2 = GraphStore::from_bytes(&bytes).unwrap();
+        let bytes = serde_json::to_vec(&g).unwrap();
+        let mut g2: GraphStore = serde_json::from_slice(&bytes).unwrap();
+        g2.rebuild_after_load();
         assert_eq!(
             g2.nodes_with_prop_eq("tag", &Value::from("hot")),
             Some(vec![])

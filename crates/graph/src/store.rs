@@ -965,8 +965,9 @@ impl GraphStore {
     /// are sealed first and the fresh cursor is positioned *after* them: a
     /// new consumer sees exactly the changes made after registration, never
     /// history it has no baseline for. A freshly loaded store
-    /// ([`GraphStore::from_bytes`]) starts with an empty log — incremental
-    /// consumers must re-seed from a full scan after a load.
+    /// ([`GraphStore::from_segments`] or [`GraphStore::rebuild_after_load`])
+    /// starts with an empty log — incremental consumers must re-seed from a
+    /// full scan after a load.
     pub fn register_delta_consumer(&mut self) -> DeltaCursor {
         self.seal_pending();
         let id = self.delta.next_cursor_id;
@@ -1126,16 +1127,13 @@ impl GraphStore {
             .collect()
     }
 
-    /// Serialise to JSON bytes (indexes are rebuilt on load).
-    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
-        serde_json::to_vec(self)
-    }
-
-    /// Load from JSON bytes, rebuilding all indexes.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
-        let mut store: GraphStore = serde_json::from_slice(bytes)?;
-        store.rebuild_indexes();
-        Ok(store)
+    /// Rebuild the derived state (label/name/property indexes, adjacency,
+    /// delta log) after deserialising a store whose `#[serde(skip)]` fields
+    /// came back empty — e.g. a whole-KB JSON snapshot load. The hot
+    /// checkpoint path uses [`GraphStore::from_segments`] instead, which
+    /// calls this internally.
+    pub fn rebuild_after_load(&mut self) {
+        self.rebuild_indexes();
     }
 
     // ---- segment persistence (kg-persist) ---------------------------------
@@ -1176,6 +1174,17 @@ impl GraphStore {
         self.edges
             .segment(index)
             .map(|seg| serde_json::to_string(seg).expect("edge segment serialises"))
+    }
+
+    /// One node arena segment as raw slots (`None` entries are tombstones) —
+    /// what `kg-codec` packs into a `KGBIN001` binary payload.
+    pub fn node_segment_slots(&self, index: usize) -> Option<&[Option<Node>]> {
+        self.nodes.segment(index).map(Vec::as_slice)
+    }
+
+    /// One edge arena segment as raw slots (`None` entries are tombstones).
+    pub fn edge_segment_slots(&self, index: usize) -> Option<&[Option<Edge>]> {
+        self.edges.segment(index).map(Vec::as_slice)
     }
 
     /// Node segments mutated since [`GraphStore::clear_segment_dirty`].
@@ -1414,8 +1423,9 @@ mod tests {
         let f = g.create_node("FileName", [("name", Value::from("tasksche.exe"))]);
         g.create_edge(m, "DROP", f, [] as [(&str, Value); 0])
             .unwrap();
-        let bytes = g.to_bytes().unwrap();
-        let back = GraphStore::from_bytes(&bytes).unwrap();
+        let bytes = serde_json::to_vec(&g).unwrap();
+        let mut back: GraphStore = serde_json::from_slice(&bytes).unwrap();
+        back.rebuild_after_load();
         assert_eq!(back.node_count(), 2);
         assert_eq!(back.edge_count(), 1);
         assert_eq!(back.node_by_name("Malware", "wannacry"), Some(m));
@@ -1517,8 +1527,9 @@ mod tests {
         assert_eq!(g.node(ids[SEG_CAP + 1]).unwrap().name(), Some("m257"));
         // The JSON shape is the flat array the unsegmented arena produced:
         // one top-level array with a null at the tombstone.
-        let bytes = g.to_bytes().unwrap();
-        let back = GraphStore::from_bytes(&bytes).unwrap();
+        let bytes = serde_json::to_vec(&g).unwrap();
+        let mut back: GraphStore = serde_json::from_slice(&bytes).unwrap();
+        back.rebuild_after_load();
         assert_eq!(back.node_count(), g.node_count());
         assert_eq!(back.edge_count(), g.edge_count());
         assert_eq!(back.digest(), g.digest());

@@ -91,12 +91,20 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-/// Encode one frame: header + payload.
+/// Encode one frame (header + payload), appending to `out`. The checkpoint
+/// write loop clears and reuses one buffer across a cycle's blobs, so the
+/// frame allocation is amortised to the largest blob of the cycle.
+pub fn encode_frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encode one frame into a fresh buffer.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
-    frame.extend_from_slice(payload);
+    encode_frame_into(payload, &mut frame);
     frame
 }
 

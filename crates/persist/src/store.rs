@@ -256,11 +256,14 @@ impl SegmentStore {
                 .collect(),
             None => BTreeMap::new(),
         };
-        // 1. Append frames to the active data file.
+        // 1. Append frames to the active data file. One frame buffer is
+        // reused across the cycle's blobs (cleared, not reallocated).
+        let mut frame = Vec::new();
         for (logical, payload) in &blobs {
             self.ensure_active()?;
             let active = self.active.as_mut().expect("active file exists");
-            let frame = format::encode_frame(payload);
+            frame.clear();
+            format::encode_frame_into(payload, &mut frame);
             let offset = active.len;
             let path = self.dir.join(&active.name);
             self.vfs.append(&mut active.file, &path, &frame)?;
@@ -337,6 +340,19 @@ impl SegmentStore {
         Ok(None)
     }
 
+    /// Read the first `n` payload bytes of one referenced blob — enough for
+    /// format sniffing (`recover --verify`'s payload column) — without
+    /// loading or checksumming the whole frame. Truncated files surface as
+    /// an I/O error.
+    pub fn blob_prefix(&self, entry: &BlobEntry, n: usize) -> Result<Vec<u8>, PersistError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = std::fs::File::open(self.dir.join(&entry.file))?;
+        file.seek(SeekFrom::Start(entry.offset + FRAME_HEADER as u64))?;
+        let mut buf = vec![0u8; n.min(entry.len as usize)];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
     /// Drop retained records beyond the retention count and delete data
     /// files no retained record references. Returns deleted file names.
     pub fn prune(&mut self) -> Result<Vec<String>, PersistError> {
@@ -405,6 +421,7 @@ impl SegmentStore {
         let mut relocated: HashMap<(String, u64), u64> = HashMap::new();
         let mut file_cache: HashMap<String, Option<Vec<u8>>> = HashMap::new();
         let mut new_records = self.records.clone();
+        let mut frame = Vec::new();
         for record in &mut new_records {
             for entry in &mut record.entries {
                 let key = (entry.file.clone(), entry.offset);
@@ -422,7 +439,8 @@ impl SegmentStore {
                                     reason: event.reason,
                                 }
                             })?;
-                        let frame = format::encode_frame(&payload);
+                        frame.clear();
+                        format::encode_frame_into(&payload, &mut frame);
                         let offset = len;
                         self.vfs.append(&mut file, &path, &frame)?;
                         len += frame.len() as u64;

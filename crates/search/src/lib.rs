@@ -412,23 +412,41 @@ impl<D: Clone + PartialEq> SearchIndex<D> {
         Some(serde_json::to_string(&seg).expect("doc segment serialises"))
     }
 
-    /// One term shard as JSON: sorted `[(term, [(doc, tf), ...]), ...]`.
-    /// Empty shards serialise as `[]` — a full checkpoint writes all
+    /// One doc-table segment as raw `(key, token_len)` slots — what
+    /// `kg-codec` packs into a `KGBIN001` binary payload.
+    pub fn doc_segment_slots(&self, index: usize) -> Option<&[(D, u32)]> {
+        let a = index.checked_mul(DOC_SEG)?;
+        if a >= self.docs.len() {
+            return None;
+        }
+        let b = (a + DOC_SEG).min(self.docs.len());
+        Some(&self.docs[a..b])
+    }
+
+    /// One term shard as sorted owned `(term, [(doc, tf), ...])` rows.
+    /// Empty shards come back as `[]` — a full checkpoint writes all
     /// [`PERSIST_SHARDS`] shards so the carried set is always complete.
-    pub fn shard_json(&self, shard: usize) -> String {
-        let mut terms: Vec<(&str, Vec<(u32, u32)>)> = self
+    pub fn shard_terms(&self, shard: usize) -> ShardTerms {
+        let mut terms: ShardTerms = self
             .postings
             .iter()
             .filter(|(term, _)| shard_of(term) == shard)
             .map(|(term, postings)| {
                 (
-                    term.as_str(),
+                    term.clone(),
                     postings.iter().map(|p| (p.doc, p.tf)).collect(),
                 )
             })
             .collect();
-        terms.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        serde_json::to_string(&terms).expect("shard serialises")
+        terms.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        terms
+    }
+
+    /// One term shard as JSON: sorted `[(term, [(doc, tf), ...]), ...]`.
+    /// The JSON form survives as the differential oracle for the binary
+    /// codec (and for stores written by older builds).
+    pub fn shard_json(&self, shard: usize) -> String {
+        serde_json::to_string(&self.shard_terms(shard)).expect("shard serialises")
     }
 
     /// Term shards touched since the last [`SearchIndex::clear_persist_dirty`].

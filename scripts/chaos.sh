@@ -129,6 +129,41 @@ if [ "$GOT" != "$FLIPREF" ]; then
 fi
 echo "resume fell back past the quarantined checkpoint; digest matches"
 
+echo "== mixed payload formats: legacy JSON prefix, binary resume =="
+DIR="$WORK/mixed"
+"$BIN" build --journal "$DIR" --articles "$ARTICLES" --days 0 --seed "$SEED" \
+  --snapshot-every 2 --json-payloads >"$WORK/mixed-json.out" 2>/dev/null
+"$BIN" recover --dir "$DIR" --verify >"$WORK/mixed-verify-json.out" 2>&1
+if ! grep -q 'payload json' "$WORK/mixed-verify-json.out"; then
+  echo "FAIL: recover did not report the legacy checkpoints as 'payload json'" >&2
+  cat "$WORK/mixed-verify-json.out" >&2
+  exit 1
+fi
+if grep -Eq 'payload (bin|mixed)' "$WORK/mixed-verify-json.out"; then
+  echo "FAIL: json-payload run reported binary blobs" >&2
+  cat "$WORK/mixed-verify-json.out" >&2
+  exit 1
+fi
+# Resume the legacy store with the binary-writing default: carried-forward
+# JSON blobs now sit beside fresh KGBIN001 blobs in the same manifest.
+"$BIN" build --resume "$DIR" --articles "$ARTICLES" --days 2 --seed "$SEED" \
+  --snapshot-every 2 >"$WORK/mixed-resume.out" 2>/dev/null
+MIXED=$(digest_of "$WORK/mixed-resume.out")
+"$BIN" build --journal "$WORK/mixed-ref" --articles "$ARTICLES" --days 2 --seed "$SEED" \
+  --snapshot-every 2 >"$WORK/mixed-ref.out" 2>/dev/null
+MIXEDREF=$(digest_of "$WORK/mixed-ref.out")
+if [ "$MIXED" != "$MIXEDREF" ]; then
+  echo "FAIL: mixed-format resume produced $MIXED, binary reference $MIXEDREF" >&2
+  exit 1
+fi
+"$BIN" recover --dir "$DIR" --verify >"$WORK/mixed-verify.out" 2>&1
+if ! grep -Eq 'payload (bin|mixed)' "$WORK/mixed-verify.out"; then
+  echo "FAIL: post-resume store shows no binary payloads" >&2
+  cat "$WORK/mixed-verify.out" >&2
+  exit 1
+fi
+echo "mixed-format store recovers to the reference digest; formats reported"
+
 echo "== destroyed manifest magic fails cleanly =="
 DIR="$WORK/flip-manifest"
 cp -r "$SRC" "$DIR"

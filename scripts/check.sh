@@ -36,6 +36,9 @@ cargo run -q -p kg-bench --bin exp_load --release -- --smoke
 echo "== E17 smoke (compiled plans byte-identical to the interpreter) =="
 cargo run -q -p kg-bench --bin exp_plan --release -- --smoke
 
+echo "== E18 smoke (binary vs JSON payload decode digest parity) =="
+cargo run -q -p kg-bench --bin exp_recover_decode --release -- --smoke
+
 echo "== serving stress (elevated readers) =="
 SERVE_STRESS_READERS=8 cargo test -q --test serving
 

@@ -159,8 +159,24 @@ fn demo_cypher_and_keyword_agree() {
 fn graph_persistence_round_trips_a_real_build() {
     let mut kg = SecurityKg::bootstrap_without_ner(&dense_config(0x5A5A));
     kg.crawl_and_ingest();
-    let bytes = kg.graph().to_bytes().unwrap();
-    let restored = securitykg::graph::GraphStore::from_bytes(&bytes).unwrap();
+    // Round-trip through the binary segment payloads (the checkpoint wire
+    // format): encode every arena segment, validate + decode, reassemble.
+    let graph = kg.graph();
+    let node_parts: Vec<_> = (0..graph.node_segment_count())
+        .map(|i| {
+            let bytes = kg_codec::encode_node_segment(graph.node_segment_slots(i).unwrap());
+            kg_codec::validate_payload(&bytes).unwrap();
+            kg_codec::decode_node_segment(&bytes).unwrap()
+        })
+        .collect();
+    let edge_parts: Vec<_> = (0..graph.edge_segment_count())
+        .map(|i| {
+            let bytes = kg_codec::encode_edge_segment(graph.edge_segment_slots(i).unwrap());
+            kg_codec::decode_edge_segment(&bytes).unwrap()
+        })
+        .collect();
+    let restored = securitykg::graph::GraphStore::from_segments(node_parts, edge_parts).unwrap();
+    assert_eq!(restored.digest(), kg.graph().digest());
     assert_eq!(restored.node_count(), kg.graph().node_count());
     assert_eq!(restored.edge_count(), kg.graph().edge_count());
     // Indexes rebuilt: lookups still work.

@@ -180,6 +180,148 @@ fn bit_flips_never_panic_and_resume_reproduces_the_reference() {
 }
 
 #[test]
+fn bit_flips_inside_binary_payloads_degrade_gracefully() {
+    let system = system(41);
+    let opts = DurableOptions {
+        snapshot_every_cycles: 3,
+        ..DurableOptions::default()
+    };
+    let src = tmp_dir("binflip-src", 0);
+    let reference = run(&src, &system, START, &opts);
+
+    // Target the flips at the KGBIN001 payload regions specifically: the
+    // newest checkpoint's blob entries give us exact (file, offset, len)
+    // coordinates of every binary segment inside the data files.
+    let replay = securitykg::persist::manifest::replay_manifest(&src.join("manifest.log"))
+        .expect("manifest replays");
+    let record = replay.records.last().expect("at least one checkpoint");
+    let blobs: Vec<_> = record
+        .entries
+        .iter()
+        .filter(|e| e.logical != "meta")
+        .collect();
+    assert!(
+        blobs.len() > 8,
+        "want many binary blobs, got {}",
+        blobs.len()
+    );
+
+    let mut case = 0u64;
+    let mut magic_seen = 0usize;
+    for entry in blobs.iter().step_by((blobs.len() / 6).max(1)) {
+        let bytes = std::fs::read(src.join(&entry.file)).unwrap();
+        let payload_at = entry.offset as usize + securitykg::persist::FRAME_HEADER;
+        if bytes[payload_at..].starts_with(kg_codec::BIN_MAGIC) {
+            magic_seen += 1;
+        }
+        let len = entry.len as usize;
+        for rel in [0, len / 4, len / 2, len - 1] {
+            let dir = tmp_dir("binflip", case);
+            case += 1;
+            copy_dir(&src, &dir);
+            let mut corrupt = bytes.clone();
+            corrupt[payload_at + rel] ^= 0xFF;
+            std::fs::write(dir.join(&entry.file), &corrupt).unwrap();
+
+            // Inspection (including format sniffing) must never panic.
+            let _ = verify_dir(&dir, true);
+
+            // The frame checksum quarantines the flipped blob's checkpoint;
+            // resume falls back (redoing from scratch if need be) and must
+            // reproduce the reference digest — payload flips are never fatal.
+            let resumed = run(&dir, &system, START, &opts);
+            assert_eq!(
+                resumed.kg_digest, reference.kg_digest,
+                "flip {}[{rel}] in {}: resumed digest diverged (quarantine: {:?})",
+                entry.logical, entry.file, resumed.recovery_events
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(
+        magic_seen > 0,
+        "sweep never touched a KGBIN001 payload — wrong coordinates?"
+    );
+    let _ = std::fs::remove_dir_all(&src);
+}
+
+#[test]
+fn mixed_format_manifests_recover_and_report_their_formats() {
+    let system = system(43);
+    let bin_opts = DurableOptions {
+        snapshot_every_cycles: 3,
+        ..DurableOptions::default()
+    };
+    let json_opts = DurableOptions {
+        json_payloads: true,
+        ..bin_opts.clone()
+    };
+    let horizon = START + 24 * 3_600_000;
+
+    // Uninterrupted binary run: the reference digest.
+    let ref_dir = tmp_dir("mixed-ref", 0);
+    let reference = run(&ref_dir, &system, horizon, &bin_opts);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // All-JSON run over the same horizon: the differential oracle. Both
+    // wire formats must describe the same knowledge graph.
+    let json_dir = tmp_dir("mixed-json", 0);
+    let oracle = run(&json_dir, &system, horizon, &json_opts);
+    assert_eq!(
+        oracle.kg_digest, reference.kg_digest,
+        "JSON and binary payloads diverged on an uninterrupted run"
+    );
+    let summary = verify_dir(&json_dir, true).expect("json store verifies");
+    assert!(summary.restored.is_some(), "{summary:?}");
+    assert!(
+        summary.payload_formats.iter().all(|f| f == "json"),
+        "json-only run reported formats {:?}",
+        summary.payload_formats
+    );
+    let _ = std::fs::remove_dir_all(&json_dir);
+
+    // Forward-compat: a legacy all-JSON prefix, then a binary-writing
+    // version resumes on top of it. Carried-forward JSON blobs now sit
+    // beside fresh binary ones in the same manifest records.
+    let dir = tmp_dir("mixed", 0);
+    let first = run(&dir, &system, START, &json_opts);
+    assert!(first.cycles_run > 0);
+    let summary = verify_dir(&dir, false).expect("legacy store verifies");
+    assert!(!summary.checkpoints.is_empty());
+    assert!(
+        summary.payload_formats.iter().all(|f| f == "json"),
+        "legacy prefix reported formats {:?}",
+        summary.payload_formats
+    );
+
+    let resumed = run(&dir, &system, horizon, &bin_opts);
+    assert!(
+        resumed.resumed_from_snapshot.is_some(),
+        "binary resume redid the run from scratch: {resumed:?}"
+    );
+    assert_eq!(
+        resumed.kg_digest, reference.kg_digest,
+        "mixed-format recovery diverged from the binary reference"
+    );
+
+    let summary = verify_dir(&dir, true).expect("mixed store verifies");
+    assert!(summary.restored.is_some(), "{summary:?}");
+    let formats = &summary.payload_formats;
+    assert!(
+        formats
+            .iter()
+            .any(|f| f.starts_with("mixed(") || f == "bin"),
+        "no checkpoint reports binary payloads after the resume: {formats:?}"
+    );
+    let newest = formats.last().unwrap();
+    assert!(
+        newest.starts_with("mixed(") || newest == "bin",
+        "newest checkpoint should carry binary payloads, got {newest}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn disk_footprint_stays_bounded_by_retention_and_compaction() {
     let system = system(31);
     let opts = DurableOptions {
